@@ -1,0 +1,110 @@
+// RF-4: Unlinkability versus pseudonym-reuse policy.
+//
+// Simulates a population of users buying Zipf-distributed content under
+// the P2DRM scheme with different pseudonym reuse policies, plus the
+// identified baseline, then runs the provider-side linking attack.
+// Regenerates the paper's privacy claim: with fresh pseudonyms per
+// purchase the provider's linking success collapses to zero, while the
+// baseline is fully linkable by construction.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+#include "sim/linkability.h"
+#include "sim/zipf.h"
+
+namespace {
+
+using namespace p2drm;  // NOLINT
+
+/// Simulates the provider's observation stream without running the full
+/// crypto (the credential string is what matters for linking): each user
+/// makes `purchases` buys; a fresh pseudonym is minted every `max_uses`
+/// purchases. Baseline = the account name on every row.
+std::vector<sim::Observation> Simulate(std::size_t users,
+                                       std::size_t purchases,
+                                       std::uint64_t max_uses,
+                                       bool baseline) {
+  std::vector<sim::Observation> obs;
+  obs.reserve(users * purchases);
+  std::uint64_t pseudonym_serial = 0;
+  for (std::size_t u = 0; u < users; ++u) {
+    std::uint64_t uses_left = 0;
+    std::string credential;
+    for (std::size_t k = 0; k < purchases; ++k) {
+      if (baseline) {
+        credential = "account-" + std::to_string(u);
+      } else {
+        if (uses_left == 0) {
+          credential = "pseudonym-" + std::to_string(pseudonym_serial++);
+          uses_left = max_uses;
+        }
+        --uses_left;
+      }
+      obs.push_back({static_cast<std::uint64_t>(u), credential});
+    }
+  }
+  return obs;
+}
+
+void Report(const char* label, const std::vector<sim::Observation>& obs,
+            std::size_t users) {
+  auto r = sim::AnalyzeLinkability(obs);
+  std::printf("%-34s %10.4f %12zu %12zu %14.1f\n", label, r.linkability,
+              r.distinct_credentials, r.largest_profile,
+              static_cast<double>(obs.size()) / static_cast<double>(users));
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kUsers = 2000;
+  constexpr std::size_t kPurchases = 20;
+
+  std::printf(
+      "RF-4: provider-side linkability vs pseudonym policy "
+      "(%zu users x %zu purchases)\n",
+      kUsers, kPurchases);
+  std::printf("%-34s %10s %12s %12s %14s\n", "policy", "linkability",
+              "credentials", "max-profile", "buys/user");
+  std::printf("%s\n", std::string(88, '-').c_str());
+
+  Report("baseline (identified accounts)",
+         Simulate(kUsers, kPurchases, 1, true), kUsers);
+  for (std::uint64_t max_uses : {20ull, 10ull, 5ull, 2ull, 1ull}) {
+    std::string label =
+        "p2drm, pseudonym reused x" + std::to_string(max_uses);
+    Report(label.c_str(), Simulate(kUsers, kPurchases, max_uses, false),
+           kUsers);
+  }
+
+  std::printf(
+      "\nlinkability = P[random same-user purchase pair shares a "
+      "credential].\nmax-profile = longest purchase history the provider "
+      "can assemble under one credential.\nExpected: baseline 1.0; reuse-k "
+      "-> (k-1)/(M-1); fresh pseudonyms -> 0.0.\n");
+
+  // Sanity: Zipf workload does not change linkability (content choice is
+  // not a credential in this model), but we print the head skew so the
+  // workload is documented.
+  crypto::HmacDrbg rng("anonymity-zipf");
+  sim::ZipfGenerator zipf(1000, 1.0);
+  std::vector<int> head(10, 0);
+  constexpr int kDraws = 100000;
+  int head_total = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    std::size_t rank = zipf.Next(&rng);
+    if (rank < 10) {
+      ++head_total;
+      ++head[rank];
+    }
+  }
+  std::printf(
+      "\nworkload: Zipf(1.0) over 1000 titles; top-10 titles carry %.1f%% "
+      "of demand.\n",
+      100.0 * head_total / kDraws);
+  return 0;
+}

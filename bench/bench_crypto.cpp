@@ -1,0 +1,187 @@
+// RT-1: Crypto microbenchmarks.
+//
+// Regenerates the primitive-cost table: RSA keygen / FDH sign / verify,
+// blind-signature client and signer costs, hybrid encryption, SHA-256 and
+// ChaCha20 throughput — each across modulus sizes 512/1024/2048. Includes
+// the Montgomery-vs-plain modexp ablation called out in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bignum/montgomery.h"
+#include "crypto/blind_rsa.h"
+#include "crypto/chacha20.h"
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+
+namespace {
+
+using p2drm::bignum::BigInt;
+using p2drm::bignum::Montgomery;
+namespace crypto = p2drm::crypto;
+
+const crypto::RsaPrivateKey& KeyForBits(std::size_t bits) {
+  static std::map<std::size_t, crypto::RsaPrivateKey> cache;
+  auto it = cache.find(bits);
+  if (it == cache.end()) {
+    crypto::HmacDrbg rng("bench-key-" + std::to_string(bits));
+    it = cache.emplace(bits, crypto::GenerateRsaKey(bits, &rng)).first;
+  }
+  return it->second;
+}
+
+void BM_RsaKeygen(benchmark::State& state) {
+  std::size_t bits = static_cast<std::size_t>(state.range(0));
+  crypto::HmacDrbg rng("keygen-bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::GenerateRsaKey(bits, &rng));
+  }
+}
+BENCHMARK(BM_RsaKeygen)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_RsaSignFdh(benchmark::State& state) {
+  const auto& key = KeyForBits(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint8_t> msg(64, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::RsaSignFdh(key, msg));
+  }
+}
+BENCHMARK(BM_RsaSignFdh)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RsaVerifyFdh(benchmark::State& state) {
+  const auto& key = KeyForBits(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint8_t> msg(64, 0x5a);
+  auto sig = crypto::RsaSignFdh(key, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::RsaVerifyFdh(key.PublicKey(), msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerifyFdh)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BlindClientPrep(benchmark::State& state) {
+  const auto& key = KeyForBits(static_cast<std::size_t>(state.range(0)));
+  crypto::HmacDrbg rng("blind-prep");
+  std::vector<std::uint8_t> msg(64, 0x11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::BlindMessage(key.PublicKey(), msg, &rng));
+  }
+}
+BENCHMARK(BM_BlindClientPrep)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BlindSignerOp(benchmark::State& state) {
+  const auto& key = KeyForBits(static_cast<std::size_t>(state.range(0)));
+  crypto::HmacDrbg rng("blind-sign");
+  std::vector<std::uint8_t> msg(64, 0x22);
+  auto ctx = crypto::BlindMessage(key.PublicKey(), msg, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::SignBlinded(key, ctx.blinded));
+  }
+}
+BENCHMARK(BM_BlindSignerOp)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BlindFullCycle(benchmark::State& state) {
+  const auto& key = KeyForBits(static_cast<std::size_t>(state.range(0)));
+  crypto::HmacDrbg rng("blind-cycle");
+  std::vector<std::uint8_t> msg(64, 0x33);
+  for (auto _ : state) {
+    auto ctx = crypto::BlindMessage(key.PublicKey(), msg, &rng);
+    auto bs = crypto::SignBlinded(key, ctx.blinded);
+    auto sig = crypto::Unblind(key.PublicKey(), ctx, bs);
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_BlindFullCycle)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HybridEncrypt(benchmark::State& state) {
+  const auto& key = KeyForBits(static_cast<std::size_t>(state.range(0)));
+  crypto::HmacDrbg rng("hyb-enc");
+  std::vector<std::uint8_t> pt(32, 0x44);  // a content key
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::RsaHybridEncrypt(key.PublicKey(), pt, &rng));
+  }
+}
+BENCHMARK(BM_HybridEncrypt)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HybridDecrypt(benchmark::State& state) {
+  const auto& key = KeyForBits(static_cast<std::size_t>(state.range(0)));
+  crypto::HmacDrbg rng("hyb-dec");
+  std::vector<std::uint8_t> pt(32, 0x55);
+  auto ct = crypto::RsaHybridEncrypt(key.PublicKey(), pt, &rng);
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::RsaHybridDecrypt(key, ct, &out));
+  }
+}
+BENCHMARK(BM_HybridDecrypt)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Sha256Throughput(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
+                                 0x66);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256Throughput)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_ChaCha20Throughput(benchmark::State& state) {
+  std::array<std::uint8_t, 32> key{};
+  std::array<std::uint8_t, 12> nonce{};
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
+                                 0x77);
+  for (auto _ : state) {
+    crypto::ChaCha20 c(key, nonce);
+    c.Crypt(data.data(), data.size());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChaCha20Throughput)->Arg(4096)->Arg(1 << 20);
+
+// Ablation: Montgomery-window modexp vs naive square-and-multiply with
+// full division at each step.
+void BM_ModExpMontgomery(benchmark::State& state) {
+  const auto& key = KeyForBits(static_cast<std::size_t>(state.range(0)));
+  Montgomery mont(key.n);
+  BigInt base = BigInt::FromHex("123456789abcdef").Mod(key.n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mont.PowMod(base, key.d));
+  }
+}
+BENCHMARK(BM_ModExpMontgomery)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ModExpNaive(benchmark::State& state) {
+  const auto& key = KeyForBits(static_cast<std::size_t>(state.range(0)));
+  BigInt base = BigInt::FromHex("123456789abcdef").Mod(key.n);
+  for (auto _ : state) {
+    // Square-and-multiply with division-based reduction.
+    BigInt result(1);
+    std::size_t nbits = key.d.BitLength();
+    for (std::size_t i = nbits; i > 0; --i) {
+      result = result.MulMod(result, key.n);
+      if (key.d.Bit(i - 1)) result = result.MulMod(base, key.n);
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ModExpNaive)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

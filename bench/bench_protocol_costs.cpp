@@ -1,0 +1,153 @@
+// RT-2: Protocol cost table.
+//
+// Runs each protocol exactly once and prints messages, bytes on the wire
+// and public-key operation counts — P2DRM versus the identified baseline.
+// This regenerates the paper's qualitative claim: privacy costs a constant
+// factor in communication and public-key work, not asymptotics.
+
+#include <cstdio>
+
+#include "baseline/identified_drm.h"
+#include "core/agent.h"
+#include "core/metrics.h"
+#include "core/system.h"
+#include "crypto/drbg.h"
+
+namespace {
+
+using namespace p2drm;          // NOLINT
+using namespace p2drm::core;    // NOLINT
+
+struct Row {
+  const char* name;
+  std::uint64_t messages;
+  std::uint64_t bytes;
+  OpCounters ops;
+};
+
+void PrintRow(const Row& row) {
+  std::printf("%-28s %8llu %10llu   %s\n", row.name,
+              static_cast<unsigned long long>(row.messages),
+              static_cast<unsigned long long>(row.bytes),
+              row.ops.ToString().c_str());
+}
+
+/// Measures one protocol step: runs fn, returns transport+op deltas.
+template <typename Fn>
+Row Measure(const char* name, net::Transport& transport, Fn&& fn) {
+  transport.ResetStats();
+  OpCounters before = GlobalOps();
+  fn();
+  net::ChannelStats total = transport.GrandTotal();
+  return Row{name, total.messages, total.bytes, GlobalOps() - before};
+}
+
+}  // namespace
+
+int main() {
+  crypto::HmacDrbg rng("protocol-costs");
+
+  SystemConfig cfg;
+  cfg.ca_key_bits = 1024;
+  cfg.ttp_key_bits = 1024;
+  cfg.bank_key_bits = 1024;
+  cfg.cp.signing_key_bits = 1024;
+  P2drmSystem system(cfg, &rng);
+
+  rel::ContentId song = system.cp().Publish(
+      "Song", std::vector<std::uint8_t>(4096, 0xaa), 30,
+      rel::Rights::FullRetail());
+
+  std::printf("RT-2: protocol cost table (1024-bit keys, 4 KiB content)\n");
+  std::printf("%-28s %8s %10s   %s\n", "protocol step", "msgs", "bytes",
+              "public-key operations");
+  std::printf("%s\n", std::string(110, '-').c_str());
+
+  AgentConfig acfg;
+  acfg.pseudonym_bits = 1024;
+  acfg.pseudonym_max_uses = 1;
+  acfg.initial_bank_balance = 100000;
+
+  // Enrolment happens inside the constructor; measure it via the wrapper.
+  std::unique_ptr<UserAgent> alice;
+  PrintRow(Measure("p2drm.enrol+device-cert", system.transport(), [&] {
+    alice = std::make_unique<UserAgent>("alice", acfg, &system, &rng);
+  }));
+
+  PrintRow(Measure("p2drm.withdraw-coins(30)", system.transport(), [&] {
+    alice->WithdrawCoins(30);
+  }));
+
+  // Pseudonym issuance (blind protocol) alone.
+  PrintRow(Measure("p2drm.pseudonym-issuance", system.transport(), [&] {
+    alice->EnsurePseudonym();
+  }));
+
+  rel::License lic;
+  PrintRow(Measure("p2drm.purchase", system.transport(), [&] {
+    alice->BuyContent(song, &lic);
+  }));
+
+  PrintRow(Measure("p2drm.play(local+fetch)", system.transport(), [&] {
+    alice->Play(song);
+  }));
+
+  std::unique_ptr<UserAgent> bob =
+      std::make_unique<UserAgent>("bob", acfg, &system, &rng);
+  std::vector<std::uint8_t> bearer;
+  PrintRow(Measure("p2drm.transfer.give", system.transport(), [&] {
+    alice->GiveLicense(lic.id, &bearer);
+  }));
+  PrintRow(Measure("p2drm.transfer.receive", system.transport(), [&] {
+    bob->ReceiveLicense(bearer, nullptr);
+  }));
+
+  PrintRow(Measure("p2drm.crl-sync", system.transport(), [&] {
+    alice->SyncCrl();
+  }));
+
+  // ---- baseline ------------------------------------------------------------
+  std::printf("%s\n", std::string(110, '-').c_str());
+  SimClock clock;
+  PaymentProvider bank(1024, &rng);
+  bank.OpenAccount("carol", 100000);
+  bank.OpenAccount("dave", 100000);
+  baseline::IdentifiedDrm base(1024, &rng, &clock, &bank);
+  base.RegisterAccount("carol");
+  base.RegisterAccount("dave");
+  rel::ContentId bsong = base.Publish(
+      "Song", std::vector<std::uint8_t>(4096, 0xaa), 30,
+      rel::Rights::FullRetail());
+
+  // The baseline has no wire protocol in this repo (direct calls);
+  // approximate its message count analytically: purchase = 1 round trip,
+  // transfer = 1 round trip, play auth = 1 round trip. Bytes = license +
+  // small headers.
+  {
+    OpCounters before = GlobalOps();
+    auto r = base.Purchase("carol", bsong);
+    OpCounters delta = GlobalOps() - before;
+    Row row{"baseline.purchase", 2,
+            r.license.SerializedSize() + 64, delta};
+    PrintRow(row);
+
+    before = GlobalOps();
+    auto t = base.Transfer("carol", "dave", r.license.id);
+    delta = GlobalOps() - before;
+    PrintRow(Row{"baseline.transfer", 2,
+                 t.license.SerializedSize() + 64, delta});
+
+    before = GlobalOps();
+    std::array<std::uint8_t, 32> key;
+    base.AuthorizePlay("dave", t.license.id, &key);
+    delta = GlobalOps() - before;
+    PrintRow(Row{"baseline.play-auth", 2, 96, delta});
+  }
+
+  std::printf(
+      "\nNote: baseline rows use analytic message counts (the baseline is "
+      "direct-call in this repo);\nP2DRM rows are measured on the wire. "
+      "Privacy overhead = extra blind-signature round trips\nand the "
+      "pseudonym key generation on the client.\n");
+  return 0;
+}

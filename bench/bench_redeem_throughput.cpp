@@ -1,0 +1,85 @@
+// RF-2: Redemption throughput versus spent-set size, per backend.
+//
+// The double-redemption check is one membership test + one insert on the
+// provider's hot path. This bench shows the spent-set data structure is
+// never the bottleneck at realistic sizes with a hash set (the public-key
+// work dominates), while the linear-scan strawman collapses — the
+// structure ablation DESIGN.md calls out.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/drbg.h"
+#include "store/spent_set.h"
+
+namespace {
+
+using p2drm::rel::LicenseId;
+using p2drm::store::SpentSet;
+using p2drm::store::SpentSetBackend;
+
+// Big-endian counter ids: ascending n is ascending lexicographically, so
+// preloading the sorted-vector backend stays append-only (O(1) amortized)
+// instead of degenerating into O(n^2) mid-vector inserts.
+LicenseId MakeId(std::uint64_t n) {
+  LicenseId id;
+  for (int i = 0; i < 8; ++i) {
+    id.bytes[i] = static_cast<std::uint8_t>(n >> (8 * (7 - i)));
+  }
+  std::uint64_t mixed = n * 0x9e3779b97f4a7c15ull;
+  for (int i = 8; i < 16; ++i) {
+    id.bytes[i] = static_cast<std::uint8_t>(mixed >> (8 * (i - 8)));
+  }
+  return id;
+}
+
+void FillSet(SpentSet* set, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) set->Insert(MakeId(i));
+}
+
+template <SpentSetBackend kBackend>
+void BM_RedeemCheckAndInsert(benchmark::State& state) {
+  SpentSet set(kBackend);
+  std::size_t preload = static_cast<std::size_t>(state.range(0));
+  FillSet(&set, preload);
+  std::uint64_t next = preload;
+  for (auto _ : state) {
+    LicenseId id = MakeId(next++);
+    // The redemption path: reject if spent, else mark spent.
+    bool fresh = !set.Contains(id) && set.Insert(id);
+    benchmark::DoNotOptimize(fresh);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_TEMPLATE(BM_RedeemCheckAndInsert, SpentSetBackend::kHashSet)
+    ->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+BENCHMARK_TEMPLATE(BM_RedeemCheckAndInsert, SpentSetBackend::kSortedVector)
+    ->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK_TEMPLATE(BM_RedeemCheckAndInsert, SpentSetBackend::kLinearScan)
+    ->Arg(1000)->Arg(10000);
+
+template <SpentSetBackend kBackend>
+void BM_DoubleRedeemDetect(benchmark::State& state) {
+  // All lookups hit (every id already spent): the fraud-detection path.
+  SpentSet set(kBackend);
+  std::size_t preload = static_cast<std::size_t>(state.range(0));
+  FillSet(&set, preload);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    bool spent = set.Contains(MakeId(i % preload));
+    benchmark::DoNotOptimize(spent);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_TEMPLATE(BM_DoubleRedeemDetect, SpentSetBackend::kHashSet)
+    ->Arg(10000)->Arg(1000000);
+BENCHMARK_TEMPLATE(BM_DoubleRedeemDetect, SpentSetBackend::kSortedVector)
+    ->Arg(10000)->Arg(1000000);
+BENCHMARK_TEMPLATE(BM_DoubleRedeemDetect, SpentSetBackend::kLinearScan)
+    ->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

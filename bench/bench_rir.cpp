@@ -1,0 +1,92 @@
+// RF-7: Repudiative Information Retrieval — the privacy/bandwidth curve.
+//
+// Regenerates the RIR trade-off: query-set size k multiplies bandwidth by
+// k and drops the provider's guess probability to ~1/k (uniform prior),
+// while pay-per-item metering — the DRM requirement — keeps working at
+// every k. Also shows the failure mode the construction must avoid:
+// popularity-skewed catalogs with naive uniform decoys leave the real
+// item exposed.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "rir/rir.h"
+#include "sim/zipf.h"
+
+namespace {
+
+using namespace p2drm;       // NOLINT
+using namespace p2drm::rir;  // NOLINT
+
+constexpr std::size_t kCatalog = 1000;
+constexpr std::size_t kBlobBytes = 64 * 1024;  // 64 KiB items
+constexpr int kQueries = 200;
+
+std::vector<double> ZipfPrior(double alpha) {
+  std::vector<double> p(kCatalog);
+  for (std::size_t i = 0; i < kCatalog; ++i) {
+    p[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  crypto::HmacDrbg rng("rir-bench");
+
+  std::printf("RF-7: repudiative retrieval — bandwidth vs repudiation "
+              "(catalog %zu x %zu KiB, Zipf(1.0) demand)\n",
+              kCatalog, kBlobBytes / 1024);
+  std::printf("%-6s %14s %16s %18s %20s\n", "k", "KiB/query",
+              "1/k (uniform)", "matched decoys", "naive uniform decoys");
+  std::printf("%s\n", std::string(80, '-').c_str());
+
+  std::vector<std::vector<std::uint8_t>> catalog(
+      kCatalog, std::vector<std::uint8_t>(kBlobBytes, 0x5a));
+  std::vector<double> uniform(kCatalog, 1.0);
+  std::vector<double> zipf_prior = ZipfPrior(1.0);
+  sim::ZipfGenerator demand(kCatalog, 1.0);
+
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    RirServer server(std::move(catalog));
+
+    // Popularity-matched decoys (the correct construction).
+    rir::RirClient matched(kCatalog, zipf_prior, k);
+    // Naive uniform decoys against the same skewed demand (the pitfall).
+    rir::RirClient naive(kCatalog, uniform, k);
+
+    double g_matched = 0, g_naive = 0;
+    for (int q = 0; q < kQueries; ++q) {
+      std::size_t real = demand.Next(&rng);
+      g_matched +=
+          rir::GuessProbability(matched.BuildQuery(real, &rng), zipf_prior);
+      g_naive +=
+          rir::GuessProbability(naive.BuildQuery(real, &rng), zipf_prior);
+      // Serve one matched query for the metering check.
+      server.Query(matched.BuildQuery(real, &rng));
+    }
+    std::printf("%-6zu %14.0f %16.4f %18.4f %20.4f\n", k,
+                rir::BandwidthFactor(k) * kBlobBytes / 1024.0,
+                1.0 / static_cast<double>(k), g_matched / kQueries,
+                g_naive / kQueries);
+
+    if (server.ItemsServed() != k * kQueries) {
+      std::fprintf(stderr, "metering mismatch!\n");
+      return 1;
+    }
+    catalog.assign(kCatalog, std::vector<std::uint8_t>(kBlobBytes, 0x5a));
+  }
+
+  std::printf(
+      "\nShape: bandwidth scales linearly in k. Under uniform demand the "
+      "guess probability is\nexactly 1/k (verified in rir_test). Under "
+      "skewed Zipf demand repudiation is weaker than\n1/k for every "
+      "construction — popular items are intrinsically harder to deny — "
+      "but\npopularity-matched decoys consistently beat naive uniform "
+      "decoys, and metering\n(pay-per-item) works at every k: the "
+      "DRM/privacy reconciliation RIR claims.\n");
+  return 0;
+}

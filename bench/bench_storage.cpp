@@ -1,0 +1,115 @@
+// RT-3: Storage overhead per actor.
+//
+// Prints the serialized size of every persistent artifact — licenses (both
+// kinds, across modulus sizes), certificates, coins — and the per-entry
+// cost of the provider's spent set and CRL. Regenerates the paper's
+// storage-cost accounting.
+
+#include <cstdio>
+
+#include "core/certificates.h"
+#include "core/payment.h"
+#include "core/smartcard.h"
+#include "core/system.h"
+#include "core/agent.h"
+#include "crypto/drbg.h"
+#include "store/revocation_list.h"
+#include "store/spent_set.h"
+
+namespace {
+
+using namespace p2drm;        // NOLINT
+using namespace p2drm::core;  // NOLINT
+
+void Line(const char* what, std::size_t bytes, const char* note = "") {
+  std::printf("%-44s %8zu B   %s\n", what, bytes, note);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("RT-3: storage overhead per artifact and per actor\n");
+  std::printf("%s\n", std::string(84, '-').c_str());
+
+  for (std::size_t bits : {512u, 1024u}) {
+    crypto::HmacDrbg rng("storage-" + std::to_string(bits));
+    SystemConfig cfg;
+    cfg.ca_key_bits = bits;
+    cfg.ttp_key_bits = bits;
+    cfg.bank_key_bits = bits;
+    cfg.cp.signing_key_bits = bits;
+    P2drmSystem system(cfg, &rng);
+    rel::ContentId c = system.cp().Publish(
+        "X", std::vector<std::uint8_t>(16, 1), 5, rel::Rights::FullRetail());
+
+    AgentConfig acfg;
+    acfg.pseudonym_bits = bits;
+    acfg.initial_bank_balance = 1000;
+    UserAgent alice("alice-" + std::to_string(bits), acfg, &system, &rng);
+
+    rel::License lic;
+    if (alice.BuyContent(c, &lic) != Status::kOk) {
+      std::fprintf(stderr, "setup purchase failed\n");
+      return 1;
+    }
+    std::vector<std::uint8_t> bearer;
+    if (alice.GiveLicense(lic.id, &bearer) != Status::kOk) {
+      std::fprintf(stderr, "setup exchange failed\n");
+      return 1;
+    }
+
+    Pseudonym* p = alice.card().pseudonyms().front().get();
+    std::printf("\n-- %zu-bit keys --\n", bits);
+    Line("user-bound license (incl. wrapped CK)", lic.SerializedSize());
+    Line("anonymous (bearer) license", bearer.size(),
+         "no key, no wrapped CK");
+    Line("pseudonym certificate", p->cert.Serialize().size(),
+         "key + TTP escrow + CA sig");
+    Line("device certificate",
+         alice.device().Certificate().Serialize().size());
+
+    Coin coin;
+    coin.denomination = 1;
+    coin.signature.assign(bits / 8, 0);
+    Line("e-cash coin", coin.Serialize().size(), "serial + denom + sig");
+  }
+
+  std::printf("\n-- provider-side per-entry costs --\n");
+  {
+    store::SpentSet hash(store::SpentSetBackend::kHashSet);
+    store::SpentSet vec(store::SpentSetBackend::kSortedVector);
+    for (std::uint64_t i = 0; i < 100000; ++i) {
+      rel::LicenseId id;
+      for (int b = 0; b < 8; ++b) {
+        id.bytes[b] = static_cast<std::uint8_t>(i >> (8 * b));
+      }
+      id.bytes[15] = static_cast<std::uint8_t>(i * 7);
+      hash.Insert(id);
+      vec.Insert(id);
+    }
+    std::printf("%-44s %8.1f B/entry\n", "spent set (hash-set, resident)",
+                static_cast<double>(hash.MemoryBytes()) / 100000.0);
+    std::printf("%-44s %8.1f B/entry\n", "spent set (sorted-vector, resident)",
+                static_cast<double>(vec.MemoryBytes()) / 100000.0);
+    Line("spent-set journal record", 16 + 8, "id + length/crc header");
+  }
+  {
+    store::RevocationList crl(store::CrlStrategy::kBloomFronted, 100000);
+    for (std::uint64_t i = 0; i < 100000; ++i) {
+      rel::DeviceId d{};
+      for (int b = 0; b < 8; ++b) d[b] = static_cast<std::uint8_t>(i >> (8 * b));
+      crl.Revoke(d);
+    }
+    std::printf("%-44s %8.1f B/entry\n",
+                "revocation list (bloom-fronted, resident)",
+                static_cast<double>(crl.MemoryBytes()) / 100000.0);
+    std::printf("%-44s %8.1f B/entry\n", "CRL wire snapshot",
+                static_cast<double>(crl.Serialize().size()) / 100000.0);
+  }
+
+  std::printf(
+      "\nTakeaway: the provider's only per-customer state on the P2DRM path "
+      "is 16 B/redeemed\nlicense id — no identities, no profiles. The "
+      "baseline stores an identified activity row\nper operation instead.\n");
+  return 0;
+}

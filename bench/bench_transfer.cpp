@@ -1,0 +1,149 @@
+// RF-5: Transfer cost — P2DRM anonymous exchange+redeem vs baseline
+// server-side reassignment.
+//
+// The paper's transfer protocol buys unlinkability with two extra
+// provider round trips and two signature issuances. This bench quantifies
+// that factor and shows both scale flat in the number of licenses already
+// issued (the spent set is O(1) amortized).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baseline/identified_drm.h"
+#include "core/agent.h"
+#include "core/system.h"
+#include "crypto/drbg.h"
+
+namespace {
+
+using namespace p2drm;        // NOLINT
+using namespace p2drm::core;  // NOLINT
+
+constexpr std::size_t kBits = 512;
+
+struct P2drmFixture {
+  crypto::HmacDrbg rng{"transfer-bench"};
+  std::unique_ptr<P2drmSystem> system;
+  std::unique_ptr<UserAgent> alice;
+  std::unique_ptr<UserAgent> bob;
+  rel::ContentId content = 0;
+
+  P2drmFixture() {
+    SystemConfig cfg;
+    cfg.ca_key_bits = kBits;
+    cfg.ttp_key_bits = kBits;
+    cfg.bank_key_bits = kBits;
+    cfg.cp.signing_key_bits = kBits;
+    system = std::make_unique<P2drmSystem>(cfg, &rng);
+    content = system->cp().Publish("T", std::vector<std::uint8_t>(1024, 1),
+                                   1, rel::Rights::FullRetail());
+    AgentConfig acfg;
+    acfg.pseudonym_bits = kBits;
+    acfg.pseudonym_max_uses = ~0ull;  // steady state
+    acfg.initial_bank_balance = 1ull << 40;
+    alice = std::make_unique<UserAgent>("alice", acfg, system.get(), &rng);
+    bob = std::make_unique<UserAgent>("bob", acfg, system.get(), &rng);
+    alice->WithdrawCoins(5000);
+  }
+};
+
+P2drmFixture& P2drm() {
+  static P2drmFixture f;
+  return f;
+}
+
+void BM_P2drmFullTransfer(benchmark::State& state) {
+  auto& f = P2drm();
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (f.alice->WalletValue() < 1) f.alice->WithdrawCoins(5000);
+    rel::License lic;
+    if (f.alice->BuyContent(f.content, &lic) != Status::kOk) {
+      state.SkipWithError("setup purchase failed");
+      break;
+    }
+    state.ResumeTiming();
+
+    std::vector<std::uint8_t> bearer;
+    if (f.alice->GiveLicense(lic.id, &bearer) != Status::kOk ||
+        f.bob->ReceiveLicense(bearer, nullptr) != Status::kOk) {
+      state.SkipWithError("transfer failed");
+      break;
+    }
+  }
+}
+BENCHMARK(BM_P2drmFullTransfer)->Unit(benchmark::kMillisecond);
+
+void BM_P2drmGiveOnly(benchmark::State& state) {
+  auto& f = P2drm();
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (f.alice->WalletValue() < 1) f.alice->WithdrawCoins(5000);
+    rel::License lic;
+    if (f.alice->BuyContent(f.content, &lic) != Status::kOk) {
+      state.SkipWithError("setup purchase failed");
+      break;
+    }
+    state.ResumeTiming();
+    std::vector<std::uint8_t> bearer;
+    if (f.alice->GiveLicense(lic.id, &bearer) != Status::kOk) {
+      state.SkipWithError("give failed");
+      break;
+    }
+  }
+}
+BENCHMARK(BM_P2drmGiveOnly)->Unit(benchmark::kMillisecond);
+
+struct BaselineFixture {
+  crypto::HmacDrbg rng{"transfer-baseline"};
+  SimClock clock;
+  std::unique_ptr<PaymentProvider> bank;
+  std::unique_ptr<baseline::IdentifiedDrm> drm;
+  rel::ContentId content = 0;
+
+  BaselineFixture() {
+    bank = std::make_unique<PaymentProvider>(kBits, &rng);
+    bank->OpenAccount("alice", 1ull << 40);
+    bank->OpenAccount("bob", 1ull << 40);
+    drm = std::make_unique<baseline::IdentifiedDrm>(kBits, &rng, &clock,
+                                                    bank.get());
+    drm->RegisterAccount("alice");
+    drm->RegisterAccount("bob");
+    content = drm->Publish("T", std::vector<std::uint8_t>(1024, 1), 1,
+                           rel::Rights::FullRetail());
+  }
+};
+
+BaselineFixture& Baseline() {
+  static BaselineFixture f;
+  return f;
+}
+
+void BM_BaselineTransfer(benchmark::State& state) {
+  auto& f = Baseline();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto bought = f.drm->Purchase("alice", f.content);
+    if (bought.status != Status::kOk) {
+      state.SkipWithError("setup purchase failed");
+      break;
+    }
+    state.ResumeTiming();
+    auto t = f.drm->Transfer("alice", "bob", bought.license.id);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_BaselineTransfer)->Unit(benchmark::kMillisecond);
+
+void BM_BaselinePurchase(benchmark::State& state) {
+  auto& f = Baseline();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.drm->Purchase("alice", f.content));
+  }
+}
+BENCHMARK(BM_BaselinePurchase)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

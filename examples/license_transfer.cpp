@@ -1,0 +1,96 @@
+// License transfer: the paper's anonymous-license exchange, end to end.
+//
+// Alice buys an album and gives it to Bob. The provider participates in
+// both halves of the hand-over — it retires Alice's license and issues
+// Bob's — yet it cannot link giver and taker: the bearer license between
+// them carries no key, and both calls arrive over an anonymous channel.
+// The example also shows the enforcement backstop: the retired license
+// stops playing, and the bearer instrument redeems exactly once.
+
+#include <cstdio>
+
+#include "core/agent.h"
+#include "core/system.h"
+#include "crypto/drbg.h"
+
+using namespace p2drm;        // NOLINT
+using namespace p2drm::core;  // NOLINT
+
+int main() {
+  crypto::HmacDrbg rng("license-transfer");
+
+  SystemConfig config;
+  config.ca_key_bits = 512;
+  config.ttp_key_bits = 512;
+  config.bank_key_bits = 512;
+  config.cp.signing_key_bits = 512;
+  P2drmSystem system(config, &rng);
+
+  rel::ContentId album = system.cp().Publish(
+      "Transferable Album", std::vector<std::uint8_t>(4096, 0x61),
+      /*price=*/25, rel::Rights::FullRetail());
+
+  AgentConfig acfg;
+  acfg.pseudonym_bits = 512;
+  UserAgent alice("alice", acfg, &system, &rng);
+  UserAgent bob("bob", acfg, &system, &rng);
+
+  // Alice buys and enjoys the album.
+  rel::License alice_license;
+  if (alice.BuyContent(album, &alice_license) != Status::kOk) return 1;
+  std::printf("[alice] bought the album; plays: %s\n",
+              rel::DecisionName(alice.Play(album).decision));
+
+  // --- the hand-over ------------------------------------------------------
+  // Step 1 (giver): exchange the key-bound license for a bearer license.
+  std::vector<std::uint8_t> bearer;
+  Status s = alice.GiveLicense(alice_license.id, &bearer);
+  std::printf("[alice] exchanged license for a %zu-byte bearer license: %s\n",
+              bearer.size(), StatusName(s));
+
+  // Alice's own copy is dead from this moment.
+  std::printf("[alice] tries to play her retired copy: %s\n",
+              rel::DecisionName(alice.Play(album).decision));
+
+  // Step 2 (out of band): Alice hands Bob the bearer bytes — a USB stick,
+  // an email, anything. No provider involved.
+
+  // Step 3 (taker): Bob redeems the bearer license under a fresh pseudonym.
+  rel::License bob_license;
+  s = bob.ReceiveLicense(bearer, &bob_license);
+  std::printf("[bob]   redeemed the bearer license: %s\n", StatusName(s));
+  std::printf("[bob]   plays the album: %s\n",
+              rel::DecisionName(bob.Play(album).decision));
+
+  // --- what the provider learned ------------------------------------------
+  std::printf("\nprovider's view of the transfer:\n");
+  std::printf("  pseudonyms seen: %zu (alice's buy, bob's redeem — "
+              "no shared identifier)\n",
+              system.cp().DistinctPseudonymsSeen());
+  std::printf("  spent-license ids recorded: %zu (16 bytes each)\n",
+              system.cp().SpentSetSize());
+  std::printf("  anonymous-channel calls: %llu (no caller identity on any "
+              "of them)\n",
+              static_cast<unsigned long long>(
+                  system.transport()
+                      .StatsFor(net::Transport::kAnonymous, "cp")
+                      .messages));
+
+  // --- enforcement backstop -------------------------------------------------
+  // The bearer license is single-use: replaying it fails and generates
+  // fraud evidence.
+  rel::License dummy;
+  s = bob.ReceiveLicense(bearer, &dummy);
+  std::printf("\nreplaying the bearer license: %s (double redemption "
+              "detected)\n",
+              StatusName(s));
+  auto identified = system.ProcessFraud();
+  std::printf("fraud pipeline de-anonymized %zu card(s)", identified.size());
+  if (!identified.empty()) {
+    std::printf(" -> card %llu (%s)",
+                static_cast<unsigned long long>(identified[0]),
+                system.ca().HolderName(identified[0]).c_str());
+  }
+  std::printf("; CRL now has %zu entries\n", system.cp().Crl().Size());
+  return 0;
+}

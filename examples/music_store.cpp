@@ -1,0 +1,103 @@
+// Music store: a realistic multi-user storefront scenario.
+//
+// Several customers buy Zipf-popular tracks under different pseudonym
+// policies, play them on their devices, and the example then prints the
+// store's-eye view: what the provider could profile, versus what it would
+// know with a conventional identified DRM. This is the scenario the
+// paper's introduction motivates — retail content distribution without
+// customer profiling.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/system.h"
+#include "crypto/drbg.h"
+#include "sim/linkability.h"
+#include "sim/zipf.h"
+
+using namespace p2drm;        // NOLINT
+using namespace p2drm::core;  // NOLINT
+
+int main() {
+  crypto::HmacDrbg rng("music-store");
+
+  SystemConfig config;
+  config.ca_key_bits = 512;
+  config.ttp_key_bits = 512;
+  config.bank_key_bits = 512;
+  config.cp.signing_key_bits = 512;
+  P2drmSystem store(config, &rng);
+
+  // Catalog: ten tracks at various prices, full retail rights.
+  const char* titles[] = {"Overture", "Nocturne",  "Prelude", "Fugue",
+                          "Sonata",   "Rhapsody",  "Etude",   "Waltz",
+                          "Mazurka",  "Capriccio"};
+  std::vector<rel::ContentId> catalog;
+  for (int i = 0; i < 10; ++i) {
+    catalog.push_back(store.cp().Publish(
+        titles[i], std::vector<std::uint8_t>(2048, static_cast<std::uint8_t>(i)),
+        5 + 3 * (i % 4), rel::Rights::FullRetail()));
+  }
+  std::printf("catalog: %zu tracks published\n\n", catalog.size());
+
+  // Customers with different privacy postures.
+  AgentConfig paranoid;  // fresh pseudonym every purchase
+  paranoid.pseudonym_bits = 512;
+  paranoid.pseudonym_max_uses = 1;
+  AgentConfig casual = paranoid;  // reuses each pseudonym 5 times
+  casual.pseudonym_max_uses = 5;
+
+  struct Customer {
+    std::unique_ptr<UserAgent> agent;
+    std::uint64_t true_id;
+  };
+  std::vector<Customer> customers;
+  customers.push_back({std::make_unique<UserAgent>("ada", paranoid, &store, &rng), 0});
+  customers.push_back({std::make_unique<UserAgent>("bob", paranoid, &store, &rng), 1});
+  customers.push_back({std::make_unique<UserAgent>("cyd", casual, &store, &rng), 2});
+  customers.push_back({std::make_unique<UserAgent>("dee", casual, &store, &rng), 3});
+
+  // Shopping spree: each customer buys 6 Zipf-popular tracks and plays
+  // each once.
+  sim::ZipfGenerator zipf(catalog.size(), 1.0);
+  std::vector<sim::Observation> provider_view;
+  int purchases = 0, plays = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (auto& c : customers) {
+      rel::ContentId track = catalog[zipf.Next(&rng)];
+      rel::License lic;
+      if (c.agent->BuyContent(track, &lic) != Status::kOk) continue;
+      ++purchases;
+      provider_view.push_back(
+          {c.true_id,
+           std::string(lic.bound_key.begin(), lic.bound_key.end())});
+      if (c.agent->Play(track).decision == rel::Decision::kAllow) ++plays;
+    }
+  }
+  std::printf("activity: %d purchases, %d plays across %zu customers\n\n",
+              purchases, plays, customers.size());
+
+  // The store's-eye view.
+  auto report = sim::AnalyzeLinkability(provider_view);
+  std::printf("what the provider can see (P2DRM):\n");
+  std::printf("  distinct credentials observed : %zu\n",
+              report.distinct_credentials);
+  std::printf("  longest linkable profile      : %zu purchases\n",
+              report.largest_profile);
+  std::printf("  same-customer pair linkability: %.3f\n", report.linkability);
+  std::printf("  identities in provider state  : 0 (pseudonyms only)\n");
+  std::printf("  identified bank debit records : %zu (e-cash leaves none)\n\n",
+              store.bank().DebitLog().size());
+
+  std::printf("what an identified DRM would know instead:\n");
+  std::printf("  every row above keyed by account name; linkability 1.000,\n"
+              "  profile length = full purchase history, plus a bank debit\n"
+              "  row per purchase naming customer and store.\n\n");
+
+  std::printf("note the policy difference: ada/bob (fresh pseudonyms) are\n"
+              "unlinkable; cyd/dee (pseudonym reused 5x) leak short "
+              "profiles.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: the minimal happy path through the public API.
+//
+// Builds the whole P2DRM system (CA, TTP, bank, content provider) on an
+// in-process transport, creates one user, and walks through: publish →
+// anonymous purchase → local playback. Start here.
+
+#include <cstdio>
+
+#include "core/agent.h"
+#include "core/system.h"
+#include "crypto/drbg.h"
+
+using namespace p2drm;        // NOLINT
+using namespace p2drm::core;  // NOLINT
+
+int main() {
+  // Deterministic randomness so the example is reproducible; use
+  // crypto::SystemRandom for real entropy.
+  crypto::HmacDrbg rng("quickstart");
+
+  // 1. Stand up the infrastructure. 512-bit keys keep the demo snappy —
+  //    they are NOT a secure parameter choice.
+  SystemConfig config;
+  config.ca_key_bits = 512;
+  config.ttp_key_bits = 512;
+  config.bank_key_bits = 512;
+  config.cp.signing_key_bits = 512;
+  P2drmSystem system(config, &rng);
+  std::puts("[1] infrastructure up: CA, TTP, bank, content provider");
+
+  // 2. The provider publishes a track: content is encrypted at publish
+  //    time; the ciphertext itself is freely distributable.
+  std::vector<std::uint8_t> master_recording(1024, 0x2a);
+  rel::ContentId track = system.cp().Publish(
+      "Demo Track", master_recording, /*price=*/15,
+      rel::Rights::FullRetail());
+  std::printf("[2] published \"Demo Track\" (content id %llu, price 15)\n",
+              static_cast<unsigned long long>(track));
+
+  // 3. A user joins: smart card enrolment and device certification happen
+  //    inside the constructor, over the wire.
+  AgentConfig agent_config;
+  agent_config.pseudonym_bits = 512;
+  agent_config.pseudonym_max_uses = 1;  // fresh pseudonym per purchase
+  UserAgent alice("alice", agent_config, &system, &rng);
+  std::puts("[3] alice enrolled: card certified, device certified");
+
+  // 4. Anonymous purchase. Under the hood: blind pseudonym certificate,
+  //    blind-signed e-cash, anonymous channel to the provider.
+  rel::License license;
+  Status status = alice.BuyContent(track, &license);
+  if (status != Status::kOk) {
+    std::printf("purchase failed: %s\n", StatusName(status));
+    return 1;
+  }
+  std::printf("[4] purchased anonymously; license %s...\n",
+              license.id.ToHex().substr(0, 12).c_str());
+  std::printf("    provider saw %zu distinct pseudonym(s), 0 identities\n",
+              system.cp().DistinctPseudonymsSeen());
+
+  // 5. Play it. The device checks the license, the card unwraps the
+  //    content key, and the plaintext comes back.
+  UseResult result = alice.Play(track);
+  if (result.decision != rel::Decision::kAllow) {
+    std::printf("playback denied: %s\n", result.error.c_str());
+    return 1;
+  }
+  bool intact = result.plaintext == master_recording;
+  std::printf("[5] played %zu bytes, matches master recording: %s\n",
+              result.plaintext.size(), intact ? "yes" : "NO");
+  return intact ? 0 : 1;
+}

@@ -1,0 +1,175 @@
+#include "baseline/identified_drm.h"
+
+#include <stdexcept>
+
+#include "core/metrics.h"
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+
+namespace p2drm {
+namespace baseline {
+
+IdentifiedDrm::IdentifiedDrm(std::size_t signing_key_bits,
+                             bignum::RandomSource* rng,
+                             const core::Clock* clock,
+                             core::PaymentProvider* bank)
+    : rng_(rng),
+      clock_(clock),
+      bank_(bank),
+      key_(crypto::GenerateRsaKey(signing_key_bits, rng)),
+      public_key_(key_.PublicKey()) {
+  core::GlobalOps().keygen += 1;
+  if (bank_ != nullptr) bank_->OpenAccount("baseline-cp", 0);
+}
+
+void IdentifiedDrm::RegisterAccount(const std::string& account) {
+  accounts_[account] = true;
+}
+
+rel::KeyFingerprint IdentifiedDrm::AccountFingerprint(
+    const std::string& account) {
+  return crypto::Sha256::Hash("baseline-account:" + account);
+}
+
+rel::ContentId IdentifiedDrm::Publish(
+    const std::string& title, const std::vector<std::uint8_t>& plaintext,
+    std::uint64_t price, const rel::Rights& rights) {
+  CatalogEntry entry;
+  entry.offer.content_id = next_content_id_++;
+  entry.offer.title = title;
+  entry.offer.price = price;
+  entry.offer.rights = rights;
+  rng_->Fill(entry.content_key.data(), entry.content_key.size());
+  entry.encrypted.content_id = entry.offer.content_id;
+  rng_->Fill(entry.encrypted.nonce.data(), entry.encrypted.nonce.size());
+  crypto::ChaCha20 cipher(entry.content_key, entry.encrypted.nonce);
+  entry.encrypted.ciphertext = cipher.Crypt(plaintext);
+  rel::ContentId id = entry.offer.content_id;
+  catalog_.emplace(id, std::move(entry));
+  return id;
+}
+
+std::vector<core::Offer> IdentifiedDrm::Catalog() const {
+  std::vector<core::Offer> offers;
+  offers.reserve(catalog_.size());
+  for (const auto& [id, entry] : catalog_) {
+    (void)id;
+    offers.push_back(entry.offer);
+  }
+  return offers;
+}
+
+std::optional<core::Offer> IdentifiedDrm::FindOffer(rel::ContentId id) const {
+  auto it = catalog_.find(id);
+  if (it == catalog_.end()) return std::nullopt;
+  return it->second.offer;
+}
+
+const core::EncryptedContent& IdentifiedDrm::GetContent(
+    rel::ContentId id) const {
+  auto it = catalog_.find(id);
+  if (it == catalog_.end()) {
+    throw std::out_of_range("IdentifiedDrm: unknown content id");
+  }
+  return it->second.encrypted;
+}
+
+rel::License IdentifiedDrm::IssueLicense(const std::string& account,
+                                         rel::ContentId content_id,
+                                         const rel::Rights& rights) {
+  rel::License lic;
+  rng_->Fill(lic.id.bytes.data(), lic.id.bytes.size());
+  lic.kind = rel::LicenseKind::kUserBound;
+  lic.content_id = content_id;
+  lic.bound_key = AccountFingerprint(account);
+  lic.rights = rights;
+  lic.issued_at_s = clock_->NowEpochSeconds();
+  // No per-user wrapping: the baseline keeps content keys server-side and
+  // releases them on authenticated play authorization.
+  core::GlobalOps().sign += 1;
+  lic.issuer_signature = crypto::RsaSignFdh(key_, lic.CanonicalBytes());
+  ++licenses_issued_;
+  return lic;
+}
+
+IdentifiedDrm::PurchaseResult IdentifiedDrm::Purchase(
+    const std::string& account, rel::ContentId content_id) {
+  PurchaseResult result;
+  if (accounts_.find(account) == accounts_.end()) {
+    result.status = core::Status::kUnknownAccount;
+    return result;
+  }
+  auto offer = FindOffer(content_id);
+  if (!offer.has_value()) {
+    result.status = core::Status::kUnknownContent;
+    return result;
+  }
+  core::Status pay = bank_->DirectDebit(account, "baseline-cp", offer->price,
+                                        clock_->NowEpochSeconds());
+  if (pay != core::Status::kOk) {
+    result.status = pay;
+    return result;
+  }
+
+  result.license = IssueLicense(account, content_id, offer->rights);
+  licenses_.emplace(result.license.id,
+                    OwnedLicense{result.license, account});
+  log_.push_back(ActivityRecord{ActivityRecord::Kind::kPurchase, account,
+                                content_id, clock_->NowEpochSeconds()});
+  result.status = core::Status::kOk;
+  return result;
+}
+
+IdentifiedDrm::PurchaseResult IdentifiedDrm::Transfer(
+    const std::string& from_account, const std::string& to_account,
+    const rel::LicenseId& license_id) {
+  PurchaseResult result;
+  if (accounts_.find(from_account) == accounts_.end() ||
+      accounts_.find(to_account) == accounts_.end()) {
+    result.status = core::Status::kUnknownAccount;
+    return result;
+  }
+  auto it = licenses_.find(license_id);
+  if (it == licenses_.end() || it->second.owner != from_account) {
+    result.status = core::Status::kBadRequest;
+    return result;
+  }
+  if (!it->second.license.rights.allow_transfer) {
+    result.status = core::Status::kNotTransferable;
+    return result;
+  }
+  rel::ContentId content = it->second.license.content_id;
+  rel::Rights rights = it->second.license.rights;
+  licenses_.erase(it);
+
+  result.license = IssueLicense(to_account, content, rights);
+  licenses_.emplace(result.license.id,
+                    OwnedLicense{result.license, to_account});
+  // The provider logs BOTH endpoints: the social edge is fully visible.
+  log_.push_back(ActivityRecord{ActivityRecord::Kind::kTransferOut,
+                                from_account, content,
+                                clock_->NowEpochSeconds()});
+  log_.push_back(ActivityRecord{ActivityRecord::Kind::kTransferIn, to_account,
+                                content, clock_->NowEpochSeconds()});
+  result.status = core::Status::kOk;
+  return result;
+}
+
+core::Status IdentifiedDrm::AuthorizePlay(
+    const std::string& account, const rel::LicenseId& license_id,
+    std::array<std::uint8_t, 32>* content_key) {
+  auto it = licenses_.find(license_id);
+  if (it == licenses_.end() || it->second.owner != account) {
+    return core::Status::kBadRequest;
+  }
+  auto cat = catalog_.find(it->second.license.content_id);
+  if (cat == catalog_.end()) return core::Status::kUnknownContent;
+  *content_key = cat->second.content_key;
+  log_.push_back(ActivityRecord{ActivityRecord::Kind::kPlayAuth, account,
+                                it->second.license.content_id,
+                                clock_->NowEpochSeconds()});
+  return core::Status::kOk;
+}
+
+}  // namespace baseline
+}  // namespace p2drm

@@ -1,0 +1,130 @@
+#ifndef P2DRM_BASELINE_IDENTIFIED_DRM_H_
+#define P2DRM_BASELINE_IDENTIFIED_DRM_H_
+
+/// \file identified_drm.h
+/// \brief The comparison baseline: a conventional, fully identified DRM.
+///
+/// Functionally equivalent to the P2DRM content provider — same catalog,
+/// same license format, same device-side enforcement — but with none of the
+/// privacy machinery: licenses are bound to the *account*, payment is an
+/// identified direct debit, and transfer is a server-side ownership update
+/// between named accounts. Every operation lands in an identified activity
+/// log; the size and linkability of that log versus the P2DRM provider's
+/// pseudonymous view is exactly what RF-4/RT-2 measure.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bignum/random_source.h"
+#include "core/clock.h"
+#include "core/content_provider.h"
+#include "core/errors.h"
+#include "core/payment.h"
+#include "crypto/rsa.h"
+#include "rel/license.h"
+
+namespace p2drm {
+namespace baseline {
+
+/// One row of the provider's identified activity log — the privacy leak.
+struct ActivityRecord {
+  enum class Kind : std::uint8_t { kPurchase = 0, kTransferOut, kTransferIn, kPlayAuth };
+  Kind kind = Kind::kPurchase;
+  std::string account;
+  rel::ContentId content_id = 0;
+  std::uint64_t timestamp_s = 0;
+};
+
+/// Conventional identified DRM provider.
+class IdentifiedDrm {
+ public:
+  IdentifiedDrm(std::size_t signing_key_bits, bignum::RandomSource* rng,
+                const core::Clock* clock, core::PaymentProvider* bank);
+
+  const crypto::RsaPublicKey& PublicKey() const { return public_key_; }
+
+  /// Registers a user account (the bank account must already exist).
+  void RegisterAccount(const std::string& account);
+
+  // -- catalog (mirrors ContentProvider) ----------------------------------
+  rel::ContentId Publish(const std::string& title,
+                         const std::vector<std::uint8_t>& plaintext,
+                         std::uint64_t price, const rel::Rights& rights);
+  std::vector<core::Offer> Catalog() const;
+  std::optional<core::Offer> FindOffer(rel::ContentId id) const;
+  const core::EncryptedContent& GetContent(rel::ContentId id) const;
+
+  // -- identified operations ------------------------------------------------
+
+  struct PurchaseResult {
+    core::Status status = core::Status::kBadRequest;
+    rel::License license;
+  };
+
+  /// Identified purchase: debits the account at the bank and issues a
+  /// license bound to the *account key* (deterministic per account). The
+  /// provider logs who bought what, when.
+  PurchaseResult Purchase(const std::string& account,
+                          rel::ContentId content_id);
+
+  /// Server-side transfer: reassigns the license from one account to
+  /// another. The provider sees — and logs — both endpoints of the social
+  /// edge, which is precisely what P2DRM's anonymous-license exchange hides.
+  PurchaseResult Transfer(const std::string& from_account,
+                          const std::string& to_account,
+                          const rel::LicenseId& license_id);
+
+  /// Unwraps the content key for an account's license (the baseline's
+  /// account key lives server-side; devices authenticate by account).
+  /// Logs a play-authorization event.
+  core::Status AuthorizePlay(const std::string& account,
+                             const rel::LicenseId& license_id,
+                             std::array<std::uint8_t, 32>* content_key);
+
+  // -- the privacy ledger -----------------------------------------------------
+
+  const std::vector<ActivityRecord>& ActivityLog() const { return log_; }
+
+  /// Number of (account, content) pairs the provider can prove — the
+  /// profile size an attacker obtains by seizing the provider database.
+  std::size_t ProfileEntries() const { return log_.size(); }
+
+  std::uint64_t LicensesIssued() const { return licenses_issued_; }
+
+ private:
+  rel::License IssueLicense(const std::string& account,
+                            rel::ContentId content_id,
+                            const rel::Rights& rights);
+  static rel::KeyFingerprint AccountFingerprint(const std::string& account);
+
+  bignum::RandomSource* rng_;
+  const core::Clock* clock_;
+  core::PaymentProvider* bank_;
+  crypto::RsaPrivateKey key_;
+  crypto::RsaPublicKey public_key_;
+
+  struct CatalogEntry {
+    core::Offer offer;
+    std::array<std::uint8_t, 32> content_key;
+    core::EncryptedContent encrypted;
+  };
+  std::map<rel::ContentId, CatalogEntry> catalog_;
+  rel::ContentId next_content_id_ = 1;
+
+  struct OwnedLicense {
+    rel::License license;
+    std::string owner;
+  };
+  std::map<rel::LicenseId, OwnedLicense> licenses_;
+  std::map<std::string, bool> accounts_;
+  std::vector<ActivityRecord> log_;
+  std::uint64_t licenses_issued_ = 0;
+};
+
+}  // namespace baseline
+}  // namespace p2drm
+
+#endif  // P2DRM_BASELINE_IDENTIFIED_DRM_H_

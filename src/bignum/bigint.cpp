@@ -1,0 +1,674 @@
+#include "bignum/bigint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "bignum/montgomery.h"
+
+namespace p2drm {
+namespace bignum {
+
+namespace {
+
+constexpr std::size_t kKaratsubaThreshold = 32;  // limbs
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+BigInt::BigInt(std::int64_t v) {
+  bool neg = v < 0;
+  std::uint64_t mag =
+      neg ? (~static_cast<std::uint64_t>(v) + 1u) : static_cast<std::uint64_t>(v);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffu));
+    mag >>= 32;
+  }
+  negative_ = neg && !limbs_.empty();
+}
+
+BigInt BigInt::FromUint64(std::uint64_t v) {
+  BigInt r;
+  while (v != 0) {
+    r.limbs_.push_back(static_cast<std::uint32_t>(v & 0xffffffffu));
+    v >>= 32;
+  }
+  return r;
+}
+
+BigInt BigInt::FromLimbs(std::vector<std::uint32_t> limbs, bool negative) {
+  BigInt r;
+  r.limbs_ = std::move(limbs);
+  r.Trim();
+  r.negative_ = negative && !r.limbs_.empty();
+  return r;
+}
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::FromHex(const std::string& hex) {
+  std::size_t i = 0;
+  bool neg = false;
+  if (i < hex.size() && (hex[i] == '-' || hex[i] == '+')) {
+    neg = hex[i] == '-';
+    ++i;
+  }
+  if (i + 1 < hex.size() && hex[i] == '0' && (hex[i + 1] == 'x' || hex[i + 1] == 'X')) {
+    i += 2;
+  }
+  BigInt r;
+  // Parse from the least-significant end in 8-hex-digit chunks.
+  std::string digits = hex.substr(i);
+  if (digits.empty()) return r;
+  std::size_t nlimbs = (digits.size() + 7) / 8;
+  r.limbs_.assign(nlimbs, 0);
+  std::size_t limb = 0;
+  std::size_t shift = 0;
+  for (std::size_t pos = digits.size(); pos > 0; --pos) {
+    int d = HexDigit(digits[pos - 1]);
+    if (d < 0) throw std::invalid_argument("BigInt::FromHex: bad digit");
+    r.limbs_[limb] |= static_cast<std::uint32_t>(d) << shift;
+    shift += 4;
+    if (shift == 32) {
+      shift = 0;
+      ++limb;
+    }
+  }
+  r.Trim();
+  r.negative_ = neg && !r.limbs_.empty();
+  return r;
+}
+
+BigInt BigInt::FromDec(const std::string& dec) {
+  std::size_t i = 0;
+  bool neg = false;
+  if (i < dec.size() && (dec[i] == '-' || dec[i] == '+')) {
+    neg = dec[i] == '-';
+    ++i;
+  }
+  BigInt r;
+  BigInt ten(10);
+  for (; i < dec.size(); ++i) {
+    char c = dec[i];
+    if (c < '0' || c > '9') throw std::invalid_argument("BigInt::FromDec: bad digit");
+    r = r * ten + BigInt(c - '0');
+  }
+  r.negative_ = neg && !r.limbs_.empty();
+  return r;
+}
+
+BigInt BigInt::FromBytes(const std::uint8_t* data, std::size_t len) {
+  BigInt r;
+  if (len == 0) return r;
+  std::size_t nlimbs = (len + 3) / 4;
+  r.limbs_.assign(nlimbs, 0);
+  std::size_t limb = 0;
+  std::size_t shift = 0;
+  for (std::size_t pos = len; pos > 0; --pos) {
+    r.limbs_[limb] |= static_cast<std::uint32_t>(data[pos - 1]) << shift;
+    shift += 8;
+    if (shift == 32) {
+      shift = 0;
+      ++limb;
+    }
+  }
+  r.Trim();
+  return r;
+}
+
+BigInt BigInt::FromBytes(const std::vector<std::uint8_t>& bytes) {
+  return FromBytes(bytes.data(), bytes.size());
+}
+
+std::vector<std::uint8_t> BigInt::ToBytes() const {
+  std::vector<std::uint8_t> out;
+  if (IsZero()) return out;
+  std::size_t bits = BitLength();
+  std::size_t nbytes = (bits + 7) / 8;
+  out.assign(nbytes, 0);
+  for (std::size_t b = 0; b < nbytes; ++b) {
+    std::size_t limb = b / 4;
+    std::size_t shift = (b % 4) * 8;
+    out[nbytes - 1 - b] = static_cast<std::uint8_t>((limbs_[limb] >> shift) & 0xffu);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> BigInt::ToBytesPadded(std::size_t width) const {
+  std::vector<std::uint8_t> raw = ToBytes();
+  if (raw.size() > width) throw std::length_error("BigInt::ToBytesPadded: too wide");
+  std::vector<std::uint8_t> out(width - raw.size(), 0);
+  out.insert(out.end(), raw.begin(), raw.end());
+  return out;
+}
+
+std::string BigInt::ToHex() const {
+  if (IsZero()) return "0";
+  static const char* kDigits = "0123456789abcdef";
+  std::string s;
+  for (std::size_t i = limbs_.size(); i > 0; --i) {
+    for (int nib = 7; nib >= 0; --nib) {
+      s.push_back(kDigits[(limbs_[i - 1] >> (nib * 4)) & 0xf]);
+    }
+  }
+  std::size_t first = s.find_first_not_of('0');
+  s = s.substr(first);
+  if (negative_) s.insert(s.begin(), '-');
+  return s;
+}
+
+std::string BigInt::ToDec() const {
+  if (IsZero()) return "0";
+  BigInt v = *this;
+  v.negative_ = false;
+  BigInt base(1000000000);
+  std::string out;
+  while (!v.IsZero()) {
+    BigInt q, r;
+    DivMod(v, base, &q, &r);
+    std::uint64_t chunk = r.Low64();
+    for (int i = 0; i < 9; ++i) {
+      out.push_back(static_cast<char>('0' + chunk % 10));
+      chunk /= 10;
+    }
+    v = q;
+  }
+  while (out.size() > 1 && out.back() == '0') out.pop_back();
+  if (negative_) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::Bit(std::size_t i) const {
+  std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+std::uint64_t BigInt::Low64() const {
+  std::uint64_t v = 0;
+  if (limbs_.size() > 1) v = static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) v |= limbs_[0];
+  return v;
+}
+
+int BigInt::CompareMag(const std::vector<std::uint32_t>& a,
+                       const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i > 0; --i) {
+    if (a[i - 1] != b[i - 1]) return a[i - 1] < b[i - 1] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_ ? -1 : 1;
+  int mag = CompareMag(limbs_, other.limbs_);
+  return negative_ ? -mag : mag;
+}
+
+int BigInt::CompareMagnitude(const BigInt& other) const {
+  return CompareMag(limbs_, other.limbs_);
+}
+
+std::vector<std::uint32_t> BigInt::AddMag(const std::vector<std::uint32_t>& a,
+                                          const std::vector<std::uint32_t>& b) {
+  const std::vector<std::uint32_t>& x = a.size() >= b.size() ? a : b;
+  const std::vector<std::uint32_t>& y = a.size() >= b.size() ? b : a;
+  std::vector<std::uint32_t> out(x.size() + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::uint64_t sum = carry + x[i] + (i < y.size() ? y[i] : 0u);
+    out[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out[x.size()] = static_cast<std::uint32_t>(carry);
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::SubMag(const std::vector<std::uint32_t>& a,
+                                          const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out(a.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(1) << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<std::uint32_t>(diff);
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::MulMagSchoolbook(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint32_t> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::MulMagKaratsuba(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::size_t n = std::max(a.size(), b.size());
+  if (std::min(a.size(), b.size()) < kKaratsubaThreshold) {
+    return MulMagSchoolbook(a, b);
+  }
+  std::size_t half = n / 2;
+  auto lo = [half](const std::vector<std::uint32_t>& v) {
+    std::vector<std::uint32_t> r(v.begin(),
+                                 v.begin() + std::min(half, v.size()));
+    while (!r.empty() && r.back() == 0) r.pop_back();
+    return r;
+  };
+  auto hi = [half](const std::vector<std::uint32_t>& v) {
+    if (v.size() <= half) return std::vector<std::uint32_t>();
+    std::vector<std::uint32_t> r(v.begin() + half, v.end());
+    while (!r.empty() && r.back() == 0) r.pop_back();
+    return r;
+  };
+  std::vector<std::uint32_t> a0 = lo(a), a1 = hi(a);
+  std::vector<std::uint32_t> b0 = lo(b), b1 = hi(b);
+
+  std::vector<std::uint32_t> z0 = MulMagKaratsuba(a0, b0);
+  std::vector<std::uint32_t> z2 = MulMagKaratsuba(a1, b1);
+  std::vector<std::uint32_t> sa = AddMag(a0, a1);
+  std::vector<std::uint32_t> sb = AddMag(b0, b1);
+  std::vector<std::uint32_t> z1 = MulMagKaratsuba(sa, sb);
+  z1 = SubMag(z1, AddMag(z0, z2));  // z1 -= z0 + z2; always non-negative
+
+  // result = z0 + z1 << (32*half) + z2 << (64*half)
+  std::vector<std::uint32_t> out(2 * n + 1, 0);
+  auto add_shifted = [&out](const std::vector<std::uint32_t>& v,
+                            std::size_t shift) {
+    std::uint64_t carry = 0;
+    std::size_t i = 0;
+    for (; i < v.size(); ++i) {
+      std::uint64_t cur = out[shift + i] + static_cast<std::uint64_t>(v[i]) + carry;
+      out[shift + i] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    while (carry != 0) {
+      std::uint64_t cur = out[shift + i] + carry;
+      out[shift + i] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++i;
+    }
+  };
+  add_shifted(z0, 0);
+  add_shifted(z1, half);
+  add_shifted(z2, 2 * half);
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::MulMag(const std::vector<std::uint32_t>& a,
+                                          const std::vector<std::uint32_t>& b) {
+  if (std::min(a.size(), b.size()) >= kKaratsubaThreshold) {
+    return MulMagKaratsuba(a, b);
+  }
+  return MulMagSchoolbook(a, b);
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.IsZero()) r.negative_ = !r.negative_;
+  return r;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  BigInt r;
+  if (negative_ == o.negative_) {
+    r.limbs_ = AddMag(limbs_, o.limbs_);
+    r.negative_ = negative_ && !r.limbs_.empty();
+  } else {
+    int cmp = CompareMag(limbs_, o.limbs_);
+    if (cmp == 0) return r;  // zero
+    if (cmp > 0) {
+      r.limbs_ = SubMag(limbs_, o.limbs_);
+      r.negative_ = negative_;
+    } else {
+      r.limbs_ = SubMag(o.limbs_, limbs_);
+      r.negative_ = o.negative_;
+    }
+  }
+  return r;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  BigInt r;
+  r.limbs_ = MulMag(limbs_, o.limbs_);
+  r.negative_ = (negative_ != o.negative_) && !r.limbs_.empty();
+  return r;
+}
+
+void BigInt::DivModMag(const std::vector<std::uint32_t>& num,
+                       const std::vector<std::uint32_t>& den,
+                       std::vector<std::uint32_t>* quot,
+                       std::vector<std::uint32_t>* rem) {
+  if (den.empty()) throw std::domain_error("BigInt: division by zero");
+  if (CompareMag(num, den) < 0) {
+    quot->clear();
+    *rem = num;
+    return;
+  }
+  if (den.size() == 1) {
+    // Single-limb fast path.
+    std::uint64_t d = den[0];
+    quot->assign(num.size(), 0);
+    std::uint64_t r = 0;
+    for (std::size_t i = num.size(); i > 0; --i) {
+      std::uint64_t cur = (r << 32) | num[i - 1];
+      (*quot)[i - 1] = static_cast<std::uint32_t>(cur / d);
+      r = cur % d;
+    }
+    while (!quot->empty() && quot->back() == 0) quot->pop_back();
+    rem->clear();
+    if (r != 0) rem->push_back(static_cast<std::uint32_t>(r));
+    return;
+  }
+
+  // Knuth Algorithm D. Normalize so the top limb of the divisor has its
+  // high bit set.
+  int shift = 0;
+  std::uint32_t top = den.back();
+  while ((top & 0x80000000u) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  std::size_t n = den.size();
+  std::size_t m = num.size() - n;
+
+  auto shl = [](const std::vector<std::uint32_t>& v, int s, bool extra) {
+    std::vector<std::uint32_t> r(v.size() + (extra ? 1 : 0), 0);
+    if (s == 0) {
+      std::copy(v.begin(), v.end(), r.begin());
+      return r;
+    }
+    std::uint32_t carry = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      r[i] = (v[i] << s) | carry;
+      carry = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(v[i]) >> (32 - s)) & 0xffffffffu);
+    }
+    if (extra) r[v.size()] = carry;
+    return r;
+  };
+
+  std::vector<std::uint32_t> u = shl(num, shift, true);   // size m+n+1
+  std::vector<std::uint32_t> v = shl(den, shift, false);  // size n
+  u.resize(num.size() + 1, 0);
+
+  quot->assign(m + 1, 0);
+  const std::uint64_t b = 1ull << 32;
+
+  for (std::size_t j = m + 1; j > 0; --j) {
+    std::size_t jj = j - 1;
+    // Estimate qhat = (u[jj+n]*b + u[jj+n-1]) / v[n-1].
+    std::uint64_t numer =
+        (static_cast<std::uint64_t>(u[jj + n]) << 32) | u[jj + n - 1];
+    std::uint64_t qhat = numer / v[n - 1];
+    std::uint64_t rhat = numer % v[n - 1];
+    while (qhat >= b ||
+           qhat * v[n - 2] > ((rhat << 32) | u[jj + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= b) break;
+    }
+    // Multiply and subtract: u[jj..jj+n] -= qhat * v.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t p = qhat * v[i] + carry;
+      carry = p >> 32;
+      std::int64_t t = static_cast<std::int64_t>(u[jj + i]) -
+                       static_cast<std::int64_t>(p & 0xffffffffu) - borrow;
+      if (t < 0) {
+        t += static_cast<std::int64_t>(b);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[jj + i] = static_cast<std::uint32_t>(t);
+    }
+    std::int64_t t = static_cast<std::int64_t>(u[jj + n]) -
+                     static_cast<std::int64_t>(carry) - borrow;
+    if (t < 0) {
+      // qhat was one too large: add back.
+      t += static_cast<std::int64_t>(b);
+      --qhat;
+      std::uint64_t c2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t s = static_cast<std::uint64_t>(u[jj + i]) + v[i] + c2;
+        u[jj + i] = static_cast<std::uint32_t>(s);
+        c2 = s >> 32;
+      }
+      t += static_cast<std::int64_t>(c2);
+      t &= static_cast<std::int64_t>(b) - 1;
+    }
+    u[jj + n] = static_cast<std::uint32_t>(t);
+    (*quot)[jj] = static_cast<std::uint32_t>(qhat);
+  }
+
+  while (!quot->empty() && quot->back() == 0) quot->pop_back();
+
+  // Remainder = u[0..n) >> shift.
+  rem->assign(u.begin(), u.begin() + n);
+  if (shift != 0) {
+    std::uint32_t carry = 0;
+    for (std::size_t i = rem->size(); i > 0; --i) {
+      std::uint32_t cur = (*rem)[i - 1];
+      (*rem)[i - 1] = (cur >> shift) | carry;
+      carry = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(cur) << (32 - shift)) & 0xffffffffu);
+    }
+  }
+  while (!rem->empty() && rem->back() == 0) rem->pop_back();
+}
+
+void BigInt::DivMod(const BigInt& num, const BigInt& den, BigInt* quot,
+                    BigInt* rem) {
+  std::vector<std::uint32_t> q, r;
+  DivModMag(num.limbs_, den.limbs_, &q, &r);
+  BigInt bq, br;
+  bq.limbs_ = std::move(q);
+  bq.negative_ = (num.negative_ != den.negative_) && !bq.limbs_.empty();
+  br.limbs_ = std::move(r);
+  br.negative_ = num.negative_ && !br.limbs_.empty();
+  if (quot) *quot = std::move(bq);
+  if (rem) *rem = std::move(br);
+}
+
+BigInt BigInt::operator/(const BigInt& o) const {
+  BigInt q;
+  DivMod(*this, o, &q, nullptr);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& o) const {
+  BigInt r;
+  DivMod(*this, o, nullptr, &r);
+  return r;
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  if (IsZero() || bits == 0) {
+    BigInt r = *this;
+    return r;
+  }
+  std::size_t limb_shift = bits / 32;
+  std::size_t bit_shift = bits % 32;
+  std::vector<std::uint32_t> out(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t cur = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out[i + limb_shift] |= static_cast<std::uint32_t>(cur);
+    out[i + limb_shift + 1] |= static_cast<std::uint32_t>(cur >> 32);
+  }
+  return FromLimbs(std::move(out), negative_);
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+  if (IsZero() || bits == 0) {
+    BigInt r = *this;
+    return r;
+  }
+  std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  std::size_t bit_shift = bits % 32;
+  std::vector<std::uint32_t> out(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint64_t cur = limbs_[i + limb_shift];
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      cur |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1]) << 32;
+    }
+    out[i] = static_cast<std::uint32_t>(cur >> bit_shift);
+  }
+  return FromLimbs(std::move(out), negative_);
+}
+
+BigInt BigInt::Mod(const BigInt& m) const {
+  if (m.IsZero() || m.negative_) throw std::domain_error("BigInt::Mod: bad modulus");
+  BigInt r = *this % m;
+  if (r.negative_) r = r + m;
+  return r;
+}
+
+BigInt BigInt::AddMod(const BigInt& o, const BigInt& m) const {
+  BigInt r = *this + o;
+  if (r.CompareMagnitude(m) >= 0 || r.negative_) r = r.Mod(m);
+  return r;
+}
+
+BigInt BigInt::SubMod(const BigInt& o, const BigInt& m) const {
+  BigInt r = *this - o;
+  if (r.negative_) r = r + m;
+  if (r.CompareMagnitude(m) >= 0) r = r.Mod(m);
+  return r;
+}
+
+BigInt BigInt::MulMod(const BigInt& o, const BigInt& m) const {
+  return (*this * o).Mod(m);
+}
+
+BigInt BigInt::PowMod(const BigInt& exp, const BigInt& m) const {
+  if (m.IsZero() || m.negative_) throw std::domain_error("BigInt::PowMod: bad modulus");
+  if (exp.negative_) throw std::domain_error("BigInt::PowMod: negative exponent");
+  if (m.limbs_.size() == 1 && m.limbs_[0] == 1) return BigInt();  // mod 1
+  if (m.IsOdd()) {
+    Montgomery mont(m);
+    return mont.PowMod(this->Mod(m), exp);
+  }
+  // Even modulus: plain left-to-right square-and-multiply.
+  BigInt base = this->Mod(m);
+  BigInt result(1);
+  std::size_t nbits = exp.BitLength();
+  for (std::size_t i = nbits; i > 0; --i) {
+    result = result.MulMod(result, m);
+    if (exp.Bit(i - 1)) result = result.MulMod(base, m);
+  }
+  return result;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a;
+  BigInt y = b;
+  x.negative_ = false;
+  y.negative_ = false;
+  while (!y.IsZero()) {
+    BigInt r = x % y;
+    x = y;
+    y = r;
+  }
+  return x;
+}
+
+BigInt BigInt::ExtendedGcd(const BigInt& a, const BigInt& b, BigInt* x,
+                           BigInt* y) {
+  BigInt old_r = a, r = b;
+  BigInt old_s(1), s(0);
+  BigInt old_t(0), t(1);
+  while (!r.IsZero()) {
+    BigInt q = old_r / r;
+    BigInt tmp = old_r - q * r;
+    old_r = r;
+    r = tmp;
+    tmp = old_s - q * s;
+    old_s = s;
+    s = tmp;
+    tmp = old_t - q * t;
+    old_t = t;
+    t = tmp;
+  }
+  if (x) *x = old_s;
+  if (y) *y = old_t;
+  return old_r;
+}
+
+BigInt BigInt::InvMod(const BigInt& m) const {
+  BigInt x, y;
+  BigInt a = this->Mod(m);
+  BigInt g = ExtendedGcd(a, m, &x, &y);
+  if (!(g == BigInt(1))) throw std::domain_error("BigInt::InvMod: not invertible");
+  return x.Mod(m);
+}
+
+BigInt BigInt::Sqrt() const {
+  if (negative_) throw std::domain_error("BigInt::Sqrt: negative");
+  if (IsZero()) return BigInt();
+  // Newton's method with a power-of-two initial guess.
+  std::size_t bits = BitLength();
+  BigInt x = BigInt(1) << ((bits + 1) / 2);
+  while (true) {
+    BigInt y = (x + *this / x) >> 1;
+    if (y.Compare(x) >= 0) break;
+    x = y;
+  }
+  return x;
+}
+
+}  // namespace bignum
+}  // namespace p2drm

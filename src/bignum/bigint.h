@@ -1,0 +1,184 @@
+#ifndef P2DRM_BIGNUM_BIGINT_H_
+#define P2DRM_BIGNUM_BIGINT_H_
+
+/// \file bigint.h
+/// \brief Arbitrary-precision sign-magnitude integers.
+///
+/// This is the arithmetic substrate for the whole P2DRM crypto stack
+/// (RSA key generation, Chaum blind signatures, hybrid encryption).
+/// Limbs are 32-bit, stored little-endian; intermediate products use
+/// 64-bit arithmetic. Division is Knuth's Algorithm D. Nothing here is
+/// constant-time: this library reproduces the *functional* behaviour of
+/// the paper's protocols for measurement, not a hardened TLS stack.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2drm {
+namespace bignum {
+
+/// Arbitrary-precision integer. Value semantics, cheap moves.
+class BigInt {
+ public:
+  /// Constructs zero.
+  BigInt() = default;
+
+  /// Constructs from a built-in signed value.
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor)
+
+  /// Constructs from a built-in unsigned value.
+  static BigInt FromUint64(std::uint64_t v);
+
+  /// Parses a hexadecimal string, optionally prefixed with '-' or "0x".
+  /// Returns zero for an empty string. Throws std::invalid_argument on
+  /// non-hex characters.
+  static BigInt FromHex(const std::string& hex);
+
+  /// Parses a decimal string, optionally prefixed with '-'.
+  static BigInt FromDec(const std::string& dec);
+
+  /// Interprets a big-endian byte string as an unsigned integer.
+  static BigInt FromBytes(const std::uint8_t* data, std::size_t len);
+  static BigInt FromBytes(const std::vector<std::uint8_t>& bytes);
+
+  /// Serializes the magnitude as big-endian bytes with no leading zeros
+  /// (zero encodes as an empty vector).
+  std::vector<std::uint8_t> ToBytes() const;
+
+  /// Serializes as exactly \p width big-endian bytes, left-padded with
+  /// zeros. Throws std::length_error if the magnitude does not fit.
+  std::vector<std::uint8_t> ToBytesPadded(std::size_t width) const;
+
+  /// Lower-case hex, no prefix, "-" for negatives, "0" for zero.
+  std::string ToHex() const;
+
+  /// Decimal rendering (repeated division by 1e9).
+  std::string ToDec() const;
+
+  // -- predicates --------------------------------------------------------
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsNegative() const { return negative_; }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  bool IsEven() const { return !IsOdd(); }
+
+  /// Number of significant bits in the magnitude (0 for zero).
+  std::size_t BitLength() const;
+
+  /// Returns bit \p i of the magnitude (little-endian bit order).
+  bool Bit(std::size_t i) const;
+
+  /// Low 64 bits of the magnitude.
+  std::uint64_t Low64() const;
+
+  // -- comparison --------------------------------------------------------
+
+  /// Three-way signed comparison: -1, 0, or +1.
+  int Compare(const BigInt& other) const;
+  /// Three-way comparison of magnitudes only.
+  int CompareMagnitude(const BigInt& other) const;
+
+  bool operator==(const BigInt& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return Compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
+
+  // -- arithmetic --------------------------------------------------------
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  /// Truncated division (C semantics: quotient rounds toward zero).
+  BigInt operator/(const BigInt& o) const;
+  /// Remainder with the sign of the dividend (C semantics).
+  BigInt operator%(const BigInt& o) const;
+
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+  BigInt& operator/=(const BigInt& o) { return *this = *this / o; }
+  BigInt& operator%=(const BigInt& o) { return *this = *this % o; }
+
+  BigInt operator<<(std::size_t bits) const;
+  BigInt operator>>(std::size_t bits) const;
+
+  /// Computes quotient and remainder in one pass.
+  /// Throws std::domain_error on division by zero.
+  static void DivMod(const BigInt& num, const BigInt& den, BigInt* quot,
+                     BigInt* rem);
+
+  /// Non-negative residue in [0, m). Requires m > 0.
+  BigInt Mod(const BigInt& m) const;
+
+  /// (this + o) mod m, operands already reduced mod m.
+  BigInt AddMod(const BigInt& o, const BigInt& m) const;
+  /// (this - o) mod m, operands already reduced mod m.
+  BigInt SubMod(const BigInt& o, const BigInt& m) const;
+  /// (this * o) mod m.
+  BigInt MulMod(const BigInt& o, const BigInt& m) const;
+
+  /// Modular exponentiation. Uses Montgomery multiplication when the
+  /// modulus is odd, plain square-and-multiply otherwise.
+  /// Requires exp >= 0, m > 0.
+  BigInt PowMod(const BigInt& exp, const BigInt& m) const;
+
+  /// Greatest common divisor of magnitudes.
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+
+  /// Extended gcd: g = gcd(a,b) = a*x + b*y.
+  static BigInt ExtendedGcd(const BigInt& a, const BigInt& b, BigInt* x,
+                            BigInt* y);
+
+  /// Modular inverse of this mod m. Throws std::domain_error when the
+  /// inverse does not exist (gcd != 1).
+  BigInt InvMod(const BigInt& m) const;
+
+  /// Integer square root (floor). Requires non-negative value.
+  BigInt Sqrt() const;
+
+  // -- internals exposed for Montgomery / tests ---------------------------
+
+  const std::vector<std::uint32_t>& limbs() const { return limbs_; }
+
+  /// Builds a value directly from limbs (little-endian). Trailing zero
+  /// limbs are trimmed.
+  static BigInt FromLimbs(std::vector<std::uint32_t> limbs, bool negative);
+
+ private:
+  void Trim();
+
+  static std::vector<std::uint32_t> AddMag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> SubMag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> MulMag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> MulMagSchoolbook(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> MulMagKaratsuba(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  static int CompareMag(const std::vector<std::uint32_t>& a,
+                        const std::vector<std::uint32_t>& b);
+  static void DivModMag(const std::vector<std::uint32_t>& num,
+                        const std::vector<std::uint32_t>& den,
+                        std::vector<std::uint32_t>* quot,
+                        std::vector<std::uint32_t>* rem);
+
+  std::vector<std::uint32_t> limbs_;  // little-endian; empty == zero
+  bool negative_ = false;             // never true when zero
+};
+
+}  // namespace bignum
+}  // namespace p2drm
+
+#endif  // P2DRM_BIGNUM_BIGINT_H_

@@ -1,0 +1,134 @@
+#include "bignum/montgomery.h"
+
+#include <stdexcept>
+
+namespace p2drm {
+namespace bignum {
+
+Montgomery::Montgomery(const BigInt& modulus) : modulus_(modulus) {
+  if (modulus.IsZero() || modulus.IsNegative() || !modulus.IsOdd() ||
+      modulus == BigInt(1)) {
+    throw std::domain_error("Montgomery: modulus must be odd and > 1");
+  }
+  n_ = modulus.limbs();
+  nlimbs_ = n_.size();
+
+  // n0_inv = -N^-1 mod 2^32 via Newton iteration (5 doublings of precision).
+  std::uint32_t inv = 1;
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2u - n_[0] * inv;
+  }
+  n0_inv_ = ~inv + 1u;  // negate mod 2^32
+
+  BigInt r = BigInt(1) << (32 * nlimbs_);
+  r_mod_n_ = r.Mod(modulus_);
+  r2_mod_n_ = (r_mod_n_ * r_mod_n_).Mod(modulus_);
+}
+
+void Montgomery::MulLimbs(const std::vector<std::uint32_t>& a,
+                          const std::vector<std::uint32_t>& b,
+                          std::vector<std::uint32_t>* out) const {
+  const std::size_t n = nlimbs_;
+  // CIOS: t has n+2 limbs.
+  std::vector<std::uint32_t> t(n + 2, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t bi = i < b.size() ? b[i] : 0u;
+    // t += a * b[i]
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      std::uint64_t aj = j < a.size() ? a[j] : 0u;
+      std::uint64_t cur = t[j] + aj * bi + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = t[n] + carry;
+    t[n] = static_cast<std::uint32_t>(cur);
+    t[n + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+    // m = t[0] * n0_inv mod 2^32; t += m * N; t >>= 32
+    std::uint32_t m = t[0] * n0_inv_;
+    carry = (static_cast<std::uint64_t>(t[0]) +
+             static_cast<std::uint64_t>(m) * n_[0]) >> 32;
+    for (std::size_t j = 1; j < n; ++j) {
+      std::uint64_t c2 = t[j] + static_cast<std::uint64_t>(m) * n_[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(c2);
+      carry = c2 >> 32;
+    }
+    cur = t[n] + carry;
+    t[n - 1] = static_cast<std::uint32_t>(cur);
+    t[n] = t[n + 1] + static_cast<std::uint32_t>(cur >> 32);
+    t[n + 1] = 0;
+  }
+  t.resize(n + 1);
+  // Conditional final subtraction.
+  bool ge = t[n] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = n; i > 0; --i) {
+      if (t[i - 1] != n_[i - 1]) {
+        ge = t[i - 1] > n_[i - 1];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int64_t diff = static_cast<std::int64_t>(t[i]) -
+                          static_cast<std::int64_t>(n_[i]) - borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(1) << 32;
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      t[i] = static_cast<std::uint32_t>(diff);
+    }
+  }
+  t.resize(n);
+  *out = std::move(t);
+}
+
+BigInt Montgomery::MulMont(const BigInt& a, const BigInt& b) const {
+  std::vector<std::uint32_t> out;
+  MulLimbs(a.limbs(), b.limbs(), &out);
+  return BigInt::FromLimbs(std::move(out), false);
+}
+
+BigInt Montgomery::ToMont(const BigInt& a) const {
+  return MulMont(a, r2_mod_n_);
+}
+
+BigInt Montgomery::FromMont(const BigInt& a) const {
+  return MulMont(a, BigInt(1));
+}
+
+BigInt Montgomery::PowMod(const BigInt& base, const BigInt& exp) const {
+  if (exp.IsZero()) return BigInt(1).Mod(modulus_);
+  BigInt mb = ToMont(base);
+
+  // 4-bit fixed window.
+  constexpr std::size_t kWindow = 4;
+  std::vector<BigInt> table(1u << kWindow);
+  table[0] = r_mod_n_;  // 1 in Montgomery form
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    table[i] = MulMont(table[i - 1], mb);
+  }
+
+  std::size_t nbits = exp.BitLength();
+  std::size_t nwindows = (nbits + kWindow - 1) / kWindow;
+  BigInt acc = r_mod_n_;
+  for (std::size_t w = nwindows; w > 0; --w) {
+    for (std::size_t s = 0; s < kWindow; ++s) acc = MulMont(acc, acc);
+    std::size_t idx = 0;
+    for (std::size_t bit = 0; bit < kWindow; ++bit) {
+      std::size_t pos = (w - 1) * kWindow + bit;
+      if (pos < nbits && exp.Bit(pos)) idx |= 1u << bit;
+    }
+    if (idx != 0) acc = MulMont(acc, table[idx]);
+  }
+  return FromMont(acc);
+}
+
+}  // namespace bignum
+}  // namespace p2drm

@@ -1,0 +1,58 @@
+#ifndef P2DRM_BIGNUM_MONTGOMERY_H_
+#define P2DRM_BIGNUM_MONTGOMERY_H_
+
+/// \file montgomery.h
+/// \brief Montgomery-form modular arithmetic for odd moduli.
+///
+/// RSA sign/verify dominates every protocol bench in this repo, so modular
+/// exponentiation must not reduce with full division at every step. This
+/// context precomputes R = 2^(32n) mod N and performs CIOS Montgomery
+/// multiplication; PowMod uses a fixed 4-bit window.
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/bigint.h"
+
+namespace p2drm {
+namespace bignum {
+
+/// Precomputed Montgomery context for a fixed odd modulus.
+class Montgomery {
+ public:
+  /// \param modulus Odd modulus > 1. Throws std::domain_error otherwise.
+  explicit Montgomery(const BigInt& modulus);
+
+  const BigInt& modulus() const { return modulus_; }
+
+  /// Converts into Montgomery form: a * R mod N.
+  BigInt ToMont(const BigInt& a) const;
+
+  /// Converts out of Montgomery form: a * R^-1 mod N.
+  BigInt FromMont(const BigInt& a) const;
+
+  /// Montgomery product: a * b * R^-1 mod N (operands in Montgomery form).
+  BigInt MulMont(const BigInt& a, const BigInt& b) const;
+
+  /// base^exp mod N with base, result in ordinary form.
+  /// Requires 0 <= base < N and exp >= 0.
+  BigInt PowMod(const BigInt& base, const BigInt& exp) const;
+
+ private:
+  // Core CIOS multiply over raw limb vectors (both length n).
+  void MulLimbs(const std::vector<std::uint32_t>& a,
+                const std::vector<std::uint32_t>& b,
+                std::vector<std::uint32_t>* out) const;
+
+  BigInt modulus_;
+  std::vector<std::uint32_t> n_;  // modulus limbs, length n
+  std::size_t nlimbs_ = 0;
+  std::uint32_t n0_inv_ = 0;  // -N^-1 mod 2^32
+  BigInt r_mod_n_;            // R mod N
+  BigInt r2_mod_n_;           // R^2 mod N
+};
+
+}  // namespace bignum
+}  // namespace p2drm
+
+#endif  // P2DRM_BIGNUM_MONTGOMERY_H_

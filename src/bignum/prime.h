@@ -1,0 +1,37 @@
+#ifndef P2DRM_BIGNUM_PRIME_H_
+#define P2DRM_BIGNUM_PRIME_H_
+
+/// \file prime.h
+/// \brief Primality testing and prime generation for RSA key material.
+
+#include <cstddef>
+
+#include "bignum/bigint.h"
+#include "bignum/random_source.h"
+
+namespace p2drm {
+namespace bignum {
+
+/// Miller–Rabin probabilistic primality test.
+/// \param n        candidate (n > 1 required for a true result)
+/// \param rounds   number of random bases; error probability <= 4^-rounds
+/// \param rng      source of random bases
+bool IsProbablePrime(const BigInt& n, int rounds, RandomSource* rng);
+
+/// Deterministic trial division by small primes (< 2048). Returns false if a
+/// small factor is found; true means "no small factor" (not "prime").
+bool PassesTrialDivision(const BigInt& n);
+
+/// Generates a random prime with exactly \p bits bits (top bit set, odd).
+/// Uses trial division followed by Miller–Rabin with \p mr_rounds rounds.
+BigInt GeneratePrime(std::size_t bits, int mr_rounds, RandomSource* rng);
+
+/// Generates a prime p with exactly \p bits bits such that gcd(p-1, e) == 1.
+/// Used by RSA key generation so that e is invertible mod p-1.
+BigInt GenerateRsaPrime(std::size_t bits, const BigInt& e, int mr_rounds,
+                        RandomSource* rng);
+
+}  // namespace bignum
+}  // namespace p2drm
+
+#endif  // P2DRM_BIGNUM_PRIME_H_

@@ -1,0 +1,57 @@
+#include "bignum/random_source.h"
+
+#include <stdexcept>
+
+namespace p2drm {
+namespace bignum {
+
+BigInt RandomSource::Below(const BigInt& bound) {
+  if (bound.IsZero() || bound.IsNegative()) {
+    throw std::domain_error("RandomSource::Below: bound must be positive");
+  }
+  std::size_t bits = bound.BitLength();
+  std::size_t nbytes = (bits + 7) / 8;
+  unsigned top_mask = bits % 8 == 0 ? 0xffu : ((1u << (bits % 8)) - 1u);
+  // Rejection sampling: expected < 2 iterations.
+  while (true) {
+    std::vector<std::uint8_t> buf = Bytes(nbytes);
+    buf[0] &= static_cast<std::uint8_t>(top_mask);
+    BigInt candidate = BigInt::FromBytes(buf);
+    if (candidate.Compare(bound) < 0) return candidate;
+  }
+}
+
+BigInt RandomSource::BitsExact(std::size_t bits) {
+  if (bits == 0) throw std::domain_error("RandomSource::BitsExact: bits == 0");
+  std::size_t nbytes = (bits + 7) / 8;
+  std::vector<std::uint8_t> buf = Bytes(nbytes);
+  unsigned top_bit_pos = (bits - 1) % 8;
+  unsigned top_mask = (1u << (top_bit_pos + 1)) - 1u;
+  buf[0] &= static_cast<std::uint8_t>(top_mask);
+  buf[0] |= static_cast<std::uint8_t>(1u << top_bit_pos);
+  return BigInt::FromBytes(buf);
+}
+
+BigInt RandomSource::Between(const BigInt& lo, const BigInt& hi) {
+  if (lo.Compare(hi) > 0) {
+    throw std::domain_error("RandomSource::Between: lo > hi");
+  }
+  BigInt span = hi - lo + BigInt(1);
+  return lo + Below(span);
+}
+
+std::uint64_t RandomSource::NextUint64(std::uint64_t bound) {
+  if (bound == 0) throw std::domain_error("RandomSource::NextUint64: bound == 0");
+  // Rejection sampling over the top multiple of bound.
+  std::uint64_t limit = ~0ull - (~0ull % bound);
+  while (true) {
+    std::uint8_t buf[8];
+    Fill(buf, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | buf[i];
+    if (v < limit) return v % bound;
+  }
+}
+
+}  // namespace bignum
+}  // namespace p2drm

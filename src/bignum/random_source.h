@@ -1,0 +1,50 @@
+#ifndef P2DRM_BIGNUM_RANDOM_SOURCE_H_
+#define P2DRM_BIGNUM_RANDOM_SOURCE_H_
+
+/// \file random_source.h
+/// \brief Abstract randomness interface used by prime generation and all
+/// key-generation code. Implemented by crypto::HmacDrbg (deterministic,
+/// reproducible for tests and benchmarks) and crypto::SystemRandom.
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "bignum/bigint.h"
+
+namespace p2drm {
+namespace bignum {
+
+/// Source of random bytes. Implementations need not be thread-safe.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Fills \p out with \p len random bytes.
+  virtual void Fill(std::uint8_t* out, std::size_t len) = 0;
+
+  /// Convenience: returns \p len random bytes.
+  std::vector<std::uint8_t> Bytes(std::size_t len) {
+    std::vector<std::uint8_t> v(len);
+    Fill(v.data(), len);
+    return v;
+  }
+
+  /// Uniform random integer in [0, bound) by rejection sampling.
+  /// Requires bound > 0.
+  BigInt Below(const BigInt& bound);
+
+  /// Random integer with exactly \p bits bits (top bit set). bits >= 1.
+  BigInt BitsExact(std::size_t bits);
+
+  /// Uniform random integer in [lo, hi]. Requires lo <= hi.
+  BigInt Between(const BigInt& lo, const BigInt& hi);
+
+  /// Random uint64 in [0, bound). Requires bound > 0.
+  std::uint64_t NextUint64(std::uint64_t bound);
+};
+
+}  // namespace bignum
+}  // namespace p2drm
+
+#endif  // P2DRM_BIGNUM_RANDOM_SOURCE_H_

@@ -1,0 +1,256 @@
+#include "core/agent.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/metrics.h"
+#include "core/protocol.h"
+#include "crypto/blind_rsa.h"
+
+namespace p2drm {
+namespace core {
+
+namespace proto = protocol;
+
+UserAgent::UserAgent(const std::string& name, const AgentConfig& config,
+                     P2drmSystem* system, bignum::RandomSource* rng)
+    : name_(name),
+      config_(config),
+      system_(system),
+      rng_(rng),
+      card_(name, config.pseudonym_bits, rng),
+      device_(name + "-device", config.device_security_level,
+              &system->clock(), rng) {
+  system_->bank().OpenAccount(name_, config_.initial_bank_balance);
+
+  // Enrolment (identified channel).
+  proto::EnrolRequest enrol;
+  enrol.holder_name = name_;
+  enrol.master_key = card_.MasterKey();
+  auto raw = system_->transport().Call(name_, P2drmSystem::kCaEndpoint,
+                                       enrol.Encode());
+  card_.StoreIdentityCertificate(
+      proto::EnrolResponse::Decode(raw).certificate);
+
+  // Device certification.
+  proto::DeviceCertRequest dev;
+  dev.device_key = device_.DeviceKey();
+  dev.security_level = config_.device_security_level;
+  raw = system_->transport().Call(name_, P2drmSystem::kCaEndpoint,
+                                  dev.Encode());
+  device_.InstallCertificate(
+      proto::DeviceCertResponse::Decode(raw).certificate);
+}
+
+std::uint64_t UserAgent::WalletValue() const {
+  return std::accumulate(
+      wallet_.begin(), wallet_.end(), std::uint64_t{0},
+      [](std::uint64_t acc, const Coin& c) { return acc + c.denomination; });
+}
+
+Status UserAgent::WithdrawOne(std::uint32_t denomination) {
+  // Mint the coin locally, blind its canonical bytes, have the bank sign.
+  Coin coin;
+  rng_->Fill(coin.serial.data(), coin.serial.size());
+  coin.denomination = denomination;
+
+  const crypto::RsaPublicKey& denom_key =
+      system_->bank().DenominationKey(denomination);
+  GlobalOps().blind_prep += 1;
+  crypto::BlindingContext ctx =
+      crypto::BlindMessage(denom_key, coin.CanonicalBytes(), rng_);
+
+  proto::WithdrawRequest req;
+  req.account = name_;
+  req.denomination = denomination;
+  req.blinded = ctx.blinded;
+  auto raw = system_->transport().Call(name_, P2drmSystem::kBankEndpoint,
+                                       req.Encode());
+  auto resp = proto::WithdrawResponse::Decode(raw);
+  if (resp.status != Status::kOk) return resp.status;
+
+  coin.signature = crypto::Unblind(denom_key, ctx, resp.blind_signature);
+  // Paranoia: never bank an invalid coin.
+  GlobalOps().verify += 1;
+  if (!crypto::RsaVerifyFdh(denom_key, coin.CanonicalBytes(),
+                            coin.signature)) {
+    return Status::kBadSignature;
+  }
+  wallet_.push_back(std::move(coin));
+  return Status::kOk;
+}
+
+Status UserAgent::WithdrawCoins(std::uint64_t amount) {
+  for (std::uint32_t denom : PlanCoins(amount)) {
+    Status s = WithdrawOne(denom);
+    if (s != Status::kOk) return s;
+  }
+  return Status::kOk;
+}
+
+std::vector<Coin> UserAgent::TakeCoins(std::uint64_t amount) {
+  if (amount == 0) return {};
+  // Top up the wallet if short, then pick greedily (largest first) for an
+  // exact cover. Wallet contents always come from PlanCoins, so an exact
+  // greedy cover exists whenever total value suffices.
+  if (WalletValue() < amount) {
+    if (WithdrawCoins(amount - WalletValue()) != Status::kOk) return {};
+  }
+  std::vector<Coin> picked;
+  std::uint64_t remaining = amount;
+  std::sort(wallet_.begin(), wallet_.end(),
+            [](const Coin& a, const Coin& b) {
+              return a.denomination > b.denomination;
+            });
+  for (auto it = wallet_.begin(); it != wallet_.end() && remaining > 0;) {
+    if (it->denomination <= remaining) {
+      remaining -= it->denomination;
+      picked.push_back(std::move(*it));
+      it = wallet_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (remaining != 0) {
+    // Exact cover failed (e.g. wallet fragmented): withdraw the exact rest.
+    if (WithdrawCoins(remaining) != Status::kOk ||
+        WalletValue() < remaining) {
+      // Return picked coins to the wallet and fail.
+      for (auto& c : picked) wallet_.push_back(std::move(c));
+      return {};
+    }
+    auto rest = TakeCoins(remaining);
+    if (rest.empty()) {
+      for (auto& c : picked) wallet_.push_back(std::move(c));
+      return {};
+    }
+    for (auto& c : rest) picked.push_back(std::move(c));
+  }
+  return picked;
+}
+
+Pseudonym* UserAgent::EnsurePseudonym() {
+  Pseudonym* existing = card_.UsablePseudonym(config_.pseudonym_max_uses);
+  if (existing != nullptr) return existing;
+
+  PseudonymRequest req = card_.BeginPseudonym(system_->ca().PublicKey(),
+                                              system_->ttp().EscrowKey());
+  proto::PseudonymSignRequest wire;
+  wire.card_id = card_.CardId();
+  wire.blinded = req.blinding.blinded;
+  auto raw = system_->transport().Call(name_, P2drmSystem::kCaEndpoint,
+                                       wire.Encode());
+  auto resp = proto::PseudonymSignResponse::Decode(raw);
+  return card_.FinishPseudonym(std::move(req), resp.blind_signature,
+                               system_->ca().PublicKey());
+}
+
+Status UserAgent::BuyContent(rel::ContentId content, rel::License* out) {
+  auto offer = system_->cp().FindOffer(content);
+  if (!offer.has_value()) return Status::kUnknownContent;
+
+  Pseudonym* pseudonym = EnsurePseudonym();
+  if (pseudonym == nullptr) return Status::kBadCertificate;
+
+  std::vector<Coin> payment = TakeCoins(offer->price);
+  if (offer->price != 0 && payment.empty()) {
+    return Status::kInsufficientFunds;
+  }
+
+  proto::PurchaseRequest req;
+  req.buyer = pseudonym->cert;
+  req.content_id = content;
+  req.payment = std::move(payment);
+  // Anonymous channel: the CP must not learn who is calling.
+  auto raw = system_->transport().Call(net::Transport::kAnonymous,
+                                       P2drmSystem::kCpEndpoint, req.Encode());
+  auto resp = proto::PurchaseResponse::Decode(raw);
+  if (resp.status != Status::kOk) return resp.status;
+
+  pseudonym->purchases_used += 1;
+  if (!device_.InstallLicense(resp.license, system_->cp().PublicKey())) {
+    return Status::kBadSignature;
+  }
+  if (out != nullptr) *out = resp.license;
+  return Status::kOk;
+}
+
+UseResult UserAgent::Play(rel::ContentId content) {
+  proto::FetchContentRequest req;
+  req.content_id = content;
+  auto raw = system_->transport().Call(net::Transport::kAnonymous,
+                                       P2drmSystem::kCpEndpoint, req.Encode());
+  auto resp = proto::FetchContentResponse::Decode(raw);
+  if (resp.status != Status::kOk) {
+    UseResult r;
+    r.error = "content not available";
+    return r;
+  }
+  return device_.Use(content, rel::Action::kPlay, &card_, resp.content);
+}
+
+Status UserAgent::GiveLicense(const rel::LicenseId& id,
+                              std::vector<std::uint8_t>* out_bytes) {
+  const rel::License* held = device_.FindLicense(id);
+  if (held == nullptr) return Status::kBadRequest;
+
+  // Possession proof by the card that owns the bound pseudonym.
+  std::vector<std::uint8_t> sig = card_.SignWithPseudonym(
+      held->bound_key, ContentProvider::TransferChallengeBytes(held->id));
+  if (sig.empty()) return Status::kBadRequest;
+
+  proto::ExchangeRequest req;
+  req.license = *held;
+  req.possession_sig = std::move(sig);
+  auto raw = system_->transport().Call(net::Transport::kAnonymous,
+                                       P2drmSystem::kCpEndpoint, req.Encode());
+  auto resp = proto::ExchangeResponse::Decode(raw);
+  if (resp.status != Status::kOk) return resp.status;
+
+  // The old license is now spent server-side; a compliant device deletes it.
+  device_.RemoveLicense(id);
+  *out_bytes = resp.anonymous_license.Serialize();
+  return Status::kOk;
+}
+
+Status UserAgent::ReceiveLicense(
+    const std::vector<std::uint8_t>& anonymous_license_bytes,
+    rel::License* out) {
+  rel::License anon;
+  try {
+    anon = rel::License::Deserialize(anonymous_license_bytes);
+  } catch (const std::exception&) {
+    return Status::kBadRequest;
+  }
+
+  Pseudonym* pseudonym = EnsurePseudonym();
+  if (pseudonym == nullptr) return Status::kBadCertificate;
+
+  proto::RedeemRequest req;
+  req.anonymous_license = anon;
+  req.taker = pseudonym->cert;
+  auto raw = system_->transport().Call(net::Transport::kAnonymous,
+                                       P2drmSystem::kCpEndpoint, req.Encode());
+  auto resp = proto::PurchaseResponse::Decode(raw);
+  if (resp.status != Status::kOk) return resp.status;
+
+  pseudonym->purchases_used += 1;
+  if (!device_.InstallLicense(resp.license, system_->cp().PublicKey())) {
+    return Status::kBadSignature;
+  }
+  if (out != nullptr) *out = resp.license;
+  return Status::kOk;
+}
+
+void UserAgent::SyncCrl() {
+  proto::FetchCrlRequest req;
+  auto raw = system_->transport().Call(name_, P2drmSystem::kCpEndpoint,
+                                       req.Encode());
+  auto resp = proto::FetchCrlResponse::Decode(raw);
+  store::RevocationList crl = store::RevocationList::Deserialize(
+      resp.crl_snapshot, store::CrlStrategy::kSortedSet);
+  device_.UpdateCrl(crl);
+}
+
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,102 @@
+#ifndef P2DRM_CORE_AGENT_H_
+#define P2DRM_CORE_AGENT_H_
+
+/// \file agent.h
+/// \brief UserAgent: the client-side orchestration of every P2DRM protocol.
+///
+/// A user agent bundles a smart card, a compliant device and an e-cash
+/// wallet, and drives the full message flows over the Transport: enrolment,
+/// pseudonym issuance (blind), coin withdrawal (blind), anonymous purchase,
+/// private transfer (exchange + redeem), CRL sync and local playback.
+/// Purchases and transfers deliberately go over the *anonymous* channel —
+/// the CP never sees a caller identity, only the payload.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bignum/random_source.h"
+#include "core/device.h"
+#include "core/errors.h"
+#include "core/payment.h"
+#include "core/smartcard.h"
+#include "core/system.h"
+
+namespace p2drm {
+namespace core {
+
+/// Client-side policy knobs.
+struct AgentConfig {
+  std::size_t pseudonym_bits = 512;
+  /// Purchases per pseudonym before a fresh one is minted. 1 = fully
+  /// unlinkable; larger values trade CA load for linkability (RF-4).
+  std::uint64_t pseudonym_max_uses = 1;
+  std::uint8_t device_security_level = 2;
+  std::uint64_t initial_bank_balance = 1000;
+};
+
+/// A complete P2DRM client.
+class UserAgent {
+ public:
+  /// Creates the card and device, opens a bank account, enrols with the CA
+  /// and certifies the device (all over the Transport).
+  UserAgent(const std::string& name, const AgentConfig& config,
+            P2drmSystem* system, bignum::RandomSource* rng);
+
+  const std::string& name() const { return name_; }
+  SmartCard& card() { return card_; }
+  CompliantDevice& device() { return device_; }
+  std::uint64_t WalletValue() const;
+  std::size_t WalletCoins() const { return wallet_.size(); }
+
+  /// Withdraws coins covering \p amount (blind-signature protocol with the
+  /// bank; identified channel — the bank debits the account).
+  Status WithdrawCoins(std::uint64_t amount);
+
+  /// Buys \p content anonymously. Ensures a usable pseudonym and enough
+  /// coins, then purchases over the anonymous channel and installs the
+  /// license on the device. On success \p out (optional) receives the
+  /// license.
+  Status BuyContent(rel::ContentId content, rel::License* out = nullptr);
+
+  /// Plays content end to end: fetches the encrypted blob and renders it
+  /// locally under the installed license.
+  UseResult Play(rel::ContentId content);
+
+  /// Giver half of a private transfer: exchanges the held license for an
+  /// anonymous bearer license (over the anonymous channel), removes it
+  /// from the device, and returns the bearer bytes to hand over.
+  Status GiveLicense(const rel::LicenseId& id,
+                     std::vector<std::uint8_t>* anonymous_license_bytes);
+
+  /// Taker half: redeems bearer bytes for a license bound to a fresh
+  /// pseudonym and installs it.
+  Status ReceiveLicense(const std::vector<std::uint8_t>& anonymous_license_bytes,
+                        rel::License* out = nullptr);
+
+  /// Pulls the provider's CRL into the device.
+  void SyncCrl();
+
+  /// Ensures a pseudonym with remaining uses exists and returns it
+  /// (runs the blind issuance protocol when needed).
+  Pseudonym* EnsurePseudonym();
+
+ private:
+  Status WithdrawOne(std::uint32_t denomination);
+  /// Removes coins summing exactly to \p amount from the wallet,
+  /// withdrawing more as needed. Empty result means failure.
+  std::vector<Coin> TakeCoins(std::uint64_t amount);
+
+  std::string name_;
+  AgentConfig config_;
+  P2drmSystem* system_;
+  bignum::RandomSource* rng_;
+  SmartCard card_;
+  CompliantDevice device_;
+  std::vector<Coin> wallet_;
+};
+
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_AGENT_H_

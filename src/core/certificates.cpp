@@ -1,0 +1,122 @@
+#include "core/certificates.h"
+
+namespace p2drm {
+namespace core {
+
+namespace {
+
+// Domain-separation prefixes so a signature over one certificate flavour
+// can never be replayed as another.
+constexpr std::uint8_t kTagIdentity = 0x01;
+constexpr std::uint8_t kTagPseudonym = 0x02;
+constexpr std::uint8_t kTagDevice = 0x03;
+
+}  // namespace
+
+std::vector<std::uint8_t> IdentityCertificate::CanonicalBytes() const {
+  net::ByteWriter w;
+  w.U8(kTagIdentity);
+  w.String(holder_name);
+  w.U64(card_id);
+  w.Blob(master_key.Serialize());
+  return w.Take();
+}
+
+std::vector<std::uint8_t> IdentityCertificate::Serialize() const {
+  net::ByteWriter w;
+  w.String(holder_name);
+  w.U64(card_id);
+  w.Blob(master_key.Serialize());
+  w.Blob(ca_signature);
+  return w.Take();
+}
+
+IdentityCertificate IdentityCertificate::Deserialize(
+    const std::vector<std::uint8_t>& b) {
+  net::ByteReader r(b);
+  IdentityCertificate cert;
+  cert.holder_name = r.String();
+  cert.card_id = r.U64();
+  cert.master_key = crypto::RsaPublicKey::Deserialize(r.Blob());
+  cert.ca_signature = r.Blob();
+  r.ExpectEnd();
+  return cert;
+}
+
+std::vector<std::uint8_t> PseudonymCertificate::CanonicalBytes() const {
+  net::ByteWriter w;
+  w.U8(kTagPseudonym);
+  w.Blob(pseudonym_key.Serialize());
+  w.Blob(escrow);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> PseudonymCertificate::Serialize() const {
+  net::ByteWriter w;
+  w.Blob(pseudonym_key.Serialize());
+  w.Blob(escrow);
+  w.Blob(ca_signature);
+  return w.Take();
+}
+
+PseudonymCertificate PseudonymCertificate::Deserialize(
+    const std::vector<std::uint8_t>& b) {
+  net::ByteReader r(b);
+  PseudonymCertificate cert;
+  cert.pseudonym_key = crypto::RsaPublicKey::Deserialize(r.Blob());
+  cert.escrow = r.Blob();
+  cert.ca_signature = r.Blob();
+  r.ExpectEnd();
+  return cert;
+}
+
+std::vector<std::uint8_t> DeviceCertificate::CanonicalBytes() const {
+  net::ByteWriter w;
+  w.U8(kTagDevice);
+  w.Fixed(device_id);
+  w.Blob(device_key.Serialize());
+  w.U8(security_level);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> DeviceCertificate::Serialize() const {
+  net::ByteWriter w;
+  w.Fixed(device_id);
+  w.Blob(device_key.Serialize());
+  w.U8(security_level);
+  w.Blob(ca_signature);
+  return w.Take();
+}
+
+DeviceCertificate DeviceCertificate::Deserialize(
+    const std::vector<std::uint8_t>& b) {
+  net::ByteReader r(b);
+  DeviceCertificate cert;
+  cert.device_id = r.Fixed<32>();
+  cert.device_key = crypto::RsaPublicKey::Deserialize(r.Blob());
+  cert.security_level = r.U8();
+  cert.ca_signature = r.Blob();
+  r.ExpectEnd();
+  return cert;
+}
+
+bool VerifyIdentityCert(const crypto::RsaPublicKey& ca_key,
+                        const IdentityCertificate& cert) {
+  return crypto::RsaVerifyFdh(ca_key, cert.CanonicalBytes(),
+                              cert.ca_signature);
+}
+
+bool VerifyPseudonymCert(const crypto::RsaPublicKey& ca_key,
+                         const PseudonymCertificate& cert) {
+  return crypto::RsaVerifyFdh(ca_key, cert.CanonicalBytes(),
+                              cert.ca_signature);
+}
+
+bool VerifyDeviceCert(const crypto::RsaPublicKey& ca_key,
+                      const DeviceCertificate& cert) {
+  return crypto::RsaVerifyFdh(ca_key, cert.CanonicalBytes(),
+                              cert.ca_signature);
+}
+
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,85 @@
+#ifndef P2DRM_CORE_CERTIFICATES_H_
+#define P2DRM_CORE_CERTIFICATES_H_
+
+/// \file certificates.h
+/// \brief Certificate structures of the P2DRM PKI.
+///
+/// Three certificate flavours exist in the scheme:
+///  * IdentityCertificate — issued by the CA at enrolment, binds a card's
+///    real identity to its master public key. Never shown to the content
+///    provider.
+///  * PseudonymCertificate — a CA blind-signature over a fresh pseudonym
+///    public key plus an identity escrow. Shown at purchase; unlinkable to
+///    the identity and to other pseudonyms of the same card.
+///  * DeviceCertificate — binds a device id to its key and security level;
+///    subject to revocation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/rsa.h"
+#include "net/codec.h"
+#include "rel/ids.h"
+
+namespace p2drm {
+namespace core {
+
+/// Card identity certificate (enrolment output).
+struct IdentityCertificate {
+  std::string holder_name;         ///< real-world identity (enrolment only)
+  std::uint64_t card_id = 0;       ///< CA-assigned card number
+  crypto::RsaPublicKey master_key; ///< card master public key
+  std::vector<std::uint8_t> ca_signature;
+
+  std::vector<std::uint8_t> CanonicalBytes() const;
+  std::vector<std::uint8_t> Serialize() const;
+  static IdentityCertificate Deserialize(const std::vector<std::uint8_t>& b);
+};
+
+/// Pseudonym certificate: what a buyer shows the content provider.
+///
+/// The CA signature covers pseudonym_key ‖ escrow, but was produced
+/// *blindly* — the CA never saw either, so certificates from the same card
+/// are mutually unlinkable. The escrow decrypts (under the TTP key) to the
+/// card id, enabling fraud-triggered de-anonymization.
+struct PseudonymCertificate {
+  crypto::RsaPublicKey pseudonym_key;
+  std::vector<std::uint8_t> escrow;  ///< Enc_TTP(card_id ‖ nonce)
+  std::vector<std::uint8_t> ca_signature;
+
+  /// The byte string the CA's blind signature covers.
+  std::vector<std::uint8_t> CanonicalBytes() const;
+  std::vector<std::uint8_t> Serialize() const;
+  static PseudonymCertificate Deserialize(const std::vector<std::uint8_t>& b);
+
+  /// Fingerprint of the pseudonym key (license binding target).
+  rel::KeyFingerprint KeyId() const { return pseudonym_key.Fingerprint(); }
+};
+
+/// Compliant-device certificate.
+struct DeviceCertificate {
+  rel::DeviceId device_id{};
+  crypto::RsaPublicKey device_key;
+  std::uint8_t security_level = 0;
+  std::vector<std::uint8_t> ca_signature;
+
+  std::vector<std::uint8_t> CanonicalBytes() const;
+  std::vector<std::uint8_t> Serialize() const;
+  static DeviceCertificate Deserialize(const std::vector<std::uint8_t>& b);
+};
+
+/// Verifies \p cert's CA signature (identity flavour).
+bool VerifyIdentityCert(const crypto::RsaPublicKey& ca_key,
+                        const IdentityCertificate& cert);
+/// Verifies \p cert's CA signature (pseudonym flavour).
+bool VerifyPseudonymCert(const crypto::RsaPublicKey& ca_key,
+                         const PseudonymCertificate& cert);
+/// Verifies \p cert's CA signature (device flavour).
+bool VerifyDeviceCert(const crypto::RsaPublicKey& ca_key,
+                      const DeviceCertificate& cert);
+
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_CERTIFICATES_H_

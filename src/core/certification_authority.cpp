@@ -1,0 +1,68 @@
+#include "core/certification_authority.h"
+
+#include <stdexcept>
+
+#include "core/metrics.h"
+#include "crypto/blind_rsa.h"
+#include "crypto/sha256.h"
+
+namespace p2drm {
+namespace core {
+
+CertificationAuthority::CertificationAuthority(std::size_t modulus_bits,
+                                               bignum::RandomSource* rng)
+    : key_(crypto::GenerateRsaKey(modulus_bits, rng)),
+      public_key_(key_.PublicKey()) {
+  GlobalOps().keygen += 1;
+}
+
+IdentityCertificate CertificationAuthority::Enrol(
+    const std::string& holder_name, const crypto::RsaPublicKey& master_key) {
+  IdentityCertificate cert;
+  cert.holder_name = holder_name;
+  cert.card_id = next_card_id_++;
+  cert.master_key = master_key;
+  cert.ca_signature = crypto::RsaSignFdh(key_, cert.CanonicalBytes());
+  GlobalOps().sign += 1;
+  card_holders_[cert.card_id] = holder_name;
+  return cert;
+}
+
+bignum::BigInt CertificationAuthority::SignPseudonymBlinded(
+    std::uint64_t card_id, const bignum::BigInt& blinded) {
+  auto it = card_holders_.find(card_id);
+  if (it == card_holders_.end()) {
+    throw std::invalid_argument("CA: unknown card id");
+  }
+  pseudonym_counts_[card_id] += 1;
+  GlobalOps().blind_sign += 1;
+  return crypto::SignBlinded(key_, blinded);
+}
+
+DeviceCertificate CertificationAuthority::CertifyDevice(
+    const crypto::RsaPublicKey& device_key, std::uint8_t security_level) {
+  DeviceCertificate cert;
+  cert.device_id = device_key.Fingerprint();
+  cert.device_key = device_key;
+  cert.security_level = security_level;
+  cert.ca_signature = crypto::RsaSignFdh(key_, cert.CanonicalBytes());
+  GlobalOps().sign += 1;
+  return cert;
+}
+
+std::uint64_t CertificationAuthority::PseudonymsIssued(
+    std::uint64_t card_id) const {
+  auto it = pseudonym_counts_.find(card_id);
+  return it == pseudonym_counts_.end() ? 0 : it->second;
+}
+
+std::string CertificationAuthority::HolderName(std::uint64_t card_id) const {
+  auto it = card_holders_.find(card_id);
+  if (it == card_holders_.end()) {
+    throw std::invalid_argument("CA: unknown card id");
+  }
+  return it->second;
+}
+
+}  // namespace core
+}  // namespace p2drm

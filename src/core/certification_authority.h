@@ -1,0 +1,74 @@
+#ifndef P2DRM_CORE_CERTIFICATION_AUTHORITY_H_
+#define P2DRM_CORE_CERTIFICATION_AUTHORITY_H_
+
+/// \file certification_authority.h
+/// \brief The Certification Authority (CA).
+///
+/// The CA enrols smart cards (binding real identities to master keys),
+/// certifies compliant devices, and — crucially for the paper — signs
+/// pseudonym certificates *blindly*. The blind signature guarantees that
+/// even a CA colluding with the content provider cannot link a pseudonym
+/// certificate shown at purchase back to the enrolment session that
+/// produced it.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "bignum/bigint.h"
+#include "bignum/random_source.h"
+#include "core/certificates.h"
+#include "crypto/rsa.h"
+
+namespace p2drm {
+namespace core {
+
+/// Certification authority actor.
+class CertificationAuthority {
+ public:
+  /// \param modulus_bits size of the CA signing key
+  /// \param rng randomness for key generation
+  CertificationAuthority(std::size_t modulus_bits,
+                         bignum::RandomSource* rng);
+
+  /// CA verification key, known to every actor.
+  const crypto::RsaPublicKey& PublicKey() const { return public_key_; }
+
+  /// Enrols a card: assigns a card id and certifies the master key.
+  /// Identity proofing happens out of band (simulated).
+  IdentityCertificate Enrol(const std::string& holder_name,
+                            const crypto::RsaPublicKey& master_key);
+
+  /// Blindly signs a pseudonym-certificate request. The CA checks that the
+  /// requester holds a valid identity certificate (authenticated channel)
+  /// but learns nothing about the pseudonym being certified.
+  /// Throws std::invalid_argument for unknown cards.
+  bignum::BigInt SignPseudonymBlinded(std::uint64_t card_id,
+                                      const bignum::BigInt& blinded);
+
+  /// Certifies a compliant device at \p security_level.
+  DeviceCertificate CertifyDevice(const crypto::RsaPublicKey& device_key,
+                                  std::uint8_t security_level);
+
+  /// Number of enrolled cards.
+  std::uint64_t EnrolledCards() const { return next_card_id_ - 1; }
+
+  /// Blind signatures issued per card (rate-limiting / audit hook).
+  std::uint64_t PseudonymsIssued(std::uint64_t card_id) const;
+
+  /// Looks up the holder name for a card id (fraud handling only; in a
+  /// deployment this would sit behind a legal process).
+  std::string HolderName(std::uint64_t card_id) const;
+
+ private:
+  crypto::RsaPrivateKey key_;
+  crypto::RsaPublicKey public_key_;
+  std::uint64_t next_card_id_ = 1;
+  std::map<std::uint64_t, std::string> card_holders_;
+  std::map<std::uint64_t, std::uint64_t> pseudonym_counts_;
+};
+
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_CERTIFICATION_AUTHORITY_H_

@@ -1,0 +1,38 @@
+#ifndef P2DRM_CORE_CLOCK_H_
+#define P2DRM_CORE_CLOCK_H_
+
+/// \file clock.h
+/// \brief Injectable time source so rental expiry and audit timestamps are
+/// deterministic in tests and simulations.
+
+#include <cstdint>
+
+namespace p2drm {
+namespace core {
+
+/// Abstract seconds-since-epoch clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::uint64_t NowEpochSeconds() const = 0;
+};
+
+/// Manually-advanced clock for tests and simulations.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(std::uint64_t start_epoch_s = 1'700'000'000ull)
+      : now_(start_epoch_s) {}
+
+  std::uint64_t NowEpochSeconds() const override { return now_; }
+
+  void Advance(std::uint64_t seconds) { now_ += seconds; }
+  void Set(std::uint64_t epoch_s) { now_ = epoch_s; }
+
+ private:
+  std::uint64_t now_;
+};
+
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_CLOCK_H_

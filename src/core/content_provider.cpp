@@ -1,0 +1,317 @@
+#include "core/content_provider.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "core/metrics.h"
+#include "crypto/chacha20.h"
+#include "net/codec.h"
+
+namespace p2drm {
+namespace core {
+
+namespace {
+
+/// Merchant account name at the bank.
+constexpr const char* kMerchantAccount = "cp";
+
+}  // namespace
+
+ContentProvider::ContentProvider(const ContentProviderConfig& config,
+                                 bignum::RandomSource* rng, const Clock* clock,
+                                 PaymentProvider* bank,
+                                 crypto::RsaPublicKey ca_key)
+    : config_(config),
+      rng_(rng),
+      clock_(clock),
+      bank_(bank),
+      ca_key_(std::move(ca_key)),
+      key_(crypto::GenerateRsaKey(config.signing_key_bits, rng)),
+      public_key_(key_.PublicKey()),
+      spent_(config.spent_backend),
+      crl_(config.crl_strategy, config.expected_crl_entries) {
+  GlobalOps().keygen += 1;
+  if (bank_ != nullptr) bank_->OpenAccount(kMerchantAccount, 0);
+  if (!config_.spent_journal_path.empty()) {
+    // Crash recovery: rebuild the spent set from the journal, then reopen
+    // the journal for appending.
+    store::AppendLog::Replay(
+        config_.spent_journal_path,
+        [this](const std::vector<std::uint8_t>& record) {
+          if (record.size() != 16) return;
+          rel::LicenseId id;
+          std::copy(record.begin(), record.end(), id.bytes.begin());
+          spent_.Insert(id);
+        });
+    spent_journal_ =
+        std::make_unique<store::AppendLog>(config_.spent_journal_path);
+  }
+}
+
+rel::ContentId ContentProvider::Publish(
+    const std::string& title, const std::vector<std::uint8_t>& plaintext,
+    std::uint64_t price, const rel::Rights& rights) {
+  CatalogEntry entry;
+  entry.offer.content_id = next_content_id_++;
+  entry.offer.title = title;
+  entry.offer.price = price;
+  entry.offer.rights = rights;
+
+  rng_->Fill(entry.content_key.data(), entry.content_key.size());
+  entry.encrypted.content_id = entry.offer.content_id;
+  rng_->Fill(entry.encrypted.nonce.data(), entry.encrypted.nonce.size());
+  crypto::ChaCha20 cipher(entry.content_key, entry.encrypted.nonce);
+  entry.encrypted.ciphertext = cipher.Crypt(plaintext);
+
+  rel::ContentId id = entry.offer.content_id;
+  catalog_.emplace(id, std::move(entry));
+  return id;
+}
+
+std::vector<Offer> ContentProvider::Catalog() const {
+  std::vector<Offer> offers;
+  offers.reserve(catalog_.size());
+  for (const auto& [id, entry] : catalog_) {
+    (void)id;
+    offers.push_back(entry.offer);
+  }
+  return offers;
+}
+
+std::optional<Offer> ContentProvider::FindOffer(rel::ContentId id) const {
+  auto it = catalog_.find(id);
+  if (it == catalog_.end()) return std::nullopt;
+  return it->second.offer;
+}
+
+const EncryptedContent& ContentProvider::GetContent(rel::ContentId id) const {
+  auto it = catalog_.find(id);
+  if (it == catalog_.end()) {
+    throw std::out_of_range("ContentProvider: unknown content id");
+  }
+  return it->second.encrypted;
+}
+
+rel::LicenseId ContentProvider::FreshLicenseId() {
+  rel::LicenseId id;
+  rng_->Fill(id.bytes.data(), id.bytes.size());
+  return id;
+}
+
+rel::License ContentProvider::IssueLicense(
+    rel::LicenseKind kind, rel::ContentId content_id,
+    const rel::Rights& rights, const crypto::RsaPublicKey* bound_key) {
+  auto it = catalog_.find(content_id);
+  if (it == catalog_.end()) {
+    throw std::out_of_range("ContentProvider: unknown content id");
+  }
+  rel::License lic;
+  lic.id = FreshLicenseId();
+  lic.kind = kind;
+  lic.content_id = content_id;
+  lic.rights = rights;
+  lic.issued_at_s = clock_->NowEpochSeconds();
+  if (kind == rel::LicenseKind::kUserBound) {
+    lic.bound_key = bound_key->Fingerprint();
+    issued_keys_.emplace(lic.bound_key, *bound_key);
+    std::vector<std::uint8_t> ck(it->second.content_key.begin(),
+                                 it->second.content_key.end());
+    GlobalOps().hybrid_enc += 1;
+    lic.wrapped_content_key =
+        crypto::RsaHybridEncrypt(*bound_key, ck, rng_).Serialize();
+  }
+  GlobalOps().sign += 1;
+  lic.issuer_signature = crypto::RsaSignFdh(key_, lic.CanonicalBytes());
+  ++licenses_issued_;
+  return lic;
+}
+
+ContentProvider::PurchaseResult ContentProvider::Purchase(
+    const PseudonymCertificate& buyer, rel::ContentId content_id,
+    const std::vector<Coin>& payment) {
+  PurchaseResult result;
+
+  GlobalOps().verify += 1;
+  if (!VerifyPseudonymCert(ca_key_, buyer)) {
+    result.status = Status::kBadCertificate;
+    return result;
+  }
+  if (crl_.IsRevoked(buyer.KeyId())) {
+    result.status = Status::kRevoked;
+    return result;
+  }
+  auto offer = FindOffer(content_id);
+  if (!offer.has_value()) {
+    result.status = Status::kUnknownContent;
+    return result;
+  }
+  std::uint64_t paid = std::accumulate(
+      payment.begin(), payment.end(), std::uint64_t{0},
+      [](std::uint64_t acc, const Coin& c) { return acc + c.denomination; });
+  if (paid != offer->price) {
+    result.status = Status::kWrongPrice;
+    return result;
+  }
+  // Deposit the coins. A failure mid-way rejects the purchase; already-
+  // deposited coins stay deposited (the buyer attempted fraud or sent a
+  // bad coin — the paper's bearer-instrument semantics).
+  for (const Coin& coin : payment) {
+    Status s = bank_->Deposit(coin, kMerchantAccount);
+    if (s != Status::kOk) {
+      result.status = s;
+      return result;
+    }
+  }
+
+  pseudonyms_seen_.insert(buyer.KeyId());
+  result.license = IssueLicense(rel::LicenseKind::kUserBound, content_id,
+                                offer->rights, &buyer.pseudonym_key);
+  result.status = Status::kOk;
+  return result;
+}
+
+std::vector<std::uint8_t> ContentProvider::TransferChallengeBytes(
+    const rel::LicenseId& id) {
+  net::ByteWriter w;
+  w.U8(0x31);  // domain tag: transfer possession proof
+  w.Fixed(id.bytes);
+  return w.Take();
+}
+
+bool ContentProvider::MarkSpent(const rel::LicenseId& id) {
+  if (!spent_.Insert(id)) return false;
+  if (spent_journal_ != nullptr) {
+    spent_journal_->Append(
+        std::vector<std::uint8_t>(id.bytes.begin(), id.bytes.end()));
+  }
+  return true;
+}
+
+ContentProvider::ExchangeResult ContentProvider::ExchangeForAnonymous(
+    const rel::License& license,
+    const std::vector<std::uint8_t>& possession_sig) {
+  ExchangeResult result;
+
+  // The license must be ours, key-bound, and transferable.
+  GlobalOps().verify += 1;
+  if (!crypto::RsaVerifyFdh(public_key_, license.CanonicalBytes(),
+                            license.issuer_signature)) {
+    result.status = Status::kBadSignature;
+    return result;
+  }
+  if (license.kind != rel::LicenseKind::kUserBound) {
+    result.status = Status::kBadRequest;
+    return result;
+  }
+  if (!license.rights.allow_transfer) {
+    result.status = Status::kNotTransferable;
+    return result;
+  }
+  if (crl_.IsRevoked(license.bound_key)) {
+    result.status = Status::kRevoked;
+    return result;
+  }
+
+  // Possession proof: the giver's card signs the transfer challenge with
+  // the pseudonym key the license is bound to. The CP learns only that the
+  // caller holds that key, not who they are. The verification key is the
+  // one the license was issued against, remembered by fingerprint.
+  auto key_it = issued_keys_.find(license.bound_key);
+  if (key_it == issued_keys_.end()) {
+    result.status = Status::kBadRequest;
+    return result;
+  }
+  GlobalOps().verify += 1;
+  if (!crypto::RsaVerifyFdh(key_it->second,
+                            TransferChallengeBytes(license.id),
+                            possession_sig)) {
+    result.status = Status::kBadSignature;
+    return result;
+  }
+
+  // Retire the old license; a spent id can never be exchanged again.
+  if (!MarkSpent(license.id)) {
+    result.status = Status::kAlreadySpent;
+    return result;
+  }
+
+  result.anonymous_license = IssueLicense(
+      rel::LicenseKind::kAnonymous, license.content_id, license.rights,
+      nullptr);
+  result.status = Status::kOk;
+  return result;
+}
+
+RedemptionTranscript ContentProvider::MakeTranscript(
+    const rel::LicenseId& id, const PseudonymCertificate& cert) {
+  RedemptionTranscript t;
+  t.license_id = id;
+  t.pseudonym_cert = cert.Serialize();
+  t.timestamp_s = clock_->NowEpochSeconds();
+  GlobalOps().sign += 1;
+  t.cp_signature = crypto::RsaSignFdh(key_, t.CanonicalBytes());
+  return t;
+}
+
+ContentProvider::PurchaseResult ContentProvider::RedeemAnonymous(
+    const rel::License& anonymous_license, const PseudonymCertificate& taker) {
+  PurchaseResult result;
+
+  GlobalOps().verify += 1;
+  if (!crypto::RsaVerifyFdh(public_key_, anonymous_license.CanonicalBytes(),
+                            anonymous_license.issuer_signature)) {
+    result.status = Status::kBadSignature;
+    return result;
+  }
+  if (anonymous_license.kind != rel::LicenseKind::kAnonymous) {
+    result.status = Status::kBadRequest;
+    return result;
+  }
+  GlobalOps().verify += 1;
+  if (!VerifyPseudonymCert(ca_key_, taker)) {
+    result.status = Status::kBadCertificate;
+    return result;
+  }
+  if (crl_.IsRevoked(taker.KeyId())) {
+    result.status = Status::kRevoked;
+    return result;
+  }
+
+  RedemptionTranscript transcript =
+      MakeTranscript(anonymous_license.id, taker);
+
+  if (!MarkSpent(anonymous_license.id)) {
+    // Double redemption: build fraud evidence from the first transcript.
+    ++double_redemptions_;
+    auto first = redemption_transcripts_.find(anonymous_license.id);
+    if (first != redemption_transcripts_.end()) {
+      FraudEvidence evidence;
+      evidence.first = first->second;
+      evidence.second = transcript;
+      fraud_queue_.push_back(std::move(evidence));
+    }
+    result.status = Status::kAlreadySpent;
+    return result;
+  }
+  redemption_transcripts_.emplace(anonymous_license.id, transcript);
+
+  pseudonyms_seen_.insert(taker.KeyId());
+  result.license =
+      IssueLicense(rel::LicenseKind::kUserBound, anonymous_license.content_id,
+                   anonymous_license.rights, &taker.pseudonym_key);
+  result.status = Status::kOk;
+  return result;
+}
+
+void ContentProvider::Revoke(const rel::KeyFingerprint& key_id) {
+  crl_.Revoke(key_id);
+}
+
+std::vector<FraudEvidence> ContentProvider::TakeFraudEvidence() {
+  std::vector<FraudEvidence> out = std::move(fraud_queue_);
+  fraud_queue_.clear();
+  return out;
+}
+
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,194 @@
+#ifndef P2DRM_CORE_CONTENT_PROVIDER_H_
+#define P2DRM_CORE_CONTENT_PROVIDER_H_
+
+/// \file content_provider.h
+/// \brief The content provider (CP): catalog, license issuance, anonymous
+/// license exchange, and fraud handling.
+///
+/// Privacy posture: on the P2DRM paths the CP sees pseudonym certificates
+/// and bearer coins only. Its persistent state — the spent-license set and
+/// the redemption journal — contains no user identities. The identified
+/// knowledge it *could* accumulate is exactly what the baseline
+/// implementation (baseline/identified_drm.h) records, and the RF-4 bench
+/// compares the two.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bignum/random_source.h"
+#include "core/certificates.h"
+#include "core/clock.h"
+#include "core/errors.h"
+#include "core/payment.h"
+#include "core/ttp.h"
+#include "crypto/rsa.h"
+#include "rel/license.h"
+#include "store/append_log.h"
+#include "store/revocation_list.h"
+#include "store/spent_set.h"
+
+namespace p2drm {
+namespace core {
+
+/// Content as distributed: ChaCha20-encrypted body plus its nonce.
+/// Freely copyable — useless without a license.
+struct EncryptedContent {
+  rel::ContentId content_id = 0;
+  std::array<std::uint8_t, 12> nonce{};
+  std::vector<std::uint8_t> ciphertext;
+};
+
+/// A catalog entry as advertised to buyers.
+struct Offer {
+  rel::ContentId content_id = 0;
+  std::string title;
+  std::uint64_t price = 0;
+  rel::Rights rights;
+};
+
+/// Content provider configuration.
+struct ContentProviderConfig {
+  std::size_t signing_key_bits = 1024;
+  store::SpentSetBackend spent_backend = store::SpentSetBackend::kHashSet;
+  store::CrlStrategy crl_strategy = store::CrlStrategy::kBloomFronted;
+  std::size_t expected_crl_entries = 1024;
+  /// When non-empty, every spent license id is journaled here and the
+  /// spent set is rebuilt from the journal at construction.
+  std::string spent_journal_path;
+};
+
+/// The content provider actor.
+class ContentProvider {
+ public:
+  /// \param bank where coins are deposited (merchant account "cp")
+  /// \param ca_key trusted CA verification key
+  ContentProvider(const ContentProviderConfig& config,
+                  bignum::RandomSource* rng, const Clock* clock,
+                  PaymentProvider* bank, crypto::RsaPublicKey ca_key);
+
+  /// License/transcript verification key.
+  const crypto::RsaPublicKey& PublicKey() const { return public_key_; }
+
+  // -- catalog ------------------------------------------------------------
+
+  /// Encrypts and publishes \p plaintext; returns its content id.
+  rel::ContentId Publish(const std::string& title,
+                         const std::vector<std::uint8_t>& plaintext,
+                         std::uint64_t price, const rel::Rights& rights);
+
+  std::vector<Offer> Catalog() const;
+  std::optional<Offer> FindOffer(rel::ContentId id) const;
+
+  /// The encrypted content blob (available to anyone; superdistribution).
+  const EncryptedContent& GetContent(rel::ContentId id) const;
+
+  // -- purchase (P2DRM path) -----------------------------------------------
+
+  struct PurchaseResult {
+    Status status = Status::kBadRequest;
+    rel::License license;  ///< valid when status == kOk
+  };
+
+  /// Anonymous purchase: verifies the pseudonym certificate, checks the
+  /// CRL, deposits the coins, and issues a license bound to the pseudonym
+  /// key with the content key wrapped to it.
+  PurchaseResult Purchase(const PseudonymCertificate& buyer,
+                          rel::ContentId content_id,
+                          const std::vector<Coin>& payment);
+
+  // -- private transfer ----------------------------------------------------
+
+  struct ExchangeResult {
+    Status status = Status::kBadRequest;
+    rel::License anonymous_license;  ///< valid when status == kOk
+  };
+
+  /// Giver side of a transfer: swaps a transferable key-bound license for
+  /// an anonymous bearer license. \p possession_sig is the pseudonym-key
+  /// signature over TransferChallengeBytes(license.id).
+  ExchangeResult ExchangeForAnonymous(
+      const rel::License& license,
+      const std::vector<std::uint8_t>& possession_sig);
+
+  /// Taker side: redeems an anonymous license for a key-bound one. Exactly
+  /// one redemption per license id; the second attempt yields
+  /// kAlreadySpent *and* a fraud-evidence record.
+  PurchaseResult RedeemAnonymous(const rel::License& anonymous_license,
+                                 const PseudonymCertificate& taker);
+
+  /// The challenge a giver's card must sign to prove key possession.
+  static std::vector<std::uint8_t> TransferChallengeBytes(
+      const rel::LicenseId& id);
+
+  // -- revocation & fraud ---------------------------------------------------
+
+  const store::RevocationList& Crl() const { return crl_; }
+
+  /// Revokes a pseudonym key (or device id) directly.
+  void Revoke(const rel::KeyFingerprint& key_id);
+
+  /// Fraud evidence accumulated from double-redemption attempts, ready to
+  /// hand to the TTP. Calling this drains the queue.
+  std::vector<FraudEvidence> TakeFraudEvidence();
+
+  // -- introspection --------------------------------------------------------
+
+  std::size_t SpentSetSize() const { return spent_.Size(); }
+  std::uint64_t LicensesIssued() const { return licenses_issued_; }
+  std::uint64_t DoubleRedemptionAttempts() const {
+    return double_redemptions_;
+  }
+  /// Number of distinct pseudonyms seen across all operations — the upper
+  /// bound on what a curious CP can profile (RF-4).
+  std::size_t DistinctPseudonymsSeen() const { return pseudonyms_seen_.size(); }
+
+ private:
+  rel::License IssueLicense(rel::LicenseKind kind, rel::ContentId content_id,
+                            const rel::Rights& rights,
+                            const crypto::RsaPublicKey* bound_key);
+  rel::LicenseId FreshLicenseId();
+  RedemptionTranscript MakeTranscript(const rel::LicenseId& id,
+                                      const PseudonymCertificate& cert);
+  bool MarkSpent(const rel::LicenseId& id);
+
+  ContentProviderConfig config_;
+  bignum::RandomSource* rng_;
+  const Clock* clock_;
+  PaymentProvider* bank_;
+  crypto::RsaPublicKey ca_key_;
+  crypto::RsaPrivateKey key_;
+  crypto::RsaPublicKey public_key_;
+
+  struct CatalogEntry {
+    Offer offer;
+    std::array<std::uint8_t, 32> content_key;
+    EncryptedContent encrypted;
+  };
+  std::map<rel::ContentId, CatalogEntry> catalog_;
+  rel::ContentId next_content_id_ = 1;
+
+  store::SpentSet spent_;
+  std::unique_ptr<store::AppendLog> spent_journal_;
+  store::RevocationList crl_;
+  // First-seen transcript per redeemed license id (fraud evidence basis).
+  std::map<rel::LicenseId, RedemptionTranscript> redemption_transcripts_;
+  std::vector<FraudEvidence> fraud_queue_;
+  std::set<rel::KeyFingerprint> pseudonyms_seen_;
+  // Pseudonym keys licenses were bound to, by fingerprint. Needed to verify
+  // transfer possession proofs (the license itself carries only the
+  // fingerprint).
+  std::map<rel::KeyFingerprint, crypto::RsaPublicKey> issued_keys_;
+
+  std::uint64_t licenses_issued_ = 0;
+  std::uint64_t double_redemptions_ = 0;
+};
+
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_CONTENT_PROVIDER_H_

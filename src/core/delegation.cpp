@@ -1,0 +1,108 @@
+#include "core/delegation.h"
+
+#include "core/metrics.h"
+
+namespace p2drm {
+namespace core {
+
+std::vector<std::uint8_t> DelegationLicense::CanonicalBytes() const {
+  net::ByteWriter w;
+  w.U8(0x41);  // domain tag: delegation license
+  w.Fixed(id.bytes);
+  w.Fixed(parent_id.bytes);
+  w.Fixed(delegator);
+  w.Fixed(delegate);
+  restrictions.Encode(&w);
+  w.U64(created_at_s);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> DelegationLicense::Serialize() const {
+  net::ByteWriter w;
+  w.Fixed(id.bytes);
+  w.Fixed(parent_id.bytes);
+  w.Fixed(delegator);
+  w.Fixed(delegate);
+  restrictions.Encode(&w);
+  w.U64(created_at_s);
+  w.Blob(delegator_signature);
+  return w.Take();
+}
+
+DelegationLicense DelegationLicense::Deserialize(
+    const std::vector<std::uint8_t>& b) {
+  net::ByteReader r(b);
+  DelegationLicense d;
+  d.id.bytes = r.Fixed<16>();
+  d.parent_id.bytes = r.Fixed<16>();
+  d.delegator = r.Fixed<32>();
+  d.delegate = r.Fixed<32>();
+  d.restrictions = rel::Rights::Decode(&r);
+  d.created_at_s = r.U64();
+  d.delegator_signature = r.Blob();
+  r.ExpectEnd();
+  return d;
+}
+
+const char* DelegationCheckName(DelegationCheck c) {
+  switch (c) {
+    case DelegationCheck::kOk: return "ok";
+    case DelegationCheck::kWrongParent: return "wrong-parent";
+    case DelegationCheck::kBadSignature: return "bad-signature";
+    case DelegationCheck::kNotDelegable: return "not-delegable";
+  }
+  return "unknown";
+}
+
+bool CreateDelegation(SmartCard* delegator_card, const rel::License& parent,
+                      const rel::KeyFingerprint& delegate,
+                      const rel::Rights& restrictions,
+                      std::uint64_t now_epoch_s, bignum::RandomSource* rng,
+                      DelegationLicense* out) {
+  DelegationLicense d;
+  rng->Fill(d.id.bytes.data(), d.id.bytes.size());
+  d.parent_id = parent.id;
+  d.delegator = parent.bound_key;
+  d.delegate = delegate;
+  d.restrictions = restrictions;
+  d.created_at_s = now_epoch_s;
+  d.delegator_signature =
+      delegator_card->SignWithPseudonym(parent.bound_key, d.CanonicalBytes());
+  if (d.delegator_signature.empty()) return false;
+  *out = std::move(d);
+  return true;
+}
+
+DelegationCheck ValidateDelegation(const DelegationLicense& delegation,
+                                   const rel::License& parent,
+                                   const crypto::RsaPublicKey& delegator_key) {
+  if (delegation.parent_id != parent.id ||
+      delegation.delegator != parent.bound_key ||
+      delegator_key.Fingerprint() != parent.bound_key) {
+    return DelegationCheck::kWrongParent;
+  }
+  GlobalOps().verify += 1;
+  if (!crypto::RsaVerifyFdh(delegator_key, delegation.CanonicalBytes(),
+                            delegation.delegator_signature)) {
+    return DelegationCheck::kBadSignature;
+  }
+  // A delegation is only meaningful when the parent can render at all.
+  if (!parent.rights.allow_play && !parent.rights.allow_display) {
+    return DelegationCheck::kNotDelegable;
+  }
+  return DelegationCheck::kOk;
+}
+
+rel::Rights EffectiveRights(const DelegationLicense& delegation,
+                            const rel::License& parent) {
+  rel::Rights effective =
+      rel::Rights::Intersect(parent.rights, delegation.restrictions);
+  // Delegates never inherit transfer/copy even if the restriction forgot
+  // to clear them — delegation is use, not ownership.
+  effective.allow_transfer = false;
+  effective.allow_copy = false;
+  return effective;
+}
+
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,79 @@
+#ifndef P2DRM_CORE_DELEGATION_H_
+#define P2DRM_CORE_DELEGATION_H_
+
+/// \file delegation.h
+/// \brief Star licenses: user-attributed restrictions on licenses.
+///
+/// The follow-up work to the P2DRM paper ("User-Attributed Rights in
+/// DRM") lets a license *holder* — not the provider — attach further
+/// restrictions when letting someone else use their content: a parent
+/// capping a child's plays, an owner lending with an expiry. The
+/// mechanism is a delegation ("star") license: a statement signed with
+/// the pseudonym key the parent license is bound to, naming a delegate
+/// and a restriction. Compliant devices enforce the *intersection* of
+/// the parent rights and the restriction, so delegation can only ever
+/// narrow what the provider granted.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/smartcard.h"
+#include "crypto/rsa.h"
+#include "net/codec.h"
+#include "rel/ids.h"
+#include "rel/license.h"
+#include "rel/rights.h"
+
+namespace p2drm {
+namespace core {
+
+/// A user-issued delegation license.
+struct DelegationLicense {
+  rel::LicenseId id;            ///< unique id of this delegation
+  rel::LicenseId parent_id;     ///< the provider license being restricted
+  rel::KeyFingerprint delegator;  ///< == parent license bound key
+  /// Identifier of the delegate (a card master-key fingerprint, a named
+  /// profile hash — opaque to the enforcement logic).
+  rel::KeyFingerprint delegate;
+  rel::Rights restrictions;     ///< effective rights = parent ∩ restrictions
+  std::uint64_t created_at_s = 0;
+  std::vector<std::uint8_t> delegator_signature;
+
+  std::vector<std::uint8_t> CanonicalBytes() const;
+  std::vector<std::uint8_t> Serialize() const;
+  static DelegationLicense Deserialize(const std::vector<std::uint8_t>& b);
+};
+
+/// Validation outcome for a delegation against its parent license.
+enum class DelegationCheck : std::uint8_t {
+  kOk = 0,
+  kWrongParent = 1,     ///< parent id / delegator key mismatch
+  kBadSignature = 2,    ///< not signed by the parent's bound key
+  kNotDelegable = 3,    ///< parent rights do not include play at all
+};
+
+const char* DelegationCheckName(DelegationCheck c);
+
+/// Builds and signs a delegation with the delegator's card. Returns false
+/// when the card does not hold the pseudonym the parent is bound to.
+bool CreateDelegation(SmartCard* delegator_card, const rel::License& parent,
+                      const rel::KeyFingerprint& delegate,
+                      const rel::Rights& restrictions,
+                      std::uint64_t now_epoch_s, bignum::RandomSource* rng,
+                      DelegationLicense* out);
+
+/// Verifies a delegation against its parent license and the delegator's
+/// public key (the key the provider bound the parent license to).
+DelegationCheck ValidateDelegation(const DelegationLicense& delegation,
+                                   const rel::License& parent,
+                                   const crypto::RsaPublicKey& delegator_key);
+
+/// The rights a delegate actually enjoys: parent ∩ restrictions.
+rel::Rights EffectiveRights(const DelegationLicense& delegation,
+                            const rel::License& parent);
+
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_DELEGATION_H_

@@ -1,0 +1,223 @@
+#include "core/device.h"
+
+#include "core/metrics.h"
+#include "crypto/chacha20.h"
+
+namespace p2drm {
+namespace core {
+
+CompliantDevice::CompliantDevice(std::string name,
+                                 std::uint8_t security_level,
+                                 const Clock* clock,
+                                 bignum::RandomSource* rng)
+    : name_(std::move(name)),
+      security_level_(security_level),
+      clock_(clock),
+      key_(crypto::GenerateRsaKey(512, rng)),
+      public_key_(key_.PublicKey()) {
+  GlobalOps().keygen += 1;
+}
+
+void CompliantDevice::InstallCertificate(DeviceCertificate cert) {
+  certificate_ = std::move(cert);
+}
+
+bool CompliantDevice::InstallLicense(const rel::License& license,
+                                     const crypto::RsaPublicKey& provider_key) {
+  GlobalOps().verify += 1;
+  if (!crypto::RsaVerifyFdh(provider_key, license.CanonicalBytes(),
+                            license.issuer_signature)) {
+    return false;
+  }
+  licenses_[license.id] = Held{license, rel::UsageState{}};
+  return true;
+}
+
+std::vector<const rel::License*> CompliantDevice::LicensesFor(
+    rel::ContentId content) const {
+  std::vector<const rel::License*> out;
+  for (const auto& [id, held] : licenses_) {
+    (void)id;
+    if (held.license.content_id == content) out.push_back(&held.license);
+  }
+  return out;
+}
+
+const rel::License* CompliantDevice::FindLicense(
+    const rel::LicenseId& id) const {
+  auto it = licenses_.find(id);
+  return it == licenses_.end() ? nullptr : &it->second.license;
+}
+
+bool CompliantDevice::RemoveLicense(const rel::LicenseId& id) {
+  return licenses_.erase(id) != 0;
+}
+
+void CompliantDevice::UpdateCrl(const store::RevocationList& crl) {
+  if (crl.Version() <= crl_version_) return;  // stale or same snapshot
+  revoked_.clear();
+  for (const auto& entry : crl.Entries()) revoked_.insert(entry);
+  crl_version_ = crl.Version();
+}
+
+UseResult CompliantDevice::Use(rel::ContentId content, rel::Action action,
+                               SmartCard* card,
+                               const EncryptedContent& encrypted) {
+  UseResult result;
+  if (encrypted.content_id != content) {
+    result.error = "content blob does not match requested id";
+    return result;
+  }
+
+  // Pick the first license that grants the action; remember the last
+  // rights-based denial for diagnostics.
+  Held* chosen = nullptr;
+  rel::Decision last_denial = rel::Decision::kDeniedAction;
+  for (auto& [id, held] : licenses_) {
+    (void)id;
+    if (held.license.content_id != content) continue;
+    rel::Decision d =
+        rel::Evaluate(held.license.rights, held.state, action,
+                      clock_->NowEpochSeconds(), security_level_);
+    if (d == rel::Decision::kAllow) {
+      chosen = &held;
+      break;
+    }
+    last_denial = d;
+  }
+  if (chosen == nullptr) {
+    result.decision = last_denial;
+    result.error = "no license grants the action";
+    return result;
+  }
+
+  // A compliant device refuses revoked pseudonyms even with a valid
+  // license (CRL enforcement on the consumption path).
+  if (revoked_.count(chosen->license.bound_key) != 0) {
+    result.decision = rel::Decision::kDeniedAction;
+    result.error = "bound pseudonym is revoked";
+    return result;
+  }
+
+  if (action == rel::Action::kTransfer || action == rel::Action::kCopy) {
+    // Non-rendering actions: permission established, nothing to decrypt.
+    result.decision = rel::Decision::kAllow;
+    return result;
+  }
+
+  std::vector<std::uint8_t> content_key;
+  if (card == nullptr ||
+      !card->UnwrapContentKey(chosen->license.bound_key,
+                              chosen->license.wrapped_content_key,
+                              &content_key) ||
+      content_key.size() != 32) {
+    result.decision = rel::Decision::kDeniedAction;
+    result.error = "card cannot unwrap content key";
+    return result;
+  }
+
+  std::array<std::uint8_t, 32> ck;
+  std::copy(content_key.begin(), content_key.end(), ck.begin());
+  crypto::ChaCha20 cipher(ck, encrypted.nonce);
+  result.plaintext = cipher.Crypt(encrypted.ciphertext);
+  result.decision = rel::Decision::kAllow;
+
+  if (action == rel::Action::kPlay) {
+    chosen->state.plays_used += 1;
+  }
+  return result;
+}
+
+std::uint32_t CompliantDevice::PlaysUsed(const rel::LicenseId& id) const {
+  auto it = licenses_.find(id);
+  return it == licenses_.end() ? 0 : it->second.state.plays_used;
+}
+
+DelegationCheck CompliantDevice::InstallDelegation(
+    const DelegationLicense& delegation,
+    const crypto::RsaPublicKey& delegator_key) {
+  auto parent = licenses_.find(delegation.parent_id);
+  if (parent == licenses_.end()) return DelegationCheck::kWrongParent;
+  DelegationCheck check =
+      ValidateDelegation(delegation, parent->second.license, delegator_key);
+  if (check != DelegationCheck::kOk) return check;
+  delegations_[delegation.id] =
+      HeldDelegation{delegation, rel::UsageState{}};
+  return DelegationCheck::kOk;
+}
+
+UseResult CompliantDevice::UseDelegated(const rel::LicenseId& delegation_id,
+                                        rel::Action action,
+                                        SmartCard* delegator_card,
+                                        const EncryptedContent& encrypted) {
+  UseResult result;
+  auto dit = delegations_.find(delegation_id);
+  if (dit == delegations_.end()) {
+    result.error = "no such delegation installed";
+    return result;
+  }
+  HeldDelegation& held = dit->second;
+  auto pit = licenses_.find(held.delegation.parent_id);
+  if (pit == licenses_.end()) {
+    // The parent was removed (e.g. transferred away): the delegation dies
+    // with it.
+    result.error = "parent license no longer installed";
+    return result;
+  }
+  const rel::License& parent = pit->second.license;
+  if (encrypted.content_id != parent.content_id) {
+    result.error = "content blob does not match delegated license";
+    return result;
+  }
+  if (revoked_.count(parent.bound_key) != 0) {
+    result.error = "bound pseudonym is revoked";
+    return result;
+  }
+
+  rel::Rights effective = EffectiveRights(held.delegation, parent);
+  rel::Decision d = rel::Evaluate(effective, held.state, action,
+                                  clock_->NowEpochSeconds(), security_level_);
+  if (d != rel::Decision::kAllow) {
+    result.decision = d;
+    return result;
+  }
+  // The parent's own meter also applies: a delegate cannot stretch an
+  // exhausted parent license.
+  rel::Decision parent_d =
+      rel::Evaluate(parent.rights, pit->second.state, action,
+                    clock_->NowEpochSeconds(), security_level_);
+  if (parent_d != rel::Decision::kAllow) {
+    result.decision = parent_d;
+    return result;
+  }
+
+  std::vector<std::uint8_t> content_key;
+  if (delegator_card == nullptr ||
+      !delegator_card->UnwrapContentKey(parent.bound_key,
+                                        parent.wrapped_content_key,
+                                        &content_key) ||
+      content_key.size() != 32) {
+    result.decision = rel::Decision::kDeniedAction;
+    result.error = "card cannot unwrap content key";
+    return result;
+  }
+  std::array<std::uint8_t, 32> ck;
+  std::copy(content_key.begin(), content_key.end(), ck.begin());
+  crypto::ChaCha20 cipher(ck, encrypted.nonce);
+  result.plaintext = cipher.Crypt(encrypted.ciphertext);
+  result.decision = rel::Decision::kAllow;
+  if (action == rel::Action::kPlay) {
+    held.state.plays_used += 1;
+    pit->second.state.plays_used += 1;
+  }
+  return result;
+}
+
+std::uint32_t CompliantDevice::DelegatedPlaysUsed(
+    const rel::LicenseId& delegation_id) const {
+  auto it = delegations_.find(delegation_id);
+  return it == delegations_.end() ? 0 : it->second.state.plays_used;
+}
+
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,132 @@
+#ifndef P2DRM_CORE_DEVICE_H_
+#define P2DRM_CORE_DEVICE_H_
+
+/// \file device.h
+/// \brief Compliant rendering device: license store, rights enforcement and
+/// content decryption.
+///
+/// The device is the enforcement point of the DRM side of the paper: it
+/// refuses to decrypt without a valid provider-signed license bound to a
+/// pseudonym whose private key sits in the inserted smart card, it meters
+/// plays, honours expiry, and checks the revocation list before cooperating.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bignum/random_source.h"
+#include "core/certificates.h"
+#include "core/clock.h"
+#include "core/content_provider.h"
+#include "core/delegation.h"
+#include "core/smartcard.h"
+#include "rel/license.h"
+#include "rel/rights.h"
+#include "store/revocation_list.h"
+
+namespace p2drm {
+namespace core {
+
+/// Outcome of a device usage request.
+struct UseResult {
+  rel::Decision decision = rel::Decision::kDeniedAction;
+  /// Decrypted content when decision == kAllow and the action renders.
+  std::vector<std::uint8_t> plaintext;
+  /// Diagnostic for failures that are not rights decisions (bad license,
+  /// missing pseudonym, CRL hit).
+  std::string error;
+};
+
+/// A compliant device.
+class CompliantDevice {
+ public:
+  /// \param security_level robustness level certified by the CA
+  CompliantDevice(std::string name, std::uint8_t security_level,
+                  const Clock* clock, bignum::RandomSource* rng);
+
+  const std::string& name() const { return name_; }
+  std::uint8_t security_level() const { return security_level_; }
+  const crypto::RsaPublicKey& DeviceKey() const { return public_key_; }
+
+  /// Installs the CA-issued device certificate.
+  void InstallCertificate(DeviceCertificate cert);
+  const DeviceCertificate& Certificate() const { return certificate_; }
+  rel::DeviceId Id() const { return public_key_.Fingerprint(); }
+
+  /// Verifies the provider signature and stores the license.
+  /// Returns false (not stored) on a bad signature.
+  bool InstallLicense(const rel::License& license,
+                      const crypto::RsaPublicKey& provider_key);
+
+  /// Licenses held for \p content (may be several, e.g. after transfer).
+  std::vector<const rel::License*> LicensesFor(rel::ContentId content) const;
+
+  /// Looks up a held license by id (nullptr when absent).
+  const rel::License* FindLicense(const rel::LicenseId& id) const;
+
+  /// Removes a license (after it was exchanged away in a transfer).
+  bool RemoveLicense(const rel::LicenseId& id);
+
+  /// Syncs the device's CRL copy from the provider.
+  void UpdateCrl(const store::RevocationList& crl);
+  std::uint64_t CrlVersion() const { return crl_version_; }
+
+  /// Exercises \p action on \p content:
+  ///  1. find an installed license for the content,
+  ///  2. evaluate its rights against device state and the clock,
+  ///  3. check the bound pseudonym against the CRL,
+  ///  4. have the card unwrap the content key and decrypt.
+  /// On kAllow for kPlay the play meter is consumed.
+  UseResult Use(rel::ContentId content, rel::Action action, SmartCard* card,
+                const EncryptedContent& encrypted);
+
+  /// Plays consumed on a given license (tests/inspection).
+  std::uint32_t PlaysUsed(const rel::LicenseId& id) const;
+
+  // -- delegation (star licenses) ------------------------------------------
+
+  /// Validates a delegation against its installed parent license and the
+  /// delegator key the provider bound it to, then stores it with a fresh
+  /// usage meter. Returns the validation outcome (kOk = installed).
+  DelegationCheck InstallDelegation(const DelegationLicense& delegation,
+                                    const crypto::RsaPublicKey& delegator_key);
+
+  /// Exercises \p action under an installed delegation: enforced rights
+  /// are the parent ∩ restriction intersection with the delegation's own
+  /// meter. Decryption still requires the delegator's card (the delegate
+  /// uses the household device; keys never move).
+  UseResult UseDelegated(const rel::LicenseId& delegation_id,
+                         rel::Action action, SmartCard* delegator_card,
+                         const EncryptedContent& encrypted);
+
+  /// Plays consumed under a delegation (tests/inspection).
+  std::uint32_t DelegatedPlaysUsed(const rel::LicenseId& delegation_id) const;
+
+ private:
+  std::string name_;
+  std::uint8_t security_level_;
+  const Clock* clock_;
+  crypto::RsaPrivateKey key_;
+  crypto::RsaPublicKey public_key_;
+  DeviceCertificate certificate_;
+
+  struct Held {
+    rel::License license;
+    rel::UsageState state;
+  };
+  std::map<rel::LicenseId, Held> licenses_;
+  struct HeldDelegation {
+    DelegationLicense delegation;
+    rel::UsageState state;
+  };
+  std::map<rel::LicenseId, HeldDelegation> delegations_;
+  // Local CRL copy (synced from the provider).
+  std::set<rel::KeyFingerprint> revoked_;
+  std::uint64_t crl_version_ = 0;
+};
+
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_DEVICE_H_

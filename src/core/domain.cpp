@@ -1,0 +1,124 @@
+#include "core/domain.h"
+
+#include "core/protocol.h"
+#include "crypto/chacha20.h"
+
+namespace p2drm {
+namespace core {
+
+DomainManager::DomainManager(const std::string& name,
+                             const DomainConfig& config, P2drmSystem* system,
+                             bignum::RandomSource* rng)
+    : config_(config),
+      system_(system),
+      agent_(name, config.agent, system, rng) {}
+
+Status DomainManager::Join(const DeviceCertificate& member) {
+  if (members_.size() >= config_.max_members) return Status::kBadRequest;
+  if (!VerifyDeviceCert(system_->ca().PublicKey(), member)) {
+    return Status::kBadCertificate;
+  }
+  if (revoked_.count(member.device_id) != 0 ||
+      system_->cp().Crl().IsRevoked(member.device_id)) {
+    return Status::kRevoked;
+  }
+  members_[member.device_id] = member;
+  return Status::kOk;
+}
+
+bool DomainManager::Leave(const rel::DeviceId& member) {
+  return members_.erase(member) != 0;
+}
+
+Status DomainManager::AcquireContent(rel::ContentId content) {
+  rel::License lic;
+  Status s = agent_.BuyContent(content, &lic);
+  if (s != Status::kOk) return s;
+  licenses_[content] = DomainLicense{lic, rel::UsageState{}};
+  return Status::kOk;
+}
+
+UseResult DomainManager::MemberPlay(const rel::DeviceId& member,
+                                    rel::ContentId content) {
+  UseResult result;
+  auto mit = members_.find(member);
+  if (mit == members_.end()) {
+    result.error = "device is not a domain member";
+    return result;
+  }
+  if (revoked_.count(member) != 0) {
+    result.error = "device is revoked";
+    return result;
+  }
+  auto lit = licenses_.find(content);
+  if (lit == licenses_.end()) {
+    result.error = "domain holds no license for this content";
+    return result;
+  }
+  DomainLicense& held = lit->second;
+
+  // Domain-wide rights evaluation: the member's certified security level
+  // gates the request, the play meter is shared by the whole domain.
+  rel::Decision d = rel::Evaluate(
+      held.license.rights, held.state, rel::Action::kPlay,
+      system_->clock().NowEpochSeconds(), mit->second.security_level);
+  if (d != rel::Decision::kAllow) {
+    result.decision = d;
+    return result;
+  }
+
+  // Fetch the encrypted blob (anonymous, cacheable) and decrypt via the
+  // manager's card — the content key never reaches the member device.
+  protocol::FetchContentRequest req;
+  req.content_id = content;
+  auto raw = system_->transport().Call(net::Transport::kAnonymous,
+                                       P2drmSystem::kCpEndpoint, req.Encode());
+  auto resp = protocol::FetchContentResponse::Decode(raw);
+  if (resp.status != Status::kOk) {
+    result.error = "content not available";
+    return result;
+  }
+
+  std::vector<std::uint8_t> content_key;
+  if (!agent_.card().UnwrapContentKey(held.license.bound_key,
+                                      held.license.wrapped_content_key,
+                                      &content_key) ||
+      content_key.size() != 32) {
+    result.error = "manager card cannot unwrap content key";
+    return result;
+  }
+  std::array<std::uint8_t, 32> ck;
+  std::copy(content_key.begin(), content_key.end(), ck.begin());
+  crypto::ChaCha20 cipher(ck, resp.content.nonce);
+  result.plaintext = cipher.Crypt(resp.content.ciphertext);
+  result.decision = rel::Decision::kAllow;
+  held.state.plays_used += 1;
+  return result;
+}
+
+void DomainManager::SyncCrl() {
+  protocol::FetchCrlRequest req;
+  auto raw = system_->transport().Call(agent_.name(),
+                                       P2drmSystem::kCpEndpoint, req.Encode());
+  auto resp = protocol::FetchCrlResponse::Decode(raw);
+  store::RevocationList crl = store::RevocationList::Deserialize(
+      resp.crl_snapshot, store::CrlStrategy::kSortedSet);
+  revoked_.clear();
+  for (const auto& entry : crl.Entries()) revoked_.insert(entry);
+  // Expel revoked members immediately (compliance rule).
+  for (auto it = members_.begin(); it != members_.end();) {
+    if (revoked_.count(it->first) != 0) {
+      it = members_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint32_t DomainManager::DomainPlaysUsed(rel::ContentId content) const {
+  auto it = licenses_.find(content);
+  return it == licenses_.end() ? 0 : it->second.state.plays_used;
+}
+
+}  // namespace core
+}  // namespace p2drm

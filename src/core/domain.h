@@ -1,0 +1,100 @@
+#ifndef P2DRM_CORE_DOMAIN_H_
+#define P2DRM_CORE_DOMAIN_H_
+
+/// \file domain.h
+/// \brief Authorized domains with private membership.
+///
+/// The P2DRM line of work extends single-user licensing to *authorized
+/// domains* (a household's devices) managed by a domain manager device
+/// that the content provider trusts — crucially with **private creation
+/// and functioning**: the provider never learns which devices make up a
+/// domain. This module implements that extension on top of the core
+/// protocols:
+///
+///  * the domain manager buys licenses through the ordinary anonymous
+///    purchase path (pseudonym certificate + e-cash), so the provider's
+///    view of a domain is just another pseudonymous customer;
+///  * member devices register with the manager locally (certificate
+///    checked against the CA and the CRL, bounded domain size — the
+///    compliance rules the provider relies on);
+///  * content keys never leave the manager: members hand in encrypted
+///    content and receive plaintext over the protected in-home link,
+///    with play metering enforced domain-wide.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bignum/random_source.h"
+#include "core/agent.h"
+#include "core/certificates.h"
+#include "core/errors.h"
+#include "core/system.h"
+#include "rel/license.h"
+
+namespace p2drm {
+namespace core {
+
+/// Configuration of an authorized domain.
+struct DomainConfig {
+  std::size_t max_members = 8;  ///< compliance bound on domain size
+  AgentConfig agent;            ///< pseudonym/payment policy of the manager
+};
+
+/// The domain manager device.
+class DomainManager {
+ public:
+  DomainManager(const std::string& name, const DomainConfig& config,
+                P2drmSystem* system, bignum::RandomSource* rng);
+
+  /// Registers a member device. Enforced locally: CA-valid certificate,
+  /// not revoked, domain not full. The provider is not contacted and never
+  /// learns the membership.
+  Status Join(const DeviceCertificate& member);
+
+  /// Removes a member. Returns false when it was not a member.
+  bool Leave(const rel::DeviceId& member);
+
+  std::size_t MemberCount() const { return members_.size(); }
+  bool IsMember(const rel::DeviceId& id) const {
+    return members_.count(id) != 0;
+  }
+
+  /// Buys \p content for the domain through the anonymous purchase path.
+  Status AcquireContent(rel::ContentId content);
+
+  /// Serves a play request from a member device: membership check, domain-
+  /// wide rights evaluation (shared play meter), content-key unwrap on the
+  /// manager's card, decryption. Non-members and revoked devices get
+  /// nothing.
+  UseResult MemberPlay(const rel::DeviceId& member, rel::ContentId content);
+
+  /// Pulls the provider CRL so revoked members can be expelled.
+  /// Members on the CRL are removed immediately.
+  void SyncCrl();
+
+  /// Domain-wide plays consumed for \p content (tests/inspection).
+  std::uint32_t DomainPlaysUsed(rel::ContentId content) const;
+
+  /// The manager's client identity (for funding its account in tests).
+  UserAgent& agent() { return agent_; }
+
+ private:
+  DomainConfig config_;
+  P2drmSystem* system_;
+  UserAgent agent_;
+  std::map<rel::DeviceId, DeviceCertificate> members_;
+  std::set<rel::KeyFingerprint> revoked_;
+
+  struct DomainLicense {
+    rel::License license;
+    rel::UsageState state;  // domain-wide meter
+  };
+  std::map<rel::ContentId, DomainLicense> licenses_;
+};
+
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_DOMAIN_H_

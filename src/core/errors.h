@@ -1,0 +1,52 @@
+#ifndef P2DRM_CORE_ERRORS_H_
+#define P2DRM_CORE_ERRORS_H_
+
+/// \file errors.h
+/// \brief Protocol status codes shared by all actors.
+
+#include <cstdint>
+
+namespace p2drm {
+namespace core {
+
+/// Outcome of a protocol operation. Values are wire-stable.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadRequest = 1,        ///< malformed message
+  kBadCertificate = 2,    ///< certificate signature invalid
+  kBadSignature = 3,      ///< license or possession signature invalid
+  kUnknownContent = 4,    ///< content id not in catalog
+  kPaymentFailed = 5,     ///< coin invalid or rejected by the bank
+  kDoubleSpend = 6,       ///< coin serial already deposited
+  kAlreadySpent = 7,      ///< license id already redeemed
+  kRevoked = 8,           ///< certificate/key on the revocation list
+  kNotTransferable = 9,   ///< rights do not include transfer
+  kInsufficientFunds = 10,///< account balance too low
+  kUnknownAccount = 11,   ///< no such account
+  kWrongPrice = 12,       ///< payment does not cover the offer price
+};
+
+/// Human-readable status name.
+inline const char* StatusName(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kBadRequest: return "bad-request";
+    case Status::kBadCertificate: return "bad-certificate";
+    case Status::kBadSignature: return "bad-signature";
+    case Status::kUnknownContent: return "unknown-content";
+    case Status::kPaymentFailed: return "payment-failed";
+    case Status::kDoubleSpend: return "double-spend";
+    case Status::kAlreadySpent: return "already-spent";
+    case Status::kRevoked: return "revoked";
+    case Status::kNotTransferable: return "not-transferable";
+    case Status::kInsufficientFunds: return "insufficient-funds";
+    case Status::kUnknownAccount: return "unknown-account";
+    case Status::kWrongPrice: return "wrong-price";
+  }
+  return "unknown";
+}
+
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_ERRORS_H_

@@ -1,0 +1,12 @@
+#include "core/metrics.h"
+
+namespace p2drm {
+namespace core {
+
+OpCounters& GlobalOps() {
+  static OpCounters counters;
+  return counters;
+}
+
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,58 @@
+#ifndef P2DRM_CORE_METRICS_H_
+#define P2DRM_CORE_METRICS_H_
+
+/// \file metrics.h
+/// \brief Crypto-operation counters for the protocol-cost table (RT-2).
+///
+/// Actors increment these explicitly at each public-key operation so a
+/// bench can report "a P2DRM purchase costs S signatures, V verifications,
+/// B blind-signature operations, E hybrid encryptions…" exactly.
+
+#include <cstdint>
+#include <string>
+
+namespace p2drm {
+namespace core {
+
+/// Counts of public-key operations.
+struct OpCounters {
+  std::uint64_t sign = 0;         ///< RSA-FDH signatures produced
+  std::uint64_t verify = 0;       ///< RSA-FDH verifications
+  std::uint64_t blind_sign = 0;   ///< raw blind-signature operations
+  std::uint64_t blind_prep = 0;   ///< client blinding/unblinding pairs
+  std::uint64_t hybrid_enc = 0;   ///< RSA hybrid encryptions
+  std::uint64_t hybrid_dec = 0;   ///< RSA hybrid decryptions
+  std::uint64_t keygen = 0;       ///< RSA key generations
+
+  OpCounters operator-(const OpCounters& o) const {
+    return OpCounters{sign - o.sign,
+                      verify - o.verify,
+                      blind_sign - o.blind_sign,
+                      blind_prep - o.blind_prep,
+                      hybrid_enc - o.hybrid_enc,
+                      hybrid_dec - o.hybrid_dec,
+                      keygen - o.keygen};
+  }
+
+  std::uint64_t Total() const {
+    return sign + verify + blind_sign + blind_prep + hybrid_enc + hybrid_dec +
+           keygen;
+  }
+
+  std::string ToString() const {
+    return "sign=" + std::to_string(sign) + " verify=" + std::to_string(verify) +
+           " blind_sign=" + std::to_string(blind_sign) +
+           " blind_prep=" + std::to_string(blind_prep) +
+           " hyb_enc=" + std::to_string(hybrid_enc) +
+           " hyb_dec=" + std::to_string(hybrid_dec) +
+           " keygen=" + std::to_string(keygen);
+  }
+};
+
+/// Process-wide counters (single-threaded protocol code).
+OpCounters& GlobalOps();
+
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_METRICS_H_

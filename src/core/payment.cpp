@@ -1,0 +1,141 @@
+#include "core/payment.h"
+
+#include <stdexcept>
+
+#include "core/metrics.h"
+#include "crypto/blind_rsa.h"
+#include "net/codec.h"
+
+namespace p2drm {
+namespace core {
+
+std::vector<std::uint8_t> Coin::CanonicalBytes() const {
+  net::ByteWriter w;
+  w.U8(0x21);  // domain tag: coin
+  w.Fixed(serial);
+  w.U32(denomination);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> Coin::Serialize() const {
+  net::ByteWriter w;
+  w.Fixed(serial);
+  w.U32(denomination);
+  w.Blob(signature);
+  return w.Take();
+}
+
+Coin Coin::Deserialize(const std::vector<std::uint8_t>& b) {
+  net::ByteReader r(b);
+  Coin c;
+  c.serial = r.Fixed<16>();
+  c.denomination = r.U32();
+  c.signature = r.Blob();
+  r.ExpectEnd();
+  return c;
+}
+
+const std::vector<std::uint32_t>& PaymentProvider::Denominations() {
+  static const std::vector<std::uint32_t> kDenoms = {1, 2, 5, 10, 20, 50, 100};
+  return kDenoms;
+}
+
+PaymentProvider::PaymentProvider(std::size_t modulus_bits,
+                                 bignum::RandomSource* rng) {
+  for (std::uint32_t d : Denominations()) {
+    denom_keys_.emplace(d, crypto::GenerateRsaKey(modulus_bits, rng));
+    denom_pub_.emplace(d, denom_keys_.at(d).PublicKey());
+    GlobalOps().keygen += 1;
+  }
+}
+
+const crypto::RsaPublicKey& PaymentProvider::DenominationKey(
+    std::uint32_t denomination) const {
+  auto it = denom_pub_.find(denomination);
+  if (it == denom_pub_.end()) {
+    throw std::invalid_argument("PaymentProvider: unknown denomination");
+  }
+  return it->second;
+}
+
+void PaymentProvider::OpenAccount(const std::string& account,
+                                  std::uint64_t balance) {
+  accounts_[account] = balance;
+}
+
+std::uint64_t PaymentProvider::Balance(const std::string& account) const {
+  auto it = accounts_.find(account);
+  if (it == accounts_.end()) {
+    throw std::invalid_argument("PaymentProvider: unknown account");
+  }
+  return it->second;
+}
+
+Status PaymentProvider::Withdraw(const std::string& account,
+                                 std::uint32_t denomination,
+                                 const bignum::BigInt& blinded,
+                                 bignum::BigInt* blind_sig) {
+  auto acct = accounts_.find(account);
+  if (acct == accounts_.end()) return Status::kUnknownAccount;
+  auto key = denom_keys_.find(denomination);
+  if (key == denom_keys_.end()) return Status::kBadRequest;
+  if (acct->second < denomination) return Status::kInsufficientFunds;
+
+  acct->second -= denomination;
+  GlobalOps().blind_sign += 1;
+  *blind_sig = crypto::SignBlinded(key->second, blinded);
+  return Status::kOk;
+}
+
+Status PaymentProvider::Deposit(const Coin& coin,
+                                const std::string& merchant_account) {
+  auto acct = accounts_.find(merchant_account);
+  if (acct == accounts_.end()) return Status::kUnknownAccount;
+  auto key = denom_pub_.find(coin.denomination);
+  if (key == denom_pub_.end()) return Status::kBadRequest;
+
+  GlobalOps().verify += 1;
+  if (!crypto::RsaVerifyFdh(key->second, coin.CanonicalBytes(),
+                            coin.signature)) {
+    return Status::kPaymentFailed;
+  }
+  rel::LicenseId serial_key;
+  serial_key.bytes = coin.serial;
+  if (!spent_serials_.Insert(serial_key)) {
+    ++double_spend_attempts_;
+    return Status::kDoubleSpend;
+  }
+  acct->second += coin.denomination;
+  ++deposited_coins_;
+  return Status::kOk;
+}
+
+Status PaymentProvider::DirectDebit(const std::string& account,
+                                    const std::string& payee,
+                                    std::uint64_t amount,
+                                    std::uint64_t timestamp_s) {
+  auto acct = accounts_.find(account);
+  if (acct == accounts_.end()) return Status::kUnknownAccount;
+  auto to = accounts_.find(payee);
+  if (to == accounts_.end()) return Status::kUnknownAccount;
+  if (acct->second < amount) return Status::kInsufficientFunds;
+  acct->second -= amount;
+  to->second += amount;
+  debit_log_.push_back(DebitRecord{account, payee, amount, timestamp_s});
+  return Status::kOk;
+}
+
+std::vector<std::uint32_t> PlanCoins(std::uint64_t amount) {
+  std::vector<std::uint32_t> plan;
+  const auto& denoms = PaymentProvider::Denominations();
+  for (auto it = denoms.rbegin(); it != denoms.rend(); ++it) {
+    while (amount >= *it) {
+      plan.push_back(*it);
+      amount -= *it;
+    }
+  }
+  return plan;  // denominations include 1, so amount is now 0
+}
+
+}  // namespace core
+}  // namespace p2drm

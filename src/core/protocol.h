@@ -1,0 +1,203 @@
+#ifndef P2DRM_CORE_PROTOCOL_H_
+#define P2DRM_CORE_PROTOCOL_H_
+
+/// \file protocol.h
+/// \brief On-wire request/response messages for every P2DRM protocol.
+///
+/// Each request starts with a one-byte message tag; responses are tag-less
+/// (the caller knows what it asked). All encodings use the canonical codec,
+/// so the byte counts the Transport meters are the real protocol cost
+/// (RT-2). Endpoints: "ca", "bank", "cp", "ttp".
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "core/certificates.h"
+#include "core/content_provider.h"
+#include "core/errors.h"
+#include "core/payment.h"
+#include "core/ttp.h"
+#include "net/codec.h"
+#include "rel/license.h"
+
+namespace p2drm {
+namespace core {
+namespace protocol {
+
+/// Request tags.
+enum class Tag : std::uint8_t {
+  kEnrol = 0x01,
+  kPseudonymSign = 0x02,
+  kDeviceCert = 0x03,
+  kWithdraw = 0x10,
+  kDeposit = 0x11,
+  kCatalog = 0x20,
+  kPurchase = 0x21,
+  kExchange = 0x22,
+  kRedeem = 0x23,
+  kFetchContent = 0x24,
+  kFetchCrl = 0x25,
+  kOpenEscrow = 0x30,
+};
+
+// -- helpers ---------------------------------------------------------------
+
+/// Writes a BigInt as a length-prefixed magnitude blob.
+void WriteBigInt(net::ByteWriter* w, const bignum::BigInt& v);
+bignum::BigInt ReadBigInt(net::ByteReader* r);
+
+// -- CA --------------------------------------------------------------------
+
+struct EnrolRequest {
+  std::string holder_name;
+  crypto::RsaPublicKey master_key;
+  std::vector<std::uint8_t> Encode() const;
+  static EnrolRequest Decode(net::ByteReader* r);
+};
+struct EnrolResponse {
+  IdentityCertificate certificate;
+  std::vector<std::uint8_t> Encode() const;
+  static EnrolResponse Decode(const std::vector<std::uint8_t>& b);
+};
+
+struct PseudonymSignRequest {
+  std::uint64_t card_id = 0;
+  bignum::BigInt blinded;
+  std::vector<std::uint8_t> Encode() const;
+  static PseudonymSignRequest Decode(net::ByteReader* r);
+};
+struct PseudonymSignResponse {
+  bignum::BigInt blind_signature;
+  std::vector<std::uint8_t> Encode() const;
+  static PseudonymSignResponse Decode(const std::vector<std::uint8_t>& b);
+};
+
+struct DeviceCertRequest {
+  crypto::RsaPublicKey device_key;
+  std::uint8_t security_level = 0;
+  std::vector<std::uint8_t> Encode() const;
+  static DeviceCertRequest Decode(net::ByteReader* r);
+};
+struct DeviceCertResponse {
+  DeviceCertificate certificate;
+  std::vector<std::uint8_t> Encode() const;
+  static DeviceCertResponse Decode(const std::vector<std::uint8_t>& b);
+};
+
+// -- bank --------------------------------------------------------------------
+
+struct WithdrawRequest {
+  std::string account;
+  std::uint32_t denomination = 0;
+  bignum::BigInt blinded;
+  std::vector<std::uint8_t> Encode() const;
+  static WithdrawRequest Decode(net::ByteReader* r);
+};
+struct WithdrawResponse {
+  Status status = Status::kBadRequest;
+  bignum::BigInt blind_signature;  ///< valid when status == kOk
+  std::vector<std::uint8_t> Encode() const;
+  static WithdrawResponse Decode(const std::vector<std::uint8_t>& b);
+};
+
+struct DepositRequest {
+  Coin coin;
+  std::string merchant_account;
+  std::vector<std::uint8_t> Encode() const;
+  static DepositRequest Decode(net::ByteReader* r);
+};
+struct DepositResponse {
+  Status status = Status::kBadRequest;
+  std::vector<std::uint8_t> Encode() const;
+  static DepositResponse Decode(const std::vector<std::uint8_t>& b);
+};
+
+// -- content provider ---------------------------------------------------------
+
+struct CatalogRequest {
+  std::vector<std::uint8_t> Encode() const;
+};
+struct CatalogResponse {
+  std::vector<Offer> offers;
+  std::vector<std::uint8_t> Encode() const;
+  static CatalogResponse Decode(const std::vector<std::uint8_t>& b);
+};
+
+struct PurchaseRequest {
+  PseudonymCertificate buyer;
+  rel::ContentId content_id = 0;
+  std::vector<Coin> payment;
+  std::vector<std::uint8_t> Encode() const;
+  static PurchaseRequest Decode(net::ByteReader* r);
+};
+struct PurchaseResponse {
+  Status status = Status::kBadRequest;
+  rel::License license;  ///< valid when status == kOk
+  std::vector<std::uint8_t> Encode() const;
+  static PurchaseResponse Decode(const std::vector<std::uint8_t>& b);
+};
+
+struct ExchangeRequest {
+  rel::License license;
+  std::vector<std::uint8_t> possession_sig;
+  std::vector<std::uint8_t> Encode() const;
+  static ExchangeRequest Decode(net::ByteReader* r);
+};
+struct ExchangeResponse {
+  Status status = Status::kBadRequest;
+  rel::License anonymous_license;  ///< valid when status == kOk
+  std::vector<std::uint8_t> Encode() const;
+  static ExchangeResponse Decode(const std::vector<std::uint8_t>& b);
+};
+
+struct RedeemRequest {
+  rel::License anonymous_license;
+  PseudonymCertificate taker;
+  std::vector<std::uint8_t> Encode() const;
+  static RedeemRequest Decode(net::ByteReader* r);
+};
+// Response shape identical to PurchaseResponse.
+
+struct FetchContentRequest {
+  rel::ContentId content_id = 0;
+  std::vector<std::uint8_t> Encode() const;
+  static FetchContentRequest Decode(net::ByteReader* r);
+};
+struct FetchContentResponse {
+  Status status = Status::kBadRequest;
+  EncryptedContent content;
+  std::vector<std::uint8_t> Encode() const;
+  static FetchContentResponse Decode(const std::vector<std::uint8_t>& b);
+};
+
+struct FetchCrlRequest {
+  std::vector<std::uint8_t> Encode() const;
+};
+struct FetchCrlResponse {
+  std::vector<std::uint8_t> crl_snapshot;  ///< RevocationList::Serialize()
+  std::vector<std::uint8_t> Encode() const;
+  static FetchCrlResponse Decode(const std::vector<std::uint8_t>& b);
+};
+
+// -- TTP -----------------------------------------------------------------------
+
+struct OpenEscrowRequest {
+  FraudEvidence evidence;
+  std::vector<std::uint8_t> Encode() const;
+  static OpenEscrowRequest Decode(net::ByteReader* r);
+};
+struct OpenEscrowResponse {
+  bool opened = false;
+  std::uint64_t card_id = 0;
+  std::string reason;
+  std::vector<std::uint8_t> Encode() const;
+  static OpenEscrowResponse Decode(const std::vector<std::uint8_t>& b);
+};
+
+}  // namespace protocol
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_PROTOCOL_H_

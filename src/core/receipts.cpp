@@ -1,0 +1,148 @@
+#include "core/receipts.h"
+
+#include "core/metrics.h"
+#include "crypto/sha256.h"
+
+namespace p2drm {
+namespace core {
+
+std::vector<std::uint8_t> PurchaseOrder::CanonicalBytes() const {
+  net::ByteWriter w;
+  w.U8(0x51);  // domain tag: purchase order
+  w.U64(content_id);
+  w.U64(price);
+  w.U64(timestamp_s);
+  w.Fixed(buyer_commitment);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> PurchaseOrder::Serialize() const {
+  net::ByteWriter w;
+  w.U64(content_id);
+  w.U64(price);
+  w.U64(timestamp_s);
+  w.Fixed(buyer_commitment);
+  w.Blob(buyer_signature);
+  return w.Take();
+}
+
+PurchaseOrder PurchaseOrder::Deserialize(const std::vector<std::uint8_t>& b) {
+  net::ByteReader r(b);
+  PurchaseOrder o;
+  o.content_id = r.U64();
+  o.price = r.U64();
+  o.timestamp_s = r.U64();
+  o.buyer_commitment = r.Fixed<32>();
+  o.buyer_signature = r.Blob();
+  r.ExpectEnd();
+  return o;
+}
+
+std::vector<std::uint8_t> PurchaseReceipt::CanonicalBytes() const {
+  net::ByteWriter w;
+  w.U8(0x52);  // domain tag: purchase receipt
+  w.Fixed(order_hash);
+  w.Fixed(license_id.bytes);
+  w.U64(timestamp_s);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> PurchaseReceipt::Serialize() const {
+  net::ByteWriter w;
+  w.Fixed(order_hash);
+  w.Fixed(license_id.bytes);
+  w.U64(timestamp_s);
+  w.Blob(provider_signature);
+  return w.Take();
+}
+
+PurchaseReceipt PurchaseReceipt::Deserialize(
+    const std::vector<std::uint8_t>& b) {
+  net::ByteReader r(b);
+  PurchaseReceipt rc;
+  rc.order_hash = r.Fixed<32>();
+  rc.license_id.bytes = r.Fixed<16>();
+  rc.timestamp_s = r.U64();
+  rc.provider_signature = r.Blob();
+  r.ExpectEnd();
+  return rc;
+}
+
+std::array<std::uint8_t, 32> ComputeCommitment(const CommitmentOpening& o) {
+  net::ByteWriter w;
+  w.U8(0x53);  // domain tag: commitment
+  w.Fixed(o.pseudonym);
+  w.Fixed(o.nonce);
+  return crypto::Sha256::Hash(w.Bytes());
+}
+
+bool CreateOrder(SmartCard* card, const rel::KeyFingerprint& pseudonym,
+                 rel::ContentId content, std::uint64_t price,
+                 std::uint64_t now_epoch_s, bignum::RandomSource* rng,
+                 PurchaseOrder* order, CommitmentOpening* opening) {
+  opening->pseudonym = pseudonym;
+  rng->Fill(opening->nonce.data(), opening->nonce.size());
+
+  order->content_id = content;
+  order->price = price;
+  order->timestamp_s = now_epoch_s;
+  order->buyer_commitment = ComputeCommitment(*opening);
+  order->buyer_signature =
+      card->SignWithPseudonym(pseudonym, order->CanonicalBytes());
+  return !order->buyer_signature.empty();
+}
+
+PurchaseReceipt IssueReceipt(const crypto::RsaPrivateKey& provider_key,
+                             const PurchaseOrder& order,
+                             const rel::LicenseId& license_id,
+                             std::uint64_t now_epoch_s) {
+  PurchaseReceipt receipt;
+  receipt.order_hash = crypto::Sha256::Hash(order.Serialize());
+  receipt.license_id = license_id;
+  receipt.timestamp_s = now_epoch_s;
+  GlobalOps().sign += 1;
+  receipt.provider_signature =
+      crypto::RsaSignFdh(provider_key, receipt.CanonicalBytes());
+  return receipt;
+}
+
+const char* DisputeVerdictName(DisputeVerdict v) {
+  switch (v) {
+    case DisputeVerdict::kEvidenceHolds: return "evidence-holds";
+    case DisputeVerdict::kBadOrderSignature: return "bad-order-signature";
+    case DisputeVerdict::kBadReceiptSignature: return "bad-receipt-signature";
+    case DisputeVerdict::kMismatchedReceipt: return "mismatched-receipt";
+    case DisputeVerdict::kBadCommitmentOpening:
+      return "bad-commitment-opening";
+  }
+  return "unknown";
+}
+
+DisputeVerdict ResolveDispute(const PurchaseOrder& order,
+                              const PurchaseReceipt& receipt,
+                              const crypto::RsaPublicKey& pseudonym_key,
+                              const crypto::RsaPublicKey& provider_key,
+                              const CommitmentOpening* opening) {
+  GlobalOps().verify += 2;
+  if (!crypto::RsaVerifyFdh(pseudonym_key, order.CanonicalBytes(),
+                            order.buyer_signature)) {
+    return DisputeVerdict::kBadOrderSignature;
+  }
+  if (!crypto::RsaVerifyFdh(provider_key, receipt.CanonicalBytes(),
+                            receipt.provider_signature)) {
+    return DisputeVerdict::kBadReceiptSignature;
+  }
+  if (receipt.order_hash != crypto::Sha256::Hash(order.Serialize())) {
+    return DisputeVerdict::kMismatchedReceipt;
+  }
+  if (opening != nullptr) {
+    if (ComputeCommitment(*opening) != order.buyer_commitment ||
+        opening->pseudonym != pseudonym_key.Fingerprint()) {
+      return DisputeVerdict::kBadCommitmentOpening;
+    }
+  }
+  return DisputeVerdict::kEvidenceHolds;
+}
+
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,109 @@
+#ifndef P2DRM_CORE_RECEIPTS_H_
+#define P2DRM_CORE_RECEIPTS_H_
+
+/// \file receipts.h
+/// \brief Anonymous non-repudiation receipts for purchases.
+///
+/// The P2DRM literature requires *non-repudiation without identification*:
+/// after a dispute ("I paid and never got a working license" / "this user
+/// never bought that content"), both sides need cryptographic evidence,
+/// yet neither side should need the other's identity certificate. This
+/// module implements that with a pair of artifacts:
+///
+///  * **NRO** (non-repudiation of origin): the buyer's order, signed with
+///    the pseudonym key — it binds content, price and a *commitment*
+///    `H(pseudonym_fp ‖ nonce)` that hides the pseudonym until the buyer
+///    chooses to open it.
+///  * **NRR** (non-repudiation of receipt): the provider's receipt over
+///    the order hash and the issued license id, signed with the provider
+///    key.
+///
+/// A dispute resolver with only the two *public* keys can later check the
+/// pair; the buyer de-anonymizes themselves selectively, to the resolver
+/// only, by revealing the commitment opening.
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/random_source.h"
+#include "core/smartcard.h"
+#include "crypto/rsa.h"
+#include "net/codec.h"
+#include "rel/ids.h"
+#include "rel/license.h"
+
+namespace p2drm {
+namespace core {
+
+/// Buyer-signed order (NRO).
+struct PurchaseOrder {
+  rel::ContentId content_id = 0;
+  std::uint64_t price = 0;
+  std::uint64_t timestamp_s = 0;
+  /// H(pseudonym fingerprint ‖ nonce): hides the buyer until opened.
+  std::array<std::uint8_t, 32> buyer_commitment{};
+  std::vector<std::uint8_t> buyer_signature;  ///< pseudonym-key signature
+
+  std::vector<std::uint8_t> CanonicalBytes() const;
+  std::vector<std::uint8_t> Serialize() const;
+  static PurchaseOrder Deserialize(const std::vector<std::uint8_t>& b);
+};
+
+/// Provider-signed receipt (NRR).
+struct PurchaseReceipt {
+  std::array<std::uint8_t, 32> order_hash{};  ///< SHA-256 of the order
+  rel::LicenseId license_id;
+  std::uint64_t timestamp_s = 0;
+  std::vector<std::uint8_t> provider_signature;
+
+  std::vector<std::uint8_t> CanonicalBytes() const;
+  std::vector<std::uint8_t> Serialize() const;
+  static PurchaseReceipt Deserialize(const std::vector<std::uint8_t>& b);
+};
+
+/// Secret the buyer keeps to open the commitment later.
+struct CommitmentOpening {
+  rel::KeyFingerprint pseudonym;
+  std::array<std::uint8_t, 16> nonce{};
+};
+
+/// Builds and signs an order with the buyer's card. Returns false when the
+/// card does not hold \p pseudonym.
+bool CreateOrder(SmartCard* card, const rel::KeyFingerprint& pseudonym,
+                 rel::ContentId content, std::uint64_t price,
+                 std::uint64_t now_epoch_s, bignum::RandomSource* rng,
+                 PurchaseOrder* order, CommitmentOpening* opening);
+
+/// Provider side: signs a receipt binding the order to the issued license.
+PurchaseReceipt IssueReceipt(const crypto::RsaPrivateKey& provider_key,
+                             const PurchaseOrder& order,
+                             const rel::LicenseId& license_id,
+                             std::uint64_t now_epoch_s);
+
+/// Outcome of a dispute check.
+enum class DisputeVerdict : std::uint8_t {
+  kEvidenceHolds = 0,       ///< both signatures valid, receipt matches order
+  kBadOrderSignature = 1,   ///< NRO fails under the claimed pseudonym key
+  kBadReceiptSignature = 2, ///< NRR fails under the provider key
+  kMismatchedReceipt = 3,   ///< receipt does not cover this order
+  kBadCommitmentOpening = 4,///< opening does not match the commitment
+};
+
+const char* DisputeVerdictName(DisputeVerdict v);
+
+/// Verifies the full evidence chain. \p opening may be null when the buyer
+/// does not wish to de-anonymize (signatures and binding still checked; the
+/// commitment is then taken on faith).
+DisputeVerdict ResolveDispute(const PurchaseOrder& order,
+                              const PurchaseReceipt& receipt,
+                              const crypto::RsaPublicKey& pseudonym_key,
+                              const crypto::RsaPublicKey& provider_key,
+                              const CommitmentOpening* opening);
+
+/// Recomputes the commitment from an opening (exposed for tests).
+std::array<std::uint8_t, 32> ComputeCommitment(const CommitmentOpening& o);
+
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_RECEIPTS_H_

@@ -1,0 +1,113 @@
+#include "core/smartcard.h"
+
+#include <stdexcept>
+
+#include "core/metrics.h"
+#include "core/ttp.h"
+
+namespace p2drm {
+namespace core {
+
+SmartCard::SmartCard(std::string holder_name, std::size_t pseudonym_bits,
+                     bignum::RandomSource* rng)
+    : holder_name_(std::move(holder_name)),
+      pseudonym_bits_(pseudonym_bits),
+      rng_(rng),
+      master_key_(crypto::GenerateRsaKey(pseudonym_bits, rng)),
+      master_public_(master_key_.PublicKey()) {
+  GlobalOps().keygen += 1;
+}
+
+void SmartCard::StoreIdentityCertificate(IdentityCertificate cert) {
+  identity_ = std::move(cert);
+  enrolled_ = true;
+}
+
+std::uint64_t SmartCard::CardId() const {
+  if (!enrolled_) throw std::logic_error("SmartCard: not enrolled");
+  return identity_.card_id;
+}
+
+PseudonymRequest SmartCard::BeginPseudonym(
+    const crypto::RsaPublicKey& ca_key,
+    const crypto::RsaPublicKey& ttp_key) {
+  if (!enrolled_) throw std::logic_error("SmartCard: not enrolled");
+
+  PseudonymRequest req;
+  req.key = crypto::GenerateRsaKey(pseudonym_bits_, rng_);
+  GlobalOps().keygen += 1;
+
+  EscrowPayload payload;
+  payload.card_id = identity_.card_id;
+  rng_->Fill(payload.nonce.data(), payload.nonce.size());
+  GlobalOps().hybrid_enc += 1;
+  req.escrow =
+      crypto::RsaHybridEncrypt(ttp_key, payload.Serialize(), rng_).Serialize();
+
+  PseudonymCertificate draft;
+  draft.pseudonym_key = req.key.PublicKey();
+  draft.escrow = req.escrow;
+  GlobalOps().blind_prep += 1;
+  req.blinding = crypto::BlindMessage(ca_key, draft.CanonicalBytes(), rng_);
+  return req;
+}
+
+Pseudonym* SmartCard::FinishPseudonym(PseudonymRequest request,
+                                      const bignum::BigInt& blind_signature,
+                                      const crypto::RsaPublicKey& ca_key) {
+  PseudonymCertificate cert;
+  cert.pseudonym_key = request.key.PublicKey();
+  cert.escrow = request.escrow;
+  cert.ca_signature =
+      crypto::Unblind(ca_key, request.blinding, blind_signature);
+
+  GlobalOps().verify += 1;
+  if (!VerifyPseudonymCert(ca_key, cert)) return nullptr;
+
+  auto pseudonym = std::make_unique<Pseudonym>();
+  pseudonym->key = std::move(request.key);
+  pseudonym->cert = std::move(cert);
+  pseudonyms_.push_back(std::move(pseudonym));
+  return pseudonyms_.back().get();
+}
+
+Pseudonym* SmartCard::UsablePseudonym(std::uint64_t max_uses) {
+  for (auto& p : pseudonyms_) {
+    if (p->purchases_used < max_uses) return p.get();
+  }
+  return nullptr;
+}
+
+Pseudonym* SmartCard::FindPseudonym(const rel::KeyFingerprint& id) {
+  for (auto& p : pseudonyms_) {
+    if (p->cert.KeyId() == id) return p.get();
+  }
+  return nullptr;
+}
+
+bool SmartCard::UnwrapContentKey(const rel::KeyFingerprint& pseudonym_id,
+                                 const std::vector<std::uint8_t>& wrapped,
+                                 std::vector<std::uint8_t>* content_key) {
+  Pseudonym* p = FindPseudonym(pseudonym_id);
+  if (p == nullptr) return false;
+  crypto::HybridCiphertext ct;
+  try {
+    ct = crypto::HybridCiphertext::Deserialize(wrapped);
+  } catch (const std::exception&) {
+    return false;
+  }
+  GlobalOps().hybrid_dec += 1;
+  return crypto::RsaHybridDecrypt(p->key, ct, content_key);
+}
+
+std::vector<std::uint8_t> SmartCard::SignWithPseudonym(
+    const rel::KeyFingerprint& pseudonym_id,
+    const std::vector<std::uint8_t>& message) {
+  Pseudonym* p = FindPseudonym(pseudonym_id);
+  if (p == nullptr) return {};
+  GlobalOps().sign += 1;
+  return crypto::RsaSignFdh(p->key, message);
+}
+
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,110 @@
+#ifndef P2DRM_CORE_SMARTCARD_H_
+#define P2DRM_CORE_SMARTCARD_H_
+
+/// \file smartcard.h
+/// \brief The user's smart card: key custody and pseudonym management.
+///
+/// The card is the user-side trusted element the paper assumes. It holds
+/// the master identity key, mints fresh pseudonym key pairs, builds the
+/// TTP identity escrow, runs the blinding side of the pseudonym-issuance
+/// protocol, and performs private-key operations (license content-key
+/// unwrapping, transfer possession proofs) without ever exporting keys.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bignum/random_source.h"
+#include "core/certificates.h"
+#include "crypto/blind_rsa.h"
+#include "crypto/rsa.h"
+#include "rel/ids.h"
+
+namespace p2drm {
+namespace core {
+
+/// A pseudonym held by the card: private key + its blind-signed certificate.
+struct Pseudonym {
+  crypto::RsaPrivateKey key;
+  PseudonymCertificate cert;
+  std::uint64_t purchases_used = 0;  ///< linkability accounting (RF-4)
+};
+
+/// In-flight pseudonym issuance (between blind request and CA response).
+struct PseudonymRequest {
+  crypto::RsaPrivateKey key;
+  std::vector<std::uint8_t> escrow;
+  crypto::BlindingContext blinding;
+};
+
+/// The smart card actor.
+class SmartCard {
+ public:
+  /// \param holder_name real identity for enrolment
+  /// \param pseudonym_bits modulus size for pseudonym keys
+  /// \param rng card-internal randomness
+  SmartCard(std::string holder_name, std::size_t pseudonym_bits,
+            bignum::RandomSource* rng);
+
+  const std::string& holder_name() const { return holder_name_; }
+  const crypto::RsaPublicKey& MasterKey() const { return master_public_; }
+
+  /// Installs the enrolment result.
+  void StoreIdentityCertificate(IdentityCertificate cert);
+  bool IsEnrolled() const { return enrolled_; }
+  std::uint64_t CardId() const;
+
+  /// Builds a pseudonym-issuance request: fresh key pair, escrow of the
+  /// card id under \p ttp_key, and the blinded certificate hash for the CA.
+  /// Requires prior enrolment.
+  PseudonymRequest BeginPseudonym(const crypto::RsaPublicKey& ca_key,
+                                  const crypto::RsaPublicKey& ttp_key);
+
+  /// Completes issuance: unblinds the CA's response, verifies the resulting
+  /// certificate, stores and returns the pseudonym. Returns nullptr when
+  /// the signature does not verify (dishonest CA).
+  Pseudonym* FinishPseudonym(PseudonymRequest request,
+                             const bignum::BigInt& blind_signature,
+                             const crypto::RsaPublicKey& ca_key);
+
+  /// Pseudonym selection policy: returns a pseudonym that has been used for
+  /// fewer than \p max_uses purchases, or nullptr if a fresh one is needed.
+  Pseudonym* UsablePseudonym(std::uint64_t max_uses);
+
+  /// All pseudonyms minted by this card (analysis / tests).
+  const std::vector<std::unique_ptr<Pseudonym>>& pseudonyms() const {
+    return pseudonyms_;
+  }
+
+  /// Finds the pseudonym whose key fingerprint is \p id (nullptr if none).
+  Pseudonym* FindPseudonym(const rel::KeyFingerprint& id);
+
+  /// Card-internal private-key operation: unwraps a license content key
+  /// bound to one of this card's pseudonyms. Returns false when the
+  /// pseudonym is unknown or the ciphertext fails authentication.
+  bool UnwrapContentKey(const rel::KeyFingerprint& pseudonym_id,
+                        const std::vector<std::uint8_t>& wrapped,
+                        std::vector<std::uint8_t>* content_key);
+
+  /// Signs \p message with the pseudonym's private key (possession proof
+  /// for transfer). Returns empty when the pseudonym is unknown.
+  std::vector<std::uint8_t> SignWithPseudonym(
+      const rel::KeyFingerprint& pseudonym_id,
+      const std::vector<std::uint8_t>& message);
+
+ private:
+  std::string holder_name_;
+  std::size_t pseudonym_bits_;
+  bignum::RandomSource* rng_;
+  crypto::RsaPrivateKey master_key_;
+  crypto::RsaPublicKey master_public_;
+  bool enrolled_ = false;
+  IdentityCertificate identity_;
+  std::vector<std::unique_ptr<Pseudonym>> pseudonyms_;
+};
+
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_SMARTCARD_H_

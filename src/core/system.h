@@ -1,0 +1,76 @@
+#ifndef P2DRM_CORE_SYSTEM_H_
+#define P2DRM_CORE_SYSTEM_H_
+
+/// \file system.h
+/// \brief Whole-system wiring: all server-side actors behind a Transport.
+///
+/// P2drmSystem owns the CA, TTP, bank and content provider, registers
+/// their protocol endpoints on an in-process Transport, and exposes the
+/// pieces tests, examples and benches need. Endpoint names: "ca", "bank",
+/// "cp", "ttp".
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bignum/random_source.h"
+#include "core/certification_authority.h"
+#include "core/clock.h"
+#include "core/content_provider.h"
+#include "core/payment.h"
+#include "core/ttp.h"
+#include "net/transport.h"
+
+namespace p2drm {
+namespace core {
+
+/// System-wide configuration.
+struct SystemConfig {
+  std::size_t ca_key_bits = 1024;
+  std::size_t ttp_key_bits = 1024;
+  std::size_t bank_key_bits = 1024;
+  ContentProviderConfig cp;
+  net::LatencyModel latency;  ///< zero-cost by default
+};
+
+/// All server actors plus the transport connecting them to clients.
+class P2drmSystem {
+ public:
+  /// Builds every actor (key generation happens here — slow at large
+  /// modulus sizes) and registers the endpoints.
+  P2drmSystem(const SystemConfig& config, bignum::RandomSource* rng);
+
+  net::Transport& transport() { return transport_; }
+  SimClock& clock() { return clock_; }
+  CertificationAuthority& ca() { return *ca_; }
+  TrustedThirdParty& ttp() { return *ttp_; }
+  PaymentProvider& bank() { return *bank_; }
+  ContentProvider& cp() { return *cp_; }
+
+  /// Runs the fraud-handling pipeline: drains the CP's fraud-evidence
+  /// queue, sends each item to the TTP over the wire, and — for every
+  /// opened escrow — revokes the offending pseudonym key on the CP's CRL.
+  /// Returns the de-anonymized card ids (for CA-side blacklisting).
+  std::vector<std::uint64_t> ProcessFraud();
+
+  /// Endpoint names.
+  static constexpr const char* kCaEndpoint = "ca";
+  static constexpr const char* kBankEndpoint = "bank";
+  static constexpr const char* kCpEndpoint = "cp";
+  static constexpr const char* kTtpEndpoint = "ttp";
+
+ private:
+  void RegisterEndpoints();
+
+  SimClock clock_;
+  net::Transport transport_;
+  std::unique_ptr<CertificationAuthority> ca_;
+  std::unique_ptr<TrustedThirdParty> ttp_;
+  std::unique_ptr<PaymentProvider> bank_;
+  std::unique_ptr<ContentProvider> cp_;
+};
+
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_SYSTEM_H_

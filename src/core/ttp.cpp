@@ -1,0 +1,144 @@
+#include "core/ttp.h"
+
+#include "core/metrics.h"
+#include "net/codec.h"
+
+namespace p2drm {
+namespace core {
+
+std::vector<std::uint8_t> RedemptionTranscript::CanonicalBytes() const {
+  net::ByteWriter w;
+  w.U8(0x11);  // domain tag: redemption transcript
+  w.Fixed(license_id.bytes);
+  w.Blob(pseudonym_cert);
+  w.U64(timestamp_s);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> RedemptionTranscript::Serialize() const {
+  net::ByteWriter w;
+  w.Fixed(license_id.bytes);
+  w.Blob(pseudonym_cert);
+  w.U64(timestamp_s);
+  w.Blob(cp_signature);
+  return w.Take();
+}
+
+RedemptionTranscript RedemptionTranscript::Deserialize(
+    const std::vector<std::uint8_t>& b) {
+  net::ByteReader r(b);
+  RedemptionTranscript t;
+  t.license_id.bytes = r.Fixed<16>();
+  t.pseudonym_cert = r.Blob();
+  t.timestamp_s = r.U64();
+  t.cp_signature = r.Blob();
+  r.ExpectEnd();
+  return t;
+}
+
+std::vector<std::uint8_t> FraudEvidence::Serialize() const {
+  net::ByteWriter w;
+  w.Blob(first.Serialize());
+  w.Blob(second.Serialize());
+  return w.Take();
+}
+
+FraudEvidence FraudEvidence::Deserialize(const std::vector<std::uint8_t>& b) {
+  net::ByteReader r(b);
+  FraudEvidence e;
+  e.first = RedemptionTranscript::Deserialize(r.Blob());
+  e.second = RedemptionTranscript::Deserialize(r.Blob());
+  r.ExpectEnd();
+  return e;
+}
+
+std::vector<std::uint8_t> EscrowPayload::Serialize() const {
+  net::ByteWriter w;
+  w.U64(card_id);
+  w.Fixed(nonce);
+  return w.Take();
+}
+
+bool EscrowPayload::Deserialize(const std::vector<std::uint8_t>& b,
+                                EscrowPayload* out) {
+  if (b.size() != 8 + 16) return false;
+  net::ByteReader r(b);
+  out->card_id = r.U64();
+  out->nonce = r.Fixed<16>();
+  return true;
+}
+
+TrustedThirdParty::TrustedThirdParty(std::size_t modulus_bits,
+                                     bignum::RandomSource* rng)
+    : key_(crypto::GenerateRsaKey(modulus_bits, rng)),
+      public_key_(key_.PublicKey()) {
+  GlobalOps().keygen += 1;
+}
+
+TrustedThirdParty::OpenResult TrustedThirdParty::OpenEscrow(
+    const FraudEvidence& evidence, const crypto::RsaPublicKey& cp_key) {
+  OpenResult result;
+
+  // 1. Both transcripts must be provider-signed.
+  GlobalOps().verify += 2;
+  if (!crypto::RsaVerifyFdh(cp_key, evidence.first.CanonicalBytes(),
+                            evidence.first.cp_signature) ||
+      !crypto::RsaVerifyFdh(cp_key, evidence.second.CanonicalBytes(),
+                            evidence.second.cp_signature)) {
+    ++refused_count_;
+    result.reason = "transcript signature invalid";
+    return result;
+  }
+
+  // 2. They must conflict: same license id, distinct attempts.
+  if (evidence.first.license_id != evidence.second.license_id) {
+    ++refused_count_;
+    result.reason = "transcripts reference different licenses";
+    return result;
+  }
+  if (evidence.first.pseudonym_cert == evidence.second.pseudonym_cert &&
+      evidence.first.timestamp_s == evidence.second.timestamp_s) {
+    ++refused_count_;
+    result.reason = "transcripts are identical, not conflicting";
+    return result;
+  }
+
+  // 3. Open the escrow of the second (fraudulent) attempt.
+  PseudonymCertificate cert;
+  try {
+    cert = PseudonymCertificate::Deserialize(evidence.second.pseudonym_cert);
+  } catch (const net::CodecError&) {
+    ++refused_count_;
+    result.reason = "malformed pseudonym certificate";
+    return result;
+  }
+  crypto::HybridCiphertext escrow_ct;
+  try {
+    escrow_ct = crypto::HybridCiphertext::Deserialize(cert.escrow);
+  } catch (const std::exception&) {
+    ++refused_count_;
+    result.reason = "malformed escrow";
+    return result;
+  }
+  std::vector<std::uint8_t> plain;
+  GlobalOps().hybrid_dec += 1;
+  if (!crypto::RsaHybridDecrypt(key_, escrow_ct, &plain)) {
+    ++refused_count_;
+    result.reason = "escrow does not decrypt";
+    return result;
+  }
+  EscrowPayload payload;
+  if (!EscrowPayload::Deserialize(plain, &payload)) {
+    ++refused_count_;
+    result.reason = "escrow payload malformed";
+    return result;
+  }
+
+  ++opened_count_;
+  result.opened = true;
+  result.card_id = payload.card_id;
+  return result;
+}
+
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,94 @@
+#ifndef P2DRM_CORE_TTP_H_
+#define P2DRM_CORE_TTP_H_
+
+/// \file ttp.h
+/// \brief Trusted Third Party: identity escrow and conditional anonymity.
+///
+/// Every pseudonym certificate carries an escrow blob encrypted to the TTP.
+/// Honest users are never de-anonymized; only when the content provider
+/// presents cryptographic evidence of fraud — two provider-signed
+/// redemption transcripts for the same license id — does the TTP open the
+/// escrow and reveal the card id behind the offending pseudonym. This is
+/// the "revocable anonymity" piece of the paper.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bignum/random_source.h"
+#include "core/certificates.h"
+#include "crypto/rsa.h"
+#include "rel/ids.h"
+
+namespace p2drm {
+namespace core {
+
+/// A provider-signed record of one redemption attempt.
+struct RedemptionTranscript {
+  rel::LicenseId license_id;
+  std::vector<std::uint8_t> pseudonym_cert;  ///< serialized certificate shown
+  std::uint64_t timestamp_s = 0;
+  std::vector<std::uint8_t> cp_signature;    ///< CP signature over the above
+
+  std::vector<std::uint8_t> CanonicalBytes() const;
+  std::vector<std::uint8_t> Serialize() const;
+  static RedemptionTranscript Deserialize(const std::vector<std::uint8_t>& b);
+};
+
+/// Two conflicting transcripts for the same license id.
+struct FraudEvidence {
+  RedemptionTranscript first;
+  RedemptionTranscript second;
+
+  std::vector<std::uint8_t> Serialize() const;
+  static FraudEvidence Deserialize(const std::vector<std::uint8_t>& b);
+};
+
+/// Escrow plaintext layout: card id + random nonce (anti-dictionary).
+struct EscrowPayload {
+  std::uint64_t card_id = 0;
+  std::array<std::uint8_t, 16> nonce{};
+
+  std::vector<std::uint8_t> Serialize() const;
+  static bool Deserialize(const std::vector<std::uint8_t>& b,
+                          EscrowPayload* out);
+};
+
+/// The TTP actor.
+class TrustedThirdParty {
+ public:
+  TrustedThirdParty(std::size_t modulus_bits, bignum::RandomSource* rng);
+
+  /// Escrow encryption key; cards encrypt their identity to this key.
+  const crypto::RsaPublicKey& EscrowKey() const { return public_key_; }
+
+  /// Result of an escrow-opening request.
+  struct OpenResult {
+    bool opened = false;
+    std::uint64_t card_id = 0;  ///< valid when opened
+    std::string reason;         ///< refusal / failure reason otherwise
+  };
+
+  /// Verifies the evidence and, if convincing, decrypts the escrow of the
+  /// *second* (fraudulent) transcript's pseudonym certificate.
+  /// \param cp_key the content provider key the transcripts must verify
+  ///        under (the TTP only accepts evidence from providers it knows).
+  OpenResult OpenEscrow(const FraudEvidence& evidence,
+                        const crypto::RsaPublicKey& cp_key);
+
+  /// Audit counter: number of escrows actually opened.
+  std::uint64_t OpenedCount() const { return opened_count_; }
+  /// Audit counter: number of refused requests.
+  std::uint64_t RefusedCount() const { return refused_count_; }
+
+ private:
+  crypto::RsaPrivateKey key_;
+  crypto::RsaPublicKey public_key_;
+  std::uint64_t opened_count_ = 0;
+  std::uint64_t refused_count_ = 0;
+};
+
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_TTP_H_

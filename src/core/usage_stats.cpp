@@ -1,0 +1,60 @@
+#include "core/usage_stats.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2drm {
+namespace core {
+
+RandomizedResponder::RandomizedResponder(double truth_probability)
+    : p_(truth_probability) {
+  if (!(p_ > 0.0) || p_ > 1.0) {
+    throw std::invalid_argument(
+        "RandomizedResponder: truth probability must be in (0, 1]");
+  }
+}
+
+bool RandomizedResponder::Respond(bool truth,
+                                  bignum::RandomSource* rng) const {
+  // Draw u uniform in [0,1) with 32-bit resolution.
+  double u = static_cast<double>(rng->NextUint64(1ull << 32)) /
+             static_cast<double>(1ull << 32);
+  if (u < p_) return truth;
+  return rng->NextUint64(2) == 1;
+}
+
+UsageAggregator::UsageAggregator(double truth_probability)
+    : p_(truth_probability) {
+  if (!(p_ > 0.0) || p_ > 1.0) {
+    throw std::invalid_argument(
+        "UsageAggregator: truth probability must be in (0, 1]");
+  }
+}
+
+void UsageAggregator::AddReport(rel::ContentId content, bool reported_bit) {
+  Counts& c = counts_[content];
+  c.total += 1;
+  if (reported_bit) c.affirmative += 1;
+}
+
+std::uint64_t UsageAggregator::RawCount(rel::ContentId content) const {
+  auto it = counts_.find(content);
+  return it == counts_.end() ? 0 : it->second.affirmative;
+}
+
+std::uint64_t UsageAggregator::TotalReports(rel::ContentId content) const {
+  auto it = counts_.find(content);
+  return it == counts_.end() ? 0 : it->second.total;
+}
+
+double UsageAggregator::EstimatedCount(rel::ContentId content) const {
+  auto it = counts_.find(content);
+  if (it == counts_.end()) return 0.0;
+  double total = static_cast<double>(it->second.total);
+  double raw = static_cast<double>(it->second.affirmative);
+  double estimate = (raw - total * (1.0 - p_) / 2.0) / p_;
+  return std::clamp(estimate, 0.0, total);
+}
+
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,76 @@
+#ifndef P2DRM_CORE_USAGE_STATS_H_
+#define P2DRM_CORE_USAGE_STATS_H_
+
+/// \file usage_stats.h
+/// \brief Usage statistics without user tracking.
+///
+/// The economics of DRM need *usage* tracking — per-title play counts for
+/// royalty distribution and capacity planning — but the paper's position
+/// is that this must not become *user* tracking. This module implements
+/// the collection side: devices report play events over the anonymous
+/// channel, and each individual report is additionally protected by
+/// randomized response (with probability 1-p the device reports a coin
+/// flip instead of the truth), so even a provider that could somehow tie
+/// a report to a user learns nothing it can rely on about that user —
+/// while the per-title aggregate remains an unbiased, accurate estimator.
+
+#include <cstdint>
+#include <map>
+
+#include "bignum/random_source.h"
+#include "rel/ids.h"
+
+namespace p2drm {
+namespace core {
+
+/// Device-side randomized-response encoder.
+class RandomizedResponder {
+ public:
+  /// \param truth_probability p ∈ (0, 1]: report the truth with
+  /// probability p, otherwise a fair coin. p = 1 disables the mechanism.
+  explicit RandomizedResponder(double truth_probability);
+
+  double truth_probability() const { return p_; }
+
+  /// Encodes one boolean event ("I played title X this period").
+  bool Respond(bool truth, bignum::RandomSource* rng) const;
+
+  /// Plausible deniability of a single report: the posterior probability
+  /// that the reported bit equals the true bit, assuming a uniform prior.
+  /// p = 1 → 1.0 (no deniability); p → 0 → 0.5 (full deniability).
+  double ReportConfidence() const { return p_ + (1.0 - p_) / 2.0; }
+
+ private:
+  double p_;
+};
+
+/// Provider-side aggregator with an unbiased de-noising estimator.
+class UsageAggregator {
+ public:
+  explicit UsageAggregator(double truth_probability);
+
+  /// Ingests one (anonymous) randomized report for \p content.
+  void AddReport(rel::ContentId content, bool reported_bit);
+
+  /// Raw affirmative reports for \p content (biased by the mechanism).
+  std::uint64_t RawCount(rel::ContentId content) const;
+  /// Total reports received for \p content.
+  std::uint64_t TotalReports(rel::ContentId content) const;
+
+  /// Unbiased estimate of the number of true play events:
+  ///   n̂ = (raw − total·(1−p)/2) / p, clamped to [0, total].
+  double EstimatedCount(rel::ContentId content) const;
+
+ private:
+  double p_;
+  struct Counts {
+    std::uint64_t affirmative = 0;
+    std::uint64_t total = 0;
+  };
+  std::map<rel::ContentId, Counts> counts_;
+};
+
+}  // namespace core
+}  // namespace p2drm
+
+#endif  // P2DRM_CORE_USAGE_STATS_H_

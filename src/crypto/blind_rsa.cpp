@@ -1,0 +1,36 @@
+#include "crypto/blind_rsa.h"
+
+namespace p2drm {
+namespace crypto {
+
+using bignum::BigInt;
+
+BlindingContext BlindMessage(const RsaPublicKey& pub,
+                             const std::vector<std::uint8_t>& msg,
+                             bignum::RandomSource* rng) {
+  BigInt m = FdhHash(msg, pub);
+  BlindingContext ctx;
+  while (true) {
+    ctx.r = rng->Below(pub.n);
+    if (ctx.r.IsZero()) continue;
+    if (BigInt::Gcd(ctx.r, pub.n) == BigInt(1)) break;
+  }
+  ctx.r_inv = ctx.r.InvMod(pub.n);
+  BigInt re = ctx.r.PowMod(pub.e, pub.n);
+  ctx.blinded = m.MulMod(re, pub.n);
+  return ctx;
+}
+
+BigInt SignBlinded(const RsaPrivateKey& priv, const BigInt& blinded) {
+  return RsaPrivateOp(priv, blinded);
+}
+
+std::vector<std::uint8_t> Unblind(const RsaPublicKey& pub,
+                                  const BlindingContext& ctx,
+                                  const BigInt& blind_sig) {
+  BigInt s = blind_sig.MulMod(ctx.r_inv, pub.n);
+  return s.ToBytesPadded(pub.ModulusBytes());
+}
+
+}  // namespace crypto
+}  // namespace p2drm

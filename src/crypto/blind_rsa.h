@@ -1,0 +1,55 @@
+#ifndef P2DRM_CRYPTO_BLIND_RSA_H_
+#define P2DRM_CRYPTO_BLIND_RSA_H_
+
+/// \file blind_rsa.h
+/// \brief Chaum blind RSA-FDH signatures.
+///
+/// This is the unlinkability engine of the P2DRM scheme: the Certification
+/// Authority signs pseudonym certificates and the payment provider signs
+/// e-cash tokens *blindly*, so the issued artifact cannot be linked back to
+/// the issuance session.
+///
+/// Protocol (requester R, signer S with key (n, e, d)):
+///   1. R computes m = FDH(msg), picks random r with gcd(r, n) = 1,
+///      sends b = m * r^e mod n.
+///   2. S returns s' = b^d mod n (it learns nothing about m).
+///   3. R unblinds s = s' * r^-1 mod n; (msg, s) verifies as a plain
+///      RSA-FDH signature under S's public key.
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "bignum/random_source.h"
+#include "crypto/rsa.h"
+
+namespace p2drm {
+namespace crypto {
+
+/// Client-side state for one blind-signature session.
+struct BlindingContext {
+  bignum::BigInt blinded;   ///< value to send to the signer
+  bignum::BigInt r;         ///< blinding factor (keep secret)
+  bignum::BigInt r_inv;     ///< r^-1 mod n, cached for unblinding
+};
+
+/// Step 1: blinds the FDH representative of \p msg under \p pub.
+BlindingContext BlindMessage(const RsaPublicKey& pub,
+                             const std::vector<std::uint8_t>& msg,
+                             bignum::RandomSource* rng);
+
+/// Step 2 (signer side): raw signature on the blinded value.
+/// The signer cannot tell this apart from any other private-key operation.
+bignum::BigInt SignBlinded(const RsaPrivateKey& priv,
+                           const bignum::BigInt& blinded);
+
+/// Step 3: removes the blinding factor, producing a standard RSA-FDH
+/// signature (modulus-width bytes) verifiable with RsaVerifyFdh.
+std::vector<std::uint8_t> Unblind(const RsaPublicKey& pub,
+                                  const BlindingContext& ctx,
+                                  const bignum::BigInt& blind_sig);
+
+}  // namespace crypto
+}  // namespace p2drm
+
+#endif  // P2DRM_CRYPTO_BLIND_RSA_H_

@@ -1,0 +1,96 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace p2drm {
+namespace crypto {
+
+namespace {
+
+inline std::uint32_t Rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void QuarterRound(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                         std::uint32_t& d) {
+  a += b; d ^= a; d = Rotl(d, 16);
+  c += d; b ^= c; b = Rotl(b, 12);
+  a += b; d ^= a; d = Rotl(d, 8);
+  c += d; b ^= c; b = Rotl(b, 7);
+}
+
+inline std::uint32_t Load32Le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(const std::array<std::uint8_t, 32>& key,
+                   const std::array<std::uint8_t, 12>& nonce,
+                   std::uint32_t counter) {
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = Load32Le(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = Load32Le(nonce.data() + 4 * i);
+}
+
+void ChaCha20::NextBlock() {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t v = x[i] + state_[i];
+    block_[i * 4] = static_cast<std::uint8_t>(v);
+    block_[i * 4 + 1] = static_cast<std::uint8_t>(v >> 8);
+    block_[i * 4 + 2] = static_cast<std::uint8_t>(v >> 16);
+    block_[i * 4 + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  ++state_[12];
+  block_pos_ = 0;
+}
+
+void ChaCha20::Keystream(std::uint8_t* out, std::size_t len) {
+  while (len > 0) {
+    if (block_pos_ == 64) NextBlock();
+    std::size_t take = std::min(len, static_cast<std::size_t>(64 - block_pos_));
+    std::memcpy(out, block_.data() + block_pos_, take);
+    block_pos_ += take;
+    out += take;
+    len -= take;
+  }
+}
+
+void ChaCha20::Crypt(std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    if (block_pos_ == 64) NextBlock();
+    std::size_t take = std::min(len, static_cast<std::size_t>(64 - block_pos_));
+    for (std::size_t i = 0; i < take; ++i) data[i] ^= block_[block_pos_ + i];
+    block_pos_ += take;
+    data += take;
+    len -= take;
+  }
+}
+
+std::vector<std::uint8_t> ChaCha20::Crypt(
+    const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> out = data;
+  Crypt(out.data(), out.size());
+  return out;
+}
+
+}  // namespace crypto
+}  // namespace p2drm

@@ -1,0 +1,47 @@
+#ifndef P2DRM_CRYPTO_CHACHA20_H_
+#define P2DRM_CRYPTO_CHACHA20_H_
+
+/// \file chacha20.h
+/// \brief RFC 8439 ChaCha20 stream cipher. Used for bulk content
+/// encryption in the DRM content store (the paper's content channel) and
+/// as the fast keystream behind deterministic simulation randomness.
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace p2drm {
+namespace crypto {
+
+/// ChaCha20 keystream generator / stream cipher.
+class ChaCha20 {
+ public:
+  /// \param key    32-byte key
+  /// \param nonce  12-byte nonce
+  /// \param counter initial block counter (RFC 8439 uses 1 for AEAD)
+  ChaCha20(const std::array<std::uint8_t, 32>& key,
+           const std::array<std::uint8_t, 12>& nonce,
+           std::uint32_t counter = 0);
+
+  /// XORs the keystream into the buffer in place.
+  void Crypt(std::uint8_t* data, std::size_t len);
+
+  /// Convenience: returns ciphertext (or plaintext; XOR is symmetric).
+  std::vector<std::uint8_t> Crypt(const std::vector<std::uint8_t>& data);
+
+  /// Produces raw keystream bytes.
+  void Keystream(std::uint8_t* out, std::size_t len);
+
+ private:
+  void NextBlock();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> block_;
+  std::size_t block_pos_ = 64;  // forces generation on first use
+};
+
+}  // namespace crypto
+}  // namespace p2drm
+
+#endif  // P2DRM_CRYPTO_CHACHA20_H_

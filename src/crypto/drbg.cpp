@@ -1,0 +1,66 @@
+#include "crypto/drbg.h"
+
+#include <random>
+
+namespace p2drm {
+namespace crypto {
+
+HmacDrbg::HmacDrbg(const std::vector<std::uint8_t>& seed)
+    : key_(32, 0x00), v_(32, 0x01) {
+  UpdateState(seed);
+}
+
+HmacDrbg::HmacDrbg(const std::string& seed_label)
+    : HmacDrbg(std::vector<std::uint8_t>(seed_label.begin(),
+                                         seed_label.end())) {}
+
+void HmacDrbg::UpdateState(const std::vector<std::uint8_t>& provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  std::vector<std::uint8_t> input = v_;
+  input.push_back(0x00);
+  input.insert(input.end(), provided.begin(), provided.end());
+  Digest256 k1 = HmacSha256(key_, input);
+  key_.assign(k1.begin(), k1.end());
+  Digest256 v1 = HmacSha256(key_, v_);
+  v_.assign(v1.begin(), v1.end());
+
+  if (provided.empty()) return;
+  // K = HMAC(K, V || 0x01 || provided); V = HMAC(K, V)
+  input = v_;
+  input.push_back(0x01);
+  input.insert(input.end(), provided.begin(), provided.end());
+  Digest256 k2 = HmacSha256(key_, input);
+  key_.assign(k2.begin(), k2.end());
+  Digest256 v2 = HmacSha256(key_, v_);
+  v_.assign(v2.begin(), v2.end());
+}
+
+void HmacDrbg::Reseed(const std::vector<std::uint8_t>& material) {
+  UpdateState(material);
+}
+
+void HmacDrbg::Fill(std::uint8_t* out, std::size_t len) {
+  std::size_t produced = 0;
+  while (produced < len) {
+    Digest256 v = HmacSha256(key_, v_);
+    v_.assign(v.begin(), v.end());
+    std::size_t take = std::min<std::size_t>(32, len - produced);
+    std::copy(v_.begin(), v_.begin() + take, out + produced);
+    produced += take;
+  }
+  UpdateState({});
+}
+
+void SystemRandom::Fill(std::uint8_t* out, std::size_t len) {
+  static thread_local std::random_device rd;
+  std::size_t i = 0;
+  while (i < len) {
+    unsigned int v = rd();
+    for (std::size_t b = 0; b < sizeof(v) && i < len; ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+  }
+}
+
+}  // namespace crypto
+}  // namespace p2drm

@@ -1,0 +1,52 @@
+#ifndef P2DRM_CRYPTO_DRBG_H_
+#define P2DRM_CRYPTO_DRBG_H_
+
+/// \file drbg.h
+/// \brief Deterministic and system randomness sources.
+///
+/// HmacDrbg follows NIST SP 800-90A HMAC_DRBG (SHA-256, no reseed
+/// counters enforced — this repo uses it for reproducible key generation
+/// in tests and benchmarks). SystemRandom wraps std::random_device.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bignum/random_source.h"
+#include "crypto/hmac.h"
+
+namespace p2drm {
+namespace crypto {
+
+/// NIST SP 800-90A style HMAC-DRBG over SHA-256.
+class HmacDrbg : public bignum::RandomSource {
+ public:
+  /// Instantiates from arbitrary seed material.
+  explicit HmacDrbg(const std::vector<std::uint8_t>& seed);
+
+  /// Convenience: seeds from a string label (tests/benches).
+  explicit HmacDrbg(const std::string& seed_label);
+
+  /// Mixes additional entropy into the state.
+  void Reseed(const std::vector<std::uint8_t>& material);
+
+  void Fill(std::uint8_t* out, std::size_t len) override;
+
+ private:
+  void UpdateState(const std::vector<std::uint8_t>& provided);
+
+  std::vector<std::uint8_t> key_;  // K, 32 bytes
+  std::vector<std::uint8_t> v_;    // V, 32 bytes
+};
+
+/// Randomness from std::random_device. Suitable for examples; tests and
+/// benchmarks should prefer HmacDrbg for reproducibility.
+class SystemRandom : public bignum::RandomSource {
+ public:
+  void Fill(std::uint8_t* out, std::size_t len) override;
+};
+
+}  // namespace crypto
+}  // namespace p2drm
+
+#endif  // P2DRM_CRYPTO_DRBG_H_

@@ -1,0 +1,79 @@
+#include "crypto/hmac.h"
+
+#include <stdexcept>
+
+namespace p2drm {
+namespace crypto {
+
+Digest256 HmacSha256(const std::vector<std::uint8_t>& key,
+                     const std::uint8_t* msg, std::size_t len) {
+  constexpr std::size_t kBlock = 64;
+  std::vector<std::uint8_t> k = key;
+  if (k.size() > kBlock) {
+    Digest256 d = Sha256::Hash(k);
+    k.assign(d.begin(), d.end());
+  }
+  k.resize(kBlock, 0);
+
+  std::vector<std::uint8_t> ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(msg, len);
+  Digest256 inner_digest = inner.Final();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Final();
+}
+
+Digest256 HmacSha256(const std::vector<std::uint8_t>& key,
+                     const std::vector<std::uint8_t>& msg) {
+  return HmacSha256(key, msg.data(), msg.size());
+}
+
+Digest256 HkdfExtract(const std::vector<std::uint8_t>& salt,
+                      const std::vector<std::uint8_t>& ikm) {
+  std::vector<std::uint8_t> s = salt;
+  if (s.empty()) s.assign(32, 0);
+  return HmacSha256(s, ikm);
+}
+
+std::vector<std::uint8_t> HkdfExpand(const Digest256& prk,
+                                     const std::vector<std::uint8_t>& info,
+                                     std::size_t out_len) {
+  if (out_len > 255 * 32) {
+    throw std::length_error("HkdfExpand: output too long");
+  }
+  std::vector<std::uint8_t> prk_key(prk.begin(), prk.end());
+  std::vector<std::uint8_t> out;
+  out.reserve(out_len);
+  std::vector<std::uint8_t> t;
+  std::uint8_t counter = 1;
+  while (out.size() < out_len) {
+    std::vector<std::uint8_t> input = t;
+    input.insert(input.end(), info.begin(), info.end());
+    input.push_back(counter);
+    Digest256 d = HmacSha256(prk_key, input);
+    t.assign(d.begin(), d.end());
+    std::size_t take = std::min<std::size_t>(32, out_len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + take);
+    ++counter;
+  }
+  return out;
+}
+
+bool ConstantTimeEquals(const std::uint8_t* a, const std::uint8_t* b,
+                        std::size_t len) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < len; ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace crypto
+}  // namespace p2drm

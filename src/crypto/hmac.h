@@ -1,0 +1,38 @@
+#ifndef P2DRM_CRYPTO_HMAC_H_
+#define P2DRM_CRYPTO_HMAC_H_
+
+/// \file hmac.h
+/// \brief HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace p2drm {
+namespace crypto {
+
+/// Computes HMAC-SHA256(key, message).
+Digest256 HmacSha256(const std::vector<std::uint8_t>& key,
+                     const std::uint8_t* msg, std::size_t len);
+
+Digest256 HmacSha256(const std::vector<std::uint8_t>& key,
+                     const std::vector<std::uint8_t>& msg);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Digest256 HkdfExtract(const std::vector<std::uint8_t>& salt,
+                      const std::vector<std::uint8_t>& ikm);
+
+/// HKDF-Expand: derives \p out_len bytes (<= 255*32) from a PRK and info.
+std::vector<std::uint8_t> HkdfExpand(const Digest256& prk,
+                                     const std::vector<std::uint8_t>& info,
+                                     std::size_t out_len);
+
+/// Constant-time comparison of equal-length byte strings.
+bool ConstantTimeEquals(const std::uint8_t* a, const std::uint8_t* b,
+                        std::size_t len);
+
+}  // namespace crypto
+}  // namespace p2drm
+
+#endif  // P2DRM_CRYPTO_HMAC_H_

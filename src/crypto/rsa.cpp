@@ -1,0 +1,235 @@
+#include "crypto/rsa.h"
+
+#include <stdexcept>
+
+#include "bignum/prime.h"
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+
+namespace p2drm {
+namespace crypto {
+
+using bignum::BigInt;
+
+namespace {
+
+void PutU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  out->push_back(static_cast<std::uint8_t>(v >> 24));
+  out->push_back(static_cast<std::uint8_t>(v >> 16));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+  out->push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t GetU32(const std::vector<std::uint8_t>& in, std::size_t* pos) {
+  if (*pos + 4 > in.size()) throw std::out_of_range("RSA deserialize: truncated");
+  std::uint32_t v = (static_cast<std::uint32_t>(in[*pos]) << 24) |
+                    (static_cast<std::uint32_t>(in[*pos + 1]) << 16) |
+                    (static_cast<std::uint32_t>(in[*pos + 2]) << 8) |
+                    static_cast<std::uint32_t>(in[*pos + 3]);
+  *pos += 4;
+  return v;
+}
+
+std::vector<std::uint8_t> GetBlob(const std::vector<std::uint8_t>& in,
+                                  std::size_t* pos) {
+  std::uint32_t len = GetU32(in, pos);
+  if (*pos + len > in.size()) throw std::out_of_range("RSA deserialize: truncated");
+  std::vector<std::uint8_t> blob(in.begin() + *pos, in.begin() + *pos + len);
+  *pos += len;
+  return blob;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> RsaPublicKey::Serialize() const {
+  std::vector<std::uint8_t> out;
+  std::vector<std::uint8_t> nb = n.ToBytes();
+  std::vector<std::uint8_t> eb = e.ToBytes();
+  PutU32(&out, static_cast<std::uint32_t>(nb.size()));
+  out.insert(out.end(), nb.begin(), nb.end());
+  PutU32(&out, static_cast<std::uint32_t>(eb.size()));
+  out.insert(out.end(), eb.begin(), eb.end());
+  return out;
+}
+
+RsaPublicKey RsaPublicKey::Deserialize(const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  std::vector<std::uint8_t> nb = GetBlob(bytes, &pos);
+  std::vector<std::uint8_t> eb = GetBlob(bytes, &pos);
+  return RsaPublicKey{BigInt::FromBytes(nb), BigInt::FromBytes(eb)};
+}
+
+Digest256 RsaPublicKey::Fingerprint() const {
+  return Sha256::Hash(Serialize());
+}
+
+RsaPrivateKey GenerateRsaKey(std::size_t modulus_bits,
+                             bignum::RandomSource* rng) {
+  if (modulus_bits < 128 || modulus_bits % 2 != 0) {
+    throw std::invalid_argument("GenerateRsaKey: modulus_bits must be even, >= 128");
+  }
+  const BigInt e(65537);
+  const int kMrRounds = 24;
+  std::size_t half = modulus_bits / 2;
+  while (true) {
+    BigInt p = bignum::GenerateRsaPrime(half, e, kMrRounds, rng);
+    BigInt q = bignum::GenerateRsaPrime(half, e, kMrRounds, rng);
+    if (p == q) continue;
+    BigInt n = p * q;
+    if (n.BitLength() != modulus_bits) continue;  // rare; retry
+    BigInt p1 = p - BigInt(1);
+    BigInt q1 = q - BigInt(1);
+    BigInt phi = p1 * q1;
+    BigInt d = e.InvMod(phi);
+    RsaPrivateKey key;
+    key.n = n;
+    key.e = e;
+    key.d = d;
+    key.p = p;
+    key.q = q;
+    key.dp = d % p1;
+    key.dq = d % q1;
+    key.qinv = q.InvMod(p);
+    return key;
+  }
+}
+
+BigInt RsaPublicOp(const RsaPublicKey& pub, const BigInt& m) {
+  if (m.IsNegative() || m.Compare(pub.n) >= 0) {
+    throw std::domain_error("RsaPublicOp: message out of range");
+  }
+  return m.PowMod(pub.e, pub.n);
+}
+
+BigInt RsaPrivateOp(const RsaPrivateKey& priv, const BigInt& c) {
+  if (c.IsNegative() || c.Compare(priv.n) >= 0) {
+    throw std::domain_error("RsaPrivateOp: ciphertext out of range");
+  }
+  // CRT: m1 = c^dp mod p, m2 = c^dq mod q, h = qinv*(m1-m2) mod p,
+  // m = m2 + h*q.
+  BigInt m1 = c.Mod(priv.p).PowMod(priv.dp, priv.p);
+  BigInt m2 = c.Mod(priv.q).PowMod(priv.dq, priv.q);
+  BigInt h = priv.qinv.MulMod(m1.SubMod(m2.Mod(priv.p), priv.p), priv.p);
+  return m2 + h * priv.q;
+}
+
+std::vector<std::uint8_t> Mgf1Sha256(const std::vector<std::uint8_t>& seed,
+                                     std::size_t out_len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(out_len);
+  std::uint32_t counter = 0;
+  while (out.size() < out_len) {
+    std::vector<std::uint8_t> input = seed;
+    PutU32(&input, counter);
+    Digest256 d = Sha256::Hash(input);
+    std::size_t take = std::min<std::size_t>(32, out_len - out.size());
+    out.insert(out.end(), d.begin(), d.begin() + take);
+    ++counter;
+  }
+  return out;
+}
+
+BigInt FdhHash(const std::vector<std::uint8_t>& msg, const RsaPublicKey& pub) {
+  std::size_t width = pub.ModulusBytes();
+  Digest256 seed_digest = Sha256::Hash(msg);
+  std::vector<std::uint8_t> seed(seed_digest.begin(), seed_digest.end());
+  std::vector<std::uint8_t> expanded = Mgf1Sha256(seed, width);
+  expanded[0] = 0;  // force representative < 2^(8(k-1)) <= n
+  return BigInt::FromBytes(expanded);
+}
+
+std::vector<std::uint8_t> RsaSignFdh(const RsaPrivateKey& priv,
+                                     const std::vector<std::uint8_t>& msg) {
+  RsaPublicKey pub = priv.PublicKey();
+  BigInt m = FdhHash(msg, pub);
+  BigInt s = RsaPrivateOp(priv, m);
+  return s.ToBytesPadded(pub.ModulusBytes());
+}
+
+bool RsaVerifyFdh(const RsaPublicKey& pub, const std::vector<std::uint8_t>& msg,
+                  const std::vector<std::uint8_t>& sig) {
+  if (sig.size() != pub.ModulusBytes()) return false;
+  BigInt s = BigInt::FromBytes(sig);
+  if (s.Compare(pub.n) >= 0) return false;
+  BigInt recovered = RsaPublicOp(pub, s);
+  return recovered == FdhHash(msg, pub);
+}
+
+std::vector<std::uint8_t> HybridCiphertext::Serialize() const {
+  std::vector<std::uint8_t> out;
+  PutU32(&out, static_cast<std::uint32_t>(encapsulated.size()));
+  out.insert(out.end(), encapsulated.begin(), encapsulated.end());
+  PutU32(&out, static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+HybridCiphertext HybridCiphertext::Deserialize(
+    const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  HybridCiphertext ct;
+  ct.encapsulated = GetBlob(bytes, &pos);
+  ct.body = GetBlob(bytes, &pos);
+  if (pos + 32 != bytes.size()) {
+    throw std::out_of_range("HybridCiphertext: bad tag length");
+  }
+  std::copy(bytes.begin() + pos, bytes.end(), ct.tag.begin());
+  return ct;
+}
+
+namespace {
+
+struct DerivedKeys {
+  std::array<std::uint8_t, 32> enc_key;
+  std::vector<std::uint8_t> mac_key;
+  std::array<std::uint8_t, 12> nonce;
+};
+
+DerivedKeys DeriveKeys(const BigInt& shared, std::size_t width) {
+  std::vector<std::uint8_t> ikm = shared.ToBytesPadded(width);
+  Digest256 prk = HkdfExtract({}, ikm);
+  std::vector<std::uint8_t> info = {'p', '2', 'd', 'r', 'm', '-', 'k', 'e', 'm'};
+  std::vector<std::uint8_t> okm = HkdfExpand(prk, info, 32 + 32 + 12);
+  DerivedKeys keys;
+  std::copy(okm.begin(), okm.begin() + 32, keys.enc_key.begin());
+  keys.mac_key.assign(okm.begin() + 32, okm.begin() + 64);
+  std::copy(okm.begin() + 64, okm.end(), keys.nonce.begin());
+  return keys;
+}
+
+}  // namespace
+
+HybridCiphertext RsaHybridEncrypt(const RsaPublicKey& pub,
+                                  const std::vector<std::uint8_t>& plaintext,
+                                  bignum::RandomSource* rng) {
+  BigInt x = rng->Below(pub.n);
+  BigInt c0 = RsaPublicOp(pub, x);
+  DerivedKeys keys = DeriveKeys(x, pub.ModulusBytes());
+
+  HybridCiphertext ct;
+  ct.encapsulated = c0.ToBytesPadded(pub.ModulusBytes());
+  ChaCha20 cipher(keys.enc_key, keys.nonce);
+  ct.body = cipher.Crypt(plaintext);
+  Digest256 mac = HmacSha256(keys.mac_key, ct.body);
+  std::copy(mac.begin(), mac.end(), ct.tag.begin());
+  return ct;
+}
+
+bool RsaHybridDecrypt(const RsaPrivateKey& priv, const HybridCiphertext& ct,
+                      std::vector<std::uint8_t>* plaintext) {
+  BigInt c0 = BigInt::FromBytes(ct.encapsulated);
+  if (c0.Compare(priv.n) >= 0) return false;
+  BigInt x = RsaPrivateOp(priv, c0);
+  DerivedKeys keys = DeriveKeys(x, priv.PublicKey().ModulusBytes());
+
+  Digest256 mac = HmacSha256(keys.mac_key, ct.body);
+  if (!ConstantTimeEquals(mac.data(), ct.tag.data(), mac.size())) return false;
+
+  ChaCha20 cipher(keys.enc_key, keys.nonce);
+  *plaintext = cipher.Crypt(ct.body);
+  return true;
+}
+
+}  // namespace crypto
+}  // namespace p2drm

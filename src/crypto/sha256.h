@@ -1,0 +1,68 @@
+#ifndef P2DRM_CRYPTO_SHA256_H_
+#define P2DRM_CRYPTO_SHA256_H_
+
+/// \file sha256.h
+/// \brief FIPS 180-4 SHA-256, incremental and one-shot.
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace p2drm {
+namespace crypto {
+
+/// 32-byte digest type.
+using Digest256 = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  /// Resets to the initial state.
+  void Reset();
+
+  /// Absorbs \p len bytes.
+  void Update(const std::uint8_t* data, std::size_t len);
+  void Update(const std::vector<std::uint8_t>& data) {
+    Update(data.data(), data.size());
+  }
+  void Update(const std::string& data) {
+    Update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
+
+  /// Finalizes and returns the digest. The hasher must be Reset() before
+  /// reuse.
+  Digest256 Final();
+
+  /// One-shot convenience.
+  static Digest256 Hash(const std::uint8_t* data, std::size_t len);
+  static Digest256 Hash(const std::vector<std::uint8_t>& data) {
+    return Hash(data.data(), data.size());
+  }
+  static Digest256 Hash(const std::string& data) {
+    return Hash(reinterpret_cast<const std::uint8_t*>(data.data()),
+                data.size());
+  }
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Hex rendering of a digest (lower-case, 64 chars).
+std::string DigestToHex(const Digest256& d);
+
+/// Digest as a byte vector.
+std::vector<std::uint8_t> DigestToBytes(const Digest256& d);
+
+}  // namespace crypto
+}  // namespace p2drm
+
+#endif  // P2DRM_CRYPTO_SHA256_H_

@@ -1,0 +1,87 @@
+#include "net/codec.h"
+
+namespace p2drm {
+namespace net {
+
+void ByteWriter::U16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::U32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::U64(std::uint64_t v) {
+  U32(static_cast<std::uint32_t>(v >> 32));
+  U32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::Blob(const std::vector<std::uint8_t>& v) {
+  Blob(v.data(), v.size());
+}
+
+void ByteWriter::Blob(const std::uint8_t* data, std::size_t len) {
+  U32(static_cast<std::uint32_t>(len));
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+void ByteWriter::String(const std::string& s) {
+  Blob(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void ByteReader::Require(std::size_t n) const {
+  if (pos_ + n > size_) throw CodecError("ByteReader: truncated input");
+}
+
+std::uint8_t ByteReader::U8() {
+  Require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::U16() {
+  Require(2);
+  std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::U32() {
+  Require(4);
+  std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                    static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::U64() {
+  std::uint64_t hi = U32();
+  std::uint64_t lo = U32();
+  return (hi << 32) | lo;
+}
+
+std::vector<std::uint8_t> ByteReader::Blob() {
+  std::uint32_t len = U32();
+  Require(len);
+  std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+std::string ByteReader::String() {
+  std::vector<std::uint8_t> b = Blob();
+  return std::string(b.begin(), b.end());
+}
+
+void ByteReader::ExpectEnd() const {
+  if (!AtEnd()) throw CodecError("ByteReader: trailing bytes");
+}
+
+}  // namespace net
+}  // namespace p2drm

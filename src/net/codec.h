@@ -1,0 +1,99 @@
+#ifndef P2DRM_NET_CODEC_H_
+#define P2DRM_NET_CODEC_H_
+
+/// \file codec.h
+/// \brief Canonical binary encoding used for every on-wire message and every
+/// signed structure in the repo.
+///
+/// Signatures in the DRM protocols are computed over these encodings, so the
+/// encoding must be canonical: fixed-width big-endian integers and
+/// length-prefixed blobs, no optional fields, no floats.
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace p2drm {
+namespace net {
+
+/// Thrown when a reader runs past the end of its buffer or a declared
+/// length is inconsistent.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends fixed-width big-endian values and length-prefixed blobs.
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v) { buf_.push_back(v); }
+  void U16(std::uint16_t v);
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+
+  /// 32-bit length prefix followed by raw bytes.
+  void Blob(const std::vector<std::uint8_t>& v);
+  void Blob(const std::uint8_t* data, std::size_t len);
+
+  /// Fixed-width raw bytes, no length prefix.
+  template <std::size_t N>
+  void Fixed(const std::array<std::uint8_t, N>& v) {
+    buf_.insert(buf_.end(), v.begin(), v.end());
+  }
+
+  /// UTF-8 string as a blob.
+  void String(const std::string& s);
+
+  const std::vector<std::uint8_t>& Bytes() const { return buf_; }
+  std::vector<std::uint8_t> Take() { return std::move(buf_); }
+  std::size_t Size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reads values written by ByteWriter. Throws CodecError on underflow.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t U8();
+  std::uint16_t U16();
+  std::uint32_t U32();
+  std::uint64_t U64();
+  std::vector<std::uint8_t> Blob();
+  std::string String();
+
+  template <std::size_t N>
+  std::array<std::uint8_t, N> Fixed() {
+    Require(N);
+    std::array<std::uint8_t, N> out;
+    std::copy(data_ + pos_, data_ + pos_ + N, out.begin());
+    pos_ += N;
+    return out;
+  }
+
+  /// Bytes left unread.
+  std::size_t Remaining() const { return size_ - pos_; }
+  /// True when the whole buffer has been consumed.
+  bool AtEnd() const { return pos_ == size_; }
+  /// Throws unless the buffer was consumed exactly.
+  void ExpectEnd() const;
+
+ private:
+  void Require(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace net
+}  // namespace p2drm
+
+#endif  // P2DRM_NET_CODEC_H_

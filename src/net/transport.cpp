@@ -1,0 +1,77 @@
+#include "net/transport.h"
+
+#include <stdexcept>
+
+namespace p2drm {
+namespace net {
+
+void Transport::RegisterEndpoint(const std::string& endpoint, Handler handler) {
+  endpoints_[endpoint] = std::move(handler);
+}
+
+std::vector<std::uint8_t> Transport::Call(
+    const std::string& from, const std::string& endpoint,
+    const std::vector<std::uint8_t>& request) {
+  auto it = endpoints_.find(endpoint);
+  if (it == endpoints_.end()) {
+    throw std::out_of_range("Transport: unknown endpoint " + endpoint);
+  }
+  ChannelStats& req = request_stats_[{from, endpoint}];
+  req.messages += 1;
+  req.bytes += request.size();
+  simulated_us_ += latency_.CostUs(request.size());
+
+  std::vector<std::uint8_t> response = it->second(request);
+
+  ChannelStats& resp = response_stats_[endpoint];
+  resp.messages += 1;
+  resp.bytes += response.size();
+  simulated_us_ += latency_.CostUs(response.size());
+  return response;
+}
+
+ChannelStats Transport::StatsFor(const std::string& from,
+                                 const std::string& to) const {
+  auto it = request_stats_.find({from, to});
+  return it == request_stats_.end() ? ChannelStats{} : it->second;
+}
+
+ChannelStats Transport::TotalFor(const std::string& endpoint) const {
+  ChannelStats total;
+  for (const auto& [key, stats] : request_stats_) {
+    if (key.second == endpoint) {
+      total.messages += stats.messages;
+      total.bytes += stats.bytes;
+    }
+  }
+  auto it = response_stats_.find(endpoint);
+  if (it != response_stats_.end()) {
+    total.messages += it->second.messages;
+    total.bytes += it->second.bytes;
+  }
+  return total;
+}
+
+ChannelStats Transport::GrandTotal() const {
+  ChannelStats total;
+  for (const auto& [key, stats] : request_stats_) {
+    (void)key;
+    total.messages += stats.messages;
+    total.bytes += stats.bytes;
+  }
+  for (const auto& [key, stats] : response_stats_) {
+    (void)key;
+    total.messages += stats.messages;
+    total.bytes += stats.bytes;
+  }
+  return total;
+}
+
+void Transport::ResetStats() {
+  request_stats_.clear();
+  response_stats_.clear();
+  simulated_us_ = 0;
+}
+
+}  // namespace net
+}  // namespace p2drm

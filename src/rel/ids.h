@@ -1,0 +1,61 @@
+#ifndef P2DRM_REL_IDS_H_
+#define P2DRM_REL_IDS_H_
+
+/// \file ids.h
+/// \brief Identifier types shared across the DRM stack.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace p2drm {
+namespace rel {
+
+/// Catalog identifier of a piece of content.
+using ContentId = std::uint64_t;
+
+/// 16-byte globally unique license identifier. The uniqueness of this id is
+/// what lets the content provider detect double redemption of anonymous
+/// licenses (the paper's core enforcement mechanism for private transfer).
+struct LicenseId {
+  std::array<std::uint8_t, 16> bytes{};
+
+  bool operator==(const LicenseId& o) const { return bytes == o.bytes; }
+  bool operator!=(const LicenseId& o) const { return bytes != o.bytes; }
+  bool operator<(const LicenseId& o) const { return bytes < o.bytes; }
+
+  /// Hex rendering for logs and map keys.
+  std::string ToHex() const {
+    static const char* kHex = "0123456789abcdef";
+    std::string s;
+    s.reserve(32);
+    for (auto b : bytes) {
+      s.push_back(kHex[b >> 4]);
+      s.push_back(kHex[b & 0xf]);
+    }
+    return s;
+  }
+};
+
+/// 32-byte key fingerprint (SHA-256 of a serialized public key).
+using KeyFingerprint = std::array<std::uint8_t, 32>;
+
+/// 32-byte device identifier (fingerprint of the device certificate key).
+using DeviceId = std::array<std::uint8_t, 32>;
+
+}  // namespace rel
+}  // namespace p2drm
+
+namespace std {
+template <>
+struct hash<p2drm::rel::LicenseId> {
+  size_t operator()(const p2drm::rel::LicenseId& id) const noexcept {
+    // The id is already uniformly random; fold the first 8 bytes.
+    size_t h = 0;
+    for (int i = 0; i < 8; ++i) h = (h << 8) | id.bytes[i];
+    return h;
+  }
+};
+}  // namespace std
+
+#endif  // P2DRM_REL_IDS_H_

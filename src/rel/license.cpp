@@ -1,0 +1,76 @@
+#include "rel/license.h"
+
+#include <sstream>
+
+namespace p2drm {
+namespace rel {
+
+const char* LicenseKindName(LicenseKind k) {
+  switch (k) {
+    case LicenseKind::kUserBound: return "user-bound";
+    case LicenseKind::kAnonymous: return "anonymous";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> License::CanonicalBytes() const {
+  net::ByteWriter w;
+  w.Fixed(id.bytes);
+  w.U8(static_cast<std::uint8_t>(kind));
+  w.U64(content_id);
+  w.Fixed(bound_key);
+  rights.Encode(&w);
+  w.U64(issued_at_s);
+  w.Blob(wrapped_content_key);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> License::Serialize() const {
+  net::ByteWriter w;
+  w.Blob(CanonicalBytes());
+  w.Blob(issuer_signature);
+  return w.Take();
+}
+
+License License::Deserialize(const std::vector<std::uint8_t>& bytes) {
+  net::ByteReader outer(bytes);
+  std::vector<std::uint8_t> canonical = outer.Blob();
+  std::vector<std::uint8_t> sig = outer.Blob();
+  outer.ExpectEnd();
+
+  net::ByteReader r(canonical);
+  License lic;
+  lic.id.bytes = r.Fixed<16>();
+  std::uint8_t kind = r.U8();
+  if (kind > static_cast<std::uint8_t>(LicenseKind::kAnonymous)) {
+    throw net::CodecError("License: bad kind");
+  }
+  lic.kind = static_cast<LicenseKind>(kind);
+  lic.content_id = r.U64();
+  lic.bound_key = r.Fixed<32>();
+  lic.rights = Rights::Decode(&r);
+  lic.issued_at_s = r.U64();
+  lic.wrapped_content_key = r.Blob();
+  r.ExpectEnd();
+  lic.issuer_signature = std::move(sig);
+  return lic;
+}
+
+bool License::operator==(const License& o) const {
+  return id == o.id && kind == o.kind && content_id == o.content_id &&
+         bound_key == o.bound_key && rights == o.rights &&
+         issued_at_s == o.issued_at_s &&
+         wrapped_content_key == o.wrapped_content_key &&
+         issuer_signature == o.issuer_signature;
+}
+
+std::string License::ToString() const {
+  std::ostringstream os;
+  os << "License{" << id.ToHex().substr(0, 8) << "... "
+     << LicenseKindName(kind) << " content=" << content_id << " "
+     << rights.ToString() << "}";
+  return os.str();
+}
+
+}  // namespace rel
+}  // namespace p2drm

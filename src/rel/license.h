@@ -1,0 +1,71 @@
+#ifndef P2DRM_REL_LICENSE_H_
+#define P2DRM_REL_LICENSE_H_
+
+/// \file license.h
+/// \brief License structures: key-bound licenses and the paper's anonymous
+/// (generic) licenses.
+///
+/// A *key-bound* license names a pseudonym public key; only a device holding
+/// the matching private key may exercise it. An *anonymous* license names no
+/// key at all — it is a bearer instrument identified solely by its unique
+/// LicenseId, redeemable exactly once at the content provider. Anonymous
+/// licenses are what make private transfer possible: the provider swaps a
+/// key-bound license for an anonymous one (unlinking the giver) and later
+/// swaps the anonymous one for a new key-bound license (without learning the
+/// taker's identity or the link between the two).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/codec.h"
+#include "rel/ids.h"
+#include "rel/rights.h"
+
+namespace p2drm {
+namespace rel {
+
+/// Which flavour of license this is.
+enum class LicenseKind : std::uint8_t {
+  kUserBound = 0,  ///< bound to a pseudonym key fingerprint
+  kAnonymous = 1,  ///< bearer license; valid for one redemption
+};
+
+const char* LicenseKindName(LicenseKind k);
+
+/// A license as issued and signed by the content provider.
+struct License {
+  LicenseId id;
+  LicenseKind kind = LicenseKind::kUserBound;
+  ContentId content_id = 0;
+  /// Fingerprint of the pseudonym key the license is bound to.
+  /// All-zero for anonymous licenses.
+  KeyFingerprint bound_key{};
+  Rights rights;
+  std::uint64_t issued_at_s = 0;
+  /// Content key wrapped to the bound pseudonym key (hybrid ciphertext).
+  /// Empty for anonymous licenses — the key is delivered only on redemption.
+  std::vector<std::uint8_t> wrapped_content_key;
+  /// Content-provider RSA-FDH signature over CanonicalBytes().
+  std::vector<std::uint8_t> issuer_signature;
+
+  /// The byte string the issuer signs: every field except the signature,
+  /// in fixed canonical order.
+  std::vector<std::uint8_t> CanonicalBytes() const;
+
+  /// Full wire encoding including the signature.
+  std::vector<std::uint8_t> Serialize() const;
+  static License Deserialize(const std::vector<std::uint8_t>& bytes);
+
+  /// Total serialized size in bytes (storage-overhead accounting, RT-3).
+  std::size_t SerializedSize() const { return Serialize().size(); }
+
+  bool operator==(const License& o) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace rel
+}  // namespace p2drm
+
+#endif  // P2DRM_REL_LICENSE_H_

@@ -1,0 +1,155 @@
+#include "rel/rights.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace p2drm {
+namespace rel {
+
+const char* ActionName(Action a) {
+  switch (a) {
+    case Action::kPlay: return "play";
+    case Action::kDisplay: return "display";
+    case Action::kPrint: return "print";
+    case Action::kCopy: return "copy";
+    case Action::kTransfer: return "transfer";
+  }
+  return "unknown";
+}
+
+const char* DecisionName(Decision d) {
+  switch (d) {
+    case Decision::kAllow: return "allow";
+    case Decision::kDeniedAction: return "denied:action";
+    case Decision::kDeniedExhausted: return "denied:exhausted";
+    case Decision::kDeniedExpired: return "denied:expired";
+    case Decision::kDeniedSecurityLevel: return "denied:security-level";
+  }
+  return "unknown";
+}
+
+void Rights::Encode(net::ByteWriter* w) const {
+  std::uint8_t flags = 0;
+  if (allow_play) flags |= 1u << 0;
+  if (allow_display) flags |= 1u << 1;
+  if (allow_print) flags |= 1u << 2;
+  if (allow_copy) flags |= 1u << 3;
+  if (allow_transfer) flags |= 1u << 4;
+  w->U8(flags);
+  w->U32(play_count);
+  w->U64(expiry_epoch_s);
+  w->U8(min_security_level);
+}
+
+Rights Rights::Decode(net::ByteReader* r) {
+  Rights out;
+  std::uint8_t flags = r->U8();
+  out.allow_play = flags & (1u << 0);
+  out.allow_display = flags & (1u << 1);
+  out.allow_print = flags & (1u << 2);
+  out.allow_copy = flags & (1u << 3);
+  out.allow_transfer = flags & (1u << 4);
+  out.play_count = r->U32();
+  out.expiry_epoch_s = r->U64();
+  out.min_security_level = r->U8();
+  return out;
+}
+
+bool Rights::operator==(const Rights& o) const {
+  return allow_play == o.allow_play && allow_display == o.allow_display &&
+         allow_print == o.allow_print && allow_copy == o.allow_copy &&
+         allow_transfer == o.allow_transfer && play_count == o.play_count &&
+         expiry_epoch_s == o.expiry_epoch_s &&
+         min_security_level == o.min_security_level;
+}
+
+Rights Rights::UnlimitedPlay() {
+  Rights r;
+  r.allow_play = true;
+  r.allow_display = true;
+  return r;
+}
+
+Rights Rights::MeteredPlay(std::uint32_t plays) {
+  Rights r = UnlimitedPlay();
+  r.play_count = plays;
+  return r;
+}
+
+Rights Rights::Rental(std::uint64_t expiry_epoch_s) {
+  Rights r = UnlimitedPlay();
+  r.expiry_epoch_s = expiry_epoch_s;
+  return r;
+}
+
+Rights Rights::FullRetail() {
+  Rights r = UnlimitedPlay();
+  r.allow_copy = true;
+  r.allow_transfer = true;
+  return r;
+}
+
+Rights Rights::Intersect(const Rights& a, const Rights& b) {
+  Rights r;
+  r.allow_play = a.allow_play && b.allow_play;
+  r.allow_display = a.allow_display && b.allow_display;
+  r.allow_print = a.allow_print && b.allow_print;
+  r.allow_copy = a.allow_copy && b.allow_copy;
+  r.allow_transfer = a.allow_transfer && b.allow_transfer;
+  r.play_count = std::min(a.play_count, b.play_count);
+  if (a.expiry_epoch_s == kNoExpiry) {
+    r.expiry_epoch_s = b.expiry_epoch_s;
+  } else if (b.expiry_epoch_s == kNoExpiry) {
+    r.expiry_epoch_s = a.expiry_epoch_s;
+  } else {
+    r.expiry_epoch_s = std::min(a.expiry_epoch_s, b.expiry_epoch_s);
+  }
+  r.min_security_level = std::max(a.min_security_level, b.min_security_level);
+  return r;
+}
+
+bool Rights::IsSubsetOf(const Rights& other) const {
+  return Intersect(*this, other) == *this;
+}
+
+std::string Rights::ToString() const {
+  std::ostringstream os;
+  os << "Rights{";
+  if (allow_play) os << "play ";
+  if (allow_display) os << "display ";
+  if (allow_print) os << "print ";
+  if (allow_copy) os << "copy ";
+  if (allow_transfer) os << "transfer ";
+  if (play_count != kUnlimitedPlays) os << "plays=" << play_count << " ";
+  if (expiry_epoch_s != kNoExpiry) os << "expires=" << expiry_epoch_s << " ";
+  os << "level>=" << static_cast<int>(min_security_level) << "}";
+  return os.str();
+}
+
+Decision Evaluate(const Rights& rights, const UsageState& state, Action action,
+                  std::uint64_t now_epoch_s, std::uint8_t device_level) {
+  if (device_level < rights.min_security_level) {
+    return Decision::kDeniedSecurityLevel;
+  }
+  if (rights.expiry_epoch_s != kNoExpiry &&
+      now_epoch_s > rights.expiry_epoch_s) {
+    return Decision::kDeniedExpired;
+  }
+  bool granted = false;
+  switch (action) {
+    case Action::kPlay: granted = rights.allow_play; break;
+    case Action::kDisplay: granted = rights.allow_display; break;
+    case Action::kPrint: granted = rights.allow_print; break;
+    case Action::kCopy: granted = rights.allow_copy; break;
+    case Action::kTransfer: granted = rights.allow_transfer; break;
+  }
+  if (!granted) return Decision::kDeniedAction;
+  if (action == Action::kPlay && rights.play_count != kUnlimitedPlays &&
+      state.plays_used >= rights.play_count) {
+    return Decision::kDeniedExhausted;
+  }
+  return Decision::kAllow;
+}
+
+}  // namespace rel
+}  // namespace p2drm

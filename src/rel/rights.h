@@ -1,0 +1,100 @@
+#ifndef P2DRM_REL_RIGHTS_H_
+#define P2DRM_REL_RIGHTS_H_
+
+/// \file rights.h
+/// \brief Rights expressions: what a license permits, and evaluation of a
+/// usage request against a rights expression plus device-local state.
+///
+/// This is a compact stand-in for the rights-expression languages (ODRL,
+/// XrML/MPEG-REL) the DRM literature assumes. Canonical binary encoding is
+/// part of the signed license, so encoding changes are format changes.
+
+#include <cstdint>
+#include <string>
+
+#include "net/codec.h"
+
+namespace p2drm {
+namespace rel {
+
+/// Usage actions a device can request.
+enum class Action : std::uint8_t {
+  kPlay = 0,
+  kDisplay = 1,
+  kPrint = 2,
+  kCopy = 3,
+  kTransfer = 4,
+};
+
+/// Returns a human-readable action name.
+const char* ActionName(Action a);
+
+/// Sentinel: unlimited play count.
+constexpr std::uint32_t kUnlimitedPlays = 0xffffffffu;
+/// Sentinel: no expiry.
+constexpr std::uint64_t kNoExpiry = 0;
+
+/// A rights expression as carried inside a license.
+struct Rights {
+  bool allow_play = false;
+  bool allow_display = false;
+  bool allow_print = false;
+  bool allow_copy = false;
+  bool allow_transfer = false;
+  /// Total permitted plays (kUnlimitedPlays = unmetered).
+  std::uint32_t play_count = kUnlimitedPlays;
+  /// Expiry as seconds since epoch (kNoExpiry = perpetual).
+  std::uint64_t expiry_epoch_s = kNoExpiry;
+  /// Minimum device security level required to exercise the rights.
+  std::uint8_t min_security_level = 0;
+
+  /// Canonical fixed-layout encoding (part of the signed license bytes).
+  void Encode(net::ByteWriter* w) const;
+  static Rights Decode(net::ByteReader* r);
+
+  bool operator==(const Rights& o) const;
+
+  /// Convenience factories for the common retail offerings.
+  static Rights UnlimitedPlay();
+  static Rights MeteredPlay(std::uint32_t plays);
+  static Rights Rental(std::uint64_t expiry_epoch_s);
+  static Rights FullRetail();  ///< play + copy + transfer, unlimited
+
+  /// Most-restrictive combination: action flags AND, the smaller play
+  /// count, the earlier expiry, the higher security requirement. Used by
+  /// delegation (star) licenses — a delegate can never hold more rights
+  /// than the delegator.
+  static Rights Intersect(const Rights& a, const Rights& b);
+
+  /// True when every right granted by this expression is also granted by
+  /// \p other (i.e. this is a restriction of \p other).
+  bool IsSubsetOf(const Rights& other) const;
+
+  std::string ToString() const;
+};
+
+/// Device-side mutable usage state for one license.
+struct UsageState {
+  std::uint32_t plays_used = 0;
+};
+
+/// Result of evaluating a usage request.
+enum class Decision : std::uint8_t {
+  kAllow = 0,
+  kDeniedAction = 1,         ///< action not granted at all
+  kDeniedExhausted = 2,      ///< play count used up
+  kDeniedExpired = 3,        ///< past expiry
+  kDeniedSecurityLevel = 4,  ///< device below required level
+};
+
+const char* DecisionName(Decision d);
+
+/// Evaluates \p action against \p rights and device \p state at \p now.
+/// Pure function; consuming a play is the caller's responsibility on kAllow.
+Decision Evaluate(const Rights& rights, const UsageState& state, Action action,
+                  std::uint64_t now_epoch_s, std::uint8_t device_level);
+
+}  // namespace rel
+}  // namespace p2drm
+
+#endif  // P2DRM_REL_RIGHTS_H_

@@ -1,0 +1,98 @@
+#include "rir/rir.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2drm {
+namespace rir {
+
+RirServer::RirServer(std::vector<std::vector<std::uint8_t>> catalog)
+    : catalog_(std::move(catalog)) {}
+
+std::vector<std::vector<std::uint8_t>> RirServer::Query(
+    const std::vector<std::size_t>& indexes) {
+  for (std::size_t i : indexes) {
+    if (i >= catalog_.size()) {
+      throw std::out_of_range("RirServer: index out of range");
+    }
+  }
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(indexes.size());
+  for (std::size_t i : indexes) out.push_back(catalog_[i]);
+  log_.push_back(indexes);
+  items_served_ += indexes.size();
+  queries_served_ += 1;
+  return out;
+}
+
+RirClient::RirClient(std::size_t catalog_size, std::vector<double> popularity,
+                     std::size_t k)
+    : catalog_size_(catalog_size), k_(k) {
+  if (catalog_size == 0) {
+    throw std::invalid_argument("RirClient: empty catalog");
+  }
+  if (k == 0) throw std::invalid_argument("RirClient: k must be >= 1");
+  if (k > catalog_size) {
+    throw std::invalid_argument("RirClient: k exceeds catalog size");
+  }
+  if (popularity.empty()) {
+    popularity.assign(catalog_size, 1.0);
+  }
+  if (popularity.size() != catalog_size) {
+    throw std::invalid_argument("RirClient: popularity size mismatch");
+  }
+  cdf_.resize(catalog_size);
+  double acc = 0;
+  for (std::size_t i = 0; i < catalog_size; ++i) {
+    if (popularity[i] < 0) {
+      throw std::invalid_argument("RirClient: negative popularity");
+    }
+    acc += popularity[i];
+    cdf_[i] = acc;
+  }
+  if (acc <= 0) throw std::invalid_argument("RirClient: zero total popularity");
+  for (double& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;
+}
+
+std::vector<std::size_t> RirClient::BuildQuery(
+    std::size_t real_index, bignum::RandomSource* rng) const {
+  if (real_index >= catalog_size_) {
+    throw std::out_of_range("RirClient: real index out of range");
+  }
+  std::vector<std::size_t> query = {real_index};
+  // Rejection-sample distinct popularity-weighted decoys.
+  while (query.size() < k_) {
+    std::uint64_t r = rng->NextUint64(1ull << 53);
+    double u = static_cast<double>(r) / static_cast<double>(1ull << 53);
+    std::size_t candidate = static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    if (std::find(query.begin(), query.end(), candidate) == query.end()) {
+      query.push_back(candidate);
+    }
+  }
+  // Fisher–Yates shuffle: the real item's position must be uniform.
+  for (std::size_t i = query.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng->NextUint64(i));
+    std::swap(query[i - 1], query[j]);
+  }
+  return query;
+}
+
+double GuessProbability(const std::vector<std::size_t>& query,
+                        const std::vector<double>& popularity) {
+  if (query.empty()) return 0.0;
+  // Posterior over the set is the prior restricted to the set, normalized.
+  double total = 0;
+  double best = 0;
+  for (std::size_t i : query) {
+    double p = i < popularity.size() ? popularity[i] : 1.0;
+    total += p;
+    best = std::max(best, p);
+  }
+  if (total <= 0) return 1.0 / static_cast<double>(query.size());
+  return best / total;
+}
+
+}  // namespace rir
+}  // namespace p2drm

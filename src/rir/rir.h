@@ -1,0 +1,102 @@
+#ifndef P2DRM_RIR_RIR_H_
+#define P2DRM_RIR_RIR_H_
+
+/// \file rir.h
+/// \brief Repudiative Information Retrieval (RIR) for DRM catalogs.
+///
+/// The P2DRM literature (Asonov 2004, "Querying Databases Privately")
+/// resolves the tension between pay-per-query DRM and query privacy by
+/// *relaxing* PIR: instead of hiding the query information-theoretically
+/// (which would prevent the provider from metering anything), the user
+/// hides the real item inside a set of k plausible decoys. The provider
+/// can count and charge queries — the DRM requirement — while the user
+/// can *repudiate* any claim about which item was actually retrieved —
+/// the privacy requirement. The strength of that repudiation is exactly
+/// the adversary's posterior over the query set, which this module also
+/// computes (the paper's "precision of the DRM system depends on the
+/// robustness of the repudiation").
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bignum/random_source.h"
+
+namespace p2drm {
+namespace rir {
+
+/// Server side: a catalog of opaque blobs served by index, metered
+/// per retrieved item.
+class RirServer {
+ public:
+  explicit RirServer(std::vector<std::vector<std::uint8_t>> catalog);
+
+  std::size_t CatalogSize() const { return catalog_.size(); }
+
+  /// Answers a batch query: returns the requested blobs in request order.
+  /// Out-of-range indexes throw std::out_of_range (whole query rejected,
+  /// nothing charged). Charges per item retrieved.
+  std::vector<std::vector<std::uint8_t>> Query(
+      const std::vector<std::size_t>& indexes);
+
+  /// Pay-per-query accounting (the DRM side of the bargain).
+  std::uint64_t ItemsServed() const { return items_served_; }
+  std::uint64_t QueriesServed() const { return queries_served_; }
+
+  /// The provider's observation log: every query set, verbatim. This is
+  /// everything a curious provider can analyze.
+  const std::vector<std::vector<std::size_t>>& ObservationLog() const {
+    return log_;
+  }
+
+ private:
+  std::vector<std::vector<std::uint8_t>> catalog_;
+  std::vector<std::vector<std::size_t>> log_;
+  std::uint64_t items_served_ = 0;
+  std::uint64_t queries_served_ = 0;
+};
+
+/// Client side: builds k-item repudiable queries with popularity-matched
+/// decoys.
+class RirClient {
+ public:
+  /// \param catalog_size  N
+  /// \param popularity    per-item access prior the decoys are drawn from
+  ///                      (need not be normalized; uniform if empty).
+  ///                      Matching the decoy distribution to the public
+  ///                      popularity prior prevents the server from
+  ///                      discounting implausible decoys.
+  /// \param k             query-set size (>= 1); k = 1 is plain retrieval.
+  RirClient(std::size_t catalog_size, std::vector<double> popularity,
+            std::size_t k);
+
+  std::size_t k() const { return k_; }
+
+  /// Builds a query set containing \p real_index plus k-1 distinct
+  /// popularity-sampled decoys, shuffled so position leaks nothing.
+  std::vector<std::size_t> BuildQuery(std::size_t real_index,
+                                      bignum::RandomSource* rng) const;
+
+ private:
+  std::size_t catalog_size_;
+  std::vector<double> cdf_;  // popularity CDF for decoy sampling
+  std::size_t k_;
+};
+
+/// The adversary's best guess: given one observed query set and the public
+/// popularity prior, the posterior probability of the most likely item.
+/// Repudiation degree = 1 - GuessProbability. For uniform priors this is
+/// exactly 1/k.
+double GuessProbability(const std::vector<std::size_t>& query,
+                        const std::vector<double>& popularity);
+
+/// Expected bandwidth cost of a k-query relative to plain retrieval
+/// (k blobs instead of 1) — the privacy/bandwidth trade-off axis.
+inline double BandwidthFactor(std::size_t k) {
+  return static_cast<double>(k);
+}
+
+}  // namespace rir
+}  // namespace p2drm
+
+#endif  // P2DRM_RIR_RIR_H_

@@ -1,0 +1,47 @@
+#include "sim/linkability.h"
+
+#include <set>
+
+namespace p2drm {
+namespace sim {
+
+LinkabilityReport AnalyzeLinkability(
+    const std::vector<Observation>& observations) {
+  LinkabilityReport report;
+
+  // Group observation indices by true user (ground truth) and count
+  // credential cluster sizes (CP's view).
+  std::map<std::uint64_t, std::vector<std::size_t>> by_user;
+  std::map<std::string, std::size_t> by_credential;
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    by_user[observations[i].true_user].push_back(i);
+    by_credential[observations[i].credential] += 1;
+  }
+  report.distinct_credentials = by_credential.size();
+  for (const auto& [cred, count] : by_credential) {
+    (void)cred;
+    report.largest_profile = std::max(report.largest_profile, count);
+  }
+
+  for (const auto& [user, idxs] : by_user) {
+    (void)user;
+    for (std::size_t a = 0; a < idxs.size(); ++a) {
+      for (std::size_t b = a + 1; b < idxs.size(); ++b) {
+        ++report.same_user_pairs;
+        if (observations[idxs[a]].credential ==
+            observations[idxs[b]].credential) {
+          ++report.linkable_pairs;
+        }
+      }
+    }
+  }
+  report.linkability =
+      report.same_user_pairs == 0
+          ? 0.0
+          : static_cast<double>(report.linkable_pairs) /
+                static_cast<double>(report.same_user_pairs);
+  return report;
+}
+
+}  // namespace sim
+}  // namespace p2drm

@@ -1,0 +1,46 @@
+#ifndef P2DRM_SIM_LINKABILITY_H_
+#define P2DRM_SIM_LINKABILITY_H_
+
+/// \file linkability.h
+/// \brief Adversarial linkability analysis (RF-4).
+///
+/// Models a curious content provider that records, for every purchase, the
+/// credential it saw (account name in the baseline; pseudonym fingerprint
+/// in P2DRM). Two purchases are *linkable* when they show the same
+/// credential. The metric is the probability that a uniformly random pair
+/// of same-user purchases is linkable — 1.0 for the identified baseline,
+/// (k-1)/(M-1) in expectation for pseudonyms reused k times by a user with
+/// M purchases, 0 for fresh-pseudonym-per-purchase.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace p2drm {
+namespace sim {
+
+/// The provider-side observation of one purchase.
+struct Observation {
+  std::uint64_t true_user = 0;   ///< ground truth (never visible to the CP)
+  std::string credential;        ///< what the CP actually saw
+};
+
+/// Result of the linking attack.
+struct LinkabilityReport {
+  std::uint64_t same_user_pairs = 0;      ///< pairs with equal true_user
+  std::uint64_t linkable_pairs = 0;       ///< … that share a credential
+  double linkability = 0.0;               ///< linkable / same_user (0 when no pairs)
+  std::size_t distinct_credentials = 0;
+  /// Size of the largest credential cluster (worst-case profile length).
+  std::size_t largest_profile = 0;
+};
+
+/// Runs the pairwise linking attack over \p observations.
+LinkabilityReport AnalyzeLinkability(
+    const std::vector<Observation>& observations);
+
+}  // namespace sim
+}  // namespace p2drm
+
+#endif  // P2DRM_SIM_LINKABILITY_H_

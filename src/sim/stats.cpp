@@ -1,0 +1,45 @@
+#include "sim/stats.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace p2drm {
+namespace sim {
+
+double LatencyStats::Mean() const {
+  if (samples_.empty()) return 0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double LatencyStats::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  Sort();
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  std::size_t idx = static_cast<std::size_t>(rank + 0.5);
+  if (idx >= samples_.size()) idx = samples_.size() - 1;
+  return samples_[idx];
+}
+
+double LatencyStats::Min() const {
+  if (samples_.empty()) return 0;
+  Sort();
+  return samples_.front();
+}
+
+double LatencyStats::Max() const {
+  if (samples_.empty()) return 0;
+  Sort();
+  return samples_.back();
+}
+
+std::string LatencyStats::Summary() const {
+  std::ostringstream os;
+  os << "n=" << Count() << " mean=" << Mean() << "us p50=" << Percentile(50)
+     << "us p95=" << Percentile(95) << "us p99=" << Percentile(99)
+     << "us max=" << Max() << "us";
+  return os.str();
+}
+
+}  // namespace sim
+}  // namespace p2drm

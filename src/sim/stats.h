@@ -1,0 +1,40 @@
+#ifndef P2DRM_SIM_STATS_H_
+#define P2DRM_SIM_STATS_H_
+
+/// \file stats.h
+/// \brief Latency histogram and summary statistics for the bench harness.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2drm {
+namespace sim {
+
+/// Accumulates samples; reports mean and percentiles.
+class LatencyStats {
+ public:
+  void Add(double value_us) { samples_.push_back(value_us); }
+
+  std::size_t Count() const { return samples_.size(); }
+
+  double Mean() const;
+  /// p in [0,100]; nearest-rank on the sorted samples.
+  double Percentile(double p) const;
+  double Min() const;
+  double Max() const;
+
+  /// "mean=… p50=… p99=… max=…" summary line.
+  std::string Summary() const;
+
+ private:
+  // Sorted lazily by the accessors.
+  mutable std::vector<double> samples_;
+  void Sort() const { std::sort(samples_.begin(), samples_.end()); }
+};
+
+}  // namespace sim
+}  // namespace p2drm
+
+#endif  // P2DRM_SIM_STATS_H_

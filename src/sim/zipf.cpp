@@ -1,0 +1,31 @@
+#include "sim/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2drm {
+namespace sim {
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfGenerator: n must be > 0");
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    cdf_[k] = acc;
+  }
+  for (double& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfGenerator::Next(bignum::RandomSource* rng) const {
+  // 53-bit uniform in [0,1).
+  std::uint64_t r = rng->NextUint64(1ull << 53);
+  double u = static_cast<double>(r) / static_cast<double>(1ull << 53);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace sim
+}  // namespace p2drm

@@ -1,0 +1,37 @@
+#ifndef P2DRM_SIM_ZIPF_H_
+#define P2DRM_SIM_ZIPF_H_
+
+/// \file zipf.h
+/// \brief Zipf-distributed sampling for content popularity.
+///
+/// Retail content demand is heavy-tailed; the end-to-end benches sample the
+/// catalog from Zipf(α) as the evaluation literature conventionally does.
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/random_source.h"
+
+namespace p2drm {
+namespace sim {
+
+/// Samples ranks 0..n-1 with P(rank k) ∝ 1/(k+1)^alpha.
+class ZipfGenerator {
+ public:
+  /// \param n     number of ranks (> 0)
+  /// \param alpha skew; 0 = uniform, ~1 = classic web/content skew
+  ZipfGenerator(std::size_t n, double alpha);
+
+  /// Draws one rank using \p rng.
+  std::size_t Next(bignum::RandomSource* rng) const;
+
+  std::size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+}  // namespace sim
+}  // namespace p2drm
+
+#endif  // P2DRM_SIM_ZIPF_H_

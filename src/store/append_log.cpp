@@ -1,0 +1,96 @@
+#include "store/append_log.h"
+
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+namespace p2drm {
+namespace store {
+
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutU32Le(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t GetU32Le(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> kTable = BuildCrcTable();
+  std::uint32_t c = 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+AppendLog::AppendLog(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("AppendLog: cannot open " + path);
+  }
+}
+
+AppendLog::~AppendLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void AppendLog::Append(const std::vector<std::uint8_t>& record) {
+  std::uint8_t header[8];
+  PutU32Le(header, static_cast<std::uint32_t>(record.size()));
+  PutU32Le(header + 4, Crc32(record.data(), record.size()));
+  if (std::fwrite(header, 1, 8, file_) != 8 ||
+      (!record.empty() &&
+       std::fwrite(record.data(), 1, record.size(), file_) != record.size())) {
+    throw std::runtime_error("AppendLog: write failed");
+  }
+  std::fflush(file_);
+  ++appended_;
+}
+
+std::size_t AppendLog::Replay(
+    const std::string& path,
+    const std::function<void(const std::vector<std::uint8_t>&)>& fn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::size_t delivered = 0;
+  while (true) {
+    std::uint8_t header[8];
+    if (std::fread(header, 1, 8, f) != 8) break;  // clean EOF or torn header
+    std::uint32_t len = GetU32Le(header);
+    std::uint32_t crc = GetU32Le(header + 4);
+    if (len > (1u << 30)) break;  // implausible length: corrupt
+    std::vector<std::uint8_t> payload(len);
+    if (len != 0 && std::fread(payload.data(), 1, len, f) != len) break;
+    if (Crc32(payload.data(), payload.size()) != crc) break;
+    fn(payload);
+    ++delivered;
+  }
+  std::fclose(f);
+  return delivered;
+}
+
+}  // namespace store
+}  // namespace p2drm

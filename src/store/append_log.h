@@ -1,0 +1,58 @@
+#ifndef P2DRM_STORE_APPEND_LOG_H_
+#define P2DRM_STORE_APPEND_LOG_H_
+
+/// \file append_log.h
+/// \brief Durable append-only record log with per-record CRC32.
+///
+/// The content provider journals every redeemed license id and every
+/// issued-license event here; on restart the spent set is rebuilt by
+/// replaying the log. Records are `u32 length ‖ u32 crc32 ‖ payload`;
+/// a torn tail (truncated record or bad CRC) stops replay cleanly.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace p2drm {
+namespace store {
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte string.
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t len);
+
+/// Append-only log file.
+class AppendLog {
+ public:
+  /// Opens (creating if absent) the log at \p path for appending.
+  /// Throws std::runtime_error on I/O failure.
+  explicit AppendLog(const std::string& path);
+  ~AppendLog();
+
+  AppendLog(const AppendLog&) = delete;
+  AppendLog& operator=(const AppendLog&) = delete;
+
+  /// Appends one record and flushes it to the OS.
+  void Append(const std::vector<std::uint8_t>& record);
+
+  /// Number of records appended through this handle.
+  std::uint64_t AppendedRecords() const { return appended_; }
+
+  const std::string& path() const { return path_; }
+
+  /// Replays all intact records in \p path in order. Returns the number of
+  /// records delivered; stops (without throwing) at the first torn or
+  /// corrupt record. A missing file replays zero records.
+  static std::size_t Replay(
+      const std::string& path,
+      const std::function<void(const std::vector<std::uint8_t>&)>& fn);
+
+ private:
+  std::string path_;
+  std::FILE* file_;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace store
+}  // namespace p2drm
+
+#endif  // P2DRM_STORE_APPEND_LOG_H_

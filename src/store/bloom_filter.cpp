@@ -1,0 +1,68 @@
+#include "store/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2drm {
+namespace store {
+
+namespace {
+
+// 64-bit FNV-1a with a seed mixed in; two independent instances drive
+// Kirsch–Mitzenmacher double hashing.
+std::uint64_t Fnv1a64(const std::uint8_t* data, std::size_t len,
+                      std::uint64_t seed) {
+  std::uint64_t h = 14695981039346656037ull ^ seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  // Final avalanche (splitmix64 tail) so low bits are well mixed.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t expected_entries,
+                         std::size_t bits_per_entry) {
+  num_bits_ = std::max<std::size_t>(64, expected_entries * bits_per_entry);
+  bits_.assign((num_bits_ + 63) / 64, 0);
+  // k = ln2 * bits/entry, clamped to [1, 16].
+  num_hashes_ = std::max<std::size_t>(
+      1, std::min<std::size_t>(
+             16, static_cast<std::size_t>(
+                     std::round(0.6931 * static_cast<double>(bits_per_entry)))));
+}
+
+void BloomFilter::Insert(const std::uint8_t* key, std::size_t len) {
+  std::uint64_t h1 = Fnv1a64(key, len, 0x9e3779b97f4a7c15ull);
+  std::uint64_t h2 = Fnv1a64(key, len, 0xc2b2ae3d27d4eb4full);
+  for (std::size_t i = 0; i < num_hashes_; ++i) {
+    std::uint64_t bit = (h1 + i * h2) % num_bits_;
+    bits_[bit / 64] |= 1ull << (bit % 64);
+  }
+}
+
+bool BloomFilter::MayContain(const std::uint8_t* key, std::size_t len) const {
+  std::uint64_t h1 = Fnv1a64(key, len, 0x9e3779b97f4a7c15ull);
+  std::uint64_t h2 = Fnv1a64(key, len, 0xc2b2ae3d27d4eb4full);
+  for (std::size_t i = 0; i < num_hashes_; ++i) {
+    std::uint64_t bit = (h1 + i * h2) % num_bits_;
+    if ((bits_[bit / 64] & (1ull << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::FillRatio() const {
+  std::size_t set = 0;
+  for (std::uint64_t word : bits_) set += __builtin_popcountll(word);
+  return static_cast<double>(set) / static_cast<double>(num_bits_);
+}
+
+}  // namespace store
+}  // namespace p2drm

@@ -1,0 +1,47 @@
+#ifndef P2DRM_STORE_BLOOM_FILTER_H_
+#define P2DRM_STORE_BLOOM_FILTER_H_
+
+/// \file bloom_filter.h
+/// \brief Standard Bloom filter used as a negative cache in front of the
+/// revocation list: the common case ("device not revoked") is answered
+/// without touching the authoritative set.
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace p2drm {
+namespace store {
+
+/// Fixed-size Bloom filter with double hashing (Kirsch–Mitzenmacher).
+class BloomFilter {
+ public:
+  /// \param expected_entries sizing target
+  /// \param bits_per_entry   typical range 8..12 (10 ≈ 1% false positives)
+  BloomFilter(std::size_t expected_entries, std::size_t bits_per_entry = 10);
+
+  /// Inserts a byte-string key.
+  void Insert(const std::uint8_t* key, std::size_t len);
+
+  /// Returns false definitively; true means "possibly present".
+  bool MayContain(const std::uint8_t* key, std::size_t len) const;
+
+  /// Memory footprint of the bit array.
+  std::size_t SizeBytes() const { return bits_.size() * 8; }
+
+  /// Number of hash probes per operation.
+  std::size_t NumHashes() const { return num_hashes_; }
+
+  /// Fraction of bits set (diagnostic; ~0.5 at design load).
+  double FillRatio() const;
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  std::size_t num_bits_;
+  std::size_t num_hashes_;
+};
+
+}  // namespace store
+}  // namespace p2drm
+
+#endif  // P2DRM_STORE_BLOOM_FILTER_H_

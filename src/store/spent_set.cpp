@@ -1,0 +1,74 @@
+#include "store/spent_set.h"
+
+#include <algorithm>
+
+namespace p2drm {
+namespace store {
+
+const char* SpentSetBackendName(SpentSetBackend b) {
+  switch (b) {
+    case SpentSetBackend::kHashSet: return "hash-set";
+    case SpentSetBackend::kSortedVector: return "sorted-vector";
+    case SpentSetBackend::kLinearScan: return "linear-scan";
+  }
+  return "unknown";
+}
+
+bool SpentSet::Insert(const rel::LicenseId& id) {
+  switch (backend_) {
+    case SpentSetBackend::kHashSet:
+      return hash_.insert(id).second;
+    case SpentSetBackend::kSortedVector: {
+      auto it = std::lower_bound(sorted_.begin(), sorted_.end(), id);
+      if (it != sorted_.end() && *it == id) return false;
+      sorted_.insert(it, id);
+      return true;
+    }
+    case SpentSetBackend::kLinearScan: {
+      if (std::find(linear_.begin(), linear_.end(), id) != linear_.end()) {
+        return false;
+      }
+      linear_.push_back(id);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SpentSet::Contains(const rel::LicenseId& id) const {
+  switch (backend_) {
+    case SpentSetBackend::kHashSet:
+      return hash_.count(id) != 0;
+    case SpentSetBackend::kSortedVector:
+      return std::binary_search(sorted_.begin(), sorted_.end(), id);
+    case SpentSetBackend::kLinearScan:
+      return std::find(linear_.begin(), linear_.end(), id) != linear_.end();
+  }
+  return false;
+}
+
+std::size_t SpentSet::Size() const {
+  switch (backend_) {
+    case SpentSetBackend::kHashSet: return hash_.size();
+    case SpentSetBackend::kSortedVector: return sorted_.size();
+    case SpentSetBackend::kLinearScan: return linear_.size();
+  }
+  return 0;
+}
+
+std::size_t SpentSet::MemoryBytes() const {
+  constexpr std::size_t kIdBytes = sizeof(rel::LicenseId);
+  switch (backend_) {
+    case SpentSetBackend::kHashSet:
+      // id + bucket pointer + node overhead (libstdc++ ~16B/node + bucket).
+      return hash_.size() * (kIdBytes + 32) + hash_.bucket_count() * 8;
+    case SpentSetBackend::kSortedVector:
+      return sorted_.capacity() * kIdBytes;
+    case SpentSetBackend::kLinearScan:
+      return linear_.capacity() * kIdBytes;
+  }
+  return 0;
+}
+
+}  // namespace store
+}  // namespace p2drm

@@ -1,0 +1,61 @@
+#ifndef P2DRM_STORE_SPENT_SET_H_
+#define P2DRM_STORE_SPENT_SET_H_
+
+/// \file spent_set.h
+/// \brief The content provider's spent-license set.
+///
+/// Every anonymous license carries a unique LicenseId; the provider records
+/// redeemed ids here so a copied bearer license cannot be redeemed twice.
+/// This set is on the provider's hot path (one lookup + one insert per
+/// redemption), so its data structure is the subject of the RF-2 ablation:
+/// hash set vs sorted vector vs linear scan.
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "rel/ids.h"
+
+namespace p2drm {
+namespace store {
+
+/// Storage backend selector (RF-2 ablation).
+enum class SpentSetBackend : std::uint8_t {
+  kHashSet = 0,       ///< unordered_set; O(1) expected
+  kSortedVector = 1,  ///< binary search + ordered insert; O(log n)/O(n)
+  kLinearScan = 2,    ///< the naive strawman; O(n)
+};
+
+const char* SpentSetBackendName(SpentSetBackend b);
+
+/// Set of already-redeemed license ids.
+class SpentSet {
+ public:
+  explicit SpentSet(SpentSetBackend backend = SpentSetBackend::kHashSet)
+      : backend_(backend) {}
+
+  /// Marks \p id spent. Returns false (and changes nothing) if it was
+  /// already present — i.e. a double-redemption attempt.
+  bool Insert(const rel::LicenseId& id);
+
+  /// True when \p id has been redeemed before.
+  bool Contains(const rel::LicenseId& id) const;
+
+  std::size_t Size() const;
+
+  /// Approximate resident memory (RT-3 storage accounting).
+  std::size_t MemoryBytes() const;
+
+  SpentSetBackend backend() const { return backend_; }
+
+ private:
+  SpentSetBackend backend_;
+  std::unordered_set<rel::LicenseId> hash_;
+  std::vector<rel::LicenseId> sorted_;  // kept ordered
+  std::vector<rel::LicenseId> linear_;  // insertion order
+};
+
+}  // namespace store
+}  // namespace p2drm
+
+#endif  // P2DRM_STORE_SPENT_SET_H_

@@ -1,0 +1,161 @@
+// UserAgent client logic: wallet management, pseudonym policy, edge cases.
+
+#include "core/agent.h"
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace core {
+namespace {
+
+class AgentTest : public ::testing::Test {
+ protected:
+  AgentTest() : rng_("agent-test"), system_(Config(), &rng_) {
+    cheap_ = system_.cp().Publish("Cheap", std::vector<std::uint8_t>(16, 1),
+                                  3, rel::Rights::FullRetail());
+    pricey_ = system_.cp().Publish("Pricey", std::vector<std::uint8_t>(16, 2),
+                                   87, rel::Rights::FullRetail());
+  }
+
+  static SystemConfig Config() {
+    SystemConfig cfg;
+    cfg.ca_key_bits = 512;
+    cfg.ttp_key_bits = 512;
+    cfg.bank_key_bits = 512;
+    cfg.cp.signing_key_bits = 512;
+    return cfg;
+  }
+
+  static AgentConfig DefaultAgent() {
+    AgentConfig cfg;
+    cfg.pseudonym_bits = 512;
+    return cfg;
+  }
+
+  crypto::HmacDrbg rng_;
+  P2drmSystem system_;
+  rel::ContentId cheap_ = 0;
+  rel::ContentId pricey_ = 0;
+};
+
+TEST_F(AgentTest, ConstructionEnrolsAndCertifies) {
+  UserAgent a("alice", DefaultAgent(), &system_, &rng_);
+  EXPECT_TRUE(a.card().IsEnrolled());
+  EXPECT_TRUE(
+      VerifyDeviceCert(system_.ca().PublicKey(), a.device().Certificate()));
+  EXPECT_EQ(system_.bank().Balance("alice"), 1000u);
+}
+
+TEST_F(AgentTest, WalletExactCoverFromMixedDenominations) {
+  UserAgent a("alice", DefaultAgent(), &system_, &rng_);
+  ASSERT_EQ(a.WithdrawCoins(87), Status::kOk);  // 50+20+10+5+2
+  EXPECT_EQ(a.WalletCoins(), 5u);
+  ASSERT_EQ(a.BuyContent(pricey_, nullptr), Status::kOk);
+  EXPECT_EQ(a.WalletValue(), 0u);  // exact spend, no change
+}
+
+TEST_F(AgentTest, FragmentedWalletTriggersTopUp) {
+  UserAgent a("alice", DefaultAgent(), &system_, &rng_);
+  // Wallet holds a 50 only; price 3 needs small coins → withdraw more.
+  ASSERT_EQ(a.WithdrawCoins(50), Status::kOk);
+  EXPECT_EQ(a.WalletCoins(), 1u);
+  ASSERT_EQ(a.BuyContent(cheap_, nullptr), Status::kOk);
+  // The 50 stays; a 2+1 was withdrawn for the exact payment.
+  EXPECT_EQ(a.WalletValue(), 50u);
+}
+
+TEST_F(AgentTest, PseudonymPolicyReuseCount) {
+  AgentConfig cfg = DefaultAgent();
+  cfg.pseudonym_max_uses = 3;
+  UserAgent a("alice", cfg, &system_, &rng_);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(a.BuyContent(cheap_, nullptr), Status::kOk);
+  }
+  EXPECT_EQ(a.card().pseudonyms().size(), 1u);
+  ASSERT_EQ(a.BuyContent(cheap_, nullptr), Status::kOk);  // 4th buy
+  EXPECT_EQ(a.card().pseudonyms().size(), 2u);
+}
+
+TEST_F(AgentTest, EnsurePseudonymIdempotentUnderPolicy) {
+  AgentConfig cfg = DefaultAgent();
+  cfg.pseudonym_max_uses = 100;
+  UserAgent a("alice", cfg, &system_, &rng_);
+  Pseudonym* p1 = a.EnsurePseudonym();
+  Pseudonym* p2 = a.EnsurePseudonym();
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(a.card().pseudonyms().size(), 1u);
+}
+
+TEST_F(AgentTest, GiveUnknownLicenseFails) {
+  UserAgent a("alice", DefaultAgent(), &system_, &rng_);
+  rel::LicenseId bogus;
+  bogus.bytes.fill(0x77);
+  std::vector<std::uint8_t> bearer;
+  EXPECT_EQ(a.GiveLicense(bogus, &bearer), Status::kBadRequest);
+}
+
+TEST_F(AgentTest, ReceiveGarbageFails) {
+  UserAgent a("alice", DefaultAgent(), &system_, &rng_);
+  EXPECT_EQ(a.ReceiveLicense({1, 2, 3}, nullptr), Status::kBadRequest);
+}
+
+TEST_F(AgentTest, ReceiveTamperedBearerFails) {
+  UserAgent alice("alice", DefaultAgent(), &system_, &rng_);
+  UserAgent bob("bob", DefaultAgent(), &system_, &rng_);
+  rel::License lic;
+  ASSERT_EQ(alice.BuyContent(cheap_, &lic), Status::kOk);
+  std::vector<std::uint8_t> bearer;
+  ASSERT_EQ(alice.GiveLicense(lic.id, &bearer), Status::kOk);
+  // Flip a byte inside the canonical region.
+  bearer[10] ^= 1;
+  EXPECT_EQ(bob.ReceiveLicense(bearer, nullptr), Status::kBadSignature);
+}
+
+TEST_F(AgentTest, PlayUnknownContentFailsGracefully) {
+  UserAgent a("alice", DefaultAgent(), &system_, &rng_);
+  UseResult r = a.Play(424242);
+  EXPECT_NE(r.decision, rel::Decision::kAllow);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST_F(AgentTest, MultiplePurchasesOfSameContentCoexist) {
+  UserAgent a("alice", DefaultAgent(), &system_, &rng_);
+  rel::License l1, l2;
+  ASSERT_EQ(a.BuyContent(cheap_, &l1), Status::kOk);
+  ASSERT_EQ(a.BuyContent(cheap_, &l2), Status::kOk);
+  EXPECT_NE(l1.id, l2.id);
+  EXPECT_EQ(a.device().LicensesFor(cheap_).size(), 2u);
+  // Giving one away leaves the other playable.
+  std::vector<std::uint8_t> bearer;
+  ASSERT_EQ(a.GiveLicense(l1.id, &bearer), Status::kOk);
+  EXPECT_EQ(a.Play(cheap_).decision, rel::Decision::kAllow);
+}
+
+TEST_F(AgentTest, WalletValueTracksWithdrawals) {
+  UserAgent a("alice", DefaultAgent(), &system_, &rng_);
+  EXPECT_EQ(a.WalletValue(), 0u);
+  ASSERT_EQ(a.WithdrawCoins(0), Status::kOk);  // no-op
+  EXPECT_EQ(a.WalletValue(), 0u);
+  ASSERT_EQ(a.WithdrawCoins(123), Status::kOk);
+  EXPECT_EQ(a.WalletValue(), 123u);
+  EXPECT_EQ(system_.bank().Balance("alice"), 877u);
+}
+
+TEST_F(AgentTest, InsufficientBankBalanceSurfacesCleanly) {
+  AgentConfig poor = DefaultAgent();
+  poor.initial_bank_balance = 2;
+  UserAgent a("pauper", poor, &system_, &rng_);
+  EXPECT_EQ(a.BuyContent(cheap_, nullptr), Status::kInsufficientFunds);
+  // No value was lost: whatever was withdrawn mid-attempt sits in the
+  // wallet as bearer coins; account + wallet still hold the original 2.
+  EXPECT_EQ(system_.bank().Balance("pauper") + a.WalletValue(), 2u);
+  // And the content was not delivered.
+  EXPECT_NE(a.Play(cheap_).decision, rel::Decision::kAllow);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2drm

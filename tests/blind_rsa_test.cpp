@@ -1,0 +1,127 @@
+// Chaum blind signatures: correctness and blindness properties.
+
+#include "crypto/blind_rsa.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace crypto {
+namespace {
+
+using bignum::BigInt;
+
+const RsaPrivateKey& SignerKey() {
+  static const RsaPrivateKey key = [] {
+    HmacDrbg rng("blind-signer-key");
+    return GenerateRsaKey(512, &rng);
+  }();
+  return key;
+}
+
+std::vector<std::uint8_t> Msg(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(BlindRsa, UnblindedSignatureVerifies) {
+  HmacDrbg rng("session-1");
+  RsaPublicKey pub = SignerKey().PublicKey();
+  auto msg = Msg("pseudonym-certificate-request");
+
+  BlindingContext ctx = BlindMessage(pub, msg, &rng);
+  BigInt blind_sig = SignBlinded(SignerKey(), ctx.blinded);
+  auto sig = Unblind(pub, ctx, blind_sig);
+
+  EXPECT_TRUE(RsaVerifyFdh(pub, msg, sig));
+}
+
+TEST(BlindRsa, MatchesDirectSignature) {
+  // FDH is deterministic, so the unblinded signature must equal the direct
+  // signature on the same message.
+  HmacDrbg rng("session-2");
+  RsaPublicKey pub = SignerKey().PublicKey();
+  auto msg = Msg("coin-serial-0001");
+
+  BlindingContext ctx = BlindMessage(pub, msg, &rng);
+  auto sig = Unblind(pub, ctx, SignBlinded(SignerKey(), ctx.blinded));
+  EXPECT_EQ(sig, RsaSignFdh(SignerKey(), msg));
+}
+
+TEST(BlindRsa, BlindedValueHidesMessage) {
+  // Two different messages blinded with fresh randomness: the signer-visible
+  // values must differ from the FDH representatives and from each other.
+  HmacDrbg rng("session-3");
+  RsaPublicKey pub = SignerKey().PublicKey();
+  auto m1 = Msg("message-1");
+  auto m2 = Msg("message-2");
+  BlindingContext c1 = BlindMessage(pub, m1, &rng);
+  BlindingContext c2 = BlindMessage(pub, m2, &rng);
+  EXPECT_NE(c1.blinded.ToHex(), FdhHash(m1, pub).ToHex());
+  EXPECT_NE(c2.blinded.ToHex(), FdhHash(m2, pub).ToHex());
+  EXPECT_NE(c1.blinded.ToHex(), c2.blinded.ToHex());
+}
+
+TEST(BlindRsa, SameMessageBlindsDifferently) {
+  // Unlinkability across sessions: identical messages produce independent
+  // blinded values under fresh randomness.
+  HmacDrbg rng("session-4");
+  RsaPublicKey pub = SignerKey().PublicKey();
+  auto msg = Msg("identical");
+  BlindingContext c1 = BlindMessage(pub, msg, &rng);
+  BlindingContext c2 = BlindMessage(pub, msg, &rng);
+  EXPECT_NE(c1.blinded.ToHex(), c2.blinded.ToHex());
+  // Yet both unblind to the same valid signature.
+  auto s1 = Unblind(pub, c1, SignBlinded(SignerKey(), c1.blinded));
+  auto s2 = Unblind(pub, c2, SignBlinded(SignerKey(), c2.blinded));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(BlindRsa, WrongBlindingFactorFails) {
+  HmacDrbg rng("session-5");
+  RsaPublicKey pub = SignerKey().PublicKey();
+  auto msg = Msg("message");
+  BlindingContext ctx = BlindMessage(pub, msg, &rng);
+  BigInt blind_sig = SignBlinded(SignerKey(), ctx.blinded);
+  // Corrupt the stored inverse: unblinding must yield a bad signature.
+  ctx.r_inv = ctx.r_inv.AddMod(BigInt(1), pub.n);
+  auto sig = Unblind(pub, ctx, blind_sig);
+  EXPECT_FALSE(RsaVerifyFdh(pub, msg, sig));
+}
+
+TEST(BlindRsa, SignatureForOneMessageDoesNotVerifyAnother) {
+  HmacDrbg rng("session-6");
+  RsaPublicKey pub = SignerKey().PublicKey();
+  BlindingContext ctx = BlindMessage(pub, Msg("alpha"), &rng);
+  auto sig = Unblind(pub, ctx, SignBlinded(SignerKey(), ctx.blinded));
+  EXPECT_TRUE(RsaVerifyFdh(pub, Msg("alpha"), sig));
+  EXPECT_FALSE(RsaVerifyFdh(pub, Msg("beta"), sig));
+}
+
+TEST(BlindRsa, BlindingFactorIsInvertible) {
+  HmacDrbg rng("session-7");
+  RsaPublicKey pub = SignerKey().PublicKey();
+  for (int i = 0; i < 10; ++i) {
+    BlindingContext ctx = BlindMessage(pub, Msg("m" + std::to_string(i)), &rng);
+    EXPECT_EQ(ctx.r.MulMod(ctx.r_inv, pub.n).ToDec(), "1");
+  }
+}
+
+// Property sweep: the full blind-sign-unblind-verify cycle holds for many
+// messages and fresh randomness.
+class BlindCycleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlindCycleSweep, FullCycle) {
+  HmacDrbg rng("cycle-" + std::to_string(GetParam()));
+  RsaPublicKey pub = SignerKey().PublicKey();
+  auto msg = Msg("sweep-message-" + std::to_string(GetParam()));
+  BlindingContext ctx = BlindMessage(pub, msg, &rng);
+  auto sig = Unblind(pub, ctx, SignBlinded(SignerKey(), ctx.blinded));
+  EXPECT_TRUE(RsaVerifyFdh(pub, msg, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cycles, BlindCycleSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace crypto
+}  // namespace p2drm

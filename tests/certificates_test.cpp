@@ -1,0 +1,116 @@
+// Certificate flavours: serialization, signing, domain separation.
+
+#include "core/certificates.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace core {
+namespace {
+
+const crypto::RsaPrivateKey& CaKey() {
+  static const crypto::RsaPrivateKey key = [] {
+    crypto::HmacDrbg rng("cert-test-ca");
+    return crypto::GenerateRsaKey(512, &rng);
+  }();
+  return key;
+}
+
+crypto::RsaPublicKey SomeKey(const std::string& seed) {
+  crypto::HmacDrbg rng(seed);
+  return crypto::GenerateRsaKey(256, &rng).PublicKey();
+}
+
+TEST(IdentityCert, SerializeRoundTripAndVerify) {
+  IdentityCertificate cert;
+  cert.holder_name = "Alice Example";
+  cert.card_id = 7;
+  cert.master_key = SomeKey("alice-master");
+  cert.ca_signature = crypto::RsaSignFdh(CaKey(), cert.CanonicalBytes());
+
+  auto bytes = cert.Serialize();
+  IdentityCertificate back = IdentityCertificate::Deserialize(bytes);
+  EXPECT_EQ(back.holder_name, cert.holder_name);
+  EXPECT_EQ(back.card_id, cert.card_id);
+  EXPECT_TRUE(back.master_key == cert.master_key);
+  EXPECT_TRUE(VerifyIdentityCert(CaKey().PublicKey(), back));
+}
+
+TEST(IdentityCert, TamperedFieldsFailVerification) {
+  IdentityCertificate cert;
+  cert.holder_name = "Alice";
+  cert.card_id = 1;
+  cert.master_key = SomeKey("k1");
+  cert.ca_signature = crypto::RsaSignFdh(CaKey(), cert.CanonicalBytes());
+
+  IdentityCertificate bad = cert;
+  bad.holder_name = "Mallory";
+  EXPECT_FALSE(VerifyIdentityCert(CaKey().PublicKey(), bad));
+  bad = cert;
+  bad.card_id = 999;
+  EXPECT_FALSE(VerifyIdentityCert(CaKey().PublicKey(), bad));
+}
+
+TEST(PseudonymCert, SerializeRoundTripAndVerify) {
+  PseudonymCertificate cert;
+  cert.pseudonym_key = SomeKey("pseud-1");
+  cert.escrow = {1, 2, 3, 4};
+  cert.ca_signature = crypto::RsaSignFdh(CaKey(), cert.CanonicalBytes());
+
+  PseudonymCertificate back =
+      PseudonymCertificate::Deserialize(cert.Serialize());
+  EXPECT_TRUE(back.pseudonym_key == cert.pseudonym_key);
+  EXPECT_EQ(back.escrow, cert.escrow);
+  EXPECT_TRUE(VerifyPseudonymCert(CaKey().PublicKey(), back));
+  EXPECT_EQ(back.KeyId(), cert.pseudonym_key.Fingerprint());
+}
+
+TEST(PseudonymCert, EscrowIsCovered) {
+  PseudonymCertificate cert;
+  cert.pseudonym_key = SomeKey("pseud-2");
+  cert.escrow = {1, 2, 3};
+  cert.ca_signature = crypto::RsaSignFdh(CaKey(), cert.CanonicalBytes());
+  // Swapping the escrow (the de-anonymization hook) must break the cert —
+  // otherwise a fraudster could splice in someone else's identity.
+  cert.escrow = {9, 9, 9};
+  EXPECT_FALSE(VerifyPseudonymCert(CaKey().PublicKey(), cert));
+}
+
+TEST(DeviceCert, SerializeRoundTripAndVerify) {
+  DeviceCertificate cert;
+  cert.device_key = SomeKey("dev-1");
+  cert.device_id = cert.device_key.Fingerprint();
+  cert.security_level = 3;
+  cert.ca_signature = crypto::RsaSignFdh(CaKey(), cert.CanonicalBytes());
+
+  DeviceCertificate back = DeviceCertificate::Deserialize(cert.Serialize());
+  EXPECT_EQ(back.security_level, 3);
+  EXPECT_EQ(back.device_id, cert.device_id);
+  EXPECT_TRUE(VerifyDeviceCert(CaKey().PublicKey(), back));
+  // Security level is covered by the signature (a level-0 device must not
+  // be able to claim level 3).
+  back.security_level = 5;
+  EXPECT_FALSE(VerifyDeviceCert(CaKey().PublicKey(), back));
+}
+
+TEST(Certificates, DomainSeparationBetweenFlavours) {
+  // A signature over an identity certificate must not verify as a
+  // pseudonym certificate even with identical field bytes.
+  IdentityCertificate id_cert;
+  id_cert.holder_name = "x";
+  id_cert.card_id = 1;
+  id_cert.master_key = SomeKey("shared");
+  id_cert.ca_signature = crypto::RsaSignFdh(CaKey(), id_cert.CanonicalBytes());
+
+  PseudonymCertificate pseud;
+  pseud.pseudonym_key = id_cert.master_key;
+  pseud.escrow = {};
+  pseud.ca_signature = id_cert.ca_signature;
+  EXPECT_FALSE(VerifyPseudonymCert(CaKey().PublicKey(), pseud));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2drm

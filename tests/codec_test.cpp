@@ -1,0 +1,126 @@
+// Canonical codec: round trips, boundary values, truncation errors.
+
+#include "net/codec.h"
+
+#include <gtest/gtest.h>
+
+namespace p2drm {
+namespace net {
+namespace {
+
+TEST(Codec, ScalarRoundTrip) {
+  ByteWriter w;
+  w.U8(0xab);
+  w.U16(0x1234);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefull);
+  ByteReader r(w.Bytes());
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U16(), 0x1234);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Codec, BoundaryValues) {
+  ByteWriter w;
+  w.U8(0);
+  w.U8(255);
+  w.U32(0);
+  w.U32(0xffffffffu);
+  w.U64(0);
+  w.U64(~0ull);
+  ByteReader r(w.Bytes());
+  EXPECT_EQ(r.U8(), 0);
+  EXPECT_EQ(r.U8(), 255);
+  EXPECT_EQ(r.U32(), 0u);
+  EXPECT_EQ(r.U32(), 0xffffffffu);
+  EXPECT_EQ(r.U64(), 0u);
+  EXPECT_EQ(r.U64(), ~0ull);
+}
+
+TEST(Codec, BigEndianLayout) {
+  ByteWriter w;
+  w.U32(0x01020304);
+  ASSERT_EQ(w.Size(), 4u);
+  EXPECT_EQ(w.Bytes()[0], 0x01);
+  EXPECT_EQ(w.Bytes()[3], 0x04);
+}
+
+TEST(Codec, BlobRoundTrip) {
+  ByteWriter w;
+  std::vector<std::uint8_t> blob = {1, 2, 3, 4, 5};
+  w.Blob(blob);
+  w.Blob(std::vector<std::uint8_t>{});  // empty blob is legal
+  ByteReader r(w.Bytes());
+  EXPECT_EQ(r.Blob(), blob);
+  EXPECT_TRUE(r.Blob().empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Codec, StringRoundTrip) {
+  ByteWriter w;
+  w.String("hello");
+  w.String("");
+  w.String(std::string("\0binary\0", 8));
+  ByteReader r(w.Bytes());
+  EXPECT_EQ(r.String(), "hello");
+  EXPECT_EQ(r.String(), "");
+  EXPECT_EQ(r.String(), std::string("\0binary\0", 8));
+}
+
+TEST(Codec, FixedRoundTrip) {
+  ByteWriter w;
+  std::array<std::uint8_t, 16> arr;
+  for (int i = 0; i < 16; ++i) arr[i] = static_cast<std::uint8_t>(i * 3);
+  w.Fixed(arr);
+  ByteReader r(w.Bytes());
+  EXPECT_EQ(r.Fixed<16>(), arr);
+}
+
+TEST(Codec, TruncatedReadThrows) {
+  ByteWriter w;
+  w.U32(42);
+  ByteReader r(w.Bytes());
+  (void)r.U16();
+  EXPECT_THROW(r.U32(), CodecError);
+}
+
+TEST(Codec, TruncatedBlobThrows) {
+  ByteWriter w;
+  w.U32(100);  // claims 100 bytes follow, but none do
+  ByteReader r(w.Bytes());
+  EXPECT_THROW(r.Blob(), CodecError);
+}
+
+TEST(Codec, ExpectEndDetectsTrailing) {
+  ByteWriter w;
+  w.U8(1);
+  w.U8(2);
+  ByteReader r(w.Bytes());
+  (void)r.U8();
+  EXPECT_THROW(r.ExpectEnd(), CodecError);
+  (void)r.U8();
+  EXPECT_NO_THROW(r.ExpectEnd());
+}
+
+TEST(Codec, RemainingTracksPosition) {
+  ByteWriter w;
+  w.U64(7);
+  ByteReader r(w.Bytes());
+  EXPECT_EQ(r.Remaining(), 8u);
+  (void)r.U32();
+  EXPECT_EQ(r.Remaining(), 4u);
+}
+
+TEST(Codec, TakeMovesBuffer) {
+  ByteWriter w;
+  w.U8(9);
+  auto bytes = w.Take();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(w.Size(), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace p2drm

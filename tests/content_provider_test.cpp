@@ -1,0 +1,308 @@
+// Content provider: purchase, anonymous exchange/redeem, fraud, journal.
+
+#include "core/content_provider.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/certification_authority.h"
+#include "core/smartcard.h"
+#include "crypto/blind_rsa.h"
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace core {
+namespace {
+
+class ContentProviderTest : public ::testing::Test {
+ protected:
+  ContentProviderTest()
+      : rng_("cp-test"),
+        ca_(512, &rng_),
+        ttp_(512, &rng_),
+        bank_(512, &rng_),
+        cp_(Config(), &rng_, &clock_, &bank_, ca_.PublicKey()),
+        card_("Carol", 512, &rng_) {
+    card_.StoreIdentityCertificate(ca_.Enrol("Carol", card_.MasterKey()));
+    bank_.OpenAccount("carol", 1000);
+    content_ = cp_.Publish("Album", std::vector<std::uint8_t>(100, 0x5a), 30,
+                           rel::Rights::FullRetail());
+  }
+
+  static ContentProviderConfig Config() {
+    ContentProviderConfig c;
+    c.signing_key_bits = 512;
+    return c;
+  }
+
+  Pseudonym* NewPseudonym() {
+    PseudonymRequest req =
+        card_.BeginPseudonym(ca_.PublicKey(), ttp_.EscrowKey());
+    bignum::BigInt sig =
+        ca_.SignPseudonymBlinded(card_.CardId(), req.blinding.blinded);
+    return card_.FinishPseudonym(std::move(req), sig, ca_.PublicKey());
+  }
+
+  Coin WithdrawCoin(std::uint32_t denom) {
+    Coin coin;
+    rng_.Fill(coin.serial.data(), coin.serial.size());
+    coin.denomination = denom;
+    const auto& key = bank_.DenominationKey(denom);
+    auto ctx = crypto::BlindMessage(key, coin.CanonicalBytes(), &rng_);
+    bignum::BigInt blind_sig;
+    EXPECT_EQ(bank_.Withdraw("carol", denom, ctx.blinded, &blind_sig),
+              Status::kOk);
+    coin.signature = crypto::Unblind(key, ctx, blind_sig);
+    return coin;
+  }
+
+  std::vector<Coin> Pay(std::uint64_t amount) {
+    std::vector<Coin> coins;
+    for (auto d : PlanCoins(amount)) coins.push_back(WithdrawCoin(d));
+    return coins;
+  }
+
+  crypto::HmacDrbg rng_;
+  SimClock clock_;
+  CertificationAuthority ca_;
+  TrustedThirdParty ttp_;
+  PaymentProvider bank_;
+  ContentProvider cp_;
+  SmartCard card_;
+  rel::ContentId content_ = 0;
+};
+
+TEST_F(ContentProviderTest, CatalogAndContent) {
+  auto offers = cp_.Catalog();
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_EQ(offers[0].title, "Album");
+  EXPECT_EQ(offers[0].price, 30u);
+  EXPECT_TRUE(cp_.FindOffer(content_).has_value());
+  EXPECT_FALSE(cp_.FindOffer(999).has_value());
+  const auto& enc = cp_.GetContent(content_);
+  EXPECT_EQ(enc.ciphertext.size(), 100u);
+  // Published content is actually encrypted.
+  EXPECT_NE(enc.ciphertext, std::vector<std::uint8_t>(100, 0x5a));
+  EXPECT_THROW(cp_.GetContent(999), std::out_of_range);
+}
+
+TEST_F(ContentProviderTest, SuccessfulAnonymousPurchase) {
+  Pseudonym* p = NewPseudonym();
+  auto result = cp_.Purchase(p->cert, content_, Pay(30));
+  ASSERT_EQ(result.status, Status::kOk);
+  EXPECT_EQ(result.license.kind, rel::LicenseKind::kUserBound);
+  EXPECT_EQ(result.license.content_id, content_);
+  EXPECT_EQ(result.license.bound_key, p->cert.KeyId());
+  EXPECT_FALSE(result.license.wrapped_content_key.empty());
+  EXPECT_TRUE(crypto::RsaVerifyFdh(cp_.PublicKey(),
+                                   result.license.CanonicalBytes(),
+                                   result.license.issuer_signature));
+  EXPECT_EQ(cp_.LicensesIssued(), 1u);
+  EXPECT_EQ(bank_.Balance("carol"), 970u);
+}
+
+TEST_F(ContentProviderTest, PurchaseRejectsWrongPrice) {
+  Pseudonym* p = NewPseudonym();
+  EXPECT_EQ(cp_.Purchase(p->cert, content_, Pay(20)).status,
+            Status::kWrongPrice);
+  EXPECT_EQ(cp_.Purchase(p->cert, content_, Pay(40)).status,
+            Status::kWrongPrice);
+}
+
+TEST_F(ContentProviderTest, PurchaseRejectsBadCertificate) {
+  Pseudonym* p = NewPseudonym();
+  PseudonymCertificate forged = p->cert;
+  forged.escrow.push_back(0);  // breaks the CA signature
+  EXPECT_EQ(cp_.Purchase(forged, content_, Pay(30)).status,
+            Status::kBadCertificate);
+}
+
+TEST_F(ContentProviderTest, PurchaseRejectsUnknownContent) {
+  Pseudonym* p = NewPseudonym();
+  EXPECT_EQ(cp_.Purchase(p->cert, 999, Pay(30)).status,
+            Status::kUnknownContent);
+}
+
+TEST_F(ContentProviderTest, PurchaseRejectsDoubleSpentCoin) {
+  Pseudonym* p = NewPseudonym();
+  auto coins = Pay(30);
+  ASSERT_EQ(cp_.Purchase(p->cert, content_, coins).status, Status::kOk);
+  // Replaying the same coins fails at the bank.
+  EXPECT_EQ(cp_.Purchase(p->cert, content_, coins).status,
+            Status::kDoubleSpend);
+}
+
+TEST_F(ContentProviderTest, PurchaseRejectsRevokedPseudonym) {
+  Pseudonym* p = NewPseudonym();
+  cp_.Revoke(p->cert.KeyId());
+  EXPECT_EQ(cp_.Purchase(p->cert, content_, Pay(30)).status,
+            Status::kRevoked);
+}
+
+TEST_F(ContentProviderTest, ExchangeProducesAnonymousLicense) {
+  Pseudonym* p = NewPseudonym();
+  auto bought = cp_.Purchase(p->cert, content_, Pay(30));
+  ASSERT_EQ(bought.status, Status::kOk);
+
+  auto sig = card_.SignWithPseudonym(
+      p->cert.KeyId(),
+      ContentProvider::TransferChallengeBytes(bought.license.id));
+  auto exch = cp_.ExchangeForAnonymous(bought.license, sig);
+  ASSERT_EQ(exch.status, Status::kOk);
+  EXPECT_EQ(exch.anonymous_license.kind, rel::LicenseKind::kAnonymous);
+  EXPECT_EQ(exch.anonymous_license.content_id, content_);
+  EXPECT_TRUE(exch.anonymous_license.wrapped_content_key.empty());
+  EXPECT_NE(exch.anonymous_license.id, bought.license.id);
+  // Old license id is now spent: exchanging again fails.
+  EXPECT_EQ(cp_.ExchangeForAnonymous(bought.license, sig).status,
+            Status::kAlreadySpent);
+}
+
+TEST_F(ContentProviderTest, ExchangeRejectsWrongPossession) {
+  Pseudonym* p = NewPseudonym();
+  Pseudonym* other = NewPseudonym();
+  auto bought = cp_.Purchase(p->cert, content_, Pay(30));
+  ASSERT_EQ(bought.status, Status::kOk);
+  // Buy with `other` too, so its key is registered with the CP.
+  ASSERT_EQ(cp_.Purchase(other->cert, content_, Pay(30)).status, Status::kOk);
+
+  // Signature by the wrong pseudonym is rejected.
+  auto bad_sig = card_.SignWithPseudonym(
+      other->cert.KeyId(),
+      ContentProvider::TransferChallengeBytes(bought.license.id));
+  EXPECT_EQ(cp_.ExchangeForAnonymous(bought.license, bad_sig).status,
+            Status::kBadSignature);
+}
+
+TEST_F(ContentProviderTest, ExchangeRejectsNonTransferableRights) {
+  rel::ContentId rental = cp_.Publish(
+      "Rental", std::vector<std::uint8_t>(10, 1), 5, rel::Rights::Rental(99));
+  Pseudonym* p = NewPseudonym();
+  auto bought = cp_.Purchase(p->cert, rental, Pay(5));
+  ASSERT_EQ(bought.status, Status::kOk);
+  auto sig = card_.SignWithPseudonym(
+      p->cert.KeyId(),
+      ContentProvider::TransferChallengeBytes(bought.license.id));
+  EXPECT_EQ(cp_.ExchangeForAnonymous(bought.license, sig).status,
+            Status::kNotTransferable);
+}
+
+TEST_F(ContentProviderTest, ExchangeRejectsForgedLicense) {
+  Pseudonym* p = NewPseudonym();
+  auto bought = cp_.Purchase(p->cert, content_, Pay(30));
+  ASSERT_EQ(bought.status, Status::kOk);
+  rel::License forged = bought.license;
+  forged.rights.play_count = 1;  // tamper
+  auto sig = card_.SignWithPseudonym(
+      p->cert.KeyId(), ContentProvider::TransferChallengeBytes(forged.id));
+  EXPECT_EQ(cp_.ExchangeForAnonymous(forged, sig).status,
+            Status::kBadSignature);
+}
+
+TEST_F(ContentProviderTest, RedeemBindsToTakerAndSpendsOnce) {
+  Pseudonym* giver = NewPseudonym();
+  auto bought = cp_.Purchase(giver->cert, content_, Pay(30));
+  ASSERT_EQ(bought.status, Status::kOk);
+  auto sig = card_.SignWithPseudonym(
+      giver->cert.KeyId(),
+      ContentProvider::TransferChallengeBytes(bought.license.id));
+  auto exch = cp_.ExchangeForAnonymous(bought.license, sig);
+  ASSERT_EQ(exch.status, Status::kOk);
+
+  Pseudonym* taker = NewPseudonym();
+  auto redeemed = cp_.RedeemAnonymous(exch.anonymous_license, taker->cert);
+  ASSERT_EQ(redeemed.status, Status::kOk);
+  EXPECT_EQ(redeemed.license.kind, rel::LicenseKind::kUserBound);
+  EXPECT_EQ(redeemed.license.bound_key, taker->cert.KeyId());
+  EXPECT_FALSE(redeemed.license.wrapped_content_key.empty());
+
+  // Second redemption: detected, fraud evidence produced.
+  Pseudonym* cheater = NewPseudonym();
+  auto again = cp_.RedeemAnonymous(exch.anonymous_license, cheater->cert);
+  EXPECT_EQ(again.status, Status::kAlreadySpent);
+  EXPECT_EQ(cp_.DoubleRedemptionAttempts(), 1u);
+  auto evidence = cp_.TakeFraudEvidence();
+  ASSERT_EQ(evidence.size(), 1u);
+  EXPECT_EQ(evidence[0].first.license_id, exch.anonymous_license.id);
+  // Queue drained.
+  EXPECT_TRUE(cp_.TakeFraudEvidence().empty());
+}
+
+TEST_F(ContentProviderTest, RedeemRejectsNonAnonymousLicense) {
+  Pseudonym* p = NewPseudonym();
+  auto bought = cp_.Purchase(p->cert, content_, Pay(30));
+  ASSERT_EQ(bought.status, Status::kOk);
+  EXPECT_EQ(cp_.RedeemAnonymous(bought.license, p->cert).status,
+            Status::kBadRequest);
+}
+
+TEST_F(ContentProviderTest, FraudEvidenceConvincesTtp) {
+  Pseudonym* giver = NewPseudonym();
+  auto bought = cp_.Purchase(giver->cert, content_, Pay(30));
+  auto sig = card_.SignWithPseudonym(
+      giver->cert.KeyId(),
+      ContentProvider::TransferChallengeBytes(bought.license.id));
+  auto exch = cp_.ExchangeForAnonymous(bought.license, sig);
+  ASSERT_EQ(exch.status, Status::kOk);
+
+  Pseudonym* taker = NewPseudonym();
+  clock_.Advance(10);
+  ASSERT_EQ(cp_.RedeemAnonymous(exch.anonymous_license, taker->cert).status,
+            Status::kOk);
+  clock_.Advance(10);
+  Pseudonym* cheat = NewPseudonym();
+  ASSERT_EQ(cp_.RedeemAnonymous(exch.anonymous_license, cheat->cert).status,
+            Status::kAlreadySpent);
+
+  auto evidence = cp_.TakeFraudEvidence();
+  ASSERT_EQ(evidence.size(), 1u);
+  auto opened = ttp_.OpenEscrow(evidence[0], cp_.PublicKey());
+  ASSERT_TRUE(opened.opened) << opened.reason;
+  EXPECT_EQ(opened.card_id, card_.CardId());
+}
+
+TEST_F(ContentProviderTest, SpentJournalSurvivesRestart) {
+  std::string journal = testing::TempDir() + "cp_journal_test.log";
+  std::remove(journal.c_str());
+
+  rel::LicenseId spent_id;
+  {
+    ContentProviderConfig cfg = Config();
+    cfg.spent_journal_path = journal;
+    ContentProvider cp(cfg, &rng_, &clock_, &bank_, ca_.PublicKey());
+    rel::ContentId cid = cp.Publish("X", std::vector<std::uint8_t>(4, 1), 5,
+                                    rel::Rights::FullRetail());
+    Pseudonym* p = NewPseudonym();
+    auto bought = cp.Purchase(p->cert, cid, Pay(5));
+    ASSERT_EQ(bought.status, Status::kOk);
+    auto sig = card_.SignWithPseudonym(
+        p->cert.KeyId(),
+        ContentProvider::TransferChallengeBytes(bought.license.id));
+    ASSERT_EQ(cp.ExchangeForAnonymous(bought.license, sig).status,
+              Status::kOk);
+    spent_id = bought.license.id;
+    EXPECT_EQ(cp.SpentSetSize(), 1u);
+  }
+  {
+    // "Restart": a fresh provider instance rebuilds the spent set.
+    ContentProviderConfig cfg = Config();
+    cfg.spent_journal_path = journal;
+    ContentProvider cp(cfg, &rng_, &clock_, &bank_, ca_.PublicKey());
+    EXPECT_EQ(cp.SpentSetSize(), 1u);
+  }
+  std::remove(journal.c_str());
+}
+
+TEST_F(ContentProviderTest, DistinctPseudonymCounting) {
+  Pseudonym* p1 = NewPseudonym();
+  Pseudonym* p2 = NewPseudonym();
+  cp_.Purchase(p1->cert, content_, Pay(30));
+  cp_.Purchase(p2->cert, content_, Pay(30));
+  cp_.Purchase(p1->cert, content_, Pay(30));
+  EXPECT_EQ(cp_.DistinctPseudonymsSeen(), 2u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2drm

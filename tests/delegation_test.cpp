@@ -1,0 +1,238 @@
+// Star licenses: user-attributed restrictions and their enforcement.
+
+#include "core/delegation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/agent.h"
+#include "core/system.h"
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace core {
+namespace {
+
+rel::KeyFingerprint NamedDelegate(const std::string& who) {
+  return crypto::Sha256::Hash("delegate:" + who);
+}
+
+class DelegationTest : public ::testing::Test {
+ protected:
+  DelegationTest() : rng_("delegation-test"), system_(Config(), &rng_) {
+    film_ = system_.cp().Publish("Film", std::vector<std::uint8_t>(256, 0x66),
+                                 10, rel::Rights::MeteredPlay(10));
+    AgentConfig acfg;
+    acfg.pseudonym_bits = 512;
+    parent_ = std::make_unique<UserAgent>("parent", acfg, &system_, &rng_);
+    EXPECT_EQ(parent_->BuyContent(film_, &license_), Status::kOk);
+    delegator_key_ = parent_->card()
+                         .FindPseudonym(license_.bound_key)
+                         ->cert.pseudonym_key;
+  }
+
+  static SystemConfig Config() {
+    SystemConfig cfg;
+    cfg.ca_key_bits = 512;
+    cfg.ttp_key_bits = 512;
+    cfg.bank_key_bits = 512;
+    cfg.cp.signing_key_bits = 512;
+    return cfg;
+  }
+
+  DelegationLicense MakeDelegation(const rel::Rights& restrictions) {
+    DelegationLicense d;
+    EXPECT_TRUE(CreateDelegation(&parent_->card(), license_,
+                                 NamedDelegate("kid"), restrictions,
+                                 system_.clock().NowEpochSeconds(), &rng_,
+                                 &d));
+    return d;
+  }
+
+  crypto::HmacDrbg rng_;
+  P2drmSystem system_;
+  rel::ContentId film_ = 0;
+  std::unique_ptr<UserAgent> parent_;
+  rel::License license_;
+  crypto::RsaPublicKey delegator_key_;
+};
+
+TEST_F(DelegationTest, RoundTripSerialization) {
+  DelegationLicense d = MakeDelegation(rel::Rights::MeteredPlay(2));
+  DelegationLicense back = DelegationLicense::Deserialize(d.Serialize());
+  EXPECT_EQ(back.id, d.id);
+  EXPECT_EQ(back.parent_id, license_.id);
+  EXPECT_TRUE(back.restrictions == d.restrictions);
+  EXPECT_EQ(back.delegator_signature, d.delegator_signature);
+}
+
+TEST_F(DelegationTest, ValidDelegationValidates) {
+  DelegationLicense d = MakeDelegation(rel::Rights::MeteredPlay(2));
+  EXPECT_EQ(ValidateDelegation(d, license_, delegator_key_),
+            DelegationCheck::kOk);
+}
+
+TEST_F(DelegationTest, TamperedRestrictionFails) {
+  DelegationLicense d = MakeDelegation(rel::Rights::MeteredPlay(2));
+  d.restrictions.play_count = 9999;  // kid edits the delegation
+  EXPECT_EQ(ValidateDelegation(d, license_, delegator_key_),
+            DelegationCheck::kBadSignature);
+}
+
+TEST_F(DelegationTest, WrongParentFails) {
+  DelegationLicense d = MakeDelegation(rel::Rights::MeteredPlay(2));
+  rel::License other = license_;
+  other.id.bytes[0] ^= 1;
+  EXPECT_EQ(ValidateDelegation(d, other, delegator_key_),
+            DelegationCheck::kWrongParent);
+}
+
+TEST_F(DelegationTest, WrongDelegatorKeyFails) {
+  DelegationLicense d = MakeDelegation(rel::Rights::MeteredPlay(2));
+  crypto::HmacDrbg other_rng("other");
+  auto other_key = crypto::GenerateRsaKey(512, &other_rng).PublicKey();
+  EXPECT_EQ(ValidateDelegation(d, license_, other_key),
+            DelegationCheck::kWrongParent);  // fingerprint mismatch
+}
+
+TEST_F(DelegationTest, EffectiveRightsAreIntersection) {
+  rel::Rights restriction = rel::Rights::MeteredPlay(2);
+  restriction.allow_copy = true;      // delegate tries to sneak copy in
+  restriction.allow_transfer = true;  // and transfer
+  DelegationLicense d = MakeDelegation(restriction);
+  rel::Rights effective = EffectiveRights(d, license_);
+  EXPECT_EQ(effective.play_count, 2u);      // min(10, 2)
+  EXPECT_FALSE(effective.allow_copy);       // never inherited
+  EXPECT_FALSE(effective.allow_transfer);   // never inherited
+  EXPECT_TRUE(effective.allow_play);
+}
+
+TEST_F(DelegationTest, DeviceEnforcesDelegatedMeter) {
+  DelegationLicense d = MakeDelegation(rel::Rights::MeteredPlay(2));
+  ASSERT_EQ(parent_->device().InstallDelegation(d, delegator_key_),
+            DelegationCheck::kOk);
+  const auto& enc = system_.cp().GetContent(film_);
+
+  EXPECT_EQ(parent_->device()
+                .UseDelegated(d.id, rel::Action::kPlay, &parent_->card(), enc)
+                .decision,
+            rel::Decision::kAllow);
+  EXPECT_EQ(parent_->device()
+                .UseDelegated(d.id, rel::Action::kPlay, &parent_->card(), enc)
+                .decision,
+            rel::Decision::kAllow);
+  // Third delegated play: the 2-play restriction bites (parent has 10).
+  EXPECT_EQ(parent_->device()
+                .UseDelegated(d.id, rel::Action::kPlay, &parent_->card(), enc)
+                .decision,
+            rel::Decision::kDeniedExhausted);
+  EXPECT_EQ(parent_->device().DelegatedPlaysUsed(d.id), 2u);
+  // Delegated plays also consumed the parent meter.
+  EXPECT_EQ(parent_->device().PlaysUsed(license_.id), 2u);
+}
+
+TEST_F(DelegationTest, DelegatedPlaysDecryptCorrectly) {
+  DelegationLicense d = MakeDelegation(rel::Rights::MeteredPlay(2));
+  ASSERT_EQ(parent_->device().InstallDelegation(d, delegator_key_),
+            DelegationCheck::kOk);
+  UseResult r = parent_->device().UseDelegated(
+      d.id, rel::Action::kPlay, &parent_->card(),
+      system_.cp().GetContent(film_));
+  ASSERT_EQ(r.decision, rel::Decision::kAllow) << r.error;
+  EXPECT_EQ(r.plaintext, std::vector<std::uint8_t>(256, 0x66));
+}
+
+TEST_F(DelegationTest, DelegationExpiryEnforced) {
+  rel::Rights timed = rel::Rights::UnlimitedPlay();
+  timed.expiry_epoch_s = system_.clock().NowEpochSeconds() + 100;
+  DelegationLicense d = MakeDelegation(timed);
+  ASSERT_EQ(parent_->device().InstallDelegation(d, delegator_key_),
+            DelegationCheck::kOk);
+  const auto& enc = system_.cp().GetContent(film_);
+  EXPECT_EQ(parent_->device()
+                .UseDelegated(d.id, rel::Action::kPlay, &parent_->card(), enc)
+                .decision,
+            rel::Decision::kAllow);
+  system_.clock().Advance(101);
+  EXPECT_EQ(parent_->device()
+                .UseDelegated(d.id, rel::Action::kPlay, &parent_->card(), enc)
+                .decision,
+            rel::Decision::kDeniedExpired);
+}
+
+TEST_F(DelegationTest, InstallRequiresParentOnDevice) {
+  DelegationLicense d = MakeDelegation(rel::Rights::MeteredPlay(1));
+  CompliantDevice other("other", 2, &system_.clock(), &rng_);
+  EXPECT_EQ(other.InstallDelegation(d, delegator_key_),
+            DelegationCheck::kWrongParent);
+}
+
+TEST_F(DelegationTest, DelegationDiesWithTransferredParent) {
+  // The film license is not transferable (MeteredPlay), so use a retail one.
+  rel::ContentId album = system_.cp().Publish(
+      "Album", std::vector<std::uint8_t>(64, 1), 5, rel::Rights::FullRetail());
+  rel::License parent_lic;
+  ASSERT_EQ(parent_->BuyContent(album, &parent_lic), Status::kOk);
+  auto key = parent_->card()
+                 .FindPseudonym(parent_lic.bound_key)
+                 ->cert.pseudonym_key;
+  DelegationLicense d;
+  ASSERT_TRUE(CreateDelegation(&parent_->card(), parent_lic,
+                               NamedDelegate("kid"), rel::Rights::MeteredPlay(5),
+                               system_.clock().NowEpochSeconds(), &rng_, &d));
+  ASSERT_EQ(parent_->device().InstallDelegation(d, key), DelegationCheck::kOk);
+
+  // Parent gives the license away; the delegation must stop working.
+  std::vector<std::uint8_t> bearer;
+  ASSERT_EQ(parent_->GiveLicense(parent_lic.id, &bearer), Status::kOk);
+  UseResult r = parent_->device().UseDelegated(
+      d.id, rel::Action::kPlay, &parent_->card(),
+      system_.cp().GetContent(album));
+  EXPECT_NE(r.decision, rel::Decision::kAllow);
+  EXPECT_NE(r.error.find("parent license"), std::string::npos);
+}
+
+TEST_F(DelegationTest, CardWithoutPseudonymCannotCreate) {
+  SmartCard stranger("stranger", 512, &rng_);
+  DelegationLicense d;
+  EXPECT_FALSE(CreateDelegation(&stranger, license_, NamedDelegate("kid"),
+                                rel::Rights::MeteredPlay(1),
+                                0, &rng_, &d));
+}
+
+TEST(RightsIntersect, MostRestrictiveWins) {
+  rel::Rights a = rel::Rights::FullRetail();
+  a.play_count = 10;
+  a.expiry_epoch_s = 1000;
+  a.min_security_level = 1;
+  rel::Rights b = rel::Rights::UnlimitedPlay();
+  b.play_count = 3;
+  b.expiry_epoch_s = 2000;
+  b.min_security_level = 4;
+  rel::Rights r = rel::Rights::Intersect(a, b);
+  EXPECT_EQ(r.play_count, 3u);
+  EXPECT_EQ(r.expiry_epoch_s, 1000u);
+  EXPECT_EQ(r.min_security_level, 4);
+  EXPECT_FALSE(r.allow_copy);      // b lacks copy
+  EXPECT_FALSE(r.allow_transfer);  // b lacks transfer
+  EXPECT_TRUE(r.allow_play);
+}
+
+TEST(RightsIntersect, NoExpiryYieldsOtherExpiry) {
+  rel::Rights a = rel::Rights::UnlimitedPlay();  // no expiry
+  rel::Rights b = rel::Rights::Rental(500);
+  EXPECT_EQ(rel::Rights::Intersect(a, b).expiry_epoch_s, 500u);
+  EXPECT_EQ(rel::Rights::Intersect(b, a).expiry_epoch_s, 500u);
+  EXPECT_EQ(rel::Rights::Intersect(a, a).expiry_epoch_s, rel::kNoExpiry);
+}
+
+TEST(RightsIntersect, SubsetRelation) {
+  rel::Rights full = rel::Rights::FullRetail();
+  rel::Rights metered = rel::Rights::MeteredPlay(3);
+  EXPECT_TRUE(metered.IsSubsetOf(full));
+  EXPECT_FALSE(full.IsSubsetOf(metered));
+  EXPECT_TRUE(full.IsSubsetOf(full));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2drm

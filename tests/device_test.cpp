@@ -1,0 +1,227 @@
+// Compliant device: license install, rights enforcement, CRL, decryption.
+
+#include "core/device.h"
+
+#include <gtest/gtest.h>
+
+#include "core/certification_authority.h"
+#include "core/smartcard.h"
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace core {
+namespace {
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest()
+      : rng_("device-test"),
+        ca_(512, &rng_),
+        ttp_(512, &rng_),
+        bank_(512, &rng_),
+        cp_(Config(), &rng_, &clock_, &bank_, ca_.PublicKey()),
+        card_("Dave", 512, &rng_),
+        device_("dave-player", 2, &clock_, &rng_) {
+    card_.StoreIdentityCertificate(ca_.Enrol("Dave", card_.MasterKey()));
+    device_.InstallCertificate(
+        ca_.CertifyDevice(device_.DeviceKey(), device_.security_level()));
+    bank_.OpenAccount("dave", 1000);
+    plaintext_.assign(256, 0x77);
+    content_ = cp_.Publish("Track", plaintext_, 10, rel::Rights::MeteredPlay(2));
+  }
+
+  static ContentProviderConfig Config() {
+    ContentProviderConfig c;
+    c.signing_key_bits = 512;
+    return c;
+  }
+
+  Pseudonym* NewPseudonym() {
+    PseudonymRequest req =
+        card_.BeginPseudonym(ca_.PublicKey(), ttp_.EscrowKey());
+    bignum::BigInt sig =
+        ca_.SignPseudonymBlinded(card_.CardId(), req.blinding.blinded);
+    return card_.FinishPseudonym(std::move(req), sig, ca_.PublicKey());
+  }
+
+  std::vector<Coin> Pay(std::uint64_t amount) {
+    std::vector<Coin> coins;
+    for (auto d : PlanCoins(amount)) {
+      Coin coin;
+      rng_.Fill(coin.serial.data(), coin.serial.size());
+      coin.denomination = d;
+      const auto& key = bank_.DenominationKey(d);
+      auto ctx = crypto::BlindMessage(key, coin.CanonicalBytes(), &rng_);
+      bignum::BigInt blind_sig;
+      EXPECT_EQ(bank_.Withdraw("dave", d, ctx.blinded, &blind_sig),
+                Status::kOk);
+      coin.signature = crypto::Unblind(key, ctx, blind_sig);
+      coins.push_back(std::move(coin));
+    }
+    return coins;
+  }
+
+  rel::License Buy(Pseudonym* p) {
+    auto r = cp_.Purchase(p->cert, content_, Pay(10));
+    EXPECT_EQ(r.status, Status::kOk);
+    return r.license;
+  }
+
+  crypto::HmacDrbg rng_;
+  SimClock clock_;
+  CertificationAuthority ca_;
+  TrustedThirdParty ttp_;
+  PaymentProvider bank_;
+  ContentProvider cp_;
+  SmartCard card_;
+  CompliantDevice device_;
+  std::vector<std::uint8_t> plaintext_;
+  rel::ContentId content_ = 0;
+};
+
+TEST_F(DeviceTest, CertificateVerifies) {
+  EXPECT_TRUE(VerifyDeviceCert(ca_.PublicKey(), device_.Certificate()));
+  EXPECT_EQ(device_.Certificate().security_level, 2);
+}
+
+TEST_F(DeviceTest, InstallRejectsForgedLicense) {
+  Pseudonym* p = NewPseudonym();
+  rel::License lic = Buy(p);
+  lic.rights.play_count = rel::kUnlimitedPlays;  // tamper: unlimited plays
+  EXPECT_FALSE(device_.InstallLicense(lic, cp_.PublicKey()));
+  EXPECT_TRUE(device_.LicensesFor(content_).empty());
+}
+
+TEST_F(DeviceTest, PlayDecryptsToOriginalPlaintext) {
+  Pseudonym* p = NewPseudonym();
+  rel::License lic = Buy(p);
+  ASSERT_TRUE(device_.InstallLicense(lic, cp_.PublicKey()));
+
+  UseResult r = device_.Use(content_, rel::Action::kPlay, &card_,
+                            cp_.GetContent(content_));
+  ASSERT_EQ(r.decision, rel::Decision::kAllow) << r.error;
+  EXPECT_EQ(r.plaintext, plaintext_);
+  EXPECT_EQ(device_.PlaysUsed(lic.id), 1u);
+}
+
+TEST_F(DeviceTest, PlayMeterExhausts) {
+  Pseudonym* p = NewPseudonym();
+  rel::License lic = Buy(p);  // metered: 2 plays
+  ASSERT_TRUE(device_.InstallLicense(lic, cp_.PublicKey()));
+  auto enc = cp_.GetContent(content_);
+  EXPECT_EQ(device_.Use(content_, rel::Action::kPlay, &card_, enc).decision,
+            rel::Decision::kAllow);
+  EXPECT_EQ(device_.Use(content_, rel::Action::kPlay, &card_, enc).decision,
+            rel::Decision::kAllow);
+  EXPECT_EQ(device_.Use(content_, rel::Action::kPlay, &card_, enc).decision,
+            rel::Decision::kDeniedExhausted);
+  EXPECT_EQ(device_.PlaysUsed(lic.id), 2u);
+}
+
+TEST_F(DeviceTest, RentalExpiresWithClock) {
+  rel::ContentId rental =
+      cp_.Publish("Rental", plaintext_, 5,
+                  rel::Rights::Rental(clock_.NowEpochSeconds() + 100));
+  Pseudonym* p = NewPseudonym();
+  auto r = cp_.Purchase(p->cert, rental, Pay(5));
+  ASSERT_EQ(r.status, Status::kOk);
+  ASSERT_TRUE(device_.InstallLicense(r.license, cp_.PublicKey()));
+  auto enc = cp_.GetContent(rental);
+
+  EXPECT_EQ(device_.Use(rental, rel::Action::kPlay, &card_, enc).decision,
+            rel::Decision::kAllow);
+  clock_.Advance(101);
+  EXPECT_EQ(device_.Use(rental, rel::Action::kPlay, &card_, enc).decision,
+            rel::Decision::kDeniedExpired);
+}
+
+TEST_F(DeviceTest, SecurityLevelEnforced) {
+  rel::Rights strict = rel::Rights::UnlimitedPlay();
+  strict.min_security_level = 5;  // device is level 2
+  rel::ContentId hd = cp_.Publish("HD", plaintext_, 5, strict);
+  Pseudonym* p = NewPseudonym();
+  auto r = cp_.Purchase(p->cert, hd, Pay(5));
+  ASSERT_EQ(r.status, Status::kOk);
+  ASSERT_TRUE(device_.InstallLicense(r.license, cp_.PublicKey()));
+  EXPECT_EQ(device_
+                .Use(hd, rel::Action::kPlay, &card_, cp_.GetContent(hd))
+                .decision,
+            rel::Decision::kDeniedSecurityLevel);
+}
+
+TEST_F(DeviceTest, NoLicenseNoPlay) {
+  UseResult r = device_.Use(content_, rel::Action::kPlay, &card_,
+                            cp_.GetContent(content_));
+  EXPECT_NE(r.decision, rel::Decision::kAllow);
+  EXPECT_TRUE(r.plaintext.empty());
+}
+
+TEST_F(DeviceTest, WrongCardCannotDecrypt) {
+  Pseudonym* p = NewPseudonym();
+  rel::License lic = Buy(p);
+  ASSERT_TRUE(device_.InstallLicense(lic, cp_.PublicKey()));
+  // A different card without the pseudonym's private key.
+  SmartCard other("Eve", 512, &rng_);
+  UseResult r = device_.Use(content_, rel::Action::kPlay, &other,
+                            cp_.GetContent(content_));
+  EXPECT_NE(r.decision, rel::Decision::kAllow);
+  EXPECT_TRUE(r.plaintext.empty());
+}
+
+TEST_F(DeviceTest, CrlBlocksRevokedPseudonym) {
+  Pseudonym* p = NewPseudonym();
+  rel::License lic = Buy(p);
+  ASSERT_TRUE(device_.InstallLicense(lic, cp_.PublicKey()));
+
+  cp_.Revoke(p->cert.KeyId());
+  device_.UpdateCrl(cp_.Crl());
+  EXPECT_EQ(device_.CrlVersion(), cp_.Crl().Version());
+
+  UseResult r = device_.Use(content_, rel::Action::kPlay, &card_,
+                            cp_.GetContent(content_));
+  EXPECT_NE(r.decision, rel::Decision::kAllow);
+  EXPECT_NE(r.error.find("revoked"), std::string::npos);
+}
+
+TEST_F(DeviceTest, StaleCrlIgnored) {
+  cp_.Revoke(rel::KeyFingerprint{});  // version 1
+  device_.UpdateCrl(cp_.Crl());
+  std::uint64_t v = device_.CrlVersion();
+  // Re-applying the same snapshot does not regress.
+  device_.UpdateCrl(cp_.Crl());
+  EXPECT_EQ(device_.CrlVersion(), v);
+}
+
+TEST_F(DeviceTest, MismatchedContentBlobRejected) {
+  Pseudonym* p = NewPseudonym();
+  rel::License lic = Buy(p);
+  ASSERT_TRUE(device_.InstallLicense(lic, cp_.PublicKey()));
+  rel::ContentId other =
+      cp_.Publish("Other", plaintext_, 5, rel::Rights::UnlimitedPlay());
+  UseResult r = device_.Use(content_, rel::Action::kPlay, &card_,
+                            cp_.GetContent(other));
+  EXPECT_NE(r.decision, rel::Decision::kAllow);
+}
+
+TEST_F(DeviceTest, TransferActionNeedsTransferRight) {
+  Pseudonym* p = NewPseudonym();
+  rel::License lic = Buy(p);  // MeteredPlay: no transfer right
+  ASSERT_TRUE(device_.InstallLicense(lic, cp_.PublicKey()));
+  UseResult r = device_.Use(content_, rel::Action::kTransfer, &card_,
+                            cp_.GetContent(content_));
+  EXPECT_EQ(r.decision, rel::Decision::kDeniedAction);
+}
+
+TEST_F(DeviceTest, FindAndRemoveLicense) {
+  Pseudonym* p = NewPseudonym();
+  rel::License lic = Buy(p);
+  ASSERT_TRUE(device_.InstallLicense(lic, cp_.PublicKey()));
+  EXPECT_NE(device_.FindLicense(lic.id), nullptr);
+  EXPECT_TRUE(device_.RemoveLicense(lic.id));
+  EXPECT_EQ(device_.FindLicense(lic.id), nullptr);
+  EXPECT_FALSE(device_.RemoveLicense(lic.id));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,171 @@
+// Authorized domains: private membership, shared licenses, compliance.
+
+#include "core/domain.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace core {
+namespace {
+
+class DomainTest : public ::testing::Test {
+ protected:
+  DomainTest() : rng_("domain-test"), system_(Config(), &rng_) {
+    film_ = system_.cp().Publish("Family Film",
+                                 std::vector<std::uint8_t>(512, 0x44), 20,
+                                 rel::Rights::MeteredPlay(3));
+    DomainConfig dcfg;
+    dcfg.max_members = 3;
+    dcfg.agent.pseudonym_bits = 512;
+    dcfg.agent.initial_bank_balance = 1000;
+    manager_ = std::make_unique<DomainManager>("home-hub", dcfg, &system_,
+                                               &rng_);
+  }
+
+  static SystemConfig Config() {
+    SystemConfig cfg;
+    cfg.ca_key_bits = 512;
+    cfg.ttp_key_bits = 512;
+    cfg.bank_key_bits = 512;
+    cfg.cp.signing_key_bits = 512;
+    return cfg;
+  }
+
+  DeviceCertificate MakeMember(const std::string& name,
+                               std::uint8_t level = 2) {
+    auto device = std::make_unique<CompliantDevice>(name, level,
+                                                    &system_.clock(), &rng_);
+    DeviceCertificate cert =
+        system_.ca().CertifyDevice(device->DeviceKey(), level);
+    devices_.push_back(std::move(device));
+    return cert;
+  }
+
+  crypto::HmacDrbg rng_;
+  P2drmSystem system_;
+  rel::ContentId film_ = 0;
+  std::unique_ptr<DomainManager> manager_;
+  std::vector<std::unique_ptr<CompliantDevice>> devices_;
+};
+
+TEST_F(DomainTest, MembersJoinUpToLimit) {
+  EXPECT_EQ(manager_->Join(MakeMember("tv")), Status::kOk);
+  EXPECT_EQ(manager_->Join(MakeMember("tablet")), Status::kOk);
+  EXPECT_EQ(manager_->Join(MakeMember("phone")), Status::kOk);
+  EXPECT_EQ(manager_->MemberCount(), 3u);
+  // Domain is full (compliance bound).
+  EXPECT_EQ(manager_->Join(MakeMember("console")), Status::kBadRequest);
+}
+
+TEST_F(DomainTest, ForgedDeviceCertRejected) {
+  DeviceCertificate cert = MakeMember("tv");
+  cert.security_level ^= 1;  // breaks the CA signature
+  EXPECT_EQ(manager_->Join(cert), Status::kBadCertificate);
+}
+
+TEST_F(DomainTest, RevokedDeviceRejected) {
+  DeviceCertificate cert = MakeMember("tv");
+  system_.cp().Revoke(cert.device_id);
+  EXPECT_EQ(manager_->Join(cert), Status::kRevoked);
+}
+
+TEST_F(DomainTest, MembersShareTheDomainLicense) {
+  DeviceCertificate tv = MakeMember("tv");
+  DeviceCertificate tablet = MakeMember("tablet");
+  ASSERT_EQ(manager_->Join(tv), Status::kOk);
+  ASSERT_EQ(manager_->Join(tablet), Status::kOk);
+  ASSERT_EQ(manager_->AcquireContent(film_), Status::kOk);
+
+  UseResult r1 = manager_->MemberPlay(tv.device_id, film_);
+  ASSERT_EQ(r1.decision, rel::Decision::kAllow) << r1.error;
+  EXPECT_EQ(r1.plaintext, std::vector<std::uint8_t>(512, 0x44));
+  UseResult r2 = manager_->MemberPlay(tablet.device_id, film_);
+  ASSERT_EQ(r2.decision, rel::Decision::kAllow) << r2.error;
+  // One domain-wide meter: two plays consumed.
+  EXPECT_EQ(manager_->DomainPlaysUsed(film_), 2u);
+}
+
+TEST_F(DomainTest, DomainMeterIsShared) {
+  DeviceCertificate tv = MakeMember("tv");
+  ASSERT_EQ(manager_->Join(tv), Status::kOk);
+  ASSERT_EQ(manager_->AcquireContent(film_), Status::kOk);  // 3 plays
+  EXPECT_EQ(manager_->MemberPlay(tv.device_id, film_).decision,
+            rel::Decision::kAllow);
+  EXPECT_EQ(manager_->MemberPlay(tv.device_id, film_).decision,
+            rel::Decision::kAllow);
+  EXPECT_EQ(manager_->MemberPlay(tv.device_id, film_).decision,
+            rel::Decision::kAllow);
+  EXPECT_EQ(manager_->MemberPlay(tv.device_id, film_).decision,
+            rel::Decision::kDeniedExhausted);
+}
+
+TEST_F(DomainTest, NonMembersGetNothing) {
+  ASSERT_EQ(manager_->AcquireContent(film_), Status::kOk);
+  DeviceCertificate outsider = MakeMember("outsider");
+  UseResult r = manager_->MemberPlay(outsider.device_id, film_);
+  EXPECT_NE(r.decision, rel::Decision::kAllow);
+  EXPECT_NE(r.error.find("not a domain member"), std::string::npos);
+}
+
+TEST_F(DomainTest, NoLicenseNoPlay) {
+  DeviceCertificate tv = MakeMember("tv");
+  ASSERT_EQ(manager_->Join(tv), Status::kOk);
+  UseResult r = manager_->MemberPlay(tv.device_id, film_);
+  EXPECT_NE(r.decision, rel::Decision::kAllow);
+}
+
+TEST_F(DomainTest, SecurityLevelGatesMembers) {
+  rel::Rights strict = rel::Rights::UnlimitedPlay();
+  strict.min_security_level = 3;
+  rel::ContentId hd = system_.cp().Publish(
+      "HD", std::vector<std::uint8_t>(16, 1), 5, strict);
+  DeviceCertificate weak = MakeMember("weak", 1);
+  DeviceCertificate strong = MakeMember("strong", 4);
+  ASSERT_EQ(manager_->Join(weak), Status::kOk);
+  ASSERT_EQ(manager_->Join(strong), Status::kOk);
+  ASSERT_EQ(manager_->AcquireContent(hd), Status::kOk);
+  EXPECT_EQ(manager_->MemberPlay(weak.device_id, hd).decision,
+            rel::Decision::kDeniedSecurityLevel);
+  EXPECT_EQ(manager_->MemberPlay(strong.device_id, hd).decision,
+            rel::Decision::kAllow);
+}
+
+TEST_F(DomainTest, CrlSyncExpelsRevokedMembers) {
+  DeviceCertificate tv = MakeMember("tv");
+  ASSERT_EQ(manager_->Join(tv), Status::kOk);
+  ASSERT_EQ(manager_->AcquireContent(film_), Status::kOk);
+  ASSERT_EQ(manager_->MemberPlay(tv.device_id, film_).decision,
+            rel::Decision::kAllow);
+
+  system_.cp().Revoke(tv.device_id);
+  manager_->SyncCrl();
+  EXPECT_FALSE(manager_->IsMember(tv.device_id));
+  EXPECT_NE(manager_->MemberPlay(tv.device_id, film_).decision,
+            rel::Decision::kAllow);
+}
+
+TEST_F(DomainTest, LeaveRemovesMember) {
+  DeviceCertificate tv = MakeMember("tv");
+  ASSERT_EQ(manager_->Join(tv), Status::kOk);
+  EXPECT_TRUE(manager_->Leave(tv.device_id));
+  EXPECT_FALSE(manager_->Leave(tv.device_id));
+  EXPECT_EQ(manager_->MemberCount(), 0u);
+}
+
+TEST_F(DomainTest, ProviderNeverLearnsMembership) {
+  std::size_t pseudonyms_before = system_.cp().DistinctPseudonymsSeen();
+  ASSERT_EQ(manager_->Join(MakeMember("tv")), Status::kOk);
+  ASSERT_EQ(manager_->Join(MakeMember("tablet")), Status::kOk);
+  // Joining is purely local: no new provider-visible credentials.
+  EXPECT_EQ(system_.cp().DistinctPseudonymsSeen(), pseudonyms_before);
+  // Acquisition shows the provider exactly one pseudonym — the domain's —
+  // regardless of member count.
+  ASSERT_EQ(manager_->AcquireContent(film_), Status::kOk);
+  EXPECT_EQ(system_.cp().DistinctPseudonymsSeen(), pseudonyms_before + 1);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,124 @@
+// HMAC-DRBG determinism and distribution sanity; RandomSource helpers.
+
+#include "crypto/drbg.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace p2drm {
+namespace crypto {
+namespace {
+
+using bignum::BigInt;
+
+TEST(HmacDrbg, DeterministicForSeed) {
+  HmacDrbg a("seed-1");
+  HmacDrbg b("seed-1");
+  EXPECT_EQ(a.Bytes(64), b.Bytes(64));
+}
+
+TEST(HmacDrbg, DifferentSeedsDiverge) {
+  HmacDrbg a("seed-1");
+  HmacDrbg b("seed-2");
+  EXPECT_NE(a.Bytes(64), b.Bytes(64));
+}
+
+TEST(HmacDrbg, SequentialCallsDiffer) {
+  HmacDrbg a("seed");
+  auto first = a.Bytes(32);
+  auto second = a.Bytes(32);
+  EXPECT_NE(first, second);
+}
+
+TEST(HmacDrbg, ReseedChangesStream) {
+  HmacDrbg a("seed");
+  HmacDrbg b("seed");
+  (void)a.Bytes(32);
+  (void)b.Bytes(32);
+  b.Reseed({1, 2, 3});
+  EXPECT_NE(a.Bytes(32), b.Bytes(32));
+}
+
+TEST(HmacDrbg, ByteDistributionRoughlyUniform) {
+  HmacDrbg rng("distribution");
+  std::array<int, 256> counts{};
+  constexpr int kN = 65536;
+  for (int i = 0; i < kN / 32; ++i) {
+    auto bytes = rng.Bytes(32);
+    for (auto b : bytes) counts[b]++;
+  }
+  // Expected 256 per bucket; allow generous 5-sigma-ish bounds.
+  for (int c : counts) {
+    EXPECT_GT(c, 128);
+    EXPECT_LT(c, 512);
+  }
+}
+
+TEST(RandomSource, BelowStaysInRange) {
+  HmacDrbg rng("below");
+  BigInt bound = BigInt::FromDec("1000000");
+  for (int i = 0; i < 200; ++i) {
+    BigInt v = rng.Below(bound);
+    EXPECT_FALSE(v.IsNegative());
+    EXPECT_LT(v.Compare(bound), 0);
+  }
+  EXPECT_THROW(rng.Below(BigInt(0)), std::domain_error);
+  EXPECT_THROW(rng.Below(BigInt(-5)), std::domain_error);
+}
+
+TEST(RandomSource, BelowOneIsZero) {
+  HmacDrbg rng("one");
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(rng.Below(BigInt(1)).IsZero());
+}
+
+TEST(RandomSource, BelowCoversSmallRange) {
+  HmacDrbg rng("cover");
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Below(BigInt(8)).ToDec());
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomSource, BitsExactSetsTopBit) {
+  HmacDrbg rng("bits");
+  for (std::size_t bits : {1u, 2u, 7u, 8u, 9u, 31u, 32u, 33u, 257u}) {
+    BigInt v = rng.BitsExact(bits);
+    EXPECT_EQ(v.BitLength(), bits) << bits;
+  }
+  EXPECT_THROW(rng.BitsExact(0), std::domain_error);
+}
+
+TEST(RandomSource, BetweenInclusive) {
+  HmacDrbg rng("between");
+  BigInt lo(10), hi(12);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    BigInt v = rng.Between(lo, hi);
+    EXPECT_GE(v.Compare(lo), 0);
+    EXPECT_LE(v.Compare(hi), 0);
+    seen.insert(v.ToDec());
+  }
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_THROW(rng.Between(hi, lo), std::domain_error);
+}
+
+TEST(RandomSource, NextUint64Bound) {
+  HmacDrbg rng("u64");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+  EXPECT_EQ(rng.NextUint64(1), 0u);
+  EXPECT_THROW(rng.NextUint64(0), std::domain_error);
+}
+
+TEST(SystemRandom, ProducesVaryingBytes) {
+  SystemRandom sr;
+  auto a = sr.Bytes(32);
+  auto b = sr.Bytes(32);
+  EXPECT_NE(a, b);  // astronomically unlikely to collide
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace p2drm

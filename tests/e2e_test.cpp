@@ -1,0 +1,217 @@
+// End-to-end integration: full system over the wire via UserAgent.
+
+#include <gtest/gtest.h>
+
+#include "core/agent.h"
+#include "core/system.h"
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace core {
+namespace {
+
+SystemConfig SmallSystem() {
+  SystemConfig cfg;
+  cfg.ca_key_bits = 512;
+  cfg.ttp_key_bits = 512;
+  cfg.bank_key_bits = 512;
+  cfg.cp.signing_key_bits = 512;
+  return cfg;
+}
+
+AgentConfig SmallAgent() {
+  AgentConfig cfg;
+  cfg.pseudonym_bits = 512;
+  cfg.pseudonym_max_uses = 1;
+  return cfg;
+}
+
+class E2eTest : public ::testing::Test {
+ protected:
+  E2eTest() : rng_("e2e"), system_(SmallSystem(), &rng_) {
+    song_ = system_.cp().Publish("Song", std::vector<std::uint8_t>(512, 0xaa),
+                                 30, rel::Rights::FullRetail());
+    movie_ = system_.cp().Publish(
+        "Movie", std::vector<std::uint8_t>(2048, 0xbb), 87,
+        rel::Rights::MeteredPlay(3));
+  }
+
+  crypto::HmacDrbg rng_;
+  P2drmSystem system_;
+  rel::ContentId song_ = 0;
+  rel::ContentId movie_ = 0;
+};
+
+TEST_F(E2eTest, PurchaseAndPlayEndToEnd) {
+  UserAgent alice("alice", SmallAgent(), &system_, &rng_);
+  rel::License lic;
+  ASSERT_EQ(alice.BuyContent(song_, &lic), Status::kOk);
+  EXPECT_EQ(lic.content_id, song_);
+
+  UseResult r = alice.Play(song_);
+  ASSERT_EQ(r.decision, rel::Decision::kAllow) << r.error;
+  EXPECT_EQ(r.plaintext, std::vector<std::uint8_t>(512, 0xaa));
+}
+
+TEST_F(E2eTest, BankBalanceReflectsPurchases) {
+  UserAgent alice("alice", SmallAgent(), &system_, &rng_);
+  std::uint64_t before = system_.bank().Balance("alice");
+  ASSERT_EQ(alice.BuyContent(song_, nullptr), Status::kOk);
+  // Exactly the price left the account (coins are withdrawn on demand).
+  EXPECT_EQ(system_.bank().Balance("alice") + 30, before);
+  // The merchant got paid.
+  EXPECT_EQ(system_.bank().Balance("cp"), 30u);
+}
+
+TEST_F(E2eTest, PurchaseIsPseudonymous) {
+  UserAgent alice("alice", SmallAgent(), &system_, &rng_);
+  ASSERT_EQ(alice.BuyContent(song_, nullptr), Status::kOk);
+  ASSERT_EQ(alice.BuyContent(movie_, nullptr), Status::kOk);
+  // Two purchases, two distinct pseudonyms (policy: fresh per purchase) —
+  // the CP cannot link them.
+  EXPECT_EQ(system_.cp().DistinctPseudonymsSeen(), 2u);
+  // No identified debit record exists for the purchases.
+  EXPECT_TRUE(system_.bank().DebitLog().empty());
+  // And the CP endpoint only ever saw anonymous callers for purchases.
+  EXPECT_EQ(system_.transport().StatsFor("alice", "cp").messages, 0u);
+}
+
+TEST_F(E2eTest, PseudonymReusePolicyLinksPurchases) {
+  AgentConfig reuse = SmallAgent();
+  reuse.pseudonym_max_uses = 10;
+  UserAgent bob("bob", reuse, &system_, &rng_);
+  ASSERT_EQ(bob.BuyContent(song_, nullptr), Status::kOk);
+  ASSERT_EQ(bob.BuyContent(movie_, nullptr), Status::kOk);
+  EXPECT_EQ(system_.cp().DistinctPseudonymsSeen(), 1u);
+}
+
+TEST_F(E2eTest, TransferEndToEnd) {
+  UserAgent alice("alice", SmallAgent(), &system_, &rng_);
+  UserAgent bob("bob", SmallAgent(), &system_, &rng_);
+
+  rel::License lic;
+  ASSERT_EQ(alice.BuyContent(song_, &lic), Status::kOk);
+  ASSERT_EQ(alice.Play(song_).decision, rel::Decision::kAllow);
+
+  // Alice gives the license away (anonymous exchange)…
+  std::vector<std::uint8_t> bearer;
+  ASSERT_EQ(alice.GiveLicense(lic.id, &bearer), Status::kOk);
+  // …her device no longer plays it…
+  EXPECT_NE(alice.Play(song_).decision, rel::Decision::kAllow);
+  // …and Bob redeems and plays.
+  rel::License bob_lic;
+  ASSERT_EQ(bob.ReceiveLicense(bearer, &bob_lic), Status::kOk);
+  EXPECT_EQ(bob_lic.content_id, song_);
+  UseResult r = bob.Play(song_);
+  ASSERT_EQ(r.decision, rel::Decision::kAllow) << r.error;
+  EXPECT_EQ(r.plaintext, std::vector<std::uint8_t>(512, 0xaa));
+}
+
+TEST_F(E2eTest, TransferIsUnlinkableAtProvider) {
+  UserAgent alice("alice", SmallAgent(), &system_, &rng_);
+  UserAgent bob("bob", SmallAgent(), &system_, &rng_);
+  rel::License lic;
+  ASSERT_EQ(alice.BuyContent(song_, &lic), Status::kOk);
+  std::vector<std::uint8_t> bearer;
+  ASSERT_EQ(alice.GiveLicense(lic.id, &bearer), Status::kOk);
+  ASSERT_EQ(bob.ReceiveLicense(bearer, nullptr), Status::kOk);
+
+  // The CP saw: alice's purchase pseudonym, and bob's redeem pseudonym.
+  // The only thing they share is the content id — same as any two
+  // unrelated customers. All transfer traffic arrived anonymously.
+  EXPECT_EQ(system_.transport().StatsFor("alice", "cp").messages, 0u);
+  EXPECT_EQ(system_.transport().StatsFor("bob", "cp").messages, 0u);
+  EXPECT_GE(system_.transport()
+                .StatsFor(net::Transport::kAnonymous, "cp")
+                .messages,
+            3u);  // purchase + exchange + redeem
+}
+
+TEST_F(E2eTest, DoubleRedemptionTriggersDeanonymizationAndRevocation) {
+  UserAgent alice("alice", SmallAgent(), &system_, &rng_);
+  UserAgent bob("bob", SmallAgent(), &system_, &rng_);
+  UserAgent mallory("mallory", SmallAgent(), &system_, &rng_);
+
+  rel::License lic;
+  ASSERT_EQ(alice.BuyContent(song_, &lic), Status::kOk);
+  std::vector<std::uint8_t> bearer;
+  ASSERT_EQ(alice.GiveLicense(lic.id, &bearer), Status::kOk);
+
+  // Mallory copies the bearer license before passing it to Bob: classic
+  // double redemption.
+  ASSERT_EQ(mallory.ReceiveLicense(bearer, nullptr), Status::kOk);
+  system_.clock().Advance(5);
+  EXPECT_EQ(bob.ReceiveLicense(bearer, nullptr), Status::kAlreadySpent);
+
+  // Fraud pipeline: CP → TTP → identity + revocation.
+  auto identified = system_.ProcessFraud();
+  ASSERT_EQ(identified.size(), 1u);
+  // The *second* redeemer (bob) is the one whose transcript conflicts.
+  EXPECT_EQ(system_.ca().HolderName(identified[0]), "bob");
+  EXPECT_EQ(system_.ttp().OpenedCount(), 1u);
+  EXPECT_EQ(system_.cp().Crl().Size(), 1u);
+}
+
+TEST_F(E2eTest, HonestUsersStayAnonymous) {
+  UserAgent alice("alice", SmallAgent(), &system_, &rng_);
+  ASSERT_EQ(alice.BuyContent(song_, nullptr), Status::kOk);
+  ASSERT_EQ(alice.BuyContent(movie_, nullptr), Status::kOk);
+  EXPECT_TRUE(system_.ProcessFraud().empty());
+  EXPECT_EQ(system_.ttp().OpenedCount(), 0u);
+}
+
+TEST_F(E2eTest, InsufficientFundsFailsCleanly) {
+  AgentConfig poor = SmallAgent();
+  poor.initial_bank_balance = 5;
+  UserAgent carol("carol", poor, &system_, &rng_);
+  EXPECT_EQ(carol.BuyContent(song_, nullptr), Status::kInsufficientFunds);
+  // Nothing was installed and no license was issued.
+  EXPECT_NE(carol.Play(song_).decision, rel::Decision::kAllow);
+}
+
+TEST_F(E2eTest, UnknownContentFails) {
+  UserAgent alice("alice", SmallAgent(), &system_, &rng_);
+  EXPECT_EQ(alice.BuyContent(9999, nullptr), Status::kUnknownContent);
+}
+
+TEST_F(E2eTest, CrlSyncPropagatesToDevice) {
+  UserAgent alice("alice", SmallAgent(), &system_, &rng_);
+  rel::License lic;
+  ASSERT_EQ(alice.BuyContent(song_, &lic), Status::kOk);
+  system_.cp().Revoke(lic.bound_key);
+  alice.SyncCrl();
+  EXPECT_NE(alice.Play(song_).decision, rel::Decision::kAllow);
+}
+
+TEST_F(E2eTest, WalletWithdrawAndValue) {
+  UserAgent alice("alice", SmallAgent(), &system_, &rng_);
+  EXPECT_EQ(alice.WalletValue(), 0u);
+  ASSERT_EQ(alice.WithdrawCoins(87), Status::kOk);
+  EXPECT_EQ(alice.WalletValue(), 87u);
+  EXPECT_EQ(system_.bank().Balance("alice"), 1000u - 87u);
+  // Buying the 30-unit song uses wallet coins first.
+  ASSERT_EQ(alice.BuyContent(song_, nullptr), Status::kOk);
+  EXPECT_LE(alice.WalletValue(), 87u - 30u + 100u);  // change may be withdrawn
+}
+
+TEST_F(E2eTest, MeteredLicenseTransfersWithRemainingStateReset) {
+  // Movie has 3 metered plays and no transfer right → GiveLicense fails.
+  UserAgent alice("alice", SmallAgent(), &system_, &rng_);
+  rel::License lic;
+  ASSERT_EQ(alice.BuyContent(movie_, &lic), Status::kOk);
+  std::vector<std::uint8_t> bearer;
+  EXPECT_EQ(alice.GiveLicense(lic.id, &bearer), Status::kNotTransferable);
+}
+
+TEST_F(E2eTest, ProtocolByteAccountingIsVisible) {
+  system_.transport().ResetStats();
+  UserAgent alice("alice", SmallAgent(), &system_, &rng_);
+  ASSERT_EQ(alice.BuyContent(song_, nullptr), Status::kOk);
+  auto total = system_.transport().GrandTotal();
+  EXPECT_GT(total.messages, 0u);
+  EXPECT_GT(total.bytes, 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2drm

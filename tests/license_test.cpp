@@ -1,0 +1,129 @@
+// License structure: canonical bytes, serialization, signing integration.
+
+#include "rel/license.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+
+namespace p2drm {
+namespace rel {
+namespace {
+
+License MakeLicense() {
+  License lic;
+  for (int i = 0; i < 16; ++i) lic.id.bytes[i] = static_cast<std::uint8_t>(i);
+  lic.kind = LicenseKind::kUserBound;
+  lic.content_id = 77;
+  for (int i = 0; i < 32; ++i) lic.bound_key[i] = static_cast<std::uint8_t>(200 - i);
+  lic.rights = Rights::MeteredPlay(5);
+  lic.issued_at_s = 1'234'567;
+  lic.wrapped_content_key = {9, 8, 7};
+  lic.issuer_signature = {1, 1, 2, 3, 5, 8};
+  return lic;
+}
+
+TEST(License, SerializeRoundTrip) {
+  License lic = MakeLicense();
+  License back = License::Deserialize(lic.Serialize());
+  EXPECT_TRUE(back == lic);
+}
+
+TEST(License, AnonymousRoundTrip) {
+  License lic = MakeLicense();
+  lic.kind = LicenseKind::kAnonymous;
+  lic.bound_key = KeyFingerprint{};  // all-zero for anonymous
+  lic.wrapped_content_key.clear();
+  License back = License::Deserialize(lic.Serialize());
+  EXPECT_TRUE(back == lic);
+  EXPECT_EQ(back.kind, LicenseKind::kAnonymous);
+}
+
+TEST(License, CanonicalBytesExcludeSignature) {
+  License a = MakeLicense();
+  License b = a;
+  b.issuer_signature = {0xff, 0xee};
+  EXPECT_EQ(a.CanonicalBytes(), b.CanonicalBytes());
+  EXPECT_NE(a.Serialize(), b.Serialize());
+}
+
+TEST(License, CanonicalBytesCoverAllSignedFields) {
+  License base = MakeLicense();
+  auto changed = [&base](auto mutate) {
+    License m = base;
+    mutate(&m);
+    return m.CanonicalBytes() != base.CanonicalBytes();
+  };
+  EXPECT_TRUE(changed([](License* l) { l->id.bytes[0] ^= 1; }));
+  EXPECT_TRUE(changed([](License* l) { l->kind = LicenseKind::kAnonymous; }));
+  EXPECT_TRUE(changed([](License* l) { l->content_id += 1; }));
+  EXPECT_TRUE(changed([](License* l) { l->bound_key[5] ^= 1; }));
+  EXPECT_TRUE(changed([](License* l) { l->rights.play_count -= 1; }));
+  EXPECT_TRUE(changed([](License* l) { l->issued_at_s += 1; }));
+  EXPECT_TRUE(changed([](License* l) { l->wrapped_content_key.push_back(0); }));
+}
+
+TEST(License, DeserializeRejectsBadKind) {
+  License lic = MakeLicense();
+  auto bytes = lic.Serialize();
+  // Canonical blob starts after a 4-byte length; kind is at offset 4+16.
+  bytes[4 + 16] = 0x7f;
+  EXPECT_THROW(License::Deserialize(bytes), net::CodecError);
+}
+
+TEST(License, DeserializeRejectsTruncated) {
+  auto bytes = MakeLicense().Serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(License::Deserialize(bytes), net::CodecError);
+}
+
+TEST(License, DeserializeRejectsTrailingGarbage) {
+  auto bytes = MakeLicense().Serialize();
+  bytes.push_back(0x00);
+  EXPECT_THROW(License::Deserialize(bytes), net::CodecError);
+}
+
+TEST(License, SignVerifyOverCanonicalBytes) {
+  crypto::HmacDrbg rng("license-sign");
+  crypto::RsaPrivateKey key = crypto::GenerateRsaKey(512, &rng);
+  License lic = MakeLicense();
+  lic.issuer_signature = crypto::RsaSignFdh(key, lic.CanonicalBytes());
+  EXPECT_TRUE(crypto::RsaVerifyFdh(key.PublicKey(), lic.CanonicalBytes(),
+                                   lic.issuer_signature));
+  // Any field change invalidates the signature.
+  lic.content_id += 1;
+  EXPECT_FALSE(crypto::RsaVerifyFdh(key.PublicKey(), lic.CanonicalBytes(),
+                                    lic.issuer_signature));
+}
+
+TEST(LicenseId, HexAndOrdering) {
+  LicenseId a, b;
+  a.bytes.fill(0);
+  b.bytes.fill(0);
+  b.bytes[15] = 1;
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.ToHex(), std::string(32, '0'));
+  EXPECT_EQ(b.ToHex().substr(30), "01");
+}
+
+TEST(LicenseId, HashIsUsable) {
+  std::hash<LicenseId> h;
+  LicenseId a, b;
+  a.bytes.fill(1);
+  b.bytes.fill(2);
+  EXPECT_NE(h(a), h(b));
+  EXPECT_EQ(h(a), h(a));
+}
+
+TEST(License, ToStringMentionsKindAndContent) {
+  License lic = MakeLicense();
+  std::string s = lic.ToString();
+  EXPECT_NE(s.find("user-bound"), std::string::npos);
+  EXPECT_NE(s.find("77"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace p2drm

@@ -1,0 +1,152 @@
+// Property tests for modular arithmetic laws — the algebra the whole
+// crypto stack silently relies on (blind-signature correctness is exactly
+// the homomorphism (m·r^e)^d ≡ m^d·r mod n).
+
+#include <gtest/gtest.h>
+
+#include "bignum/bigint.h"
+#include "bignum/montgomery.h"
+#include "bignum/prime.h"
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace bignum {
+namespace {
+
+class ModularLawsTest : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  crypto::HmacDrbg MakeRng() const {
+    return crypto::HmacDrbg("modlaws-" + std::to_string(GetParam()));
+  }
+};
+
+TEST_P(ModularLawsTest, AddSubMulModConsistency) {
+  auto rng = MakeRng();
+  BigInt m = rng.BitsExact(96);
+  if (m.IsEven()) m = m + BigInt(1);
+  for (int i = 0; i < 40; ++i) {
+    BigInt a = rng.Below(m);
+    BigInt b = rng.Below(m);
+    // AddMod/SubMod/MulMod agree with the definitional forms.
+    EXPECT_EQ(a.AddMod(b, m).ToHex(), ((a + b).Mod(m)).ToHex());
+    EXPECT_EQ(a.SubMod(b, m).ToHex(), ((a - b).Mod(m)).ToHex());
+    EXPECT_EQ(a.MulMod(b, m).ToHex(), ((a * b).Mod(m)).ToHex());
+    // Inverses: a - b + b ≡ a.
+    EXPECT_EQ(a.SubMod(b, m).AddMod(b, m).ToHex(), a.ToHex());
+  }
+}
+
+TEST_P(ModularLawsTest, PowModLaws) {
+  auto rng = MakeRng();
+  BigInt m = rng.BitsExact(80);
+  if (m.IsEven()) m = m + BigInt(1);
+  for (int i = 0; i < 15; ++i) {
+    BigInt a = rng.Below(m);
+    BigInt x = rng.Below(BigInt(1000));
+    BigInt y = rng.Below(BigInt(1000));
+    // a^(x+y) = a^x * a^y  (mod m)
+    EXPECT_EQ(a.PowMod(x + y, m).ToHex(),
+              a.PowMod(x, m).MulMod(a.PowMod(y, m), m).ToHex());
+    // (a^x)^y = a^(x*y)  (mod m)
+    EXPECT_EQ(a.PowMod(x, m).PowMod(y, m).ToHex(),
+              a.PowMod(x * y, m).ToHex());
+  }
+}
+
+TEST_P(ModularLawsTest, MultiplicativeHomomorphism) {
+  // (a*b)^e ≡ a^e * b^e — the property Chaum blinding depends on.
+  auto rng = MakeRng();
+  BigInt m = rng.BitsExact(80);
+  if (m.IsEven()) m = m + BigInt(1);
+  BigInt e(65537);
+  for (int i = 0; i < 15; ++i) {
+    BigInt a = rng.Below(m);
+    BigInt b = rng.Below(m);
+    EXPECT_EQ(a.MulMod(b, m).PowMod(e, m).ToHex(),
+              a.PowMod(e, m).MulMod(b.PowMod(e, m), m).ToHex());
+  }
+}
+
+TEST_P(ModularLawsTest, InverseIsTwoSided) {
+  auto rng = MakeRng();
+  BigInt p = GeneratePrime(72, 12, &rng);
+  for (int i = 0; i < 25; ++i) {
+    BigInt a = rng.Below(p);
+    if (a.IsZero()) continue;
+    BigInt inv = a.InvMod(p);
+    EXPECT_EQ(a.MulMod(inv, p).ToDec(), "1");
+    EXPECT_EQ(inv.MulMod(a, p).ToDec(), "1");
+    // Double inverse is identity.
+    EXPECT_EQ(inv.InvMod(p).ToHex(), a.ToHex());
+  }
+}
+
+TEST_P(ModularLawsTest, FermatAndEulerOnRandomPrimes) {
+  auto rng = MakeRng();
+  BigInt p = GeneratePrime(96, 12, &rng);
+  BigInt q = GeneratePrime(96, 12, &rng);
+  BigInt n = p * q;
+  BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+  for (int i = 0; i < 6; ++i) {
+    BigInt a = BigInt(2) + rng.Below(p - BigInt(3));
+    // Fermat: a^(p-1) ≡ 1 (mod p).
+    EXPECT_EQ(a.PowMod(p - BigInt(1), p).ToDec(), "1");
+    // Euler: gcd(a, n)=1 ⇒ a^phi(n) ≡ 1 (mod n).
+    if (BigInt::Gcd(a, n) == BigInt(1)) {
+      EXPECT_EQ(a.PowMod(phi, n).ToDec(), "1");
+    }
+  }
+}
+
+TEST_P(ModularLawsTest, RsaRoundTripAlgebra) {
+  // The raw RSA identity built from scratch: m^(e*d) ≡ m (mod pq).
+  auto rng = MakeRng();
+  BigInt e(65537);
+  BigInt p = GenerateRsaPrime(80, e, 12, &rng);
+  BigInt q = GenerateRsaPrime(80, e, 12, &rng);
+  if (p == q) return;
+  BigInt n = p * q;
+  BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+  BigInt d = e.InvMod(phi);
+  for (int i = 0; i < 8; ++i) {
+    BigInt m = rng.Below(n);
+    EXPECT_EQ(m.PowMod(e, n).PowMod(d, n).ToHex(), m.ToHex());
+  }
+}
+
+TEST_P(ModularLawsTest, MontgomeryAgreesWithGenericPowMod) {
+  auto rng = MakeRng();
+  BigInt m = rng.BitsExact(128);
+  if (m.IsEven()) m = m + BigInt(1);
+  Montgomery mont(m);
+  for (int i = 0; i < 10; ++i) {
+    BigInt base = rng.Below(m);
+    BigInt exp = rng.Below(BigInt(1) << 64);
+    EXPECT_EQ(mont.PowMod(base, exp).ToHex(), base.PowMod(exp, m).ToHex());
+  }
+}
+
+TEST_P(ModularLawsTest, CrtReconstruction) {
+  // The CRT identity used by RsaPrivateOp, checked in isolation.
+  auto rng = MakeRng();
+  BigInt p = GeneratePrime(64, 12, &rng);
+  BigInt q = GeneratePrime(64, 12, &rng);
+  if (p == q) return;
+  BigInt n = p * q;
+  BigInt qinv = q.InvMod(p);
+  for (int i = 0; i < 20; ++i) {
+    BigInt x = rng.Below(n);
+    BigInt xp = x.Mod(p);
+    BigInt xq = x.Mod(q);
+    BigInt h = qinv.MulMod(xp.SubMod(xq.Mod(p), p), p);
+    BigInt rebuilt = xq + h * q;
+    EXPECT_EQ(rebuilt.ToHex(), x.ToHex());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModularLawsTest,
+                         ::testing::Values(11u, 23u, 47u, 91u));
+
+}  // namespace
+}  // namespace bignum
+}  // namespace p2drm

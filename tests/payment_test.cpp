@@ -1,0 +1,170 @@
+// Blind e-cash: withdrawal, deposit, double-spend detection, baseline debit.
+
+#include "core/payment.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/blind_rsa.h"
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace core {
+namespace {
+
+class PaymentTest : public ::testing::Test {
+ protected:
+  PaymentTest() : rng_("payment-test"), bank_(512, &rng_) {
+    bank_.OpenAccount("alice", 500);
+    bank_.OpenAccount("shop", 0);
+  }
+
+  /// Client-side withdrawal: mint serial, blind, withdraw, unblind.
+  Coin WithdrawCoin(const std::string& account, std::uint32_t denom) {
+    Coin coin;
+    rng_.Fill(coin.serial.data(), coin.serial.size());
+    coin.denomination = denom;
+    const auto& key = bank_.DenominationKey(denom);
+    auto ctx = crypto::BlindMessage(key, coin.CanonicalBytes(), &rng_);
+    bignum::BigInt blind_sig;
+    EXPECT_EQ(bank_.Withdraw(account, denom, ctx.blinded, &blind_sig),
+              Status::kOk);
+    coin.signature = crypto::Unblind(key, ctx, blind_sig);
+    return coin;
+  }
+
+  crypto::HmacDrbg rng_;
+  PaymentProvider bank_;
+};
+
+TEST_F(PaymentTest, DenominationsAscendAndIncludeUnit) {
+  const auto& d = PaymentProvider::Denominations();
+  ASSERT_FALSE(d.empty());
+  EXPECT_EQ(d.front(), 1u);
+  for (std::size_t i = 1; i < d.size(); ++i) EXPECT_LT(d[i - 1], d[i]);
+}
+
+TEST_F(PaymentTest, WithdrawDebitsAccount) {
+  WithdrawCoin("alice", 50);
+  EXPECT_EQ(bank_.Balance("alice"), 450u);
+}
+
+TEST_F(PaymentTest, WithdrawnCoinVerifies) {
+  Coin coin = WithdrawCoin("alice", 10);
+  EXPECT_TRUE(crypto::RsaVerifyFdh(bank_.DenominationKey(10),
+                                   coin.CanonicalBytes(), coin.signature));
+}
+
+TEST_F(PaymentTest, CoinFromOneDenomKeyFailsAnother) {
+  Coin coin = WithdrawCoin("alice", 10);
+  // Claiming a higher denomination with the same signature must fail:
+  // the denomination is enforced by key separation.
+  Coin forged = coin;
+  forged.denomination = 100;
+  EXPECT_EQ(bank_.Deposit(forged, "shop"), Status::kPaymentFailed);
+}
+
+TEST_F(PaymentTest, DepositCreditsAndRejectsDoubleSpend) {
+  Coin coin = WithdrawCoin("alice", 20);
+  EXPECT_EQ(bank_.Deposit(coin, "shop"), Status::kOk);
+  EXPECT_EQ(bank_.Balance("shop"), 20u);
+  EXPECT_EQ(bank_.Deposit(coin, "shop"), Status::kDoubleSpend);
+  EXPECT_EQ(bank_.Balance("shop"), 20u);
+  EXPECT_EQ(bank_.DoubleSpendAttempts(), 1u);
+  EXPECT_EQ(bank_.DepositedCoins(), 1u);
+}
+
+TEST_F(PaymentTest, InsufficientFundsRejected) {
+  bank_.OpenAccount("poor", 5);
+  bignum::BigInt sig;
+  EXPECT_EQ(bank_.Withdraw("poor", 100, bignum::BigInt(123), &sig),
+            Status::kInsufficientFunds);
+  EXPECT_EQ(bank_.Balance("poor"), 5u);
+}
+
+TEST_F(PaymentTest, UnknownAccountAndDenomination) {
+  bignum::BigInt sig;
+  EXPECT_EQ(bank_.Withdraw("nobody", 10, bignum::BigInt(1), &sig),
+            Status::kUnknownAccount);
+  EXPECT_EQ(bank_.Withdraw("alice", 3, bignum::BigInt(1), &sig),
+            Status::kBadRequest);
+  Coin c;
+  c.denomination = 10;
+  EXPECT_EQ(bank_.Deposit(c, "nobody"), Status::kUnknownAccount);
+  EXPECT_THROW(bank_.DenominationKey(3), std::invalid_argument);
+  EXPECT_THROW(bank_.Balance("nobody"), std::invalid_argument);
+}
+
+TEST_F(PaymentTest, ForgedCoinRejected) {
+  Coin coin;
+  rng_.Fill(coin.serial.data(), coin.serial.size());
+  coin.denomination = 10;
+  coin.signature.assign(64, 0xab);
+  EXPECT_EQ(bank_.Deposit(coin, "shop"), Status::kPaymentFailed);
+}
+
+TEST_F(PaymentTest, WithdrawalIsUnlinkableToDeposit) {
+  // The bank sees the blinded value at withdrawal and the serial at
+  // deposit; they must not match trivially.
+  Coin coin;
+  rng_.Fill(coin.serial.data(), coin.serial.size());
+  coin.denomination = 10;
+  const auto& key = bank_.DenominationKey(10);
+  auto ctx = crypto::BlindMessage(key, coin.CanonicalBytes(), &rng_);
+  bignum::BigInt blind_sig;
+  ASSERT_EQ(bank_.Withdraw("alice", 10, ctx.blinded, &blind_sig), Status::kOk);
+  coin.signature = crypto::Unblind(key, ctx, blind_sig);
+
+  // What the bank saw (blinded) differs from the coin's FDH representative.
+  EXPECT_NE(ctx.blinded.ToHex(),
+            crypto::FdhHash(coin.CanonicalBytes(), key).ToHex());
+  // And the coin still deposits fine.
+  EXPECT_EQ(bank_.Deposit(coin, "shop"), Status::kOk);
+}
+
+TEST_F(PaymentTest, DirectDebitMovesFundsAndLogs) {
+  EXPECT_EQ(bank_.DirectDebit("alice", "shop", 30, 1111), Status::kOk);
+  EXPECT_EQ(bank_.Balance("alice"), 470u);
+  EXPECT_EQ(bank_.Balance("shop"), 30u);
+  ASSERT_EQ(bank_.DebitLog().size(), 1u);
+  EXPECT_EQ(bank_.DebitLog()[0].account, "alice");
+  EXPECT_EQ(bank_.DebitLog()[0].payee, "shop");
+  EXPECT_EQ(bank_.DebitLog()[0].amount, 30u);
+}
+
+TEST_F(PaymentTest, BlindWithdrawalLeavesNoPayeeRecord) {
+  WithdrawCoin("alice", 10);
+  Coin c = WithdrawCoin("alice", 20);
+  EXPECT_EQ(bank_.Deposit(c, "shop"), Status::kOk);
+  // The identified debit log stays empty on the e-cash path.
+  EXPECT_TRUE(bank_.DebitLog().empty());
+}
+
+TEST(CoinSerialization, RoundTrip) {
+  Coin c;
+  for (int i = 0; i < 16; ++i) c.serial[i] = static_cast<std::uint8_t>(i);
+  c.denomination = 50;
+  c.signature = {1, 2, 3};
+  Coin back = Coin::Deserialize(c.Serialize());
+  EXPECT_EQ(back.serial, c.serial);
+  EXPECT_EQ(back.denomination, 50u);
+  EXPECT_EQ(back.signature, c.signature);
+}
+
+TEST(PlanCoins, ExactGreedyCover) {
+  EXPECT_TRUE(PlanCoins(0).empty());
+  EXPECT_EQ(PlanCoins(1), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(PlanCoins(3), (std::vector<std::uint32_t>{2, 1}));
+  EXPECT_EQ(PlanCoins(87), (std::vector<std::uint32_t>{50, 20, 10, 5, 2}));
+  EXPECT_EQ(PlanCoins(289),
+            (std::vector<std::uint32_t>{100, 100, 50, 20, 10, 5, 2, 2}));
+  // Every plan sums to the amount.
+  for (std::uint64_t amount : {7u, 13u, 99u, 101u, 250u, 999u}) {
+    std::uint64_t sum = 0;
+    for (auto d : PlanCoins(amount)) sum += d;
+    EXPECT_EQ(sum, amount);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,114 @@
+// Tests for Miller–Rabin and prime generation.
+
+#include "bignum/prime.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace bignum {
+namespace {
+
+crypto::HmacDrbg MakeRng(const std::string& label) {
+  return crypto::HmacDrbg(label);
+}
+
+TEST(TrialDivision, SmallComposites) {
+  EXPECT_FALSE(PassesTrialDivision(BigInt(4)) &&
+               !(BigInt(4) == BigInt(2)));
+  EXPECT_FALSE(PassesTrialDivision(BigInt(9)));
+  EXPECT_FALSE(PassesTrialDivision(BigInt(1000003LL * 3)));
+}
+
+TEST(TrialDivision, SmallPrimesPass) {
+  EXPECT_TRUE(PassesTrialDivision(BigInt(2)));
+  EXPECT_TRUE(PassesTrialDivision(BigInt(3)));
+  EXPECT_TRUE(PassesTrialDivision(BigInt(2039)));
+  // A prime larger than the table: must not be flagged.
+  EXPECT_TRUE(PassesTrialDivision(BigInt(104729)));
+}
+
+TEST(MillerRabin, KnownSmallPrimes) {
+  auto rng = MakeRng("mr-small");
+  for (std::int64_t p : {2, 3, 5, 7, 11, 101, 65537, 104729}) {
+    EXPECT_TRUE(IsProbablePrime(BigInt(p), 16, &rng)) << p;
+  }
+}
+
+TEST(MillerRabin, KnownSmallComposites) {
+  auto rng = MakeRng("mr-comp");
+  for (std::int64_t c : {1, 4, 6, 9, 15, 21, 100, 65535, 104730}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), 16, &rng)) << c;
+  }
+}
+
+TEST(MillerRabin, CarmichaelNumbers) {
+  // Carmichael numbers fool Fermat but not Miller–Rabin.
+  auto rng = MakeRng("mr-carmichael");
+  for (std::int64_t c : {561, 1105, 1729, 2465, 2821, 6601, 8911, 41041,
+                         825265}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), 16, &rng)) << c;
+  }
+}
+
+TEST(MillerRabin, KnownLargePrimes) {
+  auto rng = MakeRng("mr-large");
+  // 2^127 - 1 (Mersenne), 2^89 - 1 (Mersenne).
+  EXPECT_TRUE(IsProbablePrime((BigInt(1) << 127) - BigInt(1), 16, &rng));
+  EXPECT_TRUE(IsProbablePrime((BigInt(1) << 89) - BigInt(1), 16, &rng));
+  // 10^18 + 9 is prime.
+  EXPECT_TRUE(IsProbablePrime(BigInt::FromDec("1000000000000000009"), 16, &rng));
+}
+
+TEST(MillerRabin, KnownLargeComposites) {
+  auto rng = MakeRng("mr-large-comp");
+  // 2^128 + 1 = 59649589127497217 * 5704689200685129054721 (F7, composite).
+  EXPECT_FALSE(IsProbablePrime((BigInt(1) << 128) + BigInt(1), 16, &rng));
+  // Product of two 64-bit primes.
+  BigInt p = BigInt::FromDec("18446744073709551557");
+  BigInt q = BigInt::FromDec("18446744073709551533");
+  EXPECT_FALSE(IsProbablePrime(p * q, 16, &rng));
+}
+
+TEST(MillerRabin, EdgeCases) {
+  auto rng = MakeRng("mr-edge");
+  EXPECT_FALSE(IsProbablePrime(BigInt(0), 8, &rng));
+  EXPECT_FALSE(IsProbablePrime(BigInt(1), 8, &rng));
+  EXPECT_FALSE(IsProbablePrime(BigInt(-7), 8, &rng));
+  EXPECT_TRUE(IsProbablePrime(BigInt(2), 8, &rng));
+}
+
+class PrimeGenTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrimeGenTest, GeneratedPrimeHasExactBitsAndIsPrime) {
+  std::size_t bits = GetParam();
+  auto rng = MakeRng("gen-" + std::to_string(bits));
+  BigInt p = GeneratePrime(bits, 16, &rng);
+  EXPECT_EQ(p.BitLength(), bits);
+  EXPECT_TRUE(p.IsOdd());
+  auto rng2 = MakeRng("check");
+  EXPECT_TRUE(IsProbablePrime(p, 24, &rng2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PrimeGenTest,
+                         ::testing::Values(64, 128, 192, 256, 384));
+
+TEST(RsaPrimeGen, CoprimeToPublicExponent) {
+  auto rng = MakeRng("rsa-prime");
+  BigInt e(65537);
+  BigInt p = GenerateRsaPrime(256, e, 16, &rng);
+  EXPECT_EQ(BigInt::Gcd(p - BigInt(1), e).ToDec(), "1");
+  EXPECT_EQ(p.BitLength(), 256u);
+}
+
+TEST(PrimeGen, DeterministicForSeed) {
+  auto rng1 = MakeRng("same-seed");
+  auto rng2 = MakeRng("same-seed");
+  EXPECT_EQ(GeneratePrime(128, 8, &rng1).ToHex(),
+            GeneratePrime(128, 8, &rng2).ToHex());
+}
+
+}  // namespace
+}  // namespace bignum
+}  // namespace p2drm

@@ -1,0 +1,201 @@
+// Wire protocol: message round trips, endpoint dispatch, malformed input.
+
+#include "core/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace core {
+namespace protocol {
+namespace {
+
+TEST(ProtoBigInt, RoundTrip) {
+  net::ByteWriter w;
+  bignum::BigInt v = bignum::BigInt::FromHex("deadbeef00112233445566778899");
+  WriteBigInt(&w, v);
+  WriteBigInt(&w, bignum::BigInt(0));
+  net::ByteReader r(w.Bytes());
+  EXPECT_EQ(ReadBigInt(&r).ToHex(), v.ToHex());
+  EXPECT_TRUE(ReadBigInt(&r).IsZero());
+}
+
+crypto::RsaPublicKey SomeKey() {
+  static crypto::RsaPublicKey key = [] {
+    crypto::HmacDrbg rng("proto-key");
+    return crypto::GenerateRsaKey(256, &rng).PublicKey();
+  }();
+  return key;
+}
+
+TEST(ProtoMessages, EnrolRoundTrip) {
+  EnrolRequest req;
+  req.holder_name = "alice";
+  req.master_key = SomeKey();
+  auto bytes = req.Encode();
+  net::ByteReader r(bytes);
+  EXPECT_EQ(static_cast<Tag>(r.U8()), Tag::kEnrol);
+  EnrolRequest back = EnrolRequest::Decode(&r);
+  EXPECT_EQ(back.holder_name, "alice");
+  EXPECT_TRUE(back.master_key == req.master_key);
+}
+
+TEST(ProtoMessages, WithdrawRoundTrip) {
+  WithdrawRequest req;
+  req.account = "bob";
+  req.denomination = 50;
+  req.blinded = bignum::BigInt::FromHex("abcdef");
+  auto bytes = req.Encode();
+  net::ByteReader r(bytes);
+  EXPECT_EQ(static_cast<Tag>(r.U8()), Tag::kWithdraw);
+  WithdrawRequest back = WithdrawRequest::Decode(&r);
+  EXPECT_EQ(back.account, "bob");
+  EXPECT_EQ(back.denomination, 50u);
+  EXPECT_EQ(back.blinded.ToHex(), "abcdef");
+
+  WithdrawResponse resp;
+  resp.status = Status::kInsufficientFunds;
+  WithdrawResponse rback = WithdrawResponse::Decode(resp.Encode());
+  EXPECT_EQ(rback.status, Status::kInsufficientFunds);
+}
+
+TEST(ProtoMessages, PurchaseRoundTrip) {
+  PurchaseRequest req;
+  req.buyer.pseudonym_key = SomeKey();
+  req.buyer.escrow = {1, 2};
+  req.buyer.ca_signature = {3, 4};
+  req.content_id = 42;
+  Coin c;
+  c.serial.fill(9);
+  c.denomination = 10;
+  c.signature = {5};
+  req.payment = {c, c};
+  auto bytes = req.Encode();
+  net::ByteReader r(bytes);
+  EXPECT_EQ(static_cast<Tag>(r.U8()), Tag::kPurchase);
+  PurchaseRequest back = PurchaseRequest::Decode(&r);
+  EXPECT_EQ(back.content_id, 42u);
+  ASSERT_EQ(back.payment.size(), 2u);
+  EXPECT_EQ(back.payment[0].denomination, 10u);
+  EXPECT_EQ(back.buyer.escrow, req.buyer.escrow);
+}
+
+TEST(ProtoMessages, PurchaseResponseErrorOmitsLicense) {
+  PurchaseResponse resp;
+  resp.status = Status::kWrongPrice;
+  auto bytes = resp.Encode();
+  PurchaseResponse back = PurchaseResponse::Decode(bytes);
+  EXPECT_EQ(back.status, Status::kWrongPrice);
+  // Small encoding: status + empty blob.
+  EXPECT_LE(bytes.size(), 16u);
+}
+
+TEST(ProtoMessages, CatalogRoundTrip) {
+  CatalogResponse resp;
+  Offer o;
+  o.content_id = 7;
+  o.title = "Title";
+  o.price = 30;
+  o.rights = rel::Rights::FullRetail();
+  resp.offers = {o, o};
+  CatalogResponse back = CatalogResponse::Decode(resp.Encode());
+  ASSERT_EQ(back.offers.size(), 2u);
+  EXPECT_EQ(back.offers[0].title, "Title");
+  EXPECT_TRUE(back.offers[1].rights == o.rights);
+}
+
+TEST(ProtoMessages, FetchContentRoundTrip) {
+  FetchContentResponse resp;
+  resp.status = Status::kOk;
+  resp.content.content_id = 3;
+  resp.content.nonce.fill(7);
+  resp.content.ciphertext = {1, 2, 3};
+  FetchContentResponse back = FetchContentResponse::Decode(resp.Encode());
+  EXPECT_EQ(back.content.content_id, 3u);
+  EXPECT_EQ(back.content.nonce[0], 7);
+  EXPECT_EQ(back.content.ciphertext, resp.content.ciphertext);
+}
+
+TEST(ProtoMessages, OpenEscrowRoundTrip) {
+  OpenEscrowResponse resp;
+  resp.opened = true;
+  resp.card_id = 99;
+  resp.reason = "";
+  OpenEscrowResponse back = OpenEscrowResponse::Decode(resp.Encode());
+  EXPECT_TRUE(back.opened);
+  EXPECT_EQ(back.card_id, 99u);
+}
+
+// -- endpoint dispatch through a real system ---------------------------------
+
+class DispatchTest : public ::testing::Test {
+ protected:
+  DispatchTest() : rng_("dispatch"), system_(Config(), &rng_) {}
+
+  static SystemConfig Config() {
+    SystemConfig cfg;
+    cfg.ca_key_bits = 512;
+    cfg.ttp_key_bits = 512;
+    cfg.bank_key_bits = 512;
+    cfg.cp.signing_key_bits = 512;
+    return cfg;
+  }
+
+  crypto::HmacDrbg rng_;
+  P2drmSystem system_;
+};
+
+TEST_F(DispatchTest, UnknownTagThrowsCodecError) {
+  std::vector<std::uint8_t> junk = {0x7f, 0x00};
+  EXPECT_THROW(system_.transport().Call("x", P2drmSystem::kCaEndpoint, junk),
+               net::CodecError);
+  EXPECT_THROW(system_.transport().Call("x", P2drmSystem::kBankEndpoint, junk),
+               net::CodecError);
+  EXPECT_THROW(system_.transport().Call("x", P2drmSystem::kCpEndpoint, junk),
+               net::CodecError);
+  EXPECT_THROW(system_.transport().Call("x", P2drmSystem::kTtpEndpoint, junk),
+               net::CodecError);
+}
+
+TEST_F(DispatchTest, TruncatedMessageThrows) {
+  std::vector<std::uint8_t> truncated = {
+      static_cast<std::uint8_t>(Tag::kPurchase), 0x00};
+  EXPECT_THROW(
+      system_.transport().Call("x", P2drmSystem::kCpEndpoint, truncated),
+      net::CodecError);
+}
+
+TEST_F(DispatchTest, CatalogOverTheWire) {
+  system_.cp().Publish("A", {1, 2, 3}, 5, rel::Rights::UnlimitedPlay());
+  auto raw = system_.transport().Call("x", P2drmSystem::kCpEndpoint,
+                                      CatalogRequest{}.Encode());
+  auto resp = CatalogResponse::Decode(raw);
+  ASSERT_EQ(resp.offers.size(), 1u);
+  EXPECT_EQ(resp.offers[0].title, "A");
+}
+
+TEST_F(DispatchTest, FetchUnknownContentReturnsStatus) {
+  FetchContentRequest req;
+  req.content_id = 12345;
+  auto raw = system_.transport().Call("x", P2drmSystem::kCpEndpoint,
+                                      req.Encode());
+  auto resp = FetchContentResponse::Decode(raw);
+  EXPECT_EQ(resp.status, Status::kUnknownContent);
+}
+
+TEST_F(DispatchTest, CrlFetchOverTheWire) {
+  system_.cp().Revoke(rel::KeyFingerprint{});
+  auto raw = system_.transport().Call("x", P2drmSystem::kCpEndpoint,
+                                      FetchCrlRequest{}.Encode());
+  auto resp = FetchCrlResponse::Decode(raw);
+  auto crl = store::RevocationList::Deserialize(
+      resp.crl_snapshot, store::CrlStrategy::kSortedSet);
+  EXPECT_EQ(crl.Size(), 1u);
+}
+
+}  // namespace
+}  // namespace protocol
+}  // namespace core
+}  // namespace p2drm

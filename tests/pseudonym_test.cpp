@@ -1,0 +1,149 @@
+// Pseudonym issuance: card ↔ CA blind protocol, escrow, unlinkability.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/certification_authority.h"
+#include "core/smartcard.h"
+#include "core/ttp.h"
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace core {
+namespace {
+
+class PseudonymTest : public ::testing::Test {
+ protected:
+  PseudonymTest()
+      : rng_("pseudonym-test"),
+        ca_(512, &rng_),
+        ttp_(512, &rng_),
+        card_("Alice", 512, &rng_) {
+    card_.StoreIdentityCertificate(ca_.Enrol("Alice", card_.MasterKey()));
+  }
+
+  Pseudonym* Issue() {
+    PseudonymRequest req =
+        card_.BeginPseudonym(ca_.PublicKey(), ttp_.EscrowKey());
+    bignum::BigInt blind_sig =
+        ca_.SignPseudonymBlinded(card_.CardId(), req.blinding.blinded);
+    return card_.FinishPseudonym(std::move(req), blind_sig, ca_.PublicKey());
+  }
+
+  crypto::HmacDrbg rng_;
+  CertificationAuthority ca_;
+  TrustedThirdParty ttp_;
+  SmartCard card_;
+};
+
+TEST_F(PseudonymTest, EnrolmentProducesVerifiableIdentity) {
+  EXPECT_TRUE(card_.IsEnrolled());
+  EXPECT_EQ(card_.CardId(), 1u);
+  EXPECT_EQ(ca_.EnrolledCards(), 1u);
+  EXPECT_EQ(ca_.HolderName(1), "Alice");
+}
+
+TEST_F(PseudonymTest, IssuanceYieldsValidCertificate) {
+  Pseudonym* p = Issue();
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(VerifyPseudonymCert(ca_.PublicKey(), p->cert));
+  EXPECT_EQ(ca_.PseudonymsIssued(card_.CardId()), 1u);
+}
+
+TEST_F(PseudonymTest, UnenrolledCardCannotBegin) {
+  SmartCard fresh("Eve", 512, &rng_);
+  EXPECT_THROW(fresh.BeginPseudonym(ca_.PublicKey(), ttp_.EscrowKey()),
+               std::logic_error);
+}
+
+TEST_F(PseudonymTest, UnknownCardRejectedByCa) {
+  PseudonymRequest req =
+      card_.BeginPseudonym(ca_.PublicKey(), ttp_.EscrowKey());
+  EXPECT_THROW(ca_.SignPseudonymBlinded(999, req.blinding.blinded),
+               std::invalid_argument);
+}
+
+TEST_F(PseudonymTest, WrongBlindSignatureRejectedByCard) {
+  PseudonymRequest req =
+      card_.BeginPseudonym(ca_.PublicKey(), ttp_.EscrowKey());
+  // Response corrupted in transit.
+  bignum::BigInt bogus =
+      ca_.SignPseudonymBlinded(card_.CardId(), req.blinding.blinded) +
+      bignum::BigInt(1);
+  EXPECT_EQ(card_.FinishPseudonym(std::move(req), bogus, ca_.PublicKey()),
+            nullptr);
+}
+
+TEST_F(PseudonymTest, PseudonymsAreDistinctAndUnlinkableAtCa) {
+  Pseudonym* p1 = Issue();
+  Pseudonym* p2 = Issue();
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  // Different keys, different certs — nothing shared for the CP to link.
+  EXPECT_FALSE(p1->cert.pseudonym_key == p2->cert.pseudonym_key);
+  EXPECT_NE(p1->cert.KeyId(), p2->cert.KeyId());
+  EXPECT_NE(p1->cert.escrow, p2->cert.escrow);
+  // And neither certificate contains the master key bytes (no trivial
+  // identity leak in the serialization).
+  auto master = card_.MasterKey().Serialize();
+  auto c1 = p1->cert.Serialize();
+  EXPECT_EQ(std::search(c1.begin(), c1.end(), master.begin(), master.end()),
+            c1.end());
+}
+
+TEST_F(PseudonymTest, EscrowOpensToCardId) {
+  Pseudonym* p = Issue();
+  ASSERT_NE(p, nullptr);
+  auto ct = crypto::HybridCiphertext::Deserialize(p->cert.escrow);
+  // Simulate the TTP's private decryption via OpenEscrow path pieces:
+  // (direct key access is test-only).
+  // Here we verify through the public fraud path in ttp_test; this test
+  // only checks the escrow decodes as a hybrid ciphertext.
+  EXPECT_FALSE(ct.encapsulated.empty());
+  EXPECT_FALSE(ct.body.empty());
+}
+
+TEST_F(PseudonymTest, UsablePseudonymPolicy) {
+  EXPECT_EQ(card_.UsablePseudonym(1), nullptr);
+  Pseudonym* p = Issue();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(card_.UsablePseudonym(1), p);
+  p->purchases_used = 1;
+  EXPECT_EQ(card_.UsablePseudonym(1), nullptr);  // exhausted under policy 1
+  EXPECT_EQ(card_.UsablePseudonym(5), p);        // still usable under policy 5
+}
+
+TEST_F(PseudonymTest, FindPseudonymByFingerprint) {
+  Pseudonym* p = Issue();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(card_.FindPseudonym(p->cert.KeyId()), p);
+  rel::KeyFingerprint other{};
+  EXPECT_EQ(card_.FindPseudonym(other), nullptr);
+}
+
+TEST_F(PseudonymTest, SignWithPseudonymAndUnwrap) {
+  Pseudonym* p = Issue();
+  ASSERT_NE(p, nullptr);
+  std::vector<std::uint8_t> msg = {1, 2, 3};
+  auto sig = card_.SignWithPseudonym(p->cert.KeyId(), msg);
+  ASSERT_FALSE(sig.empty());
+  EXPECT_TRUE(crypto::RsaVerifyFdh(p->cert.pseudonym_key, msg, sig));
+
+  // Wrap a content key to the pseudonym and unwrap through the card.
+  std::vector<std::uint8_t> ck(32, 0x42);
+  auto wrapped =
+      crypto::RsaHybridEncrypt(p->cert.pseudonym_key, ck, &rng_).Serialize();
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(card_.UnwrapContentKey(p->cert.KeyId(), wrapped, &out));
+  EXPECT_EQ(out, ck);
+
+  // Unknown pseudonym/garbage fail safely.
+  EXPECT_FALSE(card_.UnwrapContentKey(rel::KeyFingerprint{}, wrapped, &out));
+  EXPECT_FALSE(card_.UnwrapContentKey(p->cert.KeyId(), {1, 2, 3}, &out));
+  EXPECT_TRUE(card_.SignWithPseudonym(rel::KeyFingerprint{}, msg).empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,170 @@
+// Anonymous non-repudiation: orders, receipts, dispute resolution.
+
+#include "core/receipts.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/certification_authority.h"
+#include "core/ttp.h"
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace core {
+namespace {
+
+class ReceiptsTest : public ::testing::Test {
+ protected:
+  ReceiptsTest()
+      : rng_("receipts-test"),
+        ca_(512, &rng_),
+        ttp_(512, &rng_),
+        provider_key_(crypto::GenerateRsaKey(512, &rng_)),
+        card_("Grace", 512, &rng_) {
+    card_.StoreIdentityCertificate(ca_.Enrol("Grace", card_.MasterKey()));
+    PseudonymRequest req =
+        card_.BeginPseudonym(ca_.PublicKey(), ttp_.EscrowKey());
+    bignum::BigInt sig =
+        ca_.SignPseudonymBlinded(card_.CardId(), req.blinding.blinded);
+    pseudonym_ = card_.FinishPseudonym(std::move(req), sig, ca_.PublicKey());
+    license_id_.bytes.fill(0xaa);
+  }
+
+  /// Runs the full order→receipt flow and returns all artifacts.
+  void MakeEvidence(PurchaseOrder* order, PurchaseReceipt* receipt,
+                    CommitmentOpening* opening) {
+    ASSERT_TRUE(CreateOrder(&card_, pseudonym_->cert.KeyId(), 42, 30, 1000,
+                            &rng_, order, opening));
+    *receipt = IssueReceipt(provider_key_, *order, license_id_, 1001);
+  }
+
+  crypto::HmacDrbg rng_;
+  CertificationAuthority ca_;
+  TrustedThirdParty ttp_;
+  crypto::RsaPrivateKey provider_key_;
+  SmartCard card_;
+  Pseudonym* pseudonym_ = nullptr;
+  rel::LicenseId license_id_;
+};
+
+TEST_F(ReceiptsTest, ValidEvidenceHolds) {
+  PurchaseOrder order;
+  PurchaseReceipt receipt;
+  CommitmentOpening opening;
+  MakeEvidence(&order, &receipt, &opening);
+  EXPECT_EQ(ResolveDispute(order, receipt, pseudonym_->cert.pseudonym_key,
+                           provider_key_.PublicKey(), &opening),
+            DisputeVerdict::kEvidenceHolds);
+  // Without self-de-anonymization the structural checks still pass.
+  EXPECT_EQ(ResolveDispute(order, receipt, pseudonym_->cert.pseudonym_key,
+                           provider_key_.PublicKey(), nullptr),
+            DisputeVerdict::kEvidenceHolds);
+}
+
+TEST_F(ReceiptsTest, SerializationRoundTrips) {
+  PurchaseOrder order;
+  PurchaseReceipt receipt;
+  CommitmentOpening opening;
+  MakeEvidence(&order, &receipt, &opening);
+
+  PurchaseOrder order2 = PurchaseOrder::Deserialize(order.Serialize());
+  PurchaseReceipt receipt2 = PurchaseReceipt::Deserialize(receipt.Serialize());
+  EXPECT_EQ(ResolveDispute(order2, receipt2, pseudonym_->cert.pseudonym_key,
+                           provider_key_.PublicKey(), &opening),
+            DisputeVerdict::kEvidenceHolds);
+}
+
+TEST_F(ReceiptsTest, BuyerCannotRepudiateOrder) {
+  // The order verifies only under the buyer's pseudonym key: "I never
+  // ordered this" fails against the NRO.
+  PurchaseOrder order;
+  PurchaseReceipt receipt;
+  CommitmentOpening opening;
+  MakeEvidence(&order, &receipt, &opening);
+  crypto::HmacDrbg other_rng("other");
+  auto other_key = crypto::GenerateRsaKey(512, &other_rng).PublicKey();
+  EXPECT_EQ(ResolveDispute(order, receipt, other_key,
+                           provider_key_.PublicKey(), nullptr),
+            DisputeVerdict::kBadOrderSignature);
+}
+
+TEST_F(ReceiptsTest, ProviderCannotRepudiateReceipt) {
+  PurchaseOrder order;
+  PurchaseReceipt receipt;
+  CommitmentOpening opening;
+  MakeEvidence(&order, &receipt, &opening);
+  crypto::HmacDrbg other_rng("other-cp");
+  auto other_cp = crypto::GenerateRsaKey(512, &other_rng).PublicKey();
+  EXPECT_EQ(ResolveDispute(order, receipt, pseudonym_->cert.pseudonym_key,
+                           other_cp, nullptr),
+            DisputeVerdict::kBadReceiptSignature);
+}
+
+TEST_F(ReceiptsTest, TamperedOrderDetected) {
+  PurchaseOrder order;
+  PurchaseReceipt receipt;
+  CommitmentOpening opening;
+  MakeEvidence(&order, &receipt, &opening);
+  order.price = 1;  // buyer claims a lower price after the fact
+  EXPECT_EQ(ResolveDispute(order, receipt, pseudonym_->cert.pseudonym_key,
+                           provider_key_.PublicKey(), nullptr),
+            DisputeVerdict::kBadOrderSignature);
+}
+
+TEST_F(ReceiptsTest, ReceiptForDifferentOrderDetected) {
+  PurchaseOrder order1, order2;
+  PurchaseReceipt receipt1, receipt2;
+  CommitmentOpening o1, o2;
+  MakeEvidence(&order1, &receipt1, &o1);
+  MakeEvidence(&order2, &receipt2, &o2);
+  // Pairing order2 with receipt1 must fail the binding check.
+  EXPECT_EQ(ResolveDispute(order2, receipt1, pseudonym_->cert.pseudonym_key,
+                           provider_key_.PublicKey(), nullptr),
+            DisputeVerdict::kMismatchedReceipt);
+}
+
+TEST_F(ReceiptsTest, WrongOpeningDetected) {
+  PurchaseOrder order;
+  PurchaseReceipt receipt;
+  CommitmentOpening opening;
+  MakeEvidence(&order, &receipt, &opening);
+  CommitmentOpening forged = opening;
+  forged.nonce[0] ^= 1;
+  EXPECT_EQ(ResolveDispute(order, receipt, pseudonym_->cert.pseudonym_key,
+                           provider_key_.PublicKey(), &forged),
+            DisputeVerdict::kBadCommitmentOpening);
+}
+
+TEST_F(ReceiptsTest, CommitmentHidesPseudonym) {
+  // The order (what the resolver might see before the buyer opens) must
+  // not contain the pseudonym fingerprint in the clear.
+  PurchaseOrder order;
+  PurchaseReceipt receipt;
+  CommitmentOpening opening;
+  MakeEvidence(&order, &receipt, &opening);
+  auto serialized = order.Serialize();
+  auto fp = pseudonym_->cert.KeyId();
+  EXPECT_EQ(std::search(serialized.begin(), serialized.end(), fp.begin(),
+                        fp.end()),
+            serialized.end());
+  // Distinct orders from the same pseudonym have distinct commitments
+  // (fresh nonce): receipts do not link purchases either.
+  PurchaseOrder order2;
+  PurchaseReceipt receipt2;
+  CommitmentOpening opening2;
+  MakeEvidence(&order2, &receipt2, &opening2);
+  EXPECT_NE(order.buyer_commitment, order2.buyer_commitment);
+}
+
+TEST_F(ReceiptsTest, CardWithoutPseudonymCannotOrder) {
+  SmartCard stranger("stranger", 512, &rng_);
+  PurchaseOrder order;
+  CommitmentOpening opening;
+  EXPECT_FALSE(CreateOrder(&stranger, pseudonym_->cert.KeyId(), 1, 1, 0,
+                           &rng_, &order, &opening));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2drm

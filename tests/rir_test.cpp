@@ -1,0 +1,166 @@
+// Repudiative Information Retrieval: query construction, metering,
+// repudiation strength.
+
+#include "rir/rir.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace rir {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> MakeCatalog(std::size_t n) {
+  std::vector<std::vector<std::uint8_t>> catalog(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    catalog[i].assign(8, static_cast<std::uint8_t>(i));
+  }
+  return catalog;
+}
+
+TEST(RirServer, ServesRequestedItemsInOrder) {
+  RirServer server(MakeCatalog(10));
+  auto out = server.Query({3, 7, 1});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0][0], 3);
+  EXPECT_EQ(out[1][0], 7);
+  EXPECT_EQ(out[2][0], 1);
+}
+
+TEST(RirServer, MetersPerItemAndPerQuery) {
+  RirServer server(MakeCatalog(10));
+  server.Query({1, 2, 3});
+  server.Query({4});
+  EXPECT_EQ(server.ItemsServed(), 4u);
+  EXPECT_EQ(server.QueriesServed(), 2u);
+  ASSERT_EQ(server.ObservationLog().size(), 2u);
+  EXPECT_EQ(server.ObservationLog()[0],
+            (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(RirServer, OutOfRangeRejectsWholeQueryUncharged) {
+  RirServer server(MakeCatalog(5));
+  EXPECT_THROW(server.Query({1, 99}), std::out_of_range);
+  EXPECT_EQ(server.ItemsServed(), 0u);
+  EXPECT_EQ(server.QueriesServed(), 0u);
+}
+
+TEST(RirClient, RejectsBadParameters) {
+  EXPECT_THROW(RirClient(0, {}, 1), std::invalid_argument);
+  EXPECT_THROW(RirClient(10, {}, 0), std::invalid_argument);
+  EXPECT_THROW(RirClient(10, {}, 11), std::invalid_argument);
+  EXPECT_THROW(RirClient(3, {1.0, 2.0}, 1), std::invalid_argument);
+  EXPECT_THROW(RirClient(2, {0.0, 0.0}, 1), std::invalid_argument);
+  EXPECT_THROW(RirClient(2, {-1.0, 2.0}, 1), std::invalid_argument);
+}
+
+TEST(RirClient, QueryContainsRealIndexAndKDistinctItems) {
+  crypto::HmacDrbg rng("rir-query");
+  RirClient client(100, {}, 8);
+  for (std::size_t real : {0u, 42u, 99u}) {
+    auto q = client.BuildQuery(real, &rng);
+    EXPECT_EQ(q.size(), 8u);
+    EXPECT_NE(std::find(q.begin(), q.end(), real), q.end());
+    std::set<std::size_t> uniq(q.begin(), q.end());
+    EXPECT_EQ(uniq.size(), q.size());
+    for (std::size_t i : q) EXPECT_LT(i, 100u);
+  }
+  EXPECT_THROW(client.BuildQuery(100, &rng), std::out_of_range);
+}
+
+TEST(RirClient, KEqualsOneIsPlainRetrieval) {
+  crypto::HmacDrbg rng("rir-k1");
+  RirClient client(10, {}, 1);
+  auto q = client.BuildQuery(4, &rng);
+  EXPECT_EQ(q, (std::vector<std::size_t>{4}));
+}
+
+TEST(RirClient, RealIndexPositionIsUniform) {
+  crypto::HmacDrbg rng("rir-pos");
+  RirClient client(50, {}, 5);
+  std::array<int, 5> position_counts{};
+  constexpr int kTrials = 5000;
+  for (int t = 0; t < kTrials; ++t) {
+    auto q = client.BuildQuery(7, &rng);
+    auto it = std::find(q.begin(), q.end(), 7u);
+    position_counts[static_cast<std::size_t>(it - q.begin())]++;
+  }
+  for (int c : position_counts) {
+    EXPECT_GT(c, kTrials / 5 / 2);   // 500+
+    EXPECT_LT(c, kTrials / 5 * 2);   // <2000
+  }
+}
+
+TEST(RirClient, DecoysFollowPopularity) {
+  // Item 0 is 100x more popular than the rest: it should appear as a
+  // decoy far more often than an unpopular item.
+  crypto::HmacDrbg rng("rir-pop");
+  std::vector<double> pop(20, 1.0);
+  pop[0] = 100.0;
+  RirClient client(20, pop, 4);
+  int zero_count = 0, nine_count = 0;
+  constexpr int kTrials = 3000;
+  for (int t = 0; t < kTrials; ++t) {
+    auto q = client.BuildQuery(5, &rng);  // real item is 5
+    if (std::find(q.begin(), q.end(), 0u) != q.end()) ++zero_count;
+    if (std::find(q.begin(), q.end(), 9u) != q.end()) ++nine_count;
+  }
+  EXPECT_GT(zero_count, 5 * nine_count);
+}
+
+TEST(GuessProbability, UniformPriorGivesOneOverK) {
+  std::vector<double> uniform(10, 1.0);
+  EXPECT_DOUBLE_EQ(GuessProbability({1, 2, 3, 4}, uniform), 0.25);
+  EXPECT_DOUBLE_EQ(GuessProbability({7}, uniform), 1.0);
+}
+
+TEST(GuessProbability, SkewedPriorWeakensRepudiation) {
+  // If one item in the set is overwhelmingly popular, the adversary bets
+  // on it: repudiation degrades. This is why decoys must be drawn from
+  // the popularity prior.
+  std::vector<double> pop = {100.0, 1.0, 1.0, 1.0};
+  double g = GuessProbability({0, 1, 2, 3}, pop);
+  EXPECT_NEAR(g, 100.0 / 103.0, 1e-9);
+  EXPECT_GT(g, 0.9);
+}
+
+TEST(GuessProbability, EmptyQueryIsZero) {
+  EXPECT_DOUBLE_EQ(GuessProbability({}, {1.0}), 0.0);
+}
+
+// End-to-end: k trades bandwidth for repudiation.
+class RirTradeoffTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RirTradeoffTest, BandwidthVsRepudiation) {
+  std::size_t k = GetParam();
+  crypto::HmacDrbg rng("rir-tradeoff-" + std::to_string(k));
+  constexpr std::size_t kN = 200;
+  RirServer server(MakeCatalog(kN));
+  std::vector<double> uniform(kN, 1.0);
+  RirClient client(kN, uniform, k);
+
+  double total_guess = 0;
+  constexpr int kQueries = 50;
+  for (int i = 0; i < kQueries; ++i) {
+    std::size_t real = static_cast<std::size_t>(rng.NextUint64(kN));
+    auto q = client.BuildQuery(real, &rng);
+    auto blobs = server.Query(q);
+    EXPECT_EQ(blobs.size(), k);  // bandwidth = k blobs
+    total_guess += GuessProbability(q, uniform);
+  }
+  // Uniform prior: adversary guess rate is exactly 1/k.
+  EXPECT_NEAR(total_guess / kQueries, 1.0 / static_cast<double>(k), 1e-9);
+  // And the server metered every item for billing.
+  EXPECT_EQ(server.ItemsServed(), k * kQueries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, RirTradeoffTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace rir
+}  // namespace p2drm

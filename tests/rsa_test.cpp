@@ -1,0 +1,229 @@
+// RSA key generation, FDH signatures and hybrid encryption.
+
+#include "crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace crypto {
+namespace {
+
+using bignum::BigInt;
+
+// Key generation is expensive; share fixtures across tests in this file.
+const RsaPrivateKey& TestKey512() {
+  static const RsaPrivateKey key = [] {
+    HmacDrbg rng("rsa-test-key-512");
+    return GenerateRsaKey(512, &rng);
+  }();
+  return key;
+}
+
+const RsaPrivateKey& TestKey1024() {
+  static const RsaPrivateKey key = [] {
+    HmacDrbg rng("rsa-test-key-1024");
+    return GenerateRsaKey(1024, &rng);
+  }();
+  return key;
+}
+
+std::vector<std::uint8_t> Msg(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(RsaKeyGen, ParametersConsistent) {
+  const RsaPrivateKey& key = TestKey512();
+  EXPECT_EQ(key.n.BitLength(), 512u);
+  EXPECT_EQ((key.p * key.q).ToHex(), key.n.ToHex());
+  BigInt phi = (key.p - BigInt(1)) * (key.q - BigInt(1));
+  EXPECT_EQ(key.e.MulMod(key.d, phi).ToDec(), "1");
+  EXPECT_EQ(key.dp.ToHex(), (key.d % (key.p - BigInt(1))).ToHex());
+  EXPECT_EQ(key.dq.ToHex(), (key.d % (key.q - BigInt(1))).ToHex());
+  EXPECT_EQ(key.qinv.MulMod(key.q, key.p).ToDec(), "1");
+}
+
+TEST(RsaKeyGen, RejectsBadSizes) {
+  HmacDrbg rng("bad");
+  EXPECT_THROW(GenerateRsaKey(100, &rng), std::invalid_argument);
+  EXPECT_THROW(GenerateRsaKey(513, &rng), std::invalid_argument);
+}
+
+TEST(RsaKeyGen, DeterministicForSeed) {
+  HmacDrbg r1("det"), r2("det");
+  EXPECT_EQ(GenerateRsaKey(512, &r1).n.ToHex(),
+            GenerateRsaKey(512, &r2).n.ToHex());
+}
+
+TEST(RsaRawOps, PublicPrivateRoundTrip) {
+  const RsaPrivateKey& key = TestKey512();
+  HmacDrbg rng("roundtrip");
+  for (int i = 0; i < 10; ++i) {
+    BigInt m = rng.Below(key.n);
+    BigInt c = RsaPublicOp(key.PublicKey(), m);
+    EXPECT_EQ(RsaPrivateOp(key, c).ToHex(), m.ToHex());
+    // And the other direction (sign then verify op).
+    BigInt s = RsaPrivateOp(key, m);
+    EXPECT_EQ(RsaPublicOp(key.PublicKey(), s).ToHex(), m.ToHex());
+  }
+}
+
+TEST(RsaRawOps, RangeChecks) {
+  const RsaPrivateKey& key = TestKey512();
+  EXPECT_THROW(RsaPublicOp(key.PublicKey(), key.n), std::domain_error);
+  EXPECT_THROW(RsaPrivateOp(key, key.n + BigInt(1)), std::domain_error);
+}
+
+TEST(RsaSerialization, PublicKeyRoundTrip) {
+  RsaPublicKey pub = TestKey512().PublicKey();
+  auto bytes = pub.Serialize();
+  RsaPublicKey back = RsaPublicKey::Deserialize(bytes);
+  EXPECT_TRUE(pub == back);
+  EXPECT_EQ(DigestToHex(pub.Fingerprint()), DigestToHex(back.Fingerprint()));
+}
+
+TEST(RsaSerialization, DeserializeRejectsTruncated) {
+  RsaPublicKey pub = TestKey512().PublicKey();
+  auto bytes = pub.Serialize();
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(RsaPublicKey::Deserialize(bytes), std::out_of_range);
+}
+
+TEST(Mgf1, KnownLengthAndDeterminism) {
+  std::vector<std::uint8_t> seed = {1, 2, 3};
+  auto a = Mgf1Sha256(seed, 100);
+  auto b = Mgf1Sha256(seed, 100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a, b);
+  auto c = Mgf1Sha256(seed, 33);
+  EXPECT_TRUE(std::equal(c.begin(), c.end(), a.begin()));
+}
+
+TEST(Fdh, RepresentativeBelowModulus) {
+  RsaPublicKey pub = TestKey512().PublicKey();
+  for (int i = 0; i < 20; ++i) {
+    BigInt h = FdhHash(Msg("message " + std::to_string(i)), pub);
+    EXPECT_LT(h.Compare(pub.n), 0);
+    EXPECT_FALSE(h.IsNegative());
+  }
+}
+
+TEST(FdhSignature, SignVerify) {
+  const RsaPrivateKey& key = TestKey512();
+  auto msg = Msg("license: content=42 rights=play*3");
+  auto sig = RsaSignFdh(key, msg);
+  EXPECT_EQ(sig.size(), key.PublicKey().ModulusBytes());
+  EXPECT_TRUE(RsaVerifyFdh(key.PublicKey(), msg, sig));
+}
+
+TEST(FdhSignature, RejectsTamperedMessage) {
+  const RsaPrivateKey& key = TestKey512();
+  auto sig = RsaSignFdh(key, Msg("original"));
+  EXPECT_FALSE(RsaVerifyFdh(key.PublicKey(), Msg("tampered"), sig));
+}
+
+TEST(FdhSignature, RejectsTamperedSignature) {
+  const RsaPrivateKey& key = TestKey512();
+  auto msg = Msg("original");
+  auto sig = RsaSignFdh(key, msg);
+  sig[sig.size() / 2] ^= 0x01;
+  EXPECT_FALSE(RsaVerifyFdh(key.PublicKey(), msg, sig));
+}
+
+TEST(FdhSignature, RejectsWrongKey) {
+  const RsaPrivateKey& key = TestKey512();
+  const RsaPrivateKey& other = TestKey1024();
+  auto msg = Msg("original");
+  auto sig = RsaSignFdh(key, msg);
+  EXPECT_FALSE(RsaVerifyFdh(other.PublicKey(), msg, sig));
+}
+
+TEST(FdhSignature, RejectsBadLength) {
+  const RsaPrivateKey& key = TestKey512();
+  auto msg = Msg("original");
+  auto sig = RsaSignFdh(key, msg);
+  sig.pop_back();
+  EXPECT_FALSE(RsaVerifyFdh(key.PublicKey(), msg, sig));
+}
+
+TEST(FdhSignature, DeterministicSignature) {
+  const RsaPrivateKey& key = TestKey512();
+  auto msg = Msg("deterministic");
+  EXPECT_EQ(RsaSignFdh(key, msg), RsaSignFdh(key, msg));
+}
+
+TEST(HybridEncryption, RoundTrip) {
+  const RsaPrivateKey& key = TestKey512();
+  HmacDrbg rng("hybrid");
+  for (std::size_t len : {0u, 1u, 31u, 32u, 33u, 1000u}) {
+    std::vector<std::uint8_t> pt(len, 0x5a);
+    HybridCiphertext ct = RsaHybridEncrypt(key.PublicKey(), pt, &rng);
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(RsaHybridDecrypt(key, ct, &back)) << len;
+    EXPECT_EQ(back, pt);
+  }
+}
+
+TEST(HybridEncryption, TamperedBodyFailsMac) {
+  const RsaPrivateKey& key = TestKey512();
+  HmacDrbg rng("hybrid2");
+  std::vector<std::uint8_t> pt(100, 0x11);
+  HybridCiphertext ct = RsaHybridEncrypt(key.PublicKey(), pt, &rng);
+  ct.body[50] ^= 1;
+  std::vector<std::uint8_t> back;
+  EXPECT_FALSE(RsaHybridDecrypt(key, ct, &back));
+}
+
+TEST(HybridEncryption, TamperedTagFails) {
+  const RsaPrivateKey& key = TestKey512();
+  HmacDrbg rng("hybrid3");
+  std::vector<std::uint8_t> pt(100, 0x22);
+  HybridCiphertext ct = RsaHybridEncrypt(key.PublicKey(), pt, &rng);
+  ct.tag[0] ^= 1;
+  std::vector<std::uint8_t> back;
+  EXPECT_FALSE(RsaHybridDecrypt(key, ct, &back));
+}
+
+TEST(HybridEncryption, SerializationRoundTrip) {
+  const RsaPrivateKey& key = TestKey512();
+  HmacDrbg rng("hybrid4");
+  std::vector<std::uint8_t> pt = Msg("serialize me");
+  HybridCiphertext ct = RsaHybridEncrypt(key.PublicKey(), pt, &rng);
+  auto bytes = ct.Serialize();
+  HybridCiphertext back = HybridCiphertext::Deserialize(bytes);
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(RsaHybridDecrypt(key, back, &out));
+  EXPECT_EQ(out, pt);
+}
+
+TEST(HybridEncryption, CiphertextsAreRandomized) {
+  const RsaPrivateKey& key = TestKey512();
+  HmacDrbg rng("hybrid5");
+  std::vector<std::uint8_t> pt = Msg("same plaintext");
+  auto c1 = RsaHybridEncrypt(key.PublicKey(), pt, &rng);
+  auto c2 = RsaHybridEncrypt(key.PublicKey(), pt, &rng);
+  EXPECT_NE(c1.encapsulated, c2.encapsulated);
+  EXPECT_NE(c1.body, c2.body);
+}
+
+// Parameterized sweep: sign/verify must hold across modulus sizes.
+class RsaModulusSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RsaModulusSweep, SignVerifyAcrossSizes) {
+  HmacDrbg rng("sweep-" + std::to_string(GetParam()));
+  RsaPrivateKey key = GenerateRsaKey(GetParam(), &rng);
+  auto msg = Msg("sweep message");
+  auto sig = RsaSignFdh(key, msg);
+  EXPECT_TRUE(RsaVerifyFdh(key.PublicKey(), msg, sig));
+  auto bad = msg;
+  bad.push_back('!');
+  EXPECT_FALSE(RsaVerifyFdh(key.PublicKey(), bad, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RsaModulusSweep,
+                         ::testing::Values(256, 384, 512, 768));
+
+}  // namespace
+}  // namespace crypto
+}  // namespace p2drm

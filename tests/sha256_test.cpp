@@ -1,0 +1,81 @@
+// SHA-256 against FIPS 180-4 / NIST CAVP vectors.
+
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace p2drm {
+namespace crypto {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      DigestToHex(Sha256::Hash(std::string(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestToHex(h.Final()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string msg = "The quick brown fox jumps over the lazy dog";
+  Digest256 oneshot = Sha256::Hash(msg);
+  // Byte-at-a-time.
+  Sha256 h;
+  for (char c : msg) h.Update(std::string(1, c));
+  EXPECT_EQ(DigestToHex(h.Final()), DigestToHex(oneshot));
+  EXPECT_EQ(DigestToHex(oneshot),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+}
+
+TEST(Sha256, ResetReuses) {
+  Sha256 h;
+  h.Update(std::string("garbage"));
+  (void)h.Final();
+  h.Reset();
+  h.Update(std::string("abc"));
+  EXPECT_EQ(DigestToHex(h.Final()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Lengths around the 55/56/64-byte padding boundaries must not crash and
+  // must differ pairwise.
+  std::vector<std::string> hashes;
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    hashes.push_back(DigestToHex(Sha256::Hash(std::string(len, 'x'))));
+  }
+  for (std::size_t i = 0; i < hashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < hashes.size(); ++j) {
+      EXPECT_NE(hashes[i], hashes[j]);
+    }
+  }
+}
+
+TEST(Sha256, DigestToBytesMatches) {
+  Digest256 d = Sha256::Hash(std::string("abc"));
+  auto bytes = DigestToBytes(d);
+  ASSERT_EQ(bytes.size(), 32u);
+  EXPECT_EQ(bytes[0], 0xba);
+  EXPECT_EQ(bytes[31], 0xad);
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace p2drm

@@ -1,0 +1,130 @@
+// Simulation utilities: Zipf sampling, stats, linkability analysis.
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "sim/linkability.h"
+#include "sim/stats.h"
+#include "sim/zipf.h"
+
+namespace p2drm {
+namespace sim {
+namespace {
+
+TEST(Zipf, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfGenerator(0, 1.0), std::invalid_argument);
+}
+
+TEST(Zipf, StaysInRange) {
+  crypto::HmacDrbg rng("zipf-range");
+  ZipfGenerator z(10, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(z.Next(&rng), 10u);
+  }
+}
+
+TEST(Zipf, AlphaZeroIsRoughlyUniform) {
+  crypto::HmacDrbg rng("zipf-uniform");
+  ZipfGenerator z(4, 0.0);
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 8000; ++i) counts[z.Next(&rng)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, 1600);  // expected 2000 ± generous slack
+    EXPECT_LT(c, 2400);
+  }
+}
+
+TEST(Zipf, HighAlphaConcentratesOnHead) {
+  crypto::HmacDrbg rng("zipf-skew");
+  ZipfGenerator z(100, 1.2);
+  int head = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    if (z.Next(&rng) < 10) ++head;
+  }
+  // With alpha=1.2 over 100 items, the top-10 carry well over half the mass.
+  EXPECT_GT(head, kN / 2);
+}
+
+TEST(Zipf, RankProbabilitiesDecrease) {
+  crypto::HmacDrbg rng("zipf-mono");
+  ZipfGenerator z(5, 1.0);
+  std::array<int, 5> counts{};
+  for (int i = 0; i < 20000; ++i) counts[z.Next(&rng)]++;
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[4]);
+}
+
+TEST(LatencyStats, EmptyIsZero) {
+  LatencyStats s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(LatencyStats, MeanAndPercentiles) {
+  LatencyStats s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Mean(), 50.5);
+  EXPECT_NEAR(s.Percentile(50), 50, 1.0);
+  EXPECT_NEAR(s.Percentile(99), 99, 1.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 100.0);
+  EXPECT_NE(s.Summary().find("p95"), std::string::npos);
+}
+
+TEST(Linkability, BaselineAccountIsFullyLinkable) {
+  std::vector<Observation> obs;
+  for (int u = 0; u < 5; ++u) {
+    for (int k = 0; k < 4; ++k) {
+      obs.push_back({static_cast<std::uint64_t>(u),
+                     "account-" + std::to_string(u)});
+    }
+  }
+  auto report = AnalyzeLinkability(obs);
+  EXPECT_EQ(report.same_user_pairs, 5u * 6u);  // 5 users × C(4,2)
+  EXPECT_EQ(report.linkable_pairs, report.same_user_pairs);
+  EXPECT_DOUBLE_EQ(report.linkability, 1.0);
+  EXPECT_EQ(report.distinct_credentials, 5u);
+  EXPECT_EQ(report.largest_profile, 4u);
+}
+
+TEST(Linkability, FreshPseudonymPerPurchaseIsUnlinkable) {
+  std::vector<Observation> obs;
+  int serial = 0;
+  for (int u = 0; u < 5; ++u) {
+    for (int k = 0; k < 4; ++k) {
+      obs.push_back({static_cast<std::uint64_t>(u),
+                     "pseudonym-" + std::to_string(serial++)});
+    }
+  }
+  auto report = AnalyzeLinkability(obs);
+  EXPECT_EQ(report.linkable_pairs, 0u);
+  EXPECT_DOUBLE_EQ(report.linkability, 0.0);
+  EXPECT_EQ(report.largest_profile, 1u);
+}
+
+TEST(Linkability, PartialReuseIsBetween) {
+  // Each user has 4 purchases on 2 pseudonyms (2 uses each):
+  // linkable pairs per user = 2 * C(2,2) = 2 of C(4,2)=6 → 1/3.
+  std::vector<Observation> obs;
+  for (int u = 0; u < 10; ++u) {
+    for (int k = 0; k < 4; ++k) {
+      obs.push_back({static_cast<std::uint64_t>(u),
+                     "p-" + std::to_string(u) + "-" + std::to_string(k / 2)});
+    }
+  }
+  auto report = AnalyzeLinkability(obs);
+  EXPECT_NEAR(report.linkability, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Linkability, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(AnalyzeLinkability({}).linkability, 0.0);
+  auto r = AnalyzeLinkability({{1, "x"}});
+  EXPECT_EQ(r.same_user_pairs, 0u);
+  EXPECT_DOUBLE_EQ(r.linkability, 0.0);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace p2drm

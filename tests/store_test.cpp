@@ -1,0 +1,305 @@
+// Stores: Bloom filter, spent set (all backends), revocation list, CRC log.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+#include <string>
+
+#include "crypto/drbg.h"
+#include "store/append_log.h"
+#include "store/bloom_filter.h"
+#include "store/revocation_list.h"
+#include "store/spent_set.h"
+
+namespace p2drm {
+namespace store {
+namespace {
+
+rel::LicenseId Id(std::uint64_t n) {
+  rel::LicenseId id;
+  for (int i = 0; i < 8; ++i) {
+    id.bytes[i] = static_cast<std::uint8_t>(n >> (8 * i));
+  }
+  // Spread into the upper half too, so ids differ in many bytes.
+  for (int i = 8; i < 16; ++i) {
+    id.bytes[i] = static_cast<std::uint8_t>((n * 2654435761u) >> (8 * (i - 8)));
+  }
+  return id;
+}
+
+rel::DeviceId Dev(std::uint64_t n) {
+  rel::DeviceId d{};
+  for (int i = 0; i < 8; ++i) d[i] = static_cast<std::uint8_t>(n >> (8 * i));
+  return d;
+}
+
+// -- Bloom filter -----------------------------------------------------------
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter bf(1000);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    auto id = Id(i);
+    bf.Insert(id.bytes.data(), id.bytes.size());
+  }
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    auto id = Id(i);
+    EXPECT_TRUE(bf.MayContain(id.bytes.data(), id.bytes.size())) << i;
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateReasonable) {
+  BloomFilter bf(10000, 10);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    auto id = Id(i);
+    bf.Insert(id.bytes.data(), id.bytes.size());
+  }
+  int fp = 0;
+  for (std::uint64_t i = 100000; i < 110000; ++i) {
+    auto id = Id(i);
+    if (bf.MayContain(id.bytes.data(), id.bytes.size())) ++fp;
+  }
+  // 10 bits/entry → ~1% theoretical; allow generous 3%.
+  EXPECT_LT(fp, 300);
+}
+
+TEST(BloomFilter, EmptyFilterRejectsEverything) {
+  BloomFilter bf(100);
+  auto id = Id(1);
+  EXPECT_FALSE(bf.MayContain(id.bytes.data(), id.bytes.size()));
+  EXPECT_DOUBLE_EQ(bf.FillRatio(), 0.0);
+}
+
+TEST(BloomFilter, FillRatioGrows) {
+  BloomFilter bf(100, 10);
+  double prev = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    auto id = Id(i);
+    bf.Insert(id.bytes.data(), id.bytes.size());
+  }
+  EXPECT_GT(bf.FillRatio(), prev);
+  EXPECT_LT(bf.FillRatio(), 0.8);  // near 0.5 at design load
+}
+
+// -- SpentSet (parameterized over backends) -----------------------------------
+
+class SpentSetTest : public ::testing::TestWithParam<SpentSetBackend> {};
+
+TEST_P(SpentSetTest, InsertContainsBasics) {
+  SpentSet set(GetParam());
+  EXPECT_FALSE(set.Contains(Id(1)));
+  EXPECT_TRUE(set.Insert(Id(1)));
+  EXPECT_TRUE(set.Contains(Id(1)));
+  EXPECT_FALSE(set.Contains(Id(2)));
+  EXPECT_EQ(set.Size(), 1u);
+}
+
+TEST_P(SpentSetTest, DoubleInsertRejected) {
+  SpentSet set(GetParam());
+  EXPECT_TRUE(set.Insert(Id(42)));
+  EXPECT_FALSE(set.Insert(Id(42)));  // the double-redemption signal
+  EXPECT_EQ(set.Size(), 1u);
+}
+
+TEST_P(SpentSetTest, ManyEntriesAllFound) {
+  SpentSet set(GetParam());
+  constexpr std::uint64_t kN = 500;
+  for (std::uint64_t i = 0; i < kN; ++i) EXPECT_TRUE(set.Insert(Id(i)));
+  EXPECT_EQ(set.Size(), kN);
+  for (std::uint64_t i = 0; i < kN; ++i) EXPECT_TRUE(set.Contains(Id(i)));
+  for (std::uint64_t i = kN; i < kN + 100; ++i) {
+    EXPECT_FALSE(set.Contains(Id(i)));
+  }
+}
+
+TEST_P(SpentSetTest, MemoryAccountingNonZero) {
+  SpentSet set(GetParam());
+  for (std::uint64_t i = 0; i < 100; ++i) set.Insert(Id(i));
+  EXPECT_GT(set.MemoryBytes(), 100u * 16u / 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SpentSetTest,
+                         ::testing::Values(SpentSetBackend::kHashSet,
+                                           SpentSetBackend::kSortedVector,
+                                           SpentSetBackend::kLinearScan),
+                         [](const auto& info) {
+                           return std::string(
+                               SpentSetBackendName(info.param)) == "hash-set"
+                                      ? "HashSet"
+                                  : SpentSetBackendName(info.param) ==
+                                            std::string("sorted-vector")
+                                      ? "SortedVector"
+                                      : "LinearScan";
+                         });
+
+TEST(SpentSet, BackendsAgree) {
+  SpentSet a(SpentSetBackend::kHashSet);
+  SpentSet b(SpentSetBackend::kSortedVector);
+  SpentSet c(SpentSetBackend::kLinearScan);
+  crypto::HmacDrbg rng("agree");
+  for (int i = 0; i < 300; ++i) {
+    auto id = Id(rng.NextUint64(200));  // collisions on purpose
+    bool ra = a.Insert(id);
+    bool rb = b.Insert(id);
+    bool rc = c.Insert(id);
+    EXPECT_EQ(ra, rb);
+    EXPECT_EQ(rb, rc);
+  }
+  EXPECT_EQ(a.Size(), b.Size());
+  EXPECT_EQ(b.Size(), c.Size());
+}
+
+// -- RevocationList -----------------------------------------------------------
+
+class CrlTest : public ::testing::TestWithParam<CrlStrategy> {};
+
+TEST_P(CrlTest, RevokeAndCheck) {
+  RevocationList crl(GetParam(), 100);
+  EXPECT_FALSE(crl.IsRevoked(Dev(1)));
+  crl.Revoke(Dev(1));
+  EXPECT_TRUE(crl.IsRevoked(Dev(1)));
+  EXPECT_FALSE(crl.IsRevoked(Dev(2)));
+  EXPECT_EQ(crl.Size(), 1u);
+}
+
+TEST_P(CrlTest, VersionBumpsOncePerNewEntry) {
+  RevocationList crl(GetParam(), 100);
+  EXPECT_EQ(crl.Version(), 0u);
+  crl.Revoke(Dev(1));
+  EXPECT_EQ(crl.Version(), 1u);
+  crl.Revoke(Dev(1));  // idempotent
+  EXPECT_EQ(crl.Version(), 1u);
+  crl.Revoke(Dev(2));
+  EXPECT_EQ(crl.Version(), 2u);
+}
+
+TEST_P(CrlTest, SerializeRoundTrip) {
+  RevocationList crl(GetParam(), 100);
+  for (std::uint64_t i = 0; i < 50; ++i) crl.Revoke(Dev(i));
+  auto bytes = crl.Serialize();
+  RevocationList back =
+      RevocationList::Deserialize(bytes, CrlStrategy::kSortedSet);
+  EXPECT_EQ(back.Version(), crl.Version());
+  EXPECT_EQ(back.Size(), crl.Size());
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_TRUE(back.IsRevoked(Dev(i)));
+  EXPECT_FALSE(back.IsRevoked(Dev(99)));
+}
+
+TEST_P(CrlTest, EntriesSnapshot) {
+  RevocationList crl(GetParam(), 10);
+  crl.Revoke(Dev(3));
+  crl.Revoke(Dev(7));
+  auto entries = crl.Entries();
+  EXPECT_EQ(entries.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, CrlTest,
+                         ::testing::Values(CrlStrategy::kSortedSet,
+                                           CrlStrategy::kBloomFronted,
+                                           CrlStrategy::kLinearScan));
+
+// -- AppendLog ---------------------------------------------------------------
+
+class AppendLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "append_log_test_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".log";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(AppendLogTest, AppendAndReplay) {
+  {
+    AppendLog log(path_);
+    log.Append({1, 2, 3});
+    log.Append({});
+    log.Append({9});
+    EXPECT_EQ(log.AppendedRecords(), 3u);
+  }
+  std::vector<std::vector<std::uint8_t>> records;
+  std::size_t n = AppendLog::Replay(
+      path_, [&records](const std::vector<std::uint8_t>& r) {
+        records.push_back(r);
+      });
+  EXPECT_EQ(n, 3u);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(records[1].empty());
+  EXPECT_EQ(records[2], (std::vector<std::uint8_t>{9}));
+}
+
+TEST_F(AppendLogTest, MissingFileReplaysNothing) {
+  std::size_t n = AppendLog::Replay(path_ + ".nope",
+                                    [](const std::vector<std::uint8_t>&) {});
+  EXPECT_EQ(n, 0u);
+}
+
+TEST_F(AppendLogTest, TornTailStopsCleanly) {
+  {
+    AppendLog log(path_);
+    log.Append({1, 2, 3});
+    log.Append({4, 5, 6});
+  }
+  // Truncate mid-record.
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  ASSERT_EQ(ftruncate(fileno(f), size - 2), 0);
+  std::fclose(f);
+
+  std::vector<std::vector<std::uint8_t>> records;
+  std::size_t n = AppendLog::Replay(
+      path_, [&records](const std::vector<std::uint8_t>& r) {
+        records.push_back(r);
+      });
+  EXPECT_EQ(n, 1u);  // only the intact first record
+  EXPECT_EQ(records[0], (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST_F(AppendLogTest, CorruptPayloadDetectedByCrc) {
+  {
+    AppendLog log(path_);
+    log.Append({1, 2, 3, 4, 5});
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 8 + 2, SEEK_SET);  // into the payload
+  std::fputc(0xFF, f);
+  std::fclose(f);
+
+  std::size_t n =
+      AppendLog::Replay(path_, [](const std::vector<std::uint8_t>&) {});
+  EXPECT_EQ(n, 0u);
+}
+
+TEST_F(AppendLogTest, ReopenAppends) {
+  {
+    AppendLog log(path_);
+    log.Append({1});
+  }
+  {
+    AppendLog log(path_);
+    log.Append({2});
+  }
+  std::vector<std::uint8_t> seen;
+  AppendLog::Replay(path_, [&seen](const std::vector<std::uint8_t>& r) {
+    seen.push_back(r[0]);
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint8_t>{1, 2}));
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926.
+  std::string s = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()),
+            0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace p2drm

@@ -1,0 +1,155 @@
+// Whole-system wiring: latency accounting, fraud pipeline edge cases,
+// multi-party scenarios that cross several actors.
+
+#include "core/system.h"
+
+#include <gtest/gtest.h>
+
+#include "core/agent.h"
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace core {
+namespace {
+
+SystemConfig SmallConfig() {
+  SystemConfig cfg;
+  cfg.ca_key_bits = 512;
+  cfg.ttp_key_bits = 512;
+  cfg.bank_key_bits = 512;
+  cfg.cp.signing_key_bits = 512;
+  return cfg;
+}
+
+AgentConfig SmallAgent() {
+  AgentConfig cfg;
+  cfg.pseudonym_bits = 512;
+  return cfg;
+}
+
+TEST(SystemTest, LatencyModelAccumulatesAcrossFullFlow) {
+  crypto::HmacDrbg rng("system-latency");
+  SystemConfig cfg = SmallConfig();
+  cfg.latency.per_message_us = 1000;
+  P2drmSystem system(cfg, &rng);
+  rel::ContentId c = system.cp().Publish("X", {1, 2, 3}, 5,
+                                         rel::Rights::FullRetail());
+  std::uint64_t t0 = system.transport().SimulatedTimeUs();
+  UserAgent alice("alice", SmallAgent(), &system, &rng);
+  ASSERT_EQ(alice.BuyContent(c, nullptr), Status::kOk);
+  std::uint64_t elapsed = system.transport().SimulatedTimeUs() - t0;
+  // Enrol(2 RTs) + pseudonym(1 RT) + withdraw(>=1 RT) + purchase(1 RT):
+  // at least 10 message-halves of 1ms each.
+  EXPECT_GE(elapsed, 10'000u);
+}
+
+TEST(SystemTest, ProcessFraudOnCleanSystemIsEmpty) {
+  crypto::HmacDrbg rng("system-clean");
+  P2drmSystem system(SmallConfig(), &rng);
+  EXPECT_TRUE(system.ProcessFraud().empty());
+  EXPECT_EQ(system.ttp().OpenedCount(), 0u);
+}
+
+TEST(SystemTest, MultipleFraudsAllIdentified) {
+  crypto::HmacDrbg rng("system-multifraud");
+  P2drmSystem system(SmallConfig(), &rng);
+  rel::ContentId c = system.cp().Publish("X", {9}, 1,
+                                         rel::Rights::FullRetail());
+  UserAgent seller("seller", SmallAgent(), &system, &rng);
+  UserAgent cheat1("cheat1", SmallAgent(), &system, &rng);
+  UserAgent cheat2("cheat2", SmallAgent(), &system, &rng);
+  UserAgent victim1("victim1", SmallAgent(), &system, &rng);
+  UserAgent victim2("victim2", SmallAgent(), &system, &rng);
+
+  // Two independent double-redemption frauds.
+  for (auto [cheat, victim] :
+       {std::pair<UserAgent*, UserAgent*>{&cheat1, &victim1},
+        std::pair<UserAgent*, UserAgent*>{&cheat2, &victim2}}) {
+    rel::License lic;
+    ASSERT_EQ(seller.BuyContent(c, &lic), Status::kOk);
+    std::vector<std::uint8_t> bearer;
+    ASSERT_EQ(seller.GiveLicense(lic.id, &bearer), Status::kOk);
+    ASSERT_EQ(cheat->ReceiveLicense(bearer, nullptr), Status::kOk);
+    system.clock().Advance(1);
+    ASSERT_EQ(victim->ReceiveLicense(bearer, nullptr),
+              Status::kAlreadySpent);
+  }
+
+  auto identified = system.ProcessFraud();
+  EXPECT_EQ(identified.size(), 2u);
+  EXPECT_EQ(system.ttp().OpenedCount(), 2u);
+  EXPECT_EQ(system.cp().Crl().Size(), 2u);
+  // Queue drained: a second pass finds nothing.
+  EXPECT_TRUE(system.ProcessFraud().empty());
+}
+
+TEST(SystemTest, RevokedTakerCannotRedeem) {
+  crypto::HmacDrbg rng("system-revoked-taker");
+  P2drmSystem system(SmallConfig(), &rng);
+  rel::ContentId c = system.cp().Publish("X", {1}, 1,
+                                         rel::Rights::FullRetail());
+  UserAgent alice("alice", SmallAgent(), &system, &rng);
+  AgentConfig reuse = SmallAgent();
+  reuse.pseudonym_max_uses = 100;  // bob reuses one pseudonym
+  UserAgent bob("bob", reuse, &system, &rng);
+
+  // Bob's pseudonym gets revoked (e.g. after prior fraud).
+  Pseudonym* bob_pseudonym = bob.EnsurePseudonym();
+  system.cp().Revoke(bob_pseudonym->cert.KeyId());
+
+  rel::License lic;
+  ASSERT_EQ(alice.BuyContent(c, &lic), Status::kOk);
+  std::vector<std::uint8_t> bearer;
+  ASSERT_EQ(alice.GiveLicense(lic.id, &bearer), Status::kOk);
+  EXPECT_EQ(bob.ReceiveLicense(bearer, nullptr), Status::kRevoked);
+  // The bearer license was NOT consumed by the rejected attempt…
+  UserAgent carol("carol", SmallAgent(), &system, &rng);
+  EXPECT_EQ(carol.ReceiveLicense(bearer, nullptr), Status::kOk);
+}
+
+TEST(SystemTest, BankConservationAcrossTheEconomy) {
+  crypto::HmacDrbg rng("system-conservation");
+  P2drmSystem system(SmallConfig(), &rng);
+  rel::ContentId c = system.cp().Publish("X", {1}, 7,
+                                         rel::Rights::FullRetail());
+  UserAgent alice("alice", SmallAgent(), &system, &rng);
+  UserAgent bob("bob", SmallAgent(), &system, &rng);
+
+  ASSERT_EQ(alice.BuyContent(c, nullptr), Status::kOk);
+  ASSERT_EQ(bob.BuyContent(c, nullptr), Status::kOk);
+
+  // Total value is conserved: accounts + outstanding wallet coins.
+  std::uint64_t total = system.bank().Balance("alice") +
+                        system.bank().Balance("bob") +
+                        system.bank().Balance("cp") + alice.WalletValue() +
+                        bob.WalletValue();
+  EXPECT_EQ(total, 2000u);  // two opening balances of 1000
+  EXPECT_EQ(system.bank().Balance("cp"), 14u);  // two sales at 7
+}
+
+TEST(SystemTest, TransferPreservesRightsExactly) {
+  crypto::HmacDrbg rng("system-rights-preserved");
+  P2drmSystem system(SmallConfig(), &rng);
+  rel::Rights rights = rel::Rights::FullRetail();
+  rights.play_count = 9;
+  rights.min_security_level = 1;
+  rel::ContentId c = system.cp().Publish("X", {1}, 3, rights);
+  UserAgent alice("alice", SmallAgent(), &system, &rng);
+  UserAgent bob("bob", SmallAgent(), &system, &rng);
+
+  rel::License lic;
+  ASSERT_EQ(alice.BuyContent(c, &lic), Status::kOk);
+  std::vector<std::uint8_t> bearer;
+  ASSERT_EQ(alice.GiveLicense(lic.id, &bearer), Status::kOk);
+  rel::License bob_lic;
+  ASSERT_EQ(bob.ReceiveLicense(bearer, &bob_lic), Status::kOk);
+  // Same rights expression survives both hops of the exchange.
+  EXPECT_TRUE(bob_lic.rights == rights);
+  // But a fresh license id and a fresh binding.
+  EXPECT_NE(bob_lic.id, lic.id);
+  EXPECT_NE(bob_lic.bound_key, lic.bound_key);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,108 @@
+// Transport: routing, metering, anonymity label, latency model.
+
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+namespace p2drm {
+namespace net {
+namespace {
+
+std::vector<std::uint8_t> Bytes(std::initializer_list<std::uint8_t> v) {
+  return std::vector<std::uint8_t>(v);
+}
+
+TEST(Transport, RoutesToHandler) {
+  Transport t;
+  t.RegisterEndpoint("echo", [](const std::vector<std::uint8_t>& req) {
+    return req;
+  });
+  auto resp = t.Call("alice", "echo", Bytes({1, 2, 3}));
+  EXPECT_EQ(resp, Bytes({1, 2, 3}));
+}
+
+TEST(Transport, UnknownEndpointThrows) {
+  Transport t;
+  EXPECT_THROW(t.Call("alice", "nowhere", {}), std::out_of_range);
+}
+
+TEST(Transport, MetersRequestsPerChannel) {
+  Transport t;
+  t.RegisterEndpoint("svc", [](const std::vector<std::uint8_t>&) {
+    return Bytes({9, 9});
+  });
+  t.Call("alice", "svc", Bytes({1, 2, 3}));
+  t.Call("alice", "svc", Bytes({4}));
+  t.Call("bob", "svc", Bytes({5}));
+
+  ChannelStats alice = t.StatsFor("alice", "svc");
+  EXPECT_EQ(alice.messages, 2u);
+  EXPECT_EQ(alice.bytes, 4u);
+  ChannelStats bob = t.StatsFor("bob", "svc");
+  EXPECT_EQ(bob.messages, 1u);
+  EXPECT_EQ(bob.bytes, 1u);
+  EXPECT_EQ(t.StatsFor("carol", "svc").messages, 0u);
+}
+
+TEST(Transport, TotalIncludesResponses) {
+  Transport t;
+  t.RegisterEndpoint("svc", [](const std::vector<std::uint8_t>&) {
+    return Bytes({9, 9, 9});  // 3-byte response
+  });
+  t.Call("alice", "svc", Bytes({1, 2}));  // 2-byte request
+  ChannelStats total = t.TotalFor("svc");
+  EXPECT_EQ(total.messages, 2u);  // request + response
+  EXPECT_EQ(total.bytes, 5u);
+  ChannelStats grand = t.GrandTotal();
+  EXPECT_EQ(grand.messages, 2u);
+  EXPECT_EQ(grand.bytes, 5u);
+}
+
+TEST(Transport, AnonymousCallerIsMeteredUnderLabel) {
+  Transport t;
+  t.RegisterEndpoint("svc", [](const std::vector<std::uint8_t>&) {
+    return Bytes({});
+  });
+  t.Call(Transport::kAnonymous, "svc", Bytes({1}));
+  EXPECT_EQ(t.StatsFor(Transport::kAnonymous, "svc").messages, 1u);
+  // No named-caller channel exists.
+  EXPECT_EQ(t.StatsFor("alice", "svc").messages, 0u);
+}
+
+TEST(Transport, LatencyModelAccumulates) {
+  LatencyModel model;
+  model.per_message_us = 100;
+  model.per_kib_us = 1024;  // 1us per byte
+  Transport t(model);
+  t.RegisterEndpoint("svc", [](const std::vector<std::uint8_t>&) {
+    return std::vector<std::uint8_t>(512, 0);
+  });
+  t.Call("a", "svc", std::vector<std::uint8_t>(1024, 0));
+  // request: 100 + 1024, response: 100 + 512.
+  EXPECT_EQ(t.SimulatedTimeUs(), 100u + 1024u + 100u + 512u);
+}
+
+TEST(Transport, ResetStatsClearsCountersNotHandlers) {
+  Transport t;
+  t.RegisterEndpoint("svc", [](const std::vector<std::uint8_t>&) {
+    return Bytes({});
+  });
+  t.Call("a", "svc", Bytes({1}));
+  t.ResetStats();
+  EXPECT_EQ(t.GrandTotal().messages, 0u);
+  EXPECT_EQ(t.SimulatedTimeUs(), 0u);
+  EXPECT_NO_THROW(t.Call("a", "svc", Bytes({1})));
+}
+
+TEST(LatencyModel, CostFormula) {
+  LatencyModel m;
+  m.per_message_us = 50;
+  m.per_kib_us = 2048;
+  EXPECT_EQ(m.CostUs(0), 50u);
+  EXPECT_EQ(m.CostUs(1024), 50u + 2048u);
+  EXPECT_EQ(m.CostUs(512), 50u + 1024u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace p2drm

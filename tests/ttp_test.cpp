@@ -1,0 +1,143 @@
+// TTP: fraud evidence verification and conditional de-anonymization.
+
+#include "core/ttp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/certification_authority.h"
+#include "core/smartcard.h"
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace core {
+namespace {
+
+class TtpTest : public ::testing::Test {
+ protected:
+  TtpTest()
+      : rng_("ttp-test"),
+        ca_(512, &rng_),
+        ttp_(512, &rng_),
+        cp_key_(crypto::GenerateRsaKey(512, &rng_)),
+        card_("Bob", 512, &rng_) {
+    card_.StoreIdentityCertificate(ca_.Enrol("Bob", card_.MasterKey()));
+    PseudonymRequest req =
+        card_.BeginPseudonym(ca_.PublicKey(), ttp_.EscrowKey());
+    bignum::BigInt sig =
+        ca_.SignPseudonymBlinded(card_.CardId(), req.blinding.blinded);
+    pseudonym_ = card_.FinishPseudonym(std::move(req), sig, ca_.PublicKey());
+  }
+
+  RedemptionTranscript MakeTranscript(std::uint64_t lid_seed,
+                                      std::uint64_t ts) {
+    RedemptionTranscript t;
+    for (int i = 0; i < 16; ++i) {
+      t.license_id.bytes[i] = static_cast<std::uint8_t>(lid_seed >> (i % 8));
+    }
+    t.pseudonym_cert = pseudonym_->cert.Serialize();
+    t.timestamp_s = ts;
+    t.cp_signature = crypto::RsaSignFdh(cp_key_, t.CanonicalBytes());
+    return t;
+  }
+
+  crypto::HmacDrbg rng_;
+  CertificationAuthority ca_;
+  TrustedThirdParty ttp_;
+  crypto::RsaPrivateKey cp_key_;
+  SmartCard card_;
+  Pseudonym* pseudonym_ = nullptr;
+};
+
+TEST_F(TtpTest, ValidEvidenceOpensEscrowToCardId) {
+  FraudEvidence evidence;
+  evidence.first = MakeTranscript(1, 100);
+  evidence.second = MakeTranscript(1, 200);  // same lid, later attempt
+  auto result = ttp_.OpenEscrow(evidence, cp_key_.PublicKey());
+  ASSERT_TRUE(result.opened) << result.reason;
+  EXPECT_EQ(result.card_id, card_.CardId());
+  EXPECT_EQ(ttp_.OpenedCount(), 1u);
+  // The CA can then map the card id to the holder.
+  EXPECT_EQ(ca_.HolderName(result.card_id), "Bob");
+}
+
+TEST_F(TtpTest, RefusesUnsignedTranscripts) {
+  FraudEvidence evidence;
+  evidence.first = MakeTranscript(1, 100);
+  evidence.second = MakeTranscript(1, 200);
+  evidence.second.cp_signature[0] ^= 1;
+  auto result = ttp_.OpenEscrow(evidence, cp_key_.PublicKey());
+  EXPECT_FALSE(result.opened);
+  EXPECT_EQ(ttp_.RefusedCount(), 1u);
+  EXPECT_NE(result.reason.find("signature"), std::string::npos);
+}
+
+TEST_F(TtpTest, RefusesMismatchedLicenseIds) {
+  FraudEvidence evidence;
+  evidence.first = MakeTranscript(1, 100);
+  evidence.second = MakeTranscript(2, 200);  // different license
+  auto result = ttp_.OpenEscrow(evidence, cp_key_.PublicKey());
+  EXPECT_FALSE(result.opened);
+  EXPECT_NE(result.reason.find("different licenses"), std::string::npos);
+}
+
+TEST_F(TtpTest, RefusesIdenticalTranscripts) {
+  // Replaying the same transcript twice is not evidence of fraud.
+  FraudEvidence evidence;
+  evidence.first = MakeTranscript(1, 100);
+  evidence.second = evidence.first;
+  auto result = ttp_.OpenEscrow(evidence, cp_key_.PublicKey());
+  EXPECT_FALSE(result.opened);
+  EXPECT_NE(result.reason.find("identical"), std::string::npos);
+}
+
+TEST_F(TtpTest, RefusesEvidenceFromWrongProvider) {
+  crypto::HmacDrbg other_rng("other-cp");
+  crypto::RsaPrivateKey other_cp = crypto::GenerateRsaKey(512, &other_rng);
+  FraudEvidence evidence;
+  evidence.first = MakeTranscript(1, 100);
+  evidence.second = MakeTranscript(1, 200);
+  // Verifies under cp_key_ but the TTP is told to check other_cp's key.
+  auto result = ttp_.OpenEscrow(evidence, other_cp.PublicKey());
+  EXPECT_FALSE(result.opened);
+}
+
+TEST_F(TtpTest, HonestUsersAreNeverOpened) {
+  // No evidence → no opening. Counter stays zero.
+  EXPECT_EQ(ttp_.OpenedCount(), 0u);
+}
+
+TEST(Transcript, SerializationRoundTrip) {
+  RedemptionTranscript t;
+  for (int i = 0; i < 16; ++i) t.license_id.bytes[i] = static_cast<std::uint8_t>(i);
+  t.pseudonym_cert = {1, 2, 3};
+  t.timestamp_s = 42;
+  t.cp_signature = {4, 5};
+  RedemptionTranscript back =
+      RedemptionTranscript::Deserialize(t.Serialize());
+  EXPECT_EQ(back.license_id, t.license_id);
+  EXPECT_EQ(back.pseudonym_cert, t.pseudonym_cert);
+  EXPECT_EQ(back.timestamp_s, 42u);
+  EXPECT_EQ(back.cp_signature, t.cp_signature);
+
+  FraudEvidence e;
+  e.first = t;
+  e.second = t;
+  FraudEvidence eback = FraudEvidence::Deserialize(e.Serialize());
+  EXPECT_EQ(eback.first.timestamp_s, 42u);
+  EXPECT_EQ(eback.second.pseudonym_cert, t.pseudonym_cert);
+}
+
+TEST(EscrowPayload, RoundTripAndLengthCheck) {
+  EscrowPayload p;
+  p.card_id = 123456;
+  for (int i = 0; i < 16; ++i) p.nonce[i] = static_cast<std::uint8_t>(i);
+  EscrowPayload back;
+  ASSERT_TRUE(EscrowPayload::Deserialize(p.Serialize(), &back));
+  EXPECT_EQ(back.card_id, 123456u);
+  EXPECT_EQ(back.nonce, p.nonce);
+  EXPECT_FALSE(EscrowPayload::Deserialize({1, 2, 3}, &back));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2drm

@@ -1,0 +1,146 @@
+// Usage statistics without user tracking: randomized response mechanics,
+// estimator accuracy, deniability bounds.
+
+#include "core/usage_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/drbg.h"
+
+namespace p2drm {
+namespace core {
+namespace {
+
+TEST(RandomizedResponder, RejectsBadProbability) {
+  EXPECT_THROW(RandomizedResponder(0.0), std::invalid_argument);
+  EXPECT_THROW(RandomizedResponder(-0.5), std::invalid_argument);
+  EXPECT_THROW(RandomizedResponder(1.5), std::invalid_argument);
+  EXPECT_NO_THROW(RandomizedResponder(1.0));
+  EXPECT_THROW(UsageAggregator(0.0), std::invalid_argument);
+}
+
+TEST(RandomizedResponder, PEqualsOneIsTruthful) {
+  crypto::HmacDrbg rng("rr-truthful");
+  RandomizedResponder r(1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(r.Respond(true, &rng));
+    EXPECT_FALSE(r.Respond(false, &rng));
+  }
+  EXPECT_DOUBLE_EQ(r.ReportConfidence(), 1.0);
+}
+
+TEST(RandomizedResponder, LowPFlipsOften) {
+  crypto::HmacDrbg rng("rr-flip");
+  RandomizedResponder r(0.1);
+  int affirmative = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    if (r.Respond(false, &rng)) ++affirmative;
+  }
+  // Truth is always false; expected affirmative rate = (1-p)/2 = 0.45.
+  EXPECT_NEAR(static_cast<double>(affirmative) / kN, 0.45, 0.03);
+}
+
+TEST(RandomizedResponder, ConfidenceBounds) {
+  EXPECT_NEAR(RandomizedResponder(0.5).ReportConfidence(), 0.75, 1e-12);
+  // As p → 0 a single report approaches a coin flip: full deniability.
+  EXPECT_NEAR(RandomizedResponder(0.02).ReportConfidence(), 0.51, 1e-12);
+}
+
+TEST(UsageAggregator, ExactWhenTruthful) {
+  crypto::HmacDrbg rng("agg-exact");
+  RandomizedResponder r(1.0);
+  UsageAggregator agg(1.0);
+  for (int i = 0; i < 500; ++i) {
+    agg.AddReport(7, r.Respond(i % 5 == 0, &rng));  // 100 true plays
+  }
+  EXPECT_EQ(agg.RawCount(7), 100u);
+  EXPECT_EQ(agg.TotalReports(7), 500u);
+  EXPECT_DOUBLE_EQ(agg.EstimatedCount(7), 100.0);
+}
+
+class EstimatorSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EstimatorSweep, EstimateConvergesToTruth) {
+  double p = GetParam();
+  crypto::HmacDrbg rng("agg-sweep-" + std::to_string(p));
+  RandomizedResponder responder(p);
+  UsageAggregator agg(p);
+
+  constexpr int kReports = 40000;
+  constexpr double kTrueRate = 0.3;
+  int true_plays = 0;
+  for (int i = 0; i < kReports; ++i) {
+    bool played = rng.NextUint64(10) < 10 * kTrueRate;
+    if (played) ++true_plays;
+    agg.AddReport(1, responder.Respond(played, &rng));
+  }
+  double estimate = agg.EstimatedCount(1);
+  // Standard error ~ sqrt(n)/p; allow 5 sigma.
+  double tolerance = 5.0 * std::sqrt(static_cast<double>(kReports)) / p;
+  EXPECT_NEAR(estimate, static_cast<double>(true_plays), tolerance)
+      << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(TruthProbabilities, EstimatorSweep,
+                         ::testing::Values(1.0, 0.75, 0.5, 0.25));
+
+TEST(UsageAggregator, EstimateClampedToValidRange) {
+  UsageAggregator agg(0.5);
+  // All-negative reports: raw estimator would be negative; clamp to 0.
+  for (int i = 0; i < 100; ++i) agg.AddReport(3, false);
+  EXPECT_DOUBLE_EQ(agg.EstimatedCount(3), 0.0);
+  // All-affirmative: clamp to total.
+  UsageAggregator agg2(0.5);
+  for (int i = 0; i < 100; ++i) agg2.AddReport(3, true);
+  EXPECT_DOUBLE_EQ(agg2.EstimatedCount(3), 100.0);
+}
+
+TEST(UsageAggregator, UnknownContentIsZero) {
+  UsageAggregator agg(0.5);
+  EXPECT_EQ(agg.RawCount(99), 0u);
+  EXPECT_EQ(agg.TotalReports(99), 0u);
+  EXPECT_DOUBLE_EQ(agg.EstimatedCount(99), 0.0);
+}
+
+TEST(UsageAggregator, PerTitleIsolation) {
+  crypto::HmacDrbg rng("agg-iso");
+  RandomizedResponder r(1.0);
+  UsageAggregator agg(1.0);
+  agg.AddReport(1, r.Respond(true, &rng));
+  agg.AddReport(2, r.Respond(false, &rng));
+  EXPECT_EQ(agg.RawCount(1), 1u);
+  EXPECT_EQ(agg.RawCount(2), 0u);
+}
+
+TEST(UsageStats, AggregateAccuracyWithoutUserTracking) {
+  // The paper's requirement in one test: the provider obtains accurate
+  // per-title royalty statistics while a single user's report remains
+  // deniable.
+  crypto::HmacDrbg rng("agg-royalty");
+  constexpr double p = 0.5;
+  RandomizedResponder responder(p);
+  UsageAggregator agg(p);
+
+  // Title 10: 60% of 20000 users played. Title 20: 5%.
+  int true10 = 0, true20 = 0;
+  for (int u = 0; u < 20000; ++u) {
+    bool p10 = rng.NextUint64(100) < 60;
+    bool p20 = rng.NextUint64(100) < 5;
+    true10 += p10;
+    true20 += p20;
+    agg.AddReport(10, responder.Respond(p10, &rng));
+    agg.AddReport(20, responder.Respond(p20, &rng));
+  }
+  // Royalty split estimate within a few percent of truth.
+  EXPECT_NEAR(agg.EstimatedCount(10) / true10, 1.0, 0.05);
+  EXPECT_NEAR(agg.EstimatedCount(20) / true20, 1.0, 0.25);  // rarer → noisier
+  // While any individual report carries only 75% confidence.
+  EXPECT_DOUBLE_EQ(responder.ReportConfidence(), 0.75);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2drm
