@@ -106,6 +106,44 @@ int main() {
     alice->SyncCrl();
   }));
 
+  // ---- batched redeem ------------------------------------------------------
+  // The kBatch envelope lets N redeems ride ONE metered round trip. The
+  // unbatched row keeps the per-redeem byte cost of the table above (RT-2
+  // accounting unchanged); the batched row shows the message-count drop:
+  // 64 redeems cost 128 messages unbatched and 2 messages batched.
+  {
+    AgentConfig gcfg = acfg;
+    gcfg.pseudonym_max_uses = 256;  // keep pseudonym keygen off the hot rows
+    UserAgent giver("giver", gcfg, &system, &rng);
+    auto make_bearers = [&](std::size_t n) {
+      std::vector<std::vector<std::uint8_t>> bearers;
+      for (std::size_t i = 0; i < n; ++i) {
+        rel::License l;
+        if (giver.BuyContent(song, &l) != Status::kOk) break;
+        std::vector<std::uint8_t> bearer;
+        if (giver.GiveLicense(l.id, &bearer) != Status::kOk) break;
+        bearers.push_back(std::move(bearer));
+      }
+      return bearers;
+    };
+    auto bearers_a = make_bearers(64);
+    auto bearers_b = make_bearers(64);
+
+    UserAgent dora("dora", gcfg, &system, &rng);
+    UserAgent erin("erin", gcfg, &system, &rng);
+    dora.EnsurePseudonym();  // issuance measured above, not here
+    erin.EnsurePseudonym();
+
+    PrintRow(Measure("p2drm.redeem.unbatched-x64", system.transport(), [&] {
+      for (const auto& bearer : bearers_a) {
+        dora.ReceiveLicense(bearer, nullptr);
+      }
+    }));
+    PrintRow(Measure("p2drm.redeem.batched-x64", system.transport(), [&] {
+      erin.ReceiveLicenseBatch(bearers_b, nullptr);
+    }));
+  }
+
   // ---- baseline ------------------------------------------------------------
   std::printf("%s\n", std::string(110, '-').c_str());
   SimClock clock;

@@ -101,10 +101,16 @@ int main() {
   forged.second.timestamp_s = 1;
   protocol::OpenEscrowRequest req;
   req.evidence = forged;
-  auto raw = system.transport().Call("auditor", P2drmSystem::kTtpEndpoint,
-                                     req.Encode());
-  auto resp = protocol::OpenEscrowResponse::Decode(raw);
+  net::Rpc auditor(&system.transport(), "auditor");
+  auto resp = auditor.Call(P2drmSystem::kTtpEndpoint, req);
+  if (!resp.ok()) {
+    // The TTP handler answers kOk with opened=false for bad evidence; a
+    // non-kOk status here means the infrastructure itself broke.
+    std::printf("[ttp]   unexpected RPC failure: %s\n",
+                StatusName(resp.status));
+    return 2;
+  }
   std::printf("[ttp]   forged evidence: opened=%s (%s)\n",
-              resp.opened ? "yes" : "no", resp.reason.c_str());
-  return resp.opened ? 1 : 0;
+              resp.value.opened ? "yes" : "no", resp.value.reason.c_str());
+  return resp.value.opened ? 1 : 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 
 #include "core/metrics.h"
 #include "core/protocol.h"
@@ -12,34 +13,64 @@ namespace core {
 
 namespace proto = protocol;
 
+namespace {
+
+// Coins a failed batch item could refund (purchases carry payment,
+// redeems carry none).
+const std::vector<Coin>* PaymentOf(const proto::PurchaseRequest& req) {
+  return &req.payment;
+}
+const std::vector<Coin>* PaymentOf(const proto::RedeemRequest&) {
+  return nullptr;
+}
+
+// True for statuses only the RPC layer produces before a handler runs:
+// the server provably never executed the request, so coins it carried
+// are still the client's. Actor-produced statuses (kBadRequest included
+// — ContentProvider returns it too) stay ambiguous: no refund, matching
+// the pre-batching semantics.
+bool ProvablyNotExecuted(Status s) {
+  return s == Status::kUnavailable || s == Status::kVersionMismatch ||
+         s == Status::kUnknownTag;
+}
+
+}  // namespace
+
 UserAgent::UserAgent(const std::string& name, const AgentConfig& config,
                      P2drmSystem* system, bignum::RandomSource* rng)
     : name_(name),
       config_(config),
       system_(system),
       rng_(rng),
+      rpc_(&system->transport(), name),
       card_(name, config.pseudonym_bits, rng),
       device_(name + "-device", config.device_security_level,
               &system->clock(), rng) {
   system_->bank().OpenAccount(name_, config_.initial_bank_balance);
 
-  // Enrolment (identified channel).
+  // Enrolment (identified channel). An agent without its certificates is
+  // unusable, so fail construction loudly rather than limp along.
   proto::EnrolRequest enrol;
   enrol.holder_name = name_;
   enrol.master_key = card_.MasterKey();
-  auto raw = system_->transport().Call(name_, P2drmSystem::kCaEndpoint,
-                                       enrol.Encode());
-  card_.StoreIdentityCertificate(
-      proto::EnrolResponse::Decode(raw).certificate);
+  auto enrolled = rpc_.Call(P2drmSystem::kCaEndpoint, enrol);
+  if (!enrolled.ok()) {
+    throw std::runtime_error("UserAgent " + name_ + ": enrolment failed: " +
+                             StatusName(enrolled.status));
+  }
+  card_.StoreIdentityCertificate(enrolled.value.certificate);
 
   // Device certification.
   proto::DeviceCertRequest dev;
   dev.device_key = device_.DeviceKey();
   dev.security_level = config_.device_security_level;
-  raw = system_->transport().Call(name_, P2drmSystem::kCaEndpoint,
-                                  dev.Encode());
-  device_.InstallCertificate(
-      proto::DeviceCertResponse::Decode(raw).certificate);
+  auto certified = rpc_.Call(P2drmSystem::kCaEndpoint, dev);
+  if (!certified.ok()) {
+    throw std::runtime_error("UserAgent " + name_ +
+                             ": device certification failed: " +
+                             StatusName(certified.status));
+  }
+  device_.InstallCertificate(certified.value.certificate);
 }
 
 std::uint64_t UserAgent::WalletValue() const {
@@ -64,12 +95,10 @@ Status UserAgent::WithdrawOne(std::uint32_t denomination) {
   req.account = name_;
   req.denomination = denomination;
   req.blinded = ctx.blinded;
-  auto raw = system_->transport().Call(name_, P2drmSystem::kBankEndpoint,
-                                       req.Encode());
-  auto resp = proto::WithdrawResponse::Decode(raw);
-  if (resp.status != Status::kOk) return resp.status;
+  auto resp = rpc_.Call(P2drmSystem::kBankEndpoint, req);
+  if (!resp.ok()) return resp.status;
 
-  coin.signature = crypto::Unblind(denom_key, ctx, resp.blind_signature);
+  coin.signature = crypto::Unblind(denom_key, ctx, resp.value.blind_signature);
   // Paranoia: never bank an invalid coin.
   GlobalOps().verify += 1;
   if (!crypto::RsaVerifyFdh(denom_key, coin.CanonicalBytes(),
@@ -138,11 +167,47 @@ Pseudonym* UserAgent::EnsurePseudonym() {
   proto::PseudonymSignRequest wire;
   wire.card_id = card_.CardId();
   wire.blinded = req.blinding.blinded;
-  auto raw = system_->transport().Call(name_, P2drmSystem::kCaEndpoint,
-                                       wire.Encode());
-  auto resp = proto::PseudonymSignResponse::Decode(raw);
-  return card_.FinishPseudonym(std::move(req), resp.blind_signature,
+  auto resp = rpc_.Call(P2drmSystem::kCaEndpoint, wire);
+  if (!resp.ok()) return nullptr;
+  return card_.FinishPseudonym(std::move(req), resp.value.blind_signature,
                                system_->ca().PublicKey());
+}
+
+Status UserAgent::InstallIssued(const rel::License& license,
+                                Pseudonym* pseudonym, rel::License* out) {
+  pseudonym->purchases_used += 1;
+  if (!device_.InstallLicense(license, system_->cp().PublicKey())) {
+    return Status::kBadSignature;
+  }
+  if (out != nullptr) *out = license;
+  return Status::kOk;
+}
+
+template <typename Req>
+void UserAgent::FinishBatch(const std::vector<Req>& wire_reqs,
+                            const std::vector<std::size_t>& wire_index,
+                            const std::vector<Pseudonym*>& wire_pseudonym,
+                            std::vector<Status>* statuses,
+                            std::vector<rel::License>* out) {
+  if (wire_reqs.empty()) return;  // nothing prepared: spend no round trip
+  auto resps = rpc_.CallBatchAnonymous(P2drmSystem::kCpEndpoint, wire_reqs);
+  for (std::size_t w = 0; w < resps.size(); ++w) {
+    std::size_t i = wire_index[w];
+    wire_pseudonym[w]->purchases_used -= 1;  // InstallIssued re-charges
+    if (!resps[w].ok()) {
+      (*statuses)[i] = resps[w].status;
+      // Refund coins the server provably never touched; other failures
+      // may have executed server-side, so coins stay spent, same as the
+      // single-call path.
+      const std::vector<Coin>* payment = PaymentOf(wire_reqs[w]);
+      if (ProvablyNotExecuted(resps[w].status) && payment != nullptr) {
+        wallet_.insert(wallet_.end(), payment->begin(), payment->end());
+      }
+      continue;
+    }
+    (*statuses)[i] = InstallIssued(resps[w].value.license, wire_pseudonym[w],
+                                   out != nullptr ? &(*out)[i] : nullptr);
+  }
 }
 
 Status UserAgent::BuyContent(rel::ContentId content, rel::License* out) {
@@ -162,31 +227,70 @@ Status UserAgent::BuyContent(rel::ContentId content, rel::License* out) {
   req.content_id = content;
   req.payment = std::move(payment);
   // Anonymous channel: the CP must not learn who is calling.
-  auto raw = system_->transport().Call(net::Transport::kAnonymous,
-                                       P2drmSystem::kCpEndpoint, req.Encode());
-  auto resp = proto::PurchaseResponse::Decode(raw);
-  if (resp.status != Status::kOk) return resp.status;
-
-  pseudonym->purchases_used += 1;
-  if (!device_.InstallLicense(resp.license, system_->cp().PublicKey())) {
-    return Status::kBadSignature;
+  auto resp = rpc_.CallAnonymous(P2drmSystem::kCpEndpoint, req);
+  if (!resp.ok()) {
+    if (ProvablyNotExecuted(resp.status)) {
+      wallet_.insert(wallet_.end(), req.payment.begin(), req.payment.end());
+    }
+    return resp.status;
   }
-  if (out != nullptr) *out = resp.license;
-  return Status::kOk;
+  return InstallIssued(resp.value.license, pseudonym, out);
+}
+
+std::vector<Status> UserAgent::BuyContentBatch(
+    const std::vector<rel::ContentId>& contents,
+    std::vector<rel::License>* out) {
+  std::vector<Status> statuses(contents.size(), Status::kBadRequest);
+  if (out != nullptr) out->assign(contents.size(), rel::License{});
+
+  // Client-side preparation (pseudonyms, coins) per item; items that fail
+  // locally never reach the wire.
+  std::vector<proto::PurchaseRequest> wire_reqs;
+  std::vector<std::size_t> wire_index;    // wire item -> input index
+  std::vector<Pseudonym*> wire_pseudonym;  // wire item -> charged pseudonym
+  for (std::size_t i = 0; i < contents.size(); ++i) {
+    auto offer = system_->cp().FindOffer(contents[i]);
+    if (!offer.has_value()) {
+      statuses[i] = Status::kUnknownContent;
+      continue;
+    }
+    Pseudonym* pseudonym = EnsurePseudonym();
+    if (pseudonym == nullptr) {
+      statuses[i] = Status::kBadCertificate;
+      continue;
+    }
+    std::vector<Coin> payment = TakeCoins(offer->price);
+    if (offer->price != 0 && payment.empty()) {
+      statuses[i] = Status::kInsufficientFunds;
+      continue;
+    }
+    proto::PurchaseRequest req;
+    req.buyer = pseudonym->cert;
+    req.content_id = contents[i];
+    req.payment = std::move(payment);
+    wire_reqs.push_back(std::move(req));
+    wire_index.push_back(i);
+    // Pre-charge so the linkability policy (pseudonym_max_uses) holds
+    // across the batch; FinishBatch refunds before re-charging installs.
+    pseudonym->purchases_used += 1;
+    wire_pseudonym.push_back(pseudonym);
+  }
+
+  // One metered round trip for every prepared purchase.
+  FinishBatch(wire_reqs, wire_index, wire_pseudonym, &statuses, out);
+  return statuses;
 }
 
 UseResult UserAgent::Play(rel::ContentId content) {
   proto::FetchContentRequest req;
   req.content_id = content;
-  auto raw = system_->transport().Call(net::Transport::kAnonymous,
-                                       P2drmSystem::kCpEndpoint, req.Encode());
-  auto resp = proto::FetchContentResponse::Decode(raw);
-  if (resp.status != Status::kOk) {
+  auto resp = rpc_.CallAnonymous(P2drmSystem::kCpEndpoint, req);
+  if (!resp.ok()) {
     UseResult r;
     r.error = "content not available";
     return r;
   }
-  return device_.Use(content, rel::Action::kPlay, &card_, resp.content);
+  return device_.Use(content, rel::Action::kPlay, &card_, resp.value.content);
 }
 
 Status UserAgent::GiveLicense(const rel::LicenseId& id,
@@ -202,14 +306,12 @@ Status UserAgent::GiveLicense(const rel::LicenseId& id,
   proto::ExchangeRequest req;
   req.license = *held;
   req.possession_sig = std::move(sig);
-  auto raw = system_->transport().Call(net::Transport::kAnonymous,
-                                       P2drmSystem::kCpEndpoint, req.Encode());
-  auto resp = proto::ExchangeResponse::Decode(raw);
-  if (resp.status != Status::kOk) return resp.status;
+  auto resp = rpc_.CallAnonymous(P2drmSystem::kCpEndpoint, req);
+  if (!resp.ok()) return resp.status;
 
   // The old license is now spent server-side; a compliant device deletes it.
   device_.RemoveLicense(id);
-  *out_bytes = resp.anonymous_license.Serialize();
+  *out_bytes = resp.value.anonymous_license.Serialize();
   return Status::kOk;
 }
 
@@ -229,27 +331,57 @@ Status UserAgent::ReceiveLicense(
   proto::RedeemRequest req;
   req.anonymous_license = anon;
   req.taker = pseudonym->cert;
-  auto raw = system_->transport().Call(net::Transport::kAnonymous,
-                                       P2drmSystem::kCpEndpoint, req.Encode());
-  auto resp = proto::PurchaseResponse::Decode(raw);
-  if (resp.status != Status::kOk) return resp.status;
-
-  pseudonym->purchases_used += 1;
-  if (!device_.InstallLicense(resp.license, system_->cp().PublicKey())) {
-    return Status::kBadSignature;
-  }
-  if (out != nullptr) *out = resp.license;
-  return Status::kOk;
+  auto resp = rpc_.CallAnonymous(P2drmSystem::kCpEndpoint, req);
+  if (!resp.ok()) return resp.status;
+  return InstallIssued(resp.value.license, pseudonym, out);
 }
 
-void UserAgent::SyncCrl() {
+std::vector<Status> UserAgent::ReceiveLicenseBatch(
+    const std::vector<std::vector<std::uint8_t>>& anonymous_license_bytes,
+    std::vector<rel::License>* out) {
+  std::vector<Status> statuses(anonymous_license_bytes.size(),
+                               Status::kBadRequest);
+  if (out != nullptr) {
+    out->assign(anonymous_license_bytes.size(), rel::License{});
+  }
+
+  std::vector<proto::RedeemRequest> wire_reqs;
+  std::vector<std::size_t> wire_index;
+  std::vector<Pseudonym*> wire_pseudonym;
+  for (std::size_t i = 0; i < anonymous_license_bytes.size(); ++i) {
+    rel::License anon;
+    try {
+      anon = rel::License::Deserialize(anonymous_license_bytes[i]);
+    } catch (const std::exception&) {
+      continue;  // statuses[i] stays kBadRequest
+    }
+    Pseudonym* pseudonym = EnsurePseudonym();
+    if (pseudonym == nullptr) {
+      statuses[i] = Status::kBadCertificate;
+      continue;
+    }
+    proto::RedeemRequest req;
+    req.anonymous_license = std::move(anon);
+    req.taker = pseudonym->cert;
+    wire_reqs.push_back(std::move(req));
+    wire_index.push_back(i);
+    pseudonym->purchases_used += 1;  // pre-charge, as in BuyContentBatch
+    wire_pseudonym.push_back(pseudonym);
+  }
+
+  // N redeems, ONE transport round trip.
+  FinishBatch(wire_reqs, wire_index, wire_pseudonym, &statuses, out);
+  return statuses;
+}
+
+Status UserAgent::SyncCrl() {
   proto::FetchCrlRequest req;
-  auto raw = system_->transport().Call(name_, P2drmSystem::kCpEndpoint,
-                                       req.Encode());
-  auto resp = proto::FetchCrlResponse::Decode(raw);
+  auto resp = rpc_.Call(P2drmSystem::kCpEndpoint, req);
+  if (!resp.ok()) return resp.status;
   store::RevocationList crl = store::RevocationList::Deserialize(
-      resp.crl_snapshot, store::CrlStrategy::kSortedSet);
+      resp.value.crl_snapshot, store::CrlStrategy::kSortedSet);
   device_.UpdateCrl(crl);
+  return Status::kOk;
 }
 
 }  // namespace core

@@ -21,6 +21,7 @@
 #include "core/payment.h"
 #include "core/smartcard.h"
 #include "core/system.h"
+#include "net/rpc.h"
 
 namespace p2drm {
 namespace core {
@@ -39,7 +40,9 @@ struct AgentConfig {
 class UserAgent {
  public:
   /// Creates the card and device, opens a bank account, enrols with the CA
-  /// and certifies the device (all over the Transport).
+  /// and certifies the device (all over the Transport). Throws
+  /// std::runtime_error when enrolment or device certification fails —
+  /// an agent without its certificates is unusable.
   UserAgent(const std::string& name, const AgentConfig& config,
             P2drmSystem* system, bignum::RandomSource* rng);
 
@@ -59,6 +62,16 @@ class UserAgent {
   /// license.
   Status BuyContent(rel::ContentId content, rel::License* out = nullptr);
 
+  /// Batched purchase hot path: prepares one PurchaseRequest per content
+  /// id (pseudonym + coins locally), sends them all in ONE metered
+  /// round trip (net::Rpc::CallBatch), and installs each returned
+  /// license. Returns one status per input, index-aligned; \p out
+  /// (optional) receives the licenses for the kOk entries, also
+  /// index-aligned (default License elsewhere).
+  std::vector<Status> BuyContentBatch(
+      const std::vector<rel::ContentId>& contents,
+      std::vector<rel::License>* out = nullptr);
+
   /// Plays content end to end: fetches the encrypted blob and renders it
   /// locally under the installed license.
   UseResult Play(rel::ContentId content);
@@ -74,8 +87,15 @@ class UserAgent {
   Status ReceiveLicense(const std::vector<std::uint8_t>& anonymous_license_bytes,
                         rel::License* out = nullptr);
 
+  /// Batched redeem hot path: N bearer licenses redeemed in ONE metered
+  /// round trip. Returns one status per input, index-aligned; \p out
+  /// (optional) receives the licenses for the kOk entries.
+  std::vector<Status> ReceiveLicenseBatch(
+      const std::vector<std::vector<std::uint8_t>>& anonymous_license_bytes,
+      std::vector<rel::License>* out = nullptr);
+
   /// Pulls the provider's CRL into the device.
-  void SyncCrl();
+  Status SyncCrl();
 
   /// Ensures a pseudonym with remaining uses exists and returns it
   /// (runs the blind issuance protocol when needed).
@@ -87,10 +107,29 @@ class UserAgent {
   /// withdrawing more as needed. Empty result means failure.
   std::vector<Coin> TakeCoins(std::uint64_t amount);
 
+  /// Installs a freshly issued license on the device, charging the
+  /// pseudonym use. Shared tail of the single and batched purchase/redeem
+  /// paths.
+  Status InstallIssued(const rel::License& license, Pseudonym* pseudonym,
+                       rel::License* out);
+
+  /// Shared wire tail of the batch paths: sends the prepared requests in
+  /// one batched round trip, refunds the pre-charged pseudonym uses,
+  /// installs the returned licenses and (for purchases that provably
+  /// never reached the server) returns the coins to the wallet. Defined
+  /// in agent.cpp; instantiated there for PurchaseRequest/RedeemRequest.
+  template <typename Req>
+  void FinishBatch(const std::vector<Req>& wire_reqs,
+                   const std::vector<std::size_t>& wire_index,
+                   const std::vector<Pseudonym*>& wire_pseudonym,
+                   std::vector<Status>* statuses,
+                   std::vector<rel::License>* out);
+
   std::string name_;
   AgentConfig config_;
   P2drmSystem* system_;
   bignum::RandomSource* rng_;
+  net::Rpc rpc_;
   SmartCard card_;
   CompliantDevice device_;
   std::vector<Coin> wallet_;

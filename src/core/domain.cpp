@@ -11,6 +11,7 @@ DomainManager::DomainManager(const std::string& name,
                              bignum::RandomSource* rng)
     : config_(config),
       system_(system),
+      rpc_(&system->transport(), name),
       agent_(name, config.agent, system, rng) {}
 
 Status DomainManager::Join(const DeviceCertificate& member) {
@@ -71,10 +72,8 @@ UseResult DomainManager::MemberPlay(const rel::DeviceId& member,
   // manager's card — the content key never reaches the member device.
   protocol::FetchContentRequest req;
   req.content_id = content;
-  auto raw = system_->transport().Call(net::Transport::kAnonymous,
-                                       P2drmSystem::kCpEndpoint, req.Encode());
-  auto resp = protocol::FetchContentResponse::Decode(raw);
-  if (resp.status != Status::kOk) {
+  auto resp = rpc_.CallAnonymous(P2drmSystem::kCpEndpoint, req);
+  if (!resp.ok()) {
     result.error = "content not available";
     return result;
   }
@@ -89,20 +88,19 @@ UseResult DomainManager::MemberPlay(const rel::DeviceId& member,
   }
   std::array<std::uint8_t, 32> ck;
   std::copy(content_key.begin(), content_key.end(), ck.begin());
-  crypto::ChaCha20 cipher(ck, resp.content.nonce);
-  result.plaintext = cipher.Crypt(resp.content.ciphertext);
+  crypto::ChaCha20 cipher(ck, resp.value.content.nonce);
+  result.plaintext = cipher.Crypt(resp.value.content.ciphertext);
   result.decision = rel::Decision::kAllow;
   held.state.plays_used += 1;
   return result;
 }
 
-void DomainManager::SyncCrl() {
+Status DomainManager::SyncCrl() {
   protocol::FetchCrlRequest req;
-  auto raw = system_->transport().Call(agent_.name(),
-                                       P2drmSystem::kCpEndpoint, req.Encode());
-  auto resp = protocol::FetchCrlResponse::Decode(raw);
+  auto resp = rpc_.Call(P2drmSystem::kCpEndpoint, req);
+  if (!resp.ok()) return resp.status;
   store::RevocationList crl = store::RevocationList::Deserialize(
-      resp.crl_snapshot, store::CrlStrategy::kSortedSet);
+      resp.value.crl_snapshot, store::CrlStrategy::kSortedSet);
   revoked_.clear();
   for (const auto& entry : crl.Entries()) revoked_.insert(entry);
   // Expel revoked members immediately (compliance rule).
@@ -113,6 +111,7 @@ void DomainManager::SyncCrl() {
       ++it;
     }
   }
+  return Status::kOk;
 }
 
 std::uint32_t DomainManager::DomainPlaysUsed(rel::ContentId content) const {

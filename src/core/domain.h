@@ -72,7 +72,7 @@ class DomainManager {
 
   /// Pulls the provider CRL so revoked members can be expelled.
   /// Members on the CRL are removed immediately.
-  void SyncCrl();
+  Status SyncCrl();
 
   /// Domain-wide plays consumed for \p content (tests/inspection).
   std::uint32_t DomainPlaysUsed(rel::ContentId content) const;
@@ -83,6 +83,7 @@ class DomainManager {
  private:
   DomainConfig config_;
   P2drmSystem* system_;
+  net::Rpc rpc_;
   UserAgent agent_;
   std::map<rel::DeviceId, DeviceCertificate> members_;
   std::set<rel::KeyFingerprint> revoked_;

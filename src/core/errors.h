@@ -24,6 +24,12 @@ enum class Status : std::uint8_t {
   kInsufficientFunds = 10,///< account balance too low
   kUnknownAccount = 11,   ///< no such account
   kWrongPrice = 12,       ///< payment does not cover the offer price
+  // RPC-layer codes (produced by the envelope dispatch, not by actors).
+  kUnavailable = 13,      ///< no such endpoint on the transport
+  kUnknownTag = 14,       ///< endpoint has no handler for the message tag
+  kVersionMismatch = 15,  ///< envelope protocol version unsupported
+  kInternalError = 16,    ///< handler threw; nothing usable came back
+  kBadResponse = 17,      ///< client could not decode the response envelope
 };
 
 /// Human-readable status name.
@@ -42,6 +48,11 @@ inline const char* StatusName(Status s) {
     case Status::kInsufficientFunds: return "insufficient-funds";
     case Status::kUnknownAccount: return "unknown-account";
     case Status::kWrongPrice: return "wrong-price";
+    case Status::kUnavailable: return "unavailable";
+    case Status::kUnknownTag: return "unknown-tag";
+    case Status::kVersionMismatch: return "version-mismatch";
+    case Status::kInternalError: return "internal-error";
+    case Status::kBadResponse: return "bad-response";
   }
   return "unknown";
 }

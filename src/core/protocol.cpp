@@ -36,7 +36,6 @@ Offer ReadOffer(net::ByteReader* r) {
 
 std::vector<std::uint8_t> EnrolRequest::Encode() const {
   net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(Tag::kEnrol));
   w.String(holder_name);
   w.Blob(master_key.Serialize());
   return w.Take();
@@ -64,7 +63,6 @@ EnrolResponse EnrolResponse::Decode(const std::vector<std::uint8_t>& b) {
 
 std::vector<std::uint8_t> PseudonymSignRequest::Encode() const {
   net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(Tag::kPseudonymSign));
   w.U64(card_id);
   WriteBigInt(&w, blinded);
   return w.Take();
@@ -93,7 +91,6 @@ PseudonymSignResponse PseudonymSignResponse::Decode(
 
 std::vector<std::uint8_t> DeviceCertRequest::Encode() const {
   net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(Tag::kDeviceCert));
   w.Blob(device_key.Serialize());
   w.U8(security_level);
   return w.Take();
@@ -124,7 +121,6 @@ DeviceCertResponse DeviceCertResponse::Decode(
 
 std::vector<std::uint8_t> WithdrawRequest::Encode() const {
   net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(Tag::kWithdraw));
   w.String(account);
   w.U32(denomination);
   WriteBigInt(&w, blinded);
@@ -141,7 +137,6 @@ WithdrawRequest WithdrawRequest::Decode(net::ByteReader* r) {
 
 std::vector<std::uint8_t> WithdrawResponse::Encode() const {
   net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(status));
   WriteBigInt(&w, blind_signature);
   return w.Take();
 }
@@ -149,14 +144,12 @@ std::vector<std::uint8_t> WithdrawResponse::Encode() const {
 WithdrawResponse WithdrawResponse::Decode(const std::vector<std::uint8_t>& b) {
   net::ByteReader r(b);
   WithdrawResponse m;
-  m.status = static_cast<Status>(r.U8());
   m.blind_signature = ReadBigInt(&r);
   return m;
 }
 
 std::vector<std::uint8_t> DepositRequest::Encode() const {
   net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(Tag::kDeposit));
   w.Blob(coin.Serialize());
   w.String(merchant_account);
   return w.Take();
@@ -169,26 +162,15 @@ DepositRequest DepositRequest::Decode(net::ByteReader* r) {
   return m;
 }
 
-std::vector<std::uint8_t> DepositResponse::Encode() const {
-  net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(status));
-  return w.Take();
-}
+std::vector<std::uint8_t> DepositResponse::Encode() const { return {}; }
 
-DepositResponse DepositResponse::Decode(const std::vector<std::uint8_t>& b) {
-  net::ByteReader r(b);
-  DepositResponse m;
-  m.status = static_cast<Status>(r.U8());
-  return m;
+DepositResponse DepositResponse::Decode(const std::vector<std::uint8_t>&) {
+  return {};
 }
 
 // -- content provider ------------------------------------------------------
 
-std::vector<std::uint8_t> CatalogRequest::Encode() const {
-  net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(Tag::kCatalog));
-  return w.Take();
-}
+std::vector<std::uint8_t> CatalogRequest::Encode() const { return {}; }
 
 std::vector<std::uint8_t> CatalogResponse::Encode() const {
   net::ByteWriter w;
@@ -208,7 +190,6 @@ CatalogResponse CatalogResponse::Decode(const std::vector<std::uint8_t>& b) {
 
 std::vector<std::uint8_t> PurchaseRequest::Encode() const {
   net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(Tag::kPurchase));
   w.Blob(buyer.Serialize());
   w.U64(content_id);
   w.U32(static_cast<std::uint32_t>(payment.size()));
@@ -230,24 +211,19 @@ PurchaseRequest PurchaseRequest::Decode(net::ByteReader* r) {
 
 std::vector<std::uint8_t> PurchaseResponse::Encode() const {
   net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(status));
-  w.Blob(status == Status::kOk ? license.Serialize()
-                               : std::vector<std::uint8_t>{});
+  w.Blob(license.Serialize());
   return w.Take();
 }
 
 PurchaseResponse PurchaseResponse::Decode(const std::vector<std::uint8_t>& b) {
   net::ByteReader r(b);
   PurchaseResponse m;
-  m.status = static_cast<Status>(r.U8());
-  std::vector<std::uint8_t> lic = r.Blob();
-  if (m.status == Status::kOk) m.license = rel::License::Deserialize(lic);
+  m.license = rel::License::Deserialize(r.Blob());
   return m;
 }
 
 std::vector<std::uint8_t> ExchangeRequest::Encode() const {
   net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(Tag::kExchange));
   w.Blob(license.Serialize());
   w.Blob(possession_sig);
   return w.Take();
@@ -262,26 +238,19 @@ ExchangeRequest ExchangeRequest::Decode(net::ByteReader* r) {
 
 std::vector<std::uint8_t> ExchangeResponse::Encode() const {
   net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(status));
-  w.Blob(status == Status::kOk ? anonymous_license.Serialize()
-                               : std::vector<std::uint8_t>{});
+  w.Blob(anonymous_license.Serialize());
   return w.Take();
 }
 
 ExchangeResponse ExchangeResponse::Decode(const std::vector<std::uint8_t>& b) {
   net::ByteReader r(b);
   ExchangeResponse m;
-  m.status = static_cast<Status>(r.U8());
-  std::vector<std::uint8_t> lic = r.Blob();
-  if (m.status == Status::kOk) {
-    m.anonymous_license = rel::License::Deserialize(lic);
-  }
+  m.anonymous_license = rel::License::Deserialize(r.Blob());
   return m;
 }
 
 std::vector<std::uint8_t> RedeemRequest::Encode() const {
   net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(Tag::kRedeem));
   w.Blob(anonymous_license.Serialize());
   w.Blob(taker.Serialize());
   return w.Take();
@@ -296,7 +265,6 @@ RedeemRequest RedeemRequest::Decode(net::ByteReader* r) {
 
 std::vector<std::uint8_t> FetchContentRequest::Encode() const {
   net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(Tag::kFetchContent));
   w.U64(content_id);
   return w.Take();
 }
@@ -309,7 +277,6 @@ FetchContentRequest FetchContentRequest::Decode(net::ByteReader* r) {
 
 std::vector<std::uint8_t> FetchContentResponse::Encode() const {
   net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(status));
   w.U64(content.content_id);
   w.Fixed(content.nonce);
   w.Blob(content.ciphertext);
@@ -320,18 +287,13 @@ FetchContentResponse FetchContentResponse::Decode(
     const std::vector<std::uint8_t>& b) {
   net::ByteReader r(b);
   FetchContentResponse m;
-  m.status = static_cast<Status>(r.U8());
   m.content.content_id = r.U64();
   m.content.nonce = r.Fixed<12>();
   m.content.ciphertext = r.Blob();
   return m;
 }
 
-std::vector<std::uint8_t> FetchCrlRequest::Encode() const {
-  net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(Tag::kFetchCrl));
-  return w.Take();
-}
+std::vector<std::uint8_t> FetchCrlRequest::Encode() const { return {}; }
 
 std::vector<std::uint8_t> FetchCrlResponse::Encode() const {
   net::ByteWriter w;
@@ -350,7 +312,6 @@ FetchCrlResponse FetchCrlResponse::Decode(const std::vector<std::uint8_t>& b) {
 
 std::vector<std::uint8_t> OpenEscrowRequest::Encode() const {
   net::ByteWriter w;
-  w.U8(static_cast<std::uint8_t>(Tag::kOpenEscrow));
   w.Blob(evidence.Serialize());
   return w.Take();
 }

@@ -2,12 +2,18 @@
 #define P2DRM_CORE_PROTOCOL_H_
 
 /// \file protocol.h
-/// \brief On-wire request/response messages for every P2DRM protocol.
+/// \brief On-wire request/response message bodies for every P2DRM protocol.
 ///
-/// Each request starts with a one-byte message tag; responses are tag-less
-/// (the caller knows what it asked). All encodings use the canonical codec,
-/// so the byte counts the Transport meters are the real protocol cost
-/// (RT-2). Endpoints: "ca", "bank", "cp", "ttp".
+/// Messages are the *payload* of the versioned RPC envelope (net/rpc.h):
+/// the envelope carries the tag, correlation id and status code, the body
+/// carries only the protocol fields. Each request names its tag
+/// (Req::kTag) and its response type (Req::Response), which is what makes
+/// the typed client stub Rpc::Call<Req>() and the ServiceRegistry
+/// dispatch possible without per-actor switch statements.
+///
+/// All encodings use the canonical codec, so the byte counts the
+/// Transport meters are the real protocol cost (RT-2). Endpoints: "ca",
+/// "bank", "cp", "ttp" (see docs/protocol.md for the full tag table).
 
 #include <cstdint>
 #include <string>
@@ -26,7 +32,8 @@ namespace p2drm {
 namespace core {
 namespace protocol {
 
-/// Request tags.
+/// Request tags (the envelope's tag byte). 0xF0 is reserved for the RPC
+/// batch envelope (net::kBatchTag).
 enum class Tag : std::uint8_t {
   kEnrol = 0x01,
   kPseudonymSign = 0x02,
@@ -50,150 +57,171 @@ bignum::BigInt ReadBigInt(net::ByteReader* r);
 
 // -- CA --------------------------------------------------------------------
 
-struct EnrolRequest {
-  std::string holder_name;
-  crypto::RsaPublicKey master_key;
-  std::vector<std::uint8_t> Encode() const;
-  static EnrolRequest Decode(net::ByteReader* r);
-};
 struct EnrolResponse {
   IdentityCertificate certificate;
   std::vector<std::uint8_t> Encode() const;
   static EnrolResponse Decode(const std::vector<std::uint8_t>& b);
 };
-
-struct PseudonymSignRequest {
-  std::uint64_t card_id = 0;
-  bignum::BigInt blinded;
+struct EnrolRequest {
+  static constexpr Tag kTag = Tag::kEnrol;
+  using Response = EnrolResponse;
+  std::string holder_name;
+  crypto::RsaPublicKey master_key;
   std::vector<std::uint8_t> Encode() const;
-  static PseudonymSignRequest Decode(net::ByteReader* r);
+  static EnrolRequest Decode(net::ByteReader* r);
 };
+
 struct PseudonymSignResponse {
   bignum::BigInt blind_signature;
   std::vector<std::uint8_t> Encode() const;
   static PseudonymSignResponse Decode(const std::vector<std::uint8_t>& b);
 };
-
-struct DeviceCertRequest {
-  crypto::RsaPublicKey device_key;
-  std::uint8_t security_level = 0;
+struct PseudonymSignRequest {
+  static constexpr Tag kTag = Tag::kPseudonymSign;
+  using Response = PseudonymSignResponse;
+  std::uint64_t card_id = 0;
+  bignum::BigInt blinded;
   std::vector<std::uint8_t> Encode() const;
-  static DeviceCertRequest Decode(net::ByteReader* r);
+  static PseudonymSignRequest Decode(net::ByteReader* r);
 };
+
 struct DeviceCertResponse {
   DeviceCertificate certificate;
   std::vector<std::uint8_t> Encode() const;
   static DeviceCertResponse Decode(const std::vector<std::uint8_t>& b);
 };
+struct DeviceCertRequest {
+  static constexpr Tag kTag = Tag::kDeviceCert;
+  using Response = DeviceCertResponse;
+  crypto::RsaPublicKey device_key;
+  std::uint8_t security_level = 0;
+  std::vector<std::uint8_t> Encode() const;
+  static DeviceCertRequest Decode(net::ByteReader* r);
+};
 
 // -- bank --------------------------------------------------------------------
 
+struct WithdrawResponse {
+  bignum::BigInt blind_signature;
+  std::vector<std::uint8_t> Encode() const;
+  static WithdrawResponse Decode(const std::vector<std::uint8_t>& b);
+};
 struct WithdrawRequest {
+  static constexpr Tag kTag = Tag::kWithdraw;
+  using Response = WithdrawResponse;
   std::string account;
   std::uint32_t denomination = 0;
   bignum::BigInt blinded;
   std::vector<std::uint8_t> Encode() const;
   static WithdrawRequest Decode(net::ByteReader* r);
 };
-struct WithdrawResponse {
-  Status status = Status::kBadRequest;
-  bignum::BigInt blind_signature;  ///< valid when status == kOk
-  std::vector<std::uint8_t> Encode() const;
-  static WithdrawResponse Decode(const std::vector<std::uint8_t>& b);
-};
 
+struct DepositResponse {
+  // Success/failure is fully carried by the envelope status.
+  std::vector<std::uint8_t> Encode() const;
+  static DepositResponse Decode(const std::vector<std::uint8_t>& b);
+};
 struct DepositRequest {
+  static constexpr Tag kTag = Tag::kDeposit;
+  using Response = DepositResponse;
   Coin coin;
   std::string merchant_account;
   std::vector<std::uint8_t> Encode() const;
   static DepositRequest Decode(net::ByteReader* r);
 };
-struct DepositResponse {
-  Status status = Status::kBadRequest;
-  std::vector<std::uint8_t> Encode() const;
-  static DepositResponse Decode(const std::vector<std::uint8_t>& b);
-};
 
 // -- content provider ---------------------------------------------------------
 
-struct CatalogRequest {
-  std::vector<std::uint8_t> Encode() const;
-};
 struct CatalogResponse {
   std::vector<Offer> offers;
   std::vector<std::uint8_t> Encode() const;
   static CatalogResponse Decode(const std::vector<std::uint8_t>& b);
 };
+struct CatalogRequest {
+  static constexpr Tag kTag = Tag::kCatalog;
+  using Response = CatalogResponse;
+  std::vector<std::uint8_t> Encode() const;
+  static CatalogRequest Decode(net::ByteReader*) { return {}; }
+};
 
+struct PurchaseResponse {
+  rel::License license;
+  std::vector<std::uint8_t> Encode() const;
+  static PurchaseResponse Decode(const std::vector<std::uint8_t>& b);
+};
 struct PurchaseRequest {
+  static constexpr Tag kTag = Tag::kPurchase;
+  using Response = PurchaseResponse;
   PseudonymCertificate buyer;
   rel::ContentId content_id = 0;
   std::vector<Coin> payment;
   std::vector<std::uint8_t> Encode() const;
   static PurchaseRequest Decode(net::ByteReader* r);
 };
-struct PurchaseResponse {
-  Status status = Status::kBadRequest;
-  rel::License license;  ///< valid when status == kOk
-  std::vector<std::uint8_t> Encode() const;
-  static PurchaseResponse Decode(const std::vector<std::uint8_t>& b);
-};
 
+struct ExchangeResponse {
+  rel::License anonymous_license;
+  std::vector<std::uint8_t> Encode() const;
+  static ExchangeResponse Decode(const std::vector<std::uint8_t>& b);
+};
 struct ExchangeRequest {
+  static constexpr Tag kTag = Tag::kExchange;
+  using Response = ExchangeResponse;
   rel::License license;
   std::vector<std::uint8_t> possession_sig;
   std::vector<std::uint8_t> Encode() const;
   static ExchangeRequest Decode(net::ByteReader* r);
 };
-struct ExchangeResponse {
-  Status status = Status::kBadRequest;
-  rel::License anonymous_license;  ///< valid when status == kOk
-  std::vector<std::uint8_t> Encode() const;
-  static ExchangeResponse Decode(const std::vector<std::uint8_t>& b);
-};
 
 struct RedeemRequest {
+  static constexpr Tag kTag = Tag::kRedeem;
+  using Response = PurchaseResponse;  ///< same shape as a purchase
   rel::License anonymous_license;
   PseudonymCertificate taker;
   std::vector<std::uint8_t> Encode() const;
   static RedeemRequest Decode(net::ByteReader* r);
 };
-// Response shape identical to PurchaseResponse.
 
-struct FetchContentRequest {
-  rel::ContentId content_id = 0;
-  std::vector<std::uint8_t> Encode() const;
-  static FetchContentRequest Decode(net::ByteReader* r);
-};
 struct FetchContentResponse {
-  Status status = Status::kBadRequest;
   EncryptedContent content;
   std::vector<std::uint8_t> Encode() const;
   static FetchContentResponse Decode(const std::vector<std::uint8_t>& b);
 };
-
-struct FetchCrlRequest {
+struct FetchContentRequest {
+  static constexpr Tag kTag = Tag::kFetchContent;
+  using Response = FetchContentResponse;
+  rel::ContentId content_id = 0;
   std::vector<std::uint8_t> Encode() const;
+  static FetchContentRequest Decode(net::ByteReader* r);
 };
+
 struct FetchCrlResponse {
   std::vector<std::uint8_t> crl_snapshot;  ///< RevocationList::Serialize()
   std::vector<std::uint8_t> Encode() const;
   static FetchCrlResponse Decode(const std::vector<std::uint8_t>& b);
 };
+struct FetchCrlRequest {
+  static constexpr Tag kTag = Tag::kFetchCrl;
+  using Response = FetchCrlResponse;
+  std::vector<std::uint8_t> Encode() const;
+  static FetchCrlRequest Decode(net::ByteReader*) { return {}; }
+};
 
 // -- TTP -----------------------------------------------------------------------
 
-struct OpenEscrowRequest {
-  FraudEvidence evidence;
-  std::vector<std::uint8_t> Encode() const;
-  static OpenEscrowRequest Decode(net::ByteReader* r);
-};
 struct OpenEscrowResponse {
   bool opened = false;
   std::uint64_t card_id = 0;
   std::string reason;
   std::vector<std::uint8_t> Encode() const;
   static OpenEscrowResponse Decode(const std::vector<std::uint8_t>& b);
+};
+struct OpenEscrowRequest {
+  static constexpr Tag kTag = Tag::kOpenEscrow;
+  using Response = OpenEscrowResponse;
+  FraudEvidence evidence;
+  std::vector<std::uint8_t> Encode() const;
+  static OpenEscrowRequest Decode(net::ByteReader* r);
 };
 
 }  // namespace protocol

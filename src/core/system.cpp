@@ -19,141 +19,106 @@ P2drmSystem::P2drmSystem(const SystemConfig& config,
 }
 
 void P2drmSystem::RegisterEndpoints() {
-  transport_.RegisterEndpoint(
-      kCaEndpoint, [this](const std::vector<std::uint8_t>& request) {
-        net::ByteReader r(request);
-        auto tag = static_cast<proto::Tag>(r.U8());
-        switch (tag) {
-          case proto::Tag::kEnrol: {
-            auto req = proto::EnrolRequest::Decode(&r);
-            proto::EnrolResponse resp;
-            resp.certificate = ca_->Enrol(req.holder_name, req.master_key);
-            return resp.Encode();
-          }
-          case proto::Tag::kPseudonymSign: {
-            auto req = proto::PseudonymSignRequest::Decode(&r);
-            proto::PseudonymSignResponse resp;
-            resp.blind_signature =
-                ca_->SignPseudonymBlinded(req.card_id, req.blinded);
-            return resp.Encode();
-          }
-          case proto::Tag::kDeviceCert: {
-            auto req = proto::DeviceCertRequest::Decode(&r);
-            proto::DeviceCertResponse resp;
-            resp.certificate =
-                ca_->CertifyDevice(req.device_key, req.security_level);
-            return resp.Encode();
-          }
-          default:
-            throw net::CodecError("ca: unknown message tag");
-        }
+  // -- CA --------------------------------------------------------------
+  ca_service_.Register<proto::EnrolRequest>(
+      [this](const proto::EnrolRequest& req, proto::EnrolResponse* resp) {
+        resp->certificate = ca_->Enrol(req.holder_name, req.master_key);
+        return Status::kOk;
+      });
+  ca_service_.Register<proto::PseudonymSignRequest>(
+      [this](const proto::PseudonymSignRequest& req,
+             proto::PseudonymSignResponse* resp) {
+        resp->blind_signature =
+            ca_->SignPseudonymBlinded(req.card_id, req.blinded);
+        return Status::kOk;
+      });
+  ca_service_.Register<proto::DeviceCertRequest>(
+      [this](const proto::DeviceCertRequest& req,
+             proto::DeviceCertResponse* resp) {
+        resp->certificate =
+            ca_->CertifyDevice(req.device_key, req.security_level);
+        return Status::kOk;
       });
 
-  transport_.RegisterEndpoint(
-      kBankEndpoint, [this](const std::vector<std::uint8_t>& request) {
-        net::ByteReader r(request);
-        auto tag = static_cast<proto::Tag>(r.U8());
-        switch (tag) {
-          case proto::Tag::kWithdraw: {
-            auto req = proto::WithdrawRequest::Decode(&r);
-            proto::WithdrawResponse resp;
-            resp.status = bank_->Withdraw(req.account, req.denomination,
-                                          req.blinded, &resp.blind_signature);
-            return resp.Encode();
-          }
-          case proto::Tag::kDeposit: {
-            auto req = proto::DepositRequest::Decode(&r);
-            proto::DepositResponse resp;
-            resp.status = bank_->Deposit(req.coin, req.merchant_account);
-            return resp.Encode();
-          }
-          default:
-            throw net::CodecError("bank: unknown message tag");
-        }
+  // -- bank ------------------------------------------------------------
+  bank_service_.Register<proto::WithdrawRequest>(
+      [this](const proto::WithdrawRequest& req,
+             proto::WithdrawResponse* resp) {
+        return bank_->Withdraw(req.account, req.denomination, req.blinded,
+                               &resp->blind_signature);
+      });
+  bank_service_.Register<proto::DepositRequest>(
+      [this](const proto::DepositRequest& req, proto::DepositResponse*) {
+        return bank_->Deposit(req.coin, req.merchant_account);
       });
 
-  transport_.RegisterEndpoint(
-      kCpEndpoint, [this](const std::vector<std::uint8_t>& request) {
-        net::ByteReader r(request);
-        auto tag = static_cast<proto::Tag>(r.U8());
-        switch (tag) {
-          case proto::Tag::kCatalog: {
-            proto::CatalogResponse resp;
-            resp.offers = cp_->Catalog();
-            return resp.Encode();
-          }
-          case proto::Tag::kPurchase: {
-            auto req = proto::PurchaseRequest::Decode(&r);
-            auto out = cp_->Purchase(req.buyer, req.content_id, req.payment);
-            proto::PurchaseResponse resp;
-            resp.status = out.status;
-            resp.license = out.license;
-            return resp.Encode();
-          }
-          case proto::Tag::kExchange: {
-            auto req = proto::ExchangeRequest::Decode(&r);
-            auto out = cp_->ExchangeForAnonymous(req.license,
-                                                 req.possession_sig);
-            proto::ExchangeResponse resp;
-            resp.status = out.status;
-            resp.anonymous_license = out.anonymous_license;
-            return resp.Encode();
-          }
-          case proto::Tag::kRedeem: {
-            auto req = proto::RedeemRequest::Decode(&r);
-            auto out = cp_->RedeemAnonymous(req.anonymous_license, req.taker);
-            proto::PurchaseResponse resp;
-            resp.status = out.status;
-            resp.license = out.license;
-            return resp.Encode();
-          }
-          case proto::Tag::kFetchContent: {
-            auto req = proto::FetchContentRequest::Decode(&r);
-            proto::FetchContentResponse resp;
-            if (cp_->FindOffer(req.content_id).has_value()) {
-              resp.status = Status::kOk;
-              resp.content = cp_->GetContent(req.content_id);
-            } else {
-              resp.status = Status::kUnknownContent;
-            }
-            return resp.Encode();
-          }
-          case proto::Tag::kFetchCrl: {
-            proto::FetchCrlResponse resp;
-            resp.crl_snapshot = cp_->Crl().Serialize();
-            return resp.Encode();
-          }
-          default:
-            throw net::CodecError("cp: unknown message tag");
+  // -- content provider -------------------------------------------------
+  cp_service_.Register<proto::CatalogRequest>(
+      [this](const proto::CatalogRequest&, proto::CatalogResponse* resp) {
+        resp->offers = cp_->Catalog();
+        return Status::kOk;
+      });
+  cp_service_.Register<proto::PurchaseRequest>(
+      [this](const proto::PurchaseRequest& req,
+             proto::PurchaseResponse* resp) {
+        auto out = cp_->Purchase(req.buyer, req.content_id, req.payment);
+        resp->license = out.license;
+        return out.status;
+      });
+  cp_service_.Register<proto::ExchangeRequest>(
+      [this](const proto::ExchangeRequest& req,
+             proto::ExchangeResponse* resp) {
+        auto out = cp_->ExchangeForAnonymous(req.license, req.possession_sig);
+        resp->anonymous_license = out.anonymous_license;
+        return out.status;
+      });
+  cp_service_.Register<proto::RedeemRequest>(
+      [this](const proto::RedeemRequest& req, proto::PurchaseResponse* resp) {
+        auto out = cp_->RedeemAnonymous(req.anonymous_license, req.taker);
+        resp->license = out.license;
+        return out.status;
+      });
+  cp_service_.Register<proto::FetchContentRequest>(
+      [this](const proto::FetchContentRequest& req,
+             proto::FetchContentResponse* resp) {
+        if (!cp_->FindOffer(req.content_id).has_value()) {
+          return Status::kUnknownContent;
         }
+        resp->content = cp_->GetContent(req.content_id);
+        return Status::kOk;
+      });
+  cp_service_.Register<proto::FetchCrlRequest>(
+      [this](const proto::FetchCrlRequest&, proto::FetchCrlResponse* resp) {
+        resp->crl_snapshot = cp_->Crl().Serialize();
+        return Status::kOk;
       });
 
-  transport_.RegisterEndpoint(
-      kTtpEndpoint, [this](const std::vector<std::uint8_t>& request) {
-        net::ByteReader r(request);
-        auto tag = static_cast<proto::Tag>(r.U8());
-        if (tag != proto::Tag::kOpenEscrow) {
-          throw net::CodecError("ttp: unknown message tag");
-        }
-        auto req = proto::OpenEscrowRequest::Decode(&r);
+  // -- TTP ---------------------------------------------------------------
+  ttp_service_.Register<proto::OpenEscrowRequest>(
+      [this](const proto::OpenEscrowRequest& req,
+             proto::OpenEscrowResponse* resp) {
         auto out = ttp_->OpenEscrow(req.evidence, cp_->PublicKey());
-        proto::OpenEscrowResponse resp;
-        resp.opened = out.opened;
-        resp.card_id = out.card_id;
-        resp.reason = out.reason;
-        return resp.Encode();
+        resp->opened = out.opened;
+        resp->card_id = out.card_id;
+        resp->reason = out.reason;
+        return Status::kOk;
       });
+
+  ca_service_.BindTo(&transport_, kCaEndpoint);
+  bank_service_.BindTo(&transport_, kBankEndpoint);
+  cp_service_.BindTo(&transport_, kCpEndpoint);
+  ttp_service_.BindTo(&transport_, kTtpEndpoint);
 }
 
 std::vector<std::uint64_t> P2drmSystem::ProcessFraud() {
   std::vector<std::uint64_t> identified;
+  net::Rpc rpc(&transport_, kCpEndpoint);
   for (FraudEvidence& evidence : cp_->TakeFraudEvidence()) {
     proto::OpenEscrowRequest req;
     req.evidence = std::move(evidence);
-    auto raw = transport_.Call(kCpEndpoint, kTtpEndpoint, req.Encode());
-    auto resp = proto::OpenEscrowResponse::Decode(raw);
-    if (!resp.opened) continue;
-    identified.push_back(resp.card_id);
+    auto resp = rpc.Call(kTtpEndpoint, req);
+    if (!resp.ok() || !resp.value.opened) continue;
+    identified.push_back(resp.value.card_id);
     // Revoke the pseudonym that committed the fraud.
     PseudonymCertificate offender = PseudonymCertificate::Deserialize(
         req.evidence.second.pseudonym_cert);

@@ -4,10 +4,11 @@
 /// \file system.h
 /// \brief Whole-system wiring: all server-side actors behind a Transport.
 ///
-/// P2drmSystem owns the CA, TTP, bank and content provider, registers
-/// their protocol endpoints on an in-process Transport, and exposes the
-/// pieces tests, examples and benches need. Endpoint names: "ca", "bank",
-/// "cp", "ttp".
+/// P2drmSystem owns the CA, TTP, bank and content provider. Each actor
+/// gets a net::ServiceRegistry with typed handlers per protocol::Tag,
+/// bound to an in-process Transport endpoint — the RPC envelope layer
+/// (net/rpc.h) handles versioning, status codes and batching uniformly.
+/// Endpoint names: "ca", "bank", "cp", "ttp".
 
 #include <cstdint>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "core/content_provider.h"
 #include "core/payment.h"
 #include "core/ttp.h"
+#include "net/rpc.h"
 #include "net/transport.h"
 
 namespace p2drm {
@@ -68,6 +70,12 @@ class P2drmSystem {
   std::unique_ptr<TrustedThirdParty> ttp_;
   std::unique_ptr<PaymentProvider> bank_;
   std::unique_ptr<ContentProvider> cp_;
+  // Per-endpoint typed dispatch tables; bound into transport_ and
+  // referenced by its handlers, so they live as long as the system.
+  net::ServiceRegistry ca_service_;
+  net::ServiceRegistry bank_service_;
+  net::ServiceRegistry cp_service_;
+  net::ServiceRegistry ttp_service_;
 };
 
 }  // namespace core

@@ -1,0 +1,209 @@
+#include "net/rpc.h"
+
+namespace p2drm {
+namespace net {
+
+// -- envelopes ---------------------------------------------------------------
+
+std::vector<std::uint8_t> RequestEnvelope::Encode() const {
+  ByteWriter w;
+  w.U8(version);
+  w.U8(tag);
+  w.U64(correlation_id);
+  w.Blob(payload);
+  return w.Take();
+}
+
+RequestEnvelope RequestEnvelope::Decode(const std::vector<std::uint8_t>& wire) {
+  ByteReader r(wire);
+  RequestEnvelope env;
+  env.version = r.U8();
+  env.tag = r.U8();
+  env.correlation_id = r.U64();
+  env.payload = r.Blob();
+  r.ExpectEnd();
+  return env;
+}
+
+std::vector<std::uint8_t> ResponseEnvelope::Encode() const {
+  ByteWriter w;
+  w.U8(version);
+  w.U8(tag);
+  w.U64(correlation_id);
+  w.U8(static_cast<std::uint8_t>(status));
+  w.Blob(payload);
+  return w.Take();
+}
+
+ResponseEnvelope ResponseEnvelope::Decode(
+    const std::vector<std::uint8_t>& wire) {
+  ByteReader r(wire);
+  ResponseEnvelope env;
+  env.version = r.U8();
+  env.tag = r.U8();
+  env.correlation_id = r.U64();
+  env.status = static_cast<core::Status>(r.U8());
+  env.payload = r.Blob();
+  r.ExpectEnd();
+  return env;
+}
+
+// -- server side -------------------------------------------------------------
+
+void ServiceRegistry::RegisterRaw(std::uint8_t tag, RawHandler handler) {
+  handlers_[tag] = std::move(handler);
+}
+
+core::Status ServiceRegistry::DispatchItem(
+    std::uint8_t tag, const std::vector<std::uint8_t>& payload,
+    std::vector<std::uint8_t>* out) const {
+  auto it = handlers_.find(tag);
+  if (it == handlers_.end()) return core::Status::kUnknownTag;
+  try {
+    return it->second(payload, out);
+  } catch (...) {
+    // Nothing a handler throws may cross the wire boundary.
+    out->clear();
+    return core::Status::kInternalError;
+  }
+}
+
+std::vector<std::uint8_t> ServiceRegistry::Dispatch(
+    const std::vector<std::uint8_t>& wire) const {
+  ResponseEnvelope out;
+  RequestEnvelope req;
+  try {
+    req = RequestEnvelope::Decode(wire);
+  } catch (const CodecError&) {
+    out.status = core::Status::kBadRequest;
+    return out.Encode();
+  }
+  out.tag = req.tag;
+  out.correlation_id = req.correlation_id;
+  if (req.version != kProtocolVersion) {
+    out.status = core::Status::kVersionMismatch;
+    return out.Encode();
+  }
+
+  if (req.tag == kBatchTag) {
+    // Batch payload: u32 count | count * (u8 tag, blob payload).
+    // Response:      u32 count | count * (u8 status, blob payload).
+    std::vector<std::pair<std::uint8_t, std::vector<std::uint8_t>>> items;
+    try {
+      ByteReader r(req.payload);
+      std::uint32_t n = r.U32();
+      if (n > kMaxBatchItems) throw CodecError("batch too large");
+      items.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint8_t tag = r.U8();
+        items.emplace_back(tag, r.Blob());
+      }
+      r.ExpectEnd();
+    } catch (const CodecError&) {
+      out.status = core::Status::kBadRequest;
+      return out.Encode();
+    }
+    ByteWriter w;
+    w.U32(static_cast<std::uint32_t>(items.size()));
+    for (const auto& [tag, payload] : items) {
+      std::vector<std::uint8_t> body;
+      // No batch-in-batch: a nested batch item is malformed by definition.
+      core::Status s = tag == kBatchTag ? core::Status::kBadRequest
+                                        : DispatchItem(tag, payload, &body);
+      w.U8(static_cast<std::uint8_t>(s));
+      w.Blob(s == core::Status::kOk ? body : std::vector<std::uint8_t>{});
+    }
+    out.status = core::Status::kOk;
+    out.payload = w.Take();
+    return out.Encode();
+  }
+
+  out.status = DispatchItem(req.tag, req.payload, &out.payload);
+  if (out.status != core::Status::kOk) out.payload.clear();
+  return out.Encode();
+}
+
+void ServiceRegistry::BindTo(Transport* transport,
+                             const std::string& endpoint) {
+  transport->RegisterEndpoint(
+      endpoint, [this](const std::vector<std::uint8_t>& request) {
+        return Dispatch(request);
+      });
+}
+
+// -- client side -------------------------------------------------------------
+
+Rpc::RawResult Rpc::RawCall(const std::string& from,
+                            const std::string& endpoint, std::uint8_t tag,
+                            std::vector<std::uint8_t> payload) {
+  RequestEnvelope env;
+  env.tag = tag;
+  env.correlation_id = ++next_correlation_;
+  env.payload = std::move(payload);
+
+  RawResult out;
+  std::vector<std::uint8_t> wire;
+  if (!transport_->TryCall(from, endpoint, env.Encode(), &wire)) {
+    out.status = core::Status::kUnavailable;
+    return out;
+  }
+  ResponseEnvelope resp;
+  try {
+    resp = ResponseEnvelope::Decode(wire);
+  } catch (const CodecError&) {
+    out.status = core::Status::kBadResponse;
+    return out;
+  }
+  // kVersionMismatch is reserved for the SERVER rejecting a request
+  // before dispatch (callers treat it as provably-not-executed). A bad
+  // version on the response side is post-execution decode trouble, so it
+  // maps to kBadResponse like any other unusable reply.
+  if (resp.version != kProtocolVersion ||
+      resp.correlation_id != env.correlation_id) {
+    out.status = core::Status::kBadResponse;
+    return out;
+  }
+  out.status = resp.status;
+  out.payload = std::move(resp.payload);
+  return out;
+}
+
+std::vector<Rpc::RawResult> Rpc::RawBatch(
+    const std::string& from, const std::string& endpoint,
+    const std::vector<TaggedPayload>& items) {
+  std::vector<RawResult> out(items.size());
+  if (items.empty()) return out;  // nothing to send, spend no round trip
+  auto fail_all = [&](core::Status s) {
+    for (RawResult& r : out) r.status = s;
+    return out;
+  };
+  if (items.size() > kMaxBatchItems) {
+    return fail_all(core::Status::kBadRequest);
+  }
+
+  ByteWriter w;
+  w.U32(static_cast<std::uint32_t>(items.size()));
+  for (const TaggedPayload& item : items) {
+    w.U8(item.tag);
+    w.Blob(item.payload);
+  }
+  RawResult batch = RawCall(from, endpoint, kBatchTag, w.Take());
+  if (batch.status != core::Status::kOk) return fail_all(batch.status);
+
+  try {
+    ByteReader r(batch.payload);
+    std::uint32_t n = r.U32();
+    if (n != items.size()) throw CodecError("batch count mismatch");
+    for (std::uint32_t i = 0; i < n; ++i) {
+      out[i].status = static_cast<core::Status>(r.U8());
+      out[i].payload = r.Blob();
+    }
+    r.ExpectEnd();
+  } catch (const CodecError&) {
+    return fail_all(core::Status::kBadResponse);
+  }
+  return out;
+}
+
+}  // namespace net
+}  // namespace p2drm

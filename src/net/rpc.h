@@ -1,0 +1,266 @@
+#ifndef P2DRM_NET_RPC_H_
+#define P2DRM_NET_RPC_H_
+
+/// \file rpc.h
+/// \brief Typed RPC layer over the byte-metered Transport.
+///
+/// Every message on the wire is wrapped in a versioned envelope:
+///
+///   request:  u8 version | u8 tag | u64 correlation id | blob payload
+///   response: u8 version | u8 tag | u64 correlation id | u8 status | blob
+///
+/// The payload is the protocol message body (core/protocol.h) *without*
+/// its tag — the tag lives in the envelope, the status code lives in the
+/// response envelope. Dispatch failures (unknown endpoint, unknown tag,
+/// version mismatch, malformed payload, handler crash) come back as typed
+/// core::Status codes; no exception ever crosses the wire boundary.
+///
+/// The batch envelope (kBatchTag) carries N independently tagged
+/// sub-requests in one metered round trip, so hot paths (bulk redeem,
+/// bulk purchase) amortize the per-message latency and message count
+/// while unbatched traffic keeps the exact RT-2 cost accounting.
+///
+/// Client side: Rpc::Call<Req>() — Req names its tag (Req::kTag) and its
+/// response type (Req::Response), so call sites are fully typed.
+/// Server side: ServiceRegistry maps tag bytes to typed handlers and
+/// binds to a Transport endpoint as an ordinary handler function.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/errors.h"
+#include "net/codec.h"
+#include "net/transport.h"
+
+namespace p2drm {
+namespace net {
+
+/// Current envelope version. Bump on incompatible envelope changes.
+constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Reserved tag for the batch envelope (outside every actor's tag space).
+constexpr std::uint8_t kBatchTag = 0xF0;
+
+/// Upper bound on sub-requests per batch (malformed-count guard).
+constexpr std::size_t kMaxBatchItems = 1024;
+
+/// Client -> server envelope.
+struct RequestEnvelope {
+  std::uint8_t version = kProtocolVersion;
+  std::uint8_t tag = 0;
+  std::uint64_t correlation_id = 0;
+  std::vector<std::uint8_t> payload;
+
+  std::vector<std::uint8_t> Encode() const;
+  /// Throws CodecError on truncation.
+  static RequestEnvelope Decode(const std::vector<std::uint8_t>& wire);
+};
+
+/// Server -> client envelope. \c payload is non-empty only on kOk (batch
+/// responses always carry the per-item payload section).
+struct ResponseEnvelope {
+  std::uint8_t version = kProtocolVersion;
+  std::uint8_t tag = 0;
+  std::uint64_t correlation_id = 0;
+  core::Status status = core::Status::kInternalError;
+  std::vector<std::uint8_t> payload;
+
+  std::vector<std::uint8_t> Encode() const;
+  /// Throws CodecError on truncation.
+  static ResponseEnvelope Decode(const std::vector<std::uint8_t>& wire);
+};
+
+/// Outcome of a typed call: a status plus the decoded response (valid only
+/// when ok()).
+template <typename Resp>
+struct RpcResult {
+  core::Status status = core::Status::kUnavailable;
+  Resp value{};
+
+  bool ok() const { return status == core::Status::kOk; }
+};
+
+/// Maps envelope tags to typed handlers behind one Transport endpoint.
+///
+/// A handler takes the decoded request and fills in the response:
+///   registry.Register<proto::PurchaseRequest>(
+///       [&](const proto::PurchaseRequest& req,
+///           proto::PurchaseResponse* resp) -> core::Status { ... });
+///
+/// Dispatch never throws: malformed envelopes, unknown tags and handler
+/// exceptions all become response envelopes with a non-kOk status. The
+/// batch tag is handled natively — each sub-request dispatches through the
+/// same handler table and gets its own per-item status.
+class ServiceRegistry {
+ public:
+  /// Type-erased handler: payload in, encoded response body out.
+  /// Returns the status placed in the response envelope; the body is
+  /// used only when the status is kOk.
+  using RawHandler = std::function<core::Status(
+      const std::vector<std::uint8_t>&, std::vector<std::uint8_t>*)>;
+
+  /// Registers a typed handler under Req::kTag.
+  template <typename Req, typename Fn>
+  void Register(Fn fn) {
+    RegisterRaw(
+        static_cast<std::uint8_t>(Req::kTag),
+        [fn = std::move(fn)](const std::vector<std::uint8_t>& payload,
+                             std::vector<std::uint8_t>* out) -> core::Status {
+          Req req;
+          try {
+            ByteReader r(payload);
+            req = Req::Decode(&r);
+            r.ExpectEnd();
+          } catch (const CodecError&) {
+            return core::Status::kBadRequest;
+          }
+          typename Req::Response resp;
+          core::Status status = fn(req, &resp);
+          if (status == core::Status::kOk) *out = resp.Encode();
+          return status;
+        });
+  }
+
+  /// Registers (or replaces) a type-erased handler for \p tag.
+  void RegisterRaw(std::uint8_t tag, RawHandler handler);
+
+  /// Full server-side entry point: raw request envelope bytes in, raw
+  /// response envelope bytes out. Never throws.
+  std::vector<std::uint8_t> Dispatch(
+      const std::vector<std::uint8_t>& wire) const;
+
+  /// Installs Dispatch() as the Transport handler for \p endpoint. The
+  /// registry must outlive the transport's use of the endpoint.
+  void BindTo(Transport* transport, const std::string& endpoint);
+
+ private:
+  /// Dispatches one tagged payload through the handler table (used for
+  /// both single requests and batch items). Never throws.
+  core::Status DispatchItem(std::uint8_t tag,
+                            const std::vector<std::uint8_t>& payload,
+                            std::vector<std::uint8_t>* out) const;
+
+  std::map<std::uint8_t, RawHandler> handlers_;
+};
+
+/// Typed client stub. Owns nothing but a Transport pointer, a caller
+/// label and a correlation-id counter.
+class Rpc {
+ public:
+  /// \param from metering label for identified calls; anonymous-channel
+  /// calls always go out under Transport::kAnonymous regardless.
+  Rpc(Transport* transport, std::string from)
+      : transport_(transport), from_(std::move(from)) {}
+
+  const std::string& from() const { return from_; }
+
+  /// Identified call: one request, one metered round trip.
+  template <typename Req>
+  RpcResult<typename Req::Response> Call(const std::string& endpoint,
+                                         const Req& req) {
+    return CallAs<Req>(from_, endpoint, req);
+  }
+
+  /// Anonymous-channel call (mix-network stand-in): the handler and the
+  /// metering never see the caller label.
+  template <typename Req>
+  RpcResult<typename Req::Response> CallAnonymous(const std::string& endpoint,
+                                                  const Req& req) {
+    return CallAs<Req>(Transport::kAnonymous, endpoint, req);
+  }
+
+  /// Explicit-label call (tests, auditors, server-to-server traffic).
+  template <typename Req>
+  RpcResult<typename Req::Response> CallAs(const std::string& from,
+                                           const std::string& endpoint,
+                                           const Req& req) {
+    RawResult raw = RawCall(from, endpoint,
+                            static_cast<std::uint8_t>(Req::kTag), req.Encode());
+    return DecodeTyped<typename Req::Response>(raw);
+  }
+
+  /// Homogeneous batch: N requests ride ceil(N / kMaxBatchItems) metered
+  /// round trips — one for any batch that fits the size cap. Results come
+  /// back index-aligned with \p reqs; a transport- or envelope-level
+  /// failure replicates its status across the affected chunk's items.
+  template <typename Req>
+  std::vector<RpcResult<typename Req::Response>> CallBatch(
+      const std::string& endpoint, const std::vector<Req>& reqs) {
+    return CallBatchAs<Req>(from_, endpoint, reqs);
+  }
+
+  template <typename Req>
+  std::vector<RpcResult<typename Req::Response>> CallBatchAnonymous(
+      const std::string& endpoint, const std::vector<Req>& reqs) {
+    return CallBatchAs<Req>(Transport::kAnonymous, endpoint, reqs);
+  }
+
+  template <typename Req>
+  std::vector<RpcResult<typename Req::Response>> CallBatchAs(
+      const std::string& from, const std::string& endpoint,
+      const std::vector<Req>& reqs) {
+    std::vector<RpcResult<typename Req::Response>> out;
+    out.reserve(reqs.size());
+    // Chunk to the server's size cap so callers never trip it.
+    for (std::size_t start = 0; start < reqs.size();
+         start += kMaxBatchItems) {
+      std::size_t count = std::min(kMaxBatchItems, reqs.size() - start);
+      std::vector<TaggedPayload> items;
+      items.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        items.push_back({static_cast<std::uint8_t>(Req::kTag),
+                         reqs[start + i].Encode()});
+      }
+      for (const RawResult& raw : RawBatch(from, endpoint, items)) {
+        out.push_back(DecodeTyped<typename Req::Response>(raw));
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct RawResult {
+    core::Status status = core::Status::kUnavailable;
+    std::vector<std::uint8_t> payload;
+  };
+  struct TaggedPayload {
+    std::uint8_t tag;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// Wraps, sends, unwraps; maps every failure onto a status code.
+  RawResult RawCall(const std::string& from, const std::string& endpoint,
+                    std::uint8_t tag, std::vector<std::uint8_t> payload);
+
+  /// Same, for a batch envelope. Always returns items.size() results.
+  std::vector<RawResult> RawBatch(const std::string& from,
+                                  const std::string& endpoint,
+                                  const std::vector<TaggedPayload>& items);
+
+  template <typename Resp>
+  static RpcResult<Resp> DecodeTyped(const RawResult& raw) {
+    RpcResult<Resp> out;
+    out.status = raw.status;
+    if (raw.status != core::Status::kOk) return out;
+    try {
+      out.value = Resp::Decode(raw.payload);
+    } catch (const CodecError&) {
+      out.status = core::Status::kBadResponse;
+    }
+    return out;
+  }
+
+  Transport* transport_;
+  std::string from_;
+  std::uint64_t next_correlation_ = 0;
+};
+
+}  // namespace net
+}  // namespace p2drm
+
+#endif  // P2DRM_NET_RPC_H_

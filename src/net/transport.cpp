@@ -9,24 +9,32 @@ void Transport::RegisterEndpoint(const std::string& endpoint, Handler handler) {
   endpoints_[endpoint] = std::move(handler);
 }
 
-std::vector<std::uint8_t> Transport::Call(
-    const std::string& from, const std::string& endpoint,
-    const std::vector<std::uint8_t>& request) {
+bool Transport::TryCall(const std::string& from, const std::string& endpoint,
+                        const std::vector<std::uint8_t>& request,
+                        std::vector<std::uint8_t>* response) {
   auto it = endpoints_.find(endpoint);
-  if (it == endpoints_.end()) {
-    throw std::out_of_range("Transport: unknown endpoint " + endpoint);
-  }
+  if (it == endpoints_.end()) return false;
   ChannelStats& req = request_stats_[{from, endpoint}];
   req.messages += 1;
   req.bytes += request.size();
   simulated_us_ += latency_.CostUs(request.size());
 
-  std::vector<std::uint8_t> response = it->second(request);
+  *response = it->second(request);
 
   ChannelStats& resp = response_stats_[endpoint];
   resp.messages += 1;
-  resp.bytes += response.size();
-  simulated_us_ += latency_.CostUs(response.size());
+  resp.bytes += response->size();
+  simulated_us_ += latency_.CostUs(response->size());
+  return true;
+}
+
+std::vector<std::uint8_t> Transport::Call(
+    const std::string& from, const std::string& endpoint,
+    const std::vector<std::uint8_t>& request) {
+  std::vector<std::uint8_t> response;
+  if (!TryCall(from, endpoint, request, &response)) {
+    throw std::out_of_range("Transport: unknown endpoint " + endpoint);
+  }
   return response;
 }
 

@@ -36,8 +36,11 @@ struct LatencyModel {
   std::uint64_t per_message_us = 0;  ///< propagation + handshake cost
   std::uint64_t per_kib_us = 0;      ///< serialization/bandwidth cost
 
+  /// Bandwidth cost rounds up: a sub-KiB message still spends wire time,
+  /// so it must contribute at least 1us whenever per_kib_us > 0.
   std::uint64_t CostUs(std::size_t bytes) const {
-    return per_message_us + (static_cast<std::uint64_t>(bytes) * per_kib_us) / 1024;
+    std::uint64_t weighted = static_cast<std::uint64_t>(bytes) * per_kib_us;
+    return per_message_us + (weighted + 1023) / 1024;
   }
 };
 
@@ -53,10 +56,18 @@ class Transport {
   /// Registers (or replaces) the handler behind \p endpoint.
   void RegisterEndpoint(const std::string& endpoint, Handler handler);
 
-  /// Sends \p request to \p endpoint and returns its response.
+  /// Sends \p request to \p endpoint and stores its response in
+  /// \p response. Returns false (touching nothing) when the endpoint is
+  /// unknown — the RPC layer maps that onto core::Status::kUnavailable.
   /// \param from caller label used *only* for metering; pass
   ///        Transport::kAnonymous for anonymous-channel calls.
-  /// Throws std::out_of_range for unknown endpoints.
+  bool TryCall(const std::string& from, const std::string& endpoint,
+               const std::vector<std::uint8_t>& request,
+               std::vector<std::uint8_t>* response);
+
+  /// Throwing convenience over TryCall (std::out_of_range on unknown
+  /// endpoints). Kept for tests and raw-wire experiments; production
+  /// traffic goes through net::Rpc, which never throws.
   std::vector<std::uint8_t> Call(const std::string& from,
                                  const std::string& endpoint,
                                  const std::vector<std::uint8_t>& request);

@@ -1,4 +1,4 @@
-// Wire protocol: message round trips, endpoint dispatch, malformed input.
+// Wire protocol: message round trips, typed RPC dispatch, malformed input.
 
 #include "core/protocol.h"
 
@@ -6,6 +6,7 @@
 
 #include "core/system.h"
 #include "crypto/drbg.h"
+#include "net/rpc.h"
 
 namespace p2drm {
 namespace core {
@@ -34,10 +35,11 @@ TEST(ProtoMessages, EnrolRoundTrip) {
   EnrolRequest req;
   req.holder_name = "alice";
   req.master_key = SomeKey();
+  // The tag is NOT part of the body — it rides in the RPC envelope.
   auto bytes = req.Encode();
   net::ByteReader r(bytes);
-  EXPECT_EQ(static_cast<Tag>(r.U8()), Tag::kEnrol);
   EnrolRequest back = EnrolRequest::Decode(&r);
+  EXPECT_TRUE(r.AtEnd());
   EXPECT_EQ(back.holder_name, "alice");
   EXPECT_TRUE(back.master_key == req.master_key);
 }
@@ -49,16 +51,15 @@ TEST(ProtoMessages, WithdrawRoundTrip) {
   req.blinded = bignum::BigInt::FromHex("abcdef");
   auto bytes = req.Encode();
   net::ByteReader r(bytes);
-  EXPECT_EQ(static_cast<Tag>(r.U8()), Tag::kWithdraw);
   WithdrawRequest back = WithdrawRequest::Decode(&r);
   EXPECT_EQ(back.account, "bob");
   EXPECT_EQ(back.denomination, 50u);
   EXPECT_EQ(back.blinded.ToHex(), "abcdef");
 
   WithdrawResponse resp;
-  resp.status = Status::kInsufficientFunds;
+  resp.blind_signature = bignum::BigInt::FromHex("1234");
   WithdrawResponse rback = WithdrawResponse::Decode(resp.Encode());
-  EXPECT_EQ(rback.status, Status::kInsufficientFunds);
+  EXPECT_EQ(rback.blind_signature.ToHex(), "1234");
 }
 
 TEST(ProtoMessages, PurchaseRoundTrip) {
@@ -74,7 +75,6 @@ TEST(ProtoMessages, PurchaseRoundTrip) {
   req.payment = {c, c};
   auto bytes = req.Encode();
   net::ByteReader r(bytes);
-  EXPECT_EQ(static_cast<Tag>(r.U8()), Tag::kPurchase);
   PurchaseRequest back = PurchaseRequest::Decode(&r);
   EXPECT_EQ(back.content_id, 42u);
   ASSERT_EQ(back.payment.size(), 2u);
@@ -82,14 +82,15 @@ TEST(ProtoMessages, PurchaseRoundTrip) {
   EXPECT_EQ(back.buyer.escrow, req.buyer.escrow);
 }
 
-TEST(ProtoMessages, PurchaseResponseErrorOmitsLicense) {
-  PurchaseResponse resp;
-  resp.status = Status::kWrongPrice;
-  auto bytes = resp.Encode();
-  PurchaseResponse back = PurchaseResponse::Decode(bytes);
-  EXPECT_EQ(back.status, Status::kWrongPrice);
-  // Small encoding: status + empty blob.
-  EXPECT_LE(bytes.size(), 16u);
+TEST(ProtoMessages, RequestTagsAreDeclared) {
+  // The typed stub keys on Req::kTag; pin the wire values.
+  EXPECT_EQ(EnrolRequest::kTag, Tag::kEnrol);
+  EXPECT_EQ(WithdrawRequest::kTag, Tag::kWithdraw);
+  EXPECT_EQ(PurchaseRequest::kTag, Tag::kPurchase);
+  EXPECT_EQ(RedeemRequest::kTag, Tag::kRedeem);
+  EXPECT_EQ(OpenEscrowRequest::kTag, Tag::kOpenEscrow);
+  // No protocol tag may collide with the reserved batch tag.
+  EXPECT_NE(static_cast<std::uint8_t>(Tag::kOpenEscrow), net::kBatchTag);
 }
 
 TEST(ProtoMessages, CatalogRoundTrip) {
@@ -108,7 +109,6 @@ TEST(ProtoMessages, CatalogRoundTrip) {
 
 TEST(ProtoMessages, FetchContentRoundTrip) {
   FetchContentResponse resp;
-  resp.status = Status::kOk;
   resp.content.content_id = 3;
   resp.content.nonce.fill(7);
   resp.content.ciphertext = {1, 2, 3};
@@ -132,7 +132,10 @@ TEST(ProtoMessages, OpenEscrowRoundTrip) {
 
 class DispatchTest : public ::testing::Test {
  protected:
-  DispatchTest() : rng_("dispatch"), system_(Config(), &rng_) {}
+  DispatchTest()
+      : rng_("dispatch"),
+        system_(Config(), &rng_),
+        rpc_(&system_.transport(), "x") {}
 
   static SystemConfig Config() {
     SystemConfig cfg;
@@ -143,55 +146,73 @@ class DispatchTest : public ::testing::Test {
     return cfg;
   }
 
+  /// Sends a hand-built envelope and decodes the response envelope.
+  net::ResponseEnvelope RawRoundTrip(const std::string& endpoint,
+                                     const net::RequestEnvelope& env) {
+    auto raw = system_.transport().Call("x", endpoint, env.Encode());
+    return net::ResponseEnvelope::Decode(raw);
+  }
+
   crypto::HmacDrbg rng_;
   P2drmSystem system_;
+  net::Rpc rpc_;
 };
 
-TEST_F(DispatchTest, UnknownTagThrowsCodecError) {
-  std::vector<std::uint8_t> junk = {0x7f, 0x00};
-  EXPECT_THROW(system_.transport().Call("x", P2drmSystem::kCaEndpoint, junk),
-               net::CodecError);
-  EXPECT_THROW(system_.transport().Call("x", P2drmSystem::kBankEndpoint, junk),
-               net::CodecError);
-  EXPECT_THROW(system_.transport().Call("x", P2drmSystem::kCpEndpoint, junk),
-               net::CodecError);
-  EXPECT_THROW(system_.transport().Call("x", P2drmSystem::kTtpEndpoint, junk),
-               net::CodecError);
+TEST_F(DispatchTest, UnknownTagReturnsStatus) {
+  net::RequestEnvelope env;
+  env.tag = 0x7f;  // no such protocol message
+  env.correlation_id = 5;
+  for (const char* ep :
+       {P2drmSystem::kCaEndpoint, P2drmSystem::kBankEndpoint,
+        P2drmSystem::kCpEndpoint, P2drmSystem::kTtpEndpoint}) {
+    net::ResponseEnvelope resp = RawRoundTrip(ep, env);
+    EXPECT_EQ(resp.status, Status::kUnknownTag) << ep;
+    EXPECT_EQ(resp.correlation_id, 5u) << ep;
+  }
 }
 
-TEST_F(DispatchTest, TruncatedMessageThrows) {
-  std::vector<std::uint8_t> truncated = {
-      static_cast<std::uint8_t>(Tag::kPurchase), 0x00};
-  EXPECT_THROW(
-      system_.transport().Call("x", P2drmSystem::kCpEndpoint, truncated),
-      net::CodecError);
+TEST_F(DispatchTest, TruncatedPayloadReturnsBadRequest) {
+  net::RequestEnvelope env;
+  env.tag = static_cast<std::uint8_t>(Tag::kPurchase);
+  env.payload = {0x00};  // far too short for a PurchaseRequest
+  net::ResponseEnvelope resp = RawRoundTrip(P2drmSystem::kCpEndpoint, env);
+  EXPECT_EQ(resp.status, Status::kBadRequest);
+}
+
+TEST_F(DispatchTest, VersionMismatchIsRejected) {
+  net::RequestEnvelope env;
+  env.version = 99;
+  env.tag = static_cast<std::uint8_t>(Tag::kCatalog);
+  net::ResponseEnvelope resp = RawRoundTrip(P2drmSystem::kCpEndpoint, env);
+  EXPECT_EQ(resp.status, Status::kVersionMismatch);
 }
 
 TEST_F(DispatchTest, CatalogOverTheWire) {
   system_.cp().Publish("A", {1, 2, 3}, 5, rel::Rights::UnlimitedPlay());
-  auto raw = system_.transport().Call("x", P2drmSystem::kCpEndpoint,
-                                      CatalogRequest{}.Encode());
-  auto resp = CatalogResponse::Decode(raw);
-  ASSERT_EQ(resp.offers.size(), 1u);
-  EXPECT_EQ(resp.offers[0].title, "A");
+  auto resp = rpc_.Call(P2drmSystem::kCpEndpoint, CatalogRequest{});
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp.value.offers.size(), 1u);
+  EXPECT_EQ(resp.value.offers[0].title, "A");
 }
 
 TEST_F(DispatchTest, FetchUnknownContentReturnsStatus) {
   FetchContentRequest req;
   req.content_id = 12345;
-  auto raw = system_.transport().Call("x", P2drmSystem::kCpEndpoint,
-                                      req.Encode());
-  auto resp = FetchContentResponse::Decode(raw);
+  auto resp = rpc_.Call(P2drmSystem::kCpEndpoint, req);
   EXPECT_EQ(resp.status, Status::kUnknownContent);
+}
+
+TEST_F(DispatchTest, UnknownEndpointReturnsUnavailable) {
+  auto resp = rpc_.Call("no-such-endpoint", CatalogRequest{});
+  EXPECT_EQ(resp.status, Status::kUnavailable);
 }
 
 TEST_F(DispatchTest, CrlFetchOverTheWire) {
   system_.cp().Revoke(rel::KeyFingerprint{});
-  auto raw = system_.transport().Call("x", P2drmSystem::kCpEndpoint,
-                                      FetchCrlRequest{}.Encode());
-  auto resp = FetchCrlResponse::Decode(raw);
+  auto resp = rpc_.Call(P2drmSystem::kCpEndpoint, FetchCrlRequest{});
+  ASSERT_TRUE(resp.ok());
   auto crl = store::RevocationList::Deserialize(
-      resp.crl_snapshot, store::CrlStrategy::kSortedSet);
+      resp.value.crl_snapshot, store::CrlStrategy::kSortedSet);
   EXPECT_EQ(crl.Size(), 1u);
 }
 

@@ -14,6 +14,7 @@
 #include "core/system.h"
 #include "core/ttp.h"
 #include "crypto/drbg.h"
+#include "net/rpc.h"
 #include "rel/license.h"
 
 namespace p2drm {
@@ -88,6 +89,9 @@ TEST(Robustness, HybridCiphertextNeverCrashes) {
 
 TEST(Robustness, EndpointsSurviveGarbageRequests) {
   // The real attack surface: random bytes straight into every endpoint.
+  // Since the RPC redesign the server never throws — every garbage buffer
+  // must come back as a well-formed response envelope with an error
+  // status.
   HmacDrbg rng("endpoint-garbage");
   core::SystemConfig cfg;
   cfg.ca_key_bits = 512;
@@ -100,21 +104,24 @@ TEST(Robustness, EndpointsSurviveGarbageRequests) {
   const char* endpoints[] = {
       core::P2drmSystem::kCaEndpoint, core::P2drmSystem::kBankEndpoint,
       core::P2drmSystem::kCpEndpoint, core::P2drmSystem::kTtpEndpoint};
-  int handled = 0;
+  int rejected = 0;
+  int total = 0;
   for (int i = 0; i < 400; ++i) {
     std::size_t len = static_cast<std::size_t>(rng.NextUint64(256));
     std::vector<std::uint8_t> buf = rng.Bytes(len);
     for (const char* ep : endpoints) {
-      try {
-        (void)system.transport().Call("fuzzer", ep, buf);
-      } catch (const std::exception&) {
-        ++handled;
-      }
+      ++total;
+      std::vector<std::uint8_t> raw;
+      ASSERT_TRUE(system.transport().TryCall("fuzzer", ep, buf, &raw));
+      net::ResponseEnvelope resp;
+      ASSERT_NO_THROW(resp = net::ResponseEnvelope::Decode(raw));
+      if (resp.status != core::Status::kOk) ++rejected;
     }
   }
-  // Essentially every random buffer must be rejected (a random first byte
-  // only rarely matches a valid tag, and the payload then fails decoding).
-  EXPECT_GT(handled, 1500);
+  // Every random buffer must be rejected with a typed status (a random
+  // buffer essentially never forms a valid versioned envelope whose
+  // payload also decodes as a real request).
+  EXPECT_EQ(rejected, total);
 
   // The system still works afterwards.
   core::AgentConfig acfg;

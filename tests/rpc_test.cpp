@@ -1,0 +1,313 @@
+// RPC layer: envelope round trips, version gating, typed dispatch,
+// malformed payloads, status propagation and the batch envelope.
+
+#include "net/rpc.h"
+
+#include <gtest/gtest.h>
+
+namespace p2drm {
+namespace net {
+namespace {
+
+using core::Status;
+
+// -- test protocol: an echo service ------------------------------------------
+
+struct EchoResponse {
+  std::vector<std::uint8_t> data;
+  std::vector<std::uint8_t> Encode() const {
+    ByteWriter w;
+    w.Blob(data);
+    return w.Take();
+  }
+  static EchoResponse Decode(const std::vector<std::uint8_t>& b) {
+    ByteReader r(b);
+    EchoResponse m;
+    m.data = r.Blob();
+    return m;
+  }
+};
+
+struct EchoRequest {
+  static constexpr std::uint8_t kTag = 0x42;
+  using Response = EchoResponse;
+  std::vector<std::uint8_t> data;
+  std::vector<std::uint8_t> Encode() const {
+    ByteWriter w;
+    w.Blob(data);
+    return w.Take();
+  }
+  static EchoRequest Decode(ByteReader* r) {
+    EchoRequest m;
+    m.data = r->Blob();
+    return m;
+  }
+};
+
+// A request whose handler always fails with a domain status.
+struct FailRequest {
+  static constexpr std::uint8_t kTag = 0x43;
+  using Response = EchoResponse;
+  std::vector<std::uint8_t> Encode() const { return {}; }
+  static FailRequest Decode(ByteReader*) { return {}; }
+};
+
+// A request whose handler throws (must surface as kInternalError).
+struct ThrowRequest {
+  static constexpr std::uint8_t kTag = 0x44;
+  using Response = EchoResponse;
+  std::vector<std::uint8_t> Encode() const { return {}; }
+  static ThrowRequest Decode(ByteReader*) { return {}; }
+};
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest() : rpc_(&transport_, "tester") {
+    registry_.Register<EchoRequest>(
+        [](const EchoRequest& req, EchoResponse* resp) {
+          resp->data = req.data;
+          return Status::kOk;
+        });
+    registry_.Register<FailRequest>(
+        [](const FailRequest&, EchoResponse*) { return Status::kRevoked; });
+    registry_.Register<ThrowRequest>(
+        [](const ThrowRequest&, EchoResponse*) -> Status {
+          throw std::runtime_error("handler exploded");
+        });
+    registry_.BindTo(&transport_, "svc");
+  }
+
+  Transport transport_;
+  ServiceRegistry registry_;
+  Rpc rpc_;
+};
+
+// -- envelopes ---------------------------------------------------------------
+
+TEST(RpcEnvelope, RequestRoundTrip) {
+  RequestEnvelope env;
+  env.tag = 0x21;
+  env.correlation_id = 0xdeadbeef01020304ull;
+  env.payload = {1, 2, 3, 4};
+  RequestEnvelope back = RequestEnvelope::Decode(env.Encode());
+  EXPECT_EQ(back.version, kProtocolVersion);
+  EXPECT_EQ(back.tag, 0x21);
+  EXPECT_EQ(back.correlation_id, 0xdeadbeef01020304ull);
+  EXPECT_EQ(back.payload, env.payload);
+}
+
+TEST(RpcEnvelope, ResponseRoundTrip) {
+  ResponseEnvelope env;
+  env.tag = 0x21;
+  env.correlation_id = 77;
+  env.status = Status::kAlreadySpent;
+  env.payload = {9};
+  ResponseEnvelope back = ResponseEnvelope::Decode(env.Encode());
+  EXPECT_EQ(back.status, Status::kAlreadySpent);
+  EXPECT_EQ(back.correlation_id, 77u);
+  EXPECT_EQ(back.payload, env.payload);
+}
+
+TEST(RpcEnvelope, TruncationThrowsCodecError) {
+  RequestEnvelope env;
+  env.payload = {1, 2, 3};
+  auto bytes = env.Encode();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+    EXPECT_THROW((void)RequestEnvelope::Decode(prefix), CodecError)
+        << "prefix length " << cut;
+  }
+  // Trailing junk is rejected too.
+  bytes.push_back(0);
+  EXPECT_THROW((void)RequestEnvelope::Decode(bytes), CodecError);
+}
+
+// -- typed call path ---------------------------------------------------------
+
+TEST_F(RpcTest, TypedEchoRoundTrip) {
+  EchoRequest req;
+  req.data = {10, 20, 30};
+  auto resp = rpc_.Call("svc", req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value.data, req.data);
+}
+
+TEST_F(RpcTest, HandlerStatusPropagates) {
+  auto resp = rpc_.Call("svc", FailRequest{});
+  EXPECT_EQ(resp.status, Status::kRevoked);
+}
+
+TEST_F(RpcTest, HandlerExceptionBecomesInternalError) {
+  auto resp = rpc_.Call("svc", ThrowRequest{});
+  EXPECT_EQ(resp.status, Status::kInternalError);
+}
+
+TEST_F(RpcTest, UnknownEndpointIsUnavailableNotAThrow) {
+  auto resp = rpc_.Call("nowhere", EchoRequest{});
+  EXPECT_EQ(resp.status, Status::kUnavailable);
+}
+
+struct UnregisteredRequest {
+  static constexpr std::uint8_t kTag = 0x7e;
+  using Response = EchoResponse;
+  std::vector<std::uint8_t> Encode() const { return {}; }
+};
+
+TEST_F(RpcTest, UnknownTagIsRejected) {
+  auto resp = rpc_.Call("svc", UnregisteredRequest{});
+  EXPECT_EQ(resp.status, Status::kUnknownTag);
+}
+
+TEST_F(RpcTest, VersionMismatchIsRejected) {
+  RequestEnvelope env;
+  env.version = kProtocolVersion + 1;
+  env.tag = EchoRequest::kTag;
+  env.payload = EchoRequest{}.Encode();
+  auto raw = transport_.Call("tester", "svc", env.Encode());
+  ResponseEnvelope resp = ResponseEnvelope::Decode(raw);
+  EXPECT_EQ(resp.status, Status::kVersionMismatch);
+}
+
+TEST_F(RpcTest, MalformedPayloadIsBadRequest) {
+  // Valid envelope, garbage body: the typed decode must fail cleanly.
+  RequestEnvelope env;
+  env.tag = EchoRequest::kTag;
+  env.payload = {0xff, 0xff, 0xff, 0xff, 1};  // blob length way past end
+  auto raw = transport_.Call("tester", "svc", env.Encode());
+  ResponseEnvelope resp = ResponseEnvelope::Decode(raw);
+  EXPECT_EQ(resp.status, Status::kBadRequest);
+}
+
+TEST_F(RpcTest, TrailingPayloadBytesAreBadRequest) {
+  RequestEnvelope env;
+  env.tag = EchoRequest::kTag;
+  env.payload = EchoRequest{}.Encode();
+  env.payload.push_back(0x55);  // smuggled trailing byte
+  auto raw = transport_.Call("tester", "svc", env.Encode());
+  ResponseEnvelope resp = ResponseEnvelope::Decode(raw);
+  EXPECT_EQ(resp.status, Status::kBadRequest);
+}
+
+TEST_F(RpcTest, CorrelationIdIsEchoed) {
+  RequestEnvelope env;
+  env.tag = EchoRequest::kTag;
+  env.correlation_id = 424242;
+  env.payload = EchoRequest{}.Encode();
+  auto raw = transport_.Call("tester", "svc", env.Encode());
+  ResponseEnvelope resp = ResponseEnvelope::Decode(raw);
+  EXPECT_EQ(resp.correlation_id, 424242u);
+  EXPECT_EQ(resp.tag, EchoRequest::kTag);
+}
+
+// -- batch envelope ----------------------------------------------------------
+
+TEST_F(RpcTest, BatchOf64EchoesInOneRoundTrip) {
+  std::vector<EchoRequest> reqs(64);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].data = {static_cast<std::uint8_t>(i),
+                    static_cast<std::uint8_t>(i * 3)};
+  }
+  auto results = rpc_.CallBatch("svc", reqs);
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "item " << i;
+    EXPECT_EQ(results[i].value.data, reqs[i].data) << "item " << i;
+  }
+  // The whole batch rode ONE metered round trip: 1 request + 1 response.
+  ChannelStats total = transport_.GrandTotal();
+  EXPECT_EQ(total.messages, 2u);
+}
+
+TEST_F(RpcTest, BatchItemFailuresAreIndependent) {
+  // Mix known-bad items in by hand: raw batch with echo, unknown tag, echo.
+  ByteWriter w;
+  w.U32(3);
+  w.U8(EchoRequest::kTag);
+  EchoRequest first;
+  first.data = {1};
+  w.Blob(first.Encode());
+  w.U8(0x7e);  // unregistered tag
+  w.Blob({});
+  w.U8(EchoRequest::kTag);
+  EchoRequest third;
+  third.data = {3};
+  w.Blob(third.Encode());
+
+  RequestEnvelope env;
+  env.tag = kBatchTag;
+  env.payload = w.Take();
+  auto raw = transport_.Call("tester", "svc", env.Encode());
+  ResponseEnvelope resp = ResponseEnvelope::Decode(raw);
+  ASSERT_EQ(resp.status, Status::kOk);
+
+  ByteReader r(resp.payload);
+  ASSERT_EQ(r.U32(), 3u);
+  EXPECT_EQ(static_cast<Status>(r.U8()), Status::kOk);
+  EXPECT_EQ(EchoResponse::Decode(r.Blob()).data, first.data);
+  EXPECT_EQ(static_cast<Status>(r.U8()), Status::kUnknownTag);
+  EXPECT_TRUE(r.Blob().empty());
+  EXPECT_EQ(static_cast<Status>(r.U8()), Status::kOk);
+  EXPECT_EQ(EchoResponse::Decode(r.Blob()).data, third.data);
+}
+
+TEST_F(RpcTest, NestedBatchIsRejectedPerItem) {
+  ByteWriter w;
+  w.U32(1);
+  w.U8(kBatchTag);  // batch inside a batch
+  w.Blob({});
+  RequestEnvelope env;
+  env.tag = kBatchTag;
+  env.payload = w.Take();
+  auto raw = transport_.Call("tester", "svc", env.Encode());
+  ResponseEnvelope resp = ResponseEnvelope::Decode(raw);
+  ASSERT_EQ(resp.status, Status::kOk);
+  ByteReader r(resp.payload);
+  ASSERT_EQ(r.U32(), 1u);
+  EXPECT_EQ(static_cast<Status>(r.U8()), Status::kBadRequest);
+}
+
+TEST_F(RpcTest, OversizedBatchCountIsBadRequest) {
+  ByteWriter w;
+  w.U32(static_cast<std::uint32_t>(kMaxBatchItems + 1));
+  RequestEnvelope env;
+  env.tag = kBatchTag;
+  env.payload = w.Take();
+  auto raw = transport_.Call("tester", "svc", env.Encode());
+  ResponseEnvelope resp = ResponseEnvelope::Decode(raw);
+  EXPECT_EQ(resp.status, Status::kBadRequest);
+}
+
+TEST_F(RpcTest, EmptyBatchIsFreeOfWireTraffic) {
+  auto results = rpc_.CallBatch("svc", std::vector<EchoRequest>{});
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(transport_.GrandTotal().messages, 0u);
+}
+
+TEST_F(RpcTest, OversizedClientBatchIsChunkedNotRejected) {
+  // The typed stub splits at kMaxBatchItems, so callers can hand it any N.
+  std::vector<EchoRequest> reqs(kMaxBatchItems + 5);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].data = {static_cast<std::uint8_t>(i & 0xff)};
+  }
+  auto results = rpc_.CallBatch("svc", reqs);
+  ASSERT_EQ(results.size(), reqs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "item " << i;
+    EXPECT_EQ(results[i].value.data, reqs[i].data);
+  }
+  // Two chunks → two round trips → four metered messages.
+  EXPECT_EQ(transport_.GrandTotal().messages, 4u);
+}
+
+TEST_F(RpcTest, BatchToUnknownEndpointFailsEveryItem) {
+  std::vector<EchoRequest> reqs(3);
+  auto results = rpc_.CallBatch("nowhere", reqs);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.status, Status::kUnavailable);
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace p2drm

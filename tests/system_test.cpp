@@ -127,6 +127,70 @@ TEST(SystemTest, BankConservationAcrossTheEconomy) {
   EXPECT_EQ(system.bank().Balance("cp"), 14u);  // two sales at 7
 }
 
+TEST(SystemTest, BatchPurchaseMatchesSingleSemantics) {
+  crypto::HmacDrbg rng("system-batch-buy");
+  P2drmSystem system(SmallConfig(), &rng);
+  rel::ContentId a = system.cp().Publish("A", {1}, 3,
+                                         rel::Rights::FullRetail());
+  rel::ContentId b = system.cp().Publish("B", {2}, 5,
+                                         rel::Rights::FullRetail());
+  AgentConfig acfg = SmallAgent();
+  acfg.pseudonym_max_uses = 16;  // no fresh keygen per batch item
+  UserAgent alice("alice", acfg, &system, &rng);
+
+  std::uint64_t msgs_before = system.transport().GrandTotal().messages;
+  alice.EnsurePseudonym();
+  ASSERT_EQ(alice.WithdrawCoins(8), Status::kOk);  // pre-fund the wallet
+  std::uint64_t prep_msgs =
+      system.transport().GrandTotal().messages - msgs_before;
+
+  std::vector<rel::License> licenses;
+  auto statuses = alice.BuyContentBatch({a, 999999, b}, &licenses);
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_EQ(statuses[0], Status::kOk);
+  EXPECT_EQ(statuses[1], Status::kUnknownContent);  // failed locally
+  EXPECT_EQ(statuses[2], Status::kOk);
+  EXPECT_EQ(licenses[0].content_id, a);
+  EXPECT_EQ(licenses[2].content_id, b);
+  // Both licenses landed on the device.
+  EXPECT_NE(alice.device().FindLicense(licenses[0].id), nullptr);
+  EXPECT_NE(alice.device().FindLicense(licenses[2].id), nullptr);
+  // The two server-side purchases rode ONE round trip (2 messages).
+  std::uint64_t batch_msgs = system.transport().GrandTotal().messages -
+                             msgs_before - prep_msgs;
+  EXPECT_EQ(batch_msgs, 2u);
+}
+
+TEST(SystemTest, BatchRedeemDetectsDoubleSpendWithinBatch) {
+  crypto::HmacDrbg rng("system-batch-redeem");
+  P2drmSystem system(SmallConfig(), &rng);
+  rel::ContentId c = system.cp().Publish("X", {1}, 1,
+                                         rel::Rights::FullRetail());
+  UserAgent seller("seller", SmallAgent(), &system, &rng);
+  AgentConfig reuse = SmallAgent();
+  reuse.pseudonym_max_uses = 16;
+  UserAgent taker("taker", reuse, &system, &rng);
+
+  rel::License l1, l2;
+  ASSERT_EQ(seller.BuyContent(c, &l1), Status::kOk);
+  ASSERT_EQ(seller.BuyContent(c, &l2), Status::kOk);
+  std::vector<std::uint8_t> bearer1, bearer2;
+  ASSERT_EQ(seller.GiveLicense(l1.id, &bearer1), Status::kOk);
+  ASSERT_EQ(seller.GiveLicense(l2.id, &bearer2), Status::kOk);
+
+  // One batch: valid, duplicate-of-first, garbage, valid.
+  std::vector<rel::License> out;
+  auto statuses = taker.ReceiveLicenseBatch(
+      {bearer1, bearer1, {0x00, 0x01}, bearer2}, &out);
+  ASSERT_EQ(statuses.size(), 4u);
+  EXPECT_EQ(statuses[0], Status::kOk);
+  EXPECT_EQ(statuses[1], Status::kAlreadySpent);  // caught inside the batch
+  EXPECT_EQ(statuses[2], Status::kBadRequest);    // never hit the wire
+  EXPECT_EQ(statuses[3], Status::kOk);
+  EXPECT_EQ(out[0].content_id, c);
+  EXPECT_EQ(out[3].content_id, c);
+}
+
 TEST(SystemTest, TransferPreservesRightsExactly) {
   crypto::HmacDrbg rng("system-rights-preserved");
   P2drmSystem system(SmallConfig(), &rng);

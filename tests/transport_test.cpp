@@ -26,6 +26,21 @@ TEST(Transport, UnknownEndpointThrows) {
   EXPECT_THROW(t.Call("alice", "nowhere", {}), std::out_of_range);
 }
 
+TEST(Transport, TryCallReportsUnknownEndpointWithoutThrowing) {
+  Transport t;
+  std::vector<std::uint8_t> resp;
+  EXPECT_FALSE(t.TryCall("alice", "nowhere", Bytes({1}), &resp));
+  EXPECT_TRUE(resp.empty());
+  // Failed lookups are not metered.
+  EXPECT_EQ(t.GrandTotal().messages, 0u);
+
+  t.RegisterEndpoint("echo", [](const std::vector<std::uint8_t>& req) {
+    return req;
+  });
+  EXPECT_TRUE(t.TryCall("alice", "echo", Bytes({1, 2}), &resp));
+  EXPECT_EQ(resp, Bytes({1, 2}));
+}
+
 TEST(Transport, MetersRequestsPerChannel) {
   Transport t;
   t.RegisterEndpoint("svc", [](const std::vector<std::uint8_t>&) {
@@ -101,6 +116,20 @@ TEST(LatencyModel, CostFormula) {
   EXPECT_EQ(m.CostUs(0), 50u);
   EXPECT_EQ(m.CostUs(1024), 50u + 2048u);
   EXPECT_EQ(m.CostUs(512), 50u + 1024u);
+}
+
+TEST(LatencyModel, SubKibMessagesRoundUpNotDown) {
+  // A 1-byte message on a slow link must cost at least 1us of bandwidth
+  // time, not silently floor to 0 (the old integer-truncation bug).
+  LatencyModel m;
+  m.per_message_us = 0;
+  m.per_kib_us = 100;
+  EXPECT_EQ(m.CostUs(1), 1u);    // ceil(100/1024)
+  EXPECT_EQ(m.CostUs(10), 1u);   // ceil(1000/1024)
+  EXPECT_EQ(m.CostUs(11), 2u);   // ceil(1100/1024)
+  EXPECT_EQ(m.CostUs(0), 0u);    // empty messages stay free of bandwidth
+  LatencyModel zero;
+  EXPECT_EQ(zero.CostUs(4096), 0u);  // zero-cost model stays zero
 }
 
 }  // namespace
