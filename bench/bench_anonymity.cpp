@@ -13,6 +13,7 @@
 
 #include "crypto/drbg.h"
 #include "crypto/sha256.h"
+#include "sim/bench_report.h"
 #include "sim/linkability.h"
 #include "sim/zipf.h"
 
@@ -50,12 +51,21 @@ std::vector<sim::Observation> Simulate(std::size_t users,
   return obs;
 }
 
+sim::BenchReport& JsonReport() {
+  static sim::BenchReport report("bench_anonymity");
+  return report;
+}
+
 void Report(const char* label, const std::vector<sim::Observation>& obs,
             std::size_t users) {
   auto r = sim::AnalyzeLinkability(obs);
   std::printf("%-34s %10.4f %12zu %12zu %14.1f\n", label, r.linkability,
               r.distinct_credentials, r.largest_profile,
               static_cast<double>(obs.size()) / static_cast<double>(users));
+  std::string prefix = label;
+  JsonReport().Metric(prefix + ".linkability", r.linkability);
+  JsonReport().Metric(prefix + ".max_profile",
+                      static_cast<double>(r.largest_profile));
 }
 
 }  // namespace
@@ -106,5 +116,7 @@ int main() {
       "\nworkload: Zipf(1.0) over 1000 titles; top-10 titles carry %.1f%% "
       "of demand.\n",
       100.0 * head_total / kDraws);
+  JsonReport().Metric("zipf.top10_share", 100.0 * head_total / kDraws);
+  JsonReport().WriteJsonFile();
   return 0;
 }

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_json_main.h"
+
 #include <map>
 
 #include "bignum/montgomery.h"
@@ -184,4 +186,4 @@ BENCHMARK(BM_ModExpNaive)->Arg(512)->Arg(1024)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+P2DRM_GBENCH_JSON_MAIN("bench_crypto")

@@ -16,6 +16,7 @@
 #include "core/metrics.h"
 #include "core/system.h"
 #include "crypto/drbg.h"
+#include "sim/bench_report.h"
 #include "sim/linkability.h"
 #include "sim/stats.h"
 #include "sim/zipf.h"
@@ -190,5 +191,18 @@ int main() {
               "profile row per op.\n",
               p2drm_wall / (base_wall > 0 ? base_wall : 1e-9),
               p2drm_link.linkability);
+
+  sim::BenchReport report("bench_end_to_end");
+  report.Metric("p2drm.ops_per_sec",
+                (purchases + plays + transfers) / p2drm_wall);
+  report.Metric("p2drm.purchase_p50_us", purchase_lat.Percentile(50));
+  report.Metric("p2drm.purchase_p99_us", purchase_lat.Percentile(99));
+  report.Metric("p2drm.wire_messages",
+                static_cast<double>(p2drm_traffic.messages));
+  report.Metric("p2drm.linkability", p2drm_link.linkability);
+  report.Metric("baseline.ops_per_sec",
+                (bpurchases + bplays + btransfers) / base_wall);
+  report.Metric("baseline.linkability", base_link.linkability);
+  report.WriteJsonFile();
   return 0;
 }

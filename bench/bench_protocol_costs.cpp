@@ -12,6 +12,7 @@
 #include "core/metrics.h"
 #include "core/system.h"
 #include "crypto/drbg.h"
+#include "sim/bench_report.h"
 
 namespace {
 
@@ -25,11 +26,20 @@ struct Row {
   OpCounters ops;
 };
 
+sim::BenchReport& Report() {
+  static sim::BenchReport report("bench_protocol_costs");
+  return report;
+}
+
 void PrintRow(const Row& row) {
   std::printf("%-28s %8llu %10llu   %s\n", row.name,
               static_cast<unsigned long long>(row.messages),
               static_cast<unsigned long long>(row.bytes),
               row.ops.ToString().c_str());
+  std::string prefix = row.name;
+  Report().Metric(prefix + ".msgs", static_cast<double>(row.messages));
+  Report().Metric(prefix + ".bytes", static_cast<double>(row.bytes));
+  Report().Metric(prefix + ".pk_ops", static_cast<double>(row.ops.Total()));
 }
 
 /// Measures one protocol step: runs fn, returns transport+op deltas.
@@ -187,5 +197,6 @@ int main() {
       "direct-call in this repo);\nP2DRM rows are measured on the wire. "
       "Privacy overhead = extra blind-signature round trips\nand the "
       "pseudonym key generation on the client.\n");
+  Report().WriteJsonFile();
   return 0;
 }

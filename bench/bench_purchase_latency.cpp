@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_json_main.h"
+
 #include <map>
 #include <memory>
 
@@ -118,4 +120,4 @@ BENCHMARK(BM_ProviderSidePurchaseOnly)->Arg(512)->Arg(1024)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+P2DRM_GBENCH_JSON_MAIN("bench_purchase_latency")

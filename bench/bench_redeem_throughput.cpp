@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_json_main.h"
+
 #include "crypto/drbg.h"
 #include "net/rpc.h"
 #include "store/spent_set.h"
@@ -183,4 +185,4 @@ BENCHMARK(BM_RpcRedeemWireBatched)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+P2DRM_GBENCH_JSON_MAIN("bench_redeem_throughput")

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_json_main.h"
+
 #include "store/revocation_list.h"
 
 namespace {
@@ -77,4 +79,4 @@ BENCHMARK(BM_CrlSerializeSnapshot)->Arg(1000)->Arg(100000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+P2DRM_GBENCH_JSON_MAIN("bench_revocation")

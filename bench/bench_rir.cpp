@@ -13,6 +13,7 @@
 
 #include "crypto/drbg.h"
 #include "rir/rir.h"
+#include "sim/bench_report.h"
 #include "sim/zipf.h"
 
 namespace {
@@ -36,6 +37,7 @@ std::vector<double> ZipfPrior(double alpha) {
 
 int main() {
   crypto::HmacDrbg rng("rir-bench");
+  sim::BenchReport report("bench_rir");
 
   std::printf("RF-7: repudiative retrieval — bandwidth vs repudiation "
               "(catalog %zu x %zu KiB, Zipf(1.0) demand)\n",
@@ -72,6 +74,11 @@ int main() {
                 rir::BandwidthFactor(k) * kBlobBytes / 1024.0,
                 1.0 / static_cast<double>(k), g_matched / kQueries,
                 g_naive / kQueries);
+    std::string prefix = "k" + std::to_string(k);
+    report.Metric(prefix + ".kib_per_query",
+                  rir::BandwidthFactor(k) * kBlobBytes / 1024.0);
+    report.Metric(prefix + ".matched_guess_prob", g_matched / kQueries);
+    report.Metric(prefix + ".naive_guess_prob", g_naive / kQueries);
 
     if (server.ItemsServed() != k * kQueries) {
       std::fprintf(stderr, "metering mismatch!\n");
@@ -88,5 +95,6 @@ int main() {
       "but\npopularity-matched decoys consistently beat naive uniform "
       "decoys, and metering\n(pay-per-item) works at every k: the "
       "DRM/privacy reconciliation RIR claims.\n");
+  report.WriteJsonFile();
   return 0;
 }

@@ -1,0 +1,365 @@
+// Server-scaling bench: the sharded runtime and the amortized batch
+// verifier (ISSUE 2 acceptance harness).
+//
+// Part A — shard scaling. Drives >= 1M simulated redemptions through
+// server::ServerRuntime at 1/2/4/8 shards. Each item really routes to its
+// home shard, really inserts into that shard's SpentSetShard, and accrues
+// a *measured* RSA-verify service time on the shard's simulated clock —
+// the same simulated-time methodology the transport's LatencyModel uses
+// for wire costs, so the reported throughput is hardware-independent and
+// meaningful on single-core CI (where wall-clock parallel speedup is
+// physically impossible). Arrivals are open-loop at 80% utilization per
+// shard, so throughput scales with the shard count and p99 shows the
+// queueing tail.
+//
+// Part B — batch verification. Builds real licenses and pseudonym
+// certificates, then compares per-item verification (two full RSA
+// verifies per redemption) against BatchVerifier's screened same-key
+// check + certificate dedup + shared CRL pass. The headline number is
+// full RSA verifications: 1 + (distinct certs) instead of 2 * items.
+//
+// Part C — backpressure. Blocks the workers, overfills a bounded queue,
+// and counts the kOverloaded sheds.
+//
+// Output: console report + BENCH_bench_server_scaling.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+#include "server/batch_verifier.h"
+#include "server/server_runtime.h"
+#include "sim/bench_report.h"
+#include "sim/stats.h"
+#include "store/revocation_list.h"
+
+namespace {
+
+using namespace p2drm;  // NOLINT
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+rel::LicenseId MakeId(std::uint64_t n) {
+  rel::LicenseId id;
+  for (int i = 0; i < 8; ++i) {
+    id.bytes[i] = static_cast<std::uint8_t>(n >> (8 * (7 - i)));
+  }
+  std::uint64_t mixed = n * 0x9e3779b97f4a7c15ull;
+  for (int i = 8; i < 16; ++i) {
+    id.bytes[i] = static_cast<std::uint8_t>(mixed >> (8 * (i - 8)));
+  }
+  return id;
+}
+
+/// Measures the provider-side cost of one license-signature verification
+/// — the per-item crypto a redemption cannot avoid — in microseconds.
+double CalibrateVerifyUs(const crypto::RsaPrivateKey& key,
+                         bignum::RandomSource* rng) {
+  const crypto::RsaPublicKey pub = key.PublicKey();
+  const int kSamples = 20;
+  std::vector<std::vector<std::uint8_t>> msgs;
+  std::vector<std::vector<std::uint8_t>> sigs;
+  for (int i = 0; i < kSamples; ++i) {
+    std::vector<std::uint8_t> msg(64);
+    rng->Fill(msg.data(), msg.size());
+    msgs.push_back(msg);
+    sigs.push_back(crypto::RsaSignFdh(key, msg));
+  }
+  Clock::time_point t0 = Clock::now();
+  for (int i = 0; i < kSamples; ++i) {
+    if (!crypto::RsaVerifyFdh(pub, msgs[i], sigs[i])) {
+      std::fprintf(stderr, "calibration verify failed\n");
+      std::exit(1);
+    }
+  }
+  double us = SecondsSince(t0) * 1e6 / kSamples;
+  return us < 1.0 ? 1.0 : us;
+}
+
+struct ScalingResult {
+  double sim_throughput = 0;   // items per simulated second
+  double wall_throughput = 0;  // items per wall second
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t max_shard_items = 0;
+  std::uint64_t min_shard_items = 0;
+};
+
+ScalingResult RunScaling(std::size_t shards, std::size_t items,
+                         double service_us) {
+  server::ServerRuntimeConfig cfg;
+  cfg.shard_count = shards;
+  cfg.queue_capacity = 1u << 16;
+  server::ServerRuntime rt(cfg);
+
+  // Open-loop arrivals at 80% utilization per shard: the offered rate
+  // grows with the shard count, which is exactly the capacity claim the
+  // shard architecture makes.
+  const double inter_arrival_us =
+      service_us / (0.8 * static_cast<double>(shards));
+  std::vector<sim::LatencyStats> shard_stats(shards);
+
+  const std::size_t kChunk = 4096;
+  Clock::time_point t0 = Clock::now();
+  for (std::size_t base = 0; base < items; base += kChunk) {
+    std::size_t count = std::min(kChunk, items - base);
+    // Route the chunk, then hand each shard its slice as one task.
+    std::vector<std::vector<std::uint64_t>> groups(shards);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t n = base + i;
+      groups[rt.ShardFor(MakeId(n))].push_back(n);
+    }
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (groups[s].empty()) continue;
+      std::size_t weight = groups[s].size();
+      rt.Submit(
+          s,
+          [group = std::move(groups[s]), inter_arrival_us, service_us,
+           stats = &shard_stats[s]](server::ShardContext& ctx) {
+            for (std::uint64_t n : group) {
+              double arrival = static_cast<double>(n) * inter_arrival_us;
+              double start = static_cast<double>(ctx.sim_clock_us);
+              if (arrival > start) start = arrival;
+              bool fresh = ctx.spent.Insert(MakeId(n));
+              double done = start + service_us;
+              ctx.sim_clock_us = static_cast<std::uint64_t>(done);
+              stats->Add(done - arrival);
+              ctx.processed += fresh ? 1 : 0;
+            }
+          },
+          weight);
+    }
+  }
+  rt.Drain();
+  double wall_s = SecondsSince(t0);
+
+  ScalingResult r;
+  r.min_shard_items = items;
+  std::uint64_t makespan_us = 0;
+  sim::LatencyStats all;
+  for (std::size_t s = 0; s < shards; ++s) {
+    std::uint64_t done = rt.ShardProcessed(s);
+    r.processed += done;
+    if (done > r.max_shard_items) r.max_shard_items = done;
+    if (done < r.min_shard_items) r.min_shard_items = done;
+    // The batch is finished when the slowest shard's sim clock stops.
+    makespan_us = std::max(makespan_us, rt.ShardSimClockUs(s));
+    all.Merge(shard_stats[s]);
+  }
+  r.sim_throughput =
+      static_cast<double>(items) / (static_cast<double>(makespan_us) / 1e6);
+  r.wall_throughput = static_cast<double>(items) / wall_s;
+  r.p50_us = all.Percentile(50);
+  r.p99_us = all.Percentile(99);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t items = 1000000;
+  std::size_t verify_items = 64;
+  std::size_t distinct_certs = 8;
+  std::size_t key_bits = 1024;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--items") == 0 && i + 1 < argc) {
+      items = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--bits") == 0 && i + 1 < argc) {
+      key_bits = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      items = 20000;
+      verify_items = 16;
+      distinct_certs = 4;
+      key_bits = 512;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--items N] [--bits B] [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  sim::BenchReport report("bench_server_scaling");
+  crypto::HmacDrbg rng("server-scaling");
+
+  std::printf("server scaling: %zu simulated redemptions, %zu-bit keys\n",
+              items, key_bits);
+  crypto::RsaPrivateKey cp_key = crypto::GenerateRsaKey(key_bits, &rng);
+  double service_us = CalibrateVerifyUs(cp_key, &rng);
+  std::printf("calibrated per-item verify cost: %.1f us\n", service_us);
+  report.Metric("items", static_cast<double>(items));
+  report.Metric("key_bits", static_cast<double>(key_bits));
+  report.Metric("service_us", service_us);
+
+  // -- Part A: shard scaling -------------------------------------------------
+  double base_throughput = 0;
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+    ScalingResult r = RunScaling(shards, items, service_us);
+    std::printf(
+        "shards=%zu  sim-throughput=%10.0f items/s  wall=%10.0f/s  "
+        "p50=%7.1fus  p99=%8.1fus  shard-items=[%llu..%llu]\n",
+        shards, r.sim_throughput, r.wall_throughput, r.p50_us, r.p99_us,
+        static_cast<unsigned long long>(r.min_shard_items),
+        static_cast<unsigned long long>(r.max_shard_items));
+    if (r.processed != items) {
+      std::fprintf(stderr, "lost items: %llu != %zu\n",
+                   static_cast<unsigned long long>(r.processed), items);
+      return 1;
+    }
+    std::string prefix = "shards" + std::to_string(shards);
+    report.Metric(prefix + ".sim_items_per_sec", r.sim_throughput);
+    report.Metric(prefix + ".wall_items_per_sec", r.wall_throughput);
+    report.Metric(prefix + ".p50_us", r.p50_us);
+    report.Metric(prefix + ".p99_us", r.p99_us);
+    if (shards == 1) base_throughput = r.sim_throughput;
+    if (shards == 4) {
+      double ratio = r.sim_throughput / base_throughput;
+      std::printf("4-shard vs 1-shard throughput: %.2fx\n", ratio);
+      report.Metric("scaling_4v1", ratio);
+      if (ratio < 2.0) {
+        std::fprintf(stderr, "FAIL: 4-shard scaling %.2fx < 2x\n", ratio);
+        return 1;
+      }
+    }
+  }
+
+  // -- Part B: amortized batch verification ---------------------------------
+  std::printf("\nbatch verification: %zu items, %zu distinct pseudonyms\n",
+              verify_items, distinct_certs);
+  crypto::RsaPrivateKey ca_key = crypto::GenerateRsaKey(key_bits, &rng);
+  crypto::RsaPrivateKey pseudonym_key = crypto::GenerateRsaKey(key_bits, &rng);
+
+  std::vector<core::PseudonymCertificate> certs(distinct_certs);
+  for (auto& cert : certs) {
+    cert.pseudonym_key = pseudonym_key.PublicKey();
+    cert.escrow.resize(32);
+    rng.Fill(cert.escrow.data(), cert.escrow.size());
+    cert.ca_signature = crypto::RsaSignFdh(ca_key, cert.CanonicalBytes());
+  }
+  std::vector<std::vector<std::uint8_t>> msgs(verify_items);
+  std::vector<std::vector<std::uint8_t>> sigs(verify_items);
+  for (std::size_t i = 0; i < verify_items; ++i) {
+    msgs[i].resize(96);
+    rng.Fill(msgs[i].data(), msgs[i].size());
+    sigs[i] = crypto::RsaSignFdh(cp_key, msgs[i]);
+  }
+  store::RevocationList crl(store::CrlStrategy::kBloomFronted, 1024);
+  std::vector<rel::KeyFingerprint> keys(verify_items);
+  for (std::size_t i = 0; i < verify_items; ++i) {
+    keys[i] = certs[i % distinct_certs].KeyId();
+  }
+
+  // Naive: two full verifications and one CRL probe per item.
+  Clock::time_point t0 = Clock::now();
+  std::size_t naive_ok = 0;
+  for (std::size_t i = 0; i < verify_items; ++i) {
+    bool ok = crypto::RsaVerifyFdh(cp_key.PublicKey(), msgs[i], sigs[i]) &&
+              core::VerifyPseudonymCert(ca_key.PublicKey(),
+                                        certs[i % distinct_certs]) &&
+              !crl.IsRevoked(keys[i]);
+    naive_ok += ok ? 1 : 0;
+  }
+  double naive_s = SecondsSince(t0);
+  std::uint64_t naive_verifies = 2 * verify_items;
+
+  // Batched: one screened group check, one verify per distinct cert,
+  // one shared CRL pass.
+  server::BatchVerifier verifier;
+  t0 = Clock::now();
+  std::vector<bool> sig_ok =
+      verifier.VerifySameKeyBatch(cp_key.PublicKey(), msgs, sigs, &rng);
+  std::size_t batch_ok = 0;
+  for (std::size_t i = 0; i < verify_items; ++i) {
+    bool ok = sig_ok[i] &&
+              verifier.VerifyPseudonymCert(ca_key.PublicKey(),
+                                           certs[i % distinct_certs]);
+    batch_ok += ok ? 1 : 0;
+  }
+  std::vector<bool> revoked = verifier.CrlProbePass(crl, keys);
+  double batch_s = SecondsSince(t0);
+  server::BatchVerifierStats stats = verifier.stats();
+
+  std::printf("  naive:   %llu full RSA verifies, %8.2f ms (%zu valid)\n",
+              static_cast<unsigned long long>(naive_verifies), naive_s * 1e3,
+              naive_ok);
+  std::printf("  batched: %llu full RSA verifies, %8.2f ms (%zu valid)\n",
+              static_cast<unsigned long long>(stats.full_verifies),
+              batch_s * 1e3, batch_ok);
+  report.Metric("amortize.items", static_cast<double>(verify_items));
+  report.Metric("amortize.distinct_certs", static_cast<double>(distinct_certs));
+  report.Metric("amortize.naive_full_rsa_verifies",
+                static_cast<double>(naive_verifies));
+  report.Metric("amortize.batch_full_rsa_verifies",
+                static_cast<double>(stats.full_verifies));
+  report.Metric("amortize.naive_ms", naive_s * 1e3);
+  report.Metric("amortize.batch_ms", batch_s * 1e3);
+  report.Metric("amortize.cert_cache_hits",
+                static_cast<double>(stats.cert_cache_hits));
+  report.Metric("amortize.crl_probe_hits",
+                static_cast<double>(stats.crl_probe_hits));
+  if (naive_ok != verify_items || batch_ok != verify_items) {
+    std::fprintf(stderr, "FAIL: genuine signatures rejected\n");
+    return 1;
+  }
+  for (bool r : revoked) {
+    if (r) {
+      std::fprintf(stderr, "FAIL: spurious revocation\n");
+      return 1;
+    }
+  }
+  if (stats.full_verifies >= verify_items) {
+    std::fprintf(stderr,
+                 "FAIL: batched verification did not beat one op per item "
+                 "(%llu >= %zu)\n",
+                 static_cast<unsigned long long>(stats.full_verifies),
+                 verify_items);
+    return 1;
+  }
+
+  // -- Part C: bounded-queue backpressure -----------------------------------
+  {
+    server::ServerRuntimeConfig cfg;
+    cfg.shard_count = 2;
+    cfg.queue_capacity = 64;
+    server::ServerRuntime rt(cfg);
+    std::promise<void> release;
+    std::shared_future<void> gate(release.get_future());
+    for (std::size_t s = 0; s < rt.shard_count(); ++s) {
+      rt.Submit(s, [gate](server::ShardContext&) { gate.wait(); });
+    }
+    std::vector<rel::LicenseId> flood(4096);
+    for (std::size_t i = 0; i < flood.size(); ++i) {
+      flood[i] = MakeId(0x80000000ull + i);
+    }
+    std::vector<core::Status> st;
+    rt.SpendBatch(flood, &st, /*shed_on_full=*/true);
+    release.set_value();
+    rt.Drain();
+    std::size_t shed = 0;
+    for (core::Status s : st) {
+      if (s == core::Status::kOverloaded) ++shed;
+    }
+    std::printf("\nbackpressure: %zu of %zu items shed with kOverloaded\n",
+                shed, flood.size());
+    report.Metric("overload.flood_items", static_cast<double>(flood.size()));
+    report.Metric("overload.shed_items", static_cast<double>(shed));
+    if (shed == 0) {
+      std::fprintf(stderr, "FAIL: bounded queue never shed\n");
+      return 1;
+    }
+  }
+
+  report.WriteJsonFile();
+  return 0;
+}

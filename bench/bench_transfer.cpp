@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_json_main.h"
+
 #include <memory>
 
 #include "baseline/identified_drm.h"
@@ -146,4 +148,4 @@ BENCHMARK(BM_BaselinePurchase)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+P2DRM_GBENCH_JSON_MAIN("bench_transfer")

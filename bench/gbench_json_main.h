@@ -1,0 +1,45 @@
+#ifndef P2DRM_BENCH_GBENCH_JSON_MAIN_H_
+#define P2DRM_BENCH_GBENCH_JSON_MAIN_H_
+
+// Shared main() for the Google-Benchmark benches: the console report
+// stays on stdout, and a machine-readable copy of every counter lands in
+// BENCH_<name>.json (gbench's own JSON schema) so CI jobs can assert on
+// throughput without scraping text. Use instead of BENCHMARK_MAIN():
+//
+//   P2DRM_GBENCH_JSON_MAIN("bench_crypto")
+//
+// Implemented by injecting --benchmark_out/--benchmark_out_format into
+// argv (portable across benchmark-library versions); an explicit
+// --benchmark_out=... on the command line wins over the default file.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#define P2DRM_GBENCH_JSON_MAIN(name)                                         \
+  int main(int argc, char** argv) {                                          \
+    bool has_out = false;                                                    \
+    for (int i = 1; i < argc; ++i) {                                         \
+      if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {           \
+        has_out = true;                                                      \
+      }                                                                      \
+    }                                                                        \
+    std::vector<std::string> args(argv, argv + argc);                        \
+    if (!has_out) {                                                          \
+      args.push_back("--benchmark_out=BENCH_" name ".json");                 \
+      args.push_back("--benchmark_out_format=json");                         \
+    }                                                                        \
+    std::vector<char*> cargs;                                                \
+    for (std::string& a : args) cargs.push_back(&a[0]);                      \
+    int cargc = static_cast<int>(cargs.size());                              \
+    ::benchmark::Initialize(&cargc, cargs.data());                           \
+    if (::benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) {     \
+      return 1;                                                              \
+    }                                                                        \
+    ::benchmark::RunSpecifiedBenchmarks();                                   \
+    ::benchmark::Shutdown();                                                 \
+    return 0;                                                                \
+  }
+
+#endif  // P2DRM_BENCH_GBENCH_JSON_MAIN_H_

@@ -32,7 +32,17 @@ ContentProvider::ContentProvider(const ContentProviderConfig& config,
       crl_(config.crl_strategy, config.expected_crl_entries) {
   GlobalOps().keygen += 1;
   if (bank_ != nullptr) bank_->OpenAccount(kMerchantAccount, 0);
-  if (!config_.spent_journal_path.empty()) {
+  if (config_.redeem_shards > 0) {
+    // Sharded path: the runtime owns the spent-set partitions and the
+    // per-shard journal segments (it also replays any legacy unsharded
+    // journal at the configured path).
+    server::ServerRuntimeConfig rt;
+    rt.shard_count = config_.redeem_shards;
+    rt.queue_capacity = config_.redeem_queue_capacity;
+    rt.spent_backend = config_.spent_backend;
+    rt.journal_path_prefix = config_.spent_journal_path;
+    runtime_ = std::make_unique<server::ServerRuntime>(rt);
+  } else if (!config_.spent_journal_path.empty()) {
     // Crash recovery: rebuild the spent set from the journal, then reopen
     // the journal for appending.
     store::AppendLog::Replay(
@@ -47,6 +57,8 @@ ContentProvider::ContentProvider(const ContentProviderConfig& config,
         std::make_unique<store::AppendLog>(config_.spent_journal_path);
   }
 }
+
+ContentProvider::~ContentProvider() = default;
 
 rel::ContentId ContentProvider::Publish(
     const std::string& title, const std::vector<std::uint8_t>& plaintext,
@@ -179,6 +191,11 @@ std::vector<std::uint8_t> ContentProvider::TransferChallengeBytes(
 }
 
 bool ContentProvider::MarkSpent(const rel::LicenseId& id) {
+  if (runtime_ != nullptr) {
+    // Serialize on the id's home shard, exactly like the batch path, so
+    // single-item and batched redemptions can never double-spend one id.
+    return runtime_->SpendOne(id) == Status::kOk;
+  }
   if (!spent_.Insert(id)) return false;
   if (spent_journal_ != nullptr) {
     spent_journal_->Append(
@@ -277,13 +294,21 @@ ContentProvider::PurchaseResult ContentProvider::RedeemAnonymous(
     return result;
   }
 
-  RedemptionTranscript transcript =
-      MakeTranscript(anonymous_license.id, taker);
+  Status spend = MarkSpent(anonymous_license.id) ? Status::kOk
+                                                 : Status::kAlreadySpent;
+  return FinalizeRedemption(RedeemItem{anonymous_license, taker}, spend);
+}
 
-  if (!MarkSpent(anonymous_license.id)) {
+ContentProvider::PurchaseResult ContentProvider::FinalizeRedemption(
+    const RedeemItem& item, Status spend_status) {
+  PurchaseResult result;
+  RedemptionTranscript transcript =
+      MakeTranscript(item.anonymous_license.id, item.taker);
+
+  if (spend_status == Status::kAlreadySpent) {
     // Double redemption: build fraud evidence from the first transcript.
     ++double_redemptions_;
-    auto first = redemption_transcripts_.find(anonymous_license.id);
+    auto first = redemption_transcripts_.find(item.anonymous_license.id);
     if (first != redemption_transcripts_.end()) {
       FraudEvidence evidence;
       evidence.first = first->second;
@@ -293,14 +318,100 @@ ContentProvider::PurchaseResult ContentProvider::RedeemAnonymous(
     result.status = Status::kAlreadySpent;
     return result;
   }
-  redemption_transcripts_.emplace(anonymous_license.id, transcript);
+  redemption_transcripts_.emplace(item.anonymous_license.id, transcript);
 
-  pseudonyms_seen_.insert(taker.KeyId());
-  result.license =
-      IssueLicense(rel::LicenseKind::kUserBound, anonymous_license.content_id,
-                   anonymous_license.rights, &taker.pseudonym_key);
+  pseudonyms_seen_.insert(item.taker.KeyId());
+  result.license = IssueLicense(rel::LicenseKind::kUserBound,
+                                item.anonymous_license.content_id,
+                                item.anonymous_license.rights,
+                                &item.taker.pseudonym_key);
   result.status = Status::kOk;
   return result;
+}
+
+std::vector<ContentProvider::PurchaseResult>
+ContentProvider::RedeemAnonymousBatch(const std::vector<RedeemItem>& items) {
+  std::vector<PurchaseResult> out(items.size());
+  if (items.empty()) return out;
+  server::BatchVerifierStats before = verifier_.stats();
+
+  // Stage 1 — license signatures, amortized: every license in the batch
+  // is signed by our own key, so one screened same-key verification
+  // covers the whole group.
+  std::vector<std::vector<std::uint8_t>> msgs;
+  std::vector<std::vector<std::uint8_t>> sigs;
+  msgs.reserve(items.size());
+  sigs.reserve(items.size());
+  for (const RedeemItem& item : items) {
+    msgs.push_back(item.anonymous_license.CanonicalBytes());
+    sigs.push_back(item.anonymous_license.issuer_signature);
+  }
+  std::vector<bool> sig_ok =
+      verifier_.VerifySameKeyBatch(public_key_, msgs, sigs, rng_);
+
+  // Stage 2 — pseudonym certificates, verified once per distinct cert.
+  std::vector<std::size_t> crl_items;
+  std::vector<rel::KeyFingerprint> crl_keys;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!sig_ok[i]) {
+      out[i].status = Status::kBadSignature;
+    } else if (items[i].anonymous_license.kind != rel::LicenseKind::kAnonymous) {
+      out[i].status = Status::kBadRequest;
+    } else if (!verifier_.VerifyPseudonymCert(ca_key_, items[i].taker)) {
+      out[i].status = Status::kBadCertificate;
+    } else {
+      crl_items.push_back(i);
+      crl_keys.push_back(items[i].taker.KeyId());
+    }
+  }
+
+  // Stage 3 — one shared CRL probe pass over the surviving items.
+  std::vector<bool> revoked = verifier_.CrlProbePass(crl_, crl_keys);
+  std::vector<std::size_t> eligible;
+  eligible.reserve(crl_items.size());
+  for (std::size_t j = 0; j < crl_items.size(); ++j) {
+    if (revoked[j]) {
+      out[crl_items[j]].status = Status::kRevoked;
+    } else {
+      eligible.push_back(crl_items[j]);
+    }
+  }
+
+  // The RT-2 table counts the verifications actually performed, which is
+  // the whole point of the batch path.
+  GlobalOps().verify += (verifier_.stats() - before).full_verifies;
+
+  // Stage 4 — spend-set updates on each id's home shard. Duplicates in
+  // one batch serialize there in index order, first occurrence wins.
+  std::vector<Status> spend;
+  if (runtime_ != nullptr) {
+    std::vector<rel::LicenseId> ids;
+    ids.reserve(eligible.size());
+    for (std::size_t i : eligible) {
+      ids.push_back(items[i].anonymous_license.id);
+    }
+    runtime_->SpendBatch(ids, &spend, /*shed_on_full=*/true);
+  } else {
+    spend.reserve(eligible.size());
+    for (std::size_t i : eligible) {
+      spend.push_back(MarkSpent(items[i].anonymous_license.id)
+                          ? Status::kOk
+                          : Status::kAlreadySpent);
+    }
+  }
+
+  // Stage 5 — transcripts, fraud evidence and issuance, in index order.
+  for (std::size_t j = 0; j < eligible.size(); ++j) {
+    std::size_t i = eligible[j];
+    if (spend[j] == Status::kOverloaded) {
+      // Shed by a full shard queue before any state change: the bearer
+      // license is untouched and the client may simply retry.
+      out[i].status = Status::kOverloaded;
+      continue;
+    }
+    out[i] = FinalizeRedemption(items[i], spend[j]);
+  }
+  return out;
 }
 
 void ContentProvider::Revoke(const rel::KeyFingerprint& key_id) {

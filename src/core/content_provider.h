@@ -28,6 +28,8 @@
 #include "core/ttp.h"
 #include "crypto/rsa.h"
 #include "rel/license.h"
+#include "server/batch_verifier.h"
+#include "server/server_runtime.h"
 #include "store/append_log.h"
 #include "store/revocation_list.h"
 #include "store/spent_set.h"
@@ -58,8 +60,18 @@ struct ContentProviderConfig {
   store::CrlStrategy crl_strategy = store::CrlStrategy::kBloomFronted;
   std::size_t expected_crl_entries = 1024;
   /// When non-empty, every spent license id is journaled here and the
-  /// spent set is rebuilt from the journal at construction.
+  /// spent set is rebuilt from the journal at construction. With
+  /// redeem_shards > 0 the path becomes the shard-segment prefix
+  /// (`<path>.shard<k>`); an existing unsharded journal at the path
+  /// itself is replayed once as a migration.
   std::string spent_journal_path;
+  /// Number of redemption shards. 0 keeps the classic single-threaded
+  /// spent set; N > 0 spins up a server::ServerRuntime whose N shard
+  /// workers own the spent-set partitions and journal segments.
+  std::size_t redeem_shards = 0;
+  /// Per-shard bounded-queue capacity (items). Batch redemptions that
+  /// would overflow a shard queue are shed with Status::kOverloaded.
+  std::size_t redeem_queue_capacity = 4096;
 };
 
 /// The content provider actor.
@@ -70,6 +82,7 @@ class ContentProvider {
   ContentProvider(const ContentProviderConfig& config,
                   bignum::RandomSource* rng, const Clock* clock,
                   PaymentProvider* bank, crypto::RsaPublicKey ca_key);
+  ~ContentProvider();
 
   /// License/transcript verification key.
   const crypto::RsaPublicKey& PublicKey() const { return public_key_; }
@@ -125,6 +138,34 @@ class ContentProvider {
   static std::vector<std::uint8_t> TransferChallengeBytes(
       const rel::LicenseId& id);
 
+  // -- batched redemption (server fast path) --------------------------------
+
+  /// One decoded batch item: an anonymous license plus the taker's
+  /// pseudonym certificate.
+  struct RedeemItem {
+    rel::License anonymous_license;
+    PseudonymCertificate taker;
+  };
+
+  /// Redeems a whole batch with amortized server-side crypto: ONE
+  /// screened same-key verification covers every license signature, each
+  /// distinct pseudonym certificate is verified once, one shared pass
+  /// answers the CRL probes, and the spent-set updates run on the shard
+  /// runtime when redeem_shards > 0. Per-item results are index-aligned
+  /// and match RedeemAnonymous item for item, with one addition: an item
+  /// shed by a full shard queue returns Status::kOverloaded and leaves no
+  /// trace in the spent set.
+  std::vector<PurchaseResult> RedeemAnonymousBatch(
+      const std::vector<RedeemItem>& items);
+
+  /// Amortization counters for the batch path (RT-2 accounting).
+  server::BatchVerifierStats BatchVerifyStats() const {
+    return verifier_.stats();
+  }
+
+  /// The shard runtime, or null when redeem_shards == 0.
+  const server::ServerRuntime* Runtime() const { return runtime_.get(); }
+
   // -- revocation & fraud ---------------------------------------------------
 
   const store::RevocationList& Crl() const { return crl_; }
@@ -138,7 +179,9 @@ class ContentProvider {
 
   // -- introspection --------------------------------------------------------
 
-  std::size_t SpentSetSize() const { return spent_.Size(); }
+  std::size_t SpentSetSize() const {
+    return runtime_ != nullptr ? runtime_->SpentSize() : spent_.Size();
+  }
   std::uint64_t LicensesIssued() const { return licenses_issued_; }
   std::uint64_t DoubleRedemptionAttempts() const {
     return double_redemptions_;
@@ -155,6 +198,10 @@ class ContentProvider {
   RedemptionTranscript MakeTranscript(const rel::LicenseId& id,
                                       const PseudonymCertificate& cert);
   bool MarkSpent(const rel::LicenseId& id);
+  /// Finishes one eligible batch item given its spend outcome (fresh /
+  /// already spent): transcripts, fraud evidence, issuance.
+  PurchaseResult FinalizeRedemption(const RedeemItem& item,
+                                    Status spend_status);
 
   ContentProviderConfig config_;
   bignum::RandomSource* rng_;
@@ -172,8 +219,10 @@ class ContentProvider {
   std::map<rel::ContentId, CatalogEntry> catalog_;
   rel::ContentId next_content_id_ = 1;
 
-  store::SpentSet spent_;
+  store::SpentSet spent_;  ///< unsharded path; unused when runtime_ is set
   std::unique_ptr<store::AppendLog> spent_journal_;
+  std::unique_ptr<server::ServerRuntime> runtime_;  ///< sharded path
+  server::BatchVerifier verifier_;
   store::RevocationList crl_;
   // First-seen transcript per redeemed license id (fraud evidence basis).
   std::map<rel::LicenseId, RedemptionTranscript> redemption_transcripts_;

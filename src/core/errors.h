@@ -30,6 +30,7 @@ enum class Status : std::uint8_t {
   kVersionMismatch = 15,  ///< envelope protocol version unsupported
   kInternalError = 16,    ///< handler threw; nothing usable came back
   kBadResponse = 17,      ///< client could not decode the response envelope
+  kOverloaded = 18,       ///< server shed the request (bounded queue full)
 };
 
 /// Human-readable status name.
@@ -53,6 +54,7 @@ inline const char* StatusName(Status s) {
     case Status::kVersionMismatch: return "version-mismatch";
     case Status::kInternalError: return "internal-error";
     case Status::kBadResponse: return "bad-response";
+    case Status::kOverloaded: return "overloaded";
   }
   return "unknown";
 }

@@ -54,6 +54,11 @@ void ServiceRegistry::RegisterRaw(std::uint8_t tag, RawHandler handler) {
   handlers_[tag] = std::move(handler);
 }
 
+void ServiceRegistry::RegisterRawBatch(std::uint8_t tag,
+                                       RawBatchHandler handler) {
+  batch_handlers_[tag] = std::move(handler);
+}
+
 core::Status ServiceRegistry::DispatchItem(
     std::uint8_t tag, const std::vector<std::uint8_t>& payload,
     std::vector<std::uint8_t>* out) const {
@@ -103,15 +108,51 @@ std::vector<std::uint8_t> ServiceRegistry::Dispatch(
       out.status = core::Status::kBadRequest;
       return out.Encode();
     }
+    std::vector<core::Status> statuses(items.size(),
+                                       core::Status::kInternalError);
+    std::vector<std::vector<std::uint8_t>> bodies(items.size());
+    // Group the items whose tag has a batch handler so the whole group is
+    // handed over in one call (the server-side amortization fast path);
+    // everything else dispatches item-at-a-time as before.
+    std::map<std::uint8_t, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      std::uint8_t tag = items[i].first;
+      if (tag == kBatchTag) {
+        // No batch-in-batch: a nested batch item is malformed by definition.
+        statuses[i] = core::Status::kBadRequest;
+      } else if (batch_handlers_.count(tag) != 0) {
+        groups[tag].push_back(i);
+      } else {
+        statuses[i] = DispatchItem(tag, items[i].second, &bodies[i]);
+      }
+    }
+    for (const auto& [tag, indices] : groups) {
+      std::vector<std::vector<std::uint8_t>> payloads;
+      payloads.reserve(indices.size());
+      for (std::size_t i : indices) payloads.push_back(items[i].second);
+      std::vector<core::Status> st;
+      std::vector<std::vector<std::uint8_t>> group_bodies;
+      try {
+        batch_handlers_.at(tag)(payloads, &st, &group_bodies);
+      } catch (...) {
+        st.clear();  // handler threw: the whole group failed internally
+      }
+      bool aligned =
+          st.size() == indices.size() && group_bodies.size() == indices.size();
+      for (std::size_t j = 0; j < indices.size(); ++j) {
+        statuses[indices[j]] =
+            aligned ? st[j] : core::Status::kInternalError;
+        if (aligned && st[j] == core::Status::kOk) {
+          bodies[indices[j]] = std::move(group_bodies[j]);
+        }
+      }
+    }
     ByteWriter w;
     w.U32(static_cast<std::uint32_t>(items.size()));
-    for (const auto& [tag, payload] : items) {
-      std::vector<std::uint8_t> body;
-      // No batch-in-batch: a nested batch item is malformed by definition.
-      core::Status s = tag == kBatchTag ? core::Status::kBadRequest
-                                        : DispatchItem(tag, payload, &body);
-      w.U8(static_cast<std::uint8_t>(s));
-      w.Blob(s == core::Status::kOk ? body : std::vector<std::uint8_t>{});
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      w.U8(static_cast<std::uint8_t>(statuses[i]));
+      w.Blob(statuses[i] == core::Status::kOk ? bodies[i]
+                                              : std::vector<std::uint8_t>{});
     }
     out.status = core::Status::kOk;
     out.payload = w.Take();

@@ -20,6 +20,13 @@
 /// bulk purchase) amortize the per-message latency and message count
 /// while unbatched traffic keeps the exact RT-2 cost accounting.
 ///
+/// Batch fast path: a handler registered with RegisterBatch() receives
+/// ALL of a batch envelope's sub-requests with its tag in one call
+/// (grouped server-side, order preserved on the wire), which is what
+/// lets the content provider amortize crypto across a whole batch. Tags
+/// without a batch handler keep the item-at-a-time dispatch. Nothing
+/// about the envelope changes either way.
+///
 /// Client side: Rpc::Call<Req>() — Req names its tag (Req::kTag) and its
 /// response type (Req::Response), so call sites are fully typed.
 /// Server side: ServiceRegistry maps tag bytes to typed handlers and
@@ -104,6 +111,14 @@ class ServiceRegistry {
   using RawHandler = std::function<core::Status(
       const std::vector<std::uint8_t>&, std::vector<std::uint8_t>*)>;
 
+  /// Type-erased batch handler: all same-tag payloads of one batch
+  /// envelope in, aligned statuses + bodies out (bodies are used only
+  /// where the status is kOk).
+  using RawBatchHandler =
+      std::function<void(const std::vector<std::vector<std::uint8_t>>&,
+                         std::vector<core::Status>*,
+                         std::vector<std::vector<std::uint8_t>>*)>;
+
   /// Registers a typed handler under Req::kTag.
   template <typename Req, typename Fn>
   void Register(Fn fn) {
@@ -126,8 +141,69 @@ class ServiceRegistry {
         });
   }
 
+  /// Registers a typed batch handler under Req::kTag: one call receives
+  /// every sub-request with that tag from a batch envelope, already
+  /// decoded (undecodable items are answered kBadRequest individually
+  /// and never reach the handler).
+  ///
+  ///   registry.RegisterBatch<proto::RedeemRequest>(
+  ///       [&](const std::vector<proto::RedeemRequest>& reqs,
+  ///           std::vector<proto::PurchaseResponse>* resps)
+  ///           -> std::vector<core::Status> { ... });
+  ///
+  /// The returned status vector must align with \p reqs; \p resps is
+  /// pre-sized to match. Unbatched requests with the same tag still go
+  /// through the Register() handler, so both must be registered for a
+  /// tag that serves single and batched traffic.
+  template <typename Req, typename Fn>
+  void RegisterBatch(Fn fn) {
+    RegisterRawBatch(
+        static_cast<std::uint8_t>(Req::kTag),
+        [fn = std::move(fn)](
+            const std::vector<std::vector<std::uint8_t>>& payloads,
+            std::vector<core::Status>* statuses,
+            std::vector<std::vector<std::uint8_t>>* bodies) {
+          const std::size_t n = payloads.size();
+          statuses->assign(n, core::Status::kBadRequest);
+          bodies->assign(n, {});
+          std::vector<Req> reqs;
+          std::vector<std::size_t> origin;  // reqs index -> payload index
+          reqs.reserve(n);
+          origin.reserve(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            try {
+              ByteReader r(payloads[i]);
+              Req req = Req::Decode(&r);
+              r.ExpectEnd();
+              reqs.push_back(std::move(req));
+              origin.push_back(i);
+            } catch (const CodecError&) {
+              // stays kBadRequest
+            }
+          }
+          if (reqs.empty()) return;
+          std::vector<typename Req::Response> resps(reqs.size());
+          std::vector<core::Status> st = fn(reqs, &resps);
+          if (st.size() != reqs.size() || resps.size() != reqs.size()) {
+            for (std::size_t i : origin) {
+              (*statuses)[i] = core::Status::kInternalError;
+            }
+            return;
+          }
+          for (std::size_t j = 0; j < reqs.size(); ++j) {
+            (*statuses)[origin[j]] = st[j];
+            if (st[j] == core::Status::kOk) {
+              (*bodies)[origin[j]] = resps[j].Encode();
+            }
+          }
+        });
+  }
+
   /// Registers (or replaces) a type-erased handler for \p tag.
   void RegisterRaw(std::uint8_t tag, RawHandler handler);
+
+  /// Registers (or replaces) a type-erased batch handler for \p tag.
+  void RegisterRawBatch(std::uint8_t tag, RawBatchHandler handler);
 
   /// Full server-side entry point: raw request envelope bytes in, raw
   /// response envelope bytes out. Never throws.
@@ -146,6 +222,7 @@ class ServiceRegistry {
                             std::vector<std::uint8_t>* out) const;
 
   std::map<std::uint8_t, RawHandler> handlers_;
+  std::map<std::uint8_t, RawBatchHandler> batch_handlers_;
 };
 
 /// Typed client stub. Owns nothing but a Transport pointer, a caller

@@ -1,0 +1,269 @@
+#include "server/server_runtime.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace p2drm {
+namespace server {
+
+namespace {
+
+/// True when a file exists (readably). AppendLog::Replay cannot
+/// distinguish a missing segment from an empty one, and replay must not
+/// stop early on an empty segment a wider run created but never wrote.
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+std::string ServerRuntime::SegmentPath(const std::string& prefix,
+                                       std::size_t shard) {
+  return prefix + ".shard" + std::to_string(shard);
+}
+
+ServerRuntime::ServerRuntime(const ServerRuntimeConfig& config)
+    : config_(config),
+      router_(config.shard_count == 0 ? 1 : config.shard_count) {
+  std::size_t n = router_.shard_count();
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>(config_.spent_backend);
+    shard->ctx.index = i;
+    shards_.push_back(std::move(shard));
+  }
+  // Replay before the workers exist: the constructor thread is the only
+  // one touching shard state, so no synchronization is needed yet.
+  if (!config_.journal_path_prefix.empty()) {
+    ReplayJournals();
+    for (std::size_t i = 0; i < n; ++i) {
+      shards_[i]->journal = std::make_unique<store::AppendLog>(
+          SegmentPath(config_.journal_path_prefix, i));
+      shards_[i]->ctx.journal = shards_[i]->journal.get();
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_[i]->worker = std::thread(&ServerRuntime::WorkerLoop, this,
+                                     shards_[i].get());
+  }
+}
+
+ServerRuntime::~ServerRuntime() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->m);
+    shard->stop = true;
+    shard->work_cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ServerRuntime::ReplayJournals() {
+  auto route_record = [this](const std::vector<std::uint8_t>& record) {
+    if (record.size() != sizeof(rel::LicenseId::bytes)) return;
+    rel::LicenseId id;
+    std::copy(record.begin(), record.end(), id.bytes.begin());
+    shards_[router_.ShardFor(id)]->ctx.spent.Insert(id);
+  };
+  // Legacy unsharded journal first (migration from the single-threaded
+  // provider), then every shard segment any previous run wrote. Segments
+  // are contiguous from 0 (every run creates all of 0..N-1 at startup),
+  // so probing until the first missing file recovers arbitrary historic
+  // shard counts.
+  store::AppendLog::Replay(config_.journal_path_prefix, route_record);
+  for (std::size_t i = 0;
+       i < shards_.size() ||
+       FileExists(SegmentPath(config_.journal_path_prefix, i));
+       ++i) {
+    store::AppendLog::Replay(SegmentPath(config_.journal_path_prefix, i),
+                             route_record);
+  }
+}
+
+void ServerRuntime::WorkerLoop(Shard* shard) {
+  for (;;) {
+    Task task;
+    std::size_t weight = 0;
+    {
+      std::unique_lock<std::mutex> lock(shard->m);
+      shard->work_cv.wait(
+          lock, [&] { return shard->stop || !shard->queue.empty(); });
+      if (shard->queue.empty()) return;  // stopping with nothing left to do
+      task = std::move(shard->queue.front().first);
+      weight = shard->queue.front().second;
+      shard->queue.pop_front();
+      shard->busy = true;
+    }
+    task(shard->ctx);
+    {
+      std::lock_guard<std::mutex> lock(shard->m);
+      shard->busy = false;
+      shard->pending_items -= weight;
+      shard->space_cv.notify_all();
+      if (shard->queue.empty()) shard->idle_cv.notify_all();
+    }
+  }
+}
+
+bool ServerRuntime::TrySubmit(std::size_t shard_index, Task task,
+                              std::size_t weight) {
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.m);
+  // Shed when the queue already holds work and this submission would
+  // push it past the bound; an oversize batch meeting an empty queue is
+  // accepted so it cannot be rejected forever.
+  if (shard.pending_items > 0 &&
+      shard.pending_items + weight > config_.queue_capacity) {
+    ++shard.overloads;
+    return false;
+  }
+  shard.pending_items += weight;
+  shard.high_water = std::max(shard.high_water, shard.pending_items);
+  shard.queue.emplace_back(std::move(task), weight);
+  shard.work_cv.notify_one();
+  return true;
+}
+
+void ServerRuntime::Submit(std::size_t shard_index, Task task,
+                           std::size_t weight) {
+  Shard& shard = *shards_[shard_index];
+  std::unique_lock<std::mutex> lock(shard.m);
+  shard.space_cv.wait(lock, [&] {
+    return shard.pending_items == 0 ||
+           shard.pending_items + weight <= config_.queue_capacity;
+  });
+  shard.pending_items += weight;
+  shard.high_water = std::max(shard.high_water, shard.pending_items);
+  shard.queue.emplace_back(std::move(task), weight);
+  shard.work_cv.notify_one();
+}
+
+std::unique_lock<std::mutex> ServerRuntime::QuiesceShard(
+    std::size_t shard_index) const {
+  const Shard& shard = *shards_[shard_index];
+  std::unique_lock<std::mutex> lock(shard.m);
+  shard.idle_cv.wait(lock,
+                     [&] { return shard.queue.empty() && !shard.busy; });
+  return lock;
+}
+
+void ServerRuntime::Drain() const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) QuiesceShard(i);
+}
+
+void ServerRuntime::SpendBatch(const std::vector<rel::LicenseId>& ids,
+                               std::vector<core::Status>* out,
+                               bool shed_on_full) {
+  out->assign(ids.size(), core::Status::kOverloaded);
+  if (ids.empty()) return;
+
+  // Route once, then hand each shard its whole slice as one task: the
+  // queue is touched per shard, not per item, and index order within a
+  // shard preserves first-wins semantics for duplicate ids.
+  std::vector<std::vector<std::size_t>> groups(shards_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    groups[router_.ShardFor(ids[i])].push_back(i);
+  }
+  std::size_t active = 0;
+  for (const auto& g : groups) {
+    if (!g.empty()) ++active;
+  }
+  Latch done(active);
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    if (groups[s].empty()) continue;
+    std::size_t weight = groups[s].size();
+    // The task reads `ids` and writes disjoint slots of `*out`; both
+    // outlive it because SpendBatch blocks on the latch below.
+    Task task = [&ids, out, &done, group = std::move(groups[s])](
+                    ShardContext& ctx) {
+      for (std::size_t i : group) {
+        bool fresh = ctx.spent.Insert(ids[i]);
+        if (fresh && ctx.journal != nullptr) {
+          ctx.journal->Append(std::vector<std::uint8_t>(
+              ids[i].bytes.begin(), ids[i].bytes.end()));
+        }
+        (*out)[i] = fresh ? core::Status::kOk : core::Status::kAlreadySpent;
+        ++ctx.processed;
+      }
+      done.CountDown();
+    };
+    if (shed_on_full) {
+      if (!TrySubmit(s, std::move(task), weight)) {
+        done.CountDown();  // shard shed: statuses stay kOverloaded
+      }
+    } else {
+      Submit(s, std::move(task), weight);
+    }
+  }
+  done.Wait();
+}
+
+core::Status ServerRuntime::SpendOne(const rel::LicenseId& id) {
+  std::vector<core::Status> out;
+  SpendBatch({id}, &out, /*shed_on_full=*/false);
+  return out[0];
+}
+
+std::size_t ServerRuntime::SpentSize() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    auto lock = QuiesceShard(i);
+    total += shards_[i]->ctx.spent.Size();
+  }
+  return total;
+}
+
+std::size_t ServerRuntime::SpentMemoryBytes() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    auto lock = QuiesceShard(i);
+    total += shards_[i]->ctx.spent.MemoryBytes();
+  }
+  return total;
+}
+
+std::uint64_t ServerRuntime::Processed() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    auto lock = QuiesceShard(i);
+    total += shards_[i]->ctx.processed;
+  }
+  return total;
+}
+
+std::uint64_t ServerRuntime::Overloads() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->m);
+    total += shard->overloads;
+  }
+  return total;
+}
+
+std::size_t ServerRuntime::ShardSpentSize(std::size_t shard) const {
+  auto lock = QuiesceShard(shard);
+  return shards_[shard]->ctx.spent.Size();
+}
+
+std::uint64_t ServerRuntime::ShardProcessed(std::size_t shard) const {
+  auto lock = QuiesceShard(shard);
+  return shards_[shard]->ctx.processed;
+}
+
+std::uint64_t ServerRuntime::ShardSimClockUs(std::size_t shard) const {
+  auto lock = QuiesceShard(shard);
+  return shards_[shard]->ctx.sim_clock_us;
+}
+
+std::size_t ServerRuntime::QueueHighWater(std::size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->m);
+  return shards_[shard]->high_water;
+}
+
+}  // namespace server
+}  // namespace p2drm

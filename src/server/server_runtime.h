@@ -1,0 +1,187 @@
+#ifndef P2DRM_SERVER_SERVER_RUNTIME_H_
+#define P2DRM_SERVER_SERVER_RUNTIME_H_
+
+/// \file server_runtime.h
+/// \brief Sharded concurrent runtime for the content provider's stateful
+/// redemption path.
+///
+/// The provider's scalability choke point is the per-redemption state
+/// update: a spent-set insert plus a journal append, today serialized on
+/// one thread. The runtime decomposes that state into N independent
+/// shards (ShardRouter: license-id hash → shard). Each shard owns
+///  * one store::SpentSetShard partition (no internal locking — the
+///    shard's single worker thread is the lock),
+///  * one redemption-journal segment (`<prefix>.shard<k>`),
+///  * one bounded task queue with typed backpressure: when a queue is
+///    full the submission is shed with core::Status::kOverloaded instead
+///    of growing without bound.
+///
+/// Same-id races are impossible by construction: every spend attempt for
+/// a given license id routes to the same shard and serializes on its
+/// worker, so exactly one of any number of concurrent double-redemption
+/// attempts wins.
+///
+/// Thread-safety contract: Submit/TrySubmit/SpendBatch/SpendOne may be
+/// called from any number of threads concurrently. The aggregate
+/// accessors (SpentSize, Processed, …) quiesce the queues first and are
+/// accurate when no other thread is submitting concurrently.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/errors.h"
+#include "rel/ids.h"
+#include "server/shard_router.h"
+#include "store/append_log.h"
+#include "store/spent_set.h"
+
+namespace p2drm {
+namespace server {
+
+/// Simple counting latch (C++17 stand-in for std::latch).
+class Latch {
+ public:
+  explicit Latch(std::size_t count) : count_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(m_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::size_t count_;
+};
+
+/// Runtime configuration.
+struct ServerRuntimeConfig {
+  std::size_t shard_count = 4;
+  /// Per-shard queue bound, counted in items (task weight). A submission
+  /// that would push a non-empty queue past this bound is shed with
+  /// kOverloaded. An oversize submission to an empty queue is accepted so
+  /// a single batch larger than the bound cannot starve forever.
+  std::size_t queue_capacity = 4096;
+  store::SpentSetBackend spent_backend = store::SpentSetBackend::kHashSet;
+  /// When non-empty, shard k journals fresh spends to
+  /// `<prefix>.shard<k>`, and construction replays every existing
+  /// segment — plus a legacy unsharded journal at `<prefix>` itself —
+  /// routing each id to its current home shard (so the shard count may
+  /// change between runs).
+  std::string journal_path_prefix;
+};
+
+/// What a shard task sees: the shard's own state, touched only from the
+/// shard's worker thread.
+struct ShardContext {
+  explicit ShardContext(store::SpentSetBackend backend) : spent(backend) {}
+
+  std::size_t index = 0;
+  store::SpentSetShard spent;
+  store::AppendLog* journal = nullptr;  ///< null when journaling is off
+  /// Per-shard simulated-time clock (microseconds) for benches that model
+  /// service time the way the transport's LatencyModel models wire time.
+  std::uint64_t sim_clock_us = 0;
+  std::uint64_t processed = 0;  ///< items completed on this shard
+};
+
+/// Fixed pool of shard workers behind bounded queues.
+class ServerRuntime {
+ public:
+  /// A task runs on its shard's worker thread with exclusive access to
+  /// the shard context. Tasks must not call back into the runtime.
+  using Task = std::function<void(ShardContext&)>;
+
+  explicit ServerRuntime(const ServerRuntimeConfig& config);
+  ~ServerRuntime();
+
+  ServerRuntime(const ServerRuntime&) = delete;
+  ServerRuntime& operator=(const ServerRuntime&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t ShardFor(const rel::LicenseId& id) const {
+    return router_.ShardFor(id);
+  }
+
+  /// Enqueues \p task on \p shard; \p weight is the item count it
+  /// represents (for queue accounting). Returns false — shedding the
+  /// task — when the queue is over capacity.
+  bool TrySubmit(std::size_t shard, Task task, std::size_t weight = 1);
+
+  /// Blocking submit: waits for queue room instead of shedding.
+  void Submit(std::size_t shard, Task task, std::size_t weight = 1);
+
+  /// Waits until every shard queue is empty and every worker is idle.
+  void Drain() const;
+
+  /// Routes \p ids to their home shards and marks them spent; fresh
+  /// inserts are journaled. On return, out[i] is kOk (freshly spent),
+  /// kAlreadySpent (double redemption), or — only when \p shed_on_full —
+  /// kOverloaded (queue full; the id was NOT marked). Blocks until every
+  /// accepted id has been processed. Duplicate ids within one call
+  /// resolve in index order: the first occurrence wins.
+  void SpendBatch(const std::vector<rel::LicenseId>& ids,
+                  std::vector<core::Status>* out, bool shed_on_full = true);
+
+  /// Single-id spend through the same serialization point; never sheds.
+  core::Status SpendOne(const rel::LicenseId& id);
+
+  // -- aggregate introspection (quiesces the queues first) ---------------
+
+  std::size_t SpentSize() const;
+  std::size_t SpentMemoryBytes() const;
+  std::uint64_t Processed() const;
+  std::uint64_t Overloads() const;
+  std::size_t ShardSpentSize(std::size_t shard) const;
+  std::uint64_t ShardProcessed(std::size_t shard) const;
+  std::uint64_t ShardSimClockUs(std::size_t shard) const;
+  std::size_t QueueHighWater(std::size_t shard) const;
+
+  /// Journal segment path for \p shard under \p prefix.
+  static std::string SegmentPath(const std::string& prefix, std::size_t shard);
+
+ private:
+  struct Shard {
+    explicit Shard(store::SpentSetBackend backend) : ctx(backend) {}
+
+    mutable std::mutex m;
+    std::condition_variable work_cv;        // queue became non-empty / stop
+    std::condition_variable space_cv;       // queue has room again
+    mutable std::condition_variable idle_cv;  // queue empty and worker idle
+    std::deque<std::pair<Task, std::size_t>> queue;
+    std::size_t pending_items = 0;  // queued + in-flight weight
+    bool busy = false;
+    std::size_t high_water = 0;
+    std::uint64_t overloads = 0;
+    bool stop = false;  // guarded by m
+    ShardContext ctx;
+    std::unique_ptr<store::AppendLog> journal;
+    std::thread worker;
+  };
+
+  void WorkerLoop(Shard* shard);
+  void ReplayJournals();
+  /// Waits for \p shard to go idle and returns with its mutex held.
+  std::unique_lock<std::mutex> QuiesceShard(std::size_t shard) const;
+
+  ServerRuntimeConfig config_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace server
+}  // namespace p2drm
+
+#endif  // P2DRM_SERVER_SERVER_RUNTIME_H_

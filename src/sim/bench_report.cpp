@@ -1,0 +1,107 @@
+#include "sim/bench_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace p2drm {
+namespace sim {
+
+BenchReport::BenchReport(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+BenchReport::Entry* BenchReport::FindOrAdd(const std::string& key) {
+  for (Entry& e : entries_) {
+    if (e.key == key) return &e;
+  }
+  entries_.push_back(Entry{key, true, 0, {}});
+  return &entries_.back();
+}
+
+void BenchReport::Metric(const std::string& name, double value) {
+  Entry* e = FindOrAdd(name);
+  e->numeric = true;
+  e->number = value;
+}
+
+void BenchReport::Note(const std::string& name, const std::string& value) {
+  Entry* e = FindOrAdd(name);
+  e->numeric = false;
+  e->text = value;
+}
+
+namespace {
+
+void AppendEscaped(std::ostringstream* os, const std::string& s) {
+  *os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *os << "\\\""; break;
+      case '\\': *os << "\\\\"; break;
+      case '\n': *os << "\\n"; break;
+      case '\t': *os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *os << buf;
+        } else {
+          *os << c;
+        }
+    }
+  }
+  *os << '"';
+}
+
+void AppendNumber(std::ostringstream* os, double v) {
+  // JSON has no NaN/Inf; clamp to null so the file always parses.
+  if (std::isnan(v) || std::isinf(v)) {
+    *os << "null";
+    return;
+  }
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    *os << static_cast<long long>(v);
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    *os << buf;
+  }
+}
+
+}  // namespace
+
+std::string BenchReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\n  \"bench\": ";
+  AppendEscaped(&os, name_);
+  for (const Entry& e : entries_) {
+    os << ",\n  ";
+    AppendEscaped(&os, e.key);
+    os << ": ";
+    if (e.numeric) {
+      AppendNumber(&os, e.number);
+    } else {
+      AppendEscaped(&os, e.text);
+    }
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+bool BenchReport::WriteJsonFile(const std::string& dir) const {
+  std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchReport: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace sim
+}  // namespace p2drm

@@ -1,0 +1,59 @@
+#ifndef P2DRM_SIM_BENCH_REPORT_H_
+#define P2DRM_SIM_BENCH_REPORT_H_
+
+/// \file bench_report.h
+/// \brief Machine-readable bench output: every bench_* binary writes a
+/// `BENCH_<name>.json` next to its console report so CI can assert on
+/// throughput and tail latency instead of scraping stdout.
+///
+/// The format is deliberately flat: one JSON object, metric names as
+/// keys, numbers or strings as values. Dotted names ("shards4.p99_us")
+/// namespace related metrics. The standalone benches fill this directly;
+/// the Google-Benchmark benches emit gbench's own JSON through the
+/// shared main in bench/gbench_json_main.h instead.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace p2drm {
+namespace sim {
+
+/// Ordered metric collection with a JSON serializer.
+class BenchReport {
+ public:
+  /// \param bench_name the binary's name, e.g. "bench_server_scaling";
+  /// the output file becomes `BENCH_<bench_name>.json`.
+  explicit BenchReport(std::string bench_name);
+
+  /// Adds (or overwrites) a numeric metric.
+  void Metric(const std::string& name, double value);
+  /// Adds (or overwrites) a string annotation.
+  void Note(const std::string& name, const std::string& value);
+
+  std::string ToJson() const;
+
+  /// Writes `BENCH_<name>.json` into \p dir. Returns false (after
+  /// printing a warning) on I/O failure; benches treat that as non-fatal.
+  bool WriteJsonFile(const std::string& dir = ".") const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    bool numeric = true;
+    double number = 0;
+    std::string text;
+  };
+
+  Entry* FindOrAdd(const std::string& key);
+
+  std::string name_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sim
+}  // namespace p2drm
+
+#endif  // P2DRM_SIM_BENCH_REPORT_H_

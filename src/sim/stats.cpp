@@ -14,7 +14,7 @@ double LatencyStats::Mean() const {
 
 double LatencyStats::Percentile(double p) const {
   if (samples_.empty()) return 0;
-  Sort();
+  EnsureSorted();
   double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   std::size_t idx = static_cast<std::size_t>(rank + 0.5);
   if (idx >= samples_.size()) idx = samples_.size() - 1;
@@ -23,13 +23,13 @@ double LatencyStats::Percentile(double p) const {
 
 double LatencyStats::Min() const {
   if (samples_.empty()) return 0;
-  Sort();
+  EnsureSorted();
   return samples_.front();
 }
 
 double LatencyStats::Max() const {
   if (samples_.empty()) return 0;
-  Sort();
+  EnsureSorted();
   return samples_.back();
 }
 

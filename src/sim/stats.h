@@ -13,9 +13,24 @@ namespace p2drm {
 namespace sim {
 
 /// Accumulates samples; reports mean and percentiles.
+///
+/// The sample vector is sorted at most once per batch of Adds: accessors
+/// sort lazily and remember it, and Add/Merge only mark the order dirty.
+/// (The old behaviour — re-sorting on every accessor call — dominated
+/// bench harness time at >= 1M samples.)
 class LatencyStats {
  public:
-  void Add(double value_us) { samples_.push_back(value_us); }
+  void Add(double value_us) {
+    samples_.push_back(value_us);
+    sorted_ = false;
+  }
+
+  /// Folds another run's samples into this one (per-shard merging).
+  void Merge(const LatencyStats& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
 
   std::size_t Count() const { return samples_.size(); }
 
@@ -29,9 +44,16 @@ class LatencyStats {
   std::string Summary() const;
 
  private:
-  // Sorted lazily by the accessors.
+  // Sorted lazily by the accessors; sorted_ tracks whether the current
+  // contents are already in order so repeated accessors cost O(1).
   mutable std::vector<double> samples_;
-  void Sort() const { std::sort(samples_.begin(), samples_.end()); }
+  mutable bool sorted_ = true;
+
+  void EnsureSorted() const {
+    if (sorted_) return;
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
 };
 
 }  // namespace sim

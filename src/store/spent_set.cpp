@@ -14,7 +14,7 @@ const char* SpentSetBackendName(SpentSetBackend b) {
   return "unknown";
 }
 
-bool SpentSet::Insert(const rel::LicenseId& id) {
+bool SpentSetShard::Insert(const rel::LicenseId& id) {
   switch (backend_) {
     case SpentSetBackend::kHashSet:
       return hash_.insert(id).second;
@@ -35,7 +35,7 @@ bool SpentSet::Insert(const rel::LicenseId& id) {
   return false;
 }
 
-bool SpentSet::Contains(const rel::LicenseId& id) const {
+bool SpentSetShard::Contains(const rel::LicenseId& id) const {
   switch (backend_) {
     case SpentSetBackend::kHashSet:
       return hash_.count(id) != 0;
@@ -47,7 +47,7 @@ bool SpentSet::Contains(const rel::LicenseId& id) const {
   return false;
 }
 
-std::size_t SpentSet::Size() const {
+std::size_t SpentSetShard::Size() const {
   switch (backend_) {
     case SpentSetBackend::kHashSet: return hash_.size();
     case SpentSetBackend::kSortedVector: return sorted_.size();
@@ -56,12 +56,18 @@ std::size_t SpentSet::Size() const {
   return 0;
 }
 
-std::size_t SpentSet::MemoryBytes() const {
+std::size_t SpentSetShard::MemoryBytes() const {
   constexpr std::size_t kIdBytes = sizeof(rel::LicenseId);
   switch (backend_) {
-    case SpentSetBackend::kHashSet:
-      // id + bucket pointer + node overhead (libstdc++ ~16B/node + bucket).
-      return hash_.size() * (kIdBytes + 32) + hash_.bucket_count() * 8;
+    case SpentSetBackend::kHashSet: {
+      // Per node: the id plus the forward-list next pointer (libstdc++
+      // does not cache the hash code because std::hash<LicenseId> is
+      // noexcept), plus the bucket array of head pointers. The bucket
+      // array is counted even when sparse — that is exactly the overhead
+      // the RT-3 table must be honest about versus the vector backends.
+      const std::size_t node = kIdBytes + sizeof(void*);
+      return hash_.size() * node + hash_.bucket_count() * sizeof(void*);
+    }
     case SpentSetBackend::kSortedVector:
       return sorted_.capacity() * kIdBytes;
     case SpentSetBackend::kLinearScan:

@@ -9,6 +9,15 @@
 /// This set is on the provider's hot path (one lookup + one insert per
 /// redemption), so its data structure is the subject of the RF-2 ablation:
 /// hash set vs sorted vector vs linear scan.
+///
+/// Two classes live here:
+///  * SpentSetShard — one partition of the set. Deliberately has NO
+///    internal locking; the sharded server runtime (server/server_runtime.h)
+///    gives each shard to exactly one worker thread, which makes every
+///    partition single-writer by construction.
+///  * SpentSet — the classic single-partition set (one shard behind the
+///    original API), used by the unsharded content-provider path and the
+///    RF-2 ablation benches.
 
 #include <cstdint>
 #include <unordered_set>
@@ -28,10 +37,18 @@ enum class SpentSetBackend : std::uint8_t {
 
 const char* SpentSetBackendName(SpentSetBackend b);
 
-/// Set of already-redeemed license ids.
-class SpentSet {
+/// One partition of the spent-license set.
+///
+/// Concurrency contract: a shard performs NO internal locking and is not
+/// safe for concurrent access. The owner must guarantee that all calls on
+/// a given shard are serialized (the server runtime does this by pinning
+/// each shard to one worker thread; handing a shard from one thread to
+/// another requires an external happens-before edge, e.g. the runtime's
+/// queue). This is what makes the sharded redemption path lock-free on
+/// the per-item hot path: routing replaces locking.
+class SpentSetShard {
  public:
-  explicit SpentSet(SpentSetBackend backend = SpentSetBackend::kHashSet)
+  explicit SpentSetShard(SpentSetBackend backend = SpentSetBackend::kHashSet)
       : backend_(backend) {}
 
   /// Marks \p id spent. Returns false (and changes nothing) if it was
@@ -43,7 +60,9 @@ class SpentSet {
 
   std::size_t Size() const;
 
-  /// Approximate resident memory (RT-3 storage accounting).
+  /// Approximate resident memory (RT-3 storage accounting), including
+  /// container bookkeeping: hash-set node pointers and the bucket array,
+  /// or vector capacity for the array backends.
   std::size_t MemoryBytes() const;
 
   SpentSetBackend backend() const { return backend_; }
@@ -53,6 +72,30 @@ class SpentSet {
   std::unordered_set<rel::LicenseId> hash_;
   std::vector<rel::LicenseId> sorted_;  // kept ordered
   std::vector<rel::LicenseId> linear_;  // insertion order
+};
+
+/// Set of already-redeemed license ids (single partition).
+class SpentSet {
+ public:
+  explicit SpentSet(SpentSetBackend backend = SpentSetBackend::kHashSet)
+      : shard_(backend) {}
+
+  /// Marks \p id spent. Returns false (and changes nothing) if it was
+  /// already present — i.e. a double-redemption attempt.
+  bool Insert(const rel::LicenseId& id) { return shard_.Insert(id); }
+
+  /// True when \p id has been redeemed before.
+  bool Contains(const rel::LicenseId& id) const { return shard_.Contains(id); }
+
+  std::size_t Size() const { return shard_.Size(); }
+
+  /// Approximate resident memory (RT-3 storage accounting).
+  std::size_t MemoryBytes() const { return shard_.MemoryBytes(); }
+
+  SpentSetBackend backend() const { return shard_.backend(); }
+
+ private:
+  SpentSetShard shard_;
 };
 
 }  // namespace store

@@ -308,6 +308,171 @@ TEST_F(RpcTest, BatchToUnknownEndpointFailsEveryItem) {
   }
 }
 
+// -- batch handler fast path --------------------------------------------------
+
+// Tag served by a whole-batch handler (the server-side amortization hook).
+struct BulkRequest {
+  static constexpr std::uint8_t kTag = 0x45;
+  using Response = EchoResponse;
+  std::vector<std::uint8_t> data;
+  std::vector<std::uint8_t> Encode() const {
+    ByteWriter w;
+    w.Blob(data);
+    return w.Take();
+  }
+  static BulkRequest Decode(ByteReader* r) {
+    BulkRequest m;
+    m.data = r->Blob();
+    return m;
+  }
+};
+
+TEST_F(RpcTest, BatchHandlerReceivesWholeGroupInOneCall) {
+  std::vector<std::size_t> call_sizes;
+  registry_.RegisterBatch<BulkRequest>(
+      [&call_sizes](const std::vector<BulkRequest>& reqs,
+                    std::vector<EchoResponse>* resps) {
+        call_sizes.push_back(reqs.size());
+        std::vector<Status> st(reqs.size(), Status::kOk);
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          (*resps)[i].data = reqs[i].data;
+        }
+        return st;
+      });
+  std::vector<BulkRequest> reqs(32);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].data = {static_cast<std::uint8_t>(i)};
+  }
+  auto resps = rpc_.CallBatch("svc", reqs);
+  ASSERT_EQ(resps.size(), 32u);
+  for (std::size_t i = 0; i < resps.size(); ++i) {
+    ASSERT_TRUE(resps[i].ok());
+    EXPECT_EQ(resps[i].value.data, reqs[i].data);
+  }
+  // ONE handler invocation for all 32 items — the amortization hook.
+  ASSERT_EQ(call_sizes.size(), 1u);
+  EXPECT_EQ(call_sizes[0], 32u);
+}
+
+TEST_F(RpcTest, OverloadedStatusRoundTripsPerItem) {
+  // A backpressuring server sheds only some items; each status must
+  // survive the envelope round trip independently.
+  registry_.RegisterBatch<BulkRequest>(
+      [](const std::vector<BulkRequest>& reqs,
+         std::vector<EchoResponse>* resps) {
+        std::vector<Status> st(reqs.size());
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          if (i % 2 == 0) {
+            st[i] = Status::kOk;
+            (*resps)[i].data = reqs[i].data;
+          } else {
+            st[i] = Status::kOverloaded;
+          }
+        }
+        return st;
+      });
+  std::vector<BulkRequest> reqs(8);
+  auto resps = rpc_.CallBatch("svc", reqs);
+  ASSERT_EQ(resps.size(), 8u);
+  for (std::size_t i = 0; i < resps.size(); ++i) {
+    EXPECT_EQ(resps[i].status,
+              i % 2 == 0 ? Status::kOk : Status::kOverloaded);
+  }
+}
+
+TEST_F(RpcTest, BatchHandlerCoexistsWithPerItemDispatch) {
+  registry_.RegisterBatch<BulkRequest>(
+      [](const std::vector<BulkRequest>& reqs,
+         std::vector<EchoResponse>* resps) {
+        std::vector<Status> st(reqs.size(), Status::kOk);
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          (*resps)[i].data = {0x77};
+        }
+        return st;
+      });
+  // A mixed batch: Echo items keep per-item dispatch, Bulk items take
+  // the grouped path, and results come back in wire order.
+  ByteWriter w;
+  w.U32(3);
+  w.U8(EchoRequest::kTag);
+  EchoRequest echo;
+  echo.data = {0x11};
+  w.Blob(echo.Encode());
+  w.U8(BulkRequest::kTag);
+  BulkRequest bulk;
+  w.Blob(bulk.Encode());
+  w.U8(EchoRequest::kTag);
+  w.Blob(echo.Encode());
+
+  RequestEnvelope env;
+  env.tag = kBatchTag;
+  env.payload = w.Take();
+  ResponseEnvelope resp =
+      ResponseEnvelope::Decode(registry_.Dispatch(env.Encode()));
+  ASSERT_EQ(resp.status, Status::kOk);
+  ByteReader r(resp.payload);
+  ASSERT_EQ(r.U32(), 3u);
+  EXPECT_EQ(static_cast<Status>(r.U8()), Status::kOk);
+  EXPECT_EQ(EchoResponse::Decode(r.Blob()).data, echo.data);
+  EXPECT_EQ(static_cast<Status>(r.U8()), Status::kOk);
+  EXPECT_EQ(EchoResponse::Decode(r.Blob()).data,
+            std::vector<std::uint8_t>{0x77});
+  EXPECT_EQ(static_cast<Status>(r.U8()), Status::kOk);
+  EXPECT_EQ(EchoResponse::Decode(r.Blob()).data, echo.data);
+}
+
+TEST_F(RpcTest, BatchHandlerUndecodableItemIsBadRequestOnly) {
+  std::vector<std::size_t> call_sizes;
+  registry_.RegisterBatch<BulkRequest>(
+      [&call_sizes](const std::vector<BulkRequest>& reqs,
+                    std::vector<EchoResponse>* resps) {
+        call_sizes.push_back(reqs.size());
+        std::vector<Status> st(reqs.size(), Status::kOk);
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          (*resps)[i].data = reqs[i].data;
+        }
+        return st;
+      });
+  ByteWriter w;
+  w.U32(2);
+  w.U8(BulkRequest::kTag);
+  w.Blob({0xff});  // truncated: not a valid Blob-encoded body
+  w.U8(BulkRequest::kTag);
+  BulkRequest good;
+  good.data = {0x42};
+  w.Blob(good.Encode());
+
+  RequestEnvelope env;
+  env.tag = kBatchTag;
+  env.payload = w.Take();
+  ResponseEnvelope resp =
+      ResponseEnvelope::Decode(registry_.Dispatch(env.Encode()));
+  ASSERT_EQ(resp.status, Status::kOk);
+  ByteReader r(resp.payload);
+  ASSERT_EQ(r.U32(), 2u);
+  EXPECT_EQ(static_cast<Status>(r.U8()), Status::kBadRequest);
+  EXPECT_TRUE(r.Blob().empty());
+  EXPECT_EQ(static_cast<Status>(r.U8()), Status::kOk);
+  EXPECT_EQ(EchoResponse::Decode(r.Blob()).data, good.data);
+  // The bad item never reached the typed handler.
+  ASSERT_EQ(call_sizes.size(), 1u);
+  EXPECT_EQ(call_sizes[0], 1u);
+}
+
+TEST_F(RpcTest, ThrowingBatchHandlerFailsItsGroupInternally) {
+  registry_.RegisterBatch<BulkRequest>(
+      [](const std::vector<BulkRequest>&,
+         std::vector<EchoResponse>*) -> std::vector<Status> {
+        throw std::runtime_error("batch handler exploded");
+      });
+  std::vector<BulkRequest> reqs(4);
+  auto resps = rpc_.CallBatch("svc", reqs);
+  ASSERT_EQ(resps.size(), 4u);
+  for (const auto& r : resps) {
+    EXPECT_EQ(r.status, Status::kInternalError);
+  }
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace p2drm
