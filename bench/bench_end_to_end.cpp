@@ -76,7 +76,7 @@ int main() {
   }
 
   system.transport().ResetStats();
-  OpCounters ops_before = GlobalOps();
+  OpCounters ops_before = AggregateOps();
   sim::LatencyStats purchase_lat;
   std::vector<sim::Observation> p2drm_obs;
   std::size_t purchases = 0, plays = 0, transfers = 0;
@@ -107,7 +107,7 @@ int main() {
     }
   }
   double p2drm_wall = Seconds(t0, WallClock::now());
-  OpCounters p2drm_ops = GlobalOps() - ops_before;
+  OpCounters p2drm_ops = AggregateOps() - ops_before;
   auto p2drm_traffic = system.transport().GrandTotal();
 
   std::printf("\n[p2drm]    %zu purchases, %zu plays, %zu transfers in %.2f s "
@@ -145,7 +145,7 @@ int main() {
     base.RegisterAccount(account);
   }
 
-  ops_before = GlobalOps();
+  ops_before = AggregateOps();
   std::vector<sim::Observation> base_obs;
   std::size_t bpurchases = 0, bplays = 0, btransfers = 0;
   t0 = WallClock::now();
@@ -171,7 +171,7 @@ int main() {
     }
   }
   double base_wall = Seconds(t0, WallClock::now());
-  OpCounters base_ops = GlobalOps() - ops_before;
+  OpCounters base_ops = AggregateOps() - ops_before;
 
   std::printf("\n[baseline] %zu purchases, %zu plays, %zu transfers in "
               "%.2f s (%.1f ops/s CPU)\n",

@@ -46,10 +46,10 @@ void PrintRow(const Row& row) {
 template <typename Fn>
 Row Measure(const char* name, net::Transport& transport, Fn&& fn) {
   transport.ResetStats();
-  OpCounters before = GlobalOps();
+  OpCounters before = AggregateOps();
   fn();
   net::ChannelStats total = transport.GrandTotal();
-  return Row{name, total.messages, total.bytes, GlobalOps() - before};
+  return Row{name, total.messages, total.bytes, AggregateOps() - before};
 }
 
 }  // namespace
@@ -172,23 +172,23 @@ int main() {
   // transfer = 1 round trip, play auth = 1 round trip. Bytes = license +
   // small headers.
   {
-    OpCounters before = GlobalOps();
+    OpCounters before = AggregateOps();
     auto r = base.Purchase("carol", bsong);
-    OpCounters delta = GlobalOps() - before;
+    OpCounters delta = AggregateOps() - before;
     Row row{"baseline.purchase", 2,
             r.license.SerializedSize() + 64, delta};
     PrintRow(row);
 
-    before = GlobalOps();
+    before = AggregateOps();
     auto t = base.Transfer("carol", "dave", r.license.id);
-    delta = GlobalOps() - before;
+    delta = AggregateOps() - before;
     PrintRow(Row{"baseline.transfer", 2,
                  t.license.SerializedSize() + 64, delta});
 
-    before = GlobalOps();
+    before = AggregateOps();
     std::array<std::uint8_t, 32> key;
     base.AuthorizePlay("dave", t.license.id, &key);
-    delta = GlobalOps() - before;
+    delta = AggregateOps() - before;
     PrintRow(Row{"baseline.play-auth", 2, 96, delta});
   }
 

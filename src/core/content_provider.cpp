@@ -1,5 +1,6 @@
 #include "core/content_provider.h"
 
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 
@@ -14,6 +15,16 @@ namespace {
 
 /// Merchant account name at the bank.
 constexpr const char* kMerchantAccount = "cp";
+
+/// Issue-stage RNG fork domain bytes (distinct per pipeline).
+constexpr std::uint8_t kRedeemIssueDomain = 0x52;    // 'R'
+constexpr std::uint8_t kPurchaseIssueDomain = 0x50;  // 'P'
+
+double MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 }  // namespace
 
@@ -104,38 +115,66 @@ const EncryptedContent& ContentProvider::GetContent(rel::ContentId id) const {
   return it->second.encrypted;
 }
 
-rel::LicenseId ContentProvider::FreshLicenseId() {
-  rel::LicenseId id;
-  rng_->Fill(id.bytes.data(), id.bytes.size());
-  return id;
-}
-
-rel::License ContentProvider::IssueLicense(
+rel::License ContentProvider::BuildLicense(
     rel::LicenseKind kind, rel::ContentId content_id,
-    const rel::Rights& rights, const crypto::RsaPublicKey* bound_key) {
+    const rel::Rights& rights, const crypto::RsaPublicKey* bound_key,
+    bignum::RandomSource* rng) const {
   auto it = catalog_.find(content_id);
   if (it == catalog_.end()) {
     throw std::out_of_range("ContentProvider: unknown content id");
   }
   rel::License lic;
-  lic.id = FreshLicenseId();
+  rng->Fill(lic.id.bytes.data(), lic.id.bytes.size());
   lic.kind = kind;
   lic.content_id = content_id;
   lic.rights = rights;
   lic.issued_at_s = clock_->NowEpochSeconds();
   if (kind == rel::LicenseKind::kUserBound) {
     lic.bound_key = bound_key->Fingerprint();
-    issued_keys_.emplace(lic.bound_key, *bound_key);
     std::vector<std::uint8_t> ck(it->second.content_key.begin(),
                                  it->second.content_key.end());
     GlobalOps().hybrid_enc += 1;
     lic.wrapped_content_key =
-        crypto::RsaHybridEncrypt(*bound_key, ck, rng_).Serialize();
+        crypto::RsaHybridEncrypt(*bound_key, ck, rng).Serialize();
   }
   GlobalOps().sign += 1;
   lic.issuer_signature = crypto::RsaSignFdh(key_, lic.CanonicalBytes());
-  ++licenses_issued_;
   return lic;
+}
+
+void ContentProvider::RecordIssued(const rel::License& license,
+                                   const crypto::RsaPublicKey* bound_key) {
+  if (license.kind == rel::LicenseKind::kUserBound) {
+    issued_keys_.emplace(license.bound_key, *bound_key);
+  }
+  ++licenses_issued_;
+}
+
+rel::License ContentProvider::IssueLicense(
+    rel::LicenseKind kind, rel::ContentId content_id,
+    const rel::Rights& rights, const crypto::RsaPublicKey* bound_key) {
+  rel::License lic = BuildLicense(kind, content_id, rights, bound_key, rng_);
+  RecordIssued(lic, bound_key);
+  return lic;
+}
+
+crypto::HmacDrbg ContentProvider::RedeemIssueRng(
+    const rel::LicenseId& redeemed_id) {
+  std::vector<std::uint8_t> tag;
+  tag.reserve(1 + redeemed_id.bytes.size());
+  tag.push_back(kRedeemIssueDomain);
+  tag.insert(tag.end(), redeemed_id.bytes.begin(), redeemed_id.bytes.end());
+  return crypto::ForkRandom(rng_, tag);
+}
+
+crypto::HmacDrbg ContentProvider::PurchaseIssueRng() {
+  std::uint64_t nonce = purchase_issue_nonce_++;
+  std::vector<std::uint8_t> tag(9);
+  tag[0] = kPurchaseIssueDomain;
+  for (int i = 0; i < 8; ++i) {
+    tag[1 + i] = static_cast<std::uint8_t>(nonce >> (8 * (7 - i)));
+  }
+  return crypto::ForkRandom(rng_, tag);
 }
 
 ContentProvider::PurchaseResult ContentProvider::Purchase(
@@ -180,6 +219,108 @@ ContentProvider::PurchaseResult ContentProvider::Purchase(
                                 offer->rights, &buyer.pseudonym_key);
   result.status = Status::kOk;
   return result;
+}
+
+std::vector<ContentProvider::PurchaseResult> ContentProvider::PurchaseBatch(
+    const std::vector<PurchaseItem>& items) {
+  std::vector<PurchaseResult> out(items.size());
+  if (items.empty()) return out;
+  server::BatchVerifierStats before = verifier_.stats();
+  auto stage_t0 = std::chrono::steady_clock::now();
+  last_timings_ = PipelineTimings{};
+  last_timings_.items = items.size();
+
+  // Stage 1 — verify: each distinct pseudonym certificate costs one full
+  // verification (memoized within and across batches), then one shared
+  // CRL probe pass covers every surviving item.
+  std::vector<std::size_t> crl_items;
+  std::vector<rel::KeyFingerprint> crl_keys;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!verifier_.VerifyPseudonymCert(ca_key_, items[i].buyer)) {
+      out[i].status = Status::kBadCertificate;
+    } else {
+      crl_items.push_back(i);
+      crl_keys.push_back(items[i].buyer.KeyId());
+    }
+  }
+  std::vector<bool> revoked = verifier_.CrlProbePass(crl_, crl_keys);
+  GlobalOps().verify += (verifier_.stats() - before).full_verifies;
+  last_timings_.verify_us = MicrosSince(stage_t0);
+  stage_t0 = std::chrono::steady_clock::now();
+
+  // Stage 2 — spend: catalog/price validation and coin deposits. The
+  // bank ledger is shared mutable state, so deposits stay serialized on
+  // the dispatch thread in index order, with Purchase()'s exact
+  // semantics: a failure mid-way rejects the item but already-deposited
+  // coins stay deposited (bearer-instrument rules).
+  struct Pending {
+    std::size_t item;
+    rel::Rights rights;
+  };
+  std::vector<Pending> eligible;
+  eligible.reserve(crl_items.size());
+  for (std::size_t j = 0; j < crl_items.size(); ++j) {
+    std::size_t i = crl_items[j];
+    if (revoked[j]) {
+      out[i].status = Status::kRevoked;
+      continue;
+    }
+    auto offer = FindOffer(items[i].content_id);
+    if (!offer.has_value()) {
+      out[i].status = Status::kUnknownContent;
+      continue;
+    }
+    std::uint64_t paid = std::accumulate(
+        items[i].payment.begin(), items[i].payment.end(), std::uint64_t{0},
+        [](std::uint64_t acc, const Coin& c) { return acc + c.denomination; });
+    if (paid != offer->price) {
+      out[i].status = Status::kWrongPrice;
+      continue;
+    }
+    Status deposit_status = Status::kOk;
+    for (const Coin& coin : items[i].payment) {
+      Status s = bank_->Deposit(coin, kMerchantAccount);
+      if (s != Status::kOk) {
+        deposit_status = s;
+        break;
+      }
+    }
+    if (deposit_status != Status::kOk) {
+      out[i].status = deposit_status;
+      continue;
+    }
+    eligible.push_back(Pending{i, offer->rights});
+  }
+  last_timings_.spend_us = MicrosSince(stage_t0);
+  stage_t0 = std::chrono::steady_clock::now();
+
+  // Stage 3 — issue: license signing and content-key wrapping on the
+  // shard workers, one nonce-tagged RNG fork per item drawn in index
+  // order on the dispatch thread.
+  std::vector<crypto::HmacDrbg> forks;
+  forks.reserve(eligible.size());
+  for (std::size_t k = 0; k < eligible.size(); ++k) {
+    forks.push_back(PurchaseIssueRng());
+  }
+  std::vector<rel::License> issued(eligible.size());
+  ForEachIssue(eligible.size(), [&](std::size_t k) {
+    const Pending& p = eligible[k];
+    issued[k] = BuildLicense(rel::LicenseKind::kUserBound,
+                             items[p.item].content_id, p.rights,
+                             &items[p.item].buyer.pseudonym_key, &forks[k]);
+  });
+  last_timings_.issue_us = MicrosSince(stage_t0);
+
+  // Commit — issued-key map, pseudonym bookkeeping and counters, on the
+  // dispatch thread in index order.
+  for (std::size_t k = 0; k < eligible.size(); ++k) {
+    std::size_t i = eligible[k].item;
+    pseudonyms_seen_.insert(items[i].buyer.KeyId());
+    RecordIssued(issued[k], &items[i].buyer.pseudonym_key);
+    out[i].license = std::move(issued[k]);
+    out[i].status = Status::kOk;
+  }
+  return out;
 }
 
 std::vector<std::uint8_t> ContentProvider::TransferChallengeBytes(
@@ -260,7 +401,7 @@ ContentProvider::ExchangeResult ContentProvider::ExchangeForAnonymous(
 }
 
 RedemptionTranscript ContentProvider::MakeTranscript(
-    const rel::LicenseId& id, const PseudonymCertificate& cert) {
+    const rel::LicenseId& id, const PseudonymCertificate& cert) const {
   RedemptionTranscript t;
   t.license_id = id;
   t.pseudonym_cert = cert.Serialize();
@@ -294,37 +435,78 @@ ContentProvider::PurchaseResult ContentProvider::RedeemAnonymous(
     return result;
   }
 
+  // Same three stages as the batch path, one item wide: spend, then sign
+  // with the id-tagged RNG fork, then commit. A single redemption and a
+  // batch of one are therefore bit-identical under a fixed seed.
   Status spend = MarkSpent(anonymous_license.id) ? Status::kOk
                                                  : Status::kAlreadySpent;
-  return FinalizeRedemption(RedeemItem{anonymous_license, taker}, spend);
+  RedeemItem item{anonymous_license, taker};
+  crypto::HmacDrbg issue_rng = RedeemIssueRng(anonymous_license.id);
+  IssuedRedemption issued = SignRedemption(item, spend, &issue_rng);
+  return CommitRedemption(item, std::move(issued));
 }
 
-ContentProvider::PurchaseResult ContentProvider::FinalizeRedemption(
-    const RedeemItem& item, Status spend_status) {
-  PurchaseResult result;
-  RedemptionTranscript transcript =
-      MakeTranscript(item.anonymous_license.id, item.taker);
-
+ContentProvider::IssuedRedemption ContentProvider::SignRedemption(
+    const RedeemItem& item, Status spend_status,
+    bignum::RandomSource* rng) const {
+  IssuedRedemption out;
+  // The transcript is signed even for a double redemption — it is the
+  // second half of the fraud evidence handed to the TTP.
+  out.transcript = MakeTranscript(item.anonymous_license.id, item.taker);
   if (spend_status == Status::kAlreadySpent) {
+    out.status = Status::kAlreadySpent;
+    return out;
+  }
+  out.license = BuildLicense(rel::LicenseKind::kUserBound,
+                             item.anonymous_license.content_id,
+                             item.anonymous_license.rights,
+                             &item.taker.pseudonym_key, rng);
+  out.status = Status::kOk;
+  return out;
+}
+
+void ContentProvider::ForEachIssue(
+    std::size_t count, const std::function<void(std::size_t)>& sign_item) {
+  if (runtime_ != nullptr) {
+    std::vector<server::ServerRuntime::Task> tasks;
+    tasks.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      // `sign_item` outlives the tasks because RunAll joins; its calls
+      // write disjoint per-k slots, so concurrent invocation is safe.
+      tasks.push_back([&sign_item, k](server::ShardContext& ctx) {
+        auto t0 = std::chrono::steady_clock::now();
+        sign_item(k);
+        ctx.sim_clock_us += static_cast<std::uint64_t>(MicrosSince(t0));
+      });
+    }
+    runtime_->RunAll(std::move(tasks));
+  } else {
+    for (std::size_t k = 0; k < count; ++k) sign_item(k);
+  }
+}
+
+ContentProvider::PurchaseResult ContentProvider::CommitRedemption(
+    const RedeemItem& item, IssuedRedemption issued) {
+  PurchaseResult result;
+  if (issued.status == Status::kAlreadySpent) {
     // Double redemption: build fraud evidence from the first transcript.
     ++double_redemptions_;
     auto first = redemption_transcripts_.find(item.anonymous_license.id);
     if (first != redemption_transcripts_.end()) {
       FraudEvidence evidence;
       evidence.first = first->second;
-      evidence.second = transcript;
+      evidence.second = std::move(issued.transcript);
       fraud_queue_.push_back(std::move(evidence));
     }
     result.status = Status::kAlreadySpent;
     return result;
   }
-  redemption_transcripts_.emplace(item.anonymous_license.id, transcript);
+  redemption_transcripts_.emplace(item.anonymous_license.id,
+                                  std::move(issued.transcript));
 
   pseudonyms_seen_.insert(item.taker.KeyId());
-  result.license = IssueLicense(rel::LicenseKind::kUserBound,
-                                item.anonymous_license.content_id,
-                                item.anonymous_license.rights,
-                                &item.taker.pseudonym_key);
+  RecordIssued(issued.license, &item.taker.pseudonym_key);
+  result.license = std::move(issued.license);
   result.status = Status::kOk;
   return result;
 }
@@ -334,6 +516,9 @@ ContentProvider::RedeemAnonymousBatch(const std::vector<RedeemItem>& items) {
   std::vector<PurchaseResult> out(items.size());
   if (items.empty()) return out;
   server::BatchVerifierStats before = verifier_.stats();
+  auto stage_t0 = std::chrono::steady_clock::now();
+  last_timings_ = PipelineTimings{};
+  last_timings_.items = items.size();
 
   // Stage 1 — license signatures, amortized: every license in the batch
   // is signed by our own key, so one screened same-key verification
@@ -380,9 +565,12 @@ ContentProvider::RedeemAnonymousBatch(const std::vector<RedeemItem>& items) {
   // The RT-2 table counts the verifications actually performed, which is
   // the whole point of the batch path.
   GlobalOps().verify += (verifier_.stats() - before).full_verifies;
+  last_timings_.verify_us = MicrosSince(stage_t0);
+  stage_t0 = std::chrono::steady_clock::now();
 
-  // Stage 4 — spend-set updates on each id's home shard. Duplicates in
-  // one batch serialize there in index order, first occurrence wins.
+  // Stage 4 — spend: shard-serialized state updates on each id's home
+  // shard. Duplicates in one batch serialize there in index order, first
+  // occurrence wins.
   std::vector<Status> spend;
   if (runtime_ != nullptr) {
     std::vector<rel::LicenseId> ids;
@@ -399,19 +587,52 @@ ContentProvider::RedeemAnonymousBatch(const std::vector<RedeemItem>& items) {
                           : Status::kAlreadySpent);
     }
   }
+  last_timings_.spend_us = MicrosSince(stage_t0);
+  stage_t0 = std::chrono::steady_clock::now();
 
-  // Stage 5 — transcripts, fraud evidence and issuance, in index order.
+  // Stage 5 — issue: transcript + fresh-license signing, the dominant
+  // per-item private-key cost, fanned out to the shard workers. Items
+  // shed by a full shard queue never reach this stage (the bearer
+  // license is untouched and the client may simply retry); everything
+  // else — fresh spends and detected double redemptions alike — gets
+  // signed. The RNG forks are drawn on the dispatch thread in item-index
+  // order, so a fixed seed produces bit-identical output whether the
+  // signing below runs serially or on the workers.
+  std::vector<std::size_t> live;  // indices into `eligible`
+  live.reserve(eligible.size());
   for (std::size_t j = 0; j < eligible.size(); ++j) {
-    std::size_t i = eligible[j];
     if (spend[j] == Status::kOverloaded) {
-      // Shed by a full shard queue before any state change: the bearer
-      // license is untouched and the client may simply retry.
-      out[i].status = Status::kOverloaded;
-      continue;
+      out[eligible[j]].status = Status::kOverloaded;
+    } else {
+      live.push_back(j);
     }
-    out[i] = FinalizeRedemption(items[i], spend[j]);
+  }
+  std::vector<crypto::HmacDrbg> forks;
+  forks.reserve(live.size());
+  for (std::size_t j : live) {
+    forks.push_back(RedeemIssueRng(items[eligible[j]].anonymous_license.id));
+  }
+  std::vector<IssuedRedemption> issued(live.size());
+  ForEachIssue(live.size(), [&](std::size_t k) {
+    std::size_t j = live[k];
+    issued[k] = SignRedemption(items[eligible[j]], spend[j], &forks[k]);
+  });
+  last_timings_.issue_us = MicrosSince(stage_t0);
+
+  // Commit — state mutations on the dispatch thread, in index order:
+  // transcript map, fraud evidence, pseudonym bookkeeping, counters.
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    std::size_t i = eligible[live[k]];
+    out[i] = CommitRedemption(items[i], std::move(issued[k]));
   }
   return out;
+}
+
+std::optional<RedemptionTranscript> ContentProvider::TranscriptFor(
+    const rel::LicenseId& id) const {
+  auto it = redemption_transcripts_.find(id);
+  if (it == redemption_transcripts_.end()) return std::nullopt;
+  return it->second;
 }
 
 void ContentProvider::Revoke(const rel::KeyFingerprint& key_id) {

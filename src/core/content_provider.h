@@ -13,6 +13,7 @@
 /// compares the two.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -26,6 +27,7 @@
 #include "core/errors.h"
 #include "core/payment.h"
 #include "core/ttp.h"
+#include "crypto/drbg.h"
 #include "crypto/rsa.h"
 #include "rel/license.h"
 #include "server/batch_verifier.h"
@@ -114,6 +116,24 @@ class ContentProvider {
                           rel::ContentId content_id,
                           const std::vector<Coin>& payment);
 
+  /// One decoded batched-purchase item.
+  struct PurchaseItem {
+    PseudonymCertificate buyer;
+    rel::ContentId content_id = 0;
+    std::vector<Coin> payment;
+  };
+
+  /// Purchases a whole batch through the same three-stage pipeline as
+  /// RedeemAnonymousBatch: verify (memoized pseudonym-cert checks + one
+  /// shared CRL pass), spend (coin deposits, serialized — the bank
+  /// ledger is shared state), issue (license signing and content-key
+  /// wrapping on the shard workers when redeem_shards > 0). Per-item
+  /// results are index-aligned and match Purchase() item for item,
+  /// except that repeated certificates inside or across batches cost one
+  /// verification instead of one each.
+  std::vector<PurchaseResult> PurchaseBatch(
+      const std::vector<PurchaseItem>& items);
+
   // -- private transfer ----------------------------------------------------
 
   struct ExchangeResult {
@@ -163,6 +183,26 @@ class ContentProvider {
     return verifier_.stats();
   }
 
+  /// Wall-clock breakdown of the most recent RedeemAnonymousBatch /
+  /// PurchaseBatch call by pipeline stage (microseconds). `issue_us` is
+  /// the dispatch thread's wait on the signing stage — with shard
+  /// workers it shrinks toward the slowest worker's share, while the
+  /// signing work itself accrues on the workers' ShardContext sim
+  /// clocks (see ShardSimClockUs), which is what the scaling bench
+  /// reports as signatures/second.
+  struct PipelineTimings {
+    double verify_us = 0;  ///< batch-verify stage (signatures, certs, CRL)
+    double spend_us = 0;   ///< shard-serialized state stage (spend set / bank)
+    double issue_us = 0;   ///< signing stage (transcripts + fresh licenses)
+    std::size_t items = 0;
+  };
+  PipelineTimings LastBatchTimings() const { return last_timings_; }
+
+  /// First-seen redemption transcript for \p id (the fraud-evidence
+  /// basis), if that id has been freshly redeemed.
+  std::optional<RedemptionTranscript> TranscriptFor(
+      const rel::LicenseId& id) const;
+
   /// The shard runtime, or null when redeem_shards == 0.
   const server::ServerRuntime* Runtime() const { return runtime_.get(); }
 
@@ -191,17 +231,60 @@ class ContentProvider {
   std::size_t DistinctPseudonymsSeen() const { return pseudonyms_seen_.size(); }
 
  private:
+  /// What the pure signing stage of a redemption produces. The transcript
+  /// is always built (it is the fraud-evidence basis for double
+  /// redemptions); the license only when the spend was fresh.
+  struct IssuedRedemption {
+    Status status = Status::kBadRequest;
+    rel::License license;  ///< valid when status == kOk
+    RedemptionTranscript transcript;
+  };
+
+  /// Pure part of license issuance: fresh id, content-key wrapping and
+  /// issuer signature, drawing randomness only from \p rng. Const and
+  /// thread-safe against concurrent callers (reads catalog_/key_/clock_,
+  /// which never change during a batch); pair with RecordIssued on the
+  /// dispatch thread.
+  rel::License BuildLicense(rel::LicenseKind kind, rel::ContentId content_id,
+                            const rel::Rights& rights,
+                            const crypto::RsaPublicKey* bound_key,
+                            bignum::RandomSource* rng) const;
+  /// State-mutating part of issuance: issued-key map + counters.
+  void RecordIssued(const rel::License& license,
+                    const crypto::RsaPublicKey* bound_key);
+  /// Dispatch-thread convenience: BuildLicense(rng_) + RecordIssued.
   rel::License IssueLicense(rel::LicenseKind kind, rel::ContentId content_id,
                             const rel::Rights& rights,
                             const crypto::RsaPublicKey* bound_key);
-  rel::LicenseId FreshLicenseId();
   RedemptionTranscript MakeTranscript(const rel::LicenseId& id,
-                                      const PseudonymCertificate& cert);
+                                      const PseudonymCertificate& cert) const;
   bool MarkSpent(const rel::LicenseId& id);
-  /// Finishes one eligible batch item given its spend outcome (fresh /
-  /// already spent): transcripts, fraud evidence, issuance.
-  PurchaseResult FinalizeRedemption(const RedeemItem& item,
-                                    Status spend_status);
+  /// Per-item RNG fork for the redemption issue stage, domain-tagged by
+  /// the redeemed id. Forked on the dispatch thread in item-index order,
+  /// so a fixed seed yields bit-identical issuance whether the signing
+  /// then runs serially or on the shard workers.
+  crypto::HmacDrbg RedeemIssueRng(const rel::LicenseId& redeemed_id);
+  /// Per-item RNG fork for the purchase issue stage, domain-tagged by a
+  /// monotonic issuance nonce assigned in item-index order.
+  crypto::HmacDrbg PurchaseIssueRng();
+  /// Pure signing stage of one redemption: transcript always, fresh
+  /// license when \p spend_status is kOk. Const and thread-safe (runs on
+  /// shard workers); all randomness comes from \p rng.
+  IssuedRedemption SignRedemption(const RedeemItem& item, Status spend_status,
+                                  bignum::RandomSource* rng) const;
+  /// The issue-stage executor both pipelines share: runs
+  /// \p sign_item(k) for every k in [0, count) — fanned out to the shard
+  /// workers (with each call's measured wall time accrued on the
+  /// worker's sim clock) when the runtime exists, serially otherwise.
+  /// \p sign_item must be thread-safe and write only disjoint state per
+  /// k; ForEachIssue blocks until every call has returned.
+  void ForEachIssue(std::size_t count,
+                    const std::function<void(std::size_t)>& sign_item);
+  /// State-mutating stage of one redemption: transcript map, fraud
+  /// evidence, pseudonym bookkeeping, issued-key map. Dispatch thread
+  /// only, in item-index order.
+  PurchaseResult CommitRedemption(const RedeemItem& item,
+                                  IssuedRedemption issued);
 
   ContentProviderConfig config_;
   bignum::RandomSource* rng_;
@@ -235,6 +318,8 @@ class ContentProvider {
 
   std::uint64_t licenses_issued_ = 0;
   std::uint64_t double_redemptions_ = 0;
+  std::uint64_t purchase_issue_nonce_ = 0;  ///< purchase fork domain tags
+  PipelineTimings last_timings_;
 };
 
 }  // namespace core

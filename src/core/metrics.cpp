@@ -1,11 +1,56 @@
 #include "core/metrics.h"
 
+#include <deque>
+#include <mutex>
+
 namespace p2drm {
 namespace core {
 
-OpCounters& GlobalOps() {
-  static OpCounters counters;
-  return counters;
+namespace {
+
+/// All shards ever handed out. A deque never relocates elements, so the
+/// thread-local references stay valid as new threads register; shards of
+/// exited threads stay in place so their counts keep aggregating. The
+/// registry is a function-local static, constructed on first use and
+/// never destroyed before the last GlobalOps()/AggregateOps() caller in
+/// practice (worker threads are joined by their owners before exit).
+struct ShardRegistry {
+  std::mutex m;
+  std::deque<OpCountersShard> shards;
+};
+
+ShardRegistry& Registry() {
+  static ShardRegistry* registry = new ShardRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace
+
+OpCountersShard& GlobalOps() {
+  thread_local OpCountersShard* shard = [] {
+    ShardRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.m);
+    reg.shards.emplace_back();
+    return &reg.shards.back();
+  }();
+  return *shard;
+}
+
+OpCounters AggregateOps() {
+  ShardRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.m);
+  OpCounters total;
+  for (const OpCountersShard& shard : reg.shards) {
+    OpCounters c = shard.Snapshot();
+    total.sign += c.sign;
+    total.verify += c.verify;
+    total.blind_sign += c.blind_sign;
+    total.blind_prep += c.blind_prep;
+    total.hybrid_enc += c.hybrid_enc;
+    total.hybrid_dec += c.hybrid_dec;
+    total.keygen += c.keygen;
+  }
+  return total;
 }
 
 }  // namespace core

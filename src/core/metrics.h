@@ -7,14 +7,25 @@
 /// Actors increment these explicitly at each public-key operation so a
 /// bench can report "a P2DRM purchase costs S signatures, V verifications,
 /// B blind-signature operations, E hybrid encryptions…" exactly.
+///
+/// Since the issuance pipeline moved RSA signing onto the server's shard
+/// workers, the counters are sharded per thread: GlobalOps() hands every
+/// thread its own shard (created on first use, kept for the process
+/// lifetime so counts survive the thread), and AggregateOps() sums all
+/// shards for the RT-2 table. Increment sites are unchanged —
+/// `GlobalOps().sign += 1` now lands on the calling thread's shard — and
+/// the shard fields are atomics, so an aggregate read concurrent with
+/// worker increments is well-defined (each field is exact as of its own
+/// load; relaxed ordering, no cross-field snapshot is implied).
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace p2drm {
 namespace core {
 
-/// Counts of public-key operations.
+/// Counts of public-key operations (a plain value: snapshot or delta).
 struct OpCounters {
   std::uint64_t sign = 0;         ///< RSA-FDH signatures produced
   std::uint64_t verify = 0;       ///< RSA-FDH verifications
@@ -49,8 +60,43 @@ struct OpCounters {
   }
 };
 
-/// Process-wide counters (single-threaded protocol code).
-OpCounters& GlobalOps();
+/// One thread's counter shard. Field names mirror OpCounters so
+/// increment sites read identically; the types are relaxed atomics so
+/// AggregateOps() may read while the owning thread increments.
+struct OpCountersShard {
+  std::atomic<std::uint64_t> sign{0};
+  std::atomic<std::uint64_t> verify{0};
+  std::atomic<std::uint64_t> blind_sign{0};
+  std::atomic<std::uint64_t> blind_prep{0};
+  std::atomic<std::uint64_t> hybrid_enc{0};
+  std::atomic<std::uint64_t> hybrid_dec{0};
+  std::atomic<std::uint64_t> keygen{0};
+
+  /// Relaxed per-field snapshot as a plain value.
+  OpCounters Snapshot() const {
+    OpCounters c;
+    c.sign = sign.load(std::memory_order_relaxed);
+    c.verify = verify.load(std::memory_order_relaxed);
+    c.blind_sign = blind_sign.load(std::memory_order_relaxed);
+    c.blind_prep = blind_prep.load(std::memory_order_relaxed);
+    c.hybrid_enc = hybrid_enc.load(std::memory_order_relaxed);
+    c.hybrid_dec = hybrid_dec.load(std::memory_order_relaxed);
+    c.keygen = keygen.load(std::memory_order_relaxed);
+    return c;
+  }
+};
+
+/// The calling thread's counter shard (created on first use and retained
+/// for the process lifetime). Writes through this reference are only
+/// ever made by the owning thread; other threads may observe them via
+/// AggregateOps().
+OpCountersShard& GlobalOps();
+
+/// Sum of every thread's shard, including threads that have exited.
+/// Exact once the incrementing threads have quiesced (e.g. after
+/// ServerRuntime::Drain() or a join); during concurrent increments each
+/// field is a valid point-in-time lower bound.
+OpCounters AggregateOps();
 
 }  // namespace core
 }  // namespace p2drm

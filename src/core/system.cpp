@@ -65,6 +65,25 @@ void P2drmSystem::RegisterEndpoints() {
         resp->license = out.license;
         return out.status;
       });
+  // Batch fast path for purchases (mirrors the redeem fast path below):
+  // certificate verification memoizes per distinct cert, one CRL pass
+  // covers the batch, and license signing runs on the shard workers.
+  cp_service_.RegisterBatch<proto::PurchaseRequest>(
+      [this](const std::vector<proto::PurchaseRequest>& reqs,
+             std::vector<proto::PurchaseResponse>* resps) {
+        std::vector<ContentProvider::PurchaseItem> items;
+        items.reserve(reqs.size());
+        for (const proto::PurchaseRequest& req : reqs) {
+          items.push_back({req.buyer, req.content_id, req.payment});
+        }
+        auto results = cp_->PurchaseBatch(items);
+        std::vector<Status> statuses(results.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          statuses[i] = results[i].status;
+          (*resps)[i].license = std::move(results[i].license);
+        }
+        return statuses;
+      });
   cp_service_.Register<proto::ExchangeRequest>(
       [this](const proto::ExchangeRequest& req,
              proto::ExchangeResponse* resp) {

@@ -39,6 +39,28 @@ void HmacDrbg::Reseed(const std::vector<std::uint8_t>& material) {
   UpdateState(material);
 }
 
+HmacDrbg HmacDrbg::Fork(const std::vector<std::uint8_t>& domain_tag) {
+  return ForkRandom(this, domain_tag);
+}
+
+HmacDrbg HmacDrbg::Fork(const std::string& domain_tag) {
+  return ForkRandom(this,
+                    std::vector<std::uint8_t>(domain_tag.begin(),
+                                              domain_tag.end()));
+}
+
+HmacDrbg ForkRandom(bignum::RandomSource* parent,
+                    const std::vector<std::uint8_t>& domain_tag) {
+  // Child seed = 32 parent bytes ‖ domain tag. The fixed-width entropy
+  // prefix keeps (entropy, tag) pairs unambiguous, and HMAC-DRBG
+  // instantiation mixes both through HMAC, so children with distinct
+  // tags are computationally independent even under one parent state.
+  std::vector<std::uint8_t> seed(32);
+  parent->Fill(seed.data(), seed.size());
+  seed.insert(seed.end(), domain_tag.begin(), domain_tag.end());
+  return HmacDrbg(seed);
+}
+
 void HmacDrbg::Fill(std::uint8_t* out, std::size_t len) {
   std::size_t produced = 0;
   while (produced < len) {

@@ -30,6 +30,16 @@ class HmacDrbg : public bignum::RandomSource {
   /// Mixes additional entropy into the state.
   void Reseed(const std::vector<std::uint8_t>& material);
 
+  /// Derives an independent child stream bound to \p domain_tag. The
+  /// parent advances by exactly one 32-byte generate, so forking is as
+  /// deterministic as any other draw: the same seed and the same fork
+  /// sequence reproduce the same children, and distinct domain tags (or
+  /// distinct parent states) yield unrelated streams. The child shares
+  /// no state with the parent afterwards, which is what lets a fork be
+  /// handed to another thread while the parent keeps serving its own.
+  HmacDrbg Fork(const std::vector<std::uint8_t>& domain_tag);
+  HmacDrbg Fork(const std::string& domain_tag);
+
   void Fill(std::uint8_t* out, std::size_t len) override;
 
  private:
@@ -38,6 +48,15 @@ class HmacDrbg : public bignum::RandomSource {
   std::vector<std::uint8_t> key_;  // K, 32 bytes
   std::vector<std::uint8_t> v_;    // V, 32 bytes
 };
+
+/// Forks any RandomSource: draws 32 bytes from \p parent and binds them
+/// to \p domain_tag as the seed of a fresh HmacDrbg. For an HmacDrbg
+/// parent this is exactly HmacDrbg::Fork; for SystemRandom it yields a
+/// fast deterministic child keyed by real entropy. The parent is
+/// advanced by one 32-byte read and must not be touched concurrently;
+/// the returned child is independent and safe to move to another thread.
+HmacDrbg ForkRandom(bignum::RandomSource* parent,
+                    const std::vector<std::uint8_t>& domain_tag);
 
 /// Randomness from std::random_device. Suitable for examples; tests and
 /// benchmarks should prefer HmacDrbg for reproducibility.

@@ -90,6 +90,7 @@ RsaPrivateKey GenerateRsaKey(std::size_t modulus_bits,
     key.dp = d % p1;
     key.dq = d % q1;
     key.qinv = q.InvMod(p);
+    key.Precompute();
     return key;
   }
 }
@@ -106,9 +107,16 @@ BigInt RsaPrivateOp(const RsaPrivateKey& priv, const BigInt& c) {
     throw std::domain_error("RsaPrivateOp: ciphertext out of range");
   }
   // CRT: m1 = c^dp mod p, m2 = c^dq mod q, h = qinv*(m1-m2) mod p,
-  // m = m2 + h*q.
-  BigInt m1 = c.Mod(priv.p).PowMod(priv.dp, priv.p);
-  BigInt m2 = c.Mod(priv.q).PowMod(priv.dq, priv.q);
+  // m = m2 + h*q. The Montgomery p/q contexts come from the key's cache
+  // when present; BigInt::PowMod would otherwise rebuild them per call.
+  BigInt m1, m2;
+  if (priv.crt != nullptr) {
+    m1 = priv.crt->mont_p.PowMod(c.Mod(priv.p), priv.dp);
+    m2 = priv.crt->mont_q.PowMod(c.Mod(priv.q), priv.dq);
+  } else {
+    m1 = c.Mod(priv.p).PowMod(priv.dp, priv.p);
+    m2 = c.Mod(priv.q).PowMod(priv.dq, priv.q);
+  }
   BigInt h = priv.qinv.MulMod(m1.SubMod(m2.Mod(priv.p), priv.p), priv.p);
   return m2 + h * priv.q;
 }

@@ -12,9 +12,11 @@
 /// makes pseudonym certificates and e-cash unlinkable.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "bignum/bigint.h"
+#include "bignum/montgomery.h"
 #include "bignum/random_source.h"
 #include "crypto/sha256.h"
 
@@ -39,6 +41,17 @@ struct RsaPublicKey {
   bool operator==(const RsaPublicKey& o) const { return n == o.n && e == o.e; }
 };
 
+/// Precomputed Montgomery contexts for CRT signing. Immutable once
+/// built, so any number of threads may sign with the same key
+/// concurrently (bignum::Montgomery is stateless after construction).
+struct RsaCrtContext {
+  RsaCrtContext(const bignum::BigInt& p, const bignum::BigInt& q)
+      : mont_p(p), mont_q(q) {}
+
+  bignum::Montgomery mont_p;
+  bignum::Montgomery mont_q;
+};
+
 /// RSA private key with CRT parameters.
 struct RsaPrivateKey {
   bignum::BigInt n;
@@ -49,8 +62,16 @@ struct RsaPrivateKey {
   bignum::BigInt dp;    // d mod (p-1)
   bignum::BigInt dq;    // d mod (q-1)
   bignum::BigInt qinv;  // q^-1 mod p
+  /// Cached signing contexts, shared by copies of the key. Populated by
+  /// GenerateRsaKey; keys assembled by hand can call Precompute() (or
+  /// not — RsaPrivateOp falls back to per-call contexts).
+  std::shared_ptr<const RsaCrtContext> crt;
 
   RsaPublicKey PublicKey() const { return RsaPublicKey{n, e}; }
+
+  /// Builds the cached Montgomery p/q contexts. Call once after the CRT
+  /// fields are final; do NOT call while other threads may be signing.
+  void Precompute() { crt = std::make_shared<RsaCrtContext>(p, q); }
 };
 
 /// Generates an RSA key pair with public exponent 65537.

@@ -50,6 +50,12 @@ ResponseEnvelope ResponseEnvelope::Decode(
 
 // -- server side -------------------------------------------------------------
 
+std::vector<std::uint8_t> ServiceRegistry::EncodeRetryHint() const {
+  ByteWriter w;
+  w.U32(overload_retry_hint_ms_);
+  return w.Take();
+}
+
 void ServiceRegistry::RegisterRaw(std::uint8_t tag, RawHandler handler) {
   handlers_[tag] = std::move(handler);
 }
@@ -149,10 +155,19 @@ std::vector<std::uint8_t> ServiceRegistry::Dispatch(
     }
     ByteWriter w;
     w.U32(static_cast<std::uint32_t>(items.size()));
+    // Item payloads: response body on kOk, the typed retry hint on
+    // kOverloaded, empty otherwise. The hint is identical for every
+    // shed item, so it is encoded once for the whole batch.
+    const std::vector<std::uint8_t> retry_hint = EncodeRetryHint();
     for (std::size_t i = 0; i < items.size(); ++i) {
       w.U8(static_cast<std::uint8_t>(statuses[i]));
-      w.Blob(statuses[i] == core::Status::kOk ? bodies[i]
-                                              : std::vector<std::uint8_t>{});
+      if (statuses[i] == core::Status::kOk) {
+        w.Blob(bodies[i]);
+      } else if (statuses[i] == core::Status::kOverloaded) {
+        w.Blob(retry_hint);
+      } else {
+        w.Blob({});
+      }
     }
     out.status = core::Status::kOk;
     out.payload = w.Take();
@@ -161,6 +176,7 @@ std::vector<std::uint8_t> ServiceRegistry::Dispatch(
 
   out.status = DispatchItem(req.tag, req.payload, &out.payload);
   if (out.status != core::Status::kOk) out.payload.clear();
+  if (out.status == core::Status::kOverloaded) out.payload = EncodeRetryHint();
   return out.Encode();
 }
 
@@ -173,6 +189,17 @@ void ServiceRegistry::BindTo(Transport* transport,
 }
 
 // -- client side -------------------------------------------------------------
+
+std::uint32_t Rpc::DecodeRetryHint(const std::vector<std::uint8_t>& payload) {
+  try {
+    ByteReader r(payload);
+    // Deliberately no ExpectEnd: later protocol revisions may append
+    // fields to the hint without breaking older clients.
+    return r.U32();
+  } catch (const CodecError&) {
+    return 0;  // absent or malformed hint: advice only, never an error
+  }
+}
 
 Rpc::RawResult Rpc::RawCall(const std::string& from,
                             const std::string& endpoint, std::uint8_t tag,

@@ -68,8 +68,10 @@ struct RequestEnvelope {
   static RequestEnvelope Decode(const std::vector<std::uint8_t>& wire);
 };
 
-/// Server -> client envelope. \c payload is non-empty only on kOk (batch
-/// responses always carry the per-item payload section).
+/// Server -> client envelope. \c payload carries the response body on
+/// kOk and the typed u32 retry hint on kOverloaded; it is empty on every
+/// other status (batch responses always carry the per-item payload
+/// section).
 struct ResponseEnvelope {
   std::uint8_t version = kProtocolVersion;
   std::uint8_t tag = 0;
@@ -88,8 +90,15 @@ template <typename Resp>
 struct RpcResult {
   core::Status status = core::Status::kUnavailable;
   Resp value{};
+  /// Typed retry hint carried by kOverloaded responses: how long the
+  /// server suggests waiting before resubmitting, in milliseconds. 0 on
+  /// every other status, and on kOverloaded replies from servers that
+  /// did not attach a hint. Callers no longer need to invent a backoff
+  /// from the status alone.
+  std::uint32_t retry_after_ms = 0;
 
   bool ok() const { return status == core::Status::kOk; }
+  bool overloaded() const { return status == core::Status::kOverloaded; }
 };
 
 /// Maps envelope tags to typed handlers behind one Transport endpoint.
@@ -199,6 +208,18 @@ class ServiceRegistry {
         });
   }
 
+  /// Retry hint attached to kOverloaded responses (single and batch
+  /// items alike): the payload of an overloaded reply becomes a u32
+  /// suggested wait in milliseconds, which the client stub surfaces as
+  /// RpcResult::retry_after_ms. Non-overloaded non-kOk responses keep an
+  /// empty payload, so the wire cost of every other path is unchanged.
+  void set_overload_retry_hint_ms(std::uint32_t ms) {
+    overload_retry_hint_ms_ = ms;
+  }
+  std::uint32_t overload_retry_hint_ms() const {
+    return overload_retry_hint_ms_;
+  }
+
   /// Registers (or replaces) a type-erased handler for \p tag.
   void RegisterRaw(std::uint8_t tag, RawHandler handler);
 
@@ -221,8 +242,12 @@ class ServiceRegistry {
                             const std::vector<std::uint8_t>& payload,
                             std::vector<std::uint8_t>* out) const;
 
+  /// Encoded u32 retry-hint payload for kOverloaded responses.
+  std::vector<std::uint8_t> EncodeRetryHint() const;
+
   std::map<std::uint8_t, RawHandler> handlers_;
   std::map<std::uint8_t, RawBatchHandler> batch_handlers_;
+  std::uint32_t overload_retry_hint_ms_ = 50;
 };
 
 /// Typed client stub. Owns nothing but a Transport pointer, a caller
@@ -319,10 +344,18 @@ class Rpc {
                                   const std::string& endpoint,
                                   const std::vector<TaggedPayload>& items);
 
+  /// Parses the u32 retry hint an overloaded response carries; 0 when
+  /// the payload is absent or malformed (a hint is advice, not protocol).
+  static std::uint32_t DecodeRetryHint(const std::vector<std::uint8_t>& payload);
+
   template <typename Resp>
   static RpcResult<Resp> DecodeTyped(const RawResult& raw) {
     RpcResult<Resp> out;
     out.status = raw.status;
+    if (raw.status == core::Status::kOverloaded) {
+      out.retry_after_ms = DecodeRetryHint(raw.payload);
+      return out;
+    }
     if (raw.status != core::Status::kOk) return out;
     try {
       out.value = Resp::Decode(raw.payload);

@@ -143,6 +143,22 @@ void ServerRuntime::Submit(std::size_t shard_index, Task task,
   shard.work_cv.notify_one();
 }
 
+void ServerRuntime::RunAll(std::vector<Task> tasks) {
+  if (tasks.empty()) return;
+  Latch done(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    // Round-robin placement: issuance work has no shard affinity (it
+    // touches no shard-owned state), so spreading by index keeps every
+    // worker busy even when the batch's ids all hash to one shard.
+    Submit(i % shards_.size(),
+           [task = std::move(tasks[i]), &done](ShardContext& ctx) {
+             task(ctx);
+             done.CountDown();
+           });
+  }
+  done.Wait();
+}
+
 std::unique_lock<std::mutex> ServerRuntime::QuiesceShard(
     std::size_t shard_index) const {
   const Shard& shard = *shards_[shard_index];

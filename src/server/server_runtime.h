@@ -123,6 +123,15 @@ class ServerRuntime {
   /// Blocking submit: waits for queue room instead of shedding.
   void Submit(std::size_t shard, Task task, std::size_t weight = 1);
 
+  /// Submit-and-join work queue for the issuance stage: fans \p tasks
+  /// out across the shard workers (task i runs on shard i mod N) and
+  /// blocks until every one has completed. Submission is blocking, never
+  /// shedding — backpressure (kOverloaded) is applied at the spend
+  /// stage, before any state changes; work that reaches the issue stage
+  /// is already committed and must not be dropped. Tasks must not call
+  /// back into the runtime.
+  void RunAll(std::vector<Task> tasks);
+
   /// Waits until every shard queue is empty and every worker is idle.
   void Drain() const;
 

@@ -56,6 +56,62 @@ TEST(HmacDrbg, ByteDistributionRoughlyUniform) {
   }
 }
 
+// -- forks -------------------------------------------------------------------
+
+TEST(HmacDrbgFork, SameSeedAndTagReproduces) {
+  HmacDrbg a("fork-seed");
+  HmacDrbg b("fork-seed");
+  HmacDrbg child_a = a.Fork("issue");
+  HmacDrbg child_b = b.Fork("issue");
+  EXPECT_EQ(child_a.Bytes(64), child_b.Bytes(64));
+  // The parents advanced identically too.
+  EXPECT_EQ(a.Bytes(64), b.Bytes(64));
+}
+
+TEST(HmacDrbgFork, DistinctTagsDiverge) {
+  HmacDrbg a("fork-seed");
+  HmacDrbg b("fork-seed");
+  HmacDrbg child_a = a.Fork("issue-0");
+  HmacDrbg child_b = b.Fork("issue-1");
+  EXPECT_NE(child_a.Bytes(64), child_b.Bytes(64));
+}
+
+TEST(HmacDrbgFork, ChildIsIndependentOfLaterParentDraws) {
+  // Draws from the parent after the fork must not perturb the child:
+  // that independence is what lets a fork move to a worker thread while
+  // the dispatch thread keeps consuming the parent.
+  HmacDrbg a("fork-seed");
+  HmacDrbg b("fork-seed");
+  HmacDrbg child_a = a.Fork("worker");
+  HmacDrbg child_b = b.Fork("worker");
+  (void)a.Bytes(1024);  // only parent a advances
+  EXPECT_EQ(child_a.Bytes(64), child_b.Bytes(64));
+}
+
+TEST(HmacDrbgFork, ParentStateBindsTheChild) {
+  // The same tag forked at different parent positions yields different
+  // children — a fork is a draw, not a rewind.
+  HmacDrbg a("fork-seed");
+  HmacDrbg b("fork-seed");
+  (void)b.Bytes(32);
+  EXPECT_NE(a.Fork("issue").Bytes(64), b.Fork("issue").Bytes(64));
+}
+
+TEST(HmacDrbgFork, ChildAndParentStreamsDiffer) {
+  HmacDrbg a("fork-seed");
+  HmacDrbg child = a.Fork("issue");
+  EXPECT_NE(child.Bytes(64), a.Bytes(64));
+}
+
+TEST(ForkRandomFn, ForksAnyRandomSource) {
+  SystemRandom sys;
+  HmacDrbg child_a = ForkRandom(&sys, {0x01});
+  HmacDrbg child_b = ForkRandom(&sys, {0x01});
+  // Children are seeded by fresh parent entropy, so even equal tags
+  // yield unrelated streams here.
+  EXPECT_NE(child_a.Bytes(64), child_b.Bytes(64));
+}
+
 TEST(RandomSource, BelowStaysInRange) {
   HmacDrbg rng("below");
   BigInt bound = BigInt::FromDec("1000000");

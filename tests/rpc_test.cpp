@@ -377,7 +377,28 @@ TEST_F(RpcTest, OverloadedStatusRoundTripsPerItem) {
   for (std::size_t i = 0; i < resps.size(); ++i) {
     EXPECT_EQ(resps[i].status,
               i % 2 == 0 ? Status::kOk : Status::kOverloaded);
+    // Shed items carry the registry's typed retry hint; served items
+    // carry none.
+    EXPECT_EQ(resps[i].retry_after_ms,
+              i % 2 == 0 ? 0u : registry_.overload_retry_hint_ms());
   }
+}
+
+TEST_F(RpcTest, OverloadedSingleCallCarriesRetryHint) {
+  registry_.set_overload_retry_hint_ms(125);
+  registry_.Register<FailRequest>(
+      [](const FailRequest&, EchoResponse*) { return Status::kOverloaded; });
+  auto resp = rpc_.Call("svc", FailRequest{});
+  EXPECT_EQ(resp.status, Status::kOverloaded);
+  EXPECT_TRUE(resp.overloaded());
+  EXPECT_EQ(resp.retry_after_ms, 125u);
+
+  // Every other failure status still carries no hint.
+  registry_.Register<FailRequest>(
+      [](const FailRequest&, EchoResponse*) { return Status::kRevoked; });
+  resp = rpc_.Call("svc", FailRequest{});
+  EXPECT_EQ(resp.status, Status::kRevoked);
+  EXPECT_EQ(resp.retry_after_ms, 0u);
 }
 
 TEST_F(RpcTest, BatchHandlerCoexistsWithPerItemDispatch) {
