@@ -43,6 +43,10 @@ Fixture& FixtureForBits(std::size_t bits) {
   cfg.ttp_key_bits = bits;
   cfg.bank_key_bits = bits;
   cfg.cp.signing_key_bits = bits;
+  // Batch-first server defaults: batched purchases issue on shard
+  // workers and deposit their coins through the bank's batch pipeline.
+  cfg.cp.redeem_shards = 4;
+  cfg.bank.deposit_shards = 2;
   f->system = std::make_unique<P2drmSystem>(cfg, f->rng.get());
   f->content = f->system->cp().Publish(
       "Track", std::vector<std::uint8_t>(4096, 0x5a), 7,
@@ -98,6 +102,31 @@ void BM_PurchaseSteadyState(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PurchaseSteadyState)->Arg(512)->Arg(768)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// Batched steady-state purchase: 16 items per kBatch round trip through
+// the full server pipeline (one memoized cert verification, ONE batched
+// coin deposit at the bank, shard-parallel issuance). Reported per
+// item, so the RT-2 table compares directly against the single-call
+// series above.
+void BM_PurchaseBatchPerItem(benchmark::State& state) {
+  Fixture& f = FixtureForBits(static_cast<std::size_t>(state.range(0)));
+  constexpr std::size_t kBatch = 16;
+  f.steady_agent->EnsurePseudonym();
+  std::vector<rel::ContentId> contents(kBatch, f.content);
+  for (auto _ : state) {
+    if (f.steady_agent->WalletValue() < 7 * kBatch) {
+      state.PauseTiming();
+      f.steady_agent->WithdrawCoins(7000);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(
+        f.steady_agent->BuyContentBatch(contents, nullptr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_PurchaseBatchPerItem)->Arg(512)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 
 // Baseline-equivalent server work: verify cert + deposit + issue + wrap.

@@ -30,6 +30,11 @@
 // are meaningful even on single-core CI — the same simulated-time
 // methodology Part A uses.
 //
+// Part E — exchange batch (ISSUE 4 acceptance). Same methodology as
+// Part D for ContentProvider::ExchangeBatch at 1/4 shards: the bearer
+// issuance fans out through the shared server::BatchPipeline, so
+// 4-shard throughput must beat 1-shard by >= 1.5x.
+//
 // Output: console report + BENCH_bench_server_scaling.json.
 
 #include <algorithm>
@@ -207,6 +212,53 @@ PipelineResult RunPipeline(std::size_t shards, std::size_t batch_items,
   for (const auto& r : results) {
     if (r.status != core::Status::kOk) {
       std::fprintf(stderr, "pipeline redemption failed\n");
+      std::exit(1);
+    }
+  }
+
+  PipelineResult out;
+  out.timings = stack.cp.LastBatchTimings();
+  out.signatures = (core::AggregateOps() - ops_before).sign;
+  out.total_wall_us = wall_us;
+  const server::ServerRuntime* rt = stack.cp.Runtime();
+  if (rt != nullptr) {
+    for (std::size_t s = 0; s < rt->shard_count(); ++s) {
+      out.issue_makespan_us = std::max(
+          out.issue_makespan_us, static_cast<double>(rt->ShardSimClockUs(s)));
+    }
+  } else {
+    out.issue_makespan_us = out.timings.issue_us;  // serial: one "shard"
+  }
+  if (out.issue_makespan_us > 0) {
+    out.sigs_per_sec_sim =
+        static_cast<double>(out.signatures) / (out.issue_makespan_us / 1e6);
+  }
+  return out;
+}
+
+/// Part E worker: one ExchangeBatch over \p batch_items licenses, the
+/// issue stage fanned out to \p shards workers. Setup (purchases and
+/// possession proofs) issues on the dispatch thread, so the shard sim
+/// clocks measure the exchange fan-out alone.
+PipelineResult RunExchangePipeline(std::size_t shards,
+                                   std::size_t batch_items,
+                                   std::size_t key_bits) {
+  sim::ProviderStack stack("exchange-scaling", shards, key_bits);
+  core::Pseudonym* owner = stack.NewPseudonym();
+  std::vector<core::ContentProvider::ExchangeItem> items;
+  items.reserve(batch_items);
+  for (std::size_t i = 0; i < batch_items; ++i) {
+    rel::License lic = stack.NewBoundLicense(owner);
+    items.push_back({lic, stack.PossessionSig(owner, lic)});
+  }
+
+  core::OpCounters ops_before = core::AggregateOps();
+  Clock::time_point t0 = Clock::now();
+  auto results = stack.cp.ExchangeBatch(items);
+  double wall_us = SecondsSince(t0) * 1e6;
+  for (const auto& r : results) {
+    if (r.status != core::Status::kOk) {
+      std::fprintf(stderr, "pipeline exchange failed\n");
       std::exit(1);
     }
   }
@@ -460,6 +512,44 @@ int main(int argc, char** argv) {
       if (ratio < 1.5) {
         std::fprintf(stderr, "FAIL: 4-shard issue scaling %.2fx < 1.5x\n",
                      ratio);
+        return 1;
+      }
+    }
+  }
+
+  // -- Part E: exchange batch -----------------------------------------------
+  std::printf(
+      "\nexchange batch: %zu-item batch through server::BatchPipeline\n",
+      pipeline_items);
+  double base_exchange_sigs_per_sec = 0;
+  for (std::size_t shards : {1u, 4u}) {
+    PipelineResult r = RunExchangePipeline(shards, pipeline_items, key_bits);
+    std::printf(
+        "shards=%zu  verify=%8.0fus  spend=%6.0fus  issue=%8.0fus  "
+        "issue-makespan=%8.0fus  sigs=%llu  sim-sigs/s=%8.0f\n",
+        shards, r.timings.verify_us, r.timings.spend_us, r.timings.issue_us,
+        r.issue_makespan_us,
+        static_cast<unsigned long long>(r.signatures), r.sigs_per_sec_sim);
+    std::string prefix = "exchange.shards" + std::to_string(shards);
+    report.Metric(prefix + ".verify_us", r.timings.verify_us);
+    report.Metric(prefix + ".spend_us", r.timings.spend_us);
+    report.Metric(prefix + ".issue_us", r.timings.issue_us);
+    report.Metric(prefix + ".issue_makespan_us", r.issue_makespan_us);
+    report.Metric(prefix + ".signatures", static_cast<double>(r.signatures));
+    report.Metric(prefix + ".sim_sigs_per_sec", r.sigs_per_sec_sim);
+    report.Metric(prefix + ".total_wall_us", r.total_wall_us);
+    if (shards == 1) base_exchange_sigs_per_sec = r.sigs_per_sec_sim;
+    if (shards == 4) {
+      double ratio = base_exchange_sigs_per_sec > 0
+                         ? r.sigs_per_sec_sim / base_exchange_sigs_per_sec
+                         : 0;
+      std::printf("4-shard vs 1-shard exchange throughput: %.2fx\n", ratio);
+      report.Metric("exchange.issue_scaling_4v1", ratio);
+      // The exchange flow rides the same pipeline, so the Part D bound
+      // applies to it too.
+      if (ratio < 1.5) {
+        std::fprintf(stderr,
+                     "FAIL: 4-shard exchange scaling %.2fx < 1.5x\n", ratio);
         return 1;
       }
     }

@@ -1,8 +1,10 @@
 #include "core/agent.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "core/metrics.h"
 #include "core/protocol.h"
@@ -24,14 +26,16 @@ const std::vector<Coin>* PaymentOf(const proto::RedeemRequest&) {
   return nullptr;
 }
 
-// True for statuses only the RPC layer produces before a handler runs:
-// the server provably never executed the request, so coins it carried
-// are still the client's. Actor-produced statuses (kBadRequest included
-// — ContentProvider returns it too) stay ambiguous: no refund, matching
-// the pre-batching semantics.
+// True for statuses that guarantee the server never executed the
+// request, so coins it carried are still the client's: the RPC-layer
+// codes produced before a handler runs, and kOverloaded — the batch
+// pipeline's shed contract is "before any state change" (the coins were
+// not deposited; docs/server.md). Other actor-produced statuses
+// (kBadRequest included — ContentProvider returns it too) stay
+// ambiguous: no refund, matching the pre-batching semantics.
 bool ProvablyNotExecuted(Status s) {
   return s == Status::kUnavailable || s == Status::kVersionMismatch ||
-         s == Status::kUnknownTag;
+         s == Status::kUnknownTag || s == Status::kOverloaded;
 }
 
 }  // namespace
@@ -183,6 +187,68 @@ Status UserAgent::InstallIssued(const rel::License& license,
   return Status::kOk;
 }
 
+void UserAgent::Backoff(std::uint32_t retry_after_ms) {
+  std::uint32_t wait =
+      std::min(retry_after_ms, config_.overload_backoff_cap_ms);
+  retry_stats_.backoff_ms += wait;
+  if (wait > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+  }
+}
+
+template <typename Req>
+net::RpcResult<typename Req::Response> UserAgent::CallAnonymousWithRetry(
+    const Req& req) {
+  auto resp = rpc_.CallAnonymous(P2drmSystem::kCpEndpoint, req);
+  for (std::size_t attempt = 1;
+       resp.overloaded() && attempt < config_.overload_max_attempts;
+       ++attempt) {
+    // A shed request left no server-side trace, so resending the
+    // identical bytes is safe.
+    Backoff(resp.retry_after_ms);
+    retry_stats_.retried_items += 1;
+    retry_stats_.retry_round_trips += 1;
+    resp = rpc_.CallAnonymous(P2drmSystem::kCpEndpoint, req);
+  }
+  if (resp.overloaded()) retry_stats_.exhausted_items += 1;
+  return resp;
+}
+
+template <typename Req>
+std::vector<net::RpcResult<typename Req::Response>>
+UserAgent::CallBatchAnonymousWithRetry(const std::vector<Req>& reqs) {
+  auto resps = rpc_.CallBatchAnonymous(P2drmSystem::kCpEndpoint, reqs);
+  for (std::size_t attempt = 1; attempt < config_.overload_max_attempts;
+       ++attempt) {
+    std::vector<std::size_t> shed;
+    std::uint32_t hint = 0;
+    for (std::size_t w = 0; w < resps.size(); ++w) {
+      if (resps[w].overloaded()) {
+        shed.push_back(w);
+        hint = std::max(hint, resps[w].retry_after_ms);
+      }
+    }
+    if (shed.empty()) break;
+    // Re-batch ONLY the shed indices: everything else already has its
+    // final answer, and a shed item left no server-side trace.
+    Backoff(hint);
+    retry_stats_.retried_items += shed.size();
+    retry_stats_.retry_round_trips += 1;
+    std::vector<Req> retry_reqs;
+    retry_reqs.reserve(shed.size());
+    for (std::size_t w : shed) retry_reqs.push_back(reqs[w]);
+    auto retry_resps =
+        rpc_.CallBatchAnonymous(P2drmSystem::kCpEndpoint, retry_reqs);
+    for (std::size_t j = 0; j < shed.size(); ++j) {
+      resps[shed[j]] = std::move(retry_resps[j]);
+    }
+  }
+  for (const auto& r : resps) {
+    if (r.overloaded()) retry_stats_.exhausted_items += 1;
+  }
+  return resps;
+}
+
 template <typename Req>
 void UserAgent::FinishBatch(const std::vector<Req>& wire_reqs,
                             const std::vector<std::size_t>& wire_index,
@@ -190,7 +256,7 @@ void UserAgent::FinishBatch(const std::vector<Req>& wire_reqs,
                             std::vector<Status>* statuses,
                             std::vector<rel::License>* out) {
   if (wire_reqs.empty()) return;  // nothing prepared: spend no round trip
-  auto resps = rpc_.CallBatchAnonymous(P2drmSystem::kCpEndpoint, wire_reqs);
+  auto resps = CallBatchAnonymousWithRetry(wire_reqs);
   for (std::size_t w = 0; w < resps.size(); ++w) {
     std::size_t i = wire_index[w];
     wire_pseudonym[w]->purchases_used -= 1;  // InstallIssued re-charges
@@ -227,7 +293,7 @@ Status UserAgent::BuyContent(rel::ContentId content, rel::License* out) {
   req.content_id = content;
   req.payment = std::move(payment);
   // Anonymous channel: the CP must not learn who is calling.
-  auto resp = rpc_.CallAnonymous(P2drmSystem::kCpEndpoint, req);
+  auto resp = CallAnonymousWithRetry(req);
   if (!resp.ok()) {
     if (ProvablyNotExecuted(resp.status)) {
       wallet_.insert(wallet_.end(), req.payment.begin(), req.payment.end());
@@ -306,13 +372,56 @@ Status UserAgent::GiveLicense(const rel::LicenseId& id,
   proto::ExchangeRequest req;
   req.license = *held;
   req.possession_sig = std::move(sig);
-  auto resp = rpc_.CallAnonymous(P2drmSystem::kCpEndpoint, req);
+  auto resp = CallAnonymousWithRetry(req);
   if (!resp.ok()) return resp.status;
 
   // The old license is now spent server-side; a compliant device deletes it.
   device_.RemoveLicense(id);
   *out_bytes = resp.value.anonymous_license.Serialize();
   return Status::kOk;
+}
+
+std::vector<Status> UserAgent::GiveLicenseBatch(
+    const std::vector<rel::LicenseId>& ids,
+    std::vector<std::vector<std::uint8_t>>* bearer_bytes) {
+  std::vector<Status> statuses(ids.size(), Status::kBadRequest);
+  if (bearer_bytes != nullptr) {
+    bearer_bytes->assign(ids.size(), {});
+  }
+
+  // Client-side preparation per item (held license + possession proof);
+  // items that fail locally never reach the wire.
+  std::vector<proto::ExchangeRequest> wire_reqs;
+  std::vector<std::size_t> wire_index;  // wire item -> input index
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const rel::License* held = device_.FindLicense(ids[i]);
+    if (held == nullptr) continue;  // statuses[i] stays kBadRequest
+    std::vector<std::uint8_t> sig = card_.SignWithPseudonym(
+        held->bound_key, ContentProvider::TransferChallengeBytes(held->id));
+    if (sig.empty()) continue;
+    proto::ExchangeRequest req;
+    req.license = *held;
+    req.possession_sig = std::move(sig);
+    wire_reqs.push_back(std::move(req));
+    wire_index.push_back(i);
+  }
+  if (wire_reqs.empty()) return statuses;  // spend no round trip
+
+  // N exchanges, ONE transport round trip (plus bounded retries of any
+  // shed items).
+  auto resps = CallBatchAnonymousWithRetry(wire_reqs);
+  for (std::size_t w = 0; w < resps.size(); ++w) {
+    std::size_t i = wire_index[w];
+    statuses[i] = resps[w].status;
+    if (!resps[w].ok()) continue;
+    // The old license is spent server-side; a compliant device deletes
+    // it and hands over the bearer bytes.
+    device_.RemoveLicense(ids[i]);
+    if (bearer_bytes != nullptr) {
+      (*bearer_bytes)[i] = resps[w].value.anonymous_license.Serialize();
+    }
+  }
+  return statuses;
 }
 
 Status UserAgent::ReceiveLicense(
@@ -331,7 +440,7 @@ Status UserAgent::ReceiveLicense(
   proto::RedeemRequest req;
   req.anonymous_license = anon;
   req.taker = pseudonym->cert;
-  auto resp = rpc_.CallAnonymous(P2drmSystem::kCpEndpoint, req);
+  auto resp = CallAnonymousWithRetry(req);
   if (!resp.ok()) return resp.status;
   return InstallIssued(resp.value.license, pseudonym, out);
 }

@@ -34,6 +34,23 @@ struct AgentConfig {
   std::uint64_t pseudonym_max_uses = 1;
   std::uint8_t device_security_level = 2;
   std::uint64_t initial_bank_balance = 1000;
+  /// Total attempts per item for kOverloaded responses (1 = never
+  /// retry). A shed item is retried automatically — batches re-send
+  /// only the shed indices — until it succeeds, fails differently, or
+  /// the budget runs out (the final status is then kOverloaded).
+  std::size_t overload_max_attempts = 3;
+  /// Cap on one backoff wait honoring RpcResult::retry_after_ms
+  /// (milliseconds). 0 keeps retrying without sleeping — useful in
+  /// simulations where wall-clock waits carry no information.
+  std::uint32_t overload_backoff_cap_ms = 50;
+};
+
+/// Client-side overload-retry accounting (one struct per agent).
+struct RetryStats {
+  std::uint64_t retried_items = 0;    ///< item re-sends beyond the first try
+  std::uint64_t retry_round_trips = 0;  ///< extra wire calls spent retrying
+  std::uint64_t backoff_ms = 0;       ///< total hinted wait honored
+  std::uint64_t exhausted_items = 0;  ///< items still shed at budget end
 };
 
 /// A complete P2DRM client.
@@ -82,6 +99,17 @@ class UserAgent {
   Status GiveLicense(const rel::LicenseId& id,
                      std::vector<std::uint8_t>* anonymous_license_bytes);
 
+  /// Batched giver path: N held licenses exchanged for bearer licenses
+  /// in ONE metered round trip (the server's ExchangeBatch fast path).
+  /// Returns one status per input, index-aligned; \p bearer_bytes
+  /// (optional) receives the bearer serialization for the kOk entries
+  /// (empty elsewhere). Exchanged licenses are removed from the device;
+  /// shed items are retried under the overload policy and, if the
+  /// budget runs out, stay installed and untouched.
+  std::vector<Status> GiveLicenseBatch(
+      const std::vector<rel::LicenseId>& ids,
+      std::vector<std::vector<std::uint8_t>>* bearer_bytes = nullptr);
+
   /// Taker half: redeems bearer bytes for a license bound to a fresh
   /// pseudonym and installs it.
   Status ReceiveLicense(const std::vector<std::uint8_t>& anonymous_license_bytes,
@@ -101,6 +129,11 @@ class UserAgent {
   /// (runs the blind issuance protocol when needed).
   Pseudonym* EnsurePseudonym();
 
+  /// Overload-retry accounting: how many items this agent re-sent after
+  /// kOverloaded sheds, the round trips and hinted backoff spent doing
+  /// so, and how many items exhausted the attempt budget.
+  const RetryStats& OverloadRetries() const { return retry_stats_; }
+
  private:
   Status WithdrawOne(std::uint32_t denomination);
   /// Removes coins summing exactly to \p amount from the wallet,
@@ -114,16 +147,33 @@ class UserAgent {
                        rel::License* out);
 
   /// Shared wire tail of the batch paths: sends the prepared requests in
-  /// one batched round trip, refunds the pre-charged pseudonym uses,
-  /// installs the returned licenses and (for purchases that provably
-  /// never reached the server) returns the coins to the wallet. Defined
-  /// in agent.cpp; instantiated there for PurchaseRequest/RedeemRequest.
+  /// one batched round trip (plus bounded retries of shed items),
+  /// refunds the pre-charged pseudonym uses, installs the returned
+  /// licenses and (for purchases that provably never reached the server)
+  /// returns the coins to the wallet. Defined in agent.cpp; instantiated
+  /// there for PurchaseRequest/RedeemRequest.
   template <typename Req>
   void FinishBatch(const std::vector<Req>& wire_reqs,
                    const std::vector<std::size_t>& wire_index,
                    const std::vector<Pseudonym*>& wire_pseudonym,
                    std::vector<Status>* statuses,
                    std::vector<rel::License>* out);
+
+  /// Honors a kOverloaded retry hint: waits min(hint, cap) and accounts
+  /// for it.
+  void Backoff(std::uint32_t retry_after_ms);
+
+  /// Anonymous call with the bounded overload-retry policy applied.
+  template <typename Req>
+  net::RpcResult<typename Req::Response> CallAnonymousWithRetry(
+      const Req& req);
+
+  /// Anonymous batch call with the retry policy applied per item: each
+  /// extra round trip re-batches ONLY the shed indices, honoring the
+  /// largest hint among them. Results stay index-aligned with \p reqs.
+  template <typename Req>
+  std::vector<net::RpcResult<typename Req::Response>>
+  CallBatchAnonymousWithRetry(const std::vector<Req>& reqs);
 
   std::string name_;
   AgentConfig config_;
@@ -133,6 +183,7 @@ class UserAgent {
   SmartCard card_;
   CompliantDevice device_;
   std::vector<Coin> wallet_;
+  RetryStats retry_stats_;
 };
 
 }  // namespace core

@@ -19,11 +19,16 @@ constexpr const char* kMerchantAccount = "cp";
 /// Issue-stage RNG fork domain bytes (distinct per pipeline).
 constexpr std::uint8_t kRedeemIssueDomain = 0x52;    // 'R'
 constexpr std::uint8_t kPurchaseIssueDomain = 0x50;  // 'P'
+constexpr std::uint8_t kExchangeIssueDomain = 0x58;  // 'X'
 
-double MicrosSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
+ContentProvider::PipelineTimings ToPipelineTimings(
+    const server::BatchPipelineTimings& t) {
+  ContentProvider::PipelineTimings out;
+  out.verify_us = t.verify_us;
+  out.spend_us = t.mutate_us;
+  out.issue_us = t.issue_us;
+  out.items = t.items;
+  return out;
 }
 
 }  // namespace
@@ -177,6 +182,37 @@ crypto::HmacDrbg ContentProvider::PurchaseIssueRng() {
   return crypto::ForkRandom(rng_, tag);
 }
 
+crypto::HmacDrbg ContentProvider::ExchangeIssueRng(
+    const rel::LicenseId& retired_id) {
+  std::vector<std::uint8_t> tag;
+  tag.reserve(1 + retired_id.bytes.size());
+  tag.push_back(kExchangeIssueDomain);
+  tag.insert(tag.end(), retired_id.bytes.begin(), retired_id.bytes.end());
+  return crypto::ForkRandom(rng_, tag);
+}
+
+std::vector<Status> ContentProvider::SpendEligible(
+    const std::vector<std::size_t>& eligible,
+    const std::function<const rel::LicenseId&(std::size_t)>& id_of) {
+  std::vector<Status> spend;
+  if (runtime_ != nullptr) {
+    // Shard-serialized: duplicates inside one batch resolve on their
+    // home shard in index order, first occurrence wins; a full shard
+    // queue sheds its slice with kOverloaded before any state change.
+    std::vector<rel::LicenseId> ids;
+    ids.reserve(eligible.size());
+    for (std::size_t i : eligible) ids.push_back(id_of(i));
+    runtime_->SpendBatch(ids, &spend, /*shed_on_full=*/true);
+  } else {
+    spend.reserve(eligible.size());
+    for (std::size_t i : eligible) {
+      spend.push_back(MarkSpent(id_of(i)) ? Status::kOk
+                                          : Status::kAlreadySpent);
+    }
+  }
+  return spend;
+}
+
 ContentProvider::PurchaseResult ContentProvider::Purchase(
     const PseudonymCertificate& buyer, rel::ContentId content_id,
     const std::vector<Coin>& payment) {
@@ -225,101 +261,118 @@ std::vector<ContentProvider::PurchaseResult> ContentProvider::PurchaseBatch(
     const std::vector<PurchaseItem>& items) {
   std::vector<PurchaseResult> out(items.size());
   if (items.empty()) return out;
-  server::BatchVerifierStats before = verifier_.stats();
-  auto stage_t0 = std::chrono::steady_clock::now();
-  last_timings_ = PipelineTimings{};
-  last_timings_.items = items.size();
 
-  // Stage 1 — verify: each distinct pseudonym certificate costs one full
+  std::vector<rel::Rights> rights_by_item(items.size());
+  std::vector<crypto::HmacDrbg> forks;
+  std::vector<rel::License> issued;
+
+  server::BatchPipeline::Plan plan;
+  plan.item_count = items.size();
+
+  // Verify: each distinct pseudonym certificate costs one full
   // verification (memoized within and across batches), then one shared
   // CRL probe pass covers every surviving item.
-  std::vector<std::size_t> crl_items;
-  std::vector<rel::KeyFingerprint> crl_keys;
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (!verifier_.VerifyPseudonymCert(ca_key_, items[i].buyer)) {
-      out[i].status = Status::kBadCertificate;
-    } else {
-      crl_items.push_back(i);
-      crl_keys.push_back(items[i].buyer.KeyId());
-    }
-  }
-  std::vector<bool> revoked = verifier_.CrlProbePass(crl_, crl_keys);
-  GlobalOps().verify += (verifier_.stats() - before).full_verifies;
-  last_timings_.verify_us = MicrosSince(stage_t0);
-  stage_t0 = std::chrono::steady_clock::now();
-
-  // Stage 2 — spend: catalog/price validation and coin deposits. The
-  // bank ledger is shared mutable state, so deposits stay serialized on
-  // the dispatch thread in index order, with Purchase()'s exact
-  // semantics: a failure mid-way rejects the item but already-deposited
-  // coins stay deposited (bearer-instrument rules).
-  struct Pending {
-    std::size_t item;
-    rel::Rights rights;
-  };
-  std::vector<Pending> eligible;
-  eligible.reserve(crl_items.size());
-  for (std::size_t j = 0; j < crl_items.size(); ++j) {
-    std::size_t i = crl_items[j];
-    if (revoked[j]) {
-      out[i].status = Status::kRevoked;
-      continue;
-    }
-    auto offer = FindOffer(items[i].content_id);
-    if (!offer.has_value()) {
-      out[i].status = Status::kUnknownContent;
-      continue;
-    }
-    std::uint64_t paid = std::accumulate(
-        items[i].payment.begin(), items[i].payment.end(), std::uint64_t{0},
-        [](std::uint64_t acc, const Coin& c) { return acc + c.denomination; });
-    if (paid != offer->price) {
-      out[i].status = Status::kWrongPrice;
-      continue;
-    }
-    Status deposit_status = Status::kOk;
-    for (const Coin& coin : items[i].payment) {
-      Status s = bank_->Deposit(coin, kMerchantAccount);
-      if (s != Status::kOk) {
-        deposit_status = s;
-        break;
+  plan.verify = [&] {
+    server::BatchVerifierStats before = verifier_.stats();
+    std::vector<std::size_t> crl_items;
+    std::vector<rel::KeyFingerprint> crl_keys;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (!verifier_.VerifyPseudonymCert(ca_key_, items[i].buyer)) {
+        out[i].status = Status::kBadCertificate;
+      } else {
+        crl_items.push_back(i);
+        crl_keys.push_back(items[i].buyer.KeyId());
       }
     }
-    if (deposit_status != Status::kOk) {
-      out[i].status = deposit_status;
-      continue;
+    std::vector<bool> revoked = verifier_.CrlProbePass(crl_, crl_keys);
+    std::vector<std::size_t> eligible;
+    eligible.reserve(crl_items.size());
+    for (std::size_t j = 0; j < crl_items.size(); ++j) {
+      if (revoked[j]) {
+        out[crl_items[j]].status = Status::kRevoked;
+      } else {
+        eligible.push_back(crl_items[j]);
+      }
     }
-    eligible.push_back(Pending{i, offer->rights});
-  }
-  last_timings_.spend_us = MicrosSince(stage_t0);
-  stage_t0 = std::chrono::steady_clock::now();
+    GlobalOps().verify += (verifier_.stats() - before).full_verifies;
+    return eligible;
+  };
 
-  // Stage 3 — issue: license signing and content-key wrapping on the
-  // shard workers, one nonce-tagged RNG fork per item drawn in index
-  // order on the dispatch thread.
-  std::vector<crypto::HmacDrbg> forks;
-  forks.reserve(eligible.size());
-  for (std::size_t k = 0; k < eligible.size(); ++k) {
+  // Mutate: catalog/price validation, then ONE batched deposit covering
+  // every surviving item's coins — double-spend checks shard at the
+  // bank instead of serializing per coin. Blocking (never shed): a
+  // purchase item must not come back kOverloaded with some of its coins
+  // already deposited. Per-item status is the first failing coin's, as
+  // in Purchase(); already-deposited coins stay deposited
+  // (bearer-instrument rules).
+  plan.mutate = [&](const std::vector<std::size_t>& eligible) {
+    std::vector<Status> st(eligible.size(), Status::kOk);
+    std::vector<PaymentProvider::DepositItem> coins;
+    std::vector<std::size_t> coin_owner;  // coin -> index into eligible
+    for (std::size_t j = 0; j < eligible.size(); ++j) {
+      std::size_t i = eligible[j];
+      auto offer = FindOffer(items[i].content_id);
+      if (!offer.has_value()) {
+        st[j] = Status::kUnknownContent;
+        continue;
+      }
+      std::uint64_t paid = std::accumulate(
+          items[i].payment.begin(), items[i].payment.end(), std::uint64_t{0},
+          [](std::uint64_t acc, const Coin& c) {
+            return acc + c.denomination;
+          });
+      if (paid != offer->price) {
+        st[j] = Status::kWrongPrice;
+        continue;
+      }
+      rights_by_item[i] = offer->rights;
+      for (const Coin& coin : items[i].payment) {
+        coins.push_back(PaymentProvider::DepositItem{coin, kMerchantAccount});
+        coin_owner.push_back(j);
+      }
+    }
+    if (!coins.empty()) {
+      std::vector<Status> coin_st =
+          bank_->DepositBatch(coins, /*shed_on_full=*/false);
+      for (std::size_t c = 0; c < coins.size(); ++c) {
+        if (coin_st[c] != Status::kOk && st[coin_owner[c]] == Status::kOk) {
+          st[coin_owner[c]] = coin_st[c];
+        }
+      }
+    }
+    return st;
+  };
+
+  // Issue: license signing and content-key wrapping on the shard
+  // workers, one nonce-tagged RNG fork per item drawn in index order on
+  // the dispatch thread.
+  plan.begin_issue = [&](std::size_t n) {
+    forks.reserve(n);
+    issued.resize(n);
+  };
+  plan.draw_fork = [&](std::size_t k, std::size_t i) {
+    (void)k;
+    (void)i;
     forks.push_back(PurchaseIssueRng());
-  }
-  std::vector<rel::License> issued(eligible.size());
-  ForEachIssue(eligible.size(), [&](std::size_t k) {
-    const Pending& p = eligible[k];
+  };
+  plan.issue = [&](std::size_t k, std::size_t i, Status) {
     issued[k] = BuildLicense(rel::LicenseKind::kUserBound,
-                             items[p.item].content_id, p.rights,
-                             &items[p.item].buyer.pseudonym_key, &forks[k]);
-  });
-  last_timings_.issue_us = MicrosSince(stage_t0);
+                             items[i].content_id, rights_by_item[i],
+                             &items[i].buyer.pseudonym_key, &forks[k]);
+  };
 
   // Commit — issued-key map, pseudonym bookkeeping and counters, on the
   // dispatch thread in index order.
-  for (std::size_t k = 0; k < eligible.size(); ++k) {
-    std::size_t i = eligible[k].item;
+  plan.commit = [&](std::size_t k, std::size_t i, Status) {
     pseudonyms_seen_.insert(items[i].buyer.KeyId());
     RecordIssued(issued[k], &items[i].buyer.pseudonym_key);
     out[i].license = std::move(issued[k]);
     out[i].status = Status::kOk;
-  }
+  };
+  plan.reject = [&](std::size_t i, Status s) { out[i].status = s; };
+
+  last_timings_ = ToPipelineTimings(
+      server::BatchPipeline::Run(plan, PipelineExecutor()));
   return out;
 }
 
@@ -393,11 +446,123 @@ ContentProvider::ExchangeResult ContentProvider::ExchangeForAnonymous(
     return result;
   }
 
-  result.anonymous_license = IssueLicense(
-      rel::LicenseKind::kAnonymous, license.content_id, license.rights,
-      nullptr);
+  // Batch of one: the bearer is signed from the same id-tagged fork
+  // ExchangeBatch draws, so a fixed seed issues identical bytes at any
+  // shard count.
+  crypto::HmacDrbg issue_rng = ExchangeIssueRng(license.id);
+  result.anonymous_license =
+      BuildLicense(rel::LicenseKind::kAnonymous, license.content_id,
+                   license.rights, nullptr, &issue_rng);
+  RecordIssued(result.anonymous_license, nullptr);
   result.status = Status::kOk;
   return result;
+}
+
+std::vector<ContentProvider::ExchangeResult> ContentProvider::ExchangeBatch(
+    const std::vector<ExchangeItem>& items) {
+  std::vector<ExchangeResult> out(items.size());
+  if (items.empty()) return out;
+
+  std::vector<crypto::HmacDrbg> forks;
+  std::vector<rel::License> bearer;
+
+  server::BatchPipeline::Plan plan;
+  plan.item_count = items.size();
+
+  // Verify: one screened same-key verification covers every issuer
+  // signature (all licenses are ours), one shared pass answers the CRL
+  // probes on the bound keys, and the per-item possession proofs reuse
+  // the verifier's cached Montgomery contexts. Checks run in the exact
+  // order ExchangeForAnonymous applies them, so per-item statuses match.
+  plan.verify = [&] {
+    server::BatchVerifierStats before = verifier_.stats();
+    std::vector<std::vector<std::uint8_t>> msgs;
+    std::vector<std::vector<std::uint8_t>> sigs;
+    msgs.reserve(items.size());
+    sigs.reserve(items.size());
+    for (const ExchangeItem& item : items) {
+      msgs.push_back(item.license.CanonicalBytes());
+      sigs.push_back(item.license.issuer_signature);
+    }
+    std::vector<bool> sig_ok =
+        verifier_.VerifySameKeyBatch(public_key_, msgs, sigs, rng_);
+
+    std::vector<std::size_t> crl_items;
+    std::vector<rel::KeyFingerprint> crl_keys;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const rel::License& lic = items[i].license;
+      if (!sig_ok[i]) {
+        out[i].status = Status::kBadSignature;
+      } else if (lic.kind != rel::LicenseKind::kUserBound) {
+        out[i].status = Status::kBadRequest;
+      } else if (!lic.rights.allow_transfer) {
+        out[i].status = Status::kNotTransferable;
+      } else {
+        crl_items.push_back(i);
+        crl_keys.push_back(lic.bound_key);
+      }
+    }
+    std::vector<bool> revoked = verifier_.CrlProbePass(crl_, crl_keys);
+
+    std::vector<std::size_t> eligible;
+    eligible.reserve(crl_items.size());
+    for (std::size_t j = 0; j < crl_items.size(); ++j) {
+      std::size_t i = crl_items[j];
+      if (revoked[j]) {
+        out[i].status = Status::kRevoked;
+        continue;
+      }
+      auto key_it = issued_keys_.find(items[i].license.bound_key);
+      if (key_it == issued_keys_.end()) {
+        out[i].status = Status::kBadRequest;
+        continue;
+      }
+      if (!verifier_.VerifyFdh(key_it->second,
+                               TransferChallengeBytes(items[i].license.id),
+                               items[i].possession_sig)) {
+        out[i].status = Status::kBadSignature;
+        continue;
+      }
+      eligible.push_back(i);
+    }
+    GlobalOps().verify += (verifier_.stats() - before).full_verifies;
+    return eligible;
+  };
+
+  // Mutate: retire the old licenses on their home shards. Shed items
+  // keep their bearer-exchangeable license untouched.
+  plan.mutate = [&](const std::vector<std::size_t>& eligible) {
+    return SpendEligible(eligible,
+                         [&](std::size_t i) -> const rel::LicenseId& {
+                           return items[i].license.id;
+                         });
+  };
+
+  // Issue: bearer-license signing on the shard workers, one id-tagged
+  // fork per item drawn dispatch-side in index order.
+  plan.begin_issue = [&](std::size_t n) {
+    forks.reserve(n);
+    bearer.resize(n);
+  };
+  plan.draw_fork = [&](std::size_t k, std::size_t i) {
+    (void)k;
+    forks.push_back(ExchangeIssueRng(items[i].license.id));
+  };
+  plan.issue = [&](std::size_t k, std::size_t i, Status) {
+    bearer[k] = BuildLicense(rel::LicenseKind::kAnonymous,
+                             items[i].license.content_id,
+                             items[i].license.rights, nullptr, &forks[k]);
+  };
+  plan.commit = [&](std::size_t k, std::size_t i, Status) {
+    RecordIssued(bearer[k], nullptr);
+    out[i].anonymous_license = std::move(bearer[k]);
+    out[i].status = Status::kOk;
+  };
+  plan.reject = [&](std::size_t i, Status s) { out[i].status = s; };
+
+  last_timings_ = ToPipelineTimings(
+      server::BatchPipeline::Run(plan, PipelineExecutor()));
+  return out;
 }
 
 RedemptionTranscript ContentProvider::MakeTranscript(
@@ -476,13 +641,21 @@ void ContentProvider::ForEachIssue(
       tasks.push_back([&sign_item, k](server::ShardContext& ctx) {
         auto t0 = std::chrono::steady_clock::now();
         sign_item(k);
-        ctx.sim_clock_us += static_cast<std::uint64_t>(MicrosSince(t0));
+        ctx.sim_clock_us +=
+            static_cast<std::uint64_t>(server::ElapsedMicros(t0));
       });
     }
     runtime_->RunAll(std::move(tasks));
   } else {
     for (std::size_t k = 0; k < count; ++k) sign_item(k);
   }
+}
+
+server::BatchPipeline::IssueExecutor ContentProvider::PipelineExecutor() {
+  return [this](std::size_t count,
+                const std::function<void(std::size_t)>& sign_item) {
+    ForEachIssue(count, sign_item);
+  };
 }
 
 ContentProvider::PurchaseResult ContentProvider::CommitRedemption(
@@ -515,116 +688,95 @@ std::vector<ContentProvider::PurchaseResult>
 ContentProvider::RedeemAnonymousBatch(const std::vector<RedeemItem>& items) {
   std::vector<PurchaseResult> out(items.size());
   if (items.empty()) return out;
-  server::BatchVerifierStats before = verifier_.stats();
-  auto stage_t0 = std::chrono::steady_clock::now();
-  last_timings_ = PipelineTimings{};
-  last_timings_.items = items.size();
 
-  // Stage 1 — license signatures, amortized: every license in the batch
-  // is signed by our own key, so one screened same-key verification
-  // covers the whole group.
-  std::vector<std::vector<std::uint8_t>> msgs;
-  std::vector<std::vector<std::uint8_t>> sigs;
-  msgs.reserve(items.size());
-  sigs.reserve(items.size());
-  for (const RedeemItem& item : items) {
-    msgs.push_back(item.anonymous_license.CanonicalBytes());
-    sigs.push_back(item.anonymous_license.issuer_signature);
-  }
-  std::vector<bool> sig_ok =
-      verifier_.VerifySameKeyBatch(public_key_, msgs, sigs, rng_);
-
-  // Stage 2 — pseudonym certificates, verified once per distinct cert.
-  std::vector<std::size_t> crl_items;
-  std::vector<rel::KeyFingerprint> crl_keys;
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (!sig_ok[i]) {
-      out[i].status = Status::kBadSignature;
-    } else if (items[i].anonymous_license.kind != rel::LicenseKind::kAnonymous) {
-      out[i].status = Status::kBadRequest;
-    } else if (!verifier_.VerifyPseudonymCert(ca_key_, items[i].taker)) {
-      out[i].status = Status::kBadCertificate;
-    } else {
-      crl_items.push_back(i);
-      crl_keys.push_back(items[i].taker.KeyId());
-    }
-  }
-
-  // Stage 3 — one shared CRL probe pass over the surviving items.
-  std::vector<bool> revoked = verifier_.CrlProbePass(crl_, crl_keys);
-  std::vector<std::size_t> eligible;
-  eligible.reserve(crl_items.size());
-  for (std::size_t j = 0; j < crl_items.size(); ++j) {
-    if (revoked[j]) {
-      out[crl_items[j]].status = Status::kRevoked;
-    } else {
-      eligible.push_back(crl_items[j]);
-    }
-  }
-
-  // The RT-2 table counts the verifications actually performed, which is
-  // the whole point of the batch path.
-  GlobalOps().verify += (verifier_.stats() - before).full_verifies;
-  last_timings_.verify_us = MicrosSince(stage_t0);
-  stage_t0 = std::chrono::steady_clock::now();
-
-  // Stage 4 — spend: shard-serialized state updates on each id's home
-  // shard. Duplicates in one batch serialize there in index order, first
-  // occurrence wins.
-  std::vector<Status> spend;
-  if (runtime_ != nullptr) {
-    std::vector<rel::LicenseId> ids;
-    ids.reserve(eligible.size());
-    for (std::size_t i : eligible) {
-      ids.push_back(items[i].anonymous_license.id);
-    }
-    runtime_->SpendBatch(ids, &spend, /*shed_on_full=*/true);
-  } else {
-    spend.reserve(eligible.size());
-    for (std::size_t i : eligible) {
-      spend.push_back(MarkSpent(items[i].anonymous_license.id)
-                          ? Status::kOk
-                          : Status::kAlreadySpent);
-    }
-  }
-  last_timings_.spend_us = MicrosSince(stage_t0);
-  stage_t0 = std::chrono::steady_clock::now();
-
-  // Stage 5 — issue: transcript + fresh-license signing, the dominant
-  // per-item private-key cost, fanned out to the shard workers. Items
-  // shed by a full shard queue never reach this stage (the bearer
-  // license is untouched and the client may simply retry); everything
-  // else — fresh spends and detected double redemptions alike — gets
-  // signed. The RNG forks are drawn on the dispatch thread in item-index
-  // order, so a fixed seed produces bit-identical output whether the
-  // signing below runs serially or on the workers.
-  std::vector<std::size_t> live;  // indices into `eligible`
-  live.reserve(eligible.size());
-  for (std::size_t j = 0; j < eligible.size(); ++j) {
-    if (spend[j] == Status::kOverloaded) {
-      out[eligible[j]].status = Status::kOverloaded;
-    } else {
-      live.push_back(j);
-    }
-  }
   std::vector<crypto::HmacDrbg> forks;
-  forks.reserve(live.size());
-  for (std::size_t j : live) {
-    forks.push_back(RedeemIssueRng(items[eligible[j]].anonymous_license.id));
-  }
-  std::vector<IssuedRedemption> issued(live.size());
-  ForEachIssue(live.size(), [&](std::size_t k) {
-    std::size_t j = live[k];
-    issued[k] = SignRedemption(items[eligible[j]], spend[j], &forks[k]);
-  });
-  last_timings_.issue_us = MicrosSince(stage_t0);
+  std::vector<IssuedRedemption> issued;
+
+  server::BatchPipeline::Plan plan;
+  plan.item_count = items.size();
+
+  // Verify, amortized: every license in the batch is signed by our own
+  // key, so one screened same-key verification covers the whole group;
+  // each distinct pseudonym certificate is verified once; one shared
+  // pass answers the CRL probes. The RT-2 table counts the
+  // verifications actually performed, which is the whole point of the
+  // batch path.
+  plan.verify = [&] {
+    server::BatchVerifierStats before = verifier_.stats();
+    std::vector<std::vector<std::uint8_t>> msgs;
+    std::vector<std::vector<std::uint8_t>> sigs;
+    msgs.reserve(items.size());
+    sigs.reserve(items.size());
+    for (const RedeemItem& item : items) {
+      msgs.push_back(item.anonymous_license.CanonicalBytes());
+      sigs.push_back(item.anonymous_license.issuer_signature);
+    }
+    std::vector<bool> sig_ok =
+        verifier_.VerifySameKeyBatch(public_key_, msgs, sigs, rng_);
+
+    std::vector<std::size_t> crl_items;
+    std::vector<rel::KeyFingerprint> crl_keys;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (!sig_ok[i]) {
+        out[i].status = Status::kBadSignature;
+      } else if (items[i].anonymous_license.kind !=
+                 rel::LicenseKind::kAnonymous) {
+        out[i].status = Status::kBadRequest;
+      } else if (!verifier_.VerifyPseudonymCert(ca_key_, items[i].taker)) {
+        out[i].status = Status::kBadCertificate;
+      } else {
+        crl_items.push_back(i);
+        crl_keys.push_back(items[i].taker.KeyId());
+      }
+    }
+    std::vector<bool> revoked = verifier_.CrlProbePass(crl_, crl_keys);
+    std::vector<std::size_t> eligible;
+    eligible.reserve(crl_items.size());
+    for (std::size_t j = 0; j < crl_items.size(); ++j) {
+      if (revoked[j]) {
+        out[crl_items[j]].status = Status::kRevoked;
+      } else {
+        eligible.push_back(crl_items[j]);
+      }
+    }
+    GlobalOps().verify += (verifier_.stats() - before).full_verifies;
+    return eligible;
+  };
+
+  // Mutate: shard-serialized spent-set updates on each id's home shard.
+  plan.mutate = [&](const std::vector<std::size_t>& eligible) {
+    return SpendEligible(eligible,
+                         [&](std::size_t i) -> const rel::LicenseId& {
+                           return items[i].anonymous_license.id;
+                         });
+  };
+  // A detected double redemption still gets signed: the transcript is
+  // the second half of the fraud evidence handed to the TTP.
+  plan.proceed = [](Status s) { return s == Status::kAlreadySpent; };
+
+  // Issue: transcript + fresh-license signing, the dominant per-item
+  // private-key cost, fanned out to the shard workers.
+  plan.begin_issue = [&](std::size_t n) {
+    forks.reserve(n);
+    issued.resize(n);
+  };
+  plan.draw_fork = [&](std::size_t k, std::size_t i) {
+    (void)k;
+    forks.push_back(RedeemIssueRng(items[i].anonymous_license.id));
+  };
+  plan.issue = [&](std::size_t k, std::size_t i, Status spend) {
+    issued[k] = SignRedemption(items[i], spend, &forks[k]);
+  };
 
   // Commit — state mutations on the dispatch thread, in index order:
   // transcript map, fraud evidence, pseudonym bookkeeping, counters.
-  for (std::size_t k = 0; k < live.size(); ++k) {
-    std::size_t i = eligible[live[k]];
+  plan.commit = [&](std::size_t k, std::size_t i, Status) {
     out[i] = CommitRedemption(items[i], std::move(issued[k]));
-  }
+  };
+  plan.reject = [&](std::size_t i, Status s) { out[i].status = s; };
+
+  last_timings_ = ToPipelineTimings(
+      server::BatchPipeline::Run(plan, PipelineExecutor()));
   return out;
 }
 

@@ -30,6 +30,7 @@
 #include "crypto/drbg.h"
 #include "crypto/rsa.h"
 #include "rel/license.h"
+#include "server/batch_pipeline.h"
 #include "server/batch_verifier.h"
 #include "server/server_runtime.h"
 #include "store/append_log.h"
@@ -123,14 +124,17 @@ class ContentProvider {
     std::vector<Coin> payment;
   };
 
-  /// Purchases a whole batch through the same three-stage pipeline as
-  /// RedeemAnonymousBatch: verify (memoized pseudonym-cert checks + one
-  /// shared CRL pass), spend (coin deposits, serialized — the bank
-  /// ledger is shared state), issue (license signing and content-key
-  /// wrapping on the shard workers when redeem_shards > 0). Per-item
-  /// results are index-aligned and match Purchase() item for item,
-  /// except that repeated certificates inside or across batches cost one
-  /// verification instead of one each.
+  /// Purchases a whole batch through the shared server::BatchPipeline:
+  /// verify (memoized pseudonym-cert checks + one shared CRL pass),
+  /// mutate (ONE PaymentProvider::DepositBatch call covering every
+  /// item's coins, so double-spend checks shard at the bank), issue
+  /// (license signing and content-key wrapping on the shard workers
+  /// when redeem_shards > 0). Per-item statuses are index-aligned and
+  /// match Purchase() item for item, except that repeated certificates
+  /// inside or across batches cost one verification instead of one
+  /// each, and a failing coin no longer stops the rest of its item's
+  /// coins from being deposited (bearer-instrument rules make both
+  /// reading equally unrecoverable for the buyer; the statuses agree).
   std::vector<PurchaseResult> PurchaseBatch(
       const std::vector<PurchaseItem>& items);
 
@@ -143,10 +147,33 @@ class ContentProvider {
 
   /// Giver side of a transfer: swaps a transferable key-bound license for
   /// an anonymous bearer license. \p possession_sig is the pseudonym-key
-  /// signature over TransferChallengeBytes(license.id).
+  /// signature over TransferChallengeBytes(license.id). Semantically a
+  /// batch of one: the spend routes through the shard runtime when
+  /// configured and the bearer is signed from the same id-tagged RNG
+  /// fork ExchangeBatch draws, so single and batched exchanges are
+  /// deterministic across shard counts.
   ExchangeResult ExchangeForAnonymous(
       const rel::License& license,
       const std::vector<std::uint8_t>& possession_sig);
+
+  /// One decoded batched-exchange item.
+  struct ExchangeItem {
+    rel::License license;
+    std::vector<std::uint8_t> possession_sig;
+  };
+
+  /// Exchanges a whole batch through the shared server::BatchPipeline:
+  /// verify (ONE screened same-key verification covers every license
+  /// signature, cached-context possession checks, one shared CRL pass
+  /// over the bound keys), mutate (old-license retirement on each id's
+  /// home shard — the backpressure point), issue (bearer-license
+  /// signing on the shard workers, one id-tagged RNG fork per item
+  /// drawn dispatch-side in index order). Per-item results are
+  /// index-aligned and match ExchangeForAnonymous item for item, plus
+  /// kOverloaded for items shed by a full shard queue (no trace; the
+  /// held license is untouched and the client may retry).
+  std::vector<ExchangeResult> ExchangeBatch(
+      const std::vector<ExchangeItem>& items);
 
   /// Taker side: redeems an anonymous license for a key-bound one. Exactly
   /// one redemption per license id; the second attempt yields
@@ -184,7 +211,8 @@ class ContentProvider {
   }
 
   /// Wall-clock breakdown of the most recent RedeemAnonymousBatch /
-  /// PurchaseBatch call by pipeline stage (microseconds). `issue_us` is
+  /// PurchaseBatch / ExchangeBatch call by pipeline stage
+  /// (microseconds). `issue_us` is
   /// the dispatch thread's wait on the signing stage — with shard
   /// workers it shrinks toward the slowest worker's share, while the
   /// signing work itself accrues on the workers' ShardContext sim
@@ -203,8 +231,11 @@ class ContentProvider {
   std::optional<RedemptionTranscript> TranscriptFor(
       const rel::LicenseId& id) const;
 
-  /// The shard runtime, or null when redeem_shards == 0.
+  /// The shard runtime, or null when redeem_shards == 0. The non-const
+  /// overload exists for harnesses (tests, benches) that park or probe
+  /// the workers directly.
   const server::ServerRuntime* Runtime() const { return runtime_.get(); }
+  server::ServerRuntime* Runtime() { return runtime_.get(); }
 
   // -- revocation & fraud ---------------------------------------------------
 
@@ -267,12 +298,21 @@ class ContentProvider {
   /// Per-item RNG fork for the purchase issue stage, domain-tagged by a
   /// monotonic issuance nonce assigned in item-index order.
   crypto::HmacDrbg PurchaseIssueRng();
+  /// Per-item RNG fork for the exchange issue stage, domain-tagged by
+  /// the retired license id (same rule as RedeemIssueRng).
+  crypto::HmacDrbg ExchangeIssueRng(const rel::LicenseId& retired_id);
+  /// Shared mutate stage of the redeem and exchange pipelines: marks
+  /// \p eligible items' license ids spent on their home shards
+  /// (SpendBatch, shedding) or serially, in index order.
+  std::vector<Status> SpendEligible(
+      const std::vector<std::size_t>& eligible,
+      const std::function<const rel::LicenseId&(std::size_t)>& id_of);
   /// Pure signing stage of one redemption: transcript always, fresh
   /// license when \p spend_status is kOk. Const and thread-safe (runs on
   /// shard workers); all randomness comes from \p rng.
   IssuedRedemption SignRedemption(const RedeemItem& item, Status spend_status,
                                   bignum::RandomSource* rng) const;
-  /// The issue-stage executor both pipelines share: runs
+  /// The issue-stage executor every pipeline shares: runs
   /// \p sign_item(k) for every k in [0, count) — fanned out to the shard
   /// workers (with each call's measured wall time accrued on the
   /// worker's sim clock) when the runtime exists, serially otherwise.
@@ -280,6 +320,8 @@ class ContentProvider {
   /// k; ForEachIssue blocks until every call has returned.
   void ForEachIssue(std::size_t count,
                     const std::function<void(std::size_t)>& sign_item);
+  /// ForEachIssue wrapped for BatchPipeline::Run.
+  server::BatchPipeline::IssueExecutor PipelineExecutor();
   /// State-mutating stage of one redemption: transcript map, fraud
   /// evidence, pseudonym bookkeeping, issued-key map. Dispatch thread
   /// only, in item-index order.

@@ -1,10 +1,12 @@
 #include "core/payment.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/metrics.h"
 #include "crypto/blind_rsa.h"
 #include "net/codec.h"
+#include "server/batch_pipeline.h"
 
 namespace p2drm {
 namespace core {
@@ -41,12 +43,37 @@ const std::vector<std::uint32_t>& PaymentProvider::Denominations() {
 }
 
 PaymentProvider::PaymentProvider(std::size_t modulus_bits,
-                                 bignum::RandomSource* rng) {
+                                 bignum::RandomSource* rng,
+                                 const PaymentProviderConfig& config)
+    : config_(config), rng_(rng) {
   for (std::uint32_t d : Denominations()) {
     denom_keys_.emplace(d, crypto::GenerateRsaKey(modulus_bits, rng));
     denom_pub_.emplace(d, denom_keys_.at(d).PublicKey());
     GlobalOps().keygen += 1;
   }
+  if (config_.deposit_shards > 0) {
+    server::ServerRuntimeConfig rt;
+    rt.shard_count = config_.deposit_shards;
+    rt.queue_capacity = config_.deposit_queue_capacity;
+    runtime_ = std::make_unique<server::ServerRuntime>(rt);
+  }
+}
+
+PaymentProvider::~PaymentProvider() = default;
+
+rel::LicenseId PaymentProvider::SerialKey(const Coin& coin) {
+  rel::LicenseId key;
+  key.bytes = coin.serial;
+  return key;
+}
+
+Status PaymentProvider::SpendSerial(const Coin& coin) {
+  Status s = runtime_ != nullptr
+                 ? runtime_->SpendOne(SerialKey(coin))
+                 : (spent_serials_.Insert(SerialKey(coin))
+                        ? Status::kOk
+                        : Status::kAlreadySpent);
+  return s == Status::kOk ? Status::kOk : Status::kDoubleSpend;
 }
 
 const crypto::RsaPublicKey& PaymentProvider::DenominationKey(
@@ -95,19 +122,114 @@ Status PaymentProvider::Deposit(const Coin& coin,
   if (key == denom_pub_.end()) return Status::kBadRequest;
 
   GlobalOps().verify += 1;
-  if (!crypto::RsaVerifyFdh(key->second, coin.CanonicalBytes(),
-                            coin.signature)) {
+  if (!verifier_.VerifyFdh(key->second, coin.CanonicalBytes(),
+                           coin.signature)) {
     return Status::kPaymentFailed;
   }
-  rel::LicenseId serial_key;
-  serial_key.bytes = coin.serial;
-  if (!spent_serials_.Insert(serial_key)) {
+  Status spend = SpendSerial(coin);
+  if (spend != Status::kOk) {
     ++double_spend_attempts_;
-    return Status::kDoubleSpend;
+    return spend;
   }
   acct->second += coin.denomination;
   ++deposited_coins_;
   return Status::kOk;
+}
+
+std::vector<Status> PaymentProvider::DepositBatch(
+    const std::vector<DepositItem>& items, bool shed_on_full) {
+  std::vector<Status> out(items.size(), Status::kBadRequest);
+  if (items.empty()) return out;
+
+  server::BatchPipeline::Plan plan;
+  plan.item_count = items.size();
+
+  // Verify: account/denomination lookups, then ONE screened same-key
+  // verification per denomination group — the key *is* the
+  // denomination, so a retail batch collapses to a handful of group
+  // checks on cached Montgomery contexts.
+  plan.verify = [&] {
+    server::BatchVerifierStats before = verifier_.stats();
+    std::map<std::uint32_t, std::vector<std::size_t>> by_denom;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (accounts_.find(items[i].merchant_account) == accounts_.end()) {
+        out[i] = Status::kUnknownAccount;
+      } else if (denom_pub_.find(items[i].coin.denomination) ==
+                 denom_pub_.end()) {
+        out[i] = Status::kBadRequest;
+      } else {
+        by_denom[items[i].coin.denomination].push_back(i);
+      }
+    }
+    std::vector<std::size_t> eligible;
+    eligible.reserve(items.size());
+    for (const auto& [denom, group] : by_denom) {
+      std::vector<std::vector<std::uint8_t>> msgs;
+      std::vector<std::vector<std::uint8_t>> sigs;
+      msgs.reserve(group.size());
+      sigs.reserve(group.size());
+      for (std::size_t i : group) {
+        msgs.push_back(items[i].coin.CanonicalBytes());
+        sigs.push_back(items[i].coin.signature);
+      }
+      std::vector<bool> ok =
+          verifier_.VerifySameKeyBatch(denom_pub_.at(denom), msgs, sigs, rng_);
+      for (std::size_t j = 0; j < group.size(); ++j) {
+        if (ok[j]) {
+          eligible.push_back(group[j]);
+        } else {
+          out[group[j]] = Status::kPaymentFailed;
+        }
+      }
+    }
+    // Grouping by denomination reorders; the pipeline's stage contracts
+    // (fork draw, commit) are index-ordered, so restore that order.
+    std::sort(eligible.begin(), eligible.end());
+    GlobalOps().verify += (verifier_.stats() - before).full_verifies;
+    return eligible;
+  };
+
+  // Mutate: serial inserts on each coin's home shard — duplicates
+  // within the batch resolve there in index order, first wins.
+  plan.mutate = [&](const std::vector<std::size_t>& eligible) {
+    std::vector<Status> spend;
+    if (runtime_ != nullptr) {
+      std::vector<rel::LicenseId> serials;
+      serials.reserve(eligible.size());
+      for (std::size_t i : eligible) serials.push_back(SerialKey(items[i].coin));
+      runtime_->SpendBatch(serials, &spend, shed_on_full);
+    } else {
+      spend.reserve(eligible.size());
+      for (std::size_t i : eligible) {
+        spend.push_back(spent_serials_.Insert(SerialKey(items[i].coin))
+                            ? Status::kOk
+                            : Status::kAlreadySpent);
+      }
+    }
+    // A repeated serial is a double-spent coin, not a re-redeemed
+    // license: surface the typed payment status.
+    for (Status& s : spend) {
+      if (s == Status::kAlreadySpent) s = Status::kDoubleSpend;
+    }
+    return spend;
+  };
+
+  // No issue stage: deposits sign nothing. Commit credits the accounts
+  // on the dispatch thread in index order — exactly one credit per
+  // fresh serial.
+  plan.commit = [&](std::size_t k, std::size_t i, Status) {
+    (void)k;
+    accounts_[items[i].merchant_account] += items[i].coin.denomination;
+    ++deposited_coins_;
+    out[i] = Status::kOk;
+  };
+  plan.reject = [&](std::size_t i, Status s) {
+    if (s == Status::kDoubleSpend) ++double_spend_attempts_;
+    out[i] = s;
+  };
+
+  server::BatchPipeline::Run(plan, nullptr);
+  return out;
 }
 
 Status PaymentProvider::DirectDebit(const std::string& account,

@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,8 @@
 #include "bignum/random_source.h"
 #include "core/errors.h"
 #include "crypto/rsa.h"
+#include "server/batch_verifier.h"
+#include "server/server_runtime.h"
 #include "store/spent_set.h"
 
 namespace p2drm {
@@ -47,12 +50,28 @@ struct DebitRecord {
   std::uint64_t timestamp_s = 0;
 };
 
+/// Bank-side configuration.
+struct PaymentProviderConfig {
+  /// Number of deposit shards. 0 keeps the classic single-threaded
+  /// spent-serial set; N > 0 spins up a server::ServerRuntime whose N
+  /// workers own the serial partitions, so coin double-spend checks
+  /// shard like the provider's spent set instead of serializing at the
+  /// bank. Single deposits route through the same shards, so batched
+  /// and unbatched traffic can never double-credit one serial.
+  std::size_t deposit_shards = 0;
+  /// Per-shard bounded-queue capacity (coins). DepositBatch calls that
+  /// would overflow a shard queue are shed with Status::kOverloaded.
+  std::size_t deposit_queue_capacity = 4096;
+};
+
 /// The bank / payment provider actor.
 class PaymentProvider {
  public:
   /// One signing key per denomination (a blind signature cannot carry the
   /// denomination in the message — the key *is* the denomination).
-  PaymentProvider(std::size_t modulus_bits, bignum::RandomSource* rng);
+  PaymentProvider(std::size_t modulus_bits, bignum::RandomSource* rng,
+                  const PaymentProviderConfig& config = PaymentProviderConfig());
+  ~PaymentProvider();
 
   /// Supported coin denominations, ascending.
   static const std::vector<std::uint32_t>& Denominations();
@@ -72,8 +91,35 @@ class PaymentProvider {
                   const bignum::BigInt& blinded, bignum::BigInt* blind_sig);
 
   /// Anonymous deposit by a merchant. Verifies the coin, rejects double
-  /// spends by serial, credits \p merchant_account.
+  /// spends by serial, credits \p merchant_account. With deposit shards
+  /// the serial check serializes on the coin's home shard (never shed),
+  /// exactly like one item of a DepositBatch.
   Status Deposit(const Coin& coin, const std::string& merchant_account);
+
+  /// One decoded batched-deposit item (matches the wire DepositRequest).
+  struct DepositItem {
+    Coin coin;
+    std::string merchant_account;
+  };
+
+  /// Deposits a whole batch through the shared server::BatchPipeline:
+  /// verify (ONE screened same-key verification per denomination group,
+  /// cached Montgomery contexts), mutate (serial inserts on each coin's
+  /// home shard when deposit_shards > 0 — the backpressure point),
+  /// commit (account credits, serialized on the dispatch thread).
+  /// Per-item statuses are index-aligned and match Deposit() item for
+  /// item; a duplicate serial — within the batch or across batches and
+  /// single deposits — yields exactly one credit, every repeat a typed
+  /// kDoubleSpend. Items shed by a full shard queue (only possible when
+  /// \p shed_on_full) return kOverloaded with no trace: the serial is
+  /// not burned and the coin may be re-deposited.
+  std::vector<Status> DepositBatch(const std::vector<DepositItem>& items,
+                                   bool shed_on_full = true);
+
+  /// The deposit shard runtime, or null when deposit_shards == 0.
+  const server::ServerRuntime* DepositRuntime() const {
+    return runtime_.get();
+  }
 
   /// Baseline identified debit: moves funds and records the transaction.
   Status DirectDebit(const std::string& account, const std::string& payee,
@@ -88,10 +134,19 @@ class PaymentProvider {
   std::uint64_t DoubleSpendAttempts() const { return double_spend_attempts_; }
 
  private:
+  /// Serial-set insert for one coin: kOk (fresh) or kDoubleSpend,
+  /// routed through the shard runtime when configured.
+  Status SpendSerial(const Coin& coin);
+  static rel::LicenseId SerialKey(const Coin& coin);
+
+  PaymentProviderConfig config_;
+  bignum::RandomSource* rng_;
   std::map<std::uint32_t, crypto::RsaPrivateKey> denom_keys_;
   std::map<std::uint32_t, crypto::RsaPublicKey> denom_pub_;
   std::map<std::string, std::uint64_t> accounts_;
-  store::SpentSet spent_serials_;
+  store::SpentSet spent_serials_;  ///< unsharded path; unused with runtime_
+  std::unique_ptr<server::ServerRuntime> runtime_;  ///< sharded path
+  server::BatchVerifier verifier_;
   std::vector<DebitRecord> debit_log_;
   std::uint64_t deposited_coins_ = 0;
   std::uint64_t double_spend_attempts_ = 0;

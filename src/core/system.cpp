@@ -12,7 +12,8 @@ P2drmSystem::P2drmSystem(const SystemConfig& config,
     : transport_(config.latency) {
   ca_ = std::make_unique<CertificationAuthority>(config.ca_key_bits, rng);
   ttp_ = std::make_unique<TrustedThirdParty>(config.ttp_key_bits, rng);
-  bank_ = std::make_unique<PaymentProvider>(config.bank_key_bits, rng);
+  bank_ = std::make_unique<PaymentProvider>(config.bank_key_bits, rng,
+                                            config.bank);
   cp_ = std::make_unique<ContentProvider>(config.cp, rng, &clock_,
                                           bank_.get(), ca_->PublicKey());
   RegisterEndpoints();
@@ -50,6 +51,18 @@ void P2drmSystem::RegisterEndpoints() {
   bank_service_.Register<proto::DepositRequest>(
       [this](const proto::DepositRequest& req, proto::DepositResponse*) {
         return bank_->Deposit(req.coin, req.merchant_account);
+      });
+  // Batch fast path for deposits: one screened verification per
+  // denomination group and sharded double-spend checks at the bank.
+  bank_service_.RegisterBatch<proto::DepositRequest>(
+      [this](const std::vector<proto::DepositRequest>& reqs,
+             std::vector<proto::DepositResponse>*) {
+        std::vector<PaymentProvider::DepositItem> items;
+        items.reserve(reqs.size());
+        for (const proto::DepositRequest& req : reqs) {
+          items.push_back({req.coin, req.merchant_account});
+        }
+        return bank_->DepositBatch(items);
       });
 
   // -- content provider -------------------------------------------------
@@ -90,6 +103,26 @@ void P2drmSystem::RegisterEndpoints() {
         auto out = cp_->ExchangeForAnonymous(req.license, req.possession_sig);
         resp->anonymous_license = out.anonymous_license;
         return out.status;
+      });
+  // Batch fast path for exchanges: one screened same-key pass over the
+  // issuer signatures, one shared CRL pass, shard-parallel bearer
+  // issuance (server/ subsystem). Wire format unchanged.
+  cp_service_.RegisterBatch<proto::ExchangeRequest>(
+      [this](const std::vector<proto::ExchangeRequest>& reqs,
+             std::vector<proto::ExchangeResponse>* resps) {
+        std::vector<ContentProvider::ExchangeItem> items;
+        items.reserve(reqs.size());
+        for (const proto::ExchangeRequest& req : reqs) {
+          items.push_back({req.license, req.possession_sig});
+        }
+        auto results = cp_->ExchangeBatch(items);
+        std::vector<Status> statuses(results.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          statuses[i] = results[i].status;
+          (*resps)[i].anonymous_license =
+              std::move(results[i].anonymous_license);
+        }
+        return statuses;
       });
   cp_service_.Register<proto::RedeemRequest>(
       [this](const proto::RedeemRequest& req, proto::PurchaseResponse* resp) {

@@ -32,6 +32,7 @@ struct SystemConfig {
   std::size_t ttp_key_bits = 1024;
   std::size_t bank_key_bits = 1024;
   ContentProviderConfig cp;
+  PaymentProviderConfig bank;
   net::LatencyModel latency;  ///< zero-cost by default
 };
 
@@ -48,6 +49,11 @@ class P2drmSystem {
   TrustedThirdParty& ttp() { return *ttp_; }
   PaymentProvider& bank() { return *bank_; }
   ContentProvider& cp() { return *cp_; }
+
+  /// Dispatch tables, exposed for harnesses that interpose an endpoint
+  /// (fault injection) or tune the overload retry hint.
+  net::ServiceRegistry& cp_service() { return cp_service_; }
+  net::ServiceRegistry& bank_service() { return bank_service_; }
 
   /// Runs the fraud-handling pipeline: drains the CP's fraud-evidence
   /// queue, sends each item to the TTP over the wire, and — for every

@@ -1,0 +1,86 @@
+#include "server/batch_pipeline.h"
+
+namespace p2drm {
+namespace server {
+
+BatchPipelineTimings BatchPipeline::Run(const Plan& plan,
+                                        const IssueExecutor& executor) {
+  BatchPipelineTimings t;
+  t.items = plan.item_count;
+  if (plan.item_count == 0) return t;
+
+  // Stage 1 — verify (dispatch thread, amortized, read-only).
+  auto stage_t0 = std::chrono::steady_clock::now();
+  std::vector<std::size_t> eligible;
+  if (plan.verify != nullptr) {
+    eligible = plan.verify();
+  } else {
+    eligible.resize(plan.item_count);
+    for (std::size_t i = 0; i < plan.item_count; ++i) eligible[i] = i;
+  }
+  t.verify_us = ElapsedMicros(stage_t0);
+
+  // Stage 2 — mutate (the flow's serialization point; the only stage
+  // that may shed).
+  stage_t0 = std::chrono::steady_clock::now();
+  std::vector<core::Status> mutated;
+  if (plan.mutate != nullptr) {
+    mutated = plan.mutate(eligible);
+  } else {
+    mutated.assign(eligible.size(), core::Status::kOk);
+  }
+  t.mutate_us = ElapsedMicros(stage_t0);
+
+  // Partition into the live set (kOk, plus whatever `proceed` admits)
+  // and rejections. kOverloaded can never proceed: a shed item must
+  // leave no trace beyond its status.
+  std::vector<std::size_t> live;  // indices into `eligible`
+  live.reserve(eligible.size());
+  for (std::size_t j = 0; j < eligible.size(); ++j) {
+    core::Status s = mutated[j];
+    bool proceeds = s == core::Status::kOk ||
+                    (s != core::Status::kOverloaded && plan.proceed != nullptr &&
+                     plan.proceed(s));
+    if (proceeds) {
+      live.push_back(j);
+      continue;
+    }
+    if (s == core::Status::kOverloaded) ++t.shed;
+    if (plan.reject != nullptr) plan.reject(eligible[j], s);
+  }
+  t.committed = live.size();
+
+  // Stage 3 — issue: forks first (dispatch thread, ascending k), then
+  // the fan-out, joined before the timing stops.
+  stage_t0 = std::chrono::steady_clock::now();
+  if (plan.begin_issue != nullptr) plan.begin_issue(live.size());
+  if (plan.draw_fork != nullptr) {
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      plan.draw_fork(k, eligible[live[k]]);
+    }
+  }
+  if (plan.issue != nullptr && !live.empty()) {
+    auto work = [&](std::size_t k) {
+      std::size_t j = live[k];
+      plan.issue(k, eligible[j], mutated[j]);
+    };
+    if (executor != nullptr) {
+      executor(live.size(), work);
+    } else {
+      for (std::size_t k = 0; k < live.size(); ++k) work(k);
+    }
+  }
+  t.issue_us = ElapsedMicros(stage_t0);
+
+  // Commit tail — dispatch thread, ascending k.
+  if (plan.commit != nullptr) {
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      std::size_t j = live[k];
+      plan.commit(k, eligible[j], mutated[j]);
+    }
+  }
+  return t;
+}
+
+}  // namespace server
+}  // namespace p2drm

@@ -33,13 +33,13 @@ struct ProviderStack {
   static constexpr const char* kAccount = "pat";
 
   ProviderStack(const std::string& seed, std::size_t redeem_shards,
-                std::size_t key_bits = 512)
+                std::size_t key_bits = 512, std::size_t queue_capacity = 4096)
       : rng(seed),
         ca(key_bits, &rng),
         ttp(key_bits, &rng),
         bank(key_bits, &rng),
-        cp(Config(redeem_shards, key_bits), &rng, &clock, &bank,
-           ca.PublicKey()),
+        cp(Config(redeem_shards, key_bits, queue_capacity), &rng, &clock,
+           &bank, ca.PublicKey()),
         card("Pat", key_bits, &rng) {
     card.StoreIdentityCertificate(ca.Enrol("Pat", card.MasterKey()));
     bank.OpenAccount(kAccount, 1u << 20);
@@ -48,11 +48,30 @@ struct ProviderStack {
   }
 
   static core::ContentProviderConfig Config(std::size_t redeem_shards,
-                                            std::size_t key_bits) {
+                                            std::size_t key_bits,
+                                            std::size_t queue_capacity = 4096) {
     core::ContentProviderConfig c;
     c.signing_key_bits = key_bits;
     c.redeem_shards = redeem_shards;
+    c.redeem_queue_capacity = queue_capacity;
     return c;
+  }
+
+  /// Buys one key-bound license for \p p (status-checked).
+  rel::License NewBoundLicense(core::Pseudonym* p) {
+    auto bought = cp.Purchase(p->cert, content, Pay(30));
+    if (bought.status != core::Status::kOk) {
+      throw std::runtime_error("ProviderStack: purchase failed");
+    }
+    return bought.license;
+  }
+
+  /// Possession proof for exchanging \p license (signed by \p p's key).
+  std::vector<std::uint8_t> PossessionSig(core::Pseudonym* p,
+                                          const rel::License& license) {
+    return card.SignWithPseudonym(
+        p->cert.KeyId(),
+        core::ContentProvider::TransferChallengeBytes(license.id));
   }
 
   core::Pseudonym* NewPseudonym() {
