@@ -73,6 +73,10 @@ void Report(const char* label, const std::vector<sim::Observation>& obs,
 int main() {
   constexpr std::size_t kUsers = 2000;
   constexpr std::size_t kPurchases = 20;
+  JsonReport().ConfigMetric("users", static_cast<double>(kUsers));
+  JsonReport().ConfigMetric("purchases_per_user",
+                            static_cast<double>(kPurchases));
+  JsonReport().ConfigNote("seed", "anonymity-zipf");
 
   std::printf(
       "RF-4: provider-side linkability vs pseudonym policy "

@@ -203,6 +203,15 @@ int main() {
               p2drm_link.linkability);
 
   sim::BenchReport report("bench_end_to_end");
+  report.ConfigMetric("users", static_cast<double>(kUsers));
+  report.ConfigMetric("catalog", static_cast<double>(kCatalog));
+  report.ConfigMetric("ops_per_user", static_cast<double>(kOpsPerUser));
+  report.ConfigMetric("zipf_alpha", kZipfAlpha);
+  report.ConfigMetric("key_bits", static_cast<double>(kBits));
+  report.ConfigMetric("redeem_shards", static_cast<double>(cfg.cp.redeem_shards));
+  report.ConfigMetric("deposit_shards",
+                      static_cast<double>(cfg.bank.deposit_shards));
+  report.ConfigNote("seed", "end-to-end");
   report.Metric("p2drm.ops_per_sec",
                 (purchases + plays + transfers) / p2drm_wall);
   report.Metric("p2drm.purchase_p50_us", purchase_lat.Percentile(50));

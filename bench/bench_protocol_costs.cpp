@@ -63,6 +63,10 @@ int main() {
   cfg.bank_key_bits = 1024;
   cfg.cp.signing_key_bits = 1024;
   P2drmSystem system(cfg, &rng);
+  Report().ConfigMetric("key_bits", 1024);
+  Report().ConfigMetric("content_bytes", 4096);
+  Report().ConfigMetric("batch_items", 64);
+  Report().ConfigNote("seed", "protocol-costs");
 
   rel::ContentId song = system.cp().Publish(
       "Song", std::vector<std::uint8_t>(4096, 0xaa), 30,

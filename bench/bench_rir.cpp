@@ -38,6 +38,11 @@ std::vector<double> ZipfPrior(double alpha) {
 int main() {
   crypto::HmacDrbg rng("rir-bench");
   sim::BenchReport report("bench_rir");
+  report.ConfigMetric("catalog", static_cast<double>(kCatalog));
+  report.ConfigMetric("blob_bytes", static_cast<double>(kBlobBytes));
+  report.ConfigMetric("queries", static_cast<double>(kQueries));
+  report.ConfigMetric("zipf_alpha", 1.0);
+  report.ConfigNote("seed", "rir-bench");
 
   std::printf("RF-7: repudiative retrieval — bandwidth vs repudiation "
               "(catalog %zu x %zu KiB, Zipf(1.0) demand)\n",

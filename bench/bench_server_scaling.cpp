@@ -308,6 +308,12 @@ int main(int argc, char** argv) {
   }
 
   sim::BenchReport report("bench_server_scaling");
+  report.ConfigMetric("items", static_cast<double>(items));
+  report.ConfigMetric("verify_items", static_cast<double>(verify_items));
+  report.ConfigMetric("distinct_certs", static_cast<double>(distinct_certs));
+  report.ConfigMetric("key_bits", static_cast<double>(key_bits));
+  report.ConfigNote("shard_sweep", "1,2,4,8");
+  report.ConfigNote("seed", "server-scaling");
   crypto::HmacDrbg rng("server-scaling");
 
   std::printf("server scaling: %zu simulated redemptions, %zu-bit keys\n",
@@ -315,8 +321,6 @@ int main(int argc, char** argv) {
   crypto::RsaPrivateKey cp_key = crypto::GenerateRsaKey(key_bits, &rng);
   double service_us = CalibrateVerifyUs(cp_key, &rng);
   std::printf("calibrated per-item verify cost: %.1f us\n", service_us);
-  report.Metric("items", static_cast<double>(items));
-  report.Metric("key_bits", static_cast<double>(key_bits));
   report.Metric("service_us", service_us);
 
   // -- Part A: shard scaling -------------------------------------------------

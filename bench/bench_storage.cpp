@@ -30,6 +30,8 @@ void Line(const char* what, std::size_t bytes, const char* note = "") {
 
 int main() {
   p2drm::sim::BenchReport report("bench_storage");
+  report.ConfigNote("key_bits_swept", "512,1024");
+  report.ConfigNote("seed", "storage-<bits>");
   std::printf("RT-3: storage overhead per artifact and per actor\n");
   std::printf("%s\n", std::string(84, '-').c_str());
 

@@ -53,5 +53,10 @@ std::uint64_t RandomSource::NextUint64(std::uint64_t bound) {
   }
 }
 
+double RandomSource::NextUnitDouble() {
+  return static_cast<double>(NextUint64(1ull << 53)) /
+         static_cast<double>(1ull << 53);
+}
+
 }  // namespace bignum
 }  // namespace p2drm

@@ -42,6 +42,11 @@ class RandomSource {
 
   /// Random uint64 in [0, bound). Requires bound > 0.
   std::uint64_t NextUint64(std::uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of precision — the one
+  /// uniform-double construction every sampler (Zipf, RIR decoys, the
+  /// scenario engine) shares.
+  double NextUnitDouble();
 };
 
 }  // namespace bignum

@@ -191,9 +191,15 @@ void UserAgent::Backoff(std::uint32_t retry_after_ms) {
   std::uint32_t wait =
       std::min(retry_after_ms, config_.overload_backoff_cap_ms);
   retry_stats_.backoff_ms += wait;
-  if (wait > 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+  if (wait == 0) return;
+  if (config_.wait_hook != nullptr) {
+    // Scheduled wait: the harness decides what "waiting" means —
+    // typically advancing the virtual timebase — so long hints cost no
+    // wall-clock.
+    config_.wait_hook(wait);
+    return;
   }
+  std::this_thread::sleep_for(std::chrono::milliseconds(wait));
 }
 
 template <typename Req>

@@ -12,6 +12,7 @@
 /// the CP never sees a caller identity, only the payload.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,14 @@ struct AgentConfig {
   /// (milliseconds). 0 keeps retrying without sleeping — useful in
   /// simulations where wall-clock waits carry no information.
   std::uint32_t overload_backoff_cap_ms = 50;
+  /// How a backoff wait is served. Null (the default) sleeps for real.
+  /// A simulation binds this to the virtual timebase instead — e.g.
+  /// `[&](std::uint32_t ms) { timebase.AdvanceUs(ms * 1000ull); }` —
+  /// so even multi-second retry_after_ms hints are honored at zero
+  /// wall-clock cost (set overload_backoff_cap_ms high enough to stop
+  /// capping them). The hook runs on the calling thread and sees the
+  /// already-capped wait.
+  std::function<void(std::uint32_t wait_ms)> wait_hook;
 };
 
 /// Client-side overload-retry accounting (one struct per agent).

@@ -4,8 +4,17 @@
 /// \file clock.h
 /// \brief Injectable time source so rental expiry and audit timestamps are
 /// deterministic in tests and simulations.
+///
+/// SimClock is a *seconds view* over the unified microsecond timebase
+/// (sim::VirtualClock): advancing license expiry and accruing simulated
+/// wire latency move the same clock, so a scenario that waits out a
+/// rental window and one that honors a retry-after hint are expressed in
+/// one notion of time (docs/simulation.md).
 
 #include <cstdint>
+#include <memory>
+
+#include "sim/virtual_clock.h"
 
 namespace p2drm {
 namespace core {
@@ -17,19 +26,36 @@ class Clock {
   virtual std::uint64_t NowEpochSeconds() const = 0;
 };
 
-/// Manually-advanced clock for tests and simulations.
+/// Manually-advanced clock for tests and simulations: a seconds-facing
+/// view over a sim::VirtualClock. By default it owns a private timebase
+/// (the historical standalone behaviour); constructed over an external
+/// timebase it becomes one reader/advancer among several — the form
+/// P2drmSystem uses so expiry, wire latency and scheduled waits share
+/// one clock.
 class SimClock : public Clock {
  public:
-  explicit SimClock(std::uint64_t start_epoch_s = 1'700'000'000ull)
-      : now_(start_epoch_s) {}
+  explicit SimClock(
+      std::uint64_t start_epoch_s = sim::VirtualClock::kDefaultStartEpochSeconds)
+      : owned_(std::make_unique<sim::VirtualClock>(start_epoch_s)),
+        timebase_(owned_.get()) {}
 
-  std::uint64_t NowEpochSeconds() const override { return now_; }
+  /// View over an external timebase (not owned; must outlive this view).
+  explicit SimClock(sim::VirtualClock* timebase) : timebase_(timebase) {}
 
-  void Advance(std::uint64_t seconds) { now_ += seconds; }
-  void Set(std::uint64_t epoch_s) { now_ = epoch_s; }
+  std::uint64_t NowEpochSeconds() const override {
+    return timebase_->NowEpochSeconds();
+  }
+
+  void Advance(std::uint64_t seconds) { timebase_->AdvanceSeconds(seconds); }
+  void Set(std::uint64_t epoch_s) { timebase_->SetEpochSeconds(epoch_s); }
+
+  /// The underlying microsecond timebase (for schedulers and transports
+  /// that share it).
+  sim::VirtualClock* timebase() const { return timebase_; }
 
  private:
-  std::uint64_t now_;
+  std::unique_ptr<sim::VirtualClock> owned_;  ///< null for external views
+  sim::VirtualClock* timebase_;
 };
 
 }  // namespace core

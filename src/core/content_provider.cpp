@@ -372,7 +372,7 @@ std::vector<ContentProvider::PurchaseResult> ContentProvider::PurchaseBatch(
   plan.reject = [&](std::size_t i, Status s) { out[i].status = s; };
 
   last_timings_ = ToPipelineTimings(
-      server::BatchPipeline::Run(plan, PipelineExecutor()));
+      server::BatchPipeline::Run(plan, PipelineExecutor(), time_source_));
   return out;
 }
 
@@ -561,7 +561,7 @@ std::vector<ContentProvider::ExchangeResult> ContentProvider::ExchangeBatch(
   plan.reject = [&](std::size_t i, Status s) { out[i].status = s; };
 
   last_timings_ = ToPipelineTimings(
-      server::BatchPipeline::Run(plan, PipelineExecutor()));
+      server::BatchPipeline::Run(plan, PipelineExecutor(), time_source_));
   return out;
 }
 
@@ -633,16 +633,21 @@ ContentProvider::IssuedRedemption ContentProvider::SignRedemption(
 void ContentProvider::ForEachIssue(
     std::size_t count, const std::function<void(std::size_t)>& sign_item) {
   if (runtime_ != nullptr) {
+    // The injected time source (when any) must be thread-safe: these
+    // tasks read it concurrently from the shard workers.
+    const server::TimeSourceUs& now_us = time_source_;
     std::vector<server::ServerRuntime::Task> tasks;
     tasks.reserve(count);
     for (std::size_t k = 0; k < count; ++k) {
       // `sign_item` outlives the tasks because RunAll joins; its calls
       // write disjoint per-k slots, so concurrent invocation is safe.
-      tasks.push_back([&sign_item, k](server::ShardContext& ctx) {
-        auto t0 = std::chrono::steady_clock::now();
+      tasks.push_back([&sign_item, &now_us, k](server::ShardContext& ctx) {
+        std::uint64_t t0 =
+            now_us != nullptr ? now_us() : server::SteadyNowUs();
         sign_item(k);
-        ctx.sim_clock_us +=
-            static_cast<std::uint64_t>(server::ElapsedMicros(t0));
+        std::uint64_t t1 =
+            now_us != nullptr ? now_us() : server::SteadyNowUs();
+        ctx.sim_clock_us += t1 - t0;
       });
     }
     runtime_->RunAll(std::move(tasks));
@@ -776,7 +781,7 @@ ContentProvider::RedeemAnonymousBatch(const std::vector<RedeemItem>& items) {
   plan.reject = [&](std::size_t i, Status s) { out[i].status = s; };
 
   last_timings_ = ToPipelineTimings(
-      server::BatchPipeline::Run(plan, PipelineExecutor()));
+      server::BatchPipeline::Run(plan, PipelineExecutor(), time_source_));
   return out;
 }
 

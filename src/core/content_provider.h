@@ -226,6 +226,16 @@ class ContentProvider {
   };
   PipelineTimings LastBatchTimings() const { return last_timings_; }
 
+  /// Injects the clock behind LastBatchTimings and the shard workers'
+  /// sim-clock accrual (null = steady_clock). A deterministic source
+  /// pins stage timings in tests; a virtual-time harness can express
+  /// service cost in the same timebase as wire latency. The source is
+  /// called from the shard worker threads during the issue stage, so it
+  /// must be thread-safe.
+  void set_time_source(server::TimeSourceUs now_us) {
+    time_source_ = std::move(now_us);
+  }
+
   /// First-seen redemption transcript for \p id (the fraud-evidence
   /// basis), if that id has been freshly redeemed.
   std::optional<RedemptionTranscript> TranscriptFor(
@@ -362,6 +372,7 @@ class ContentProvider {
   std::uint64_t double_redemptions_ = 0;
   std::uint64_t purchase_issue_nonce_ = 0;  ///< purchase fork domain tags
   PipelineTimings last_timings_;
+  server::TimeSourceUs time_source_;  ///< null = steady_clock
 };
 
 }  // namespace core

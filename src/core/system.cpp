@@ -9,7 +9,8 @@ namespace proto = protocol;
 
 P2drmSystem::P2drmSystem(const SystemConfig& config,
                          bignum::RandomSource* rng)
-    : transport_(config.latency) {
+    : clock_(&timebase_), transport_(config.latency) {
+  transport_.BindClock(&timebase_);
   ca_ = std::make_unique<CertificationAuthority>(config.ca_key_bits, rng);
   ttp_ = std::make_unique<TrustedThirdParty>(config.ttp_key_bits, rng);
   bank_ = std::make_unique<PaymentProvider>(config.bank_key_bits, rng,

@@ -22,6 +22,7 @@
 #include "core/ttp.h"
 #include "net/rpc.h"
 #include "net/transport.h"
+#include "sim/virtual_clock.h"
 
 namespace p2drm {
 namespace core {
@@ -45,6 +46,10 @@ class P2drmSystem {
 
   net::Transport& transport() { return transport_; }
   SimClock& clock() { return clock_; }
+  /// The unified microsecond timebase: license expiry (clock()), wire
+  /// latency (transport()) and scheduled waits (sim::EventLoop harnesses)
+  /// all read and advance this one clock.
+  sim::VirtualClock& timebase() { return timebase_; }
   CertificationAuthority& ca() { return *ca_; }
   TrustedThirdParty& ttp() { return *ttp_; }
   PaymentProvider& bank() { return *bank_; }
@@ -70,6 +75,8 @@ class P2drmSystem {
  private:
   void RegisterEndpoints();
 
+  // Declaration order matters: the timebase outlives its views/users.
+  sim::VirtualClock timebase_;
   SimClock clock_;
   net::Transport transport_;
   std::unique_ptr<CertificationAuthority> ca_;

@@ -9,6 +9,13 @@ void Transport::RegisterEndpoint(const std::string& endpoint, Handler handler) {
   endpoints_[endpoint] = std::move(handler);
 }
 
+void Transport::ChargeUs(std::uint64_t cost_us) {
+  // Same saturation contract as the timebase: a "forever" cost must pin
+  // the meter, not wrap it back to a small number.
+  charged_us_ = sim::SaturatingAddUs(charged_us_, cost_us);
+  if (clock_ != nullptr) clock_->AdvanceUs(cost_us);
+}
+
 bool Transport::TryCall(const std::string& from, const std::string& endpoint,
                         const std::vector<std::uint8_t>& request,
                         std::vector<std::uint8_t>* response) {
@@ -17,14 +24,17 @@ bool Transport::TryCall(const std::string& from, const std::string& endpoint,
   ChannelStats& req = request_stats_[{from, endpoint}];
   req.messages += 1;
   req.bytes += request.size();
-  simulated_us_ += latency_.CostUs(request.size());
+  // Request wire time elapses before the handler runs, response wire
+  // time after it — a handler that reads the shared timebase sees the
+  // request already delivered.
+  ChargeUs(latency_.CostUs(request.size()));
 
   *response = it->second(request);
 
   ChannelStats& resp = response_stats_[endpoint];
   resp.messages += 1;
   resp.bytes += response->size();
-  simulated_us_ += latency_.CostUs(response->size());
+  ChargeUs(latency_.CostUs(response->size()));
   return true;
 }
 
@@ -78,7 +88,7 @@ ChannelStats Transport::GrandTotal() const {
 void Transport::ResetStats() {
   request_stats_.clear();
   response_stats_.clear();
-  simulated_us_ = 0;
+  charged_us_ = 0;
 }
 
 }  // namespace net

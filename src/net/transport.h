@@ -8,9 +8,10 @@
 /// The P2DRM paper's actors (content provider, CA, payment provider, TTP,
 /// devices) talk over a network we simulate in-process. The transport
 /// meters messages and bytes per channel — that is what regenerates the
-/// protocol-cost table (RT-2) — and accumulates simulated wall-clock time
-/// from a configurable latency model, standing in for the testbed the
-/// authors did not describe.
+/// protocol-cost table (RT-2) — and charges simulated latency from a
+/// configurable model into the unified virtual timebase
+/// (sim::VirtualClock), standing in for the testbed the authors did not
+/// describe.
 ///
 /// A channel may be *anonymous*: the handler never sees the caller, which
 /// models the anonymous-channel assumption (mix network / onion routing)
@@ -21,6 +22,8 @@
 #include <map>
 #include <string>
 #include <vector>
+
+#include "sim/virtual_clock.h"
 
 namespace p2drm {
 namespace net {
@@ -37,10 +40,17 @@ struct LatencyModel {
   std::uint64_t per_kib_us = 0;      ///< serialization/bandwidth cost
 
   /// Bandwidth cost rounds up: a sub-KiB message still spends wire time,
-  /// so it must contribute at least 1us whenever per_kib_us > 0.
+  /// so it must contribute at least 1us whenever per_kib_us > 0. The
+  /// arithmetic saturates instead of wrapping — a pathological
+  /// bytes × per_kib_us product must read as "forever", not as a small
+  /// cost that silently corrupts the timebase.
   std::uint64_t CostUs(std::size_t bytes) const {
-    std::uint64_t weighted = static_cast<std::uint64_t>(bytes) * per_kib_us;
-    return per_message_us + (weighted + 1023) / 1024;
+    constexpr std::uint64_t kMax = ~std::uint64_t{0};
+    std::uint64_t b = static_cast<std::uint64_t>(bytes);
+    if (per_kib_us != 0 && b > kMax / per_kib_us) return kMax;  // "forever"
+    std::uint64_t weighted = b * per_kib_us;
+    std::uint64_t banded = weighted / 1024 + (weighted % 1024 != 0 ? 1 : 0);
+    return sim::SaturatingAddUs(per_message_us, banded);
   }
 };
 
@@ -82,19 +92,33 @@ class Transport {
   /// Grand totals across all channels (requests + responses).
   ChannelStats GrandTotal() const;
 
-  /// Simulated time accumulated by the latency model.
-  std::uint64_t SimulatedTimeUs() const { return simulated_us_; }
+  /// Binds the virtual timebase every LatencyModel cost is charged into
+  /// (not owned; must outlive the transport's use). Unbound transports
+  /// keep metering only — SimulatedTimeUs() works either way.
+  void BindClock(sim::VirtualClock* clock) { clock_ = clock; }
+  sim::VirtualClock* clock() const { return clock_; }
 
-  /// Clears all counters (handlers stay registered).
+  /// Wire time THIS transport has charged through its latency model —
+  /// a per-component meter, deliberately distinct from the shared
+  /// timebase (which other components also advance). Reset by
+  /// ResetStats; the bound VirtualClock never rewinds.
+  std::uint64_t SimulatedTimeUs() const { return charged_us_; }
+
+  /// Clears all counters (handlers stay registered, the bound timebase
+  /// is untouched — virtual time is monotonic).
   void ResetStats();
 
  private:
+  /// Meters \p cost_us and advances the bound timebase.
+  void ChargeUs(std::uint64_t cost_us);
+
   std::map<std::string, Handler> endpoints_;
   // (from, to) -> request stats; (to) -> response stats.
   std::map<std::pair<std::string, std::string>, ChannelStats> request_stats_;
   std::map<std::string, ChannelStats> response_stats_;
   LatencyModel latency_;
-  std::uint64_t simulated_us_ = 0;
+  sim::VirtualClock* clock_ = nullptr;
+  std::uint64_t charged_us_ = 0;
 };
 
 }  // namespace net

@@ -63,8 +63,7 @@ std::vector<std::size_t> RirClient::BuildQuery(
   std::vector<std::size_t> query = {real_index};
   // Rejection-sample distinct popularity-weighted decoys.
   while (query.size() < k_) {
-    std::uint64_t r = rng->NextUint64(1ull << 53);
-    double u = static_cast<double>(r) / static_cast<double>(1ull << 53);
+    double u = rng->NextUnitDouble();
     std::size_t candidate = static_cast<std::size_t>(
         std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
     if (std::find(query.begin(), query.end(), candidate) == query.end()) {

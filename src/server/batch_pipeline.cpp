@@ -4,13 +4,18 @@ namespace p2drm {
 namespace server {
 
 BatchPipelineTimings BatchPipeline::Run(const Plan& plan,
-                                        const IssueExecutor& executor) {
+                                        const IssueExecutor& executor,
+                                        const TimeSourceUs& now_us) {
   BatchPipelineTimings t;
   t.items = plan.item_count;
   if (plan.item_count == 0) return t;
 
+  const auto now = [&now_us]() -> std::uint64_t {
+    return now_us != nullptr ? now_us() : SteadyNowUs();
+  };
+
   // Stage 1 — verify (dispatch thread, amortized, read-only).
-  auto stage_t0 = std::chrono::steady_clock::now();
+  std::uint64_t stage_t0 = now();
   std::vector<std::size_t> eligible;
   if (plan.verify != nullptr) {
     eligible = plan.verify();
@@ -18,18 +23,18 @@ BatchPipelineTimings BatchPipeline::Run(const Plan& plan,
     eligible.resize(plan.item_count);
     for (std::size_t i = 0; i < plan.item_count; ++i) eligible[i] = i;
   }
-  t.verify_us = ElapsedMicros(stage_t0);
+  t.verify_us = static_cast<double>(now() - stage_t0);
 
   // Stage 2 — mutate (the flow's serialization point; the only stage
   // that may shed).
-  stage_t0 = std::chrono::steady_clock::now();
+  stage_t0 = now();
   std::vector<core::Status> mutated;
   if (plan.mutate != nullptr) {
     mutated = plan.mutate(eligible);
   } else {
     mutated.assign(eligible.size(), core::Status::kOk);
   }
-  t.mutate_us = ElapsedMicros(stage_t0);
+  t.mutate_us = static_cast<double>(now() - stage_t0);
 
   // Partition into the live set (kOk, plus whatever `proceed` admits)
   // and rejections. kOverloaded can never proceed: a shed item must
@@ -52,7 +57,7 @@ BatchPipelineTimings BatchPipeline::Run(const Plan& plan,
 
   // Stage 3 — issue: forks first (dispatch thread, ascending k), then
   // the fan-out, joined before the timing stops.
-  stage_t0 = std::chrono::steady_clock::now();
+  stage_t0 = now();
   if (plan.begin_issue != nullptr) plan.begin_issue(live.size());
   if (plan.draw_fork != nullptr) {
     for (std::size_t k = 0; k < live.size(); ++k) {
@@ -70,7 +75,7 @@ BatchPipelineTimings BatchPipeline::Run(const Plan& plan,
       for (std::size_t k = 0; k < live.size(); ++k) work(k);
     }
   }
-  t.issue_us = ElapsedMicros(stage_t0);
+  t.issue_us = static_cast<double>(now() - stage_t0);
 
   // Commit tail — dispatch thread, ascending k.
   if (plan.commit != nullptr) {

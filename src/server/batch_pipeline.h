@@ -43,13 +43,20 @@
 namespace p2drm {
 namespace server {
 
-/// Microseconds elapsed since \p t0 — shared by the pipeline's stage
-/// timings and the shard workers' sim-clock accrual so both use one
-/// clock-source definition.
-inline double ElapsedMicros(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
+/// Injectable monotonic microsecond source for stage timings. Null means
+/// "wall clock" (SteadyNowUs). A deterministic source makes
+/// BatchPipelineTimings / ContentProvider::LastBatchTimings testable and
+/// lets virtual-time harnesses express service cost in the same timebase
+/// as wire latency. Must be safe to call from the issue-stage executor's
+/// worker threads.
+using TimeSourceUs = std::function<std::uint64_t()>;
+
+/// The default TimeSourceUs: steady_clock, microseconds.
+inline std::uint64_t SteadyNowUs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 /// Wall-clock per-stage breakdown of one pipeline run (microseconds).
@@ -128,8 +135,10 @@ class BatchPipeline {
 
   /// Runs \p plan to completion. \p executor fans out the issue stage;
   /// when null the issue calls run serially on the dispatch thread.
+  /// \p now_us supplies the stage-timing clock (null = steady_clock).
   static BatchPipelineTimings Run(const Plan& plan,
-                                  const IssueExecutor& executor);
+                                  const IssueExecutor& executor,
+                                  const TimeSourceUs& now_us = nullptr);
 };
 
 }  // namespace server

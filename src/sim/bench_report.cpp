@@ -10,22 +10,36 @@ namespace sim {
 BenchReport::BenchReport(std::string bench_name)
     : name_(std::move(bench_name)) {}
 
-BenchReport::Entry* BenchReport::FindOrAdd(const std::string& key) {
-  for (Entry& e : entries_) {
+BenchReport::Entry* BenchReport::FindOrAdd(std::vector<Entry>* entries,
+                                           const std::string& key) {
+  for (Entry& e : *entries) {
     if (e.key == key) return &e;
   }
-  entries_.push_back(Entry{key, true, 0, {}});
-  return &entries_.back();
+  entries->push_back(Entry{key, true, 0, {}});
+  return &entries->back();
 }
 
 void BenchReport::Metric(const std::string& name, double value) {
-  Entry* e = FindOrAdd(name);
+  Entry* e = FindOrAdd(&entries_, name);
   e->numeric = true;
   e->number = value;
 }
 
 void BenchReport::Note(const std::string& name, const std::string& value) {
-  Entry* e = FindOrAdd(name);
+  Entry* e = FindOrAdd(&entries_, name);
+  e->numeric = false;
+  e->text = value;
+}
+
+void BenchReport::ConfigMetric(const std::string& name, double value) {
+  Entry* e = FindOrAdd(&config_, name);
+  e->numeric = true;
+  e->number = value;
+}
+
+void BenchReport::ConfigNote(const std::string& name,
+                             const std::string& value) {
+  Entry* e = FindOrAdd(&config_, name);
   e->numeric = false;
   e->text = value;
 }
@@ -75,6 +89,20 @@ std::string BenchReport::ToJson() const {
   std::ostringstream os;
   os << "{\n  \"bench\": ";
   AppendEscaped(&os, name_);
+  // The config block rides first: what the numbers below were taken
+  // under. Always present so downstream tooling can rely on the key.
+  os << ",\n  \"config\": {";
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ");
+    AppendEscaped(&os, config_[i].key);
+    os << ": ";
+    if (config_[i].numeric) {
+      AppendNumber(&os, config_[i].number);
+    } else {
+      AppendEscaped(&os, config_[i].text);
+    }
+  }
+  os << (config_.empty() ? "}" : "\n  }");
   for (const Entry& e : entries_) {
     os << ",\n  ";
     AppendEscaped(&os, e.key);

@@ -11,6 +11,11 @@
 /// namespace related metrics. The standalone benches fill this directly;
 /// the Google-Benchmark benches emit gbench's own JSON through the
 /// shared main in bench/gbench_json_main.h instead.
+///
+/// One nested object is allowed: `"config"` records the knobs the run
+/// was taken under (shard counts, batch size, key bits, seed, scenario
+/// names, …) so BENCH_*.json files are comparable across PRs — a perf
+/// trajectory without its configuration is noise.
 
 #include <string>
 #include <utility>
@@ -31,6 +36,11 @@ class BenchReport {
   /// Adds (or overwrites) a string annotation.
   void Note(const std::string& name, const std::string& value);
 
+  /// Adds (or overwrites) an entry in the report's `config` block —
+  /// the run's configuration, kept separate from its results.
+  void ConfigMetric(const std::string& name, double value);
+  void ConfigNote(const std::string& name, const std::string& value);
+
   std::string ToJson() const;
 
   /// Writes `BENCH_<name>.json` into \p dir. Returns false (after
@@ -47,9 +57,10 @@ class BenchReport {
     std::string text;
   };
 
-  Entry* FindOrAdd(const std::string& key);
+  static Entry* FindOrAdd(std::vector<Entry>* entries, const std::string& key);
 
   std::string name_;
+  std::vector<Entry> config_;  ///< the nested "config" block
   std::vector<Entry> entries_;
 };
 

@@ -1,0 +1,294 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "crypto/drbg.h"
+#include "sim/zipf.h"
+
+namespace p2drm {
+namespace sim {
+
+const char* FlowName(Flow flow) {
+  switch (flow) {
+    case Flow::kRedeem: return "redeem";
+    case Flow::kPurchase: return "purchase";
+    case Flow::kExchange: return "exchange";
+    case Flow::kDeposit: return "deposit";
+  }
+  return "unknown";
+}
+
+std::uint64_t ScenarioResult::TotalIssued() const {
+  std::uint64_t n = 0;
+  for (const FlowStats& f : flows) n += f.issued;
+  return n;
+}
+std::uint64_t ScenarioResult::TotalCompleted() const {
+  std::uint64_t n = 0;
+  for (const FlowStats& f : flows) n += f.completed;
+  return n;
+}
+std::uint64_t ScenarioResult::TotalSheds() const {
+  std::uint64_t n = 0;
+  for (const FlowStats& f : flows) n += f.sheds;
+  return n;
+}
+std::uint64_t ScenarioResult::TotalExhausted() const {
+  std::uint64_t n = 0;
+  for (const FlowStats& f : flows) n += f.exhausted;
+  return n;
+}
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// One in-flight client batch (shrinks to the shed indices on retries).
+struct Batch {
+  std::size_t user = 0;
+  Flow flow = Flow::kRedeem;
+  std::uint64_t first_send_us = 0;
+  std::size_t attempts = 0;               ///< wire sends so far
+  std::vector<std::uint64_t> keys;        ///< routing keys still unresolved
+};
+
+/// The whole scenario engine: one driving thread, one event loop, no
+/// wall clock anywhere.
+class Engine {
+ public:
+  explicit Engine(const ScenarioConfig& cfg)
+      : cfg_(cfg),
+        clock_(/*start_epoch_s=*/0),
+        loop_(&clock_),
+        rng_(cfg.name + ":" + std::to_string(cfg.seed)),
+        zipf_(std::max<std::size_t>(cfg.catalog_size, 1), cfg.zipf_alpha),
+        shards_(std::max<std::size_t>(cfg.shard_count, 1)),
+        hot_threshold_(std::max<std::size_t>(cfg.catalog_size / 100, 1)) {
+    result_.name = cfg_.name;
+    result_.flows = {};
+  }
+
+  ScenarioResult Run() {
+    for (std::size_t u = 0; u < cfg_.num_users; ++u) {
+      std::uint64_t start =
+          cfg_.ramp_us == 0
+              ? 0
+              : static_cast<std::uint64_t>(
+                    (static_cast<unsigned __int128>(cfg_.ramp_us) * u) /
+                    cfg_.num_users);
+      loop_.ScheduleAt(start, [this, u] { NextBatch(u); });
+    }
+    loop_.RunUntilIdle();
+    result_.virtual_duration_us = clock_.NowUs();
+    result_.events_executed = loop_.ExecutedCount();
+    return std::move(result_);
+  }
+
+ private:
+  struct ShardState {
+    std::uint64_t busy_until_us = 0;
+    /// Completion instants of queued + in-flight items; its size is the
+    /// backlog the bounded-queue check runs against. Arrivals reach the
+    /// shards in nondecreasing dispatcher order, so popping the front
+    /// lazily is exact.
+    std::deque<std::uint64_t> completions;
+  };
+
+  double U01() { return rng_.NextUnitDouble(); }
+
+  double ThinkScaleAt(std::uint64_t t_us) const {
+    double scale = 1.0;
+    for (const BurstWindow& w : cfg_.bursts) {
+      if (t_us >= w.start_us && t_us < w.end_us) scale *= w.think_scale;
+    }
+    return scale;
+  }
+
+  std::uint64_t SampleThinkUs() {
+    // Exponential inter-batch think time, scaled by any active burst.
+    double u = U01();
+    double t = -static_cast<double>(cfg_.mean_think_us) * std::log1p(-u);
+    t *= ThinkScaleAt(clock_.NowUs());
+    return t < 1.0 ? 1 : static_cast<std::uint64_t>(t);
+  }
+
+  Flow SampleFlow() {
+    double total = 0;
+    for (double w : cfg_.mix) total += w;
+    if (total <= 0) return Flow::kRedeem;
+    double r = U01() * total;
+    Flow last_weighted = Flow::kRedeem;
+    for (std::size_t f = 0; f < kFlowCount; ++f) {
+      if (cfg_.mix[f] <= 0) continue;  // zero weight can never be drawn
+      last_weighted = static_cast<Flow>(f);
+      r -= cfg_.mix[f];
+      if (r < 0) return last_weighted;
+    }
+    // Floating-point rounding can leave r == 0 after the last subtract;
+    // that draw belongs to the last flow with actual weight.
+    return last_weighted;
+  }
+
+  FlowStats& StatsFor(Flow f) {
+    return result_.flows[static_cast<std::size_t>(f)];
+  }
+  const FlowCost& CostFor(Flow f) const {
+    return cfg_.cost[static_cast<std::size_t>(f)];
+  }
+
+  /// Client builds and sends a fresh batch (or retires when the
+  /// scenario's request budget is spent).
+  void NextBatch(std::size_t user) {
+    if (issued_items_ >= cfg_.total_requests) return;  // user retires
+    auto batch = std::make_shared<Batch>();
+    batch->user = user;
+    batch->flow = SampleFlow();
+    batch->first_send_us = clock_.NowUs();
+    // Clamped to >= 1: a zero-item batch would never move
+    // issued_items_ toward the stop condition and the closed loop
+    // would reschedule itself forever.
+    std::size_t n = std::max<std::size_t>(cfg_.batch_size, 1);
+    batch->keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t rank = zipf_.Next(&rng_);
+      if (rank < hot_threshold_) ++result_.zipf_top1pct_hits;
+      // Purchases serialize on per-content provider state (royalty and
+      // usage counters — core/usage_stats in the real stack), so their
+      // home shard is the CONTENT's home shard and popularity skew
+      // concentrates load: zipf_alpha is a live contention knob.
+      // Redeem/exchange/deposit route by unique license/coin ids, which
+      // hash uniformly — faithful to ShardRouter over fresh ids.
+      std::uint64_t key = batch->flow == Flow::kPurchase
+                              ? SplitMix64(0xC0117E17ull ^ rank)
+                              : SplitMix64(route_counter_++);
+      batch->keys.push_back(key);
+    }
+    issued_items_ += n;
+    StatsFor(batch->flow).issued += n;
+    Send(std::move(batch));
+  }
+
+  /// One metered round trip: request wire time, then the server model.
+  void Send(std::shared_ptr<Batch> batch) {
+    batch->attempts += 1;
+    ++result_.batches_sent;
+    std::size_t req_bytes = batch->keys.size() * cfg_.request_bytes_per_item;
+    result_.wire_messages += 1;
+    result_.wire_bytes += req_bytes;
+    loop_.ScheduleAfter(cfg_.wire.CostUs(req_bytes),
+                        [this, batch = std::move(batch)]() { Serve(batch); });
+  }
+
+  /// The provider model: serialized amortized verify on the dispatcher,
+  /// then per-item mutate+issue on each key's home shard behind the
+  /// bounded backlog. Mirrors server::BatchPipeline's stage contract —
+  /// kOverloaded originates at the shard admission point only, before
+  /// any modeled state change.
+  void Serve(const std::shared_ptr<Batch>& batch) {
+    const FlowCost& cost = CostFor(batch->flow);
+    const std::uint64_t arrival = clock_.NowUs();
+    std::uint64_t verify_start = std::max(dispatcher_busy_until_, arrival);
+    std::uint64_t verify_done =
+        verify_start + cost.verify_us * batch->keys.size();
+    dispatcher_busy_until_ = verify_done;
+
+    std::vector<std::uint64_t> shed_keys;
+    std::uint64_t last_done = verify_done;
+    std::size_t accepted = 0;
+    for (std::uint64_t key : batch->keys) {
+      ShardState& shard = shards_[key % shards_.size()];
+      while (!shard.completions.empty() &&
+             shard.completions.front() <= verify_done) {
+        shard.completions.pop_front();
+      }
+      if (shard.completions.size() >= cfg_.queue_capacity) {
+        StatsFor(batch->flow).sheds += 1;
+        shed_keys.push_back(key);
+        continue;
+      }
+      std::uint64_t start = std::max(shard.busy_until_us, verify_done);
+      std::uint64_t done = start + cost.mutate_us + cost.issue_us;
+      shard.busy_until_us = done;
+      shard.completions.push_back(done);
+      result_.max_backlog_items = std::max<std::uint64_t>(
+          result_.max_backlog_items, shard.completions.size());
+      last_done = std::max(last_done, done);
+      ++accepted;
+    }
+
+    // Response rides back once the slowest accepted item commits.
+    std::size_t resp_bytes =
+        batch->keys.size() * cfg_.response_bytes_per_item;
+    result_.wire_messages += 1;
+    result_.wire_bytes += resp_bytes;
+    std::uint64_t recv =
+        SaturatingAddUs(last_done, cfg_.wire.CostUs(resp_bytes));
+    loop_.ScheduleAt(recv, [this, batch, accepted,
+                            shed = std::move(shed_keys)]() {
+      Receive(batch, accepted, shed);
+    });
+  }
+
+  /// Client receives the per-item statuses: records completions,
+  /// re-sends only the shed keys after honoring the full retry hint in
+  /// virtual time, and — once the batch is fully resolved — schedules
+  /// its next think cycle (closed loop).
+  void Receive(const std::shared_ptr<Batch>& batch, std::size_t accepted,
+               const std::vector<std::uint64_t>& shed) {
+    FlowStats& fs = StatsFor(batch->flow);
+    double item_latency =
+        static_cast<double>(clock_.NowUs() - batch->first_send_us);
+    for (std::size_t i = 0; i < accepted; ++i) {
+      fs.completed += 1;
+      fs.latency.Add(item_latency);
+    }
+    if (!shed.empty() && batch->attempts < cfg_.overload_max_attempts) {
+      // A shed item left no server-side trace: re-batch only the shed
+      // keys, after the hint — served by the event loop, not a sleep.
+      fs.retried += shed.size();
+      result_.backoff_ms_honored += cfg_.retry_hint_ms;
+      batch->keys = shed;
+      loop_.ScheduleAfter(
+          static_cast<std::uint64_t>(cfg_.retry_hint_ms) * 1000ull,
+          [this, batch]() { Send(batch); });
+      return;
+    }
+    if (!shed.empty()) fs.exhausted += shed.size();
+    // Batch resolved; the user thinks, then goes again.
+    std::size_t user = batch->user;
+    loop_.ScheduleAfter(SampleThinkUs(), [this, user]() { NextBatch(user); });
+  }
+
+  ScenarioConfig cfg_;
+  VirtualClock clock_;
+  EventLoop loop_;
+  crypto::HmacDrbg rng_;
+  ZipfGenerator zipf_;
+  std::vector<ShardState> shards_;
+  std::size_t hot_threshold_;
+  std::uint64_t dispatcher_busy_until_ = 0;
+  std::uint64_t issued_items_ = 0;
+  std::uint64_t route_counter_ = 0;
+  ScenarioResult result_;
+};
+
+}  // namespace
+
+ScenarioDriver::ScenarioDriver(const ScenarioConfig& config)
+    : config_(config) {}
+
+ScenarioResult ScenarioDriver::Run() {
+  Engine engine(config_);
+  return engine.Run();
+}
+
+}  // namespace sim
+}  // namespace p2drm

@@ -1,0 +1,40 @@
+#include "sim/virtual_clock.h"
+
+namespace p2drm {
+namespace sim {
+
+std::uint64_t EventLoop::ScheduleAt(std::uint64_t at_us, Event fn) {
+  if (at_us < clock_->NowUs()) at_us = clock_->NowUs();
+  std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at_us, seq, std::make_shared<Event>(std::move(fn))});
+  return seq;
+}
+
+bool EventLoop::RunNext() {
+  if (heap_.empty()) return false;
+  Entry e = heap_.top();
+  heap_.pop();
+  clock_->AdvanceToUs(e.at_us);
+  ++executed_;
+  (*e.fn)();
+  return true;
+}
+
+std::uint64_t EventLoop::RunUntil(std::uint64_t t_us) {
+  std::uint64_t ran = 0;
+  while (!heap_.empty() && heap_.top().at_us <= t_us) {
+    RunNext();
+    ++ran;
+  }
+  clock_->AdvanceToUs(t_us);
+  return ran;
+}
+
+std::uint64_t EventLoop::RunUntilIdle() {
+  std::uint64_t ran = 0;
+  while (RunNext()) ++ran;
+  return ran;
+}
+
+}  // namespace sim
+}  // namespace p2drm

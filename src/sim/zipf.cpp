@@ -20,9 +20,7 @@ ZipfGenerator::ZipfGenerator(std::size_t n, double alpha) {
 }
 
 std::size_t ZipfGenerator::Next(bignum::RandomSource* rng) const {
-  // 53-bit uniform in [0,1).
-  std::uint64_t r = rng->NextUint64(1ull << 53);
-  double u = static_cast<double>(r) / static_cast<double>(1ull << 53);
+  double u = rng->NextUnitDouble();
   auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   return static_cast<std::size_t>(it - cdf_.begin());
 }

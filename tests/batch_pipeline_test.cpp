@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <string>
 #include <vector>
@@ -399,7 +400,7 @@ class AgentRetryTest : public ::testing::Test {
         [this](const std::vector<std::uint8_t>& wire) {
           net::RequestEnvelope env = net::RequestEnvelope::Decode(wire);
           if (env.tag == net::kBatchTag && batch_calls_++ < shed_batches_) {
-            return ShedAll(env, /*hint_ms=*/7);
+            return ShedAll(env, hint_ms_);
           }
           return system_->cp_service().Dispatch(wire);
         });
@@ -411,6 +412,7 @@ class AgentRetryTest : public ::testing::Test {
   rel::ContentId content_ = 0;
   int batch_calls_ = 0;
   int shed_batches_ = 0;
+  std::uint32_t hint_ms_ = 7;
 };
 
 TEST_F(AgentRetryTest, RetriesShedItemsAndSucceeds) {
@@ -446,6 +448,78 @@ TEST_F(AgentRetryTest, StopsAtAttemptBudgetAndRefundsCoins) {
   // value was destroyed.
   EXPECT_EQ(agent_->WalletValue() + system_->bank().Balance("alice"),
             wallet_before);
+}
+
+TEST_F(AgentRetryTest, VirtualTimeBackoffHonorsMultiSecondHintsNoSleeps) {
+  // A server that never recovers, hinting FIVE SECONDS per retry — with
+  // real sleeps the budget below would cost 10s of wall clock. The wait
+  // hook serves every wait by advancing the system's virtual timebase
+  // instead, so the retry loop, the refund path and the metrics are all
+  // exercised at zero wall-clock cost (the ISSUE 5 open item).
+  shed_batches_ = 1 << 20;
+  hint_ms_ = 5000;
+
+  AgentConfig acfg;
+  acfg.pseudonym_bits = 512;
+  acfg.overload_max_attempts = 3;
+  acfg.overload_backoff_cap_ms = 60'000;  // do not cap the 5s hints
+  sim::VirtualClock& timebase = system_->timebase();
+  acfg.wait_hook = [&timebase](std::uint32_t wait_ms) {
+    timebase.AdvanceUs(static_cast<std::uint64_t>(wait_ms) * 1000ull);
+  };
+  UserAgent bob("bob", acfg, system_.get(), &rng_);
+
+  std::uint64_t virtual_t0_us = timebase.NowUs();
+  std::uint64_t wealth_before =
+      bob.WalletValue() + system_->bank().Balance("bob");
+  auto wall_t0 = std::chrono::steady_clock::now();
+  auto statuses = bob.BuyContentBatch({content_}, nullptr);
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_t0)
+                       .count();
+
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0], Status::kOverloaded);
+  const RetryStats& stats = bob.OverloadRetries();
+  EXPECT_EQ(stats.retried_items, 2u);
+  EXPECT_EQ(stats.retry_round_trips, 2u);
+  EXPECT_EQ(stats.exhausted_items, 1u);
+  // Both 5s hints honored IN FULL — in virtual time, deterministically.
+  EXPECT_EQ(stats.backoff_ms, 10'000u);
+  EXPECT_EQ(timebase.NowUs() - virtual_t0_us, 10'000'000u);
+  // Wall clock saw crypto, not waiting: far below the 10s of hints
+  // (loose bound — TSan CI runs this file).
+  EXPECT_LT(wall_ms, 5000.0);
+  // The exhausted item's coins were provably never deposited: refunded.
+  EXPECT_EQ(bob.WalletValue() + system_->bank().Balance("bob"),
+            wealth_before);
+}
+
+// -- injectable pipeline time source -----------------------------------------
+
+TEST(PipelineTimings, InjectedTimeSourcePinsStageTimings) {
+  // A deterministic tick source makes LastBatchTimings exact: each
+  // pipeline stage spans exactly one tick of 7us, wall clock nowhere.
+  Stack stack("timings-injected", /*redeem_shards=*/0, 512);
+  std::uint64_t tick = 0;
+  stack.cp.set_time_source([&tick]() {
+    tick += 7;
+    return tick;
+  });
+
+  Pseudonym* giver = stack.NewPseudonym();
+  Pseudonym* taker = stack.NewPseudonym();
+  std::vector<ContentProvider::RedeemItem> items;
+  items.push_back({stack.NewBearer(giver), taker->cert});
+  items.push_back({stack.NewBearer(giver), taker->cert});
+  auto results = stack.cp.RedeemAnonymousBatch(items);
+  for (const auto& r : results) ASSERT_EQ(r.status, Status::kOk);
+
+  auto timings = stack.cp.LastBatchTimings();
+  EXPECT_EQ(timings.items, 2u);
+  EXPECT_EQ(timings.verify_us, 7.0);
+  EXPECT_EQ(timings.spend_us, 7.0);
+  EXPECT_EQ(timings.issue_us, 7.0);
 }
 
 // -- client exchange batch ---------------------------------------------------

@@ -118,6 +118,29 @@ TEST(LatencyModel, CostFormula) {
   EXPECT_EQ(m.CostUs(512), 50u + 1024u);
 }
 
+TEST(LatencyModel, CostSaturatesInsteadOfWrapping) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  // bytes * per_kib_us overflows u64: the cost must pin at "forever",
+  // not wrap around to a tiny number that corrupts the timebase.
+  LatencyModel m;
+  m.per_message_us = 0;
+  m.per_kib_us = kMax;
+  EXPECT_EQ(m.CostUs(3), kMax);  // 3 * kMax would wrap
+  // A large but in-range product stays exact.
+  m.per_kib_us = 1u << 20;
+  EXPECT_EQ(m.CostUs(static_cast<std::size_t>(1) << 30),
+            (static_cast<std::uint64_t>(1) << 40));
+  // Per-message cost near the ceiling cannot wrap when the bandwidth
+  // term lands on top.
+  m.per_message_us = kMax - 1;
+  m.per_kib_us = 1024;
+  EXPECT_EQ(m.CostUs(4096), kMax);
+  // And a genuinely overflowing product saturates end to end.
+  m.per_message_us = 5;
+  m.per_kib_us = kMax / 2;
+  EXPECT_EQ(m.CostUs(static_cast<std::size_t>(1) << 40), kMax);
+}
+
 TEST(LatencyModel, SubKibMessagesRoundUpNotDown) {
   // A 1-byte message on a slow link must cost at least 1us of bandwidth
   // time, not silently floor to 0 (the old integer-truncation bug).

@@ -1,0 +1,186 @@
+// The unified virtual timebase: VirtualClock, EventLoop determinism,
+// SimClock as a seconds view, and the Transport charging wire latency
+// into a bound clock.
+
+#include "sim/virtual_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/clock.h"
+#include "net/transport.h"
+
+namespace p2drm {
+namespace {
+
+TEST(VirtualClock, StartsAtEpochAndAdvances) {
+  sim::VirtualClock c;
+  EXPECT_EQ(c.NowEpochSeconds(), sim::VirtualClock::kDefaultStartEpochSeconds);
+  c.AdvanceUs(1'500'000);
+  EXPECT_EQ(c.NowEpochSeconds(),
+            sim::VirtualClock::kDefaultStartEpochSeconds + 1);
+  c.AdvanceSeconds(10);
+  EXPECT_EQ(c.NowEpochSeconds(),
+            sim::VirtualClock::kDefaultStartEpochSeconds + 11);
+}
+
+TEST(VirtualClock, AdvanceToNeverMovesBackwards) {
+  sim::VirtualClock c(0);
+  c.AdvanceToUs(500);
+  EXPECT_EQ(c.NowUs(), 500u);
+  c.AdvanceToUs(100);  // no-op: virtual time is monotonic
+  EXPECT_EQ(c.NowUs(), 500u);
+}
+
+TEST(VirtualClock, AdvanceSaturatesInsteadOfWrapping) {
+  sim::VirtualClock c(0);
+  c.AdvanceUs(~std::uint64_t{0} - 10);
+  c.AdvanceUs(100);  // would wrap; must pin at max
+  EXPECT_EQ(c.NowUs(), ~std::uint64_t{0});
+}
+
+TEST(VirtualClock, SecondsPathsSaturateToo) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  // A "never" sentinel through any seconds-facing path must land at the
+  // maximum, not wrap u64 and rewind time.
+  sim::VirtualClock c(0);
+  c.AdvanceUs(123);
+  c.AdvanceSeconds(kMax / 2);  // *1e6 would wrap
+  EXPECT_EQ(c.NowUs(), kMax);
+  sim::VirtualClock never(kMax);  // constructor takes seconds
+  EXPECT_EQ(never.NowUs(), kMax);
+  sim::VirtualClock s(0);
+  s.SetEpochSeconds(kMax - 1);
+  EXPECT_EQ(s.NowUs(), kMax);
+}
+
+TEST(SimClock, DefaultOwnsItsTimebase) {
+  core::SimClock clock;
+  EXPECT_EQ(clock.NowEpochSeconds(),
+            sim::VirtualClock::kDefaultStartEpochSeconds);
+  clock.Advance(60);
+  EXPECT_EQ(clock.NowEpochSeconds(),
+            sim::VirtualClock::kDefaultStartEpochSeconds + 60);
+  clock.Set(42);
+  EXPECT_EQ(clock.NowEpochSeconds(), 42u);
+}
+
+TEST(SimClock, IsASecondsViewOverASharedTimebase) {
+  sim::VirtualClock timebase(1000);
+  core::SimClock view(&timebase);
+  EXPECT_EQ(view.NowEpochSeconds(), 1000u);
+
+  // Sub-second advances accumulate in the timebase even though the
+  // seconds view floors them — the old SimClock could not express this.
+  timebase.AdvanceUs(900'000);
+  EXPECT_EQ(view.NowEpochSeconds(), 1000u);
+  timebase.AdvanceUs(100'000);
+  EXPECT_EQ(view.NowEpochSeconds(), 1001u);
+
+  // And advancing through the view moves the shared timebase.
+  view.Advance(9);
+  EXPECT_EQ(timebase.NowEpochSeconds(), 1010u);
+  EXPECT_EQ(view.timebase(), &timebase);
+}
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  sim::VirtualClock c(0);
+  sim::EventLoop loop(&c);
+  std::vector<int> order;
+  loop.ScheduleAt(300, [&] { order.push_back(3); });
+  loop.ScheduleAt(100, [&] { order.push_back(1); });
+  loop.ScheduleAt(200, [&] { order.push_back(2); });
+  EXPECT_EQ(loop.RunUntilIdle(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(c.NowUs(), 300u);
+}
+
+TEST(EventLoop, TiesBreakByScheduleOrder) {
+  sim::VirtualClock c(0);
+  sim::EventLoop loop(&c);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    loop.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventLoop, EventsMayScheduleMoreEvents) {
+  sim::VirtualClock c(0);
+  sim::EventLoop loop(&c);
+  std::vector<std::uint64_t> fired_at;
+  // A chain: each firing schedules the next 10us later, five deep.
+  std::function<void()> chain = [&] {
+    fired_at.push_back(c.NowUs());
+    if (fired_at.size() < 5) loop.ScheduleAfter(10, chain);
+  };
+  loop.ScheduleAt(0, chain);
+  EXPECT_EQ(loop.RunUntilIdle(), 5u);
+  EXPECT_EQ(fired_at,
+            (std::vector<std::uint64_t>{0, 10, 20, 30, 40}));
+}
+
+TEST(EventLoop, ThePastIsClampedToNow) {
+  sim::VirtualClock c(0);
+  sim::EventLoop loop(&c);
+  c.AdvanceUs(500);
+  std::uint64_t ran_at = 0;
+  loop.ScheduleAt(100, [&] { ran_at = c.NowUs(); });  // 100 < now
+  loop.RunUntilIdle();
+  EXPECT_EQ(ran_at, 500u);  // ran "immediately", never rewound time
+}
+
+TEST(EventLoop, ScheduleAfterSaturatesAtForever) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  sim::VirtualClock c(0);
+  sim::EventLoop loop(&c);
+  c.AdvanceUs(kMax);  // the clock is pinned at "forever"
+  std::uint64_t ran_at = 0;
+  // now + 10 would wrap to 9 and fire "in the past"; it must pin.
+  loop.ScheduleAfter(10, [&] { ran_at = c.NowUs(); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(ran_at, kMax);
+  EXPECT_EQ(sim::SaturatingAddUs(kMax - 3, 10), kMax);
+  EXPECT_EQ(sim::SaturatingAddUs(7, 10), 17u);
+}
+
+TEST(EventLoop, RunUntilStopsAtTheFence) {
+  sim::VirtualClock c(0);
+  sim::EventLoop loop(&c);
+  int ran = 0;
+  loop.ScheduleAt(100, [&] { ++ran; });
+  loop.ScheduleAt(200, [&] { ++ran; });
+  loop.ScheduleAt(301, [&] { ++ran; });
+  EXPECT_EQ(loop.RunUntil(300), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(c.NowUs(), 300u);  // advanced to the fence, not past it
+  EXPECT_EQ(loop.PendingCount(), 1u);
+}
+
+TEST(Transport, ChargesLatencyIntoBoundTimebase) {
+  net::LatencyModel model;
+  model.per_message_us = 100;
+  model.per_kib_us = 1024;  // 1us per byte
+  net::Transport t(model);
+  sim::VirtualClock timebase(0);
+  t.BindClock(&timebase);
+  t.RegisterEndpoint("svc", [](const std::vector<std::uint8_t>&) {
+    return std::vector<std::uint8_t>(512, 0);
+  });
+  t.Call("a", "svc", std::vector<std::uint8_t>(1024, 0));
+  // request: 100 + 1024; response: 100 + 512 — all charged into the
+  // shared timebase AND metered on the transport.
+  EXPECT_EQ(timebase.NowUs(), 100u + 1024u + 100u + 512u);
+  EXPECT_EQ(t.SimulatedTimeUs(), timebase.NowUs());
+
+  // ResetStats clears the per-transport meter; virtual time never
+  // rewinds.
+  t.ResetStats();
+  EXPECT_EQ(t.SimulatedTimeUs(), 0u);
+  EXPECT_EQ(timebase.NowUs(), 100u + 1024u + 100u + 512u);
+}
+
+}  // namespace
+}  // namespace p2drm
