@@ -186,4 +186,9 @@ BENCHMARK(BM_ModExpNaive)->Arg(512)->Arg(1024)
 
 }  // namespace
 
-P2DRM_GBENCH_JSON_MAIN("bench_crypto")
+P2DRM_GBENCH_JSON_MAIN("bench_crypto",
+                       cfg.Str("modulus_bits", "512,1024,2048");
+                       cfg.Num("fdh_message_bytes", 64);
+                       cfg.Str("hash", "sha256");
+                       cfg.Str("stream_cipher", "chacha20");
+                       cfg.Str("modexp_ablation", "montgomery,naive");)

@@ -185,4 +185,8 @@ BENCHMARK(BM_RpcRedeemWireBatched)->Arg(64);
 
 }  // namespace
 
-P2DRM_GBENCH_JSON_MAIN("bench_redeem_throughput")
+P2DRM_GBENCH_JSON_MAIN("bench_redeem_throughput",
+                       cfg.Str("spent_set_backends", "hash,sorted,linear");
+                       cfg.Str("preload_sizes", "1000..1000000");
+                       cfg.Num("rpc_batch_items", 64);
+                       cfg.Str("wire_model", "WAN latency, simulated time");)

@@ -1,12 +1,19 @@
-// Scenario harness bench (ISSUE 5 acceptance): population-scale
+// Scenario harness bench (ISSUE 5 + 6 acceptance): population-scale
 // mixed-flow traffic entirely in virtual time.
 //
-// Runs >= 3 named scenarios — steady-state, flash-crowd, backoff-storm —
-// each driving 100k closed-loop simulated users through the modeled
-// provider (sim::ScenarioDriver): Zipf content popularity, a
+// Runs >= 5 named scenarios, each driving 100k closed-loop simulated
+// users (sim::ScenarioDriver): Zipf content popularity, a
 // redeem/purchase/exchange/deposit mix, arrival ramps, bounded shard
 // backlogs that shed with typed retry hints, and the client retry loop
 // honoring those hints IN FULL. Together the scenarios issue >= 1M items.
+//
+// The first three — steady_state, flash_crowd, backoff_storm — drive the
+// modeled single provider. The last two — cluster_steady,
+// replica_failover — drive a REAL cluster::ProviderCluster (live spent
+// sets + journal files, modeled virtual-time costs): replica_failover
+// kills a replica mid-run, replays its journals onto the survivors, and
+// then AUDITS the survivors by re-spending everything the dead replica
+// had committed — accounting must close with ZERO double spends.
 //
 // There is no wall-clock sleep anywhere: the backoff-storm scenario
 // honors multi-second retry_after hints purely by advancing
@@ -17,6 +24,7 @@
 //
 // Output: console report + BENCH_scenarios.json.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -94,6 +102,57 @@ std::vector<sim::ScenarioConfig> BuildScenarios(std::size_t scale) {
   storm.bursts.push_back({0, 30'000'000, 0.05});
   out.push_back(storm);
 
+  // Cluster steady-state: the same closed-loop shape against 4 REAL
+  // provider replicas behind the consistent-hash ring. No membership
+  // change ever happens, so the clients' ring view never goes stale:
+  // zero redirects is itself an assertion.
+  sim::ScenarioConfig csteady;
+  csteady.name = "cluster_steady";
+  csteady.seed = 44;
+  csteady.num_users = 100'000 / scale;
+  csteady.total_requests = 360'000 / scale;
+  csteady.batch_size = 4;
+  csteady.queue_capacity = 2048;
+  csteady.mix = {0.4, 0.3, 0.2, 0.1};
+  csteady.mean_think_us = 30'000'000;
+  csteady.ramp_us = 60'000'000;
+  csteady.retry_hint_ms = 50;
+  csteady.cluster.enabled = true;
+  csteady.cluster.replica_count = 4;
+  csteady.cluster.shards_per_replica = 4;
+  csteady.cluster.journal_prefix = "BENCH_cluster_steady.journal";
+  out.push_back(csteady);
+
+  // Replica failover: replica 1 dies at T=10s with a TORN journal tail
+  // (killed mid-append). Its key ranges move to the survivors, which
+  // gate them (kOverloaded) until the journal replay completes; stale
+  // clients get kWrongReplica redirects and re-route. After failover the
+  // engine re-spends every id the dead replica had committed — the
+  // paper's no-double-spend invariant, checked against real spent sets.
+  sim::ScenarioConfig failover;
+  failover.name = "replica_failover";
+  failover.seed = 55;
+  failover.num_users = 100'000 / scale;
+  failover.total_requests = 400'000 / scale;
+  failover.batch_size = 4;
+  failover.queue_capacity = 2048;
+  failover.mix = {0.4, 0.3, 0.2, 0.1};
+  failover.mean_think_us = 10'000'000;
+  failover.ramp_us = 25'000'000;
+  failover.retry_hint_ms = 250;
+  failover.overload_max_attempts = 6;  // ride out the recovery window
+  failover.cluster.enabled = true;
+  failover.cluster.replica_count = 4;
+  failover.cluster.shards_per_replica = 4;
+  failover.cluster.journal_prefix = "BENCH_replica_failover.journal";
+  failover.cluster.crash_at_us = 10'000'000;
+  failover.cluster.crash_replica = 1;
+  failover.cluster.tear_journal_tail = true;
+  failover.cluster.failover_detect_us = 500'000;
+  failover.cluster.replay_per_record_us = 5;
+  failover.cluster.audit_after_failover = true;
+  out.push_back(failover);
+
   return out;
 }
 
@@ -127,6 +186,28 @@ void ReportScenario(const sim::ScenarioConfig& cfg,
                        static_cast<double>(cfg.request_bytes_per_item));
   report->ConfigMetric(p + ".response_bytes_per_item",
                        static_cast<double>(cfg.response_bytes_per_item));
+  if (cfg.cluster.enabled) {
+    const sim::ClusterOptions& cl = cfg.cluster;
+    report->ConfigMetric(p + ".replicas",
+                         static_cast<double>(cl.replica_count));
+    report->ConfigMetric(p + ".vnodes_per_replica",
+                         static_cast<double>(cl.vnodes_per_replica));
+    report->ConfigMetric(p + ".shards_per_replica",
+                         static_cast<double>(cl.shards_per_replica));
+    report->ConfigMetric(p + ".crash_at_us",
+                         static_cast<double>(cl.crash_at_us));
+    report->ConfigMetric(p + ".crash_replica",
+                         static_cast<double>(cl.crash_replica));
+    report->ConfigMetric(p + ".tear_journal_tail",
+                         cl.tear_journal_tail ? 1 : 0);
+    report->ConfigMetric(p + ".failover_detect_us",
+                         static_cast<double>(cl.failover_detect_us));
+    report->ConfigMetric(p + ".replay_per_record_us",
+                         static_cast<double>(cl.replay_per_record_us));
+    report->ConfigMetric(p + ".redirect_max_hops",
+                         static_cast<double>(cl.redirect_max_hops));
+    report->ConfigNote(p + ".journal_prefix", cl.journal_prefix);
+  }
   {
     char buf[128];
     std::snprintf(buf, sizeof(buf), "%g:%g:%g:%g", cfg.mix[0], cfg.mix[1],
@@ -177,6 +258,48 @@ void ReportScenario(const sim::ScenarioConfig& cfg,
                  static_cast<double>(r.max_backlog_items));
   report->Metric(p + ".zipf_top1pct_hits",
                  static_cast<double>(r.zipf_top1pct_hits));
+  if (r.cluster.enabled) {
+    const sim::ScenarioResult::ClusterStats& cl = r.cluster;
+    report->Metric(p + ".redirect_responses",
+                   static_cast<double>(cl.redirect_responses));
+    report->Metric(p + ".redirected_terminal",
+                   static_cast<double>(r.TotalRedirectedTerminal()));
+    report->Metric(p + ".ring_epoch_final",
+                   static_cast<double>(cl.ring_epoch_final));
+    report->Metric(p + ".replicas_alive_final",
+                   static_cast<double>(cl.replicas_alive_final));
+    report->Metric(p + ".total_spent_final",
+                   static_cast<double>(cl.total_spent_final));
+    report->Metric(p + ".replayed_records",
+                   static_cast<double>(cl.replayed_records));
+    report->Metric(p + ".imported_fresh",
+                   static_cast<double>(cl.imported_fresh));
+    report->Metric(p + ".imported_duplicates",
+                   static_cast<double>(cl.imported_duplicates));
+    report->Metric(p + ".torn_tails_skipped",
+                   static_cast<double>(cl.torn_tails_skipped));
+    report->Metric(p + ".audit_rechecks",
+                   static_cast<double>(cl.audit_rechecks));
+    report->Metric(p + ".double_spends",
+                   static_cast<double>(cl.double_spends));
+    if (cl.crash_at_us > 0) {
+      report->Metric(p + ".failover_window_us",
+                     static_cast<double>(cl.failover_completed_at_us -
+                                         cl.crash_at_us));
+    }
+    std::printf(
+        "  cluster: redirects=%llu replayed=%llu (fresh=%llu dup=%llu "
+        "torn=%llu) audited=%llu double_spends=%llu epoch=%llu alive=%llu\n",
+        static_cast<unsigned long long>(cl.redirect_responses),
+        static_cast<unsigned long long>(cl.replayed_records),
+        static_cast<unsigned long long>(cl.imported_fresh),
+        static_cast<unsigned long long>(cl.imported_duplicates),
+        static_cast<unsigned long long>(cl.torn_tails_skipped),
+        static_cast<unsigned long long>(cl.audit_rechecks),
+        static_cast<unsigned long long>(cl.double_spends),
+        static_cast<unsigned long long>(cl.ring_epoch_final),
+        static_cast<unsigned long long>(cl.replicas_alive_final));
+  }
   if (virtual_s > 0) {
     report->Metric(p + ".completed_per_virtual_s",
                    static_cast<double>(r.TotalCompleted()) / virtual_s);
@@ -189,6 +312,9 @@ void ReportScenario(const sim::ScenarioConfig& cfg,
     report->Metric(fp + ".sheds", static_cast<double>(fs.sheds));
     report->Metric(fp + ".retried", static_cast<double>(fs.retried));
     report->Metric(fp + ".exhausted", static_cast<double>(fs.exhausted));
+    if (r.cluster.enabled) {
+      report->Metric(fp + ".redirected", static_cast<double>(fs.redirected));
+    }
     report->Metric(fp + ".p50_us", fs.latency.Percentile(50));
     report->Metric(fp + ".p90_us", fs.latency.Percentile(90));
     report->Metric(fp + ".p99_us", fs.latency.Percentile(99));
@@ -213,22 +339,32 @@ bool SameResult(const sim::ScenarioResult& a, const sim::ScenarioResult& b) {
     if (a.flows[f].completed != b.flows[f].completed ||
         a.flows[f].sheds != b.flows[f].sheds ||
         a.flows[f].exhausted != b.flows[f].exhausted ||
+        a.flows[f].redirected != b.flows[f].redirected ||
         a.flows[f].latency.Percentile(99) != b.flows[f].latency.Percentile(99)) {
       return false;
     }
   }
-  return true;
+  return a.cluster.redirect_responses == b.cluster.redirect_responses &&
+         a.cluster.replayed_records == b.cluster.replayed_records &&
+         a.cluster.imported_fresh == b.cluster.imported_fresh &&
+         a.cluster.double_spends == b.cluster.double_spends &&
+         a.cluster.ring_epoch_final == b.cluster.ring_epoch_final &&
+         a.cluster.total_spent_final == b.cluster.total_spent_final;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string only;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      only = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--smoke] [--only <scenario>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -239,11 +375,29 @@ int main(int argc, char** argv) {
 
   sim::BenchReport report("scenarios");
   report.ConfigNote("mode", smoke ? "smoke" : "full");
-  report.ConfigNote("scenarios", "steady_state,flash_crowd,backoff_storm");
 
   std::uint64_t total_issued = 0;
   std::uint64_t total_users = 0;
   auto scenarios = BuildScenarios(scale);
+  if (!only.empty()) {
+    scenarios.erase(std::remove_if(scenarios.begin(), scenarios.end(),
+                                   [&only](const sim::ScenarioConfig& c) {
+                                     return c.name != only;
+                                   }),
+                    scenarios.end());
+    if (scenarios.empty()) {
+      std::fprintf(stderr, "unknown scenario: %s\n", only.c_str());
+      return 2;
+    }
+  }
+  {
+    std::string names;
+    for (const auto& cfg : scenarios) {
+      if (!names.empty()) names += ",";
+      names += cfg.name;
+    }
+    report.ConfigNote("scenarios", names);
+  }
   for (const sim::ScenarioConfig& cfg : scenarios) {
     auto t0 = std::chrono::steady_clock::now();
     sim::ScenarioResult r = sim::ScenarioDriver(cfg).Run();
@@ -252,13 +406,18 @@ int main(int argc, char** argv) {
     total_issued += r.TotalIssued();
     total_users += cfg.num_users;
 
-    // Accounting must close: every issued item either completed or
-    // exhausted its retry budget — nothing may vanish in the model.
-    if (r.TotalCompleted() + r.TotalExhausted() != r.TotalIssued()) {
-      std::fprintf(stderr, "FAIL: %s lost items (%llu + %llu != %llu)\n",
+    // Accounting must close: every issued item is terminal in exactly
+    // one bucket — completed, retry budget exhausted, or (cluster mode)
+    // redirect-hop budget burned. Nothing may vanish in the model.
+    if (r.TotalCompleted() + r.TotalExhausted() +
+            r.TotalRedirectedTerminal() !=
+        r.TotalIssued()) {
+      std::fprintf(stderr,
+                   "FAIL: %s lost items (%llu + %llu + %llu != %llu)\n",
                    cfg.name.c_str(),
                    static_cast<unsigned long long>(r.TotalCompleted()),
                    static_cast<unsigned long long>(r.TotalExhausted()),
+                   static_cast<unsigned long long>(r.TotalRedirectedTerminal()),
                    static_cast<unsigned long long>(r.TotalIssued()));
       return 1;
     }
@@ -278,6 +437,38 @@ int main(int argc, char** argv) {
       std::printf("backoff_storm honored %.0fs of hinted waits in %.2fs wall\n",
                   honored_s, wall_s);
     }
+    if (cfg.name == "cluster_steady" &&
+        (r.cluster.redirect_responses != 0 || r.cluster.double_spends != 0)) {
+      std::fprintf(stderr,
+                   "FAIL: cluster_steady saw redirects/double spends\n");
+      return 1;
+    }
+    if (cfg.name == "replica_failover") {
+      // The ISSUE 6 acceptance: the crash really happened, the journal
+      // replay really ran (torn tail skipped), clients really got
+      // redirected — and not one double spend slipped through.
+      if (r.cluster.double_spends != 0) {
+        std::fprintf(stderr, "FAIL: %llu double spends after failover\n",
+                     static_cast<unsigned long long>(r.cluster.double_spends));
+        return 1;
+      }
+      if (r.cluster.replayed_records == 0 || r.cluster.audit_rechecks == 0) {
+        std::fprintf(stderr, "FAIL: failover replayed/audited nothing\n");
+        return 1;
+      }
+      if (cfg.cluster.tear_journal_tail && r.cluster.torn_tails_skipped == 0) {
+        std::fprintf(stderr, "FAIL: torn journal tail was not detected\n");
+        return 1;
+      }
+      if (r.cluster.redirect_responses == 0) {
+        std::fprintf(stderr, "FAIL: no client was ever redirected\n");
+        return 1;
+      }
+      if (r.cluster.replicas_alive_final + 1 != cfg.cluster.replica_count) {
+        std::fprintf(stderr, "FAIL: replica count after crash is wrong\n");
+        return 1;
+      }
+    }
 
     // Determinism guard: an identical config replays an identical run.
     sim::ScenarioResult again = sim::ScenarioDriver(cfg).Run();
@@ -291,7 +482,7 @@ int main(int argc, char** argv) {
   std::printf("total: %llu items issued across %llu simulated users\n",
               static_cast<unsigned long long>(total_issued),
               static_cast<unsigned long long>(total_users));
-  if (!smoke) {
+  if (!smoke && only.empty()) {
     if (total_issued < 1'000'000) {
       std::fprintf(stderr, "FAIL: issued %llu < 1M items\n",
                    static_cast<unsigned long long>(total_issued));

@@ -148,4 +148,7 @@ BENCHMARK(BM_BaselinePurchase)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-P2DRM_GBENCH_JSON_MAIN("bench_transfer")
+P2DRM_GBENCH_JSON_MAIN("bench_transfer",
+                       cfg.Num("rsa_bits", kBits);
+                       cfg.Str("p2drm_chain", "exchange+redeem (anonymous)");
+                       cfg.Str("baseline_chain", "server-side reassignment");)

@@ -1,0 +1,89 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+
+namespace p2drm {
+namespace cluster {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Ring point of one virtual node. The replica id and vnode index are
+/// packed before mixing so distinct (replica, vnode) pairs land on
+/// distinct points with overwhelming probability; a residual collision is
+/// resolved deterministically by the (point, replica) sort order.
+std::uint64_t VnodePoint(std::uint32_t replica, std::size_t vnode) {
+  return SplitMix64((static_cast<std::uint64_t>(replica) << 32) ^
+                    static_cast<std::uint64_t>(vnode) ^
+                    0xC1A57E12D00DULL);  // ring domain tag
+}
+
+}  // namespace
+
+std::uint64_t RingPointOf(const rel::LicenseId& id) {
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) {
+    x = (x << 8) | id.bytes[i];
+  }
+  std::uint64_t y = 0;
+  for (int i = 8; i < 16; ++i) {
+    y = (y << 8) | id.bytes[i];
+  }
+  // Different fold than ShardRouter::ShardFor (y-side constant XOR'd in
+  // before the finalizer) so a replica's ring ranges shatter across its
+  // internal shards instead of aliasing them.
+  return SplitMix64(x ^ 0x5C1u) ^ SplitMix64(y);
+}
+
+void HashRing::AddReplica(std::uint32_t replica) {
+  if (Contains(replica)) return;
+  replicas_.insert(
+      std::upper_bound(replicas_.begin(), replicas_.end(), replica), replica);
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    VirtualNode node{VnodePoint(replica, v), replica};
+    auto pos = std::upper_bound(
+        ring_.begin(), ring_.end(), node,
+        [](const VirtualNode& a, const VirtualNode& b) {
+          return a.point != b.point ? a.point < b.point
+                                    : a.replica < b.replica;
+        });
+    ring_.insert(pos, node);
+  }
+  ++epoch_;
+}
+
+void HashRing::RemoveReplica(std::uint32_t replica) {
+  if (!Contains(replica)) return;
+  replicas_.erase(
+      std::remove(replicas_.begin(), replicas_.end(), replica),
+      replicas_.end());
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [replica](const VirtualNode& n) {
+                               return n.replica == replica;
+                             }),
+              ring_.end());
+  ++epoch_;
+}
+
+bool HashRing::Contains(std::uint32_t replica) const {
+  return std::binary_search(replicas_.begin(), replicas_.end(), replica);
+}
+
+std::uint32_t HashRing::OwnerOfPoint(std::uint64_t point) const {
+  // First virtual node at or clockwise past the point; wrap to the
+  // lowest node past the top of the 64-bit space.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const VirtualNode& n, std::uint64_t p) { return n.point < p; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->replica;
+}
+
+}  // namespace cluster
+}  // namespace p2drm

@@ -1,0 +1,87 @@
+#ifndef P2DRM_CLUSTER_HASH_RING_H_
+#define P2DRM_CLUSTER_HASH_RING_H_
+
+/// \file hash_ring.h
+/// \brief Consistent-hash ring placing spent-set ownership on replicas.
+///
+/// The cluster's scaling axis above per-replica sharding (ShardRouter):
+/// every license id hashes to a point on a 64-bit ring, and its OWNER is
+/// the replica whose next virtual node clockwise covers that point. Each
+/// replica projects `vnodes_per_replica` virtual nodes onto the ring, so
+/// ownership spreads evenly and removing one replica moves ONLY the
+/// ranges it owned — every other id keeps its owner, which is what keeps
+/// failover migration proportional to the dead replica's share instead of
+/// the whole key space.
+///
+/// Epochs: every membership change (join, leave, crash) bumps a
+/// monotonically increasing ring epoch. Replicas answer requests for keys
+/// they do not own with core::Status::kWrongReplica plus the current
+/// epoch and owner (net::RedirectHint), so clients with a stale view
+/// re-route instead of erroring (docs/cluster.md).
+///
+/// Determinism contract: placement is a pure function of membership —
+/// independent of insertion order, std::hash, and process lifetime (the
+/// same splitmix64 discipline as ShardRouter). The scenario harness's
+/// byte-identical-report guarantee rests on this.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rel/ids.h"
+
+namespace p2drm {
+namespace cluster {
+
+/// Deterministic 64-bit ring point of a license id (splitmix64 finalizer
+/// over both id halves, domain-separated from ShardRouter's shard hash so
+/// ring ranges do not correlate with intra-replica shard assignment).
+std::uint64_t RingPointOf(const rel::LicenseId& id);
+
+/// Consistent-hash ring over small-integer replica ids.
+class HashRing {
+ public:
+  explicit HashRing(std::size_t vnodes_per_replica = 64)
+      : vnodes_(vnodes_per_replica == 0 ? 1 : vnodes_per_replica) {}
+
+  /// Adds \p replica's virtual nodes (no-op if already present). Every
+  /// successful membership change bumps the epoch.
+  void AddReplica(std::uint32_t replica);
+
+  /// Removes \p replica's virtual nodes (no-op if absent).
+  void RemoveReplica(std::uint32_t replica);
+
+  bool Contains(std::uint32_t replica) const;
+  std::size_t ReplicaCount() const { return replicas_.size(); }
+  const std::vector<std::uint32_t>& Replicas() const { return replicas_; }
+  std::size_t vnodes_per_replica() const { return vnodes_; }
+
+  /// Monotonic membership-change counter. Starts at 0 (empty ring).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Owner of \p id under the current membership. The ring must be
+  /// non-empty.
+  std::uint32_t OwnerOf(const rel::LicenseId& id) const {
+    return OwnerOfPoint(RingPointOf(id));
+  }
+
+  /// Owner of an arbitrary ring point (first virtual node clockwise,
+  /// wrapping past the top of the 64-bit space).
+  std::uint32_t OwnerOfPoint(std::uint64_t point) const;
+
+ private:
+  struct VirtualNode {
+    std::uint64_t point;
+    std::uint32_t replica;
+  };
+
+  std::size_t vnodes_;
+  std::uint64_t epoch_ = 0;
+  std::vector<VirtualNode> ring_;        ///< sorted by (point, replica)
+  std::vector<std::uint32_t> replicas_;  ///< sorted membership
+};
+
+}  // namespace cluster
+}  // namespace p2drm
+
+#endif  // P2DRM_CLUSTER_HASH_RING_H_

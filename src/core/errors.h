@@ -31,6 +31,9 @@ enum class Status : std::uint8_t {
   kInternalError = 16,    ///< handler threw; nothing usable came back
   kBadResponse = 17,      ///< client could not decode the response envelope
   kOverloaded = 18,       ///< server shed the request (bounded queue full)
+  kWrongReplica = 19,     ///< request reached a replica that does not own
+                          ///< the key under the current cluster ring epoch;
+                          ///< the response payload carries a redirect hint
 };
 
 /// Human-readable status name.
@@ -55,6 +58,7 @@ inline const char* StatusName(Status s) {
     case Status::kInternalError: return "internal-error";
     case Status::kBadResponse: return "bad-response";
     case Status::kOverloaded: return "overloaded";
+    case Status::kWrongReplica: return "wrong-replica";
   }
   return "unknown";
 }

@@ -48,6 +48,29 @@ ResponseEnvelope ResponseEnvelope::Decode(
   return env;
 }
 
+// -- redirect hint -----------------------------------------------------------
+
+std::vector<std::uint8_t> EncodeRedirectHint(const RedirectHint& hint) {
+  ByteWriter w;
+  w.U64(hint.ring_epoch);
+  w.U32(hint.owner);
+  return w.Take();
+}
+
+RedirectHint DecodeRedirectHint(const std::vector<std::uint8_t>& payload) {
+  RedirectHint hint;
+  try {
+    ByteReader r(payload);
+    hint.ring_epoch = r.U64();
+    hint.owner = r.U32();
+    // Deliberately no ExpectEnd: later protocol revisions may append
+    // fields to the hint without breaking older clients.
+  } catch (const CodecError&) {
+    hint = RedirectHint{};  // absent or malformed: advice only
+  }
+  return hint;
+}
+
 // -- server side -------------------------------------------------------------
 
 std::vector<std::uint8_t> ServiceRegistry::EncodeRetryHint() const {
@@ -148,20 +171,23 @@ std::vector<std::uint8_t> ServiceRegistry::Dispatch(
       for (std::size_t j = 0; j < indices.size(); ++j) {
         statuses[indices[j]] =
             aligned ? st[j] : core::Status::kInternalError;
-        if (aligned && st[j] == core::Status::kOk) {
+        if (aligned && (st[j] == core::Status::kOk ||
+                        st[j] == core::Status::kWrongReplica)) {
           bodies[indices[j]] = std::move(group_bodies[j]);
         }
       }
     }
     ByteWriter w;
     w.U32(static_cast<std::uint32_t>(items.size()));
-    // Item payloads: response body on kOk, the typed retry hint on
-    // kOverloaded, empty otherwise. The hint is identical for every
-    // shed item, so it is encoded once for the whole batch.
+    // Item payloads: response body on kOk (and the per-item redirect hint
+    // on kWrongReplica), the typed retry hint on kOverloaded, empty
+    // otherwise. The retry hint is identical for every shed item, so it
+    // is encoded once for the whole batch.
     const std::vector<std::uint8_t> retry_hint = EncodeRetryHint();
     for (std::size_t i = 0; i < items.size(); ++i) {
       w.U8(static_cast<std::uint8_t>(statuses[i]));
-      if (statuses[i] == core::Status::kOk) {
+      if (statuses[i] == core::Status::kOk ||
+          statuses[i] == core::Status::kWrongReplica) {
         w.Blob(bodies[i]);
       } else if (statuses[i] == core::Status::kOverloaded) {
         w.Blob(retry_hint);
@@ -175,7 +201,13 @@ std::vector<std::uint8_t> ServiceRegistry::Dispatch(
   }
 
   out.status = DispatchItem(req.tag, req.payload, &out.payload);
-  if (out.status != core::Status::kOk) out.payload.clear();
+  // The payload section survives on kOk (the response body) and
+  // kWrongReplica (the handler's redirect hint); kOverloaded carries the
+  // registry's retry hint; every other status rides back empty.
+  if (out.status != core::Status::kOk &&
+      out.status != core::Status::kWrongReplica) {
+    out.payload.clear();
+  }
   if (out.status == core::Status::kOverloaded) out.payload = EncodeRetryHint();
   return out.Encode();
 }

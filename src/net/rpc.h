@@ -84,6 +84,26 @@ struct ResponseEnvelope {
   static ResponseEnvelope Decode(const std::vector<std::uint8_t>& wire);
 };
 
+/// Typed redirect hint carried by kWrongReplica responses: which cluster
+/// ring epoch the answering replica is on and which replica owns the key
+/// under it. A client holding a stale ring view refreshes to \c ring_epoch
+/// and re-sends to \c owner instead of treating the response as an error
+/// (docs/cluster.md). Like the kOverloaded retry hint, it rides in the
+/// response envelope's payload section, so the envelope wire format is
+/// unchanged.
+struct RedirectHint {
+  std::uint64_t ring_epoch = 0;
+  std::uint32_t owner = 0;
+};
+
+/// Encodes a redirect hint as a kWrongReplica response payload. Handlers
+/// that shard-check ownership write this into their response body.
+std::vector<std::uint8_t> EncodeRedirectHint(const RedirectHint& hint);
+
+/// Parses a kWrongReplica payload; returns a zero hint when the payload
+/// is absent or malformed (a hint is advice, not protocol).
+RedirectHint DecodeRedirectHint(const std::vector<std::uint8_t>& payload);
+
 /// Outcome of a typed call: a status plus the decoded response (valid only
 /// when ok()).
 template <typename Resp>
@@ -96,9 +116,16 @@ struct RpcResult {
   /// did not attach a hint. Callers no longer need to invent a backoff
   /// from the status alone.
   std::uint32_t retry_after_ms = 0;
+  /// Typed redirect hint carried by kWrongReplica responses: the ring
+  /// epoch the server answered under and the replica that owns the key.
+  /// Zero on every other status.
+  RedirectHint redirect;
 
   bool ok() const { return status == core::Status::kOk; }
   bool overloaded() const { return status == core::Status::kOverloaded; }
+  bool wrong_replica() const {
+    return status == core::Status::kWrongReplica;
+  }
 };
 
 /// Maps envelope tags to typed handlers behind one Transport endpoint.
@@ -116,7 +143,8 @@ class ServiceRegistry {
  public:
   /// Type-erased handler: payload in, encoded response body out.
   /// Returns the status placed in the response envelope; the body is
-  /// used only when the status is kOk.
+  /// used when the status is kOk (the typed response) or kWrongReplica
+  /// (an EncodeRedirectHint payload).
   using RawHandler = std::function<core::Status(
       const std::vector<std::uint8_t>&, std::vector<std::uint8_t>*)>;
 
@@ -354,6 +382,10 @@ class Rpc {
     out.status = raw.status;
     if (raw.status == core::Status::kOverloaded) {
       out.retry_after_ms = DecodeRetryHint(raw.payload);
+      return out;
+    }
+    if (raw.status == core::Status::kWrongReplica) {
+      out.redirect = DecodeRedirectHint(raw.payload);
       return out;
     }
     if (raw.status != core::Status::kOk) return out;

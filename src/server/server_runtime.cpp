@@ -63,26 +63,90 @@ ServerRuntime::~ServerRuntime() {
   }
 }
 
-void ServerRuntime::ReplayJournals() {
-  auto route_record = [this](const std::vector<std::uint8_t>& record) {
+ServerRuntime::JournalScanStats ServerRuntime::ForEachJournalRecord(
+    const std::string& prefix,
+    const std::function<void(const rel::LicenseId&)>& fn) {
+  JournalScanStats stats;
+  auto deliver = [&stats, &fn](const std::vector<std::uint8_t>& record) {
     if (record.size() != sizeof(rel::LicenseId::bytes)) return;
+    ++stats.records;
+    if (!fn) return;
     rel::LicenseId id;
     std::copy(record.begin(), record.end(), id.bytes.begin());
-    shards_[router_.ShardFor(id)]->ctx.spent.Insert(id);
+    fn(id);
   };
   // Legacy unsharded journal first (migration from the single-threaded
   // provider), then every shard segment any previous run wrote. Segments
   // are contiguous from 0 (every run creates all of 0..N-1 at startup),
   // so probing until the first missing file recovers arbitrary historic
   // shard counts.
-  store::AppendLog::Replay(config_.journal_path_prefix, route_record);
-  for (std::size_t i = 0;
-       i < shards_.size() ||
-       FileExists(SegmentPath(config_.journal_path_prefix, i));
-       ++i) {
-    store::AppendLog::Replay(SegmentPath(config_.journal_path_prefix, i),
-                             route_record);
+  if (FileExists(prefix)) {
+    ++stats.segments;
+    auto r = store::AppendLog::ReplayWithStats(prefix, deliver);
+    if (r.torn_tail) ++stats.torn_tails;
   }
+  for (std::size_t i = 0; FileExists(SegmentPath(prefix, i)); ++i) {
+    ++stats.segments;
+    auto r = store::AppendLog::ReplayWithStats(SegmentPath(prefix, i), deliver);
+    if (r.torn_tail) ++stats.torn_tails;
+  }
+  return stats;
+}
+
+void ServerRuntime::ReplayJournals() {
+  // Idempotent by construction: SpentSetShard::Insert is a no-op on ids
+  // already present, so overlapping legacy + sharded segments (or a
+  // segment replayed twice) rebuild the same set with the same memory
+  // footprint.
+  ForEachJournalRecord(config_.journal_path_prefix,
+                       [this](const rel::LicenseId& id) {
+                         shards_[router_.ShardFor(id)]->ctx.spent.Insert(id);
+                       });
+}
+
+ServerRuntime::ImportStats ServerRuntime::ImportSpent(
+    const std::vector<rel::LicenseId>& ids) {
+  ImportStats stats;
+  if (ids.empty()) return stats;
+  std::vector<std::vector<std::size_t>> groups(shards_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    groups[router_.ShardFor(ids[i])].push_back(i);
+  }
+  std::size_t active = 0;
+  for (const auto& g : groups) {
+    if (!g.empty()) ++active;
+  }
+  // Per-shard tallies land in disjoint slots; the latch publishes them.
+  std::vector<ImportStats> per_shard(shards_.size());
+  Latch done(active);
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    if (groups[s].empty()) continue;
+    std::size_t weight = groups[s].size();
+    ImportStats* tally = &per_shard[s];
+    Submit(
+        s,
+        [&ids, &done, tally, group = std::move(groups[s])](ShardContext& ctx) {
+          for (std::size_t i : group) {
+            if (ctx.spent.Insert(ids[i])) {
+              if (ctx.journal != nullptr) {
+                ctx.journal->Append(std::vector<std::uint8_t>(
+                    ids[i].bytes.begin(), ids[i].bytes.end()));
+              }
+              ++tally->fresh;
+            } else {
+              ++tally->duplicates;
+            }
+          }
+          done.CountDown();
+        },
+        weight);
+  }
+  done.Wait();
+  for (const ImportStats& t : per_shard) {
+    stats.fresh += t.fresh;
+    stats.duplicates += t.duplicates;
+  }
+  return stats;
 }
 
 void ServerRuntime::WorkerLoop(Shard* shard) {

@@ -147,6 +147,40 @@ class ServerRuntime {
   /// Single-id spend through the same serialization point; never sheds.
   core::Status SpendOne(const rel::LicenseId& id);
 
+  // -- journal export/import (cluster migration hooks) -------------------
+
+  /// What one ImportSpent call did.
+  struct ImportStats {
+    std::uint64_t fresh = 0;       ///< ids newly inserted (and journaled)
+    std::uint64_t duplicates = 0;  ///< ids this runtime already had
+  };
+
+  /// Bulk-inserts \p ids into their home shards' spent sets — the import
+  /// side of journal-based migration (a dead replica's journal replayed
+  /// onto this one, or a joining replica pulling its ranges). Idempotent:
+  /// ids already present are counted as duplicates and neither re-inserted
+  /// nor re-journaled, so replaying a segment twice cannot distort the
+  /// spent set, its MemoryBytes, or the journal. Imports do not count as
+  /// processed traffic. Blocking, never sheds.
+  ImportStats ImportSpent(const std::vector<rel::LicenseId>& ids);
+
+  /// What a full journal scan under one prefix saw.
+  struct JournalScanStats {
+    std::size_t segments = 0;      ///< segment files found (legacy included)
+    std::uint64_t records = 0;     ///< intact license-id records delivered
+    std::size_t torn_tails = 0;    ///< segments ending in a skipped torn tail
+  };
+
+  /// The export side of migration: streams every intact license-id record
+  /// under \p prefix — the legacy unsharded journal plus every contiguous
+  /// `<prefix>.shard<k>` segment — to \p fn (which may be null to count
+  /// only). Static: works on the journals of a runtime that no longer
+  /// exists, which is exactly the failover case. Torn tails (a crash
+  /// mid-append) are skipped per segment, not fatal.
+  static JournalScanStats ForEachJournalRecord(
+      const std::string& prefix,
+      const std::function<void(const rel::LicenseId&)>& fn);
+
   // -- aggregate introspection (quiesces the queues first) ---------------
 
   std::size_t SpentSize() const;

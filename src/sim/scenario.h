@@ -55,6 +55,45 @@ struct FlowCost {
   std::uint64_t issue_us = 700;  ///< private-key work (home shard)
 };
 
+/// Cluster mode (ISSUE 6): instead of one modeled provider, the scenario
+/// drives a REAL cluster::ProviderCluster — N ServerRuntime replicas with
+/// live spent sets and journal files — while keeping every COST modeled
+/// in virtual time (per-replica dispatcher + shard resources, wire
+/// latency). Spend outcomes are therefore real (actual double-spend
+/// detection, actual journal replay on failover) and timing is still a
+/// pure function of the seed. All zeros/false = cluster mode off; the
+/// single-provider model above runs unchanged.
+struct ClusterOptions {
+  bool enabled = false;
+  std::size_t replica_count = 4;
+  std::size_t vnodes_per_replica = 64;
+  std::size_t shards_per_replica = 4;
+  /// Journal family base for the replicas (see
+  /// cluster::ProviderCluster::ReplicaJournalPrefix). Empty disables
+  /// journaling — and with it failover replay.
+  std::string journal_prefix;
+
+  // -- failure injection ----------------------------------------------
+  /// Virtual instant at which `crash_replica` is killed (0 = no crash).
+  std::uint64_t crash_at_us = 0;
+  std::uint32_t crash_replica = 0;
+  /// Tear the dead replica's journal tail (simulate death mid-append).
+  bool tear_journal_tail = false;
+  /// Modeled failure-detection delay before replay starts.
+  std::uint64_t failover_detect_us = 500'000;
+  /// Modeled replay cost per journal record; failover completes at
+  /// crash + detect + per_record * records, and until then the moved
+  /// ranges answer kOverloaded (the recovery gate).
+  std::uint64_t replay_per_record_us = 5;
+  /// After failover, re-spend every id that had committed on the dead
+  /// replica; each kOk is a DOUBLE SPEND (journal replay failed).
+  bool audit_after_failover = true;
+
+  /// How many times a client chases kWrongReplica redirects for one item
+  /// before giving up (terminal bucket FlowStats::redirected).
+  std::size_t redirect_max_hops = 3;
+};
+
 /// An arrival burst: within [start_us, end_us) of virtual scenario time,
 /// client think times are multiplied by `think_scale` (0.01 = a 100x
 /// arrival-rate spike — the flash-crowd/overload knob).
@@ -113,6 +152,9 @@ struct ScenarioConfig {
   /// sleeps).
   std::uint32_t retry_hint_ms = 50;
 
+  // -- multi-replica cluster mode (off by default) --------------------
+  ClusterOptions cluster;
+
   static std::array<FlowCost, kFlowCount> DefaultFlowCosts() {
     return {FlowCost{60, 5, 1500},   // redeem: transcript + license sign
             FlowCost{120, 8, 900},   // purchase: cert check, deposit, sign
@@ -128,6 +170,9 @@ struct FlowStats {
   std::uint64_t sheds = 0;       ///< item-level kOverloaded responses
   std::uint64_t retried = 0;     ///< item re-sends beyond the first try
   std::uint64_t exhausted = 0;   ///< items still shed at budget end
+  /// Cluster mode only: items that burned their redirect-hop budget
+  /// without landing on a live owner (terminal, like exhausted).
+  std::uint64_t redirected = 0;
   /// Client-observed latency per completed item: the arrival of the
   /// batch response carrying its kOk minus the batch's first send — so
   /// items in one round trip share the slowest item's instant, exactly
@@ -148,10 +193,31 @@ struct ScenarioResult {
   std::uint64_t zipf_top1pct_hits = 0;    ///< items on the hottest 1% ranks
   std::array<FlowStats, kFlowCount> flows;
 
+  /// Cluster-mode accounting (all zero when cluster mode is off).
+  struct ClusterStats {
+    bool enabled = false;
+    std::uint64_t redirect_responses = 0;  ///< item-level kWrongReplica seen
+    std::uint64_t ring_epoch_final = 0;
+    std::uint64_t replicas_alive_final = 0;
+    std::uint64_t total_spent_final = 0;   ///< live replicas' spent-set union
+    // Failover (zero unless a crash was injected and recovered):
+    std::uint64_t crash_at_us = 0;
+    std::uint64_t failover_completed_at_us = 0;
+    std::uint64_t replayed_records = 0;
+    std::uint64_t imported_fresh = 0;
+    std::uint64_t imported_duplicates = 0;
+    std::uint64_t torn_tails_skipped = 0;
+    // Post-failover audit — the paper's invariant, checked for real:
+    std::uint64_t audit_rechecks = 0;  ///< ids committed pre-crash, re-spent
+    std::uint64_t double_spends = 0;   ///< audit re-spends that got kOk (MUST be 0)
+  };
+  ClusterStats cluster;
+
   std::uint64_t TotalIssued() const;
   std::uint64_t TotalCompleted() const;
   std::uint64_t TotalSheds() const;
   std::uint64_t TotalExhausted() const;
+  std::uint64_t TotalRedirectedTerminal() const;
 };
 
 /// Runs one scenario to completion on the calling thread. Deterministic:

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 
 namespace p2drm {
@@ -47,6 +48,19 @@ std::uint32_t Crc32(const std::uint8_t* data, std::size_t len) {
 }
 
 AppendLog::AppendLog(const std::string& path) : path_(path) {
+  // Crash recovery: if a previous process died mid-Append, the file ends
+  // in a partial record. Appending after it would put every future record
+  // behind garbage that replay can never reach, so cut the file back to
+  // its intact prefix before opening for append.
+  ReplayStats stats = ReplayWithStats(path, nullptr);
+  if (stats.torn_tail) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, stats.valid_bytes, ec);
+    if (ec) {
+      throw std::runtime_error("AppendLog: cannot truncate torn tail of " +
+                               path);
+    }
+  }
   file_ = std::fopen(path.c_str(), "ab");
   if (file_ == nullptr) {
     throw std::runtime_error("AppendLog: cannot open " + path);
@@ -73,23 +87,44 @@ void AppendLog::Append(const std::vector<std::uint8_t>& record) {
 std::size_t AppendLog::Replay(
     const std::string& path,
     const std::function<void(const std::vector<std::uint8_t>&)>& fn) {
+  return ReplayWithStats(path, fn).delivered;
+}
+
+AppendLog::ReplayStats AppendLog::ReplayWithStats(
+    const std::string& path,
+    const std::function<void(const std::vector<std::uint8_t>&)>& fn) {
+  ReplayStats stats;
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return 0;
-  std::size_t delivered = 0;
+  if (f == nullptr) return stats;  // missing file: zero records, no tail
   while (true) {
     std::uint8_t header[8];
-    if (std::fread(header, 1, 8, f) != 8) break;  // clean EOF or torn header
+    std::size_t got = std::fread(header, 1, 8, f);
+    if (got == 0) break;  // clean EOF
+    if (got != 8) {
+      stats.torn_tail = true;  // torn header
+      break;
+    }
     std::uint32_t len = GetU32Le(header);
     std::uint32_t crc = GetU32Le(header + 4);
-    if (len > (1u << 30)) break;  // implausible length: corrupt
+    if (len > (1u << 30)) {  // implausible length: corrupt
+      stats.torn_tail = true;
+      break;
+    }
     std::vector<std::uint8_t> payload(len);
-    if (len != 0 && std::fread(payload.data(), 1, len, f) != len) break;
-    if (Crc32(payload.data(), payload.size()) != crc) break;
-    fn(payload);
-    ++delivered;
+    if (len != 0 && std::fread(payload.data(), 1, len, f) != len) {
+      stats.torn_tail = true;  // torn payload
+      break;
+    }
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      stats.torn_tail = true;  // corrupt payload
+      break;
+    }
+    if (fn) fn(payload);
+    ++stats.delivered;
+    stats.valid_bytes += 8 + len;
   }
   std::fclose(f);
-  return delivered;
+  return stats;
 }
 
 }  // namespace store

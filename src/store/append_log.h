@@ -8,6 +8,13 @@
 /// issued-license event here; on restart the spent set is rebuilt by
 /// replaying the log. Records are `u32 length ‖ u32 crc32 ‖ payload`;
 /// a torn tail (truncated record or bad CRC) stops replay cleanly.
+///
+/// Crash recovery: a process killed mid-Append leaves a partial record at
+/// the end of the file. Replay skips it, and — crucially — opening the
+/// log for appending TRUNCATES the torn tail first, so the next Append
+/// lands right after the last intact record instead of behind
+/// unreplayable garbage (records written after a surviving torn tail
+/// would be silently lost on every future replay).
 
 #include <cstdint>
 #include <functional>
@@ -23,7 +30,16 @@ std::uint32_t Crc32(const std::uint8_t* data, std::size_t len);
 /// Append-only log file.
 class AppendLog {
  public:
-  /// Opens (creating if absent) the log at \p path for appending.
+  /// What one replay pass saw.
+  struct ReplayStats {
+    std::size_t delivered = 0;     ///< intact records handed to the callback
+    std::uint64_t valid_bytes = 0; ///< file offset just past the last intact record
+    bool torn_tail = false;        ///< trailing partial/corrupt record skipped
+  };
+
+  /// Opens (creating if absent) the log at \p path for appending. If the
+  /// file ends in a torn record — a crash mid-append — the torn tail is
+  /// truncated away first so subsequent appends stay replayable.
   /// Throws std::runtime_error on I/O failure.
   explicit AppendLog(const std::string& path);
   ~AppendLog();
@@ -43,6 +59,14 @@ class AppendLog {
   /// records delivered; stops (without throwing) at the first torn or
   /// corrupt record. A missing file replays zero records.
   static std::size_t Replay(
+      const std::string& path,
+      const std::function<void(const std::vector<std::uint8_t>&)>& fn);
+
+  /// Like Replay, but also reports where the intact prefix ends and
+  /// whether a torn tail was skipped — what crash-recovery callers need
+  /// to decide between "clean log" and "truncate and continue". \p fn may
+  /// be null to scan without delivering.
+  static ReplayStats ReplayWithStats(
       const std::string& path,
       const std::function<void(const std::vector<std::uint8_t>&)>& fn);
 

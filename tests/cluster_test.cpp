@@ -1,0 +1,342 @@
+// Cluster subsystem: consistent-hash ownership, journal-based failover
+// (torn tails included), migration edge cases, and the cluster-mode
+// scenario harness's determinism + no-double-spend guarantee.
+
+#include "cluster/provider_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "core/errors.h"
+#include "server/server_runtime.h"
+#include "sim/scenario.h"
+
+namespace p2drm {
+namespace cluster {
+namespace {
+
+using core::Status;
+
+rel::LicenseId MakeId(std::uint64_t n) {
+  rel::LicenseId id;
+  for (int i = 0; i < 8; ++i) {
+    id.bytes[i] = static_cast<std::uint8_t>(n >> (8 * (7 - i)));
+  }
+  id.bytes[15] = static_cast<std::uint8_t>(n * 37);
+  return id;
+}
+
+/// First id (by serial) whose CURRENT ring owner is \p replica.
+rel::LicenseId IdOwnedBy(const ProviderCluster& cluster,
+                         std::uint32_t replica, std::uint64_t start = 0) {
+  for (std::uint64_t n = start;; ++n) {
+    rel::LicenseId id = MakeId(n ^ 0xF00Dull);
+    if (cluster.OwnerOf(id) == replica) return id;
+  }
+}
+
+/// Removes every journal file a test cluster under \p prefix could have
+/// left behind (replicas beyond the configured count included — AddReplica
+/// grows the family).
+void RemoveJournals(const std::string& prefix) {
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    std::string rp = ProviderCluster::ReplicaJournalPrefix(prefix, r);
+    std::remove(rp.c_str());
+    for (std::size_t k = 0; k < 8; ++k) {
+      std::remove(server::ServerRuntime::SegmentPath(rp, k).c_str());
+    }
+  }
+}
+
+// -- hash ring ---------------------------------------------------------------
+
+TEST(HashRingTest, OwnershipIsPureFunctionOfMembership) {
+  HashRing a(64);
+  HashRing b(64);
+  // Same membership, different insertion histories.
+  for (std::uint32_t r = 0; r < 4; ++r) a.AddReplica(r);
+  b.AddReplica(2);
+  b.AddReplica(0);
+  b.AddReplica(3);
+  b.AddReplica(5);
+  b.RemoveReplica(5);
+  b.AddReplica(1);
+  ASSERT_EQ(a.ReplicaCount(), b.ReplicaCount());
+  for (std::uint64_t n = 0; n < 5000; ++n) {
+    rel::LicenseId id = MakeId(n);
+    EXPECT_EQ(a.OwnerOf(id), b.OwnerOf(id));
+  }
+  // Histories differ, so epochs do — placement must not depend on that.
+  EXPECT_EQ(a.epoch(), 4u);
+  EXPECT_EQ(b.epoch(), 6u);
+}
+
+TEST(HashRingTest, VirtualNodesSpreadOwnership) {
+  HashRing ring(64);
+  for (std::uint32_t r = 0; r < 4; ++r) ring.AddReplica(r);
+  std::map<std::uint32_t, std::size_t> hist;
+  const std::size_t kIds = 20000;
+  for (std::uint64_t n = 0; n < kIds; ++n) ++hist[ring.OwnerOf(MakeId(n))];
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    // With 64 vnodes each replica's share stays within a loose band of
+    // the fair 25%.
+    EXPECT_GT(hist[r], kIds / 10) << "replica " << r;
+    EXPECT_LT(hist[r], kIds / 2) << "replica " << r;
+  }
+}
+
+TEST(HashRingTest, RemovalMovesOnlyTheDeadReplicasRanges) {
+  HashRing ring(64);
+  for (std::uint32_t r = 0; r < 4; ++r) ring.AddReplica(r);
+  std::vector<std::uint32_t> before;
+  const std::uint64_t kIds = 10000;
+  before.reserve(kIds);
+  for (std::uint64_t n = 0; n < kIds; ++n) {
+    before.push_back(ring.OwnerOf(MakeId(n)));
+  }
+  ring.RemoveReplica(2);
+  std::uint64_t moved = 0;
+  for (std::uint64_t n = 0; n < kIds; ++n) {
+    std::uint32_t now = ring.OwnerOf(MakeId(n));
+    EXPECT_NE(now, 2u);
+    if (before[n] != 2) {
+      // The consistent-hash property: survivors' ids never move.
+      EXPECT_EQ(now, before[n]) << "id " << n << " moved needlessly";
+    } else {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(HashRingTest, EpochBumpsOnlyOnRealMembershipChange) {
+  HashRing ring(8);
+  EXPECT_EQ(ring.epoch(), 0u);
+  ring.AddReplica(7);
+  EXPECT_EQ(ring.epoch(), 1u);
+  ring.AddReplica(7);  // no-op
+  EXPECT_EQ(ring.epoch(), 1u);
+  ring.RemoveReplica(3);  // no-op
+  EXPECT_EQ(ring.epoch(), 1u);
+  ring.RemoveReplica(7);
+  EXPECT_EQ(ring.epoch(), 2u);
+  EXPECT_EQ(ring.ReplicaCount(), 0u);
+}
+
+// -- provider cluster --------------------------------------------------------
+
+TEST(ProviderClusterTest, RoutedSpendRedirectsAndDetectsDoubleSpend) {
+  ClusterConfig cc;
+  cc.replica_count = 3;
+  cc.shards_per_replica = 2;
+  ProviderCluster cluster(cc);  // no journaling needed here
+
+  rel::LicenseId id = IdOwnedBy(cluster, 1);
+  // Addressed to a non-owner: typed redirect naming the live owner.
+  SpendOutcome wrong = cluster.SpendOneAt(2, id);
+  EXPECT_EQ(wrong.status, Status::kWrongReplica);
+  EXPECT_EQ(wrong.owner, 1u);
+  EXPECT_EQ(cluster.TotalSpentSize(), 0u);  // nothing committed
+
+  EXPECT_EQ(cluster.SpendOneAt(1, id).status, Status::kOk);
+  EXPECT_EQ(cluster.SpendOneAt(1, id).status, Status::kAlreadySpent);
+  EXPECT_EQ(cluster.ReplicaSpentSize(1), 1u);
+}
+
+TEST(ProviderClusterTest, FailoverReplaysTornJournalOntoSurvivors) {
+  const std::string prefix = ::testing::TempDir() + "/cluster_failover";
+  RemoveJournals(prefix);
+
+  ClusterConfig cc;
+  cc.replica_count = 3;
+  cc.shards_per_replica = 2;
+  cc.journal_prefix = prefix;
+  ProviderCluster cluster(cc);
+
+  // Spend a population routed to its owners; remember the victim's ids.
+  std::vector<rel::LicenseId> on_victim;
+  for (std::uint64_t n = 0; n < 600; ++n) {
+    rel::LicenseId id = MakeId(n);
+    std::uint32_t owner = cluster.OwnerOf(id);
+    ASSERT_EQ(cluster.SpendOneAt(owner, id).status, Status::kOk);
+    if (owner == 1) on_victim.push_back(id);
+  }
+  ASSERT_GT(on_victim.size(), 50u);
+  ASSERT_EQ(cluster.JournalRecordCount(1), on_victim.size());
+
+  // Kill it mid-append: in-memory spent set gone, torn tail on disk.
+  cluster.Crash(1, /*tear_journal_tail=*/true);
+  EXPECT_FALSE(cluster.IsAlive(1));
+  EXPECT_TRUE(cluster.Recovering());
+  EXPECT_EQ(cluster.AliveCount(), 2u);
+
+  // The moved ranges are GATED until replay completes…
+  std::uint32_t heir = cluster.OwnerOf(on_victim.front());
+  ASSERT_NE(heir, 1u);
+  EXPECT_EQ(cluster.SpendOneAt(heir, on_victim.front()).status,
+            Status::kOverloaded);
+  // …and the dead replica answers with a redirect to the heir.
+  SpendOutcome redirect = cluster.SpendOneAt(1, on_victim.front());
+  EXPECT_EQ(redirect.status, Status::kWrongReplica);
+  EXPECT_EQ(redirect.owner, heir);
+
+  FailoverStats stats = cluster.CompleteFailover();
+  EXPECT_FALSE(cluster.Recovering());
+  EXPECT_EQ(stats.dead_replica, 1u);
+  EXPECT_EQ(stats.records, on_victim.size());
+  EXPECT_EQ(stats.imported_fresh, on_victim.size());
+  EXPECT_EQ(stats.imported_duplicates, 0u);
+  EXPECT_GE(stats.torn_tails, 1u);  // the injected partial record
+
+  // The paper's invariant across the handoff: every id the dead replica
+  // committed is still refused by its new owner.
+  for (const rel::LicenseId& id : on_victim) {
+    EXPECT_EQ(cluster.SpendOneAt(cluster.OwnerOf(id), id).status,
+              Status::kAlreadySpent);
+  }
+}
+
+TEST(ProviderClusterTest, FailoverOfIdleReplicaReplaysNothing) {
+  const std::string prefix = ::testing::TempDir() + "/cluster_idle";
+  RemoveJournals(prefix);
+
+  ClusterConfig cc;
+  cc.replica_count = 3;
+  cc.shards_per_replica = 2;
+  cc.journal_prefix = prefix;
+  ProviderCluster cluster(cc);
+
+  // Replica 2 never spends anything: its segment files exist but are
+  // empty — the empty-segment migration edge case.
+  rel::LicenseId gated = IdOwnedBy(cluster, 2);
+  cluster.Crash(2, /*tear_journal_tail=*/false);
+  std::uint32_t heir = cluster.OwnerOf(gated);
+  EXPECT_EQ(cluster.SpendOneAt(heir, gated).status, Status::kOverloaded);
+
+  FailoverStats stats = cluster.CompleteFailover();
+  EXPECT_GT(stats.segments, 0u);  // files were scanned…
+  EXPECT_EQ(stats.records, 0u);   // …and held zero records
+  EXPECT_EQ(stats.imported_fresh, 0u);
+  EXPECT_EQ(stats.torn_tails, 0u);
+
+  // Gate lifted; the range accepts fresh traffic on the heir.
+  EXPECT_EQ(cluster.SpendOneAt(heir, gated).status, Status::kOk);
+}
+
+TEST(ProviderClusterTest, JoiningReplicaInheritsSpentHistory) {
+  const std::string prefix = ::testing::TempDir() + "/cluster_join";
+  RemoveJournals(prefix);
+
+  ClusterConfig cc;
+  cc.replica_count = 2;
+  cc.shards_per_replica = 2;
+  cc.journal_prefix = prefix;
+  ProviderCluster cluster(cc);
+
+  std::vector<rel::LicenseId> spent;
+  for (std::uint64_t n = 0; n < 400; ++n) {
+    rel::LicenseId id = MakeId(n);
+    ASSERT_EQ(cluster.SpendOneAt(cluster.OwnerOf(id), id).status, Status::kOk);
+    spent.push_back(id);
+  }
+
+  std::uint64_t epoch_before = cluster.epoch();
+  std::uint32_t joiner = cluster.AddReplica();
+  EXPECT_EQ(joiner, 2u);
+  EXPECT_EQ(cluster.epoch(), epoch_before + 1);
+  EXPECT_EQ(cluster.AliveCount(), 3u);
+
+  // Some ranges must have moved to the joiner, and for those the spent
+  // history must have moved too: migration onto a shard that already
+  // owns keys of its own is just "no keys moved FROM it" — every
+  // previously spent id stays refused at its current owner.
+  std::size_t moved = 0;
+  for (const rel::LicenseId& id : spent) {
+    std::uint32_t owner = cluster.OwnerOf(id);
+    if (owner == joiner) ++moved;
+    EXPECT_EQ(cluster.SpendOneAt(owner, id).status, Status::kAlreadySpent);
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_EQ(cluster.ReplicaSpentSize(joiner), moved);
+}
+
+// -- cluster-mode scenario harness -------------------------------------------
+
+sim::ScenarioConfig SmallFailoverScenario(const std::string& prefix) {
+  sim::ScenarioConfig cfg;
+  cfg.name = "test_failover";
+  cfg.seed = 7;
+  cfg.num_users = 300;
+  cfg.total_requests = 2400;
+  cfg.batch_size = 4;
+  cfg.queue_capacity = 512;
+  cfg.mean_think_us = 5'000'000;
+  cfg.ramp_us = 8'000'000;
+  cfg.retry_hint_ms = 100;
+  cfg.overload_max_attempts = 6;
+  cfg.cluster.enabled = true;
+  cfg.cluster.replica_count = 3;
+  cfg.cluster.shards_per_replica = 2;
+  cfg.cluster.journal_prefix = prefix;
+  cfg.cluster.crash_at_us = 3'000'000;
+  cfg.cluster.crash_replica = 1;
+  cfg.cluster.tear_journal_tail = true;
+  cfg.cluster.failover_detect_us = 200'000;
+  cfg.cluster.replay_per_record_us = 5;
+  return cfg;
+}
+
+TEST(ClusterScenarioTest, FailoverScenarioClosesAccountingWithoutDoubleSpends) {
+  const std::string prefix = ::testing::TempDir() + "/cluster_scenario";
+  RemoveJournals(prefix);
+  sim::ScenarioConfig cfg = SmallFailoverScenario(prefix);
+  sim::ScenarioResult r = sim::ScenarioDriver(cfg).Run();
+
+  EXPECT_TRUE(r.cluster.enabled);
+  // The crash really happened and was really recovered.
+  EXPECT_EQ(r.cluster.replicas_alive_final, 2u);
+  EXPECT_GT(r.cluster.ring_epoch_final, cfg.cluster.replica_count);
+  EXPECT_GT(r.cluster.replayed_records, 0u);
+  EXPECT_GE(r.cluster.torn_tails_skipped, 1u);
+  EXPECT_GT(r.cluster.audit_rechecks, 0u);
+  EXPECT_EQ(r.cluster.double_spends, 0u);
+  // Terminal buckets partition the issued items.
+  EXPECT_EQ(r.TotalCompleted() + r.TotalExhausted() +
+                r.TotalRedirectedTerminal(),
+            r.TotalIssued());
+  // The real spent sets agree with the harness's completion count: every
+  // completed item is spent somewhere, and nothing on the dead replica
+  // was double-counted (imports that survived the crash are fresh on
+  // their heir, not extra completions).
+  EXPECT_GE(r.cluster.total_spent_final, r.TotalCompleted());
+}
+
+TEST(ClusterScenarioTest, FailoverScenarioIsDeterministic) {
+  const std::string prefix = ::testing::TempDir() + "/cluster_scenario_det";
+  RemoveJournals(prefix);
+  sim::ScenarioConfig cfg = SmallFailoverScenario(prefix);
+  sim::ScenarioResult a = sim::ScenarioDriver(cfg).Run();
+  sim::ScenarioResult b = sim::ScenarioDriver(cfg).Run();
+  EXPECT_EQ(a.virtual_duration_us, b.virtual_duration_us);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.batches_sent, b.batches_sent);
+  EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+  EXPECT_EQ(a.cluster.redirect_responses, b.cluster.redirect_responses);
+  EXPECT_EQ(a.cluster.replayed_records, b.cluster.replayed_records);
+  EXPECT_EQ(a.cluster.imported_fresh, b.cluster.imported_fresh);
+  EXPECT_EQ(a.cluster.total_spent_final, b.cluster.total_spent_final);
+  for (std::size_t f = 0; f < sim::kFlowCount; ++f) {
+    EXPECT_EQ(a.flows[f].completed, b.flows[f].completed);
+    EXPECT_EQ(a.flows[f].sheds, b.flows[f].sheds);
+    EXPECT_EQ(a.flows[f].exhausted, b.flows[f].exhausted);
+    EXPECT_EQ(a.flows[f].redirected, b.flows[f].redirected);
+  }
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace p2drm

@@ -480,6 +480,44 @@ TEST_F(RpcTest, BatchHandlerUndecodableItemIsBadRequestOnly) {
   EXPECT_EQ(call_sizes[0], 1u);
 }
 
+TEST_F(RpcTest, WrongReplicaCarriesRedirectHint) {
+  // A cluster front-end that does not own the key answers kWrongReplica
+  // with a typed {ring epoch, owner} hint in the payload section — the
+  // same side-channel pattern as the kOverloaded retry hint.
+  registry_.RegisterRaw(
+      FailRequest::kTag,
+      [](const std::vector<std::uint8_t>&, std::vector<std::uint8_t>* body) {
+        *body = EncodeRedirectHint(RedirectHint{/*ring_epoch=*/9,
+                                                /*owner=*/3});
+        return Status::kWrongReplica;
+      });
+  auto resp = rpc_.Call("svc", FailRequest{});
+  EXPECT_EQ(resp.status, Status::kWrongReplica);
+  EXPECT_TRUE(resp.wrong_replica());
+  EXPECT_EQ(resp.redirect.ring_epoch, 9u);
+  EXPECT_EQ(resp.redirect.owner, 3u);
+  EXPECT_EQ(resp.retry_after_ms, 0u);  // redirects carry no backoff
+
+  // Batched: each item's redirect hint survives the batch envelope
+  // independently.
+  std::vector<FailRequest> reqs(3);
+  auto resps = rpc_.CallBatch("svc", reqs);
+  ASSERT_EQ(resps.size(), 3u);
+  for (const auto& r : resps) {
+    EXPECT_EQ(r.status, Status::kWrongReplica);
+    EXPECT_EQ(r.redirect.ring_epoch, 9u);
+    EXPECT_EQ(r.redirect.owner, 3u);
+  }
+}
+
+TEST_F(RpcTest, MalformedRedirectHintDecodesToZero) {
+  // A hint is advice, not protocol: garbage decodes to the zero hint
+  // instead of throwing (same contract as the retry hint).
+  RedirectHint hint = DecodeRedirectHint({1, 2, 3});
+  EXPECT_EQ(hint.ring_epoch, 0u);
+  EXPECT_EQ(hint.owner, 0u);
+}
+
 TEST_F(RpcTest, ThrowingBatchHandlerFailsItsGroupInternally) {
   registry_.RegisterBatch<BulkRequest>(
       [](const std::vector<BulkRequest>&,

@@ -235,6 +235,117 @@ TEST(ServerRuntimeTest, JournalSegmentsSurviveShardCountChange) {
   }
 }
 
+TEST(ServerRuntimeTest, DuplicateJournalRecordsReplayIdempotently) {
+  std::string prefix = ::testing::TempDir() + "/srv_journal_dup";
+  std::remove(prefix.c_str());
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::remove(ServerRuntime::SegmentPath(prefix, i).c_str());
+  }
+
+  std::size_t clean_size;
+  std::size_t clean_bytes;
+  {
+    ServerRuntimeConfig cfg;
+    cfg.shard_count = 2;
+    cfg.journal_path_prefix = prefix;
+    ServerRuntime rt(cfg);
+    std::vector<rel::LicenseId> ids;
+    for (std::uint64_t n = 0; n < 40; ++n) ids.push_back(MakeId(n));
+    std::vector<Status> st;
+    rt.SpendBatch(ids, &st, /*shed_on_full=*/false);
+    clean_size = rt.SpentSize();
+    clean_bytes = rt.SpentMemoryBytes();
+    ASSERT_EQ(clean_size, 40u);
+  }
+  // A botched migration leaves OVERLAPPING history: copy shard 0's
+  // segment into a legacy unsharded journal, duplicating its records.
+  {
+    std::FILE* src =
+        std::fopen(ServerRuntime::SegmentPath(prefix, 0).c_str(), "rb");
+    ASSERT_NE(src, nullptr);
+    std::FILE* dst = std::fopen(prefix.c_str(), "wb");
+    ASSERT_NE(dst, nullptr);
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, src)) > 0) {
+      std::fwrite(buf, 1, got, dst);
+    }
+    std::fclose(src);
+    std::fclose(dst);
+  }
+  {
+    // Replay sees every record twice; the spent set (and its memory
+    // accounting) must come out exactly as from the clean history, and
+    // imports/replays must not count as processed traffic.
+    ServerRuntimeConfig cfg;
+    cfg.shard_count = 2;
+    cfg.journal_path_prefix = prefix;
+    ServerRuntime rt(cfg);
+    EXPECT_EQ(rt.SpentSize(), clean_size);
+    EXPECT_EQ(rt.SpentMemoryBytes(), clean_bytes);
+    EXPECT_EQ(rt.Processed(), 0u);
+    EXPECT_EQ(rt.SpendOne(MakeId(7)), Status::kAlreadySpent);
+  }
+  std::remove(prefix.c_str());
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::remove(ServerRuntime::SegmentPath(prefix, i).c_str());
+  }
+}
+
+TEST(ServerRuntimeTest, ImportSpentIsIdempotentAndJournalsFreshIdsOnce) {
+  std::string prefix = ::testing::TempDir() + "/srv_import";
+  std::remove(prefix.c_str());
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::remove(ServerRuntime::SegmentPath(prefix, i).c_str());
+  }
+
+  std::vector<rel::LicenseId> ids;
+  for (std::uint64_t n = 0; n < 50; ++n) ids.push_back(MakeId(n));
+  {
+    ServerRuntimeConfig cfg;
+    cfg.shard_count = 3;
+    cfg.journal_path_prefix = prefix;
+    ServerRuntime rt(cfg);
+    // Half the ids are already spent locally; the import overlaps them.
+    std::vector<rel::LicenseId> local(ids.begin(), ids.begin() + 25);
+    std::vector<Status> st;
+    rt.SpendBatch(local, &st, /*shed_on_full=*/false);
+
+    ServerRuntime::ImportStats first = rt.ImportSpent(ids);
+    EXPECT_EQ(first.fresh, 25u);
+    EXPECT_EQ(first.duplicates, 25u);
+    EXPECT_EQ(rt.SpentSize(), 50u);
+    // Replaying the SAME migration again must change nothing.
+    ServerRuntime::ImportStats second = rt.ImportSpent(ids);
+    EXPECT_EQ(second.fresh, 0u);
+    EXPECT_EQ(second.duplicates, 50u);
+    EXPECT_EQ(rt.SpentSize(), 50u);
+    // Imports are not client traffic.
+    EXPECT_EQ(rt.Processed(), 25u);  // only the SpendBatch items
+  }
+  {
+    // Fresh imports were journaled exactly once: a restart still refuses
+    // every id, and the scan sees 50 records total (25 spends + 25
+    // imports, no re-journaled duplicates).
+    ServerRuntime::JournalScanStats scan =
+        ServerRuntime::ForEachJournalRecord(prefix, nullptr);
+    EXPECT_EQ(scan.records, 50u);
+    EXPECT_EQ(scan.torn_tails, 0u);
+    ServerRuntimeConfig cfg;
+    cfg.shard_count = 3;
+    cfg.journal_path_prefix = prefix;
+    ServerRuntime rt(cfg);
+    EXPECT_EQ(rt.SpentSize(), 50u);
+    for (const rel::LicenseId& id : ids) {
+      EXPECT_EQ(rt.SpendOne(id), Status::kAlreadySpent);
+    }
+  }
+  std::remove(prefix.c_str());
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::remove(ServerRuntime::SegmentPath(prefix, i).c_str());
+  }
+}
+
 // -- batch verifier ----------------------------------------------------------
 
 class BatchVerifierTest : public ::testing::Test {

@@ -260,6 +260,61 @@ TEST_F(AppendLogTest, TornTailStopsCleanly) {
   EXPECT_EQ(records[0], (std::vector<std::uint8_t>{1, 2, 3}));
 }
 
+TEST_F(AppendLogTest, ReplayWithStatsReportsTornTail) {
+  {
+    AppendLog log(path_);
+    log.Append({1, 2, 3});
+    log.Append({4, 5, 6});
+  }
+  AppendLog::ReplayStats clean = AppendLog::ReplayWithStats(path_, nullptr);
+  EXPECT_EQ(clean.delivered, 2u);
+  EXPECT_FALSE(clean.torn_tail);
+  EXPECT_EQ(clean.valid_bytes, 2u * (8 + 3));
+
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  ASSERT_EQ(ftruncate(fileno(f), size - 2), 0);
+  std::fclose(f);
+
+  AppendLog::ReplayStats torn = AppendLog::ReplayWithStats(path_, nullptr);
+  EXPECT_EQ(torn.delivered, 1u);
+  EXPECT_TRUE(torn.torn_tail);
+  EXPECT_EQ(torn.valid_bytes, 8u + 3u);  // just past the intact record
+}
+
+TEST_F(AppendLogTest, ReopenAfterTornTailTruncatesAndStaysReplayable) {
+  {
+    AppendLog log(path_);
+    log.Append({1, 2, 3});
+    log.Append({4, 5, 6});
+  }
+  // Crash mid-append: the second record loses its last 2 bytes.
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  ASSERT_EQ(ftruncate(fileno(f), size - 2), 0);
+  std::fclose(f);
+
+  // Reopening for append must truncate the torn tail FIRST — otherwise
+  // this append would land behind garbage and be unreplayable forever.
+  {
+    AppendLog log(path_);
+    log.Append({7, 8, 9});
+  }
+  std::vector<std::vector<std::uint8_t>> records;
+  AppendLog::ReplayStats stats = AppendLog::ReplayWithStats(
+      path_, [&records](const std::vector<std::uint8_t>& r) {
+        records.push_back(r);
+      });
+  EXPECT_FALSE(stats.torn_tail);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(records[1], (std::vector<std::uint8_t>{7, 8, 9}));
+}
+
 TEST_F(AppendLogTest, CorruptPayloadDetectedByCrc) {
   {
     AppendLog log(path_);
