@@ -16,6 +16,7 @@
 #include "core/metrics.h"
 #include "core/system.h"
 #include "crypto/drbg.h"
+#include "obs/export.h"
 #include "sim/bench_report.h"
 #include "sim/linkability.h"
 #include "sim/stats.h"
@@ -222,6 +223,11 @@ int main() {
   report.Metric("baseline.ops_per_sec",
                 (bpurchases + bplays + btransfers) / base_wall);
   report.Metric("baseline.linkability", base_link.linkability);
+  // The RT-2 op table, uniform across benches: process totals as ops.*
+  // plus the per-phase deltas the console prints.
+  obs::AppendOpCounters(&report);
+  report.MetricsNote("ops.p2drm_phase", p2drm_ops.ToString());
+  report.MetricsNote("ops.baseline_phase", base_ops.ToString());
   report.WriteJsonFile();
   return 0;
 }

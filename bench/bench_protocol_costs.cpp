@@ -12,6 +12,7 @@
 #include "core/metrics.h"
 #include "core/system.h"
 #include "crypto/drbg.h"
+#include "obs/export.h"
 #include "sim/bench_report.h"
 
 namespace {
@@ -40,6 +41,9 @@ void PrintRow(const Row& row) {
   Report().Metric(prefix + ".msgs", static_cast<double>(row.messages));
   Report().Metric(prefix + ".bytes", static_cast<double>(row.bytes));
   Report().Metric(prefix + ".pk_ops", static_cast<double>(row.ops.Total()));
+  // Full per-row op breakdown rides in the metrics block; the headline
+  // pk_ops total above stays where trajectory tooling expects it.
+  Report().MetricsNote(prefix + ".ops", row.ops.ToString());
 }
 
 /// Measures one protocol step: runs fn, returns transport+op deltas.
@@ -201,6 +205,7 @@ int main() {
       "direct-call in this repo);\nP2DRM rows are measured on the wire. "
       "Privacy overhead = extra blind-signature round trips\nand the "
       "pseudonym key generation on the client.\n");
+  obs::AppendOpCounters(&Report());
   Report().WriteJsonFile();
   return 0;
 }

@@ -28,15 +28,24 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "sim/bench_report.h"
 #include "sim/scenario.h"
 
 namespace {
 
 using namespace p2drm;  // NOLINT
+
+/// Scenario-owned journal scratch dir: the cluster scenarios' segment
+/// families live here instead of littering the working directory. Removed
+/// on success; kept (with its segments) when the bench fails, for
+/// post-mortem replay.
+constexpr const char kJournalDir[] = "BENCH_scenarios.journals";
 
 double WallSecondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -120,7 +129,8 @@ std::vector<sim::ScenarioConfig> BuildScenarios(std::size_t scale) {
   csteady.cluster.enabled = true;
   csteady.cluster.replica_count = 4;
   csteady.cluster.shards_per_replica = 4;
-  csteady.cluster.journal_prefix = "BENCH_cluster_steady.journal";
+  csteady.cluster.journal_prefix =
+      std::string(kJournalDir) + "/cluster_steady.journal";
   out.push_back(csteady);
 
   // Replica failover: replica 1 dies at T=10s with a TORN journal tail
@@ -144,7 +154,8 @@ std::vector<sim::ScenarioConfig> BuildScenarios(std::size_t scale) {
   failover.cluster.enabled = true;
   failover.cluster.replica_count = 4;
   failover.cluster.shards_per_replica = 4;
-  failover.cluster.journal_prefix = "BENCH_replica_failover.journal";
+  failover.cluster.journal_prefix =
+      std::string(kJournalDir) + "/replica_failover.journal";
   failover.cluster.crash_at_us = 10'000'000;
   failover.cluster.crash_replica = 1;
   failover.cluster.tear_journal_tail = true;
@@ -357,15 +368,28 @@ bool SameResult(const sim::ScenarioResult& a, const sim::ScenarioResult& b) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string only;
+  std::string trace_path = "BENCH_trace.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
       only = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--only <scenario>]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--only <scenario>] [--trace <path>]\n",
                    argv[0]);
       return 2;
+    }
+  }
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(kJournalDir, ec);
+    if (ec) {
+      std::fprintf(stderr, "FAIL: cannot create %s: %s\n", kJournalDir,
+                   ec.message().c_str());
+      return 1;
     }
   }
   // Smoke keeps every knob but shrinks the population 20x so CI spends
@@ -398,11 +422,30 @@ int main(int argc, char** argv) {
     }
     report.ConfigNote("scenarios", names);
   }
+  std::string trace_payload;
+  bool trace_first = true;
+  int trace_pid = 0;
   for (const sim::ScenarioConfig& cfg : scenarios) {
+    // Fresh per-scenario endpoints; the engine stamps the tracer with the
+    // scenario's virtual clock, so everything exported below is a pure
+    // function of the config — byte-compared by CI like the report.
+    obs::Tracer tracer;
+    obs::Registry registry;
+    sim::ScenarioConfig traced = cfg;
+    traced.obs.tracer = &tracer;
+    traced.obs.registry = &registry;
+
     auto t0 = std::chrono::steady_clock::now();
-    sim::ScenarioResult r = sim::ScenarioDriver(cfg).Run();
+    sim::ScenarioResult r = sim::ScenarioDriver(traced).Run();
     double wall_s = WallSecondsSince(t0);
     ReportScenario(cfg, r, wall_s, &report);
+    obs::AppendRegistry(registry, cfg.name + ".", &report);
+    report.MetricsMetric(cfg.name + ".trace.events",
+                         static_cast<double>(tracer.event_count()));
+    report.MetricsMetric(cfg.name + ".trace.dropped",
+                         static_cast<double>(tracer.dropped_count()));
+    tracer.AppendChromeTraceEvents(&trace_payload, trace_pid++, cfg.name,
+                                   &trace_first);
     total_issued += r.TotalIssued();
     total_users += cfg.num_users;
 
@@ -468,9 +511,22 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "FAIL: replica count after crash is wrong\n");
         return 1;
       }
+      // The failover timeline must be IN THE TRACE: the crash instant,
+      // the recovery-gate and journal-replay spans, and at least one
+      // redirect — the events docs/observability.md promises Perfetto
+      // will show.
+      for (const char* ev :
+           {"cluster.crash", "recovery_gate", "journal_replay", "redirect"}) {
+        if (!tracer.Contains(ev)) {
+          std::fprintf(stderr, "FAIL: trace is missing %s events\n", ev);
+          return 1;
+        }
+      }
     }
 
     // Determinism guard: an identical config replays an identical run.
+    // Deliberately WITHOUT obs endpoints — the comparison then also
+    // proves tracing changed no modeled timing and no rng draw.
     sim::ScenarioResult again = sim::ScenarioDriver(cfg).Run();
     if (!SameResult(r, again)) {
       std::fprintf(stderr, "FAIL: %s is nondeterministic across runs\n",
@@ -495,6 +551,21 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+  }
+
+  obs::AppendOpCounters(&report);
+
+  if (!obs::Tracer::WriteChromeTraceFile(trace_path, trace_payload)) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::printf("trace: %s\n", trace_path.c_str());
+
+  // Success: the journal scratch dir has served its purpose. (Every FAIL
+  // path above returns without reaching this, keeping the segments.)
+  {
+    std::error_code ec;
+    std::filesystem::remove_all(kJournalDir, ec);
   }
 
   report.WriteJsonFile();

@@ -50,6 +50,8 @@
 #include "core/metrics.h"
 #include "crypto/drbg.h"
 #include "crypto/rsa.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "sim/provider_stack.h"
 #include "server/batch_verifier.h"
 #include "server/server_runtime.h"
@@ -192,11 +194,17 @@ struct PipelineResult {
 };
 
 PipelineResult RunPipeline(std::size_t shards, std::size_t batch_items,
-                           std::size_t key_bits) {
+                           std::size_t key_bits, obs::Registry* registry,
+                           const std::string& obs_prefix) {
   // Shared deterministic stack fixture: every shard configuration
   // redeems byte-identical traffic (setup failures throw, which a bench
   // treats as a crash — correctly).
   sim::ProviderStack stack("pipeline-scaling", shards, key_bits);
+  if (registry != nullptr) {
+    obs::Sink sink;
+    sink.registry = registry;
+    stack.cp.set_observability(sink, obs_prefix);
+  }
   core::Pseudonym* giver = stack.NewPseudonym();
   core::Pseudonym* taker = stack.NewPseudonym();
   std::vector<core::ContentProvider::RedeemItem> items;
@@ -242,8 +250,15 @@ PipelineResult RunPipeline(std::size_t shards, std::size_t batch_items,
 /// clocks measure the exchange fan-out alone.
 PipelineResult RunExchangePipeline(std::size_t shards,
                                    std::size_t batch_items,
-                                   std::size_t key_bits) {
+                                   std::size_t key_bits,
+                                   obs::Registry* registry,
+                                   const std::string& obs_prefix) {
   sim::ProviderStack stack("exchange-scaling", shards, key_bits);
+  if (registry != nullptr) {
+    obs::Sink sink;
+    sink.registry = registry;
+    stack.cp.set_observability(sink, obs_prefix);
+  }
   core::Pseudonym* owner = stack.NewPseudonym();
   std::vector<core::ContentProvider::ExchangeItem> items;
   items.reserve(batch_items);
@@ -486,9 +501,16 @@ int main(int argc, char** argv) {
   std::printf(
       "\nissuance pipeline: %zu-item batch redemption, per-stage timings\n",
       pipeline_items);
+  // Wall-clock per-stage latency histograms land in the registry (and
+  // from there in the report's metrics block) under shards<N>.pipeline.*.
+  // Real-time measurements, so the VALUES are not byte-stable — this
+  // bench's report is not byte-compared by CI, the scenario one is.
+  obs::Registry registry;
   double base_sigs_per_sec = 0;
   for (std::size_t shards : {1u, 2u, 4u, 8u}) {
-    PipelineResult r = RunPipeline(shards, pipeline_items, key_bits);
+    PipelineResult r =
+        RunPipeline(shards, pipeline_items, key_bits, &registry,
+                    "shards" + std::to_string(shards) + ".");
     std::printf(
         "shards=%zu  verify=%8.0fus  spend=%6.0fus  issue=%8.0fus  "
         "issue-makespan=%8.0fus  sigs=%llu  sim-sigs/s=%8.0f\n",
@@ -527,7 +549,9 @@ int main(int argc, char** argv) {
       pipeline_items);
   double base_exchange_sigs_per_sec = 0;
   for (std::size_t shards : {1u, 4u}) {
-    PipelineResult r = RunExchangePipeline(shards, pipeline_items, key_bits);
+    PipelineResult r =
+        RunExchangePipeline(shards, pipeline_items, key_bits, &registry,
+                            "exch.shards" + std::to_string(shards) + ".");
     std::printf(
         "shards=%zu  verify=%8.0fus  spend=%6.0fus  issue=%8.0fus  "
         "issue-makespan=%8.0fus  sigs=%llu  sim-sigs/s=%8.0f\n",
@@ -558,6 +582,49 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  // -- Part F: observability-off overhead -----------------------------------
+  // The instrumentation contract: with the endpoints runtime-disabled,
+  // every hot-path hook is one relaxed atomic load + branch. Hammer the
+  // three hook shapes (counter add, histogram observe, span) and gate the
+  // per-op cost. The bound is deliberately loose — CI neighbors — but a
+  // regression to "takes a lock when disabled" blows past it by orders of
+  // magnitude.
+  {
+    obs::Registry off_registry;
+    obs::Tracer off_tracer;
+    off_registry.set_enabled(false);
+    off_tracer.set_enabled(false);
+    obs::Registry::Id ctr = off_registry.Counter("off.ctr");
+    obs::Registry::Id hist = off_registry.Histogram("off.hist");
+    const std::size_t kOps = 1'000'000;
+    Clock::time_point t0 = Clock::now();
+    for (std::size_t i = 0; i < kOps; ++i) {
+      off_registry.Add(ctr);
+      off_registry.Observe(hist, i);
+      obs::Span span(&off_tracer, "off.span");
+    }
+    double ns_per_op = SecondsSince(t0) * 1e9 / (3.0 * kOps);
+    std::printf("\nobservability disabled: %.2f ns per hook\n", ns_per_op);
+    report.Metric("obs.disabled_ns_per_hook", ns_per_op);
+    if (off_registry.Aggregate()[0].counter != 0) {
+      std::fprintf(stderr, "FAIL: disabled registry still recorded\n");
+      return 1;
+    }
+    if (off_tracer.event_count() != 0) {
+      std::fprintf(stderr, "FAIL: disabled tracer still recorded\n");
+      return 1;
+    }
+    if (ns_per_op > 100.0) {
+      std::fprintf(stderr,
+                   "FAIL: disabled observability hook costs %.1f ns > 100 ns\n",
+                   ns_per_op);
+      return 1;
+    }
+  }
+
+  obs::AppendRegistry(registry, "", &report);
+  obs::AppendOpCounters(&report);
 
   report.WriteJsonFile();
   return 0;

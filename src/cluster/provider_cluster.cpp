@@ -42,6 +42,17 @@ ProviderCluster::ProviderCluster(const ClusterConfig& config)
   if (config_.replica_count == 0) {
     throw std::invalid_argument("provider_cluster: replica_count must be > 0");
   }
+  if (config_.obs.registry != nullptr) {
+    obs::Registry* reg = config_.obs.registry;
+    obs_redirects_ = reg->Counter("cluster.redirects");
+    obs_gate_sheds_ = reg->Counter("cluster.gate_sheds");
+    obs_crashes_ = reg->Counter("cluster.crashes");
+    obs_replicas_added_ = reg->Counter("cluster.replicas_added");
+    obs_failover_records_ = reg->Counter("cluster.failover.records_replayed");
+    obs_failover_fresh_ = reg->Counter("cluster.failover.imported_fresh");
+    obs_failover_duplicates_ =
+        reg->Counter("cluster.failover.imported_duplicates");
+  }
   replicas_.resize(config_.replica_count);
   for (std::uint32_t r = 0; r < config_.replica_count; ++r) {
     if (config_.fresh_start) RemoveJournalFamily(r);
@@ -59,7 +70,12 @@ std::unique_ptr<server::ServerRuntime> ProviderCluster::MakeRuntime(
   if (!config_.journal_prefix.empty()) {
     rc.journal_path_prefix = ReplicaJournalPrefix(config_.journal_prefix, r);
   }
-  return std::make_unique<server::ServerRuntime>(rc);
+  auto runtime = std::make_unique<server::ServerRuntime>(rc);
+  if (config_.obs.registry != nullptr) {
+    runtime->set_observability(config_.obs.registry,
+                               "cluster.r" + std::to_string(r) + ".");
+  }
+  return runtime;
 }
 
 void ProviderCluster::RemoveJournalFamily(std::uint32_t r) const {
@@ -95,6 +111,9 @@ SpendOutcome ProviderCluster::ClassifyOne(std::uint32_t r,
     // Dead target or stale client view: point at the live owner.
     out.status = core::Status::kWrongReplica;
     out.owner = owner;
+    if (config_.obs.registry != nullptr) {
+      config_.obs.registry->Add(obs_redirects_);
+    }
     return out;
   }
   if (recovering_ && pre_crash_ring_.OwnerOf(id) == dead_) {
@@ -103,6 +122,9 @@ SpendOutcome ProviderCluster::ClassifyOne(std::uint32_t r,
     // backpressure tells the client to retry, exactly like a full queue.
     out.status = core::Status::kOverloaded;
     out.owner = r;
+    if (config_.obs.registry != nullptr) {
+      config_.obs.registry->Add(obs_gate_sheds_);
+    }
     return out;
   }
   out.status = core::Status::kOk;
@@ -168,6 +190,12 @@ void ProviderCluster::Crash(std::uint32_t r, bool tear_journal_tail) {
   ring_.RemoveReplica(r);
   recovering_ = true;
   dead_ = r;
+  if (config_.obs.registry != nullptr) {
+    config_.obs.registry->Add(obs_crashes_);
+  }
+  if (config_.obs.tracer != nullptr) {
+    config_.obs.tracer->Instant("cluster.crash", "replica", r);
+  }
 }
 
 FailoverStats ProviderCluster::CompleteFailover() {
@@ -201,6 +229,16 @@ FailoverStats ProviderCluster::CompleteFailover() {
     }
   }
   recovering_ = false;
+  if (config_.obs.registry != nullptr) {
+    obs::Registry* reg = config_.obs.registry;
+    reg->Add(obs_failover_records_, stats.records);
+    reg->Add(obs_failover_fresh_, stats.imported_fresh);
+    reg->Add(obs_failover_duplicates_, stats.imported_duplicates);
+  }
+  if (config_.obs.tracer != nullptr) {
+    config_.obs.tracer->Instant("cluster.failover_complete",
+                                "records_replayed", stats.records);
+  }
   return stats;
 }
 
@@ -239,6 +277,12 @@ std::uint32_t ProviderCluster::AddReplica() {
           });
     }
     if (!moved.empty()) replicas_[r].runtime->ImportSpent(moved);
+  }
+  if (config_.obs.registry != nullptr) {
+    config_.obs.registry->Add(obs_replicas_added_);
+  }
+  if (config_.obs.tracer != nullptr) {
+    config_.obs.tracer->Instant("cluster.replica_join", "replica", r);
   }
   return r;
 }

@@ -50,6 +50,7 @@
 
 #include "cluster/hash_ring.h"
 #include "core/errors.h"
+#include "obs/trace.h"
 #include "rel/ids.h"
 #include "server/server_runtime.h"
 #include "store/spent_set.h"
@@ -74,6 +75,13 @@ struct ClusterConfig {
   /// pure function of its traffic — the scenario determinism contract.
   /// Set false to restart a cluster from surviving journals.
   bool fresh_start = true;
+  /// Tracing + metrics endpoints (null = off). The tracer records the
+  /// failover timeline (crash / failover-complete / replica-join instant
+  /// events, emitted on the lifecycle caller's thread); the registry gets
+  /// cluster.redirects / cluster.gate_sheds / cluster.crashes /
+  /// cluster.failover.* counters plus each replica runtime's
+  /// cluster.r<k>.* queue accounting.
+  obs::Sink obs;
 };
 
 /// Per-id outcome of a routed spend.
@@ -180,6 +188,14 @@ class ProviderCluster {
   void RemoveJournalFamily(std::uint32_t r) const;
 
   ClusterConfig config_;
+  // Registry ids (meaningful when config_.obs.registry is set).
+  obs::Registry::Id obs_redirects_ = 0;
+  obs::Registry::Id obs_gate_sheds_ = 0;
+  obs::Registry::Id obs_crashes_ = 0;
+  obs::Registry::Id obs_replicas_added_ = 0;
+  obs::Registry::Id obs_failover_records_ = 0;
+  obs::Registry::Id obs_failover_fresh_ = 0;
+  obs::Registry::Id obs_failover_duplicates_ = 0;
   HashRing ring_;
   /// Ring as it was before the crash currently being recovered — the
   /// gate test: an id is gated iff its pre-crash owner is the dead

@@ -52,6 +52,12 @@ UserAgent::UserAgent(const std::string& name, const AgentConfig& config,
               &system->clock(), rng) {
   system_->bank().OpenAccount(name_, config_.initial_bank_balance);
 
+  if (config_.obs.registry != nullptr) {
+    obs_retried_ = config_.obs.registry->Counter("agent.retried_items");
+    obs_backoff_ms_ = config_.obs.registry->Counter("agent.backoff_ms");
+    obs_exhausted_ = config_.obs.registry->Counter("agent.exhausted_items");
+  }
+
   // Enrolment (identified channel). An agent without its certificates is
   // unusable, so fail construction loudly rather than limp along.
   proto::EnrolRequest enrol;
@@ -192,6 +198,12 @@ void UserAgent::Backoff(std::uint32_t retry_after_ms) {
       std::min(retry_after_ms, config_.overload_backoff_cap_ms);
   retry_stats_.backoff_ms += wait;
   if (wait == 0) return;
+  if (config_.obs.registry != nullptr) {
+    config_.obs.registry->Add(obs_backoff_ms_, wait);
+  }
+  // Span around the wait: with a wait_hook that advances a virtual
+  // timebase the span's end lands `wait` later on that timebase.
+  obs::Span span(config_.obs.tracer, "agent.backoff");
   if (config_.wait_hook != nullptr) {
     // Scheduled wait: the harness decides what "waiting" means —
     // typically advancing the virtual timebase — so long hints cost no
@@ -214,9 +226,17 @@ net::RpcResult<typename Req::Response> UserAgent::CallAnonymousWithRetry(
     Backoff(resp.retry_after_ms);
     retry_stats_.retried_items += 1;
     retry_stats_.retry_round_trips += 1;
+    if (config_.obs.registry != nullptr) {
+      config_.obs.registry->Add(obs_retried_);
+    }
     resp = rpc_.CallAnonymous(P2drmSystem::kCpEndpoint, req);
   }
-  if (resp.overloaded()) retry_stats_.exhausted_items += 1;
+  if (resp.overloaded()) {
+    retry_stats_.exhausted_items += 1;
+    if (config_.obs.registry != nullptr) {
+      config_.obs.registry->Add(obs_exhausted_);
+    }
+  }
   return resp;
 }
 
@@ -240,6 +260,9 @@ UserAgent::CallBatchAnonymousWithRetry(const std::vector<Req>& reqs) {
     Backoff(hint);
     retry_stats_.retried_items += shed.size();
     retry_stats_.retry_round_trips += 1;
+    if (config_.obs.registry != nullptr) {
+      config_.obs.registry->Add(obs_retried_, shed.size());
+    }
     std::vector<Req> retry_reqs;
     retry_reqs.reserve(shed.size());
     for (std::size_t w : shed) retry_reqs.push_back(reqs[w]);
@@ -250,7 +273,12 @@ UserAgent::CallBatchAnonymousWithRetry(const std::vector<Req>& reqs) {
     }
   }
   for (const auto& r : resps) {
-    if (r.overloaded()) retry_stats_.exhausted_items += 1;
+    if (r.overloaded()) {
+      retry_stats_.exhausted_items += 1;
+      if (config_.obs.registry != nullptr) {
+        config_.obs.registry->Add(obs_exhausted_);
+      }
+    }
   }
   return resps;
 }

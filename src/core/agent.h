@@ -23,6 +23,7 @@
 #include "core/smartcard.h"
 #include "core/system.h"
 #include "net/rpc.h"
+#include "obs/trace.h"
 
 namespace p2drm {
 namespace core {
@@ -52,6 +53,11 @@ struct AgentConfig {
   /// capping them). The hook runs on the calling thread and sees the
   /// already-capped wait.
   std::function<void(std::uint32_t wait_ms)> wait_hook;
+  /// Tracing + metrics endpoints (null = off): an "agent.backoff" span
+  /// around each honored wait, plus agent.retried_items /
+  /// agent.backoff_ms / agent.exhausted_items counters mirroring
+  /// RetryStats.
+  obs::Sink obs;
 };
 
 /// Client-side overload-retry accounting (one struct per agent).
@@ -193,6 +199,11 @@ class UserAgent {
   CompliantDevice device_;
   std::vector<Coin> wallet_;
   RetryStats retry_stats_;
+  // Retry/backoff observability ids (meaningful when config_.obs.registry
+  // is set; registered in the constructor).
+  obs::Registry::Id obs_retried_ = 0;
+  obs::Registry::Id obs_backoff_ms_ = 0;
+  obs::Registry::Id obs_exhausted_ = 0;
 };
 
 }  // namespace core

@@ -371,9 +371,39 @@ std::vector<ContentProvider::PurchaseResult> ContentProvider::PurchaseBatch(
   };
   plan.reject = [&](std::size_t i, Status s) { out[i].status = s; };
 
-  last_timings_ = ToPipelineTimings(
-      server::BatchPipeline::Run(plan, PipelineExecutor(), time_source_));
+  last_timings_ = ToPipelineTimings(server::BatchPipeline::Run(
+      plan, PipelineExecutor(), time_source_, &obs_purchase_));
   return out;
+}
+
+void ContentProvider::set_observability(const obs::Sink& sink,
+                                        const std::string& prefix) {
+  auto wire = [&](server::PipelineObs* p, const char* flow,
+                  const char* span_verify, const char* span_mutate,
+                  const char* span_issue) {
+    p->tracer = sink.tracer;
+    p->registry = sink.registry;
+    p->span_verify = span_verify;
+    p->span_mutate = span_mutate;
+    p->span_issue = span_issue;
+    if (sink.registry != nullptr) {
+      const std::string base = prefix + "pipeline." + flow + ".";
+      p->hist_verify_us = sink.registry->Histogram(base + "verify_us");
+      p->hist_mutate_us = sink.registry->Histogram(base + "mutate_us");
+      p->hist_issue_us = sink.registry->Histogram(base + "issue_us");
+      p->ctr_items = sink.registry->Counter(base + "items");
+      p->ctr_shed = sink.registry->Counter(base + "shed");
+    }
+  };
+  wire(&obs_redeem_, "redeem", "redeem.verify", "redeem.spend",
+       "redeem.issue");
+  wire(&obs_purchase_, "purchase", "purchase.verify", "purchase.mutate",
+       "purchase.issue");
+  wire(&obs_exchange_, "exchange", "exchange.verify", "exchange.spend",
+       "exchange.issue");
+  if (runtime_ != nullptr) {
+    runtime_->set_observability(sink.registry, prefix + "runtime.");
+  }
 }
 
 std::vector<std::uint8_t> ContentProvider::TransferChallengeBytes(
@@ -560,8 +590,8 @@ std::vector<ContentProvider::ExchangeResult> ContentProvider::ExchangeBatch(
   };
   plan.reject = [&](std::size_t i, Status s) { out[i].status = s; };
 
-  last_timings_ = ToPipelineTimings(
-      server::BatchPipeline::Run(plan, PipelineExecutor(), time_source_));
+  last_timings_ = ToPipelineTimings(server::BatchPipeline::Run(
+      plan, PipelineExecutor(), time_source_, &obs_exchange_));
   return out;
 }
 
@@ -780,8 +810,8 @@ ContentProvider::RedeemAnonymousBatch(const std::vector<RedeemItem>& items) {
   };
   plan.reject = [&](std::size_t i, Status s) { out[i].status = s; };
 
-  last_timings_ = ToPipelineTimings(
-      server::BatchPipeline::Run(plan, PipelineExecutor(), time_source_));
+  last_timings_ = ToPipelineTimings(server::BatchPipeline::Run(
+      plan, PipelineExecutor(), time_source_, &obs_redeem_));
   return out;
 }
 

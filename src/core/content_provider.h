@@ -236,6 +236,15 @@ class ContentProvider {
     time_source_ = std::move(now_us);
   }
 
+  /// Wires tracing + metrics into every batch pipeline this provider
+  /// runs (and into the shard runtime's queue accounting, when one
+  /// exists). \p prefix namespaces the registry metric names — e.g.
+  /// "shards4." in a bench that runs one provider per shard count.
+  /// Call before traffic starts; idempotent (re-registration by name
+  /// reuses the existing ids). Null sink members switch that endpoint
+  /// off.
+  void set_observability(const obs::Sink& sink, const std::string& prefix = "");
+
   /// First-seen redemption transcript for \p id (the fraud-evidence
   /// basis), if that id has been freshly redeemed.
   std::optional<RedemptionTranscript> TranscriptFor(
@@ -373,6 +382,10 @@ class ContentProvider {
   std::uint64_t purchase_issue_nonce_ = 0;  ///< purchase fork domain tags
   PipelineTimings last_timings_;
   server::TimeSourceUs time_source_;  ///< null = steady_clock
+  // Per-flow pipeline observability (null endpoints = off).
+  server::PipelineObs obs_redeem_;
+  server::PipelineObs obs_purchase_;
+  server::PipelineObs obs_exchange_;
 };
 
 }  // namespace core

@@ -228,8 +228,28 @@ std::vector<Status> PaymentProvider::DepositBatch(
     out[i] = s;
   };
 
-  server::BatchPipeline::Run(plan, nullptr);
+  server::BatchPipeline::Run(plan, nullptr, nullptr, &obs_deposit_);
   return out;
+}
+
+void PaymentProvider::set_observability(const obs::Sink& sink,
+                                        const std::string& prefix) {
+  obs_deposit_.tracer = sink.tracer;
+  obs_deposit_.registry = sink.registry;
+  obs_deposit_.span_verify = "deposit.verify";
+  obs_deposit_.span_mutate = "deposit.spend";
+  obs_deposit_.span_issue = "deposit.issue";
+  if (sink.registry != nullptr) {
+    const std::string base = prefix + "pipeline.deposit.";
+    obs_deposit_.hist_verify_us = sink.registry->Histogram(base + "verify_us");
+    obs_deposit_.hist_mutate_us = sink.registry->Histogram(base + "mutate_us");
+    obs_deposit_.hist_issue_us = sink.registry->Histogram(base + "issue_us");
+    obs_deposit_.ctr_items = sink.registry->Counter(base + "items");
+    obs_deposit_.ctr_shed = sink.registry->Counter(base + "shed");
+  }
+  if (runtime_ != nullptr) {
+    runtime_->set_observability(sink.registry, prefix + "deposit_runtime.");
+  }
 }
 
 Status PaymentProvider::DirectDebit(const std::string& account,

@@ -23,6 +23,7 @@
 #include "bignum/random_source.h"
 #include "core/errors.h"
 #include "crypto/rsa.h"
+#include "server/batch_pipeline.h"
 #include "server/batch_verifier.h"
 #include "server/server_runtime.h"
 #include "store/spent_set.h"
@@ -121,6 +122,11 @@ class PaymentProvider {
     return runtime_.get();
   }
 
+  /// Wires tracing + metrics into the deposit pipeline (and the deposit
+  /// runtime's queue accounting). Same contract as
+  /// ContentProvider::set_observability.
+  void set_observability(const obs::Sink& sink, const std::string& prefix = "");
+
   /// Baseline identified debit: moves funds and records the transaction.
   Status DirectDebit(const std::string& account, const std::string& payee,
                      std::uint64_t amount, std::uint64_t timestamp_s);
@@ -150,6 +156,7 @@ class PaymentProvider {
   std::vector<DebitRecord> debit_log_;
   std::uint64_t deposited_coins_ = 0;
   std::uint64_t double_spend_attempts_ = 0;
+  server::PipelineObs obs_deposit_;  ///< null endpoints = off
 };
 
 /// Client-side helper: splits \p amount into available denominations,

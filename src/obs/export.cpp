@@ -1,0 +1,57 @@
+#include "obs/export.h"
+
+#include "core/metrics.h"
+
+namespace p2drm {
+namespace obs {
+
+void AppendRegistry(const Registry& registry, const std::string& prefix,
+                    sim::BenchReport* report) {
+  for (const Registry::MetricValue& v : registry.Aggregate()) {
+    const std::string name = prefix + v.name;
+    switch (v.kind) {
+      case Registry::Kind::kCounter:
+        report->MetricsMetric(name, static_cast<double>(v.counter));
+        break;
+      case Registry::Kind::kGauge:
+        report->MetricsMetric(name, static_cast<double>(v.gauge));
+        break;
+      case Registry::Kind::kHistogram: {
+        const Registry::HistogramSnapshot& h = v.hist;
+        report->MetricsMetric(name + ".count", static_cast<double>(h.count));
+        report->MetricsMetric(name + ".sum", static_cast<double>(h.sum));
+        report->MetricsMetric(name + ".p50",
+                              static_cast<double>(h.Quantile(0.50)));
+        report->MetricsMetric(name + ".p90",
+                              static_cast<double>(h.Quantile(0.90)));
+        report->MetricsMetric(name + ".p99",
+                              static_cast<double>(h.Quantile(0.99)));
+        report->MetricsMetric(name + ".max", static_cast<double>(h.Max()));
+        std::string buckets;
+        for (std::size_t b = 0; b < Registry::kHistogramBuckets; ++b) {
+          if (h.buckets[b] == 0) continue;
+          if (!buckets.empty()) buckets.push_back(' ');
+          buckets += "b" + std::to_string(b) + ":" +
+                     std::to_string(h.buckets[b]);
+        }
+        report->MetricsNote(name + ".buckets", buckets);
+        break;
+      }
+    }
+  }
+}
+
+void AppendOpCounters(sim::BenchReport* report) {
+  core::OpCounters ops = core::AggregateOps();
+  report->MetricsMetric("ops.sign", static_cast<double>(ops.sign));
+  report->MetricsMetric("ops.verify", static_cast<double>(ops.verify));
+  report->MetricsMetric("ops.blind_sign", static_cast<double>(ops.blind_sign));
+  report->MetricsMetric("ops.blind_prep", static_cast<double>(ops.blind_prep));
+  report->MetricsMetric("ops.hybrid_enc", static_cast<double>(ops.hybrid_enc));
+  report->MetricsMetric("ops.hybrid_dec", static_cast<double>(ops.hybrid_dec));
+  report->MetricsMetric("ops.keygen", static_cast<double>(ops.keygen));
+  report->MetricsMetric("ops.total", static_cast<double>(ops.Total()));
+}
+
+}  // namespace obs
+}  // namespace p2drm

@@ -1,0 +1,36 @@
+#ifndef P2DRM_OBS_EXPORT_H_
+#define P2DRM_OBS_EXPORT_H_
+
+/// \file export.h
+/// \brief Bridges from the metrics sources into sim::BenchReport's
+/// `"metrics"` block, so every BENCH_*.json carries the aggregated
+/// registry (and the RT-2 crypto-op table) alongside its `config` block.
+///
+/// Export order is the registry's registration order — stable across
+/// identical runs, which keeps byte-compared scenario reports comparing.
+
+#include <string>
+
+#include "obs/registry.h"
+#include "sim/bench_report.h"
+
+namespace p2drm {
+namespace obs {
+
+/// Appends every metric in \p registry to \p report's metrics block,
+/// each name prefixed with \p prefix. Counters and gauges become one
+/// numeric entry; histograms expand to `.count`, `.sum`, `.p50`, `.p90`,
+/// `.p99`, `.max` (quantiles are log2-bucket upper bounds) plus a
+/// `.buckets` note listing the non-empty buckets as "b<i>:<count>".
+void AppendRegistry(const Registry& registry, const std::string& prefix,
+                    sim::BenchReport* report);
+
+/// Appends core::AggregateOps() — the RT-2 crypto-op table — as
+/// `ops.sign`, `ops.verify`, … so benches stop hand-rolling ToString().
+/// Increment sites are untouched; this is purely the reporting side.
+void AppendOpCounters(sim::BenchReport* report);
+
+}  // namespace obs
+}  // namespace p2drm
+
+#endif  // P2DRM_OBS_EXPORT_H_

@@ -1,0 +1,177 @@
+#include "obs/registry.h"
+
+namespace p2drm {
+namespace obs {
+
+namespace {
+
+std::uint64_t NextRegistrySerial() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Registry::Registry() : serial_(NextRegistrySerial()) {}
+
+Registry::~Registry() = default;
+
+Registry::Id Registry::Register(const std::string& name, Kind kind,
+                                std::uint32_t slots) {
+  std::lock_guard<std::mutex> lock(m_);
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (metrics_[i].name == name && metrics_[i].kind == kind) {
+      return static_cast<Id>(i);
+    }
+  }
+  if (metrics_.size() >= kMaxMetrics ||
+      next_slot_ + slots > kMaxBlocks * kBlockSlots) {
+    return metrics_.empty() ? 0 : static_cast<Id>(metrics_.size() - 1);
+  }
+  metrics_.push_back(Meta{name, kind, next_slot_});
+  std::uint32_t index = static_cast<std::uint32_t>(metrics_.size() - 1);
+  slot_info_[index].base_slot = next_slot_;
+  slot_info_[index].kind = kind;
+  next_slot_ += slots;
+  // Publish: record paths may now see this Id's slot info.
+  metric_count_.store(index + 1, std::memory_order_release);
+  return index;
+}
+
+Registry::Id Registry::Counter(const std::string& name) {
+  return Register(name, Kind::kCounter, 1);
+}
+
+Registry::Id Registry::Gauge(const std::string& name) {
+  return Register(name, Kind::kGauge, 1);
+}
+
+Registry::Id Registry::Histogram(const std::string& name) {
+  return Register(name, Kind::kHistogram,
+                  2 + static_cast<std::uint32_t>(kHistogramBuckets));
+}
+
+Registry::Shard* Registry::ThisThreadShard() {
+  // Registries come and go (one per bench scenario), so the TLS cache is
+  // keyed by a process-unique serial: an entry for a destroyed registry
+  // can never match a live one.
+  thread_local std::vector<std::pair<std::uint64_t, Shard*>> cache;
+  for (const auto& entry : cache) {
+    if (entry.first == serial_) return entry.second;
+  }
+  Shard* shard;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    shards_.emplace_back();
+    shard = &shards_.back();
+  }
+  cache.emplace_back(serial_, shard);
+  return shard;
+}
+
+std::atomic<std::uint64_t>* Registry::SlotForWrite(Shard* shard,
+                                                   std::uint32_t slot) {
+  std::size_t block_index = slot / kBlockSlots;
+  if (block_index >= kMaxBlocks) return nullptr;  // metric overflow: drop
+  Block* block = shard->blocks[block_index].load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new Block();
+    // Release so the aggregator's acquire load sees zero-initialized
+    // slots; only the owning thread installs blocks, so no CAS race.
+    shard->blocks[block_index].store(block, std::memory_order_release);
+  }
+  return &block->slots[slot % kBlockSlots];
+}
+
+void Registry::Record(Id id, std::uint64_t delta) {
+  if (id >= metric_count_.load(std::memory_order_acquire)) return;
+  std::uint32_t base = slot_info_[id].base_slot;
+  Shard* shard = ThisThreadShard();
+  auto* slot = SlotForWrite(shard, base);
+  if (slot != nullptr) slot->fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::RecordObserve(Id id, std::uint64_t value) {
+  if (id >= metric_count_.load(std::memory_order_acquire)) return;
+  if (slot_info_[id].kind != Kind::kHistogram) return;
+  std::uint32_t base = slot_info_[id].base_slot;
+  Shard* shard = ThisThreadShard();
+  auto* count = SlotForWrite(shard, base);
+  auto* sum = SlotForWrite(shard, base + 1);
+  auto* bucket = SlotForWrite(
+      shard, base + 2 + static_cast<std::uint32_t>(BucketOf(value)));
+  if (count == nullptr || sum == nullptr || bucket == nullptr) return;
+  count->fetch_add(1, std::memory_order_relaxed);
+  sum->fetch_add(value, std::memory_order_relaxed);
+  bucket->fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Registry::HistogramSnapshot::Quantile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Rank of the p-quantile sample, 1-based, ceil(p * count) clamped to
+  // [1, count]; integer math keeps this bit-stable across platforms.
+  std::uint64_t rank = static_cast<std::uint64_t>(p * static_cast<double>(count));
+  if (static_cast<double>(rank) < p * static_cast<double>(count)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return BucketUpperBound(b);
+  }
+  return BucketUpperBound(kHistogramBuckets - 1);
+}
+
+std::uint64_t Registry::HistogramSnapshot::Max() const {
+  for (std::size_t b = kHistogramBuckets; b > 0; --b) {
+    if (buckets[b - 1] != 0) return BucketUpperBound(b - 1);
+  }
+  return 0;
+}
+
+std::vector<Registry::MetricValue> Registry::Aggregate() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::vector<MetricValue> out;
+  out.reserve(metrics_.size());
+  for (const Meta& meta : metrics_) {
+    MetricValue v;
+    v.name = meta.name;
+    v.kind = meta.kind;
+    std::size_t slot_count =
+        meta.kind == Kind::kHistogram ? 2 + kHistogramBuckets : 1;
+    std::uint64_t sums[2 + kHistogramBuckets] = {};
+    for (const Shard& shard : shards_) {
+      for (std::size_t s = 0; s < slot_count; ++s) {
+        std::uint32_t slot = meta.base_slot + static_cast<std::uint32_t>(s);
+        std::size_t block_index = slot / kBlockSlots;
+        if (block_index >= kMaxBlocks) break;
+        const Block* block =
+            shard.blocks[block_index].load(std::memory_order_acquire);
+        if (block == nullptr) continue;
+        sums[s] +=
+            block->slots[slot % kBlockSlots].load(std::memory_order_relaxed);
+      }
+    }
+    switch (meta.kind) {
+      case Kind::kCounter:
+        v.counter = sums[0];
+        break;
+      case Kind::kGauge:
+        v.gauge = static_cast<std::int64_t>(sums[0]);
+        break;
+      case Kind::kHistogram:
+        v.hist.count = sums[0];
+        v.hist.sum = sums[1];
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+          v.hist.buckets[b] = sums[2 + b];
+        }
+        break;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace p2drm

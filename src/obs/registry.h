@@ -1,0 +1,206 @@
+#ifndef P2DRM_OBS_REGISTRY_H_
+#define P2DRM_OBS_REGISTRY_H_
+
+/// \file registry.h
+/// \brief Unified metrics registry: counters, gauges, and fixed-bucket
+/// log2 latency histograms, sharded per thread in the lock-free style of
+/// core::OpCountersShard.
+///
+/// Each registered metric gets a stable Id; every thread that touches a
+/// metric gets its own shard of relaxed atomics (created on first use,
+/// retained after the thread exits so its counts keep aggregating), and
+/// `Aggregate()` sums all shards under the registration mutex. Increment
+/// paths take no locks: the hot path is one relaxed enabled-check, one
+/// thread-local shard lookup, and one relaxed fetch_add.
+///
+/// Determinism contract: counter and gauge aggregates are exact once the
+/// incrementing threads have quiesced (joined or drained), which is what
+/// lets `bench_scenarios` put registry aggregates into its byte-compared
+/// report. During concurrent increments each slot is a valid
+/// point-in-time lower bound (relaxed ordering; no cross-slot snapshot
+/// is implied) — same contract as core::AggregateOps().
+///
+/// Toggles: `set_enabled(false)` turns every record path into the relaxed
+/// load + branch; compiling with -DP2DRM_OBS_DISABLED makes them empty
+/// inline functions so the instrumentation costs nothing at all.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace p2drm {
+namespace obs {
+
+/// Sharded lock-free metrics registry. Registration (Counter/Gauge/
+/// Histogram) takes a mutex and may be called from any thread; it is
+/// idempotent by (name, kind), so wiring the same provider twice reuses
+/// the existing Id. Record calls (Add/GaugeAdd/Observe) are lock-free
+/// and safe from any thread, concurrently with Aggregate().
+class Registry {
+ public:
+  using Id = std::uint32_t;
+
+  /// log2 histogram buckets: bucket 0 holds value 0, bucket b >= 1 holds
+  /// values with bit-width b (i.e. [2^(b-1), 2^b - 1]); the last bucket
+  /// absorbs everything wider. 40 buckets cover a year in microseconds.
+  static constexpr std::size_t kHistogramBuckets = 40;
+
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  Registry();
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Register (or look up) a metric. Export order is first-registration
+  /// order, which makes the exported block stable across identical runs.
+  Id Counter(const std::string& name);
+  Id Gauge(const std::string& name);
+  Id Histogram(const std::string& name);
+
+  /// Runtime on/off switch for every record path (registration and
+  /// aggregation are unaffected). Relaxed; flips are advisory.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Counter increment.
+  void Add(Id id, std::uint64_t delta = 1) {
+#if !defined(P2DRM_OBS_DISABLED)
+    if (enabled()) Record(id, delta);
+#else
+    (void)id;
+    (void)delta;
+#endif
+  }
+
+  /// Gauge delta (may be negative: queue depth goes up on submit, down on
+  /// completion, possibly on different threads — the aggregate sums the
+  /// signed deltas).
+  void GaugeAdd(Id id, std::int64_t delta) {
+#if !defined(P2DRM_OBS_DISABLED)
+    if (enabled()) Record(id, static_cast<std::uint64_t>(delta));
+#else
+    (void)id;
+    (void)delta;
+#endif
+  }
+
+  /// Histogram sample (conventionally microseconds).
+  void Observe(Id id, std::uint64_t value) {
+#if !defined(P2DRM_OBS_DISABLED)
+    if (enabled()) RecordObserve(id, value);
+#else
+    (void)id;
+    (void)value;
+#endif
+  }
+
+  /// log2 bucket index for \p value (exposed for tests).
+  static std::size_t BucketOf(std::uint64_t value) {
+    std::size_t width = 0;
+    while (value != 0) {
+      ++width;
+      value >>= 1;
+    }
+    return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket \p b (2^b - 1; bucket 0 = 0).
+  static std::uint64_t BucketUpperBound(std::size_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  struct HistogramSnapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t buckets[kHistogramBuckets] = {};
+
+    /// Upper bound of the bucket holding the p-quantile sample
+    /// (0 <= p <= 1); 0 when empty. A bucketed approximation: exact to
+    /// within the 2x bucket width.
+    std::uint64_t Quantile(double p) const;
+    std::uint64_t Max() const;  ///< upper bound of the highest hit bucket
+  };
+
+  /// One metric's aggregated value.
+  struct MetricValue {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    std::uint64_t counter = 0;  ///< kCounter
+    std::int64_t gauge = 0;     ///< kGauge
+    HistogramSnapshot hist;     ///< kHistogram
+  };
+
+  /// Sums every thread's shard (shards of exited threads included), in
+  /// registration order. Safe concurrently with record calls.
+  std::vector<MetricValue> Aggregate() const;
+
+ private:
+  // Slot layout: each metric owns a contiguous slot range in every
+  // shard. Counter/gauge = 1 slot; histogram = [count, sum, buckets...].
+  struct Meta {
+    std::string name;
+    Kind kind;
+    std::uint32_t base_slot;
+  };
+
+  // Shards grow in fixed blocks so record paths never relocate storage
+  // the aggregator might be reading. Blocks are installed by the owner
+  // thread with a release store; the aggregator acquire-loads them.
+  static constexpr std::size_t kBlockSlots = 256;
+  static constexpr std::size_t kMaxBlocks = 64;
+
+  struct Block {
+    std::atomic<std::uint64_t> slots[kBlockSlots] = {};
+  };
+
+  struct Shard {
+    std::atomic<Block*> blocks[kMaxBlocks] = {};
+
+    ~Shard() {
+      for (auto& b : blocks) delete b.load(std::memory_order_relaxed);
+    }
+  };
+
+  /// Hard cap on registered metrics; registrations past it return the
+  /// last Id and record into it (never UB, visibly wrong instead).
+  static constexpr std::size_t kMaxMetrics = 1024;
+
+  void Record(Id id, std::uint64_t delta);
+  void RecordObserve(Id id, std::uint64_t value);
+  Id Register(const std::string& name, Kind kind, std::uint32_t slots);
+  Shard* ThisThreadShard();
+  std::atomic<std::uint64_t>* SlotForWrite(Shard* shard, std::uint32_t slot);
+
+  std::atomic<bool> enabled_{true};
+  const std::uint64_t serial_;  ///< process-unique, keys the TLS cache
+
+  // Record paths read (base_slot, kind) without the mutex: the entry is
+  // written under m_ BEFORE metric_count_ publishes it (release), and
+  // readers acquire-load the count first. Fixed array: never relocates.
+  struct SlotInfo {
+    std::uint32_t base_slot = 0;
+    Kind kind = Kind::kCounter;
+  };
+  SlotInfo slot_info_[kMaxMetrics];
+  std::atomic<std::uint32_t> metric_count_{0};
+
+  mutable std::mutex m_;
+  std::vector<Meta> metrics_;    // guarded by m_
+  std::uint32_t next_slot_ = 0;  // guarded by m_
+  std::deque<Shard> shards_;     // guarded by m_ (deque: never relocates)
+};
+
+}  // namespace obs
+}  // namespace p2drm
+
+#endif  // P2DRM_OBS_REGISTRY_H_

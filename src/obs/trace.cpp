@@ -1,0 +1,227 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace p2drm {
+namespace obs {
+
+namespace {
+
+std::uint64_t NextTracerSerial() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t SteadyNowUs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendEscaped(std::string* out, const char* s) {
+  out->push_back('"');
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : serial_(NextTracerSerial()),
+      ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
+
+Tracer::~Tracer() = default;
+
+void Tracer::set_time_source(TimeSourceUs source) {
+  time_source_ = std::move(source);
+}
+
+Tracer::Ring* Tracer::ThisThreadRing() {
+  thread_local std::vector<std::pair<std::uint64_t, Ring*>> cache;
+  for (const auto& entry : cache) {
+    if (entry.first == serial_) return entry.second;
+  }
+  Ring* ring;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    rings_.emplace_back();
+    ring = &rings_.back();
+    ring->tid = static_cast<std::uint32_t>(rings_.size() - 1);
+  }
+  cache.emplace_back(serial_, ring);
+  return ring;
+}
+
+void Tracer::SetThreadName(const char* name) {
+  ThisThreadRing()->thread_name = name;
+}
+
+void Tracer::EmitSlow(Phase phase, const char* name, const char* arg_name,
+                      std::uint64_t arg) {
+  Event e;
+  e.ts = time_source_ != nullptr ? time_source_() : SteadyNowUs();
+  e.name = name;
+  e.arg_name = arg_name;
+  e.arg = arg;
+  e.phase = phase;
+  Ring* ring = ThisThreadRing();
+  if (ring->events.size() < ring_capacity_) {
+    ring->events.push_back(e);
+    return;
+  }
+  // At capacity: overwrite the oldest event (bounded memory beats a
+  // complete trace; dropped_count() makes the loss visible).
+  ring->events[ring->next] = e;
+  ring->next = (ring->next + 1) % ring_capacity_;
+  ++ring->dropped;
+}
+
+void Tracer::InOrder(const Ring& ring, std::vector<Event>* out) {
+  // Once the ring has wrapped, `next` points at the oldest event.
+  for (std::size_t i = 0; i < ring.events.size(); ++i) {
+    out->push_back(ring.events[(ring.next + i) % ring.events.size()]);
+  }
+}
+
+void Tracer::AppendChromeTraceEvents(std::string* out, int pid,
+                                     const std::string& process_name,
+                                     bool* first) const {
+  std::lock_guard<std::mutex> lock(m_);
+  char buf[64];
+
+  auto comma = [&] {
+    if (!*first) out->append(",\n");
+    *first = false;
+  };
+
+  comma();
+  out->append("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+  std::snprintf(buf, sizeof(buf), "%d", pid);
+  out->append(buf);
+  out->append(",\"tid\":0,\"args\":{\"name\":");
+  AppendEscaped(out, process_name.c_str());
+  out->append("}}");
+
+  struct Keyed {
+    Event e;
+    std::uint32_t tid;
+  };
+  std::vector<Keyed> all;
+  for (const Ring& ring : rings_) {
+    if (ring.thread_name != nullptr) {
+      comma();
+      out->append("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":");
+      std::snprintf(buf, sizeof(buf), "%d", pid);
+      out->append(buf);
+      out->append(",\"tid\":");
+      std::snprintf(buf, sizeof(buf), "%u", ring.tid);
+      out->append(buf);
+      out->append(",\"args\":{\"name\":");
+      AppendEscaped(out, ring.thread_name);
+      out->append("}}");
+    }
+    std::vector<Event> in_order;
+    InOrder(ring, &in_order);
+    for (const Event& e : in_order) all.push_back(Keyed{e, ring.tid});
+  }
+
+  // Stable on (ts, tid): per-ring recording order is chronological, so
+  // ties keep their program order — B before its same-ts E.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     if (a.e.ts != b.e.ts) return a.e.ts < b.e.ts;
+                     return a.tid < b.tid;
+                   });
+
+  for (const Keyed& k : all) {
+    comma();
+    out->append("{\"name\":");
+    AppendEscaped(out, k.e.name);
+    out->append(",\"ph\":\"");
+    switch (k.e.phase) {
+      case Phase::kBegin: out->push_back('B'); break;
+      case Phase::kEnd: out->push_back('E'); break;
+      case Phase::kInstant: out->push_back('i'); break;
+    }
+    out->append("\",\"ts\":");
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(k.e.ts));
+    out->append(buf);
+    out->append(",\"pid\":");
+    std::snprintf(buf, sizeof(buf), "%d", pid);
+    out->append(buf);
+    out->append(",\"tid\":");
+    std::snprintf(buf, sizeof(buf), "%u", k.tid);
+    out->append(buf);
+    if (k.e.phase == Phase::kInstant) out->append(",\"s\":\"t\"");
+    if (k.e.arg_name != nullptr) {
+      out->append(",\"args\":{");
+      AppendEscaped(out, k.e.arg_name);
+      out->push_back(':');
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(k.e.arg));
+      out->append(buf);
+      out->push_back('}');
+    }
+    out->push_back('}');
+  }
+}
+
+bool Tracer::WriteChromeTraceFile(const std::string& path,
+                                  const std::string& events) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "Tracer: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const char* head = "{\"traceEvents\":[\n";
+  const char* tail = "\n]}\n";
+  std::fwrite(head, 1, std::strlen(head), f);
+  std::fwrite(events.data(), 1, events.size(), f);
+  std::fwrite(tail, 1, std::strlen(tail), f);
+  std::fclose(f);
+  return true;
+}
+
+bool Tracer::Contains(const char* name) const {
+  std::lock_guard<std::mutex> lock(m_);
+  for (const Ring& ring : rings_) {
+    for (const Event& e : ring.events) {
+      if (std::strcmp(e.name, name) == 0) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::size_t n = 0;
+  for (const Ring& ring : rings_) n += ring.events.size();
+  return n;
+}
+
+std::uint64_t Tracer::dropped_count() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::uint64_t n = 0;
+  for (const Ring& ring : rings_) n += ring.dropped;
+  return n;
+}
+
+}  // namespace obs
+}  // namespace p2drm

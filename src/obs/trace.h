@@ -1,0 +1,171 @@
+#ifndef P2DRM_OBS_TRACE_H_
+#define P2DRM_OBS_TRACE_H_
+
+/// \file trace.h
+/// \brief Span tracer: begin/end/instant events in bounded per-thread
+/// ring buffers, exported as Chrome/Perfetto trace-event JSON.
+///
+/// Timestamps come from an injectable TimeSourceUs — the sim virtual
+/// clock in scenario runs (making the trace deterministic: byte-identical
+/// under a fixed seed, which CI enforces with cmp), steady_clock in real
+/// runs. Event names and arg names are `const char*` and must point at
+/// string literals (or storage outliving the tracer): the ring stores the
+/// pointer, not a copy, so recording never allocates once a ring is at
+/// capacity.
+///
+/// Threading contract: recording is safe from any thread (each thread
+/// writes only its own ring). Export and set_time_source require the
+/// recording threads to have quiesced (joined or drained) — the usual
+/// state at the end of a bench pass.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace p2drm {
+namespace obs {
+
+/// Injectable monotonic microsecond source (structurally identical to
+/// server::TimeSourceUs; redeclared here so obs stays a base layer).
+using TimeSourceUs = std::function<std::uint64_t()>;
+
+class Tracer {
+ public:
+  /// \param ring_capacity max events retained per recording thread; the
+  /// ring drops its oldest events past that (dropped_count() reports).
+  explicit Tracer(std::size_t ring_capacity = 1 << 16);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Install (or clear: nullptr = steady_clock) the timestamp source.
+  /// Call only while no thread is recording — and clear it before the
+  /// clock it captures dies (a scenario's virtual clock is stack-owned).
+  void set_time_source(TimeSourceUs source);
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Names the calling thread's ring in the exported trace.
+  void SetThreadName(const char* name);
+
+  void Begin(const char* name) { Emit(Phase::kBegin, name, nullptr, 0); }
+  void End(const char* name) { Emit(Phase::kEnd, name, nullptr, 0); }
+  void Instant(const char* name) { Emit(Phase::kInstant, name, nullptr, 0); }
+  void Instant(const char* name, const char* arg_name, std::uint64_t arg) {
+    Emit(Phase::kInstant, name, arg_name, arg);
+  }
+  void BeginWithArg(const char* name, const char* arg_name,
+                    std::uint64_t arg) {
+    Emit(Phase::kBegin, name, arg_name, arg);
+  }
+
+  // -- export (recording threads quiesced) -------------------------------
+
+  /// Appends this tracer's events to \p out as Chrome trace-event JSON
+  /// objects (comma-separated, no surrounding brackets), preceded by a
+  /// process_name metadata event. Events are merged across rings in
+  /// (ts, tid, ring order) — deterministic when the timestamps are.
+  /// \p first is the emitted-anything-yet flag shared across tracers so
+  /// several scenarios can merge into one file.
+  void AppendChromeTraceEvents(std::string* out, int pid,
+                               const std::string& process_name,
+                               bool* first) const;
+
+  /// Writes `{"traceEvents":[<events>]}` to \p path. \p events is the
+  /// payload accumulated via AppendChromeTraceEvents. Returns false on
+  /// I/O failure.
+  static bool WriteChromeTraceFile(const std::string& path,
+                                   const std::string& events);
+
+  /// Whether any recorded event has this name (bench self-checks).
+  bool Contains(const char* name) const;
+
+  std::size_t event_count() const;
+  std::uint64_t dropped_count() const;
+
+ private:
+  enum class Phase : std::uint8_t { kBegin, kEnd, kInstant };
+
+  struct Event {
+    std::uint64_t ts = 0;
+    const char* name = nullptr;
+    const char* arg_name = nullptr;  ///< null: no args object
+    std::uint64_t arg = 0;
+    Phase phase = Phase::kInstant;
+  };
+
+  struct Ring {
+    std::vector<Event> events;  ///< grows to capacity, then circular
+    std::size_t next = 0;       ///< overwrite cursor once at capacity
+    std::uint64_t dropped = 0;
+    std::uint32_t tid = 0;
+    const char* thread_name = nullptr;
+  };
+
+  void Emit(Phase phase, const char* name, const char* arg_name,
+            std::uint64_t arg) {
+#if !defined(P2DRM_OBS_DISABLED)
+    if (enabled()) EmitSlow(phase, name, arg_name, arg);
+#else
+    (void)phase;
+    (void)name;
+    (void)arg_name;
+    (void)arg;
+#endif
+  }
+  void EmitSlow(Phase phase, const char* name, const char* arg_name,
+                std::uint64_t arg);
+  Ring* ThisThreadRing();
+  /// Ring contents oldest-first (unwraps the circular cursor).
+  static void InOrder(const Ring& ring, std::vector<Event>* out);
+
+  std::atomic<bool> enabled_{true};
+  const std::uint64_t serial_;
+  const std::size_t ring_capacity_;
+  TimeSourceUs time_source_;  ///< set while quiesced, read by recorders
+
+  mutable std::mutex m_;
+  std::deque<Ring> rings_;  // guarded by m_ (deque: never relocates)
+};
+
+/// RAII span: Begin on construction, End on destruction. Null or
+/// disabled tracer: both ends are no-ops.
+class Span {
+ public:
+  Span(Tracer* tracer, const char* name)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        name_(name) {
+    if (tracer_ != nullptr) tracer_->Begin(name_);
+  }
+  ~Span() {
+    if (tracer_ != nullptr) tracer_->End(name_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+};
+
+/// The two observability endpoints a component may be handed. Either (or
+/// both) may be null: every instrumentation site treats null as off.
+struct Sink {
+  Tracer* tracer = nullptr;
+  Registry* registry = nullptr;
+};
+
+}  // namespace obs
+}  // namespace p2drm
+
+#endif  // P2DRM_OBS_TRACE_H_

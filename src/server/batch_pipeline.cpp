@@ -5,7 +5,8 @@ namespace server {
 
 BatchPipelineTimings BatchPipeline::Run(const Plan& plan,
                                         const IssueExecutor& executor,
-                                        const TimeSourceUs& now_us) {
+                                        const TimeSourceUs& now_us,
+                                        const PipelineObs* pobs) {
   BatchPipelineTimings t;
   t.items = plan.item_count;
   if (plan.item_count == 0) return t;
@@ -13,9 +14,11 @@ BatchPipelineTimings BatchPipeline::Run(const Plan& plan,
   const auto now = [&now_us]() -> std::uint64_t {
     return now_us != nullptr ? now_us() : SteadyNowUs();
   };
+  obs::Tracer* tracer = pobs != nullptr ? pobs->tracer : nullptr;
 
   // Stage 1 — verify (dispatch thread, amortized, read-only).
   std::uint64_t stage_t0 = now();
+  if (tracer != nullptr) tracer->Begin(pobs->span_verify);
   std::vector<std::size_t> eligible;
   if (plan.verify != nullptr) {
     eligible = plan.verify();
@@ -23,17 +26,20 @@ BatchPipelineTimings BatchPipeline::Run(const Plan& plan,
     eligible.resize(plan.item_count);
     for (std::size_t i = 0; i < plan.item_count; ++i) eligible[i] = i;
   }
+  if (tracer != nullptr) tracer->End(pobs->span_verify);
   t.verify_us = static_cast<double>(now() - stage_t0);
 
   // Stage 2 — mutate (the flow's serialization point; the only stage
   // that may shed).
   stage_t0 = now();
+  if (tracer != nullptr) tracer->Begin(pobs->span_mutate);
   std::vector<core::Status> mutated;
   if (plan.mutate != nullptr) {
     mutated = plan.mutate(eligible);
   } else {
     mutated.assign(eligible.size(), core::Status::kOk);
   }
+  if (tracer != nullptr) tracer->End(pobs->span_mutate);
   t.mutate_us = static_cast<double>(now() - stage_t0);
 
   // Partition into the live set (kOk, plus whatever `proceed` admits)
@@ -58,6 +64,7 @@ BatchPipelineTimings BatchPipeline::Run(const Plan& plan,
   // Stage 3 — issue: forks first (dispatch thread, ascending k), then
   // the fan-out, joined before the timing stops.
   stage_t0 = now();
+  if (tracer != nullptr) tracer->Begin(pobs->span_issue);
   if (plan.begin_issue != nullptr) plan.begin_issue(live.size());
   if (plan.draw_fork != nullptr) {
     for (std::size_t k = 0; k < live.size(); ++k) {
@@ -75,6 +82,7 @@ BatchPipelineTimings BatchPipeline::Run(const Plan& plan,
       for (std::size_t k = 0; k < live.size(); ++k) work(k);
     }
   }
+  if (tracer != nullptr) tracer->End(pobs->span_issue);
   t.issue_us = static_cast<double>(now() - stage_t0);
 
   // Commit tail — dispatch thread, ascending k.
@@ -83,6 +91,15 @@ BatchPipelineTimings BatchPipeline::Run(const Plan& plan,
       std::size_t j = live[k];
       plan.commit(k, eligible[j], mutated[j]);
     }
+  }
+
+  if (pobs != nullptr && pobs->registry != nullptr) {
+    obs::Registry* reg = pobs->registry;
+    reg->Observe(pobs->hist_verify_us, static_cast<std::uint64_t>(t.verify_us));
+    reg->Observe(pobs->hist_mutate_us, static_cast<std::uint64_t>(t.mutate_us));
+    reg->Observe(pobs->hist_issue_us, static_cast<std::uint64_t>(t.issue_us));
+    reg->Add(pobs->ctr_items, t.items);
+    if (t.shed != 0) reg->Add(pobs->ctr_shed, t.shed);
   }
   return t;
 }

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/errors.h"
+#include "obs/trace.h"
 
 namespace p2drm {
 namespace server {
@@ -69,6 +70,25 @@ struct BatchPipelineTimings {
   std::size_t items = 0;     ///< batch size
   std::size_t shed = 0;      ///< items shed kOverloaded at the mutate stage
   std::size_t committed = 0; ///< items that reached issue + commit
+};
+
+/// Observability hooks for one flow's pipeline runs: stage spans on the
+/// tracer and per-stage latency histograms + shed/item counters on the
+/// registry. Either endpoint may be null (off). Span names must be
+/// static literals (the tracer stores the pointer); the registry ids are
+/// meaningful only when `registry` is non-null — whoever sets the
+/// registry registers all five.
+struct PipelineObs {
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* registry = nullptr;
+  const char* span_verify = "pipeline.verify";
+  const char* span_mutate = "pipeline.mutate";
+  const char* span_issue = "pipeline.issue";
+  obs::Registry::Id hist_verify_us = 0;
+  obs::Registry::Id hist_mutate_us = 0;
+  obs::Registry::Id hist_issue_us = 0;
+  obs::Registry::Id ctr_items = 0;
+  obs::Registry::Id ctr_shed = 0;
 };
 
 /// Orchestrates one batch through verify -> mutate -> issue -> commit.
@@ -136,9 +156,12 @@ class BatchPipeline {
   /// Runs \p plan to completion. \p executor fans out the issue stage;
   /// when null the issue calls run serially on the dispatch thread.
   /// \p now_us supplies the stage-timing clock (null = steady_clock).
+  /// \p pobs, when non-null, receives stage spans and per-stage latency
+  /// histograms — all emitted from the dispatch thread.
   static BatchPipelineTimings Run(const Plan& plan,
                                   const IssueExecutor& executor,
-                                  const TimeSourceUs& now_us = nullptr);
+                                  const TimeSourceUs& now_us = nullptr,
+                                  const PipelineObs* pobs = nullptr);
 };
 
 }  // namespace server

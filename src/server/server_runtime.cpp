@@ -163,6 +163,18 @@ void ServerRuntime::WorkerLoop(Shard* shard) {
       shard->queue.pop_front();
       shard->busy = true;
     }
+    // Decrement BEFORE running the task: completion latches count down
+    // inside the task body, so anything sequenced after task() races the
+    // blocked caller's wake-up. Decrementing here sequences the gauge
+    // update before the latch, which is what lets a quiesced runtime
+    // (every blocking Submit returned) read the gauge as exactly the
+    // queued-not-yet-started items — deterministically zero — in the
+    // scenario determinism check. The gauge therefore counts queue
+    // depth, not queue + in-flight.
+    if (obs_registry_ != nullptr) {
+      obs_registry_->GaugeAdd(obs_queue_depth_,
+                              -static_cast<std::int64_t>(weight));
+    }
     task(shard->ctx);
     {
       std::lock_guard<std::mutex> lock(shard->m);
@@ -172,6 +184,14 @@ void ServerRuntime::WorkerLoop(Shard* shard) {
       if (shard->queue.empty()) shard->idle_cv.notify_all();
     }
   }
+}
+
+void ServerRuntime::set_observability(obs::Registry* registry,
+                                      const std::string& prefix) {
+  obs_registry_ = registry;
+  if (registry == nullptr) return;
+  obs_queue_depth_ = registry->Gauge(prefix + "queue_depth");
+  obs_sheds_ = registry->Counter(prefix + "sheds");
 }
 
 bool ServerRuntime::TrySubmit(std::size_t shard_index, Task task,
@@ -184,12 +204,17 @@ bool ServerRuntime::TrySubmit(std::size_t shard_index, Task task,
   if (shard.pending_items > 0 &&
       shard.pending_items + weight > config_.queue_capacity) {
     ++shard.overloads;
+    if (obs_registry_ != nullptr) obs_registry_->Add(obs_sheds_);
     return false;
   }
   shard.pending_items += weight;
   shard.high_water = std::max(shard.high_water, shard.pending_items);
   shard.queue.emplace_back(std::move(task), weight);
   shard.work_cv.notify_one();
+  if (obs_registry_ != nullptr) {
+    obs_registry_->GaugeAdd(obs_queue_depth_,
+                            static_cast<std::int64_t>(weight));
+  }
   return true;
 }
 
@@ -205,6 +230,10 @@ void ServerRuntime::Submit(std::size_t shard_index, Task task,
   shard.high_water = std::max(shard.high_water, shard.pending_items);
   shard.queue.emplace_back(std::move(task), weight);
   shard.work_cv.notify_one();
+  if (obs_registry_ != nullptr) {
+    obs_registry_->GaugeAdd(obs_queue_depth_,
+                            static_cast<std::int64_t>(weight));
+  }
 }
 
 void ServerRuntime::RunAll(std::vector<Task> tasks) {

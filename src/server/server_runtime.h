@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/errors.h"
+#include "obs/registry.h"
 #include "rel/ids.h"
 #include "server/shard_router.h"
 #include "store/append_log.h"
@@ -195,6 +196,13 @@ class ServerRuntime {
   /// Journal segment path for \p shard under \p prefix.
   static std::string SegmentPath(const std::string& prefix, std::size_t shard);
 
+  /// Wires queue accounting into \p registry (null = off): a
+  /// `<prefix>queue_depth` gauge (+weight on accept, -weight on
+  /// completion) and a `<prefix>sheds` counter on every TrySubmit
+  /// rejection. Call before traffic starts; the ids are read by the
+  /// submit paths and workers without synchronization after that.
+  void set_observability(obs::Registry* registry, const std::string& prefix);
+
  private:
   struct Shard {
     explicit Shard(store::SpentSetBackend backend) : ctx(backend) {}
@@ -222,6 +230,11 @@ class ServerRuntime {
   ServerRuntimeConfig config_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Queue observability (null = off; see set_observability).
+  obs::Registry* obs_registry_ = nullptr;
+  obs::Registry::Id obs_queue_depth_ = 0;
+  obs::Registry::Id obs_sheds_ = 0;
 };
 
 }  // namespace server

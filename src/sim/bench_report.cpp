@@ -44,6 +44,19 @@ void BenchReport::ConfigNote(const std::string& name,
   e->text = value;
 }
 
+void BenchReport::MetricsMetric(const std::string& name, double value) {
+  Entry* e = FindOrAdd(&metrics_, name);
+  e->numeric = true;
+  e->number = value;
+}
+
+void BenchReport::MetricsNote(const std::string& name,
+                              const std::string& value) {
+  Entry* e = FindOrAdd(&metrics_, name);
+  e->numeric = false;
+  e->text = value;
+}
+
 namespace {
 
 void AppendEscaped(std::ostringstream* os, const std::string& s) {
@@ -103,6 +116,22 @@ std::string BenchReport::ToJson() const {
     }
   }
   os << (config_.empty() ? "}" : "\n  }");
+  // The metrics block (aggregated registry + op counters) follows the
+  // config; omitted entirely when nothing was exported into it.
+  if (!metrics_.empty()) {
+    os << ",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      os << (i == 0 ? "\n    " : ",\n    ");
+      AppendEscaped(&os, metrics_[i].key);
+      os << ": ";
+      if (metrics_[i].numeric) {
+        AppendNumber(&os, metrics_[i].number);
+      } else {
+        AppendEscaped(&os, metrics_[i].text);
+      }
+    }
+    os << "\n  }";
+  }
   for (const Entry& e : entries_) {
     os << ",\n  ";
     AppendEscaped(&os, e.key);

@@ -41,6 +41,13 @@ class BenchReport {
   void ConfigMetric(const std::string& name, double value);
   void ConfigNote(const std::string& name, const std::string& value);
 
+  /// Adds (or overwrites) an entry in the report's `metrics` block — the
+  /// aggregated obs::Registry / core::OpCounters dump, kept separate from
+  /// the bench's own headline numbers. Emitted only when non-empty (the
+  /// obs/export.h helpers fill it).
+  void MetricsMetric(const std::string& name, double value);
+  void MetricsNote(const std::string& name, const std::string& value);
+
   std::string ToJson() const;
 
   /// Writes `BENCH_<name>.json` into \p dir. Returns false (after
@@ -60,7 +67,8 @@ class BenchReport {
   static Entry* FindOrAdd(std::vector<Entry>* entries, const std::string& key);
 
   std::string name_;
-  std::vector<Entry> config_;  ///< the nested "config" block
+  std::vector<Entry> config_;   ///< the nested "config" block
+  std::vector<Entry> metrics_;  ///< the nested "metrics" block
   std::vector<Entry> entries_;
 };
 

@@ -58,6 +58,29 @@ std::uint64_t SplitMix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Binds a tracer to the scenario's virtual clock for the duration of a
+/// Run(). RAII on purpose: the clock is a stack member of the engine, so
+/// the time source MUST be detached before the engine dies — otherwise a
+/// later emission would call through a dangling clock pointer.
+class TracerClockScope {
+ public:
+  TracerClockScope(obs::Tracer* tracer, VirtualClock* clock)
+      : tracer_(tracer) {
+    if (tracer_ == nullptr) return;
+    tracer_->set_time_source([clock] { return clock->NowUs(); });
+    tracer_->SetThreadName("scenario");
+  }
+  ~TracerClockScope() {
+    if (tracer_ != nullptr) tracer_->set_time_source(nullptr);
+  }
+
+  TracerClockScope(const TracerClockScope&) = delete;
+  TracerClockScope& operator=(const TracerClockScope&) = delete;
+
+ private:
+  obs::Tracer* tracer_;
+};
+
 /// One in-flight client batch (shrinks to the shed indices on retries).
 struct Batch {
   std::size_t user = 0;
@@ -172,6 +195,7 @@ class Engine : public EngineBase {
       : EngineBase(cfg), shards_(std::max<std::size_t>(cfg.shard_count, 1)) {}
 
   ScenarioResult Run() {
+    TracerClockScope trace_clock(cfg_.obs.tracer, &clock_);
     ScheduleUsers();
     loop_.RunUntilIdle();
     result_.virtual_duration_us = clock_.NowUs();
@@ -336,6 +360,7 @@ class ClusterEngine : public EngineBase {
     cc.queue_capacity = std::max<std::size_t>(cfg.queue_capacity, 1);
     cc.journal_prefix = cfg.cluster.journal_prefix;
     cc.fresh_start = true;  // a scenario run owns its journal family
+    cc.obs = cfg.obs;  // cluster records crash/failover instants + counters
     cluster_ = std::make_unique<cluster::ProviderCluster>(cc);
     client_ring_ = cluster_->ring();
     victim_ = static_cast<std::uint32_t>(cfg.cluster.crash_replica %
@@ -345,6 +370,7 @@ class ClusterEngine : public EngineBase {
   }
 
   ScenarioResult Run() {
+    TracerClockScope trace_clock(cfg_.obs.tracer, &clock_);
     ScheduleUsers();
     if (cfg_.cluster.crash_at_us > 0) {
       loop_.ScheduleAt(cfg_.cluster.crash_at_us, [this] { CrashEvent(); });
@@ -504,6 +530,10 @@ class ClusterEngine : public EngineBase {
       }
     }
 
+    if (!redirect_ids.empty() && cfg_.obs.tracer != nullptr) {
+      cfg_.obs.tracer->Instant("redirect", "items", redirect_ids.size());
+    }
+
     std::size_t completed = 0;
     if (!admitted.empty()) {
       // The real commit: actual spent-set inserts + journal appends on
@@ -610,13 +640,23 @@ class ClusterEngine : public EngineBase {
     cluster_->Crash(victim_, cfg_.cluster.tear_journal_tail);
     crashed_ = true;
     result_.cluster.crash_at_us = clock_.NowUs();
+    // The recovery-gate span opens at the crash (Crash itself emitted the
+    // cluster.crash instant) and closes when FailoverEvent lifts it.
+    if (cfg_.obs.tracer != nullptr) cfg_.obs.tracer->Begin("recovery_gate");
     // Failover duration is modeled from what is REALLY on disk: the
     // victim's intact journal records (the torn tail, if injected, is
-    // not among them).
+    // not among them). Detection and replay are two scheduled events —
+    // regardless of tracing, so events_executed is identical traced or
+    // not — which gives the trace a journal_replay span that starts when
+    // detection fires rather than one opaque crash→done gap.
     std::uint64_t records = cluster_->JournalRecordCount(victim_);
-    std::uint64_t delay = cfg_.cluster.failover_detect_us +
-                          cfg_.cluster.replay_per_record_us * records;
-    loop_.ScheduleAfter(delay, [this] { FailoverEvent(); });
+    loop_.ScheduleAfter(cfg_.cluster.failover_detect_us, [this, records] {
+      if (cfg_.obs.tracer != nullptr) {
+        cfg_.obs.tracer->BeginWithArg("journal_replay", "records", records);
+      }
+      loop_.ScheduleAfter(cfg_.cluster.replay_per_record_us * records,
+                          [this] { FailoverEvent(); });
+    });
   }
 
   void FailoverEvent() {
@@ -626,6 +666,12 @@ class ClusterEngine : public EngineBase {
     result_.cluster.imported_fresh = fo.imported_fresh;
     result_.cluster.imported_duplicates = fo.imported_duplicates;
     result_.cluster.torn_tails_skipped = fo.torn_tails;
+    if (cfg_.obs.tracer != nullptr) {
+      // Close in nesting order: replay ends, then the gate lifts (both at
+      // this instant — CompleteFailover already emitted its own marker).
+      cfg_.obs.tracer->End("journal_replay");
+      cfg_.obs.tracer->End("recovery_gate");
+    }
     if (!cfg_.cluster.audit_after_failover) return;
     // The invariant, checked against the real spent sets: every id the
     // victim committed must still be refused everywhere. Any kOk here is

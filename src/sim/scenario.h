@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "sim/stats.h"
 #include "sim/virtual_clock.h"
 
@@ -154,6 +155,17 @@ struct ScenarioConfig {
 
   // -- multi-replica cluster mode (off by default) --------------------
   ClusterOptions cluster;
+
+  // -- observability (off by default; not a workload knob) ------------
+  /// Tracing + metrics endpoints. The engine timestamps the tracer off
+  /// the scenario's virtual clock for the duration of Run() (and detaches
+  /// it before returning), so a traced run is byte-identical under a
+  /// fixed seed: cluster mode records the failover timeline —
+  /// cluster.crash, recovery_gate / journal_replay spans, redirect
+  /// instants — and the registry collects the cluster's counters.
+  /// Tracing changes no modeled timing and no rng draw, so a traced run
+  /// and an untraced run produce the same ScenarioResult.
+  obs::Sink obs;
 
   static std::array<FlowCost, kFlowCount> DefaultFlowCosts() {
     return {FlowCost{60, 5, 1500},   // redeem: transcript + license sign

@@ -1,0 +1,110 @@
+// core::GlobalOps / core::AggregateOps: the sharded per-thread crypto-op
+// counters behind the RT-2 table. The properties that matter: increments
+// from a thread that has EXITED are still in the aggregate (shards are
+// retained for the process lifetime), concurrent aggregation while a
+// worker increments is well-defined (relaxed atomics — run under TSan by
+// CI), and quiesced aggregation is exact.
+//
+// Every test asserts on DELTAS from a baseline AggregateOps() snapshot:
+// the registry is process-global, so absolute values depend on what ran
+// before.
+
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace p2drm {
+namespace core {
+namespace {
+
+TEST(OpCountersTest, DeltaAndTotalArithmetic) {
+  OpCounters a;
+  a.sign = 10;
+  a.verify = 4;
+  a.keygen = 1;
+  OpCounters b;
+  b.sign = 3;
+  b.verify = 4;
+  OpCounters d = a - b;
+  EXPECT_EQ(d.sign, 7u);
+  EXPECT_EQ(d.verify, 0u);
+  EXPECT_EQ(d.keygen, 1u);
+  EXPECT_EQ(d.Total(), 8u);
+  EXPECT_NE(d.ToString().find("sign=7"), std::string::npos);
+}
+
+TEST(AggregateOpsTest, OwnThreadIncrementsAreAggregated) {
+  OpCounters before = AggregateOps();
+  GlobalOps().sign.fetch_add(3, std::memory_order_relaxed);
+  GlobalOps().hybrid_dec.fetch_add(2, std::memory_order_relaxed);
+  OpCounters delta = AggregateOps() - before;
+  EXPECT_EQ(delta.sign, 3u);
+  EXPECT_EQ(delta.hybrid_dec, 2u);
+  EXPECT_EQ(delta.verify, 0u);
+}
+
+TEST(AggregateOpsTest, ExitedThreadCountsAreRetained) {
+  OpCounters before = AggregateOps();
+  std::thread t([] {
+    for (int i = 0; i < 1000; ++i) {
+      GlobalOps().verify.fetch_add(1, std::memory_order_relaxed);
+    }
+    GlobalOps().blind_sign.fetch_add(7, std::memory_order_relaxed);
+  });
+  t.join();
+  // The thread is gone; its shard must not be.
+  OpCounters delta = AggregateOps() - before;
+  EXPECT_EQ(delta.verify, 1000u);
+  EXPECT_EQ(delta.blind_sign, 7u);
+}
+
+TEST(AggregateOpsTest, ManyThreadsSumExactlyAfterJoin) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  OpCounters before = AggregateOps();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        GlobalOps().sign.fetch_add(1, std::memory_order_relaxed);
+      }
+      GlobalOps().keygen.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  OpCounters delta = AggregateOps() - before;
+  EXPECT_EQ(delta.sign, kThreads * kPerThread);
+  EXPECT_EQ(delta.keygen, static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(AggregateOpsTest, ConcurrentAggregateIsACleanLowerBound) {
+  // The documented contract: aggregating WHILE another thread increments
+  // is data-race-free (TSan is the real judge here) and each field is a
+  // point-in-time lower bound — so successive aggregates of a
+  // monotonically incremented field must themselves be monotone.
+  OpCounters before = AggregateOps();
+  std::atomic<bool> stop{false};
+  std::thread writer([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      GlobalOps().blind_prep.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::uint64_t last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t now = (AggregateOps() - before).blind_prep;
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  // Quiesced: the final aggregate sees everything the writer did.
+  EXPECT_GE((AggregateOps() - before).blind_prep, last);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2drm
