@@ -11,6 +11,7 @@
 
 #include <map>
 
+#include "bignum/limbs.h"
 #include "bignum/montgomery.h"
 #include "crypto/blind_rsa.h"
 #include "crypto/chacha20.h"
@@ -191,4 +192,14 @@ P2DRM_GBENCH_JSON_MAIN("bench_crypto",
                        cfg.Num("fdh_message_bytes", 64);
                        cfg.Str("hash", "sha256");
                        cfg.Str("stream_cipher", "chacha20");
-                       cfg.Str("modexp_ablation", "montgomery,naive");)
+                       cfg.Str("modexp_ablation", "montgomery,naive");
+                       // Kernel configuration (docs/bignum.md): the block
+                       // is written after the run, so the widths-hit and
+                       // scratch counters reflect this process's work.
+                       cfg.Num("bignum_limb_bits", 64);
+                       cfg.Str("powmod_window_bits", "4 (exp<=512b), 5");
+                       cfg.Str("fixed_width_powmods",
+                               p2drm::bignum::DescribeKernelWidthsHit());
+                       cfg.Num("scratch_heap_allocs",
+                               static_cast<double>(
+                                   p2drm::bignum::KernelStats().scratch_heap_allocs));)

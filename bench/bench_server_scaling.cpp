@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "bignum/limbs.h"
 #include "core/content_provider.h"
 #include "core/metrics.h"
 #include "crypto/drbg.h"
@@ -625,6 +626,15 @@ int main(int argc, char** argv) {
 
   obs::AppendRegistry(registry, "", &report);
   obs::AppendOpCounters(&report);
+
+  // Bignum kernel configuration (docs/bignum.md), recorded after the run
+  // so the widths-hit and scratch counters cover everything above.
+  report.ConfigMetric("bignum_limb_bits", 64);
+  report.ConfigNote("powmod_window_bits", "4 (exp<=512b), 5");
+  report.ConfigNote("fixed_width_powmods", bignum::DescribeKernelWidthsHit());
+  report.ConfigMetric(
+      "scratch_heap_allocs",
+      static_cast<double>(bignum::KernelStats().scratch_heap_allocs));
 
   report.WriteJsonFile();
   return 0;

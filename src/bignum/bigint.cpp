@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "bignum/limbs.h"
 #include "bignum/montgomery.h"
 
 namespace p2drm {
@@ -11,7 +12,11 @@ namespace bignum {
 
 namespace {
 
-constexpr std::size_t kKaratsubaThreshold = 32;  // limbs
+// Products at or above this many 32-bit limbs per operand (256 bits)
+// leave the 32-bit schoolbook loop for the flat 64-bit kernels in
+// limbs.h; the packing cost is noise next to the quartered inner-loop
+// iteration count.
+constexpr std::size_t kWideMulThreshold = 8;  // 32-bit limbs
 
 int HexDigit(char c) {
   if (c >= '0' && c <= '9') return c - '0';
@@ -290,64 +295,29 @@ std::vector<std::uint32_t> BigInt::MulMagSchoolbook(
   return out;
 }
 
-std::vector<std::uint32_t> BigInt::MulMagKaratsuba(
+std::vector<std::uint32_t> BigInt::MulMagWide(
     const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
-  std::size_t n = std::max(a.size(), b.size());
-  if (std::min(a.size(), b.size()) < kKaratsubaThreshold) {
-    return MulMagSchoolbook(a, b);
-  }
-  std::size_t half = n / 2;
-  auto lo = [half](const std::vector<std::uint32_t>& v) {
-    std::vector<std::uint32_t> r(v.begin(),
-                                 v.begin() + std::min(half, v.size()));
-    while (!r.empty() && r.back() == 0) r.pop_back();
-    return r;
-  };
-  auto hi = [half](const std::vector<std::uint32_t>& v) {
-    if (v.size() <= half) return std::vector<std::uint32_t>();
-    std::vector<std::uint32_t> r(v.begin() + half, v.end());
-    while (!r.empty() && r.back() == 0) r.pop_back();
-    return r;
-  };
-  std::vector<std::uint32_t> a0 = lo(a), a1 = hi(a);
-  std::vector<std::uint32_t> b0 = lo(b), b1 = hi(b);
-
-  std::vector<std::uint32_t> z0 = MulMagKaratsuba(a0, b0);
-  std::vector<std::uint32_t> z2 = MulMagKaratsuba(a1, b1);
-  std::vector<std::uint32_t> sa = AddMag(a0, a1);
-  std::vector<std::uint32_t> sb = AddMag(b0, b1);
-  std::vector<std::uint32_t> z1 = MulMagKaratsuba(sa, sb);
-  z1 = SubMag(z1, AddMag(z0, z2));  // z1 -= z0 + z2; always non-negative
-
-  // result = z0 + z1 << (32*half) + z2 << (64*half)
-  std::vector<std::uint32_t> out(2 * n + 1, 0);
-  auto add_shifted = [&out](const std::vector<std::uint32_t>& v,
-                            std::size_t shift) {
-    std::uint64_t carry = 0;
-    std::size_t i = 0;
-    for (; i < v.size(); ++i) {
-      std::uint64_t cur = out[shift + i] + static_cast<std::uint64_t>(v[i]) + carry;
-      out[shift + i] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
-    }
-    while (carry != 0) {
-      std::uint64_t cur = out[shift + i] + carry;
-      out[shift + i] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
-      ++i;
-    }
-  };
-  add_shifted(z0, 0);
-  add_shifted(z1, half);
-  add_shifted(z2, 2 * half);
+  Scratch* scratch = &TlsScratch();
+  Scratch::Frame frame(scratch);
+  const std::size_t na = PackedWidth(a.size());
+  const std::size_t nb = PackedWidth(b.size());
+  Limb* pa = scratch->Alloc(na);
+  Limb* pb = scratch->Alloc(nb);
+  Limb* prod = scratch->Alloc(na + nb);
+  Pack32To64(pa, na, a.data(), a.size());
+  Pack32To64(pb, nb, b.data(), b.size());
+  MulN(prod, pa, na, pb, nb, scratch);
+  std::vector<std::uint32_t> out(a.size() + b.size());
+  Unpack64To32(out.data(), out.size(), prod, na + nb);
   while (!out.empty() && out.back() == 0) out.pop_back();
   return out;
 }
 
 std::vector<std::uint32_t> BigInt::MulMag(const std::vector<std::uint32_t>& a,
                                           const std::vector<std::uint32_t>& b) {
-  if (std::min(a.size(), b.size()) >= kKaratsubaThreshold) {
-    return MulMagKaratsuba(a, b);
+  if (a.empty() || b.empty()) return {};
+  if (std::min(a.size(), b.size()) >= kWideMulThreshold) {
+    return MulMagWide(a, b);
   }
   return MulMagSchoolbook(a, b);
 }
@@ -599,8 +569,11 @@ BigInt BigInt::PowMod(const BigInt& exp, const BigInt& m) const {
   if (exp.negative_) throw std::domain_error("BigInt::PowMod: negative exponent");
   if (m.limbs_.size() == 1 && m.limbs_[0] == 1) return BigInt();  // mod 1
   if (m.IsOdd()) {
-    Montgomery mont(m);
-    return mont.PowMod(this->Mod(m), exp);
+    // The cached context keeps R^2 mod N (two divisions) across calls:
+    // repeated exponentiations against the same modulus — every RSA
+    // verify, blind, and unblind — skip the rebuild entirely.
+    std::shared_ptr<const Montgomery> mont = Montgomery::CachedFor(m);
+    return mont->PowMod(this->Mod(m), exp);
   }
   // Even modulus: plain left-to-right square-and-multiply.
   BigInt base = this->Mod(m);

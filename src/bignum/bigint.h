@@ -164,7 +164,9 @@ class BigInt {
   static std::vector<std::uint32_t> MulMagSchoolbook(
       const std::vector<std::uint32_t>& a,
       const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> MulMagKaratsuba(
+  // Wide products run on the flat 64-bit kernels (limbs.h): packed
+  // operands, arena-Karatsuba above its threshold, unpacked result.
+  static std::vector<std::uint32_t> MulMagWide(
       const std::vector<std::uint32_t>& a,
       const std::vector<std::uint32_t>& b);
   static int CompareMag(const std::vector<std::uint32_t>& a,

@@ -1,133 +1,271 @@
 #include "bignum/montgomery.h"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace p2drm {
 namespace bignum {
+
+namespace {
+
+using DoubleLimb = unsigned __int128;
+
+// CIOS (coarsely integrated operand scanning) Montgomery multiply over
+// 64-bit limbs: out = a * b * R^-1 mod N with R = 2^(64*nlimbs).
+// Requires a < N (or < R when b < N), b < N, N odd. t is an nlimbs+2
+// accumulator. The operand widths are fixed at entry — both a and b are
+// exactly nlimbs wide — so the inner loops carry no bounds branches
+// (the per-iteration a.size()/b.size() checks of the old 32-bit kernel
+// are gone; callers normalize once via Montgomery::Load).
+inline void CiosBody(const Limb* n, std::size_t nlimbs, Limb n0_inv,
+                     Limb* out, const Limb* a, const Limb* b, Limb* t) {
+  std::memset(t, 0, (nlimbs + 2) * sizeof(Limb));
+  for (std::size_t i = 0; i < nlimbs; ++i) {
+    // t += a * b[i]
+    const DoubleLimb bi = b[i];
+    Limb carry = 0;
+    for (std::size_t j = 0; j < nlimbs; ++j) {
+      DoubleLimb cur = bi * a[j] + t[j] + carry;
+      t[j] = static_cast<Limb>(cur);
+      carry = static_cast<Limb>(cur >> 64);
+    }
+    DoubleLimb cur = static_cast<DoubleLimb>(t[nlimbs]) + carry;
+    t[nlimbs] = static_cast<Limb>(cur);
+    t[nlimbs + 1] = static_cast<Limb>(cur >> 64);
+
+    // m = t[0] * n0_inv mod 2^64; t += m * N; t >>= 64
+    const DoubleLimb m = t[0] * n0_inv;
+    carry = static_cast<Limb>((m * n[0] + t[0]) >> 64);
+    for (std::size_t j = 1; j < nlimbs; ++j) {
+      DoubleLimb c2 = m * n[j] + t[j] + carry;
+      t[j - 1] = static_cast<Limb>(c2);
+      carry = static_cast<Limb>(c2 >> 64);
+    }
+    cur = static_cast<DoubleLimb>(t[nlimbs]) + carry;
+    t[nlimbs - 1] = static_cast<Limb>(cur);
+    t[nlimbs] = t[nlimbs + 1] + static_cast<Limb>(cur >> 64);
+    t[nlimbs + 1] = 0;
+  }
+  // t < 2N: one conditional subtraction normalizes into [0, N).
+  if (t[nlimbs] != 0 || CmpN(t, n, nlimbs) >= 0) {
+    SubN(out, t, n, nlimbs);
+  } else {
+    std::memcpy(out, t, nlimbs * sizeof(Limb));
+  }
+}
+
+void MontMulGeneric(const Limb* n, std::size_t nlimbs, Limb n0_inv, Limb* out,
+                    const Limb* a, const Limb* b, Limb* t) {
+  CiosBody(n, nlimbs, n0_inv, out, a, b, t);
+}
+
+// Fixed-width kernels: the limb count is a compile-time constant, so
+// the compiler fully unrolls the carry chains and keeps the CIOS
+// accumulator on the stack (N+2 limbs, <= 272 bytes at 2048 bits).
+template <std::size_t N>
+void MontMulFixed(const Limb* n, std::size_t /*nlimbs*/, Limb n0_inv,
+                  Limb* out, const Limb* a, const Limb* b, Limb* /*t*/) {
+  Limb t[N + 2];
+  CiosBody(n, N, n0_inv, out, a, b, t);
+}
+
+}  // namespace
 
 Montgomery::Montgomery(const BigInt& modulus) : modulus_(modulus) {
   if (modulus.IsZero() || modulus.IsNegative() || !modulus.IsOdd() ||
       modulus == BigInt(1)) {
     throw std::domain_error("Montgomery: modulus must be odd and > 1");
   }
-  n_ = modulus.limbs();
-  nlimbs_ = n_.size();
+  const std::vector<std::uint32_t>& limbs32 = modulus.limbs();
+  n_ = PackedWidth(limbs32.size());
+  n64_.resize(n_);
+  Pack32To64(n64_.data(), n_, limbs32.data(), limbs32.size());
 
-  // n0_inv = -N^-1 mod 2^32 via Newton iteration (5 doublings of precision).
-  std::uint32_t inv = 1;
-  for (int i = 0; i < 5; ++i) {
-    inv *= 2u - n_[0] * inv;
+  // n0_inv = -N^-1 mod 2^64 via Newton iteration: each step doubles the
+  // number of correct low bits (1 -> 2 -> ... -> 64 in 6 steps).
+  Limb inv = 1;
+  for (int i = 0; i < 6; ++i) {
+    inv *= 2u - n64_[0] * inv;
   }
-  n0_inv_ = ~inv + 1u;  // negate mod 2^32
+  n0_inv_ = ~inv + 1u;  // negate mod 2^64
 
-  BigInt r = BigInt(1) << (32 * nlimbs_);
-  r_mod_n_ = r.Mod(modulus_);
-  r2_mod_n_ = (r_mod_n_ * r_mod_n_).Mod(modulus_);
+  BigInt r = BigInt(1) << (64 * n_);
+  BigInt r_mod_n = r.Mod(modulus_);
+  BigInt r2_mod_n = (r_mod_n * r_mod_n).Mod(modulus_);
+  one_mont_.resize(n_);
+  r2_.resize(n_);
+  Load(one_mont_.data(), r_mod_n);
+  Load(r2_.data(), r2_mod_n);
+
+  // Fixed-width dispatch for the RSA modulus sizes (bits = 64 * n_).
+  switch (n_) {
+    case 8:  mul_fn_ = &MontMulFixed<8>; break;    // 512-bit
+    case 16: mul_fn_ = &MontMulFixed<16>; break;   // 1024-bit
+    case 32: mul_fn_ = &MontMulFixed<32>; break;   // 2048-bit
+    default: mul_fn_ = &MontMulGeneric; break;
+  }
 }
 
-void Montgomery::MulLimbs(const std::vector<std::uint32_t>& a,
-                          const std::vector<std::uint32_t>& b,
-                          std::vector<std::uint32_t>* out) const {
-  const std::size_t n = nlimbs_;
-  // CIOS: t has n+2 limbs.
-  std::vector<std::uint32_t> t(n + 2, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t bi = i < b.size() ? b[i] : 0u;
-    // t += a * b[i]
-    std::uint64_t carry = 0;
-    for (std::size_t j = 0; j < n; ++j) {
-      std::uint64_t aj = j < a.size() ? a[j] : 0u;
-      std::uint64_t cur = t[j] + aj * bi + carry;
-      t[j] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
-    }
-    std::uint64_t cur = t[n] + carry;
-    t[n] = static_cast<std::uint32_t>(cur);
-    t[n + 1] = static_cast<std::uint32_t>(cur >> 32);
+void Montgomery::Load(Limb* out, const BigInt& a) const {
+  if (a.IsNegative() || a.CompareMagnitude(modulus_) >= 0) {
+    throw std::domain_error("Montgomery::Load: value out of [0, N)");
+  }
+  const std::vector<std::uint32_t>& limbs32 = a.limbs();
+  Pack32To64(out, n_, limbs32.data(), limbs32.size());
+}
 
-    // m = t[0] * n0_inv mod 2^32; t += m * N; t >>= 32
-    std::uint32_t m = t[0] * n0_inv_;
-    carry = (static_cast<std::uint64_t>(t[0]) +
-             static_cast<std::uint64_t>(m) * n_[0]) >> 32;
-    for (std::size_t j = 1; j < n; ++j) {
-      std::uint64_t c2 = t[j] + static_cast<std::uint64_t>(m) * n_[j] + carry;
-      t[j - 1] = static_cast<std::uint32_t>(c2);
-      carry = c2 >> 32;
-    }
-    cur = t[n] + carry;
-    t[n - 1] = static_cast<std::uint32_t>(cur);
-    t[n] = t[n + 1] + static_cast<std::uint32_t>(cur >> 32);
-    t[n + 1] = 0;
-  }
-  t.resize(n + 1);
-  // Conditional final subtraction.
-  bool ge = t[n] != 0;
-  if (!ge) {
-    ge = true;
-    for (std::size_t i = n; i > 0; --i) {
-      if (t[i - 1] != n_[i - 1]) {
-        ge = t[i - 1] > n_[i - 1];
-        break;
-      }
-    }
-  }
-  if (ge) {
-    std::int64_t borrow = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      std::int64_t diff = static_cast<std::int64_t>(t[i]) -
-                          static_cast<std::int64_t>(n_[i]) - borrow;
-      if (diff < 0) {
-        diff += static_cast<std::int64_t>(1) << 32;
-        borrow = 1;
-      } else {
-        borrow = 0;
-      }
-      t[i] = static_cast<std::uint32_t>(diff);
-    }
-  }
-  t.resize(n);
-  *out = std::move(t);
+BigInt Montgomery::Unload(const Limb* in) const {
+  std::vector<std::uint32_t> out32(2 * n_);
+  Unpack64To32(out32.data(), out32.size(), in, n_);
+  return BigInt::FromLimbs(std::move(out32), false);
+}
+
+void Montgomery::MontMulLimbs(Limb* out, const Limb* a, const Limb* b,
+                              Scratch* scratch) const {
+  Scratch::Frame frame(scratch);
+  Limb* t = scratch->Alloc(n_ + 2);
+  mul_fn_(n64_.data(), n_, n0_inv_, out, a, b, t);
 }
 
 BigInt Montgomery::MulMont(const BigInt& a, const BigInt& b) const {
-  std::vector<std::uint32_t> out;
-  MulLimbs(a.limbs(), b.limbs(), &out);
-  return BigInt::FromLimbs(std::move(out), false);
+  Scratch* scratch = &TlsScratch();
+  Scratch::Frame frame(scratch);
+  Limb* pa = scratch->Alloc(n_);
+  Limb* pb = scratch->Alloc(n_);
+  Limb* t = scratch->Alloc(n_ + 2);
+  Load(pa, a);
+  Load(pb, b);
+  mul_fn_(n64_.data(), n_, n0_inv_, pa, pa, pb, t);
+  return Unload(pa);
 }
 
 BigInt Montgomery::ToMont(const BigInt& a) const {
-  return MulMont(a, r2_mod_n_);
+  // a may be any value < R (not just < N): CIOS stays correct when one
+  // operand is < R and the other (here R^2 mod N) is < N.
+  if (a.IsNegative() || a.BitLength() > 64 * n_) {
+    throw std::domain_error("Montgomery::ToMont: value out of [0, R)");
+  }
+  Scratch* scratch = &TlsScratch();
+  Scratch::Frame frame(scratch);
+  Limb* pa = scratch->Alloc(n_);
+  Limb* t = scratch->Alloc(n_ + 2);
+  const std::vector<std::uint32_t>& limbs32 = a.limbs();
+  Pack32To64(pa, n_, limbs32.data(), limbs32.size());
+  mul_fn_(n64_.data(), n_, n0_inv_, pa, pa, r2_.data(), t);
+  return Unload(pa);
 }
 
 BigInt Montgomery::FromMont(const BigInt& a) const {
-  return MulMont(a, BigInt(1));
+  Scratch* scratch = &TlsScratch();
+  Scratch::Frame frame(scratch);
+  Limb* pa = scratch->Alloc(n_);
+  Limb* one = scratch->Alloc(n_);
+  Limb* t = scratch->Alloc(n_ + 2);
+  Load(pa, a);
+  std::memset(one, 0, n_ * sizeof(Limb));
+  one[0] = 1;
+  mul_fn_(n64_.data(), n_, n0_inv_, pa, pa, one, t);
+  return Unload(pa);
+}
+
+void Montgomery::PowModLimbs(Limb* out, const Limb* base, LimbSpan exp,
+                             Scratch* scratch) const {
+  namespace ks = kernel_stats;
+  switch (n_) {
+    case 8:  ks::powmod_fixed_512.fetch_add(1, std::memory_order_relaxed); break;
+    case 16: ks::powmod_fixed_1024.fetch_add(1, std::memory_order_relaxed); break;
+    case 32: ks::powmod_fixed_2048.fetch_add(1, std::memory_order_relaxed); break;
+    default: ks::powmod_generic.fetch_add(1, std::memory_order_relaxed); break;
+  }
+
+  const std::size_t nbits = BitLengthN(exp);
+  if (nbits == 0) {
+    // base^0 = 1 (modulus > 1, so 1 is already reduced).
+    std::memset(out, 0, n_ * sizeof(Limb));
+    out[0] = 1;
+    return;
+  }
+
+  // Window size: 5 bits amortizes better once the exponent is longer
+  // than 512 bits (table build is 2^w multiplies); 4 below.
+  const std::size_t w = nbits > 512 ? 5 : 4;
+  (w == 5 ? ks::powmod_window_5 : ks::powmod_window_4)
+      .fetch_add(1, std::memory_order_relaxed);
+
+  const Limb* n = n64_.data();
+  Scratch::Frame frame(scratch);
+  Limb* t = scratch->Alloc(n_ + 2);
+  Limb* mb = scratch->Alloc(n_);
+  mul_fn_(n, n_, n0_inv_, mb, base, r2_.data(), t);  // base into Montgomery form
+
+  // Fixed-width table: table[i] = base^i in Montgomery form.
+  const std::size_t table_size = std::size_t{1} << w;
+  Limb* table = scratch->Alloc(table_size * n_);
+  std::memcpy(table, one_mont_.data(), n_ * sizeof(Limb));
+  for (std::size_t i = 1; i < table_size; ++i) {
+    mul_fn_(n, n_, n0_inv_, table + i * n_, table + (i - 1) * n_, mb, t);
+  }
+
+  Limb* acc = scratch->Alloc(n_);
+  std::memcpy(acc, one_mont_.data(), n_ * sizeof(Limb));
+  const std::size_t nwindows = (nbits + w - 1) / w;
+  for (std::size_t win = nwindows; win > 0; --win) {
+    for (std::size_t s = 0; s < w; ++s) {
+      mul_fn_(n, n_, n0_inv_, acc, acc, acc, t);
+    }
+    std::size_t idx = 0;
+    for (std::size_t bit = 0; bit < w; ++bit) {
+      std::size_t pos = (win - 1) * w + bit;
+      if (pos < nbits &&
+          ((exp.ptr[pos / 64] >> (pos % 64)) & 1u) != 0) {
+        idx |= std::size_t{1} << bit;
+      }
+    }
+    if (idx != 0) {
+      mul_fn_(n, n_, n0_inv_, acc, acc, table + idx * n_, t);
+    }
+  }
+
+  // Out of Montgomery form: multiply by 1.
+  Limb* one = scratch->Alloc(n_);
+  std::memset(one, 0, n_ * sizeof(Limb));
+  one[0] = 1;
+  mul_fn_(n, n_, n0_inv_, out, acc, one, t);
 }
 
 BigInt Montgomery::PowMod(const BigInt& base, const BigInt& exp) const {
-  if (exp.IsZero()) return BigInt(1).Mod(modulus_);
-  BigInt mb = ToMont(base);
+  Scratch* scratch = &TlsScratch();
+  Scratch::Frame frame(scratch);
+  Limb* pb = scratch->Alloc(n_);
+  Load(pb, base);
+  const std::vector<std::uint32_t>& e32 = exp.limbs();
+  const std::size_t en = PackedWidth(e32.size());
+  Limb* pe = scratch->Alloc(en > 0 ? en : 1);
+  Pack32To64(pe, en, e32.data(), e32.size());
+  Limb* out = scratch->Alloc(n_);
+  PowModLimbs(out, pb, LimbSpan{pe, en}, scratch);
+  return Unload(out);
+}
 
-  // 4-bit fixed window.
-  constexpr std::size_t kWindow = 4;
-  std::vector<BigInt> table(1u << kWindow);
-  table[0] = r_mod_n_;  // 1 in Montgomery form
-  for (std::size_t i = 1; i < table.size(); ++i) {
-    table[i] = MulMont(table[i - 1], mb);
-  }
-
-  std::size_t nbits = exp.BitLength();
-  std::size_t nwindows = (nbits + kWindow - 1) / kWindow;
-  BigInt acc = r_mod_n_;
-  for (std::size_t w = nwindows; w > 0; --w) {
-    for (std::size_t s = 0; s < kWindow; ++s) acc = MulMont(acc, acc);
-    std::size_t idx = 0;
-    for (std::size_t bit = 0; bit < kWindow; ++bit) {
-      std::size_t pos = (w - 1) * kWindow + bit;
-      if (pos < nbits && exp.Bit(pos)) idx |= 1u << bit;
+std::shared_ptr<const Montgomery> Montgomery::CachedFor(const BigInt& modulus) {
+  // Per-thread MRU cache: big enough for the working set of any flow
+  // (CP key + CA key + payment denominations + CRT halves), small
+  // enough that a scan is free next to an exponentiation.
+  constexpr std::size_t kCacheCap = 8;
+  thread_local std::vector<std::shared_ptr<const Montgomery>> cache;
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    if (cache[i]->modulus() == modulus) {
+      if (i != 0) {
+        std::rotate(cache.begin(), cache.begin() + i, cache.begin() + i + 1);
+      }
+      return cache.front();
     }
-    if (idx != 0) acc = MulMont(acc, table[idx]);
   }
-  return FromMont(acc);
+  auto ctx = std::make_shared<const Montgomery>(modulus);
+  cache.insert(cache.begin(), ctx);
+  if (cache.size() > kCacheCap) cache.pop_back();
+  return ctx;
 }
 
 }  // namespace bignum

@@ -108,7 +108,9 @@ BigInt RsaPrivateOp(const RsaPrivateKey& priv, const BigInt& c) {
   }
   // CRT: m1 = c^dp mod p, m2 = c^dq mod q, h = qinv*(m1-m2) mod p,
   // m = m2 + h*q. The Montgomery p/q contexts come from the key's cache
-  // when present; BigInt::PowMod would otherwise rebuild them per call.
+  // when present; without it BigInt::PowMod falls back to its thread-local
+  // MRU context cache (Montgomery::CachedFor), which still avoids the
+  // per-call R^2 mod N rebuild but pays a lookup per exponentiation.
   BigInt m1, m2;
   if (priv.crt != nullptr) {
     m1 = priv.crt->mont_p.PowMod(c.Mod(priv.p), priv.dp);

@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "bignum/bigint.h"
+#include "bignum/limbs.h"
 #include "bignum/montgomery.h"
 #include "bignum/prime.h"
 #include "crypto/drbg.h"
@@ -146,6 +150,172 @@ TEST_P(ModularLawsTest, CrtReconstruction) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ModularLawsTest,
                          ::testing::Values(11u, 23u, 47u, 91u));
+
+// -- differential coverage for the 64-bit limb kernels ----------------------
+//
+// The CIOS Montgomery kernels (montgomery.cpp) and the arena Karatsuba
+// (limbs.cpp) are checked against arithmetic that shares none of their
+// code: schoolbook multiplication plus Knuth Algorithm D division. The
+// suite runs at the three widths with fixed-width kernels (512/1024/2048
+// bits) so every dispatch target gets exercised.
+
+class KernelDifferentialTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override {
+    rng_.reset(new crypto::HmacDrbg("kernel-diff-" +
+                                    std::to_string(GetParam())));
+    modulus_ = rng_->BitsExact(GetParam());
+    if (modulus_.IsEven()) modulus_ = modulus_ + BigInt(1);
+    mont_.reset(new Montgomery(modulus_));
+    // R and R^-1 mod N via plain shift / extended gcd — independent of
+    // everything the Montgomery context precomputed.
+    r_ = (BigInt(1) << (64 * mont_->width())).Mod(modulus_);
+    r_inv_ = r_.InvMod(modulus_);
+  }
+
+  // Division-based reference for the Montgomery product a*b*R^-1 mod N.
+  BigInt RefMontMul(const BigInt& a, const BigInt& b) const {
+    return (a * b * r_inv_).Mod(modulus_);
+  }
+
+  // Division-based square-and-multiply reference for base^exp mod N.
+  BigInt RefPowMod(const BigInt& base, const BigInt& exp) const {
+    BigInt acc(1);
+    for (std::size_t i = exp.BitLength(); i > 0; --i) {
+      acc = acc.MulMod(acc, modulus_);
+      if (exp.Bit(i - 1)) acc = acc.MulMod(base, modulus_);
+    }
+    return acc;
+  }
+
+  std::unique_ptr<crypto::HmacDrbg> rng_;
+  std::unique_ptr<Montgomery> mont_;
+  BigInt modulus_;
+  BigInt r_;      // R mod N
+  BigInt r_inv_;  // R^-1 mod N
+};
+
+TEST_P(KernelDifferentialTest, MontMulMatchesDivisionReference) {
+  for (int i = 0; i < 12; ++i) {
+    BigInt a = rng_->Below(modulus_);
+    BigInt b = rng_->Below(modulus_);
+    EXPECT_EQ(mont_->MulMont(a, b).ToHex(), RefMontMul(a, b).ToHex());
+  }
+}
+
+TEST_P(KernelDifferentialTest, SpanMontMulMatchesBoxedPath) {
+  Scratch scratch;
+  const std::size_t w = mont_->width();
+  std::vector<Limb> a64(w), b64(w), out64(w);
+  for (int i = 0; i < 8; ++i) {
+    BigInt a = rng_->Below(modulus_);
+    BigInt b = rng_->Below(modulus_);
+    mont_->Load(a64.data(), a);
+    mont_->Load(b64.data(), b);
+    mont_->MontMulLimbs(out64.data(), a64.data(), b64.data(), &scratch);
+    EXPECT_EQ(mont_->Unload(out64.data()).ToHex(), RefMontMul(a, b).ToHex());
+    // Aliased output (out == a) must behave identically.
+    mont_->MontMulLimbs(a64.data(), a64.data(), b64.data(), &scratch);
+    EXPECT_EQ(mont_->Unload(a64.data()).ToHex(), RefMontMul(a, b).ToHex());
+  }
+}
+
+TEST_P(KernelDifferentialTest, RedcMatchesDivisionReference) {
+  // FromMont is REDC: a ↦ a*R^-1 mod N.
+  for (int i = 0; i < 12; ++i) {
+    BigInt a = rng_->Below(modulus_);
+    EXPECT_EQ(mont_->FromMont(a).ToHex(), (a * r_inv_).Mod(modulus_).ToHex());
+    // ToMont/FromMont round-trips through Montgomery form.
+    EXPECT_EQ(mont_->FromMont(mont_->ToMont(a)).ToHex(), a.ToHex());
+  }
+}
+
+TEST_P(KernelDifferentialTest, PowModMatchesDivisionReference) {
+  for (int i = 0; i < 4; ++i) {
+    BigInt base = rng_->Below(modulus_);
+    BigInt exp = rng_->BitsExact(256);
+    EXPECT_EQ(mont_->PowMod(base, exp).ToHex(), RefPowMod(base, exp).ToHex());
+  }
+  // One full-width exponent so both window sizes (4-bit for short
+  // exponents, 5-bit above 512 bits) run at every modulus width.
+  BigInt base = rng_->Below(modulus_);
+  BigInt exp = rng_->BitsExact(GetParam());
+  EXPECT_EQ(mont_->PowMod(base, exp).ToHex(), RefPowMod(base, exp).ToHex());
+}
+
+TEST_P(KernelDifferentialTest, EdgeOperands) {
+  const BigInt zero(0), one(1);
+  const BigInt n_minus_1 = modulus_ - one;
+  const BigInt r_minus_1 = (r_ - one).Mod(modulus_);  // (R mod N) - 1
+  const std::vector<BigInt> edges = {zero, one, n_minus_1, r_minus_1, r_};
+  for (const BigInt& a : edges) {
+    for (const BigInt& b : edges) {
+      EXPECT_EQ(mont_->MulMont(a, b).ToHex(), RefMontMul(a, b).ToHex());
+    }
+    for (const BigInt& e : {zero, one, BigInt(2), n_minus_1}) {
+      EXPECT_EQ(mont_->PowMod(a, e).ToHex(), RefPowMod(a, e).ToHex());
+    }
+  }
+}
+
+TEST_P(KernelDifferentialTest, OperandsShorterThanModulus) {
+  // Values far narrower than the modulus must pack into width() limbs
+  // with correct zero-extension on both the boxed and span paths.
+  for (std::size_t bits : {1u, 31u, 64u, 65u, 130u}) {
+    BigInt a = rng_->BitsExact(bits);
+    BigInt b = rng_->Below(modulus_);
+    EXPECT_EQ(mont_->MulMont(a, b).ToHex(), RefMontMul(a, b).ToHex());
+    EXPECT_EQ(mont_->PowMod(a, BigInt(3)).ToHex(),
+              RefPowMod(a, BigInt(3)).ToHex());
+  }
+}
+
+TEST_P(KernelDifferentialTest, WarmPowModAllocatesNothing) {
+  // The acceptance criterion for the allocation-free hot path: once a
+  // Scratch has seen one exponentiation, further MontMul/PowMod work
+  // must never touch the heap.
+  Scratch scratch;
+  const std::size_t w = mont_->width();
+  std::vector<Limb> base(w), out(w);
+  std::vector<Limb> exp64(w);
+  BigInt exp = rng_->BitsExact(GetParam());
+  Pack32To64(exp64.data(), w, exp.limbs().data(), exp.limbs().size());
+  mont_->Load(base.data(), rng_->Below(modulus_));
+
+  mont_->PowModLimbs(out.data(), base.data(), LimbSpan{exp64.data(), w},
+                     &scratch);  // warm-up: arena reaches high-water mark
+  const std::uint64_t warm = scratch.heap_allocations();
+  for (int i = 0; i < 10; ++i) {
+    mont_->PowModLimbs(out.data(), base.data(), LimbSpan{exp64.data(), w},
+                       &scratch);
+    mont_->MontMulLimbs(out.data(), out.data(), base.data(), &scratch);
+  }
+  EXPECT_EQ(scratch.heap_allocations(), warm)
+      << "warm Montgomery path allocated on the heap";
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KernelDifferentialTest,
+                         ::testing::Values(512u, 1024u, 2048u));
+
+TEST(KaratsubaDifferentialTest, WideProductsSurviveDivisionRoundTrip) {
+  // 2048-bit operands are 32 limbs — above the 20-limb Karatsuba
+  // threshold, so operator* runs the arena recursion. Knuth division
+  // (independent code) must invert the product exactly.
+  crypto::HmacDrbg rng("karatsuba-diff");
+  const std::uint64_t before = KernelStats().karatsuba_mults;
+  for (int i = 0; i < 6; ++i) {
+    BigInt a = rng.BitsExact(2048);
+    BigInt b = rng.BitsExact(1500 + 100 * i);  // unbalanced widths too
+    BigInt c = a * b;
+    EXPECT_EQ((c / a).ToHex(), b.ToHex());
+    EXPECT_EQ((c % a).ToHex(), "0");
+    // Residue check mod a 31-bit prime: cheap, independent reduction.
+    const BigInt p(2147483647);
+    EXPECT_EQ(c.Mod(p).ToHex(), a.Mod(p).MulMod(b.Mod(p), p).ToHex());
+  }
+  EXPECT_GT(KernelStats().karatsuba_mults, before)
+      << "expected wide products to dispatch through Karatsuba";
+}
 
 }  // namespace
 }  // namespace bignum

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "crypto/drbg.h"
 
 namespace p2drm {
@@ -151,6 +153,41 @@ TEST(FdhSignature, DeterministicSignature) {
   const RsaPrivateKey& key = TestKey512();
   auto msg = Msg("deterministic");
   EXPECT_EQ(RsaSignFdh(key, msg), RsaSignFdh(key, msg));
+}
+
+TEST(FdhSignature, ConcurrentSigningMatchesSerial) {
+  // Threads share one key (and its CRT Montgomery contexts); each signs
+  // its own message stream. The thread-local scratch arenas behind the
+  // 64-bit kernels must keep every result identical to the serial run.
+  const RsaPrivateKey& key = TestKey1024();
+  constexpr int kThreads = 4;
+  constexpr int kMsgsPerThread = 8;
+
+  std::vector<std::vector<std::vector<std::uint8_t>>> serial(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kMsgsPerThread; ++i) {
+      serial[t].push_back(
+          RsaSignFdh(key, Msg("concurrent-" + std::to_string(t) + "-" +
+                              std::to_string(i))));
+    }
+  }
+
+  std::vector<std::vector<std::vector<std::uint8_t>>> threaded(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&key, &threaded, t] {
+      for (int i = 0; i < kMsgsPerThread; ++i) {
+        threaded[t].push_back(
+            RsaSignFdh(key, Msg("concurrent-" + std::to_string(t) + "-" +
+                                std::to_string(i))));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(threaded[t], serial[t]) << "thread " << t;
+  }
 }
 
 TEST(HybridEncryption, RoundTrip) {
