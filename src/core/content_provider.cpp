@@ -27,6 +27,7 @@ ContentProvider::PipelineTimings ToPipelineTimings(
   out.verify_us = t.verify_us;
   out.spend_us = t.mutate_us;
   out.issue_us = t.issue_us;
+  out.makespan_us = t.makespan_us;
   out.items = t.items;
   return out;
 }
@@ -58,7 +59,23 @@ ContentProvider::ContentProvider(const ContentProviderConfig& config,
     rt.spent_backend = config_.spent_backend;
     rt.journal_path_prefix = config_.spent_journal_path;
     runtime_ = std::make_unique<server::ServerRuntime>(rt);
-  } else if (!config_.spent_journal_path.empty()) {
+  }
+  if (config_.signer_pool_size > 0) {
+    signer_pool_ =
+        std::make_unique<server::SignerPool>(config_.signer_pool_size);
+  }
+  // The streaming front end always exists (it is cheap and thread-free);
+  // without a pool its issue stage runs inline, which still buys the
+  // deferred-commit window. The time lambda resolves time_source_ at
+  // call time so set_time_source keeps working after construction.
+  server::StagedBatchPipeline::Config staged;
+  staged.pool = signer_pool_.get();
+  staged.max_batches_in_flight = config_.max_batches_in_flight;
+  staged.now_us = [this] {
+    return time_source_ != nullptr ? time_source_() : server::SteadyNowUs();
+  };
+  staged_ = std::make_unique<server::StagedBatchPipeline>(std::move(staged));
+  if (config_.redeem_shards == 0 && !config_.spent_journal_path.empty()) {
     // Crash recovery: rebuild the spent set from the journal, then reopen
     // the journal for appending.
     store::AppendLog::Replay(
@@ -257,28 +274,36 @@ ContentProvider::PurchaseResult ContentProvider::Purchase(
   return result;
 }
 
-std::vector<ContentProvider::PurchaseResult> ContentProvider::PurchaseBatch(
-    const std::vector<PurchaseItem>& items) {
-  std::vector<PurchaseResult> out(items.size());
-  if (items.empty()) return out;
-
-  std::vector<rel::Rights> rights_by_item(items.size());
+/// Per-batch purchase state, heap-boxed so the same plan serves both the
+/// synchronous Run and a streamed batch that outlives its Submit call.
+struct ContentProvider::PurchaseBatchState {
+  std::vector<PurchaseItem> owned;  ///< streaming moves the batch here
+  const std::vector<PurchaseItem>* items = nullptr;  ///< always valid
+  std::vector<PurchaseResult> out;
+  std::vector<rel::Rights> rights_by_item;
   std::vector<crypto::HmacDrbg> forks;
   std::vector<rel::License> issued;
+};
+
+server::BatchPipeline::Plan ContentProvider::BuildPurchasePlan(
+    std::shared_ptr<PurchaseBatchState> st) {
+  st->out.resize(st->items->size());
+  st->rights_by_item.resize(st->items->size());
 
   server::BatchPipeline::Plan plan;
-  plan.item_count = items.size();
+  plan.item_count = st->items->size();
 
   // Verify: each distinct pseudonym certificate costs one full
   // verification (memoized within and across batches), then one shared
   // CRL probe pass covers every surviving item.
-  plan.verify = [&] {
+  plan.verify = [this, st] {
+    const std::vector<PurchaseItem>& items = *st->items;
     server::BatchVerifierStats before = verifier_.stats();
     std::vector<std::size_t> crl_items;
     std::vector<rel::KeyFingerprint> crl_keys;
     for (std::size_t i = 0; i < items.size(); ++i) {
       if (!verifier_.VerifyPseudonymCert(ca_key_, items[i].buyer)) {
-        out[i].status = Status::kBadCertificate;
+        st->out[i].status = Status::kBadCertificate;
       } else {
         crl_items.push_back(i);
         crl_keys.push_back(items[i].buyer.KeyId());
@@ -289,7 +314,7 @@ std::vector<ContentProvider::PurchaseResult> ContentProvider::PurchaseBatch(
     eligible.reserve(crl_items.size());
     for (std::size_t j = 0; j < crl_items.size(); ++j) {
       if (revoked[j]) {
-        out[crl_items[j]].status = Status::kRevoked;
+        st->out[crl_items[j]].status = Status::kRevoked;
       } else {
         eligible.push_back(crl_items[j]);
       }
@@ -305,15 +330,16 @@ std::vector<ContentProvider::PurchaseResult> ContentProvider::PurchaseBatch(
   // already deposited. Per-item status is the first failing coin's, as
   // in Purchase(); already-deposited coins stay deposited
   // (bearer-instrument rules).
-  plan.mutate = [&](const std::vector<std::size_t>& eligible) {
-    std::vector<Status> st(eligible.size(), Status::kOk);
+  plan.mutate = [this, st](const std::vector<std::size_t>& eligible) {
+    const std::vector<PurchaseItem>& items = *st->items;
+    std::vector<Status> status(eligible.size(), Status::kOk);
     std::vector<PaymentProvider::DepositItem> coins;
     std::vector<std::size_t> coin_owner;  // coin -> index into eligible
     for (std::size_t j = 0; j < eligible.size(); ++j) {
       std::size_t i = eligible[j];
       auto offer = FindOffer(items[i].content_id);
       if (!offer.has_value()) {
-        st[j] = Status::kUnknownContent;
+        status[j] = Status::kUnknownContent;
         continue;
       }
       std::uint64_t paid = std::accumulate(
@@ -322,10 +348,10 @@ std::vector<ContentProvider::PurchaseResult> ContentProvider::PurchaseBatch(
             return acc + c.denomination;
           });
       if (paid != offer->price) {
-        st[j] = Status::kWrongPrice;
+        status[j] = Status::kWrongPrice;
         continue;
       }
-      rights_by_item[i] = offer->rights;
+      st->rights_by_item[i] = offer->rights;
       for (const Coin& coin : items[i].payment) {
         coins.push_back(PaymentProvider::DepositItem{coin, kMerchantAccount});
         coin_owner.push_back(j);
@@ -335,45 +361,69 @@ std::vector<ContentProvider::PurchaseResult> ContentProvider::PurchaseBatch(
       std::vector<Status> coin_st =
           bank_->DepositBatch(coins, /*shed_on_full=*/false);
       for (std::size_t c = 0; c < coins.size(); ++c) {
-        if (coin_st[c] != Status::kOk && st[coin_owner[c]] == Status::kOk) {
-          st[coin_owner[c]] = coin_st[c];
+        if (coin_st[c] != Status::kOk &&
+            status[coin_owner[c]] == Status::kOk) {
+          status[coin_owner[c]] = coin_st[c];
         }
       }
     }
-    return st;
+    return status;
   };
 
-  // Issue: license signing and content-key wrapping on the shard
-  // workers, one nonce-tagged RNG fork per item drawn in index order on
-  // the dispatch thread.
-  plan.begin_issue = [&](std::size_t n) {
-    forks.reserve(n);
-    issued.resize(n);
+  // Issue: license signing and content-key wrapping on the signer pool
+  // or shard workers, one nonce-tagged RNG fork per item drawn in index
+  // order on the dispatch thread.
+  plan.begin_issue = [st](std::size_t n) {
+    st->forks.reserve(n);
+    st->issued.resize(n);
   };
-  plan.draw_fork = [&](std::size_t k, std::size_t i) {
+  plan.draw_fork = [this, st](std::size_t k, std::size_t i) {
     (void)k;
     (void)i;
-    forks.push_back(PurchaseIssueRng());
+    st->forks.push_back(PurchaseIssueRng());
   };
-  plan.issue = [&](std::size_t k, std::size_t i, Status) {
-    issued[k] = BuildLicense(rel::LicenseKind::kUserBound,
-                             items[i].content_id, rights_by_item[i],
-                             &items[i].buyer.pseudonym_key, &forks[k]);
+  plan.issue = [this, st](std::size_t k, std::size_t i, Status) {
+    const std::vector<PurchaseItem>& items = *st->items;
+    st->issued[k] = BuildLicense(rel::LicenseKind::kUserBound,
+                                 items[i].content_id, st->rights_by_item[i],
+                                 &items[i].buyer.pseudonym_key,
+                                 &st->forks[k]);
   };
 
   // Commit — issued-key map, pseudonym bookkeeping and counters, on the
   // dispatch thread in index order.
-  plan.commit = [&](std::size_t k, std::size_t i, Status) {
+  plan.commit = [this, st](std::size_t k, std::size_t i, Status) {
+    const std::vector<PurchaseItem>& items = *st->items;
     pseudonyms_seen_.insert(items[i].buyer.KeyId());
-    RecordIssued(issued[k], &items[i].buyer.pseudonym_key);
-    out[i].license = std::move(issued[k]);
-    out[i].status = Status::kOk;
+    RecordIssued(st->issued[k], &items[i].buyer.pseudonym_key);
+    st->out[i].license = std::move(st->issued[k]);
+    st->out[i].status = Status::kOk;
   };
-  plan.reject = [&](std::size_t i, Status s) { out[i].status = s; };
+  plan.reject = [st](std::size_t i, Status s) { st->out[i].status = s; };
+  return plan;
+}
 
+std::vector<ContentProvider::PurchaseResult> ContentProvider::PurchaseBatch(
+    const std::vector<PurchaseItem>& items) {
+  if (items.empty()) return {};
+  auto st = std::make_shared<PurchaseBatchState>();
+  st->items = &items;  // borrowed: Run completes before we return
+  server::BatchPipeline::Plan plan = BuildPurchasePlan(st);
   last_timings_ = ToPipelineTimings(server::BatchPipeline::Run(
       plan, PipelineExecutor(), time_source_, &obs_purchase_));
-  return out;
+  return std::move(st->out);
+}
+
+void ContentProvider::StreamPurchaseBatch(
+    std::vector<PurchaseItem> items,
+    std::function<void(std::vector<PurchaseResult>)> on_done) {
+  auto st = std::make_shared<PurchaseBatchState>();
+  st->owned = std::move(items);
+  st->items = &st->owned;
+  staged_->Submit(BuildPurchasePlan(st), &obs_purchase_,
+                  [st, cb = std::move(on_done)] {
+                    if (cb != nullptr) cb(std::move(st->out));
+                  });
 }
 
 void ContentProvider::set_observability(const obs::Sink& sink,
@@ -403,6 +453,12 @@ void ContentProvider::set_observability(const obs::Sink& sink,
        "exchange.issue");
   if (runtime_ != nullptr) {
     runtime_->set_observability(sink.registry, prefix + "runtime.");
+  }
+  if (signer_pool_ != nullptr) {
+    signer_pool_->set_observability(sink.registry, prefix + "signer_pool.");
+  }
+  if (staged_ != nullptr) {
+    staged_->set_observability(sink.registry, prefix + "streaming.");
   }
 }
 
@@ -488,23 +544,32 @@ ContentProvider::ExchangeResult ContentProvider::ExchangeForAnonymous(
   return result;
 }
 
-std::vector<ContentProvider::ExchangeResult> ContentProvider::ExchangeBatch(
-    const std::vector<ExchangeItem>& items) {
-  std::vector<ExchangeResult> out(items.size());
-  if (items.empty()) return out;
-
+/// Per-batch exchange state; see PurchaseBatchState for the boxing rule.
+struct ContentProvider::ExchangeBatchState {
+  std::vector<ExchangeItem> owned;  ///< streaming moves the batch here
+  const std::vector<ExchangeItem>* items = nullptr;  ///< always valid
+  std::vector<ExchangeResult> out;
   std::vector<crypto::HmacDrbg> forks;
   std::vector<rel::License> bearer;
+};
+
+server::BatchPipeline::Plan ContentProvider::BuildExchangePlan(
+    std::shared_ptr<ExchangeBatchState> st) {
+  st->out.resize(st->items->size());
 
   server::BatchPipeline::Plan plan;
-  plan.item_count = items.size();
+  plan.item_count = st->items->size();
 
   // Verify: one screened same-key verification covers every issuer
   // signature (all licenses are ours), one shared pass answers the CRL
   // probes on the bound keys, and the per-item possession proofs reuse
   // the verifier's cached Montgomery contexts. Checks run in the exact
   // order ExchangeForAnonymous applies them, so per-item statuses match.
-  plan.verify = [&] {
+  // NOTE the issued_keys_ lookups: exchange verify reads state exchange
+  // commits write, so exchange batches that depend on each other's
+  // commits must not be streamed concurrently.
+  plan.verify = [this, st] {
+    const std::vector<ExchangeItem>& items = *st->items;
     server::BatchVerifierStats before = verifier_.stats();
     std::vector<std::vector<std::uint8_t>> msgs;
     std::vector<std::vector<std::uint8_t>> sigs;
@@ -522,11 +587,11 @@ std::vector<ContentProvider::ExchangeResult> ContentProvider::ExchangeBatch(
     for (std::size_t i = 0; i < items.size(); ++i) {
       const rel::License& lic = items[i].license;
       if (!sig_ok[i]) {
-        out[i].status = Status::kBadSignature;
+        st->out[i].status = Status::kBadSignature;
       } else if (lic.kind != rel::LicenseKind::kUserBound) {
-        out[i].status = Status::kBadRequest;
+        st->out[i].status = Status::kBadRequest;
       } else if (!lic.rights.allow_transfer) {
-        out[i].status = Status::kNotTransferable;
+        st->out[i].status = Status::kNotTransferable;
       } else {
         crl_items.push_back(i);
         crl_keys.push_back(lic.bound_key);
@@ -539,18 +604,18 @@ std::vector<ContentProvider::ExchangeResult> ContentProvider::ExchangeBatch(
     for (std::size_t j = 0; j < crl_items.size(); ++j) {
       std::size_t i = crl_items[j];
       if (revoked[j]) {
-        out[i].status = Status::kRevoked;
+        st->out[i].status = Status::kRevoked;
         continue;
       }
       auto key_it = issued_keys_.find(items[i].license.bound_key);
       if (key_it == issued_keys_.end()) {
-        out[i].status = Status::kBadRequest;
+        st->out[i].status = Status::kBadRequest;
         continue;
       }
       if (!verifier_.VerifyFdh(key_it->second,
                                TransferChallengeBytes(items[i].license.id),
                                items[i].possession_sig)) {
-        out[i].status = Status::kBadSignature;
+        st->out[i].status = Status::kBadSignature;
         continue;
       }
       eligible.push_back(i);
@@ -561,38 +626,59 @@ std::vector<ContentProvider::ExchangeResult> ContentProvider::ExchangeBatch(
 
   // Mutate: retire the old licenses on their home shards. Shed items
   // keep their bearer-exchangeable license untouched.
-  plan.mutate = [&](const std::vector<std::size_t>& eligible) {
+  plan.mutate = [this, st](const std::vector<std::size_t>& eligible) {
     return SpendEligible(eligible,
-                         [&](std::size_t i) -> const rel::LicenseId& {
-                           return items[i].license.id;
+                         [st](std::size_t i) -> const rel::LicenseId& {
+                           return (*st->items)[i].license.id;
                          });
   };
 
-  // Issue: bearer-license signing on the shard workers, one id-tagged
-  // fork per item drawn dispatch-side in index order.
-  plan.begin_issue = [&](std::size_t n) {
-    forks.reserve(n);
-    bearer.resize(n);
+  // Issue: bearer-license signing on the signer pool or shard workers,
+  // one id-tagged fork per item drawn dispatch-side in index order.
+  plan.begin_issue = [st](std::size_t n) {
+    st->forks.reserve(n);
+    st->bearer.resize(n);
   };
-  plan.draw_fork = [&](std::size_t k, std::size_t i) {
+  plan.draw_fork = [this, st](std::size_t k, std::size_t i) {
     (void)k;
-    forks.push_back(ExchangeIssueRng(items[i].license.id));
+    st->forks.push_back(ExchangeIssueRng((*st->items)[i].license.id));
   };
-  plan.issue = [&](std::size_t k, std::size_t i, Status) {
-    bearer[k] = BuildLicense(rel::LicenseKind::kAnonymous,
-                             items[i].license.content_id,
-                             items[i].license.rights, nullptr, &forks[k]);
+  plan.issue = [this, st](std::size_t k, std::size_t i, Status) {
+    const rel::License& lic = (*st->items)[i].license;
+    st->bearer[k] = BuildLicense(rel::LicenseKind::kAnonymous,
+                                 lic.content_id, lic.rights, nullptr,
+                                 &st->forks[k]);
   };
-  plan.commit = [&](std::size_t k, std::size_t i, Status) {
-    RecordIssued(bearer[k], nullptr);
-    out[i].anonymous_license = std::move(bearer[k]);
-    out[i].status = Status::kOk;
+  plan.commit = [this, st](std::size_t k, std::size_t i, Status) {
+    RecordIssued(st->bearer[k], nullptr);
+    st->out[i].anonymous_license = std::move(st->bearer[k]);
+    st->out[i].status = Status::kOk;
   };
-  plan.reject = [&](std::size_t i, Status s) { out[i].status = s; };
+  plan.reject = [st](std::size_t i, Status s) { st->out[i].status = s; };
+  return plan;
+}
 
+std::vector<ContentProvider::ExchangeResult> ContentProvider::ExchangeBatch(
+    const std::vector<ExchangeItem>& items) {
+  if (items.empty()) return {};
+  auto st = std::make_shared<ExchangeBatchState>();
+  st->items = &items;  // borrowed: Run completes before we return
+  server::BatchPipeline::Plan plan = BuildExchangePlan(st);
   last_timings_ = ToPipelineTimings(server::BatchPipeline::Run(
       plan, PipelineExecutor(), time_source_, &obs_exchange_));
-  return out;
+  return std::move(st->out);
+}
+
+void ContentProvider::StreamExchangeBatch(
+    std::vector<ExchangeItem> items,
+    std::function<void(std::vector<ExchangeResult>)> on_done) {
+  auto st = std::make_shared<ExchangeBatchState>();
+  st->owned = std::move(items);
+  st->items = &st->owned;
+  staged_->Submit(BuildExchangePlan(st), &obs_exchange_,
+                  [st, cb = std::move(on_done)] {
+                    if (cb != nullptr) cb(std::move(st->out));
+                  });
 }
 
 RedemptionTranscript ContentProvider::MakeTranscript(
@@ -662,6 +748,24 @@ ContentProvider::IssuedRedemption ContentProvider::SignRedemption(
 
 void ContentProvider::ForEachIssue(
     std::size_t count, const std::function<void(std::size_t)>& sign_item) {
+  if (signer_pool_ != nullptr) {
+    // Dedicated pool first: issuance has no shard affinity, and keeping
+    // it off the shard workers decouples signing latency from
+    // spend-queue depth. RunAll joins, so borrowing sign_item and the
+    // time source by reference is safe.
+    const server::TimeSourceUs& now_us = time_source_;
+    signer_pool_->RunAll(
+        count, [&sign_item, &now_us](server::SignerContext& ctx,
+                                     std::size_t k) {
+          std::uint64_t t0 =
+              now_us != nullptr ? now_us() : server::SteadyNowUs();
+          sign_item(k);
+          std::uint64_t t1 =
+              now_us != nullptr ? now_us() : server::SteadyNowUs();
+          ctx.AccrueSimClockUs(t1 - t0);
+        });
+    return;
+  }
   if (runtime_ != nullptr) {
     // The injected time source (when any) must be thread-safe: these
     // tasks read it concurrently from the shard workers.
@@ -719,16 +823,22 @@ ContentProvider::PurchaseResult ContentProvider::CommitRedemption(
   return result;
 }
 
-std::vector<ContentProvider::PurchaseResult>
-ContentProvider::RedeemAnonymousBatch(const std::vector<RedeemItem>& items) {
-  std::vector<PurchaseResult> out(items.size());
-  if (items.empty()) return out;
-
+/// Per-batch redemption state; see PurchaseBatchState for the boxing
+/// rule.
+struct ContentProvider::RedeemBatchState {
+  std::vector<RedeemItem> owned;  ///< streaming moves the batch here
+  const std::vector<RedeemItem>* items = nullptr;  ///< always valid
+  std::vector<PurchaseResult> out;
   std::vector<crypto::HmacDrbg> forks;
   std::vector<IssuedRedemption> issued;
+};
+
+server::BatchPipeline::Plan ContentProvider::BuildRedeemPlan(
+    std::shared_ptr<RedeemBatchState> st) {
+  st->out.resize(st->items->size());
 
   server::BatchPipeline::Plan plan;
-  plan.item_count = items.size();
+  plan.item_count = st->items->size();
 
   // Verify, amortized: every license in the batch is signed by our own
   // key, so one screened same-key verification covers the whole group;
@@ -736,7 +846,8 @@ ContentProvider::RedeemAnonymousBatch(const std::vector<RedeemItem>& items) {
   // pass answers the CRL probes. The RT-2 table counts the
   // verifications actually performed, which is the whole point of the
   // batch path.
-  plan.verify = [&] {
+  plan.verify = [this, st] {
+    const std::vector<RedeemItem>& items = *st->items;
     server::BatchVerifierStats before = verifier_.stats();
     std::vector<std::vector<std::uint8_t>> msgs;
     std::vector<std::vector<std::uint8_t>> sigs;
@@ -753,12 +864,12 @@ ContentProvider::RedeemAnonymousBatch(const std::vector<RedeemItem>& items) {
     std::vector<rel::KeyFingerprint> crl_keys;
     for (std::size_t i = 0; i < items.size(); ++i) {
       if (!sig_ok[i]) {
-        out[i].status = Status::kBadSignature;
+        st->out[i].status = Status::kBadSignature;
       } else if (items[i].anonymous_license.kind !=
                  rel::LicenseKind::kAnonymous) {
-        out[i].status = Status::kBadRequest;
+        st->out[i].status = Status::kBadRequest;
       } else if (!verifier_.VerifyPseudonymCert(ca_key_, items[i].taker)) {
-        out[i].status = Status::kBadCertificate;
+        st->out[i].status = Status::kBadCertificate;
       } else {
         crl_items.push_back(i);
         crl_keys.push_back(items[i].taker.KeyId());
@@ -769,7 +880,7 @@ ContentProvider::RedeemAnonymousBatch(const std::vector<RedeemItem>& items) {
     eligible.reserve(crl_items.size());
     for (std::size_t j = 0; j < crl_items.size(); ++j) {
       if (revoked[j]) {
-        out[crl_items[j]].status = Status::kRevoked;
+        st->out[crl_items[j]].status = Status::kRevoked;
       } else {
         eligible.push_back(crl_items[j]);
       }
@@ -779,10 +890,10 @@ ContentProvider::RedeemAnonymousBatch(const std::vector<RedeemItem>& items) {
   };
 
   // Mutate: shard-serialized spent-set updates on each id's home shard.
-  plan.mutate = [&](const std::vector<std::size_t>& eligible) {
+  plan.mutate = [this, st](const std::vector<std::size_t>& eligible) {
     return SpendEligible(eligible,
-                         [&](std::size_t i) -> const rel::LicenseId& {
-                           return items[i].anonymous_license.id;
+                         [st](std::size_t i) -> const rel::LicenseId& {
+                           return (*st->items)[i].anonymous_license.id;
                          });
   };
   // A detected double redemption still gets signed: the transcript is
@@ -790,29 +901,54 @@ ContentProvider::RedeemAnonymousBatch(const std::vector<RedeemItem>& items) {
   plan.proceed = [](Status s) { return s == Status::kAlreadySpent; };
 
   // Issue: transcript + fresh-license signing, the dominant per-item
-  // private-key cost, fanned out to the shard workers.
-  plan.begin_issue = [&](std::size_t n) {
-    forks.reserve(n);
-    issued.resize(n);
+  // private-key cost, fanned out to the signer pool or shard workers.
+  plan.begin_issue = [st](std::size_t n) {
+    st->forks.reserve(n);
+    st->issued.resize(n);
   };
-  plan.draw_fork = [&](std::size_t k, std::size_t i) {
+  plan.draw_fork = [this, st](std::size_t k, std::size_t i) {
     (void)k;
-    forks.push_back(RedeemIssueRng(items[i].anonymous_license.id));
+    st->forks.push_back(RedeemIssueRng((*st->items)[i].anonymous_license.id));
   };
-  plan.issue = [&](std::size_t k, std::size_t i, Status spend) {
-    issued[k] = SignRedemption(items[i], spend, &forks[k]);
+  plan.issue = [this, st](std::size_t k, std::size_t i, Status spend) {
+    st->issued[k] = SignRedemption((*st->items)[i], spend, &st->forks[k]);
   };
 
   // Commit — state mutations on the dispatch thread, in index order:
   // transcript map, fraud evidence, pseudonym bookkeeping, counters.
-  plan.commit = [&](std::size_t k, std::size_t i, Status) {
-    out[i] = CommitRedemption(items[i], std::move(issued[k]));
+  plan.commit = [this, st](std::size_t k, std::size_t i, Status) {
+    st->out[i] = CommitRedemption((*st->items)[i], std::move(st->issued[k]));
   };
-  plan.reject = [&](std::size_t i, Status s) { out[i].status = s; };
+  plan.reject = [st](std::size_t i, Status s) { st->out[i].status = s; };
+  return plan;
+}
 
+std::vector<ContentProvider::PurchaseResult>
+ContentProvider::RedeemAnonymousBatch(const std::vector<RedeemItem>& items) {
+  if (items.empty()) return {};
+  auto st = std::make_shared<RedeemBatchState>();
+  st->items = &items;  // borrowed: Run completes before we return
+  server::BatchPipeline::Plan plan = BuildRedeemPlan(st);
   last_timings_ = ToPipelineTimings(server::BatchPipeline::Run(
       plan, PipelineExecutor(), time_source_, &obs_redeem_));
-  return out;
+  return std::move(st->out);
+}
+
+void ContentProvider::StreamRedeemBatch(
+    std::vector<RedeemItem> items,
+    std::function<void(std::vector<PurchaseResult>)> on_done) {
+  auto st = std::make_shared<RedeemBatchState>();
+  st->owned = std::move(items);
+  st->items = &st->owned;
+  staged_->Submit(BuildRedeemPlan(st), &obs_redeem_,
+                  [st, cb = std::move(on_done)] {
+                    if (cb != nullptr) cb(std::move(st->out));
+                  });
+}
+
+ContentProvider::PipelineTimings ContentProvider::FlushStreaming() {
+  last_timings_ = ToPipelineTimings(staged_->Flush());
+  return last_timings_;
 }
 
 std::optional<RedemptionTranscript> ContentProvider::TranscriptFor(

@@ -33,6 +33,8 @@
 #include "server/batch_pipeline.h"
 #include "server/batch_verifier.h"
 #include "server/server_runtime.h"
+#include "server/signer_pool.h"
+#include "server/stage_executor.h"
 #include "store/append_log.h"
 #include "store/revocation_list.h"
 #include "store/spent_set.h"
@@ -75,6 +77,17 @@ struct ContentProviderConfig {
   /// Per-shard bounded-queue capacity (items). Batch redemptions that
   /// would overflow a shard queue are shed with Status::kOverloaded.
   std::size_t redeem_queue_capacity = 4096;
+  /// Dedicated work-stealing signer pool for the issue stage
+  /// (server::SignerPool), sized independently of redeem_shards. 0 keeps
+  /// the classic fan-out (shard workers when redeem_shards > 0, serial
+  /// otherwise); N > 0 moves EVERY issue stage — synchronous batches and
+  /// the streaming pipeline alike — onto N pool workers, so signing
+  /// capacity decouples from spend-queue depth.
+  std::size_t signer_pool_size = 0;
+  /// Streaming window: StreamRedeemBatch/StreamPurchaseBatch/
+  /// StreamExchangeBatch keep at most this many batches in flight before
+  /// Submit blocks on the oldest batch's commit.
+  std::size_t max_batches_in_flight = 4;
 };
 
 /// The content provider actor.
@@ -205,6 +218,51 @@ class ContentProvider {
   std::vector<PurchaseResult> RedeemAnonymousBatch(
       const std::vector<RedeemItem>& items);
 
+  // -- streaming pipeline (cross-batch stage overlap) -----------------------
+  //
+  // The synchronous batch calls above are submit-and-join: batch B's
+  // issue stage finishes before batch B+1's verify starts. The Stream*
+  // entry points instead run verify/mutate/draw_fork inline (so sheds
+  // surface immediately and the DRBG stream stays in submit order), fan
+  // issue out to the signer pool, and defer the commit tail — batch
+  // B+1's verify overlaps batch B's signing. Results arrive through
+  // \p on_done, invoked on the caller's own thread at the batch's commit
+  // point (inside a later Stream* call once the in-flight window fills,
+  // or inside FlushStreaming). Ordering contract: commits apply in
+  // submit order, each batch's tail in index order, and under a fixed
+  // seed the issued bytes are identical to calling the synchronous
+  // batch entry points in the same order. Batches streamed concurrently
+  // must be commit-independent (an exchange whose verify needs an
+  // issued-key-map entry a still-in-flight batch will write must wait
+  // for FlushStreaming).
+
+  /// Streams one redemption batch into the pipeline. \p on_done may be
+  /// null (results dropped).
+  void StreamRedeemBatch(std::vector<RedeemItem> items,
+                         std::function<void(std::vector<PurchaseResult>)>
+                             on_done);
+  /// Streams one purchase batch. The coin deposits still run inline
+  /// inside this call (blocking, like PurchaseBatch).
+  void StreamPurchaseBatch(std::vector<PurchaseItem> items,
+                           std::function<void(std::vector<PurchaseResult>)>
+                               on_done);
+  /// Streams one exchange batch.
+  void StreamExchangeBatch(std::vector<ExchangeItem> items,
+                           std::function<void(std::vector<ExchangeResult>)>
+                               on_done);
+
+  // FlushStreaming() — declared below PipelineTimings — joins and
+  // commits every in-flight streamed batch and closes the window.
+
+  /// Streamed batches submitted but not yet committed.
+  std::size_t StreamingInFlight() const {
+    return staged_ != nullptr ? staged_->InFlight() : 0;
+  }
+
+  /// The dedicated signer pool, or null when signer_pool_size == 0.
+  const server::SignerPool* Pool() const { return signer_pool_.get(); }
+  server::SignerPool* Pool() { return signer_pool_.get(); }
+
   /// Amortization counters for the batch path (RT-2 accounting).
   server::BatchVerifierStats BatchVerifyStats() const {
     return verifier_.stats();
@@ -218,13 +276,24 @@ class ContentProvider {
   /// signing work itself accrues on the workers' ShardContext sim
   /// clocks (see ShardSimClockUs), which is what the scaling bench
   /// reports as signatures/second.
+  /// Under FlushStreaming the stage numbers are busy sums across the
+  /// window's batches and `makespan_us` is the window's wall span —
+  /// cross-batch overlap makes makespan < verify+spend+issue.
   struct PipelineTimings {
     double verify_us = 0;  ///< batch-verify stage (signatures, certs, CRL)
     double spend_us = 0;   ///< shard-serialized state stage (spend set / bank)
     double issue_us = 0;   ///< signing stage (transcripts + fresh licenses)
+    double makespan_us = 0;  ///< end-to-end span (excludes the commit tail)
     std::size_t items = 0;
   };
   PipelineTimings LastBatchTimings() const { return last_timings_; }
+
+  /// Joins and commits every in-flight streamed batch (running their
+  /// on_done callbacks) and closes the timing window. The returned
+  /// timings — also visible via LastBatchTimings — carry per-stage BUSY
+  /// sums over the window plus `makespan_us` (first Stream* call to
+  /// Flush end); overlap shows as makespan < verify+spend+issue.
+  PipelineTimings FlushStreaming();
 
   /// Injects the clock behind LastBatchTimings and the shard workers'
   /// sim-clock accrual (null = steady_clock). A deterministic source
@@ -332,9 +401,10 @@ class ContentProvider {
   IssuedRedemption SignRedemption(const RedeemItem& item, Status spend_status,
                                   bignum::RandomSource* rng) const;
   /// The issue-stage executor every pipeline shares: runs
-  /// \p sign_item(k) for every k in [0, count) — fanned out to the shard
-  /// workers (with each call's measured wall time accrued on the
-  /// worker's sim clock) when the runtime exists, serially otherwise.
+  /// \p sign_item(k) for every k in [0, count) — fanned out to the
+  /// signer pool when one exists (measured time accrued on the pool
+  /// workers' sim clocks), else to the shard workers (ditto on the
+  /// shard sim clocks) when the runtime exists, serially otherwise.
   /// \p sign_item must be thread-safe and write only disjoint state per
   /// k; ForEachIssue blocks until every call has returned.
   void ForEachIssue(std::size_t count,
@@ -346,6 +416,21 @@ class ContentProvider {
   /// only, in item-index order.
   PurchaseResult CommitRedemption(const RedeemItem& item,
                                   IssuedRedemption issued);
+
+  // Heap-boxed per-batch state for the shared plan builders: the
+  // synchronous batch calls and the streaming Stream* calls run the SAME
+  // plans, but a streamed batch outlives its Submit call, so everything
+  // a plan touches lives in one of these (kept alive by the shared_ptr
+  // the plan's callbacks capture) instead of a caller's stack frame.
+  struct RedeemBatchState;
+  struct PurchaseBatchState;
+  struct ExchangeBatchState;
+  server::BatchPipeline::Plan BuildRedeemPlan(
+      std::shared_ptr<RedeemBatchState> st);
+  server::BatchPipeline::Plan BuildPurchasePlan(
+      std::shared_ptr<PurchaseBatchState> st);
+  server::BatchPipeline::Plan BuildExchangePlan(
+      std::shared_ptr<ExchangeBatchState> st);
 
   ContentProviderConfig config_;
   bignum::RandomSource* rng_;
@@ -366,6 +451,8 @@ class ContentProvider {
   store::SpentSet spent_;  ///< unsharded path; unused when runtime_ is set
   std::unique_ptr<store::AppendLog> spent_journal_;
   std::unique_ptr<server::ServerRuntime> runtime_;  ///< sharded path
+  std::unique_ptr<server::SignerPool> signer_pool_;  ///< dedicated issue pool
+  std::unique_ptr<server::StagedBatchPipeline> staged_;  ///< streaming front
   server::BatchVerifier verifier_;
   store::RevocationList crl_;
   // First-seen transcript per redeemed license id (fraud evidence basis).

@@ -57,6 +57,12 @@ PaymentProvider::PaymentProvider(std::size_t modulus_bits,
     rt.queue_capacity = config_.deposit_queue_capacity;
     runtime_ = std::make_unique<server::ServerRuntime>(rt);
   }
+  // Streaming deposits never fan out to a signer pool (there is no issue
+  // stage); the staged pipeline contributes only its deferred-commit
+  // window, so it is cheap to keep around unconditionally.
+  server::StagedBatchPipeline::Config staged;
+  staged.max_batches_in_flight = config_.max_batches_in_flight;
+  staged_ = std::make_unique<server::StagedBatchPipeline>(std::move(staged));
 }
 
 PaymentProvider::~PaymentProvider() = default;
@@ -136,10 +142,20 @@ Status PaymentProvider::Deposit(const Coin& coin,
   return Status::kOk;
 }
 
-std::vector<Status> PaymentProvider::DepositBatch(
-    const std::vector<DepositItem>& items, bool shed_on_full) {
-  std::vector<Status> out(items.size(), Status::kBadRequest);
-  if (items.empty()) return out;
+/// Per-batch deposit state, heap-boxed so the streaming path can keep a
+/// batch alive between submission and its deferred commit. `items`
+/// borrows from the caller on the synchronous path (Run completes before
+/// DepositBatch returns) and points at `owned` on the streaming path.
+struct PaymentProvider::DepositBatchState {
+  std::vector<DepositItem> owned;
+  const std::vector<DepositItem>* items = nullptr;
+  std::vector<Status> out;
+};
+
+server::BatchPipeline::Plan PaymentProvider::BuildDepositPlan(
+    std::shared_ptr<DepositBatchState> st, bool shed_on_full) {
+  const std::vector<DepositItem>& items = *st->items;
+  st->out.assign(items.size(), Status::kBadRequest);
 
   server::BatchPipeline::Plan plan;
   plan.item_count = items.size();
@@ -148,15 +164,16 @@ std::vector<Status> PaymentProvider::DepositBatch(
   // verification per denomination group — the key *is* the
   // denomination, so a retail batch collapses to a handful of group
   // checks on cached Montgomery contexts.
-  plan.verify = [&] {
+  plan.verify = [this, st] {
+    const std::vector<DepositItem>& items = *st->items;
     server::BatchVerifierStats before = verifier_.stats();
     std::map<std::uint32_t, std::vector<std::size_t>> by_denom;
     for (std::size_t i = 0; i < items.size(); ++i) {
       if (accounts_.find(items[i].merchant_account) == accounts_.end()) {
-        out[i] = Status::kUnknownAccount;
+        st->out[i] = Status::kUnknownAccount;
       } else if (denom_pub_.find(items[i].coin.denomination) ==
                  denom_pub_.end()) {
-        out[i] = Status::kBadRequest;
+        st->out[i] = Status::kBadRequest;
       } else {
         by_denom[items[i].coin.denomination].push_back(i);
       }
@@ -178,7 +195,7 @@ std::vector<Status> PaymentProvider::DepositBatch(
         if (ok[j]) {
           eligible.push_back(group[j]);
         } else {
-          out[group[j]] = Status::kPaymentFailed;
+          st->out[group[j]] = Status::kPaymentFailed;
         }
       }
     }
@@ -191,7 +208,8 @@ std::vector<Status> PaymentProvider::DepositBatch(
 
   // Mutate: serial inserts on each coin's home shard — duplicates
   // within the batch resolve there in index order, first wins.
-  plan.mutate = [&](const std::vector<std::size_t>& eligible) {
+  plan.mutate = [this, st, shed_on_full](const std::vector<std::size_t>& eligible) {
+    const std::vector<DepositItem>& items = *st->items;
     std::vector<Status> spend;
     if (runtime_ != nullptr) {
       std::vector<rel::LicenseId> serials;
@@ -217,19 +235,49 @@ std::vector<Status> PaymentProvider::DepositBatch(
   // No issue stage: deposits sign nothing. Commit credits the accounts
   // on the dispatch thread in index order — exactly one credit per
   // fresh serial.
-  plan.commit = [&](std::size_t k, std::size_t i, Status) {
+  plan.commit = [this, st](std::size_t k, std::size_t i, Status) {
     (void)k;
-    accounts_[items[i].merchant_account] += items[i].coin.denomination;
+    const DepositItem& item = (*st->items)[i];
+    accounts_[item.merchant_account] += item.coin.denomination;
     ++deposited_coins_;
-    out[i] = Status::kOk;
+    st->out[i] = Status::kOk;
   };
-  plan.reject = [&](std::size_t i, Status s) {
+  plan.reject = [this, st](std::size_t i, Status s) {
     if (s == Status::kDoubleSpend) ++double_spend_attempts_;
-    out[i] = s;
+    st->out[i] = s;
   };
+  return plan;
+}
 
+std::vector<Status> PaymentProvider::DepositBatch(
+    const std::vector<DepositItem>& items, bool shed_on_full) {
+  if (items.empty()) return {};
+
+  auto st = std::make_shared<DepositBatchState>();
+  st->items = &items;  // borrowed: Run completes before we return
+  server::BatchPipeline::Plan plan = BuildDepositPlan(st, shed_on_full);
   server::BatchPipeline::Run(plan, nullptr, nullptr, &obs_deposit_);
-  return out;
+  return std::move(st->out);
+}
+
+void PaymentProvider::StreamDepositBatch(
+    std::vector<DepositItem> items,
+    std::function<void(std::vector<Status>)> on_done, bool shed_on_full) {
+  if (items.empty()) {
+    if (on_done != nullptr) on_done({});
+    return;
+  }
+  auto st = std::make_shared<DepositBatchState>();
+  st->owned = std::move(items);
+  st->items = &st->owned;
+  staged_->Submit(BuildDepositPlan(st, shed_on_full), &obs_deposit_,
+                  [st, cb = std::move(on_done)] {
+                    if (cb != nullptr) cb(std::move(st->out));
+                  });
+}
+
+server::BatchPipelineTimings PaymentProvider::FlushDeposits() {
+  return staged_->Flush();
 }
 
 void PaymentProvider::set_observability(const obs::Sink& sink,

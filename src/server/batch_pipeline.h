@@ -63,10 +63,19 @@ inline std::uint64_t SteadyNowUs() {
 /// Wall-clock per-stage breakdown of one pipeline run (microseconds).
 /// `issue_us` is the dispatch thread's wait on the fan-out; the signing
 /// work itself accrues wherever the executor runs it.
+/// Under the synchronous Run the three stage numbers are consecutive
+/// wall spans and `makespan_us` is their end-to-end span (verify start
+/// to issue join; the commit tail samples no clock, so it is excluded —
+/// same as it always was from the per-stage numbers). Under the
+/// streaming StagedBatchPipeline the stage numbers are per-stage BUSY
+/// sums across the window's batches while `makespan_us` is the window's
+/// wall span — overlap makes makespan < verify+mutate+issue, which is
+/// exactly what bench_server_scaling Part G gates.
 struct BatchPipelineTimings {
   double verify_us = 0;  ///< stage 1: amortized classification
   double mutate_us = 0;  ///< stage 2: serialized state change
   double issue_us = 0;   ///< stage 3: fork draw + fan-out + join
+  double makespan_us = 0;  ///< end-to-end span (see above)
   std::size_t items = 0;     ///< batch size
   std::size_t shed = 0;      ///< items shed kOverloaded at the mutate stage
   std::size_t committed = 0; ///< items that reached issue + commit

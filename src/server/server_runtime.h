@@ -124,6 +124,15 @@ class ServerRuntime {
   /// Blocking submit: waits for queue room instead of shedding.
   void Submit(std::size_t shard, Task task, std::size_t weight = 1);
 
+  /// Grouped blocking submit: enqueues every (task, weight) pair on
+  /// \p shard under ONE lock acquisition and ONE worker wake (each shard
+  /// has exactly one worker, so a single notify drains the whole group).
+  /// Waits for room for the group's total weight with the same
+  /// oversize-meets-empty-queue acceptance rule as Submit. RunAll and
+  /// SpendBatch both feed shards through here.
+  void SubmitAll(std::size_t shard,
+                 std::vector<std::pair<Task, std::size_t>> tasks);
+
   /// Submit-and-join work queue for the issuance stage: fans \p tasks
   /// out across the shard workers (task i runs on shard i mod N) and
   /// blocks until every one has completed. Submission is blocking, never

@@ -1,0 +1,135 @@
+#ifndef P2DRM_SERVER_STAGE_EXECUTOR_H_
+#define P2DRM_SERVER_STAGE_EXECUTOR_H_
+
+/// \file stage_executor.h
+/// \brief Streaming stage-pipelined front end for BatchPipeline plans.
+///
+/// `BatchPipeline::Run` is submit-and-join: verify, mutate, issue and
+/// commit of batch B all finish before batch B+1 starts, so the stages
+/// never overlap across batches. `StagedBatchPipeline` keeps the exact
+/// same Plan contract but splits a batch's lifetime in two:
+///
+///   Submit(plan):  verify -> mutate -> reject/shed -> draw_fork   (caller)
+///                  -> issue fan-out onto a SignerPool              (async)
+///   CommitHead():  join the batch's ticket -> commit tail          (caller)
+///
+/// The caller's thread IS the dispatch thread — there is no hidden
+/// scheduler thread, so everything that touches flow state outside the
+/// issue callbacks (verify, mutate, draw_fork, reject, commit) still
+/// runs single-threaded on the caller, exactly as under Run. While
+/// batch B's signatures grind on the pool, the caller's next Submit
+/// runs batch B+1's verify/mutate — that is the cross-batch overlap.
+///
+/// Ordering and determinism contract (the same one Run gives, extended
+/// across batches):
+///  * Verify and draw_fork run inside Submit, so every shared-RNG draw
+///    happens on the dispatch thread in Submit order — the DRBG stream
+///    is identical to running the same batches serially, which is what
+///    makes streaming issuance bit-identical to Run under a fixed seed.
+///  * kOverloaded sheds surface inside Submit (reject runs before
+///    Submit returns) and never reach issue or commit — a shed item has
+///    no server-side trace even with other batches in flight.
+///  * Commits apply strictly in batch order, each batch's tail in
+///    ascending k, on the dispatch thread. Commit points are
+///    deterministic: a batch commits only when the in-flight window is
+///    full (inside a later Submit) or at Flush — never opportunistically
+///    on worker completion, so the interleaving of commit(B) and
+///    verify(B+n) is a pure function of the Submit/Flush call sequence.
+///  * Corollary: batches streamed concurrently must be commit-
+///    independent — a flow whose verify reads state its own commit
+///    writes (e.g. exchange consulting the issued-key map) may only
+///    stream batches that do not depend on each other's commits.
+///
+/// Timings: under streaming, per-stage numbers are BUSY time (what each
+/// stage actually consumed), not wall spans — the stages overlap, so
+/// their sum deliberately exceeds the window's `makespan_us` (first
+/// Submit to Flush end). makespan < sum-of-busy is the overlap win
+/// bench_server_scaling Part G gates.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "server/batch_pipeline.h"
+#include "server/signer_pool.h"
+
+namespace p2drm {
+namespace server {
+
+/// Streaming Submit/Flush counterpart to BatchPipeline::Run. Not
+/// thread-safe: one instance belongs to one dispatch thread.
+class StagedBatchPipeline {
+ public:
+  struct Config {
+    /// Issue fan-out target. Null runs issue inline inside Submit —
+    /// still useful for the deferred-commit window (deposit flow) and
+    /// for deterministic-timing tests with a non-thread-safe tick.
+    SignerPool* pool = nullptr;
+
+    /// Submit blocks (committing the oldest batch) once this many
+    /// batches are in flight. Bounds memory and commit latency.
+    std::size_t max_batches_in_flight = 4;
+
+    /// Stage-timing clock (null = SteadyNowUs). With a pool it is also
+    /// called from the workers to measure per-item issue busy time, so
+    /// it must be thread-safe then (the TimeSourceUs contract).
+    TimeSourceUs now_us;
+  };
+
+  explicit StagedBatchPipeline(Config cfg);
+
+  /// Drains in-flight batches (their commit tails run here).
+  ~StagedBatchPipeline();
+
+  StagedBatchPipeline(const StagedBatchPipeline&) = delete;
+  StagedBatchPipeline& operator=(const StagedBatchPipeline&) = delete;
+
+  /// Runs verify/mutate/draw_fork for \p plan on the calling thread,
+  /// fans its issue stage out to the pool, and returns with the batch
+  /// in flight. May first commit older batches to respect
+  /// max_batches_in_flight. \p on_commit, when set, runs right after
+  /// the batch's commit tail (still on the dispatch thread) — flows use
+  /// it to snapshot per-batch results. The plan's callbacks must stay
+  /// valid until the batch commits; state they capture by reference
+  /// must be heap-owned by the flow, not a Submit caller's stack frame.
+  void Submit(BatchPipeline::Plan plan, const PipelineObs* pobs = nullptr,
+              std::function<void()> on_commit = nullptr);
+
+  /// Joins and commits everything in flight, in batch order, and closes
+  /// the timing window: returns per-stage busy sums over the window's
+  /// batches plus `makespan_us` = first-Submit to Flush-end. Resets the
+  /// window; an empty window returns zeros.
+  BatchPipelineTimings Flush();
+
+  /// Batches submitted but not yet committed.
+  std::size_t InFlight() const { return inflight_.size(); }
+
+  /// Wires `<prefix>batches_in_flight` (gauge, +1 at Submit, -1 at
+  /// commit). Call before the first Submit; nullptr detaches.
+  void set_observability(obs::Registry* registry, const std::string& prefix);
+
+ private:
+  struct InFlightBatch;
+
+  std::uint64_t Now() const;
+  void CommitHead();
+
+  Config cfg_;
+  // unique_ptr elements: issue jobs on the pool hold raw pointers into
+  // the batch, so its address must survive deque growth.
+  std::deque<std::unique_ptr<InFlightBatch>> inflight_;
+
+  BatchPipelineTimings agg_;          // busy sums over the open window
+  bool window_open_ = false;
+  std::uint64_t window_start_us_ = 0;  // verify-t0 of the window's first Submit
+
+  obs::Registry* registry_ = nullptr;
+  obs::Registry::Id gauge_inflight_ = 0;
+};
+
+}  // namespace server
+}  // namespace p2drm
+
+#endif  // P2DRM_SERVER_STAGE_EXECUTOR_H_

@@ -117,6 +117,25 @@ class EngineBase {
     std::deque<std::uint64_t> completions;
   };
 
+  /// Issue-completion instant on the earliest-available signer of
+  /// \p signers (lowest index breaks ties), starting no earlier than
+  /// \p ready_us. Mirrors server::SignerPool's work-stealing property:
+  /// an idle signer immediately takes the next pending item, so the pool
+  /// behaves as one k-server service center and which worker signs is
+  /// immaterial to the finish time.
+  static std::uint64_t IssueOnPool(std::vector<std::uint64_t>* signers,
+                                   std::uint64_t ready_us,
+                                   std::uint64_t issue_us) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < signers->size(); ++i) {
+      if ((*signers)[i] < (*signers)[best]) best = i;
+    }
+    std::uint64_t start = std::max((*signers)[best], ready_us);
+    std::uint64_t done = start + issue_us;
+    (*signers)[best] = done;
+    return done;
+  }
+
   /// Schedules every user's first batch across the ramp window.
   void ScheduleUsers() {
     for (std::size_t u = 0; u < cfg_.num_users; ++u) {
@@ -192,7 +211,9 @@ class EngineBase {
 class Engine : public EngineBase {
  public:
   explicit Engine(const ScenarioConfig& cfg)
-      : EngineBase(cfg), shards_(std::max<std::size_t>(cfg.shard_count, 1)) {}
+      : EngineBase(cfg),
+        shards_(std::max<std::size_t>(cfg.shard_count, 1)),
+        signers_(cfg.signer_pool_size, 0) {}
 
   ScenarioResult Run() {
     TracerClockScope trace_clock(cfg_.obs.tracer, &clock_);
@@ -277,8 +298,17 @@ class Engine : public EngineBase {
         continue;
       }
       std::uint64_t start = std::max(shard.busy_until_us, verify_done);
-      std::uint64_t done = start + cost.mutate_us + cost.issue_us;
-      shard.busy_until_us = done;
+      std::uint64_t done;
+      if (!signers_.empty()) {
+        // Signer-pool model: the shard frees after its serialized
+        // mutate; private-key work queues on the pool.
+        std::uint64_t mutate_done = start + cost.mutate_us;
+        shard.busy_until_us = mutate_done;
+        done = IssueOnPool(&signers_, mutate_done, cost.issue_us);
+      } else {
+        done = start + cost.mutate_us + cost.issue_us;
+        shard.busy_until_us = done;
+      }
       shard.completions.push_back(done);
       result_.max_backlog_items = std::max<std::uint64_t>(
           result_.max_backlog_items, shard.completions.size());
@@ -330,6 +360,7 @@ class Engine : public EngineBase {
   }
 
   std::vector<ShardState> shards_;
+  std::vector<std::uint64_t> signers_;  ///< empty = legacy shard-bound issue
   std::uint64_t dispatcher_busy_until_ = 0;
 };
 
@@ -366,7 +397,10 @@ class ClusterEngine : public EngineBase {
     victim_ = static_cast<std::uint32_t>(cfg.cluster.crash_replica %
                                          cc.replica_count);
     replicas_.resize(cc.replica_count);
-    for (ReplicaModel& rm : replicas_) rm.shards.resize(cc.shards_per_replica);
+    for (ReplicaModel& rm : replicas_) {
+      rm.shards.resize(cc.shards_per_replica);
+      rm.signers.assign(cfg.signer_pool_size, 0);
+    }
   }
 
   ScenarioResult Run() {
@@ -391,6 +425,7 @@ class ClusterEngine : public EngineBase {
   struct ReplicaModel {
     std::uint64_t dispatcher_busy_until_us = 0;
     std::vector<ShardState> shards;
+    std::vector<std::uint64_t> signers;  ///< per-replica signer pool
   };
 
   /// One in-flight wire message: the slice of a user's batch addressed
@@ -518,8 +553,16 @@ class ClusterEngine : public EngineBase {
             break;
           }
           std::uint64_t start = std::max(shard.busy_until_us, verify_done);
-          std::uint64_t done = start + cost.mutate_us + cost.issue_us;
-          shard.busy_until_us = done;
+          std::uint64_t done;
+          if (!replicas_[r].signers.empty()) {
+            std::uint64_t mutate_done = start + cost.mutate_us;
+            shard.busy_until_us = mutate_done;
+            done = IssueOnPool(&replicas_[r].signers, mutate_done,
+                               cost.issue_us);
+          } else {
+            done = start + cost.mutate_us + cost.issue_us;
+            shard.busy_until_us = done;
+          }
           shard.completions.push_back(done);
           result_.max_backlog_items = std::max<std::uint64_t>(
               result_.max_backlog_items, shard.completions.size());

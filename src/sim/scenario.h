@@ -121,6 +121,14 @@ struct ScenarioConfig {
   /// Per-shard backlog bound, in items; an item arriving at a fuller
   /// shard is shed with kOverloaded + retry hint.
   std::size_t queue_capacity = 4096;
+  /// Dedicated signer-pool size for the issue stage — the modeled twin
+  /// of server::SignerPool (cluster mode: one pool per replica). 0 keeps
+  /// the legacy model where mutate + issue both serialize on the item's
+  /// home shard. N > 0 frees the shard after mutate_us and runs issue_us
+  /// on the earliest-available of N signer resources (lowest index
+  /// breaks ties — work stealing makes the pool a single service
+  /// center, so which signer is immaterial to the modeled finish time).
+  std::size_t signer_pool_size = 0;
   std::array<FlowCost, kFlowCount> cost = DefaultFlowCosts();
 
   // -- workload shape -------------------------------------------------

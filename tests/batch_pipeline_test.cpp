@@ -520,6 +520,9 @@ TEST(PipelineTimings, InjectedTimeSourcePinsStageTimings) {
   EXPECT_EQ(timings.verify_us, 7.0);
   EXPECT_EQ(timings.spend_us, 7.0);
   EXPECT_EQ(timings.issue_us, 7.0);
+  // End-to-end span of the synchronous run: first verify sample to last
+  // issue sample, 5 ticks.
+  EXPECT_EQ(timings.makespan_us, 35.0);
 }
 
 // -- client exchange batch ---------------------------------------------------

@@ -1,0 +1,280 @@
+// Streaming batch pipeline (ISSUE 9): the Stream* entry points overlap
+// batch B+1's verify with batch B's signing, yet must stay bit-identical
+// to the synchronous batch calls under a fixed seed — commits in submit
+// order, each commit tail in index order, DRBG forks drawn dispatch-side.
+// Also covered: a batch shed at the mutate stage leaves no trace even
+// while other streamed batches are in flight, the streamed deposit window
+// defers account credits without reordering double-spend resolution, and
+// the window makespan is exact under an injected tick source.
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/content_provider.h"
+#include "core/payment.h"
+#include "server/server_runtime.h"
+#include "server/signer_pool.h"
+#include "sim/provider_stack.h"
+
+namespace p2drm {
+namespace core {
+namespace {
+
+using Stack = sim::ProviderStack;
+
+// -- streaming vs serial: bit-identical mixed flows --------------------------
+
+TEST(StreamingPipeline, MixedFlowsBitIdenticalToSerial) {
+  // Same seed, same call sequence. The serial stack runs the synchronous
+  // batch entry points; the streaming stack runs the same batches through
+  // Stream* with a 2-batch window over a 3-signer pool, so two batches
+  // are genuinely in flight while later ones are being verified.
+  Stack serial("streaming-identical", 2);
+  Stack streaming("streaming-identical", 2, 512, 4096,
+                  /*signer_pool_size=*/3, /*max_batches_in_flight=*/2);
+  ASSERT_NE(streaming.cp.Pool(), nullptr);
+
+  // Fixture creation is the same sequence on both stacks, so every key,
+  // coin and license going in is already bit-identical.
+  auto fixtures = [](Stack& s) {
+    struct F {
+      std::vector<ContentProvider::RedeemItem> redeem1, redeem2;
+      std::vector<ContentProvider::PurchaseItem> purchase;
+      std::vector<ContentProvider::ExchangeItem> exchange;
+    } f;
+    Pseudonym* giver = s.NewPseudonym();
+    Pseudonym* taker = s.NewPseudonym();
+    for (int i = 0; i < 3; ++i) {
+      f.redeem1.push_back({s.NewBearer(giver), taker->cert});
+    }
+    // In-batch duplicate: the detected-double-redemption leg must stream
+    // identically too.
+    f.redeem1.push_back(f.redeem1[0]);
+    Pseudonym* buyer = s.NewPseudonym();
+    for (int i = 0; i < 2; ++i) {
+      f.purchase.push_back({buyer->cert, s.content, s.Pay(30)});
+    }
+    Pseudonym* owner = s.NewPseudonym();
+    for (int i = 0; i < 2; ++i) {
+      rel::License lic = s.NewBoundLicense(owner);
+      f.exchange.push_back({lic, s.PossessionSig(owner, lic)});
+    }
+    for (int i = 0; i < 2; ++i) {
+      f.redeem2.push_back({s.NewBearer(giver), taker->cert});
+    }
+    return f;
+  };
+  auto fs = fixtures(serial);
+  auto ff = fixtures(streaming);
+
+  auto out_r1 = serial.cp.RedeemAnonymousBatch(fs.redeem1);
+  auto out_p = serial.cp.PurchaseBatch(fs.purchase);
+  auto out_e = serial.cp.ExchangeBatch(fs.exchange);
+  auto out_r2 = serial.cp.RedeemAnonymousBatch(fs.redeem2);
+
+  std::optional<std::vector<ContentProvider::PurchaseResult>> got_r1, got_p,
+      got_r2;
+  std::optional<std::vector<ContentProvider::ExchangeResult>> got_e;
+  std::vector<std::string> commit_order;
+  streaming.cp.StreamRedeemBatch(std::move(ff.redeem1), [&](auto out) {
+    commit_order.push_back("r1");
+    got_r1 = std::move(out);
+  });
+  streaming.cp.StreamPurchaseBatch(std::move(ff.purchase), [&](auto out) {
+    commit_order.push_back("p");
+    got_p = std::move(out);
+  });
+  streaming.cp.StreamExchangeBatch(std::move(ff.exchange), [&](auto out) {
+    commit_order.push_back("e");
+    got_e = std::move(out);
+  });
+  streaming.cp.StreamRedeemBatch(std::move(ff.redeem2), [&](auto out) {
+    commit_order.push_back("r2");
+    got_r2 = std::move(out);
+  });
+  // A 2-batch window with four submissions means the first two batches
+  // committed while later ones were streaming in — real overlap, not a
+  // disguised serial run.
+  EXPECT_EQ(streaming.cp.StreamingInFlight(), 2u);
+  ASSERT_TRUE(got_r1.has_value());
+  ASSERT_TRUE(got_p.has_value());
+  EXPECT_FALSE(got_e.has_value());
+
+  streaming.cp.FlushStreaming();
+  EXPECT_EQ(streaming.cp.StreamingInFlight(), 0u);
+  ASSERT_TRUE(got_e.has_value());
+  ASSERT_TRUE(got_r2.has_value());
+  EXPECT_EQ(commit_order,
+            (std::vector<std::string>{"r1", "p", "e", "r2"}));
+
+  ASSERT_EQ(got_r1->size(), out_r1.size());
+  for (std::size_t i = 0; i < out_r1.size(); ++i) {
+    EXPECT_EQ((*got_r1)[i].status, out_r1[i].status) << "redeem1 " << i;
+    EXPECT_EQ((*got_r1)[i].license.Serialize(), out_r1[i].license.Serialize())
+        << "redeem1 " << i;
+  }
+  EXPECT_EQ((*got_r1)[3].status, Status::kAlreadySpent);
+  ASSERT_EQ(got_p->size(), out_p.size());
+  for (std::size_t i = 0; i < out_p.size(); ++i) {
+    EXPECT_EQ((*got_p)[i].status, out_p[i].status) << "purchase " << i;
+    EXPECT_EQ((*got_p)[i].license.Serialize(), out_p[i].license.Serialize())
+        << "purchase " << i;
+  }
+  ASSERT_EQ(got_e->size(), out_e.size());
+  for (std::size_t i = 0; i < out_e.size(); ++i) {
+    EXPECT_EQ((*got_e)[i].status, out_e[i].status) << "exchange " << i;
+    EXPECT_EQ((*got_e)[i].anonymous_license.Serialize(),
+              out_e[i].anonymous_license.Serialize())
+        << "exchange " << i;
+  }
+  ASSERT_EQ(got_r2->size(), out_r2.size());
+  for (std::size_t i = 0; i < out_r2.size(); ++i) {
+    EXPECT_EQ((*got_r2)[i].status, out_r2[i].status) << "redeem2 " << i;
+    EXPECT_EQ((*got_r2)[i].license.Serialize(), out_r2[i].license.Serialize())
+        << "redeem2 " << i;
+  }
+  EXPECT_EQ(serial.cp.LicensesIssued(), streaming.cp.LicensesIssued());
+}
+
+// -- shed at mutate leaves no trace while other batches are in flight --------
+
+TEST(StreamingPipeline, ShedAtMutateLeavesNoTraceUnderOverlap) {
+  // One shard with a one-item queue; 2-signer pool, window of 4 so a
+  // healthy batch stays in flight while the next one is shed.
+  Stack stack("streaming-shed", 1, 512, /*queue_capacity=*/1,
+              /*signer_pool_size=*/2, /*max_batches_in_flight=*/4);
+  Pseudonym* giver = stack.NewPseudonym();
+  Pseudonym* taker = stack.NewPseudonym();
+  std::vector<ContentProvider::RedeemItem> ok_items, shed_items;
+  for (int i = 0; i < 2; ++i) {
+    ok_items.push_back({stack.NewBearer(giver), taker->cert});
+    shed_items.push_back({stack.NewBearer(giver), taker->cert});
+  }
+
+  std::optional<std::vector<ContentProvider::PurchaseResult>> got_ok, got_shed;
+  stack.cp.StreamRedeemBatch(ok_items,
+                             [&](auto out) { got_ok = std::move(out); });
+  EXPECT_EQ(stack.cp.StreamingInFlight(), 1u);
+  // The healthy batch's spends are already recorded (mutate runs inline
+  // at Stream time); its licenses are still being signed.
+  std::size_t spent_before = stack.cp.SpentSetSize();
+  std::uint64_t issued_before = stack.cp.LicensesIssued();
+
+  // Park the only spend shard: every mutate submission is now shed.
+  server::ServerRuntime* rt = stack.cp.Runtime();
+  ASSERT_NE(rt, nullptr);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  rt->Submit(0, [gate](server::ShardContext&) { gate.wait(); });
+
+  stack.cp.StreamRedeemBatch(shed_items,
+                             [&](auto out) { got_shed = std::move(out); });
+  release.set_value();
+  rt->Drain();
+  stack.cp.FlushStreaming();
+
+  ASSERT_TRUE(got_ok.has_value());
+  ASSERT_TRUE(got_shed.has_value());
+  for (const auto& r : *got_ok) EXPECT_EQ(r.status, Status::kOk);
+  // Typed shed status, no spend recorded, nothing signed for the shed
+  // batch — only the healthy batch's licenses were issued.
+  for (const auto& r : *got_shed) EXPECT_EQ(r.status, Status::kOverloaded);
+  EXPECT_EQ(stack.cp.SpentSetSize(), spent_before);
+  EXPECT_EQ(stack.cp.LicensesIssued(), issued_before + ok_items.size());
+
+  // No trace means the identical retry succeeds once the queue has room.
+  auto retried = stack.cp.RedeemAnonymousBatch(shed_items);
+  for (const auto& r : retried) EXPECT_EQ(r.status, Status::kOk);
+}
+
+// -- streamed deposits: deferred credit, submission-ordered resolution -------
+
+TEST(StreamingDeposits, BitIdenticalToSerialBatchesWithDeferredCredit) {
+  Stack serial("streaming-deposit", 0);
+  Stack streaming("streaming-deposit", 0);
+
+  auto fixtures = [](Stack& s) {
+    struct F {
+      std::vector<PaymentProvider::DepositItem> batch1, batch2;
+    } f;
+    for (const Coin& c : s.Pay(30)) f.batch1.push_back({c, Stack::kAccount});
+    for (const Coin& c : s.Pay(30)) f.batch2.push_back({c, Stack::kAccount});
+    // Cross-batch double spend: batch2 re-deposits batch1's first coin.
+    // Resolution must stay submission-ordered even though the account
+    // credits are deferred to the flush.
+    f.batch2.push_back(f.batch1[0]);
+    return f;
+  };
+  auto fs = fixtures(serial);
+  auto ff = fixtures(streaming);
+
+  auto out1 = serial.bank.DepositBatch(fs.batch1);
+  auto out2 = serial.bank.DepositBatch(fs.batch2);
+  std::uint64_t serial_balance = serial.bank.Balance(Stack::kAccount);
+
+  std::uint64_t balance_before = streaming.bank.Balance(Stack::kAccount);
+  std::optional<std::vector<Status>> got1, got2;
+  streaming.bank.StreamDepositBatch(ff.batch1,
+                                    [&](auto out) { got1 = std::move(out); });
+  streaming.bank.StreamDepositBatch(ff.batch2,
+                                    [&](auto out) { got2 = std::move(out); });
+  EXPECT_EQ(streaming.bank.StreamingDepositsInFlight(), 2u);
+  // Both batches' serials are burned (mutate ran inline) but no account
+  // has been credited yet: the commit tail is the deferred part.
+  EXPECT_EQ(streaming.bank.Balance(Stack::kAccount), balance_before);
+
+  streaming.bank.FlushDeposits();
+  EXPECT_EQ(streaming.bank.StreamingDepositsInFlight(), 0u);
+  ASSERT_TRUE(got1.has_value());
+  ASSERT_TRUE(got2.has_value());
+  EXPECT_EQ(*got1, out1);
+  EXPECT_EQ(*got2, out2);
+  EXPECT_NE(got2->back(), Status::kOk);  // the cross-batch double spend
+  EXPECT_EQ(streaming.bank.Balance(Stack::kAccount), serial_balance);
+}
+
+// -- injected tick pins the streaming window's makespan ----------------------
+
+TEST(StreamingPipeline, InjectedTickPinsStreamingMakespan) {
+  // No shards, no pool: the streamed batch runs its stages inline, so
+  // the deterministic tick source pins every number. Each stage spans
+  // one 7us tick (6 samples inside Submit) and the flush takes the 7th
+  // sample, so the window makespan is exactly 42us.
+  Stack stack("streaming-timings", /*redeem_shards=*/0, 512);
+  std::uint64_t tick = 0;
+  stack.cp.set_time_source([&tick]() {
+    tick += 7;
+    return tick;
+  });
+
+  Pseudonym* giver = stack.NewPseudonym();
+  Pseudonym* taker = stack.NewPseudonym();
+  std::vector<ContentProvider::RedeemItem> items;
+  items.push_back({stack.NewBearer(giver), taker->cert});
+  items.push_back({stack.NewBearer(giver), taker->cert});
+
+  std::optional<std::vector<ContentProvider::PurchaseResult>> got;
+  stack.cp.StreamRedeemBatch(std::move(items),
+                             [&](auto out) { got = std::move(out); });
+  auto timings = stack.cp.FlushStreaming();
+  ASSERT_TRUE(got.has_value());
+  for (const auto& r : *got) ASSERT_EQ(r.status, Status::kOk);
+
+  EXPECT_EQ(timings.items, 2u);
+  EXPECT_EQ(timings.verify_us, 7.0);
+  EXPECT_EQ(timings.spend_us, 7.0);
+  EXPECT_EQ(timings.issue_us, 7.0);
+  EXPECT_EQ(timings.makespan_us, 42.0);
+  // FlushStreaming also refreshes LastBatchTimings.
+  EXPECT_EQ(stack.cp.LastBatchTimings().makespan_us, 42.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2drm
