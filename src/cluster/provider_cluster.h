@@ -65,7 +65,7 @@ struct ClusterConfig {
   /// Per-replica ServerRuntime shards (the intra-replica axis).
   std::size_t shards_per_replica = 2;
   std::size_t queue_capacity = 4096;
-  store::SpentSetBackend spent_backend = store::SpentSetBackend::kHashSet;
+  store::SpentSetBackend spent_backend = store::SpentSetBackend::kFlat;
   /// Journal family base: replica k journals under `<prefix>.r<k>` (each
   /// runtime then appends its own `.shard<j>`). Empty disables journaling
   /// — and with it, failover (CompleteFailover would have nothing to

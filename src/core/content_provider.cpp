@@ -81,10 +81,16 @@ ContentProvider::ContentProvider(const ContentProviderConfig& config,
     store::AppendLog::Replay(
         config_.spent_journal_path,
         [this](const std::vector<std::uint8_t>& record) {
-          if (record.size() != 16) return;
-          rel::LicenseId id;
-          std::copy(record.begin(), record.end(), id.bytes.begin());
-          spent_.Insert(id);
+          // One id per record, or a group-committed block of N ids
+          // (AppendMany) — split by the fixed id width either way.
+          if (record.empty() || record.size() % 16 != 0) return;
+          for (std::size_t off = 0; off < record.size(); off += 16) {
+            rel::LicenseId id;
+            std::copy(record.begin() + static_cast<std::ptrdiff_t>(off),
+                      record.begin() + static_cast<std::ptrdiff_t>(off + 16),
+                      id.bytes.begin());
+            spent_.Insert(id);
+          }
         });
     spent_journal_ =
         std::make_unique<store::AppendLog>(config_.spent_journal_path);
@@ -221,10 +227,29 @@ std::vector<Status> ContentProvider::SpendEligible(
     for (std::size_t i : eligible) ids.push_back(id_of(i));
     runtime_->SpendBatch(ids, &spend, /*shed_on_full=*/true);
   } else {
-    spend.reserve(eligible.size());
-    for (std::size_t i : eligible) {
-      spend.push_back(MarkSpent(id_of(i)) ? Status::kOk
-                                          : Status::kAlreadySpent);
+    // Unsharded path: one batch probe over the flat table (in index
+    // order, so in-batch duplicates keep first-wins semantics) and one
+    // group-committed journal block for the fresh subset.
+    const std::size_t n = eligible.size();
+    std::vector<rel::LicenseId> ids(n);
+    for (std::size_t j = 0; j < n; ++j) ids[j] = id_of(eligible[j]);
+    std::vector<std::uint8_t> fresh(n);
+    spent_.InsertBatch(ids.data(), n, fresh.data());
+    if (spent_journal_ != nullptr) {
+      std::vector<std::uint8_t> blob;
+      blob.reserve(n * 16);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (fresh[j]) {
+          blob.insert(blob.end(), ids[j].bytes.begin(), ids[j].bytes.end());
+        }
+      }
+      if (!blob.empty()) {
+        spent_journal_->AppendMany(blob.data(), 16, blob.size() / 16);
+      }
+    }
+    spend.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      spend[j] = fresh[j] ? Status::kOk : Status::kAlreadySpent;
     }
   }
   return spend;

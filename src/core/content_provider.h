@@ -61,7 +61,9 @@ struct Offer {
 /// Content provider configuration.
 struct ContentProviderConfig {
   std::size_t signing_key_bits = 1024;
-  store::SpentSetBackend spent_backend = store::SpentSetBackend::kHashSet;
+  /// Spent-set storage engine; kFlat (docs/storage.md) unless a bench is
+  /// ablating against the legacy backends.
+  store::SpentSetBackend spent_backend = store::SpentSetBackend::kFlat;
   store::CrlStrategy crl_strategy = store::CrlStrategy::kBloomFronted;
   std::size_t expected_crl_entries = 1024;
   /// When non-empty, every spent license id is journaled here and the

@@ -68,12 +68,21 @@ ServerRuntime::JournalScanStats ServerRuntime::ForEachJournalRecord(
     const std::function<void(const rel::LicenseId&)>& fn) {
   JournalScanStats stats;
   auto deliver = [&stats, &fn](const std::vector<std::uint8_t>& record) {
-    if (record.size() != sizeof(rel::LicenseId::bytes)) return;
-    ++stats.records;
-    if (!fn) return;
-    rel::LicenseId id;
-    std::copy(record.begin(), record.end(), id.bytes.begin());
-    fn(id);
+    constexpr std::size_t kIdWidth = sizeof(rel::LicenseId::bytes);
+    // A license-id record is either one id (legacy per-record Append) or
+    // a group-committed block of N ids packed back to back (AppendMany,
+    // docs/storage.md). Either way `records` counts IDS, not blocks, so
+    // scan totals are independent of how the writer grouped its commits.
+    if (record.empty() || record.size() % kIdWidth != 0) return;
+    for (std::size_t off = 0; off < record.size(); off += kIdWidth) {
+      ++stats.records;
+      if (!fn) continue;
+      rel::LicenseId id;
+      std::copy(record.begin() + static_cast<std::ptrdiff_t>(off),
+                record.begin() + static_cast<std::ptrdiff_t>(off + kIdWidth),
+                id.bytes.begin());
+      fn(id);
+    }
   };
   // Legacy unsharded journal first (migration from the single-threaded
   // provider), then every shard segment any previous run wrote. Segments
@@ -94,14 +103,70 @@ ServerRuntime::JournalScanStats ServerRuntime::ForEachJournalRecord(
 }
 
 void ServerRuntime::ReplayJournals() {
-  // Idempotent by construction: SpentSetShard::Insert is a no-op on ids
+  // Idempotent by construction: SpentSetShard inserts are no-ops on ids
   // already present, so overlapping legacy + sharded segments (or a
   // segment replayed twice) rebuild the same set with the same memory
-  // footprint.
+  // footprint. Ids are staged into per-shard buffers and applied through
+  // InsertBatch so a multi-million-record replay rides the same
+  // prefetching probe loop as live traffic.
+  constexpr std::size_t kFlushAt = 4096;
+  std::vector<std::vector<rel::LicenseId>> pending(shards_.size());
+  std::vector<std::uint8_t> fresh;
+  auto flush = [this, &pending, &fresh](std::size_t s) {
+    auto& ids = pending[s];
+    if (ids.empty()) return;
+    fresh.resize(ids.size());
+    shards_[s]->ctx.spent.InsertBatch(ids.data(), ids.size(), fresh.data());
+    ids.clear();
+  };
   ForEachJournalRecord(config_.journal_path_prefix,
-                       [this](const rel::LicenseId& id) {
-                         shards_[router_.ShardFor(id)]->ctx.spent.Insert(id);
+                       [this, &pending, &flush](const rel::LicenseId& id) {
+                         const std::size_t s = router_.ShardFor(id);
+                         pending[s].push_back(id);
+                         if (pending[s].size() >= kFlushAt) flush(s);
                        });
+  for (std::size_t s = 0; s < pending.size(); ++s) flush(s);
+}
+
+void ServerRuntime::JournalFreshIds(ShardContext& ctx,
+                                    const std::vector<rel::LicenseId>& ids,
+                                    const std::vector<std::uint8_t>& fresh)
+    const {
+  if (ctx.journal == nullptr) return;
+  constexpr std::size_t kIdWidth = sizeof(rel::LicenseId::bytes);
+  if (!config_.group_commit_journal) {
+    // Legacy baseline: one record — and one write() — per fresh id.
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (fresh[i]) {
+        ctx.journal->Append(std::vector<std::uint8_t>(ids[i].bytes.begin(),
+                                                      ids[i].bytes.end()));
+      }
+    }
+    return;
+  }
+  // Group commit: pack the fresh ids into the shard's retained scratch
+  // arena and hand the whole batch to AppendMany as one CRC'd block.
+  auto& blob = ctx.journal_scratch;
+  blob.clear();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (fresh[i]) {
+      blob.insert(blob.end(), ids[i].bytes.begin(), ids[i].bytes.end());
+    }
+  }
+  if (!blob.empty()) {
+    ctx.journal->AppendMany(blob.data(), kIdWidth, blob.size() / kIdWidth);
+  }
+}
+
+void ServerRuntime::UpdateSpentBytesGauge(ShardContext& ctx) const {
+  if (obs_registry_ == nullptr) return;
+  const std::size_t now = ctx.spent.MemoryBytes();
+  if (now == ctx.spent_bytes_reported) return;
+  obs_registry_->GaugeAdd(obs_spent_bytes_,
+                          static_cast<std::int64_t>(now) -
+                              static_cast<std::int64_t>(
+                                  ctx.spent_bytes_reported));
+  ctx.spent_bytes_reported = now;
 }
 
 ServerRuntime::ImportStats ServerRuntime::ImportSpent(
@@ -125,18 +190,24 @@ ServerRuntime::ImportStats ServerRuntime::ImportSpent(
     ImportStats* tally = &per_shard[s];
     Submit(
         s,
-        [&ids, &done, tally, group = std::move(groups[s])](ShardContext& ctx) {
-          for (std::size_t i : group) {
-            if (ctx.spent.Insert(ids[i])) {
-              if (ctx.journal != nullptr) {
-                ctx.journal->Append(std::vector<std::uint8_t>(
-                    ids[i].bytes.begin(), ids[i].bytes.end()));
-              }
+        [this, &ids, &done, tally,
+         group = std::move(groups[s])](ShardContext& ctx) {
+          const std::size_t n = group.size();
+          std::vector<rel::LicenseId> local(n);
+          for (std::size_t j = 0; j < n; ++j) local[j] = ids[group[j]];
+          std::vector<std::uint8_t> fresh(n);
+          ctx.spent.InsertBatch(local.data(), n, fresh.data());
+          // Only the fresh subset is journaled (idempotency: a replayed
+          // segment must not grow the journal), as one group-commit block.
+          JournalFreshIds(ctx, local, fresh);
+          for (std::size_t j = 0; j < n; ++j) {
+            if (fresh[j]) {
               ++tally->fresh;
             } else {
               ++tally->duplicates;
             }
           }
+          UpdateSpentBytesGauge(ctx);
           done.CountDown();
         },
         weight);
@@ -192,6 +263,15 @@ void ServerRuntime::set_observability(obs::Registry* registry,
   if (registry == nullptr) return;
   obs_queue_depth_ = registry->Gauge(prefix + "queue_depth");
   obs_sheds_ = registry->Counter(prefix + "sheds");
+  obs_spent_bytes_ = registry->Gauge(prefix + "spent.bytes");
+  // Seed the footprint gauge with whatever journal replay already loaded;
+  // QuiesceShard both proves the worker is idle and provides the
+  // happens-before edge for the worker's later reads of
+  // spent_bytes_reported.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    auto lock = QuiesceShard(i);
+    UpdateSpentBytesGauge(shards_[i]->ctx);
+  }
 }
 
 bool ServerRuntime::TrySubmit(std::size_t shard_index, Task task,
@@ -317,18 +397,24 @@ void ServerRuntime::SpendBatch(const std::vector<rel::LicenseId>& ids,
     if (groups[s].empty()) continue;
     std::size_t weight = groups[s].size();
     // The task reads `ids` and writes disjoint slots of `*out`; both
-    // outlive it because SpendBatch blocks on the latch below.
-    Task task = [&ids, out, &done, group = std::move(groups[s])](
+    // outlive it because SpendBatch blocks on the latch below. The whole
+    // group goes through one InsertBatch probe pass (applied in index
+    // order, so duplicate ids keep first-wins semantics) and one
+    // group-committed journal block.
+    Task task = [this, &ids, out, &done, group = std::move(groups[s])](
                     ShardContext& ctx) {
-      for (std::size_t i : group) {
-        bool fresh = ctx.spent.Insert(ids[i]);
-        if (fresh && ctx.journal != nullptr) {
-          ctx.journal->Append(std::vector<std::uint8_t>(
-              ids[i].bytes.begin(), ids[i].bytes.end()));
-        }
-        (*out)[i] = fresh ? core::Status::kOk : core::Status::kAlreadySpent;
-        ++ctx.processed;
+      const std::size_t n = group.size();
+      std::vector<rel::LicenseId> local(n);
+      for (std::size_t j = 0; j < n; ++j) local[j] = ids[group[j]];
+      std::vector<std::uint8_t> fresh(n);
+      ctx.spent.InsertBatch(local.data(), n, fresh.data());
+      JournalFreshIds(ctx, local, fresh);
+      for (std::size_t j = 0; j < n; ++j) {
+        (*out)[group[j]] =
+            fresh[j] ? core::Status::kOk : core::Status::kAlreadySpent;
       }
+      ctx.processed += n;
+      UpdateSpentBytesGauge(ctx);
       done.CountDown();
     };
     if (shed_on_full) {

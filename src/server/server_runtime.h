@@ -21,6 +21,12 @@
 /// worker, so exactly one of any number of concurrent double-redemption
 /// attempts wins.
 ///
+/// Storage hot path (docs/storage.md): a shard task probes its whole
+/// group through SpentSetShard::InsertBatch (flat-table group probes with
+/// next-item prefetch) and journals the batch's fresh ids as one
+/// group-committed AppendMany block — per-item allocation and the
+/// write()-per-record syscall are both gone from the spend stage.
+///
 /// Thread-safety contract: Submit/TrySubmit/SpendBatch/SpendOne may be
 /// called from any number of threads concurrently. The aggregate
 /// accessors (SpentSize, Processed, …) quiesce the queues first and are
@@ -75,13 +81,20 @@ struct ServerRuntimeConfig {
   /// kOverloaded. An oversize submission to an empty queue is accepted so
   /// a single batch larger than the bound cannot starve forever.
   std::size_t queue_capacity = 4096;
-  store::SpentSetBackend spent_backend = store::SpentSetBackend::kHashSet;
+  store::SpentSetBackend spent_backend = store::SpentSetBackend::kFlat;
   /// When non-empty, shard k journals fresh spends to
   /// `<prefix>.shard<k>`, and construction replays every existing
   /// segment — plus a legacy unsharded journal at `<prefix>` itself —
   /// routing each id to its current home shard (so the shard count may
   /// change between runs).
   std::string journal_path_prefix;
+  /// Group commit (docs/storage.md): a shard task's fresh spends are
+  /// gathered into the shard's retained scratch buffer and journaled as
+  /// ONE CRC'd block via AppendLog::AppendMany — one write() per shard
+  /// group instead of one per record. Off = the legacy per-record Append
+  /// path (kept as the bench_server_scaling mutate-stage baseline).
+  /// Either way a spend is durable before SpendBatch returns it as kOk.
+  bool group_commit_journal = true;
 };
 
 /// What a shard task sees: the shard's own state, touched only from the
@@ -96,6 +109,14 @@ struct ShardContext {
   /// service time the way the transport's LatencyModel models wire time.
   std::uint64_t sim_clock_us = 0;
   std::uint64_t processed = 0;  ///< items completed on this shard
+  /// Retained gather arena for group-committed journal blocks: fresh ids
+  /// are packed here back to back before one AppendMany call. Capacity
+  /// sticks across batches, so the steady-state spend path allocates
+  /// nothing.
+  std::vector<std::uint8_t> journal_scratch;
+  /// Last MemoryBytes() value pushed to the `<prefix>spent.bytes` gauge;
+  /// workers publish deltas so the gauge tracks the aggregate footprint.
+  std::size_t spent_bytes_reported = 0;
 };
 
 /// Fixed pool of shard workers behind bounded queues.
@@ -207,8 +228,12 @@ class ServerRuntime {
 
   /// Wires queue accounting into \p registry (null = off): a
   /// `<prefix>queue_depth` gauge (+weight on accept, -weight on
-  /// completion) and a `<prefix>sheds` counter on every TrySubmit
-  /// rejection. Call before traffic starts; the ids are read by the
+  /// completion), a `<prefix>sheds` counter on every TrySubmit
+  /// rejection, and a `<prefix>spent.bytes` gauge tracking the summed
+  /// SpentSetShard::MemoryBytes across shards (each worker publishes the
+  /// delta against its last report after a mutating task, so the gauge is
+  /// exact at quiesce — RT-3 resident-footprint accounting in scenario
+  /// reports). Call before traffic starts; the ids are read by the
   /// submit paths and workers without synchronization after that.
   void set_observability(obs::Registry* registry, const std::string& prefix);
 
@@ -233,6 +258,14 @@ class ServerRuntime {
 
   void WorkerLoop(Shard* shard);
   void ReplayJournals();
+  /// Journals the ids with fresh[i] != 0 from a shard task: one
+  /// group-committed AppendMany block (default) or per-record Appends
+  /// (legacy baseline). Runs on the shard's worker thread.
+  void JournalFreshIds(ShardContext& ctx,
+                       const std::vector<rel::LicenseId>& ids,
+                       const std::vector<std::uint8_t>& fresh) const;
+  /// Publishes the shard's MemoryBytes delta to the spent.bytes gauge.
+  void UpdateSpentBytesGauge(ShardContext& ctx) const;
   /// Waits for \p shard to go idle and returns with its mutex held.
   std::unique_lock<std::mutex> QuiesceShard(std::size_t shard) const;
 
@@ -244,6 +277,7 @@ class ServerRuntime {
   obs::Registry* obs_registry_ = nullptr;
   obs::Registry::Id obs_queue_depth_ = 0;
   obs::Registry::Id obs_sheds_ = 0;
+  obs::Registry::Id obs_spent_bytes_ = 0;
 };
 
 }  // namespace server

@@ -1,6 +1,11 @@
 #include "store/append_log.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <array>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
@@ -9,6 +14,11 @@ namespace p2drm {
 namespace store {
 
 namespace {
+
+// One group-committed block tops out well under the replay-side length
+// sanity bound (1 GiB): batches larger than this are split into multiple
+// blocks, each independently CRC'd and atomic.
+constexpr std::size_t kMaxBlockBytes = 4u << 20;
 
 std::array<std::uint32_t, 256> BuildCrcTable() {
   std::array<std::uint32_t, 256> table{};
@@ -48,10 +58,12 @@ std::uint32_t Crc32(const std::uint8_t* data, std::size_t len) {
 }
 
 AppendLog::AppendLog(const std::string& path) : path_(path) {
-  // Crash recovery: if a previous process died mid-Append, the file ends
-  // in a partial record. Appending after it would put every future record
-  // behind garbage that replay can never reach, so cut the file back to
-  // its intact prefix before opening for append.
+  // Crash recovery: if a previous process died mid-append, the file ends
+  // in a partial record (for a group-committed block: a partial BLOCK —
+  // the block CRC fails, so the whole group is the torn tail). Appending
+  // after it would put every future record behind garbage that replay can
+  // never reach, so cut the file back to its intact prefix before opening
+  // for append.
   ReplayStats stats = ReplayWithStats(path, nullptr);
   if (stats.torn_tail) {
     std::error_code ec;
@@ -61,27 +73,57 @@ AppendLog::AppendLog(const std::string& path) : path_(path) {
                                path);
     }
   }
-  file_ = std::fopen(path.c_str(), "ab");
-  if (file_ == nullptr) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
     throw std::runtime_error("AppendLog: cannot open " + path);
   }
 }
 
 AppendLog::~AppendLog() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void AppendLog::EncodeRecord(const std::uint8_t* payload, std::size_t len) {
+  buf_.clear();
+  buf_.resize(8 + len);
+  PutU32Le(buf_.data(), static_cast<std::uint32_t>(len));
+  PutU32Le(buf_.data() + 4, Crc32(payload, len));
+  if (len != 0) std::copy(payload, payload + len, buf_.begin() + 8);
+}
+
+void AppendLog::WriteBuffer() {
+  const std::uint8_t* p = buf_.data();
+  std::size_t left = buf_.size();
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd_, p, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("AppendLog: write failed");
+    }
+    p += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
 }
 
 void AppendLog::Append(const std::vector<std::uint8_t>& record) {
-  std::uint8_t header[8];
-  PutU32Le(header, static_cast<std::uint32_t>(record.size()));
-  PutU32Le(header + 4, Crc32(record.data(), record.size()));
-  if (std::fwrite(header, 1, 8, file_) != 8 ||
-      (!record.empty() &&
-       std::fwrite(record.data(), 1, record.size(), file_) != record.size())) {
-    throw std::runtime_error("AppendLog: write failed");
-  }
-  std::fflush(file_);
+  EncodeRecord(record.data(), record.size());
+  WriteBuffer();
   ++appended_;
+}
+
+void AppendLog::AppendMany(const std::uint8_t* records,
+                           std::size_t record_width, std::size_t count) {
+  if (record_width == 0 || count == 0) return;
+  const std::size_t per_block =
+      std::max<std::size_t>(1, kMaxBlockBytes / record_width);
+  while (count > 0) {
+    const std::size_t n = count < per_block ? count : per_block;
+    EncodeRecord(records, record_width * n);
+    WriteBuffer();
+    records += record_width * n;
+    count -= n;
+    appended_ += n;
+  }
 }
 
 std::size_t AppendLog::Replay(

@@ -10,6 +10,7 @@ const char* SpentSetBackendName(SpentSetBackend b) {
     case SpentSetBackend::kHashSet: return "hash-set";
     case SpentSetBackend::kSortedVector: return "sorted-vector";
     case SpentSetBackend::kLinearScan: return "linear-scan";
+    case SpentSetBackend::kFlat: return "flat";
   }
   return "unknown";
 }
@@ -31,6 +32,8 @@ bool SpentSetShard::Insert(const rel::LicenseId& id) {
       linear_.push_back(id);
       return true;
     }
+    case SpentSetBackend::kFlat:
+      return flat_.Insert(id);
   }
   return false;
 }
@@ -43,8 +46,32 @@ bool SpentSetShard::Contains(const rel::LicenseId& id) const {
       return std::binary_search(sorted_.begin(), sorted_.end(), id);
     case SpentSetBackend::kLinearScan:
       return std::find(linear_.begin(), linear_.end(), id) != linear_.end();
+    case SpentSetBackend::kFlat:
+      return flat_.Contains(id);
   }
   return false;
+}
+
+void SpentSetShard::ContainsBatch(const rel::LicenseId* ids, std::size_t count,
+                                  std::uint8_t* hit) const {
+  if (backend_ == SpentSetBackend::kFlat) {
+    flat_.ContainsBatch(ids, count, hit);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    hit[i] = Contains(ids[i]) ? 1 : 0;
+  }
+}
+
+void SpentSetShard::InsertBatch(const rel::LicenseId* ids, std::size_t count,
+                                std::uint8_t* fresh) {
+  if (backend_ == SpentSetBackend::kFlat) {
+    flat_.InsertBatch(ids, count, fresh);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    fresh[i] = Insert(ids[i]) ? 1 : 0;
+  }
 }
 
 std::size_t SpentSetShard::Size() const {
@@ -52,6 +79,7 @@ std::size_t SpentSetShard::Size() const {
     case SpentSetBackend::kHashSet: return hash_.size();
     case SpentSetBackend::kSortedVector: return sorted_.size();
     case SpentSetBackend::kLinearScan: return linear_.size();
+    case SpentSetBackend::kFlat: return flat_.Size();
   }
   return 0;
 }
@@ -72,6 +100,11 @@ std::size_t SpentSetShard::MemoryBytes() const {
       return sorted_.capacity() * kIdBytes;
     case SpentSetBackend::kLinearScan:
       return linear_.capacity() * kIdBytes;
+    case SpentSetBackend::kFlat:
+      // Exact: the table stores ids inline, so its two backing arrays
+      // (1 control byte + 16 id bytes per bucket of capacity) ARE the
+      // footprint — no estimated node overhead.
+      return flat_.MemoryBytes();
   }
   return 0;
 }

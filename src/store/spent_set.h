@@ -8,7 +8,10 @@
 /// redeemed ids here so a copied bearer license cannot be redeemed twice.
 /// This set is on the provider's hot path (one lookup + one insert per
 /// redemption), so its data structure is the subject of the RF-2 ablation:
-/// hash set vs sorted vector vs linear scan.
+/// flat table vs hash set vs sorted vector vs linear scan. The default is
+/// kFlat — a SwissTable-style open-addressing table (store/flat_table.h,
+/// docs/storage.md) with no per-node allocations and 16-wide control-byte
+/// group probes; kHashSet stays as the differential baseline.
 ///
 /// Two classes live here:
 ///  * SpentSetShard — one partition of the set. Deliberately has NO
@@ -24,15 +27,17 @@
 #include <vector>
 
 #include "rel/ids.h"
+#include "store/flat_table.h"
 
 namespace p2drm {
 namespace store {
 
 /// Storage backend selector (RF-2 ablation).
 enum class SpentSetBackend : std::uint8_t {
-  kHashSet = 0,       ///< unordered_set; O(1) expected
+  kHashSet = 0,       ///< unordered_set; O(1) expected, node per entry
   kSortedVector = 1,  ///< binary search + ordered insert; O(log n)/O(n)
   kLinearScan = 2,    ///< the naive strawman; O(n)
+  kFlat = 3,          ///< open-addressing flat table; O(1), allocation-free
 };
 
 const char* SpentSetBackendName(SpentSetBackend b);
@@ -48,7 +53,7 @@ const char* SpentSetBackendName(SpentSetBackend b);
 /// the per-item hot path: routing replaces locking.
 class SpentSetShard {
  public:
-  explicit SpentSetShard(SpentSetBackend backend = SpentSetBackend::kHashSet)
+  explicit SpentSetShard(SpentSetBackend backend = SpentSetBackend::kFlat)
       : backend_(backend) {}
 
   /// Marks \p id spent. Returns false (and changes nothing) if it was
@@ -58,17 +63,35 @@ class SpentSetShard {
   /// True when \p id has been redeemed before.
   bool Contains(const rel::LicenseId& id) const;
 
+  /// Batch probe: hit[i] = 1 iff ids[i] is present. On the flat backend
+  /// probes run as a software-pipelined window (FlatIdTable::ContainsBatch)
+  /// that prefetches control and candidate-slot lines ahead of resolution,
+  /// keeping many cache misses in flight instead of serializing them;
+  /// other backends fall back to a scalar loop (the differential tests
+  /// rely on identical semantics across backends).
+  void ContainsBatch(const rel::LicenseId* ids, std::size_t count,
+                     std::uint8_t* hit) const;
+
+  /// Batch insert: fresh[i] = 1 iff ids[i] was not present before this
+  /// call processed it. Items are applied in order, so a duplicate pair
+  /// inside one batch marks the first occurrence fresh and the second
+  /// not — the same first-wins semantics as N sequential Insert calls.
+  void InsertBatch(const rel::LicenseId* ids, std::size_t count,
+                   std::uint8_t* fresh);
+
   std::size_t Size() const;
 
-  /// Approximate resident memory (RT-3 storage accounting), including
-  /// container bookkeeping: hash-set node pointers and the bucket array,
-  /// or vector capacity for the array backends.
+  /// Resident memory (RT-3 storage accounting), including container
+  /// bookkeeping. Flat: the exact control-byte + inline-slot arrays.
+  /// Hash set: per-node id + next pointer plus the bucket array of head
+  /// pointers. Vectors: capacity.
   std::size_t MemoryBytes() const;
 
   SpentSetBackend backend() const { return backend_; }
 
  private:
   SpentSetBackend backend_;
+  FlatIdTable flat_;
   std::unordered_set<rel::LicenseId> hash_;
   std::vector<rel::LicenseId> sorted_;  // kept ordered
   std::vector<rel::LicenseId> linear_;  // insertion order
@@ -77,7 +100,7 @@ class SpentSetShard {
 /// Set of already-redeemed license ids (single partition).
 class SpentSet {
  public:
-  explicit SpentSet(SpentSetBackend backend = SpentSetBackend::kHashSet)
+  explicit SpentSet(SpentSetBackend backend = SpentSetBackend::kFlat)
       : shard_(backend) {}
 
   /// Marks \p id spent. Returns false (and changes nothing) if it was
@@ -87,9 +110,21 @@ class SpentSet {
   /// True when \p id has been redeemed before.
   bool Contains(const rel::LicenseId& id) const { return shard_.Contains(id); }
 
+  /// Batch probe; see SpentSetShard::ContainsBatch.
+  void ContainsBatch(const rel::LicenseId* ids, std::size_t count,
+                     std::uint8_t* hit) const {
+    shard_.ContainsBatch(ids, count, hit);
+  }
+
+  /// Batch insert; see SpentSetShard::InsertBatch.
+  void InsertBatch(const rel::LicenseId* ids, std::size_t count,
+                   std::uint8_t* fresh) {
+    shard_.InsertBatch(ids, count, fresh);
+  }
+
   std::size_t Size() const { return shard_.Size(); }
 
-  /// Approximate resident memory (RT-3 storage accounting).
+  /// Resident memory (RT-3 storage accounting).
   std::size_t MemoryBytes() const { return shard_.MemoryBytes(); }
 
   SpentSetBackend backend() const { return shard_.backend(); }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <future>
 #include <thread>
+#include <unistd.h>
 
 #include "core/certification_authority.h"
 #include "core/content_provider.h"
@@ -19,6 +20,7 @@
 #include "core/ttp.h"
 #include "crypto/blind_rsa.h"
 #include "crypto/drbg.h"
+#include "obs/registry.h"
 #include "server/batch_verifier.h"
 #include "server/shard_router.h"
 
@@ -64,7 +66,7 @@ TEST(ShardRouterTest, SpreadsCounterIds) {
 TEST(SpentSetShardTest, InsertContainsAcrossBackends) {
   for (auto backend :
        {store::SpentSetBackend::kHashSet, store::SpentSetBackend::kSortedVector,
-        store::SpentSetBackend::kLinearScan}) {
+        store::SpentSetBackend::kLinearScan, store::SpentSetBackend::kFlat}) {
     store::SpentSetShard shard(backend);
     EXPECT_TRUE(shard.Insert(MakeId(1)));
     EXPECT_FALSE(shard.Insert(MakeId(1)));
@@ -344,6 +346,191 @@ TEST(ServerRuntimeTest, ImportSpentIsIdempotentAndJournalsFreshIdsOnce) {
   for (std::size_t i = 0; i < 8; ++i) {
     std::remove(ServerRuntime::SegmentPath(prefix, i).c_str());
   }
+}
+
+TEST(ServerRuntimeTest, FlatAndHashBackendsAgreeThroughRuntimeAndRestart) {
+  std::string prefix_flat = ::testing::TempDir() + "/srv_diff_flat";
+  std::string prefix_hash = ::testing::TempDir() + "/srv_diff_hash";
+  for (const std::string& p : {prefix_flat, prefix_hash}) {
+    std::remove(p.c_str());
+    for (std::size_t i = 0; i < 8; ++i) {
+      std::remove(ServerRuntime::SegmentPath(p, i).c_str());
+    }
+  }
+
+  // Identical randomized traffic (duplicates, overlapping imports) through
+  // a flat+group-commit runtime and the legacy hash+per-record runtime:
+  // every status, size, and import tally must agree — the storage engine
+  // swap is invisible at the contract level.
+  auto config = [](store::SpentSetBackend backend, bool group_commit,
+                   const std::string& prefix) {
+    ServerRuntimeConfig cfg;
+    cfg.shard_count = 3;
+    cfg.spent_backend = backend;
+    cfg.group_commit_journal = group_commit;
+    cfg.journal_path_prefix = prefix;
+    return cfg;
+  };
+  {
+    ServerRuntime flat(
+        config(store::SpentSetBackend::kFlat, true, prefix_flat));
+    ServerRuntime hash(
+        config(store::SpentSetBackend::kHashSet, false, prefix_hash));
+    crypto::HmacDrbg rng("runtime-differential");
+    for (int round = 0; round < 20; ++round) {
+      std::vector<rel::LicenseId> ids;
+      std::size_t n = 1 + rng.NextUint64(60);
+      for (std::size_t i = 0; i < n; ++i) {
+        ids.push_back(MakeId(rng.NextUint64(500)));  // heavy duplicates
+      }
+      if (rng.NextUint64(3) == 0) {
+        ServerRuntime::ImportStats fa = flat.ImportSpent(ids);
+        ServerRuntime::ImportStats ha = hash.ImportSpent(ids);
+        ASSERT_EQ(fa.fresh, ha.fresh) << "round " << round;
+        ASSERT_EQ(fa.duplicates, ha.duplicates) << "round " << round;
+      } else {
+        std::vector<Status> sf, sh;
+        flat.SpendBatch(ids, &sf, /*shed_on_full=*/false);
+        hash.SpendBatch(ids, &sh, /*shed_on_full=*/false);
+        ASSERT_EQ(sf, sh) << "round " << round;
+      }
+      ASSERT_EQ(flat.SpentSize(), hash.SpentSize()) << "round " << round;
+    }
+  }
+  // Cross-restart, cross-backend: each journal replays into a runtime
+  // using the OTHER backend (group-committed blocks and per-record
+  // journals are one on-disk format as far as replay is concerned).
+  {
+    ServerRuntime flat_from_hash(
+        config(store::SpentSetBackend::kFlat, true, prefix_hash));
+    ServerRuntime hash_from_flat(
+        config(store::SpentSetBackend::kHashSet, false, prefix_flat));
+    EXPECT_EQ(flat_from_hash.SpentSize(), hash_from_flat.SpentSize());
+    for (std::uint64_t n = 0; n < 500; ++n) {
+      ASSERT_EQ(flat_from_hash.SpendOne(MakeId(n)),
+                hash_from_flat.SpendOne(MakeId(n)))
+          << n;
+    }
+  }
+  for (const std::string& p : {prefix_flat, prefix_hash}) {
+    std::remove(p.c_str());
+    for (std::size_t i = 0; i < 8; ++i) {
+      std::remove(ServerRuntime::SegmentPath(p, i).c_str());
+    }
+  }
+}
+
+TEST(ServerRuntimeTest, TornGroupCommitBlockDropsWholeBlockAndRecovers) {
+  std::string prefix = ::testing::TempDir() + "/srv_torn_block";
+  std::remove(prefix.c_str());
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::remove(ServerRuntime::SegmentPath(prefix, i).c_str());
+  }
+
+  constexpr std::uint64_t kN = 64;
+  std::vector<rel::LicenseId> ids;
+  for (std::uint64_t n = 0; n < kN; ++n) ids.push_back(MakeId(n));
+  {
+    ServerRuntimeConfig cfg;
+    cfg.shard_count = 2;
+    cfg.journal_path_prefix = prefix;  // group commit is the default
+    ServerRuntime rt(cfg);
+    std::vector<Status> st;
+    rt.SpendBatch(ids, &st, /*shed_on_full=*/false);
+    for (Status s : st) ASSERT_EQ(s, Status::kOk);
+    ASSERT_EQ(rt.SpentSize(), kN);
+  }
+  // Shard 0's share of the batch was journaled as ONE group-committed
+  // block; a crash that tears 5 bytes off its tail lands INSIDE that
+  // block, and the CRC covers the whole block — so replay must drop every
+  // id in it, not just the last one.
+  ShardRouter router(2);
+  std::size_t shard0_ids = 0;
+  for (const auto& id : ids) {
+    if (router.ShardFor(id) == 0) ++shard0_ids;
+  }
+  ASSERT_GT(shard0_ids, 1u);  // the tear must cost >1 record to be a test
+  {
+    std::string seg = ServerRuntime::SegmentPath(prefix, 0);
+    std::FILE* f = std::fopen(seg.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    ASSERT_EQ(ftruncate(fileno(f), size - 5), 0);
+    std::fclose(f);
+  }
+  ServerRuntime::JournalScanStats scan =
+      ServerRuntime::ForEachJournalRecord(prefix, nullptr);
+  EXPECT_EQ(scan.torn_tails, 1u);
+  EXPECT_EQ(scan.records, kN - shard0_ids);  // whole block gone
+  {
+    ServerRuntimeConfig cfg;
+    cfg.shard_count = 2;
+    cfg.journal_path_prefix = prefix;
+    ServerRuntime rt(cfg);
+    EXPECT_EQ(rt.SpentSize(), kN - shard0_ids);
+    // Lost ids are re-spendable (the provider never confirmed them
+    // durable); survivors still refuse. Re-spending everything restores
+    // the full set and re-journals the lost block.
+    std::vector<Status> st;
+    rt.SpendBatch(ids, &st, /*shed_on_full=*/false);
+    std::size_t ok = 0, dup = 0;
+    for (Status s : st) (s == Status::kOk ? ok : dup) += 1;
+    EXPECT_EQ(ok, shard0_ids);
+    EXPECT_EQ(dup, kN - shard0_ids);
+    EXPECT_EQ(rt.SpentSize(), kN);
+  }
+  // The reopen truncated the torn tail before appending, so the healed
+  // journal replays clean and complete.
+  scan = ServerRuntime::ForEachJournalRecord(prefix, nullptr);
+  EXPECT_EQ(scan.torn_tails, 0u);
+  EXPECT_EQ(scan.records, kN);
+  {
+    ServerRuntimeConfig cfg;
+    cfg.shard_count = 2;
+    cfg.journal_path_prefix = prefix;
+    ServerRuntime rt(cfg);
+    EXPECT_EQ(rt.SpentSize(), kN);
+  }
+  std::remove(prefix.c_str());
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::remove(ServerRuntime::SegmentPath(prefix, i).c_str());
+  }
+}
+
+TEST(ServerRuntimeTest, SpentBytesGaugeTracksMemoryBytes) {
+  ServerRuntimeConfig cfg;
+  cfg.shard_count = 4;
+  ServerRuntime rt(cfg);
+  obs::Registry registry;
+  rt.set_observability(&registry, "srv.");
+
+  auto gauge = [&registry]() -> std::int64_t {
+    for (const auto& m : registry.Aggregate()) {
+      if (m.name == "srv.spent.bytes") return m.gauge;
+    }
+    ADD_FAILURE() << "srv.spent.bytes not registered";
+    return -1;
+  };
+  EXPECT_EQ(gauge(), 0);
+
+  // Across growth (rehashes move the footprint in steps, and the gauge is
+  // updated as a delta per task) the quiesced gauge must equal the honest
+  // per-shard MemoryBytes sum exactly.
+  std::vector<rel::LicenseId> ids;
+  for (std::uint64_t n = 0; n < 3000; ++n) ids.push_back(MakeId(n));
+  std::vector<Status> st;
+  rt.SpendBatch(ids, &st, /*shed_on_full=*/false);
+  rt.Drain();
+  EXPECT_EQ(gauge(), static_cast<std::int64_t>(rt.SpentMemoryBytes()));
+  EXPECT_GT(gauge(), 0);
+
+  // Imports grow the set through the other write path; same contract.
+  std::vector<rel::LicenseId> more;
+  for (std::uint64_t n = 3000; n < 9000; ++n) more.push_back(MakeId(n));
+  rt.ImportSpent(more);
+  rt.Drain();
+  EXPECT_EQ(gauge(), static_cast<std::int64_t>(rt.SpentMemoryBytes()));
 }
 
 // -- batch verifier ----------------------------------------------------------

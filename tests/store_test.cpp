@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <unistd.h>
 #include <string>
+#include <vector>
 
 #include "crypto/drbg.h"
 #include "store/append_log.h"
@@ -121,32 +123,140 @@ TEST_P(SpentSetTest, MemoryAccountingNonZero) {
 INSTANTIATE_TEST_SUITE_P(Backends, SpentSetTest,
                          ::testing::Values(SpentSetBackend::kHashSet,
                                            SpentSetBackend::kSortedVector,
-                                           SpentSetBackend::kLinearScan),
+                                           SpentSetBackend::kLinearScan,
+                                           SpentSetBackend::kFlat),
                          [](const auto& info) {
-                           return std::string(
-                               SpentSetBackendName(info.param)) == "hash-set"
-                                      ? "HashSet"
-                                  : SpentSetBackendName(info.param) ==
-                                            std::string("sorted-vector")
-                                      ? "SortedVector"
-                                      : "LinearScan";
+                           std::string name = SpentSetBackendName(info.param);
+                           return name == "hash-set"        ? "HashSet"
+                                  : name == "sorted-vector" ? "SortedVector"
+                                  : name == "linear-scan"   ? "LinearScan"
+                                                            : "Flat";
                          });
 
 TEST(SpentSet, BackendsAgree) {
   SpentSet a(SpentSetBackend::kHashSet);
   SpentSet b(SpentSetBackend::kSortedVector);
   SpentSet c(SpentSetBackend::kLinearScan);
+  SpentSet d(SpentSetBackend::kFlat);
   crypto::HmacDrbg rng("agree");
   for (int i = 0; i < 300; ++i) {
     auto id = Id(rng.NextUint64(200));  // collisions on purpose
     bool ra = a.Insert(id);
     bool rb = b.Insert(id);
     bool rc = c.Insert(id);
+    bool rd = d.Insert(id);
     EXPECT_EQ(ra, rb);
     EXPECT_EQ(rb, rc);
+    EXPECT_EQ(rc, rd);
   }
   EXPECT_EQ(a.Size(), b.Size());
   EXPECT_EQ(b.Size(), c.Size());
+  EXPECT_EQ(c.Size(), d.Size());
+}
+
+// Differential: the flat table must agree with unordered_set operation by
+// operation under a randomized, duplicate-heavy workload that crosses many
+// rehash boundaries (the table starts at 64 slots and doubles at 7/8 load,
+// so 40k distinct ids force ~10 rehashes mid-stream).
+TEST(SpentSet, FlatMatchesHashSetRandomized) {
+  SpentSet flat(SpentSetBackend::kFlat);
+  SpentSet hash(SpentSetBackend::kHashSet);
+  crypto::HmacDrbg rng("flat-differential");
+  for (int i = 0; i < 120000; ++i) {
+    auto id = Id(rng.NextUint64(40000));  // ~3x duplicates
+    if (rng.NextUint64(4) == 0) {
+      ASSERT_EQ(flat.Contains(id), hash.Contains(id)) << "op " << i;
+    } else {
+      ASSERT_EQ(flat.Insert(id), hash.Insert(id)) << "op " << i;
+    }
+  }
+  ASSERT_EQ(flat.Size(), hash.Size());
+  // Post-hoc sweep: every id the hash set holds must probe present in the
+  // flat table, and a disjoint range must probe absent in both.
+  for (std::uint64_t i = 0; i < 40000; ++i) {
+    ASSERT_EQ(flat.Contains(Id(i)), hash.Contains(Id(i))) << i;
+  }
+  for (std::uint64_t i = 40000; i < 41000; ++i) {
+    ASSERT_FALSE(flat.Contains(Id(i)));
+  }
+}
+
+// The batch APIs must be bit-identical to N scalar calls — including the
+// first-wins rule for duplicates INSIDE one batch (the runtime journals
+// exactly the fresh ids, so a double-counted duplicate would double-journal).
+TEST(SpentSet, BatchApisMatchScalarAcrossBackends) {
+  for (auto backend : {SpentSetBackend::kHashSet, SpentSetBackend::kFlat}) {
+    SpentSet batched(backend);
+    SpentSet scalar(backend);
+    crypto::HmacDrbg rng("batch-differential");
+    std::vector<rel::LicenseId> ids;
+    for (int round = 0; round < 40; ++round) {
+      // Odd batch sizes exercise the pipelined window's tail handling.
+      std::size_t n = 1 + rng.NextUint64(97);
+      ids.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        ids.push_back(Id(rng.NextUint64(800)));
+      }
+      // A guaranteed in-batch duplicate pair: first wins, second does not.
+      if (n >= 2) ids[n - 1] = ids[0];
+      std::vector<std::uint8_t> fresh(n, 0xAA), hit(n, 0xAA);
+      batched.InsertBatch(ids.data(), n, fresh.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(fresh[i] != 0, scalar.Insert(ids[i]))
+            << SpentSetBackendName(backend) << " round " << round << " item "
+            << i;
+      }
+      batched.ContainsBatch(ids.data(), n, hit.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hit[i] != 0, scalar.Contains(ids[i]))
+            << SpentSetBackendName(backend) << " round " << round << " item "
+            << i;
+      }
+    }
+    ASSERT_EQ(batched.Size(), scalar.Size()) << SpentSetBackendName(backend);
+  }
+}
+
+// Replaying the same import twice (duplicate ImportSpent) must be a no-op
+// the second time on every backend — InsertBatch reports nothing fresh and
+// the size is unchanged. This is the idempotency the journal-replay path
+// (server_runtime.cpp ReplayJournals) depends on.
+TEST(SpentSet, DuplicateImportReplayIsIdempotent) {
+  for (auto backend : {SpentSetBackend::kHashSet, SpentSetBackend::kFlat}) {
+    SpentSet set(backend);
+    constexpr std::size_t kN = 5000;
+    std::vector<rel::LicenseId> ids;
+    for (std::uint64_t i = 0; i < kN; ++i) ids.push_back(Id(i));
+    std::vector<std::uint8_t> fresh(kN, 0);
+    set.InsertBatch(ids.data(), kN, fresh.data());
+    for (std::size_t i = 0; i < kN; ++i) ASSERT_TRUE(fresh[i]) << i;
+    // Second replay of the identical import.
+    set.InsertBatch(ids.data(), kN, fresh.data());
+    for (std::size_t i = 0; i < kN; ++i) ASSERT_FALSE(fresh[i]) << i;
+    ASSERT_EQ(set.Size(), kN) << SpentSetBackendName(backend);
+  }
+}
+
+// Rehash boundaries: inserting one-at-a-time versus in one batch must land
+// on the same table geometry (MemoryBytes is exact for flat, so equality
+// proves the rehash points depend only on the insert sequence).
+TEST(SpentSet, FlatRehashDeterministicAcrossBatching) {
+  SpentSet one_by_one(SpentSetBackend::kFlat);
+  SpentSet in_batches(SpentSetBackend::kFlat);
+  constexpr std::size_t kN = 3000;  // crosses several doublings from 64
+  std::vector<rel::LicenseId> ids;
+  for (std::uint64_t i = 0; i < kN; ++i) ids.push_back(Id(i * 7 + 1));
+  for (const auto& id : ids) one_by_one.Insert(id);
+  std::vector<std::uint8_t> fresh(kN, 0);
+  // Deliberately awkward chunk sizes straddling the doubling points.
+  for (std::size_t base = 0; base < kN;) {
+    std::size_t n = std::min<std::size_t>(kN - base, 13 + base % 50);
+    in_batches.InsertBatch(ids.data() + base, n, fresh.data());
+    base += n;
+  }
+  EXPECT_EQ(one_by_one.Size(), in_batches.Size());
+  EXPECT_EQ(one_by_one.MemoryBytes(), in_batches.MemoryBytes());
+  EXPECT_GT(one_by_one.MemoryBytes(), kN * 16u);  // honest: holds the ids
 }
 
 // -- RevocationList -----------------------------------------------------------
@@ -329,6 +439,109 @@ TEST_F(AppendLogTest, CorruptPayloadDetectedByCrc) {
   std::size_t n =
       AppendLog::Replay(path_, [](const std::vector<std::uint8_t>&) {});
   EXPECT_EQ(n, 0u);
+}
+
+// -- group commit (AppendMany) ----------------------------------------------
+
+TEST_F(AppendLogTest, AppendManyDeliversOneBlockCountingEachRecord) {
+  // 5 fixed-width 16-byte records in one group-committed block.
+  std::vector<std::uint8_t> records(5 * 16);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i] = static_cast<std::uint8_t>(i * 3 + 1);
+  }
+  {
+    AppendLog log(path_);
+    log.AppendMany(records.data(), 16, 5);
+    // AppendedRecords counts logical records, not write() calls.
+    EXPECT_EQ(log.AppendedRecords(), 5u);
+  }
+  // On disk the block is ONE framed record whose payload is the 5 records
+  // back to back; the replay consumer is responsible for splitting it.
+  std::vector<std::vector<std::uint8_t>> blocks;
+  AppendLog::ReplayStats stats = AppendLog::ReplayWithStats(
+      path_, [&blocks](const std::vector<std::uint8_t>& r) {
+        blocks.push_back(r);
+      });
+  EXPECT_FALSE(stats.torn_tail);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], records);
+  EXPECT_EQ(stats.valid_bytes, 8u + records.size());
+}
+
+TEST_F(AppendLogTest, AppendManyMixesWithSingleRecords) {
+  {
+    AppendLog log(path_);
+    log.Append({1, 2, 3});
+    std::vector<std::uint8_t> block(3 * 16, 0x5A);
+    log.AppendMany(block.data(), 16, 3);
+    log.Append({7});
+    EXPECT_EQ(log.AppendedRecords(), 5u);
+  }
+  std::vector<std::size_t> sizes;
+  AppendLog::Replay(path_, [&sizes](const std::vector<std::uint8_t>& r) {
+    sizes.push_back(r.size());
+  });
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{3, 48, 1}));
+}
+
+TEST_F(AppendLogTest, AppendManyZeroRecordsWritesNothing) {
+  {
+    AppendLog log(path_);
+    log.AppendMany(nullptr, 16, 0);
+    EXPECT_EQ(log.AppendedRecords(), 0u);
+  }
+  std::size_t n =
+      AppendLog::Replay(path_, [](const std::vector<std::uint8_t>&) {});
+  EXPECT_EQ(n, 0u);
+}
+
+// The torn-tail rule for group commit: the CRC covers the WHOLE block, so a
+// tear landing inside a block (not just between records) must drop the whole
+// block — partial batches never replay, which is what keeps "fresh ids were
+// journaled atomically with their InsertBatch group" true after a crash.
+TEST_F(AppendLogTest, TornTailInsideBlockDropsWholeBlock) {
+  std::vector<std::uint8_t> block(8 * 16);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block[i] = static_cast<std::uint8_t>(i);
+  }
+  {
+    AppendLog log(path_);
+    log.Append({9, 9, 9});          // intact single record before the block
+    log.AppendMany(block.data(), 16, 8);
+  }
+  // Tear INSIDE the block: keep its header and the first 3.5 records.
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  long keep = (8 + 3) + 8 + 3 * 16 + 8;  // first record + block header + 3.5
+  ASSERT_EQ(ftruncate(fileno(f), keep), 0);
+  std::fclose(f);
+
+  std::vector<std::vector<std::uint8_t>> delivered;
+  AppendLog::ReplayStats stats = AppendLog::ReplayWithStats(
+      path_, [&delivered](const std::vector<std::uint8_t>& r) {
+        delivered.push_back(r);
+      });
+  EXPECT_TRUE(stats.torn_tail);
+  ASSERT_EQ(delivered.size(), 1u);  // only the single record survives
+  EXPECT_EQ(delivered[0], (std::vector<std::uint8_t>{9, 9, 9}));
+  EXPECT_EQ(stats.valid_bytes, 8u + 3u);
+
+  // Reopening for append truncates the torn block and stays appendable —
+  // a fresh group commit after the crash replays cleanly.
+  {
+    AppendLog log(path_);
+    std::vector<std::uint8_t> fresh_block(2 * 16, 0xBB);
+    log.AppendMany(fresh_block.data(), 16, 2);
+  }
+  delivered.clear();
+  stats = AppendLog::ReplayWithStats(
+      path_, [&delivered](const std::vector<std::uint8_t>& r) {
+        delivered.push_back(r);
+      });
+  EXPECT_FALSE(stats.torn_tail);
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], (std::vector<std::uint8_t>{9, 9, 9}));
+  EXPECT_EQ(delivered[1], std::vector<std::uint8_t>(32, 0xBB));
 }
 
 TEST_F(AppendLogTest, ReopenAppends) {
